@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation: hierarchy design choices (paper Secs. III-A and III-D).
+ *
+ * Compares four configurations on DRAM row-hit fidelity for one
+ * workload per device class:
+ *   flat          - no partitioning (one leaf)
+ *   temporal-only - 500k-cycle phases, no spatial layer
+ *   spatial-only  - dynamic regions, no temporal layer
+ *   2L-TS         - the paper's recommendation (temporal->spatial)
+ *
+ * Expected shape: 2L-TS is at least as accurate as the ablated
+ * variants; flat is clearly worse (interleaved streams inflate the
+ * variance each model must absorb).
+ */
+
+#include <map>
+
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace bench;
+    banner("Ablation: hierarchy",
+           "Row-hit fidelity of ablated partitioning configurations");
+
+    const std::vector<std::pair<const char *, core::PartitionConfig>>
+        configs = {
+            {"flat", core::PartitionConfig{}},
+            {"temporal-only",
+             core::PartitionConfig{
+                 {{core::PartitionLayer::Kind::TemporalCycleCount,
+                   500000}}}},
+            {"spatial-only",
+             core::PartitionConfig{
+                 {{core::PartitionLayer::Kind::SpatialDynamic, 0}}}},
+            {"2L-TS", core::PartitionConfig::twoLevelTs()},
+        };
+
+    std::map<std::string, double> total_err;
+    for (const char *name :
+         {"CPU-G", "FBC-Linear1", "T-Rex1", "HEVC1"}) {
+        const mem::Trace trace =
+            workloads::makeDeviceTrace(name, traceLength(), 1);
+        const auto baseline = dram::simulateTrace(trace);
+        const double base_rd =
+            static_cast<double>(baseline.readRowHits());
+        const double base_wr =
+            static_cast<double>(baseline.writeRowHits());
+
+        std::printf("%s (baseline: rdHits=%llu wrHits=%llu)\n", name,
+                    static_cast<unsigned long long>(
+                        baseline.readRowHits()),
+                    static_cast<unsigned long long>(
+                        baseline.writeRowHits()));
+        for (const auto &[label, config] : configs) {
+            const auto result =
+                dram::simulateTrace(synthesizeMcc(trace, config));
+            const double e =
+                err(static_cast<double>(result.readRowHits()),
+                    base_rd) +
+                err(static_cast<double>(result.writeRowHits()),
+                    base_wr);
+            std::printf("  %-14s rdHitErr=%7.2f%% wrHitErr=%7.2f%%\n",
+                        label,
+                        err(static_cast<double>(result.readRowHits()),
+                            base_rd),
+                        err(static_cast<double>(
+                                result.writeRowHits()),
+                            base_wr));
+            total_err[label] += e;
+        }
+        std::printf("\n");
+    }
+
+    std::printf("summed error over workloads:\n");
+    for (const auto &[label, e] : total_err)
+        std::printf("  %-14s %8.2f%%\n", label.c_str(), e);
+    std::printf("\n");
+
+    shapeCheck("2L-TS beats the flat (unpartitioned) model",
+               total_err["2L-TS"] <= total_err["flat"]);
+    shapeCheck("2L-TS is at least as good as temporal-only",
+               total_err["2L-TS"] <=
+                   total_err["temporal-only"] + 5.0);
+    return 0;
+}

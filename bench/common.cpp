@@ -1,0 +1,85 @@
+#include "common.hpp"
+
+#include <cstdlib>
+
+namespace bench
+{
+
+std::size_t
+traceLength()
+{
+    static const std::size_t length = [] {
+        if (const char *env = std::getenv("MOCKTAILS_BENCH_REQUESTS"))
+            return static_cast<std::size_t>(
+                std::strtoull(env, nullptr, 10));
+        return std::size_t{60000};
+    }();
+    return length;
+}
+
+const std::vector<std::string> &
+deviceClasses()
+{
+    static const std::vector<std::string> classes = {"CPU", "DPU",
+                                                     "GPU", "VPU"};
+    return classes;
+}
+
+std::vector<std::string>
+tracesForDevice(const std::string &device)
+{
+    std::vector<std::string> names;
+    for (const auto &spec : workloads::deviceTraces()) {
+        if (spec.device == device)
+            names.push_back(spec.name);
+    }
+    return names;
+}
+
+mem::Trace
+synthesizeMcc(const mem::Trace &trace,
+              const core::PartitionConfig &config, std::uint64_t seed)
+{
+    return core::synthesize(core::buildProfile(trace, config), seed);
+}
+
+mem::Trace
+synthesizeStm(const mem::Trace &trace,
+              const core::PartitionConfig &config, std::uint64_t seed)
+{
+    return core::synthesize(
+        core::buildProfile(trace, config, baselines::stmHooks()), seed);
+}
+
+ModelComparison
+compareModels(const mem::Trace &trace,
+              const core::PartitionConfig &config,
+              const dram::DramConfig &dram_config)
+{
+    ModelComparison out;
+    out.baseline = dram::simulateTrace(trace, dram_config);
+    out.mcc = dram::simulateTrace(synthesizeMcc(trace, config),
+                                  dram_config);
+    out.stm = dram::simulateTrace(synthesizeStm(trace, config),
+                                  dram_config);
+    return out;
+}
+
+void
+banner(const char *experiment_id, const char *description)
+{
+    std::printf("=== %s ===\n%s\n", experiment_id, description);
+    std::printf("(traces: %zu requests each; synthetic substitutes "
+                "for the proprietary Table II workloads)\n\n",
+                traceLength());
+}
+
+bool
+shapeCheck(const std::string &what, bool condition)
+{
+    std::printf("check %s: %s\n", condition ? "PASS" : "notice",
+                what.c_str());
+    return condition;
+}
+
+} // namespace bench

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared machinery for the paper-experiment benches.
+ *
+ * Every figNN/tableN binary regenerates one table or figure of the
+ * paper: it builds the Table II (or SPEC) workloads, models them with
+ * 2L-TS (McC) and 2L-TS (STM), replays baseline and synthetic streams
+ * through the DRAM or cache substrate, and prints the series the
+ * paper plots. Shape checks assert the qualitative result (who wins,
+ * rough magnitudes) rather than absolute numbers — the substrate is a
+ * simulator, not the authors' RTL platform.
+ */
+
+#ifndef MOCKTAILS_BENCH_COMMON_HPP
+#define MOCKTAILS_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/stm.hpp"
+#include "core/model_generator.hpp"
+#include "core/synthesis.hpp"
+#include "dram/simulate.hpp"
+#include "mem/trace.hpp"
+#include "util/stats.hpp"
+#include "workloads/devices.hpp"
+#include "workloads/spec.hpp"
+
+namespace bench
+{
+
+using namespace mocktails;
+
+/** Requests per device trace (override: MOCKTAILS_BENCH_REQUESTS). */
+std::size_t traceLength();
+
+/** The four device classes in paper order. */
+const std::vector<std::string> &deviceClasses();
+
+/** Table II trace names belonging to one device class. */
+std::vector<std::string> tracesForDevice(const std::string &device);
+
+/**
+ * Baseline + two model configurations run on the DRAM platform.
+ */
+struct ModelComparison
+{
+    dram::SimulationResult baseline;
+    dram::SimulationResult mcc; ///< 2L-TS (McC)
+    dram::SimulationResult stm; ///< 2L-TS (STM)
+};
+
+/**
+ * Build profiles for @p trace with McC and STM leaf models, replay
+ * everything on the Table III DRAM platform.
+ */
+ModelComparison
+compareModels(const mem::Trace &trace,
+              const core::PartitionConfig &config =
+                  core::PartitionConfig::twoLevelTs(),
+              const dram::DramConfig &dram_config = dram::DramConfig{});
+
+/** Synthesise the 2L-TS (McC) stream for a trace. */
+mem::Trace synthesizeMcc(const mem::Trace &trace,
+                         const core::PartitionConfig &config,
+                         std::uint64_t seed = 1);
+
+/** Synthesise the 2L-TS (STM) stream for a trace. */
+mem::Trace synthesizeStm(const mem::Trace &trace,
+                         const core::PartitionConfig &config,
+                         std::uint64_t seed = 1);
+
+/** Print the bench banner. */
+void banner(const char *experiment_id, const char *description);
+
+/**
+ * Record a qualitative shape check; prints "check PASS/notice: ...".
+ * Returns the condition so callers can aggregate an exit code.
+ */
+bool shapeCheck(const std::string &what, bool condition);
+
+/** Percentage error helper (see util::percentError). */
+inline double
+err(double measured, double reference)
+{
+    return util::percentError(measured, reference);
+}
+
+} // namespace bench
+
+#endif // MOCKTAILS_BENCH_COMMON_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 3: the timing of HEVC1's requests — number of requests per
+ * 50M-cycle bin, showing clusters of activity separated by long idle
+ * periods (the burstiness Mocktails' injection process must capture).
+ */
+
+#include <map>
+
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace bench;
+    banner("Fig. 3",
+           "Requests per 50M-cycle bin for the HEVC1 VPU workload");
+
+    const mem::Trace trace = workloads::makeHevc(100000, 1, 1);
+    constexpr mem::Tick bin = 50000000;
+
+    std::map<mem::Tick, std::size_t> bins;
+    for (const auto &r : trace)
+        ++bins[r.tick / bin];
+
+    const mem::Tick last = trace.duration() / bin;
+    std::printf("%-14s %-10s\n", "bin(50Mcyc)", "requests");
+    std::size_t busy_bins = 0, idle_bins = 0;
+    for (mem::Tick b = 0; b <= last; ++b) {
+        const auto it = bins.find(b);
+        const std::size_t count = it == bins.end() ? 0 : it->second;
+        std::printf("%-14llu %zu\n",
+                    static_cast<unsigned long long>(b), count);
+        if (count == 0)
+            ++idle_bins;
+        else
+            ++busy_bins;
+    }
+
+    std::printf("\n");
+    bool ok = true;
+    ok &= shapeCheck("activity spans hundreds of millions of cycles",
+                     trace.duration() > 500000000ull);
+    ok &= shapeCheck("request clusters are separated in time "
+                     "(bursty, not uniform)",
+                     [&] {
+                         // Max bin count >> mean bin count.
+                         std::size_t max_count = 0;
+                         for (const auto &[b, c] : bins)
+                             max_count = std::max(max_count, c);
+                         const double mean =
+                             static_cast<double>(trace.size()) /
+                             static_cast<double>(last + 1);
+                         return static_cast<double>(max_count) >
+                                2.0 * mean;
+                     }());
+    (void)ok;
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 6: average (geometric mean) error per device class for the
+ * number of DRAM read and write bursts, 2L-TS (McC) vs 2L-TS (STM).
+ *
+ * Expected shape: low error everywhere (strict convergence pins the
+ * request/size multisets), single digits for McC.
+ */
+
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace bench;
+    banner("Fig. 6",
+           "Average error per device for the number of DRAM bursts");
+
+    std::printf("%-8s %12s %12s %12s %12s\n", "device", "rdB-McC%",
+                "rdB-STM%", "wrB-McC%", "wrB-STM%");
+
+    double worst_mcc = 0.0;
+    for (const auto &device : deviceClasses()) {
+        std::vector<double> rd_mcc, rd_stm, wr_mcc, wr_stm;
+        for (const auto &name : tracesForDevice(device)) {
+            const mem::Trace trace =
+                workloads::makeDeviceTrace(name, traceLength(), 1);
+            const auto cmp = compareModels(trace);
+            const auto b = [&](const dram::SimulationResult &r,
+                               bool reads) {
+                return static_cast<double>(reads ? r.readBursts()
+                                                 : r.writeBursts());
+            };
+            rd_mcc.push_back(
+                err(b(cmp.mcc, true), b(cmp.baseline, true)));
+            rd_stm.push_back(
+                err(b(cmp.stm, true), b(cmp.baseline, true)));
+            wr_mcc.push_back(
+                err(b(cmp.mcc, false), b(cmp.baseline, false)));
+            wr_stm.push_back(
+                err(b(cmp.stm, false), b(cmp.baseline, false)));
+        }
+        const double g_rd_mcc = util::geometricMean(rd_mcc);
+        const double g_wr_mcc = util::geometricMean(wr_mcc);
+        std::printf("%-8s %11.3f%% %11.3f%% %11.3f%% %11.3f%%\n",
+                    device.c_str(), g_rd_mcc,
+                    util::geometricMean(rd_stm), g_wr_mcc,
+                    util::geometricMean(wr_stm));
+        worst_mcc = std::max({worst_mcc, g_rd_mcc, g_wr_mcc});
+    }
+
+    std::printf("\n");
+    shapeCheck("McC burst-count error stays in single digits "
+               "(paper: <= 7.5%)",
+               worst_mcc <= 10.0);
+    return 0;
+}

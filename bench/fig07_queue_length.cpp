@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig. 7: average read and write queue length per device class for
+ * baseline, 2L-TS (McC) and 2L-TS (STM).
+ *
+ * Expected shape: write queues are much longer than read queues
+ * (write-drain mode batches writes), GPUs have the longest queues
+ * (bursty, large requests), and both models track the baseline.
+ */
+
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace bench;
+    banner("Fig. 7",
+           "Average read and write queue length for each SoC device");
+
+    std::printf("%-8s | %9s %9s %9s | %9s %9s %9s\n", "device",
+                "rdQ-base", "rdQ-McC", "rdQ-STM", "wrQ-base", "wrQ-McC",
+                "wrQ-STM");
+
+    double gpu_wr = 0.0, dpu_wr = 0.0;
+    double all_rd = 0.0, all_wr = 0.0;
+    for (const auto &device : deviceClasses()) {
+        util::RunningStats rd_base, rd_mcc, rd_stm;
+        util::RunningStats wr_base, wr_mcc, wr_stm;
+        for (const auto &name : tracesForDevice(device)) {
+            const mem::Trace trace =
+                workloads::makeDeviceTrace(name, traceLength(), 1);
+            const auto cmp = compareModels(trace);
+            rd_base.add(cmp.baseline.avgReadQueueLength());
+            rd_mcc.add(cmp.mcc.avgReadQueueLength());
+            rd_stm.add(cmp.stm.avgReadQueueLength());
+            wr_base.add(cmp.baseline.avgWriteQueueLength());
+            wr_mcc.add(cmp.mcc.avgWriteQueueLength());
+            wr_stm.add(cmp.stm.avgWriteQueueLength());
+        }
+        std::printf("%-8s | %9.2f %9.2f %9.2f | %9.2f %9.2f %9.2f\n",
+                    device.c_str(), rd_base.mean(), rd_mcc.mean(),
+                    rd_stm.mean(), wr_base.mean(), wr_mcc.mean(),
+                    wr_stm.mean());
+        if (device == "GPU")
+            gpu_wr = wr_base.mean();
+        if (device == "DPU")
+            dpu_wr = wr_base.mean();
+        all_rd += rd_base.mean();
+        all_wr += wr_base.mean();
+    }
+
+    std::printf("\n");
+    shapeCheck("write queues are longer than read queues on average "
+               "(write drain)",
+               all_wr > all_rd);
+    shapeCheck("GPU write queues exceed DPU write queues "
+               "(GPU burstiness)",
+               gpu_wr > dpu_wr);
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 10: total read and write row hits for the FBC-Linear1 and
+ * FBC-Tiled1 DPU workloads, baseline vs 2L-TS (McC) vs 2L-TS (STM).
+ *
+ * Expected shape: both models track read row hits (both capture
+ * strides well), but STM's memoryless operation model degrades write
+ * row hits (paper: >25% error for STM vs <1% for McC on writes).
+ */
+
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace bench;
+    banner("Fig. 10",
+           "Row hits when decompressing frame buffers on the DPU");
+
+    bool mcc_wins_writes = true;
+    for (const char *name : {"FBC-Linear1", "FBC-Tiled1"}) {
+        const mem::Trace trace =
+            workloads::makeDeviceTrace(name, traceLength(), 1);
+        const auto cmp = compareModels(trace);
+
+        std::printf("%s\n", name);
+        std::printf("  %-16s %10s %10s %10s\n", "metric", "baseline",
+                    "McC", "STM");
+        std::printf("  %-16s %10llu %10llu %10llu\n", "read row hits",
+                    static_cast<unsigned long long>(
+                        cmp.baseline.readRowHits()),
+                    static_cast<unsigned long long>(
+                        cmp.mcc.readRowHits()),
+                    static_cast<unsigned long long>(
+                        cmp.stm.readRowHits()));
+        std::printf("  %-16s %10llu %10llu %10llu\n", "write row hits",
+                    static_cast<unsigned long long>(
+                        cmp.baseline.writeRowHits()),
+                    static_cast<unsigned long long>(
+                        cmp.mcc.writeRowHits()),
+                    static_cast<unsigned long long>(
+                        cmp.stm.writeRowHits()));
+
+        const double mcc_err = err(
+            static_cast<double>(cmp.mcc.writeRowHits()),
+            static_cast<double>(cmp.baseline.writeRowHits()));
+        const double stm_err = err(
+            static_cast<double>(cmp.stm.writeRowHits()),
+            static_cast<double>(cmp.baseline.writeRowHits()));
+        std::printf("  write row hit error: McC=%.2f%% STM=%.2f%%\n\n",
+                    mcc_err, stm_err);
+        mcc_wins_writes &= mcc_err <= stm_err + 1.0;
+    }
+
+    shapeCheck("McC write row hits are at least as accurate as STM "
+               "on both DPU workloads",
+               mcc_wins_writes);
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fig. 12: the number of read and write bursts arriving at each bank
+ * of each channel for the FBC-Linear1 DPU workload.
+ *
+ * Expected shape: the synthetic per-bank distribution matches the
+ * baseline, including banks the baseline never writes to staying
+ * (near-)idle — bank conflicts drive DRAM performance.
+ */
+
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace bench;
+    banner("Fig. 12",
+           "Read/write bursts per bank per channel (FBC-Linear1)");
+
+    const mem::Trace trace =
+        workloads::makeDeviceTrace("FBC-Linear1", traceLength(), 1);
+    const auto cmp = compareModels(trace);
+
+    for (const bool reads : {true, false}) {
+        std::printf("%s bursts\n", reads ? "Read" : "Write");
+        for (std::size_t c = 0; c < cmp.baseline.channels.size();
+             ++c) {
+            const auto &pick = [&](const dram::SimulationResult &r)
+                -> const std::vector<std::uint64_t> & {
+                return reads ? r.channels[c].perBankReadBursts
+                             : r.channels[c].perBankWriteBursts;
+            };
+            std::printf("  channel %zu\n", c);
+            std::printf("    %-6s %10s %10s %10s\n", "bank",
+                        "baseline", "McC", "STM");
+            for (std::size_t b = 0; b < pick(cmp.baseline).size();
+                 ++b) {
+                std::printf("    %-6zu %10llu %10llu %10llu\n", b,
+                            static_cast<unsigned long long>(
+                                pick(cmp.baseline)[b]),
+                            static_cast<unsigned long long>(
+                                pick(cmp.mcc)[b]),
+                            static_cast<unsigned long long>(
+                                pick(cmp.stm)[b]));
+            }
+        }
+        std::printf("\n");
+    }
+
+    // Shape checks: totals match and cold banks stay cold-ish.
+    std::uint64_t base_total = 0, mcc_total = 0;
+    std::uint64_t cold_bank_base = 0, cold_bank_mcc = 0;
+    for (std::size_t c = 0; c < cmp.baseline.channels.size(); ++c) {
+        for (std::size_t b = 0;
+             b < cmp.baseline.channels[c].perBankWriteBursts.size();
+             ++b) {
+            const auto base =
+                cmp.baseline.channels[c].perBankWriteBursts[b];
+            const auto mcc =
+                cmp.mcc.channels[c].perBankWriteBursts[b];
+            base_total += base;
+            mcc_total += mcc;
+            if (base == 0) {
+                ++cold_bank_base;
+                cold_bank_mcc += (mcc <= base_total / 100);
+            }
+        }
+    }
+    shapeCheck("total write bursts match within 5%",
+               err(static_cast<double>(mcc_total),
+                   static_cast<double>(base_total)) < 5.0);
+    if (cold_bank_base > 0) {
+        shapeCheck("banks with no baseline writes stay near-idle "
+                   "under McC",
+                   cold_bank_mcc * 2 >= cold_bank_base);
+    }
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Performance microbenchmarks for the core library (google-benchmark):
+ * partitioning, model generation, synthesis, serialisation and the
+ * DRAM substrate. These are throughput numbers, not paper results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/model_generator.hpp"
+#include "core/partition.hpp"
+#include "core/synthesis.hpp"
+#include "dram/simulate.hpp"
+#include "mem/trace_io.hpp"
+#include "workloads/devices.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+
+const mem::Trace &
+sharedTrace()
+{
+    static const mem::Trace trace = workloads::makeHevc(50000, 1, 1);
+    return trace;
+}
+
+const core::Profile &
+sharedProfile()
+{
+    static const core::Profile profile = core::buildProfile(
+        sharedTrace(), core::PartitionConfig::twoLevelTs());
+    return profile;
+}
+
+void
+BM_DynamicSpatialPartitioning(benchmark::State &state)
+{
+    const mem::Trace &trace = sharedTrace();
+    core::IndexList all(trace.size());
+    for (std::uint32_t i = 0; i < trace.size(); ++i)
+        all[i] = i;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::partitionSpatialDynamic(trace, all));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_DynamicSpatialPartitioning);
+
+void
+BM_BuildProfile(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(core::buildProfile(
+            sharedTrace(), core::PartitionConfig::twoLevelTs()));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(sharedTrace().size()));
+}
+BENCHMARK(BM_BuildProfile);
+
+void
+BM_Synthesize(benchmark::State &state)
+{
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::synthesize(sharedProfile(), ++seed));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(sharedProfile().totalRequests()));
+}
+BENCHMARK(BM_Synthesize);
+
+void
+BM_ProfileEncode(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sharedProfile().encodeCompressed());
+}
+BENCHMARK(BM_ProfileEncode);
+
+void
+BM_TraceEncode(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mem::encodeTrace(sharedTrace()));
+}
+BENCHMARK(BM_TraceEncode);
+
+void
+BM_DramSimulation(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dram::simulateTrace(sharedTrace()));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(sharedTrace().size()));
+}
+BENCHMARK(BM_DramSimulation);
+
+} // namespace

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Performance microbenchmarks for the substrates (google-benchmark):
+ * cache simulation, reuse-distance tracking, compression and the
+ * workload generators. Throughput numbers, not paper results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/hrd.hpp"
+#include "baselines/reuse.hpp"
+#include "cache/hierarchy.hpp"
+#include "util/compress.hpp"
+#include "util/rng.hpp"
+#include "workloads/devices.hpp"
+#include "workloads/spec.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+
+const mem::Trace &
+cpuTrace()
+{
+    static const mem::Trace trace =
+        workloads::makeSpecTrace("gcc", 100000, 1);
+    return trace;
+}
+
+void
+BM_CacheHierarchy(benchmark::State &state)
+{
+    for (auto _ : state) {
+        cache::Hierarchy hierarchy{cache::HierarchyConfig{}};
+        hierarchy.run(cpuTrace());
+        benchmark::DoNotOptimize(hierarchy.l1Stats().misses);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(cpuTrace().size()));
+}
+BENCHMARK(BM_CacheHierarchy);
+
+void
+BM_ReuseDistance(benchmark::State &state)
+{
+    for (auto _ : state) {
+        baselines::ReuseDistanceTracker tracker;
+        for (const auto &r : cpuTrace())
+            benchmark::DoNotOptimize(tracker.access(r.addr / 64));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(cpuTrace().size()));
+}
+BENCHMARK(BM_ReuseDistance);
+
+void
+BM_HrdBuild(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(baselines::buildHrd(cpuTrace()));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(cpuTrace().size()));
+}
+BENCHMARK(BM_HrdBuild);
+
+void
+BM_Compress(benchmark::State &state)
+{
+    util::Rng rng(3);
+    std::vector<std::uint8_t> input(1 << 20);
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        // Mildly compressible mixture.
+        input[i] = (i % 3 == 0)
+                       ? static_cast<std::uint8_t>(i)
+                       : static_cast<std::uint8_t>(rng() & 0x0f);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(util::compress(input));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_Compress);
+
+void
+BM_DeviceTraceGeneration(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            workloads::makeTRex(50000, 1, 1).size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 50000);
+}
+BENCHMARK(BM_DeviceTraceGeneration);
+
+} // namespace

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Table II: the trace inventory — name, device and description — plus
+ * summary statistics of each synthetic substitute.
+ */
+
+#include "common.hpp"
+#include "mem/burstiness.hpp"
+#include "mem/trace_stats.hpp"
+
+int
+main()
+{
+    using namespace bench;
+    banner("Table II", "Proprietary traces (synthetic substitutes)");
+
+    std::printf("%-12s %-6s %-50s %8s %7s %7s %8s\n", "Name", "Device",
+                "Description", "requests", "reads%", "bursty",
+                "active%");
+    for (const auto &spec : workloads::deviceTraces()) {
+        const mem::Trace trace = spec.make(traceLength() / 4, 1);
+        const auto stats = mem::computeStats(trace);
+        const auto bursts = mem::analyzeBurstiness(trace, 10000);
+        std::printf("%-12s %-6s %-50s %8zu %6.1f%% %7.2f %7.1f%%\n",
+                    spec.name.c_str(), spec.device.c_str(),
+                    spec.description.c_str(), trace.size(),
+                    100.0 * stats.readFraction(), bursts.coefficient,
+                    100.0 * bursts.activeFraction);
+    }
+
+    std::printf("\n");
+    shapeCheck("18 traces across CPU, DPU, GPU and VPU devices",
+               workloads::deviceTraces().size() == 18);
+    return 0;
+}

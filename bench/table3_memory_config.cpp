@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table III: the memory configuration used by every DRAM experiment.
+ */
+
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace bench;
+    banner("Table III", "Memory configuration");
+
+    const dram::DramConfig c;
+    std::printf("%-38s %s\n", "Parameter", "Value");
+    std::printf("%-38s %u\n", "Number of Channels", c.channels);
+    std::printf("%-38s %u & %u\n",
+                "Ranks per Channel & Banks per Rank", c.ranksPerChannel,
+                c.banksPerRank);
+    std::printf("%-38s %u bytes\n", "Burst Size", c.burstSize);
+    std::printf("%-38s %u & %u bursts\n", "Read & Write Queue Size",
+                c.readQueueCapacity, c.writeQueueCapacity);
+    std::printf("%-38s %.0f%% & %.0f%%\n",
+                "High & Low Write Threshold",
+                100.0 * c.writeHighThreshold,
+                100.0 * c.writeLowThreshold);
+    std::printf("%-38s %s\n", "Scheduling", "FR-FCFS");
+    std::printf("%-38s %s\n", "Page Policy", "open adaptive");
+    std::printf("%-38s RoRaBaChCo\n", "Address Mapping");
+    std::printf("%-38s tRCD=%u tRP=%u tCL=%u tCWL=%u tBURST=%u\n",
+                "Timing (cycles)", c.tRCD, c.tRP, c.tCL, c.tCWL,
+                c.tBURST);
+
+    std::printf("\n");
+    shapeCheck("configuration matches the paper's Table III",
+               c.channels == 4 && c.ranksPerChannel == 1 &&
+                   c.banksPerRank == 8 && c.burstSize == 32 &&
+                   c.readQueueCapacity == 32 &&
+                   c.writeQueueCapacity == 64 &&
+                   c.writeHighThreshold == 0.85 &&
+                   c.writeLowThreshold == 0.50 &&
+                   c.isValid());
+    return 0;
+}

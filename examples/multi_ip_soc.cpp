@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Example: a heterogeneous multi-IP SoC study from profiles alone.
+ *
+ * The paper's Introduction motivates exactly this experiment: several
+ * IP blocks (CPU, GPU, DPU, VPU) place concurrent, very different
+ * demands on a shared memory system, and academia cannot model the
+ * proprietary blocks. Here every IP is a Mocktails profile; we run
+ * each IP alone and then all four together, and report how contention
+ * changes per-IP read latency and the controller's row locality.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/model_generator.hpp"
+#include "core/synthesis.hpp"
+#include "dram/soc.hpp"
+#include "workloads/devices.hpp"
+
+namespace
+{
+
+constexpr std::size_t traceLen = 30000;
+
+void
+printDevice(const mocktails::dram::SocDeviceResult &device)
+{
+    std::printf("  %-18s %8llu req %10.1f rd-lat %8llu delay\n",
+                device.name.c_str(),
+                static_cast<unsigned long long>(device.injected),
+                device.readLatency.mean(),
+                static_cast<unsigned long long>(
+                    device.accumulatedDelay));
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mocktails;
+
+    const std::vector<std::string> names = {"CPU-G", "FBC-Linear1",
+                                            "T-Rex1", "HEVC1"};
+
+    // Industry side: one profile per IP block.
+    std::vector<core::Profile> profiles;
+    for (const auto &name : names) {
+        profiles.push_back(core::buildProfile(
+            workloads::makeDeviceTrace(name, traceLen, 1),
+            core::PartitionConfig::twoLevelTs()));
+    }
+
+    // Academia side, experiment 1: each IP alone.
+    std::printf("each IP alone:\n");
+    std::vector<double> solo_latency;
+    for (const auto &profile : profiles) {
+        core::SynthesisEngine engine(profile, 11);
+        const auto result = dram::simulateSoc(
+            {{profile.name, &engine}});
+        printDevice(result.devices[0]);
+        solo_latency.push_back(result.devices[0].readLatency.mean());
+    }
+
+    // Experiment 2: all four IPs share the memory system.
+    std::printf("\nall IPs together:\n");
+    std::vector<std::unique_ptr<core::SynthesisEngine>> engines;
+    std::vector<dram::SocDevice> devices;
+    for (const auto &profile : profiles) {
+        engines.push_back(
+            std::make_unique<core::SynthesisEngine>(profile, 11));
+        devices.push_back({profile.name, engines.back().get()});
+    }
+    const auto shared = dram::simulateSoc(devices);
+    for (const auto &device : shared.devices)
+        printDevice(device);
+
+    std::printf("\ninterference (shared / alone read latency):\n");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const double shared_latency =
+            shared.devices[i].readLatency.mean();
+        std::printf("  %-18s %.2fx\n", names[i].c_str(),
+                    solo_latency[i] > 0.0
+                        ? shared_latency / solo_latency[i]
+                        : 0.0);
+    }
+
+    const double rd_hit_rate =
+        shared.readBursts() == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(shared.readRowHits()) /
+                  static_cast<double>(shared.readBursts());
+    std::printf("\nshared-system read row-hit rate: %.1f%%\n",
+                rd_hit_rate);
+
+    // Experiment 3: funnel all IPs through one arbitrated link (the
+    // non-coherent interconnect topology) instead of private ports.
+    std::printf("\nall IPs behind one round-robin link:\n");
+    std::vector<std::unique_ptr<core::SynthesisEngine>> engines2;
+    std::vector<dram::SocDevice> devices2;
+    for (const auto &profile : profiles) {
+        engines2.push_back(
+            std::make_unique<core::SynthesisEngine>(profile, 11));
+        devices2.push_back({profile.name, engines2.back().get()});
+    }
+    dram::SocConfig link_config;
+    link_config.sharedLink = true;
+    link_config.arbiter.linkLatency = 4;
+    const auto linked = dram::simulateSoc(devices2, link_config);
+    for (std::size_t i = 0; i < linked.devices.size(); ++i) {
+        printDevice(linked.devices[i]);
+        std::printf("    link grants: %llu\n",
+                    static_cast<unsigned long long>(
+                        linked.linkGrants[i]));
+    }
+
+    // Experiment 4: give the display pipeline (FBC-Linear1, index 1)
+    // strict link priority, as a real SoC would to avoid underflow.
+    std::printf("\nshared link with display priority:\n");
+    std::vector<std::unique_ptr<core::SynthesisEngine>> engines3;
+    std::vector<dram::SocDevice> devices3;
+    for (const auto &profile : profiles) {
+        engines3.push_back(
+            std::make_unique<core::SynthesisEngine>(profile, 11));
+        devices3.push_back({profile.name, engines3.back().get()});
+    }
+    dram::SocConfig qos_config = link_config;
+    qos_config.arbiter.priorities = {1, 0, 1, 1}; // DPU urgent
+    const auto qos = dram::simulateSoc(devices3, qos_config);
+    for (const auto &device : qos.devices)
+        printDevice(device);
+    std::printf("  (DPU read latency: %.1f with priority vs %.1f "
+                "without)\n",
+                qos.devices[1].readLatency.mean(),
+                linked.devices[1].readLatency.mean());
+
+    std::printf("\n(every IP above is a statistical profile -- no "
+                "proprietary trace required)\n");
+    return 0;
+}

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * profile_tool: a small CLI around the Mocktails pipeline.
+ *
+ * Commands:
+ *   generate <workload> <requests> <trace.mkt>   synthesise a workload
+ *   profile  <trace.mkt> <profile.mkp> [cycles]  trace -> profile
+ *   synth    <profile.mkp> <out.mkt> [seed]      profile -> trace
+ *   info     <file.mkt|file.mkp>                 describe a file
+ *   export   <trace.mkt> <out.csv|.ram|.ds3>     convert a trace
+ *   simulate <file.mkt|file.mkp>                 run the DRAM model
+ *   compare  <a.mkt|a.mkp> <b.mkt|b.mkp>         DRAM metrics, side by
+ *                                                side with % error
+ *
+ * This is the command-line face of paper Fig. 1: `profile` is what
+ * industry runs; `synth`, `simulate` and `compare` are what academia
+ * runs.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/model_generator.hpp"
+#include "core/summary.hpp"
+#include "core/synthesis.hpp"
+#include "dram/simulate.hpp"
+#include "dram/stats_dump.hpp"
+#include "validation/validate.hpp"
+#include "mem/interop.hpp"
+#include "mem/trace_io.hpp"
+#include "mem/trace_stats.hpp"
+#include "util/stats.hpp"
+#include "workloads/devices.hpp"
+#include "workloads/spec.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: profile_tool <command> [args]\n"
+        "  generate <workload> <requests> <trace.mkt>\n"
+        "  profile  <trace.mkt> <profile.mkp> [cycles_per_phase]\n"
+        "  synth    <profile.mkp> <out.mkt> [seed]\n"
+        "  info     <file.mkt|file.mkp>\n"
+        "  export   <trace.mkt> <out.csv|out.ram|out.ds3>\n"
+        "  simulate <file.mkt|file.mkp> [--gem5-stats]\n"
+        "  compare  <a.mkt|a.mkp> <b.mkt|b.mkp>\n"
+        "  validate <trace.mkt> <profile.mkp>\n"
+        "workloads: Table II names (e.g. HEVC1, T-Rex1, FBC-Linear1)\n"
+        "           or SPEC names (e.g. gobmk, libquantum)\n");
+    return 2;
+}
+
+mem::Trace
+makeWorkload(const std::string &name, std::size_t requests)
+{
+    for (const auto &spec : workloads::deviceTraces()) {
+        if (spec.name == name)
+            return spec.make(requests, 1);
+    }
+    return workloads::makeSpecTrace(name, requests, 1);
+}
+
+int
+cmdGenerate(const std::string &name, std::size_t requests,
+            const std::string &path)
+{
+    const mem::Trace trace = makeWorkload(name, requests);
+    if (!mem::saveTrace(trace, path)) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("wrote %zu requests to %s\n", trace.size(),
+                path.c_str());
+    return 0;
+}
+
+int
+cmdProfile(const std::string &in, const std::string &out,
+           std::uint64_t cycles)
+{
+    mem::Trace trace;
+    if (!mem::loadTrace(in, trace)) {
+        std::fprintf(stderr, "error: cannot read %s\n", in.c_str());
+        return 1;
+    }
+    const core::Profile profile = core::buildProfile(
+        trace, core::PartitionConfig::twoLevelTs(cycles));
+    if (!core::saveProfile(profile, out)) {
+        std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+        return 1;
+    }
+    std::printf("profiled %zu requests into %zu leaves (%s)\n",
+                trace.size(), profile.leaves.size(),
+                profile.config.describe().c_str());
+    return 0;
+}
+
+int
+cmdSynth(const std::string &in, const std::string &out,
+         std::uint64_t seed)
+{
+    core::Profile profile;
+    if (!core::loadProfile(in, profile)) {
+        std::fprintf(stderr, "error: cannot read %s\n", in.c_str());
+        return 1;
+    }
+    const mem::Trace synth = core::synthesize(profile, seed);
+    if (!mem::saveTrace(synth, out)) {
+        std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+        return 1;
+    }
+    std::printf("synthesised %zu requests to %s\n", synth.size(),
+                out.c_str());
+    return 0;
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    mem::Trace trace;
+    if (mem::loadTrace(path, trace)) {
+        const auto s = mem::computeStats(trace);
+        std::printf("trace %s (device %s)\n", trace.name().c_str(),
+                    trace.device().c_str());
+        std::printf("  requests: %llu (%llu R / %llu W)\n",
+                    static_cast<unsigned long long>(s.requests),
+                    static_cast<unsigned long long>(s.reads),
+                    static_cast<unsigned long long>(s.writes));
+        std::printf("  bytes:    %llu read, %llu written\n",
+                    static_cast<unsigned long long>(s.bytesRead),
+                    static_cast<unsigned long long>(s.bytesWritten));
+        std::printf("  address:  [0x%llx, 0x%llx), %llu 4K pages\n",
+                    static_cast<unsigned long long>(s.minAddr),
+                    static_cast<unsigned long long>(s.maxAddr),
+                    static_cast<unsigned long long>(s.touched4k));
+        std::printf("  time:     ticks %llu..%llu\n",
+                    static_cast<unsigned long long>(s.firstTick),
+                    static_cast<unsigned long long>(s.lastTick));
+        return 0;
+    }
+    core::Profile profile;
+    if (core::loadProfile(path, profile)) {
+        const core::ProfileSummary s = core::summarize(profile);
+        std::printf("profile %s (device %s)\n", profile.name.c_str(),
+                    profile.device.c_str());
+        std::printf("  hierarchy: %s\n",
+                    profile.config.describe().c_str());
+        std::printf("  leaves:    %llu (%llu singletons)\n",
+                    static_cast<unsigned long long>(s.leaves),
+                    static_cast<unsigned long long>(
+                        s.singletonLeaves));
+        std::printf("  requests:  %llu\n",
+                    static_cast<unsigned long long>(s.requests));
+        std::printf("  size:      %llu bytes compressed\n",
+                    static_cast<unsigned long long>(
+                        s.compressedBytes));
+        std::printf("  models:    %.0f%% constants\n",
+                    100.0 * s.constantFraction());
+        const auto print_census = [](const char *feature,
+                                     const core::FeatureCensus &c) {
+            std::printf("  %-9s  %llu const, %llu markov "
+                        "(%llu states), %llu other\n",
+                        feature,
+                        static_cast<unsigned long long>(c.constant),
+                        static_cast<unsigned long long>(c.markov),
+                        static_cast<unsigned long long>(
+                            c.markovStates),
+                        static_cast<unsigned long long>(c.other));
+        };
+        print_census("deltaTime", s.deltaTime);
+        print_census("stride", s.stride);
+        print_census("op", s.op);
+        print_census("size", s.size);
+        return 0;
+    }
+    std::fprintf(stderr, "error: %s is neither a trace nor a profile\n",
+                 path.c_str());
+    return 1;
+}
+
+int
+cmdExport(const std::string &in, const std::string &out)
+{
+    mem::Trace trace;
+    if (!mem::loadTrace(in, trace)) {
+        std::fprintf(stderr, "error: cannot read %s\n", in.c_str());
+        return 1;
+    }
+
+    // Choose the output format by extension: .ram -> ramulator,
+    // .ds3 -> DRAMsim3, anything else -> CSV.
+    bool ok;
+    const auto ends_with = [&](const char *suffix) {
+        const std::size_t n = std::strlen(suffix);
+        return out.size() >= n &&
+               out.compare(out.size() - n, n, suffix) == 0;
+    };
+    if (ends_with(".ram"))
+        ok = mem::saveRamulatorTrace(trace, out);
+    else if (ends_with(".ds3"))
+        ok = mem::saveDramsim3Trace(trace, out);
+    else
+        ok = mem::saveTraceCsv(trace, out);
+
+    if (!ok) {
+        std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+        return 1;
+    }
+    std::printf("exported %zu requests to %s\n", trace.size(),
+                out.c_str());
+    return 0;
+}
+
+/** Load a trace directly, or synthesise one from a profile file. */
+bool
+loadAnyAsTrace(const std::string &path, mem::Trace &trace)
+{
+    if (mem::loadTrace(path, trace))
+        return true;
+    core::Profile profile;
+    if (core::loadProfile(path, profile)) {
+        trace = core::synthesize(profile, 1);
+        return true;
+    }
+    return false;
+}
+
+void
+printDramMetrics(const char *label, const dram::SimulationResult &r)
+{
+    std::printf("%s\n", label);
+    std::printf("  %-22s %llu / %llu\n", "read/write bursts",
+                static_cast<unsigned long long>(r.readBursts()),
+                static_cast<unsigned long long>(r.writeBursts()));
+    std::printf("  %-22s %llu / %llu\n", "read/write row hits",
+                static_cast<unsigned long long>(r.readRowHits()),
+                static_cast<unsigned long long>(r.writeRowHits()));
+    std::printf("  %-22s %.2f / %.2f\n", "avg rd/wr queue len",
+                r.avgReadQueueLength(), r.avgWriteQueueLength());
+    std::printf("  %-22s %.1f cycles\n", "avg read latency",
+                r.avgReadLatency());
+}
+
+int
+cmdValidate(const std::string &trace_path,
+            const std::string &profile_path)
+{
+    mem::Trace trace;
+    if (!mem::loadTrace(trace_path, trace)) {
+        std::fprintf(stderr, "error: cannot read %s\n",
+                     trace_path.c_str());
+        return 1;
+    }
+    core::Profile profile;
+    if (!core::loadProfile(profile_path, profile)) {
+        std::fprintf(stderr, "error: cannot read %s\n",
+                     profile_path.c_str());
+        return 1;
+    }
+    const auto report = validation::validateProfile(trace, profile);
+    std::fputs(validation::formatReport(report).c_str(), stdout);
+    return report.passed ? 0 : 3;
+}
+
+int
+cmdSimulate(const std::string &path, bool gem5_style)
+{
+    mem::Trace trace;
+    if (!loadAnyAsTrace(path, trace)) {
+        std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+        return 1;
+    }
+    const auto result = dram::simulateTrace(trace);
+    if (gem5_style)
+        std::fputs(dram::dumpStats(result).c_str(), stdout);
+    else
+        printDramMetrics(path.c_str(), result);
+    return 0;
+}
+
+int
+cmdCompare(const std::string &path_a, const std::string &path_b)
+{
+    mem::Trace a, b;
+    if (!loadAnyAsTrace(path_a, a) || !loadAnyAsTrace(path_b, b)) {
+        std::fprintf(stderr, "error: cannot read inputs\n");
+        return 1;
+    }
+    const auto ra = dram::simulateTrace(a);
+    const auto rb = dram::simulateTrace(b);
+
+    const auto row = [](const char *metric, double va, double vb) {
+        std::printf("%-22s %14.1f %14.1f %9.2f%%\n", metric, va, vb,
+                    mocktails::util::percentError(vb, va));
+    };
+    std::printf("%-22s %14s %14s %10s\n", "metric", "A", "B", "err");
+    row("read bursts", static_cast<double>(ra.readBursts()),
+        static_cast<double>(rb.readBursts()));
+    row("write bursts", static_cast<double>(ra.writeBursts()),
+        static_cast<double>(rb.writeBursts()));
+    row("read row hits", static_cast<double>(ra.readRowHits()),
+        static_cast<double>(rb.readRowHits()));
+    row("write row hits", static_cast<double>(ra.writeRowHits()),
+        static_cast<double>(rb.writeRowHits()));
+    row("avg rd queue", ra.avgReadQueueLength(),
+        rb.avgReadQueueLength());
+    row("avg wr queue", ra.avgWriteQueueLength(),
+        rb.avgWriteQueueLength());
+    row("avg rd latency", ra.avgReadLatency(), rb.avgReadLatency());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+
+    if (command == "generate" && argc == 5) {
+        return cmdGenerate(argv[2],
+                           static_cast<std::size_t>(
+                               std::strtoull(argv[3], nullptr, 10)),
+                           argv[4]);
+    }
+    if (command == "profile" && (argc == 4 || argc == 5)) {
+        const std::uint64_t cycles =
+            argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 500000;
+        return cmdProfile(argv[2], argv[3], cycles);
+    }
+    if (command == "synth" && (argc == 4 || argc == 5)) {
+        const std::uint64_t seed =
+            argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 1;
+        return cmdSynth(argv[2], argv[3], seed);
+    }
+    if (command == "info" && argc == 3)
+        return cmdInfo(argv[2]);
+    if (command == "export" && argc == 4)
+        return cmdExport(argv[2], argv[3]);
+    if (command == "simulate" && (argc == 3 || argc == 4)) {
+        const bool gem5_style =
+            argc == 4 && std::strcmp(argv[3], "--gem5-stats") == 0;
+        return cmdSimulate(argv[2], gem5_style);
+    }
+    if (command == "compare" && argc == 4)
+        return cmdCompare(argv[2], argv[3]);
+    if (command == "validate" && argc == 4)
+        return cmdValidate(argv[2], argv[3]);
+    return usage();
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Example: an SoC memory-controller design study with Mocktails.
+ *
+ * This is the use case the paper motivates (Sec. VI): an architect
+ * without access to proprietary IP explores memory-controller policies
+ * using synthetic traffic from Mocktails profiles. We sweep the page
+ * policy and scheduling policy across one workload per device class
+ * and report row-hit rates and read latency per configuration — the
+ * kind of table a real study would produce, generated entirely from
+ * profiles rather than raw traces.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/model_generator.hpp"
+#include "core/synthesis.hpp"
+#include "dram/simulate.hpp"
+#include "workloads/devices.hpp"
+
+namespace
+{
+
+constexpr std::size_t traceLen = 40000;
+
+const char *
+policyName(mocktails::dram::PagePolicy policy)
+{
+    using mocktails::dram::PagePolicy;
+    switch (policy) {
+      case PagePolicy::Open:
+        return "open";
+      case PagePolicy::OpenAdaptive:
+        return "open-adaptive";
+      case PagePolicy::Closed:
+        return "closed";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mocktails;
+
+    // One representative workload per device class.
+    const std::vector<std::string> names = {"CPU-G", "FBC-Tiled1",
+                                            "T-Rex1", "HEVC1"};
+
+    // Industry side: build one profile per workload.
+    std::vector<core::Profile> profiles;
+    for (const auto &name : names) {
+        const mem::Trace trace =
+            workloads::makeDeviceTrace(name, traceLen, 1);
+        profiles.push_back(core::buildProfile(
+            trace, core::PartitionConfig::twoLevelTs()));
+    }
+
+    // Academia side: sweep controller policies using only profiles.
+    std::printf("%-12s %-14s %-8s %9s %9s %10s\n", "workload",
+                "page-policy", "sched", "rdHit%", "wrHit%",
+                "rdLatency");
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        for (const auto page :
+             {dram::PagePolicy::Open, dram::PagePolicy::OpenAdaptive,
+              dram::PagePolicy::Closed}) {
+            for (const auto sched :
+                 {dram::Scheduling::FrFcfs, dram::Scheduling::Fcfs}) {
+                dram::DramConfig config;
+                config.pagePolicy = page;
+                config.scheduling = sched;
+
+                core::SynthesisEngine engine(profiles[i], 7);
+                const auto result =
+                    dram::simulateSource(engine, config);
+
+                const double rd_hit =
+                    result.readBursts() == 0
+                        ? 0.0
+                        : 100.0 *
+                              static_cast<double>(
+                                  result.readRowHits()) /
+                              static_cast<double>(result.readBursts());
+                const double wr_hit =
+                    result.writeBursts() == 0
+                        ? 0.0
+                        : 100.0 *
+                              static_cast<double>(
+                                  result.writeRowHits()) /
+                              static_cast<double>(
+                                  result.writeBursts());
+                std::printf("%-12s %-14s %-8s %8.1f%% %8.1f%% %10.1f\n",
+                            names[i].c_str(), policyName(page),
+                            sched == dram::Scheduling::FrFcfs
+                                ? "fr-fcfs"
+                                : "fcfs",
+                            rd_hit, wr_hit, result.avgReadLatency());
+            }
+        }
+    }
+
+    std::printf("\nNote: every row above was produced from a profile "
+                "alone -- no trace left the 'industry' side.\n");
+    return 0;
+}

@@ -1,0 +1,238 @@
+#include "baselines/hrd.hpp"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "baselines/reuse.hpp"
+
+namespace mocktails::baselines
+{
+
+std::uint64_t
+HrdProfile::metadataBytes() const
+{
+    // Two histograms plus the size distribution and the four operation
+    // counters; ~12 bytes per (value, count) bin when varint-encoded.
+    return 12 * (reuseFine.size() + reuseCoarse.size() +
+                 sizeCounts.size()) +
+           4 * 8 + 16;
+}
+
+HrdProfile
+buildHrd(const mem::Trace &trace, const HrdConfig &config)
+{
+    HrdProfile profile;
+    profile.config = config;
+    profile.requests = trace.size();
+
+    ReuseDistanceTracker fine;
+    ReuseDistanceTracker coarse;
+    std::unordered_set<std::uint64_t> dirty;
+
+    for (const mem::Request &r : trace) {
+        const std::uint64_t fine_key = r.addr / config.fineBlock;
+        const std::uint64_t coarse_key = r.addr / config.coarseBlock;
+
+        const std::int64_t d_fine = fine.access(fine_key);
+        const std::int64_t d_coarse = coarse.access(coarse_key);
+        ++profile.reuseFine[d_fine];
+        if (d_fine == reuseInfinite)
+            ++profile.reuseCoarse[d_coarse];
+
+        const bool is_dirty = dirty.count(fine_key) != 0;
+        if (r.isWrite()) {
+            if (is_dirty)
+                ++profile.dirtyWrites;
+            else
+                ++profile.cleanWrites;
+            dirty.insert(fine_key);
+        } else {
+            if (is_dirty)
+                ++profile.dirtyReads;
+            else
+                ++profile.cleanReads;
+        }
+
+        ++profile.sizeCounts[static_cast<std::int64_t>(r.size)];
+    }
+    return profile;
+}
+
+namespace
+{
+
+/** Draw a key from a count map under strict convergence. */
+std::int64_t
+drawConverging(std::map<std::int64_t, std::uint64_t> &counts,
+               std::uint64_t &total, util::Rng &rng)
+{
+    assert(total > 0);
+    std::uint64_t target = rng.below(total);
+    for (auto &[value, count] : counts) {
+        if (target < count) {
+            --count;
+            --total;
+            return value;
+        }
+        target -= count;
+    }
+    // Unreachable with a consistent total.
+    assert(false);
+    return counts.begin()->first;
+}
+
+/** An LRU stack with positional access (index 0 = most recent). */
+class LruStack
+{
+  public:
+    std::size_t size() const { return entries_.size(); }
+
+    std::uint64_t at(std::size_t depth) const { return entries_[depth]; }
+
+    /** Move the entry at @p depth to the top. */
+    void
+    touch(std::size_t depth)
+    {
+        const std::uint64_t value = entries_[depth];
+        entries_.erase(entries_.begin() +
+                       static_cast<std::ptrdiff_t>(depth));
+        entries_.push_front(value);
+    }
+
+    /** Move @p value to the top, inserting it if absent (O(n)). */
+    void
+    promote(std::uint64_t value)
+    {
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            if (entries_[i] == value) {
+                touch(i);
+                return;
+            }
+        }
+        entries_.push_front(value);
+    }
+
+    void push(std::uint64_t value) { entries_.push_front(value); }
+
+  private:
+    std::deque<std::uint64_t> entries_;
+};
+
+} // namespace
+
+mem::Trace
+synthesizeHrd(const HrdProfile &profile, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    mem::Trace out("hrd-synth", "CPU");
+    out.requests().reserve(profile.requests);
+
+    const std::uint64_t blocks_per_region =
+        profile.config.coarseBlock / profile.config.fineBlock;
+
+    // Mutable copies of the histograms (strict convergence).
+    auto reuse_fine = profile.reuseFine;
+    auto reuse_coarse = profile.reuseCoarse;
+    auto size_counts = profile.sizeCounts;
+    std::uint64_t fine_total = 0, coarse_total = 0, size_total = 0;
+    for (const auto &[v, c] : reuse_fine)
+        fine_total += c;
+    for (const auto &[v, c] : reuse_coarse)
+        coarse_total += c;
+    for (const auto &[v, c] : size_counts)
+        size_total += c;
+
+    // Operation budgets by block state.
+    std::uint64_t clean_reads = profile.cleanReads;
+    std::uint64_t clean_writes = profile.cleanWrites;
+    std::uint64_t dirty_reads = profile.dirtyReads;
+    std::uint64_t dirty_writes = profile.dirtyWrites;
+
+    LruStack fine_stack;   // fine block numbers
+    LruStack coarse_stack; // region numbers
+    std::unordered_map<std::uint64_t, std::uint64_t> region_fill;
+    std::unordered_set<std::uint64_t> dirty;
+    std::uint64_t fresh_region = 0x40000; // synthetic address space base
+
+    for (std::uint64_t i = 0; i < profile.requests; ++i) {
+        assert(fine_total > 0);
+        const std::int64_t d_fine =
+            drawConverging(reuse_fine, fine_total, rng);
+
+        std::uint64_t block;
+        if (d_fine != reuseInfinite && fine_stack.size() > 0) {
+            // Clamp distances that exceed the current stack depth.
+            const std::size_t depth =
+                std::min(static_cast<std::size_t>(d_fine),
+                         fine_stack.size() - 1);
+            block = fine_stack.at(depth);
+            fine_stack.touch(depth);
+            coarse_stack.promote(block / blocks_per_region);
+        } else {
+            // Cold fine access: place it via the coarse model.
+            std::uint64_t region;
+            std::int64_t d_coarse = reuseInfinite;
+            if (coarse_total > 0)
+                d_coarse = drawConverging(reuse_coarse, coarse_total,
+                                          rng);
+            if (d_coarse != reuseInfinite && coarse_stack.size() > 0) {
+                const std::size_t depth =
+                    std::min(static_cast<std::size_t>(d_coarse),
+                             coarse_stack.size() - 1);
+                region = coarse_stack.at(depth);
+                coarse_stack.touch(depth);
+            } else {
+                region = fresh_region++;
+                coarse_stack.push(region);
+            }
+
+            // A cold fine access must touch a brand-new block so the
+            // footprint is preserved; when the sampled region has no
+            // untouched block left, spill into a fresh region.
+            if (region_fill[region] >= blocks_per_region) {
+                region = fresh_region++;
+                coarse_stack.push(region);
+            }
+            std::uint64_t &fill = region_fill[region];
+            block = region * blocks_per_region + fill++;
+            fine_stack.push(block);
+        }
+
+        // Operation via the clean/dirty state model.
+        const bool is_dirty = dirty.count(block) != 0;
+        std::uint64_t &reads = is_dirty ? dirty_reads : clean_reads;
+        std::uint64_t &writes = is_dirty ? dirty_writes : clean_writes;
+        bool write;
+        if (reads + writes > 0) {
+            write = rng.below(reads + writes) >= reads;
+        } else {
+            // State budget exhausted; draw from the combined budget.
+            const std::uint64_t r = clean_reads + dirty_reads;
+            const std::uint64_t w = clean_writes + dirty_writes;
+            write = (r + w == 0) ? false : rng.below(r + w) >= r;
+        }
+        if (write) {
+            if (writes > 0)
+                --writes;
+            else if (clean_writes + dirty_writes > 0)
+                --(clean_writes > 0 ? clean_writes : dirty_writes);
+            dirty.insert(block);
+        } else if (reads > 0) {
+            --reads;
+        } else if (clean_reads + dirty_reads > 0) {
+            --(clean_reads > 0 ? clean_reads : dirty_reads);
+        }
+
+        const auto size = static_cast<std::uint32_t>(
+            size_total > 0 ? drawConverging(size_counts, size_total, rng)
+                           : 1);
+
+        out.add(i, block * profile.config.fineBlock, size,
+                write ? mem::Op::Write : mem::Op::Read);
+    }
+    return out;
+}
+
+} // namespace mocktails::baselines

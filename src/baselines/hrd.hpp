@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The HRD baseline (Maeda et al., HPCA 2017).
+ *
+ * Hierarchical Reuse Distance models a CPU access stream with reuse-
+ * distance histograms at two block granularities — 64 B first and,
+ * for cold 64 B misses, 4 KiB — plus a multi-state operation model
+ * with explicit clean/dirty states. No temporal phase partitioning is
+ * applied (paper Sec. V-A). Synthesis replays the histograms against
+ * synthetic LRU stacks to produce an address stream with matching
+ * temporal locality.
+ */
+
+#ifndef MOCKTAILS_BASELINES_HRD_HPP
+#define MOCKTAILS_BASELINES_HRD_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mem/trace.hpp"
+#include "util/rng.hpp"
+
+namespace mocktails::baselines
+{
+
+/**
+ * HRD model parameters.
+ */
+struct HrdConfig
+{
+    std::uint32_t fineBlock = 64;     ///< fine granularity (bytes)
+    std::uint32_t coarseBlock = 4096; ///< coarse granularity (bytes)
+};
+
+/**
+ * The fitted HRD model.
+ */
+struct HrdProfile
+{
+    HrdConfig config;
+    std::uint64_t requests = 0;
+
+    /// Reuse-distance histograms; key reuseInfinite = cold access.
+    std::map<std::int64_t, std::uint64_t> reuseFine;
+    std::map<std::int64_t, std::uint64_t> reuseCoarse;
+
+    /// Operation model: counts by (block state, operation).
+    std::uint64_t cleanReads = 0;
+    std::uint64_t cleanWrites = 0;
+    std::uint64_t dirtyReads = 0;
+    std::uint64_t dirtyWrites = 0;
+
+    /// Request size distribution (value -> count).
+    std::map<std::int64_t, std::uint64_t> sizeCounts;
+
+    /** Approximate in-memory metadata footprint, in bytes. */
+    std::uint64_t metadataBytes() const;
+};
+
+/** Fit an HRD profile to a trace. */
+HrdProfile buildHrd(const mem::Trace &trace,
+                    const HrdConfig &config = HrdConfig{});
+
+/**
+ * Synthesise a trace from an HRD profile. Ticks are sequence numbers
+ * (HRD targets atomic/order-only simulation).
+ */
+mem::Trace synthesizeHrd(const HrdProfile &profile,
+                         std::uint64_t seed = 1);
+
+} // namespace mocktails::baselines
+
+#endif // MOCKTAILS_BASELINES_HRD_HPP

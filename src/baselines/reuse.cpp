@@ -1,0 +1,66 @@
+#include "baselines/reuse.hpp"
+
+namespace mocktails::baselines
+{
+
+void
+ReuseDistanceTracker::bitAdd(std::size_t pos, std::int64_t delta)
+{
+    for (std::size_t i = pos + 1; i <= tree_.size(); i += i & (~i + 1))
+        tree_[i - 1] += delta;
+}
+
+std::int64_t
+ReuseDistanceTracker::bitSum(std::size_t pos) const
+{
+    std::int64_t sum = 0;
+    for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1))
+        sum += tree_[i - 1];
+    return sum;
+}
+
+std::int64_t
+ReuseDistanceTracker::access(std::uint64_t key)
+{
+    // Grow the tree lazily; doubling keeps prefix sums valid because
+    // new slots are zero.
+    if (time_ >= tree_.size()) {
+        std::vector<std::int64_t> bigger(
+            std::max<std::size_t>(1024, tree_.size() * 2), 0);
+        // Rebuild: re-insert the current marks.
+        std::vector<std::int64_t> old = std::move(tree_);
+        tree_ = std::move(bigger);
+        for (const auto &[k, t] : last_access_) {
+            (void)k;
+            bitAdd(t, 1);
+        }
+        (void)old;
+    }
+
+    std::int64_t distance = reuseInfinite;
+    const auto it = last_access_.find(key);
+    if (it != last_access_.end()) {
+        // Unique keys touched after the previous access = marks in
+        // (prev, now).
+        distance = bitSum(time_ - 1) - bitSum(it->second);
+        bitAdd(it->second, -1);
+    }
+
+    bitAdd(time_, 1);
+    last_access_[key] = time_;
+    ++time_;
+    return distance;
+}
+
+std::vector<std::int64_t>
+reuseDistances(const std::vector<std::uint64_t> &keys)
+{
+    ReuseDistanceTracker tracker;
+    std::vector<std::int64_t> out;
+    out.reserve(keys.size());
+    for (const std::uint64_t key : keys)
+        out.push_back(tracker.access(key));
+    return out;
+}
+
+} // namespace mocktails::baselines

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * LRU reuse (stack) distance computation.
+ *
+ * Reuse distance — the number of *unique* addresses referenced between
+ * consecutive accesses to the same address (Bennett & Kruskal; Mattson
+ * et al.) — underlies the HRD baseline. The computation uses the
+ * classic Fenwick-tree formulation and runs in O(n log n).
+ */
+
+#ifndef MOCKTAILS_BASELINES_REUSE_HPP
+#define MOCKTAILS_BASELINES_REUSE_HPP
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace mocktails::baselines
+{
+
+/** Reuse distance reported for a first-touch (cold) access. */
+constexpr std::int64_t reuseInfinite = -1;
+
+/**
+ * Streaming reuse-distance calculator over an arbitrary key space.
+ */
+class ReuseDistanceTracker
+{
+  public:
+    /**
+     * Record an access to @p key.
+     * @return The LRU stack distance (unique keys since the previous
+     *         access to @p key), or reuseInfinite on first touch.
+     */
+    std::int64_t access(std::uint64_t key);
+
+    /** Number of distinct keys seen. */
+    std::size_t uniqueKeys() const { return last_access_.size(); }
+
+  private:
+    void bitAdd(std::size_t pos, std::int64_t delta);
+    std::int64_t bitSum(std::size_t pos) const;
+
+    // Fenwick tree over access timestamps; a 1 marks the most recent
+    // access of some key.
+    std::vector<std::int64_t> tree_;
+    std::unordered_map<std::uint64_t, std::size_t> last_access_;
+    std::size_t time_ = 0;
+};
+
+/**
+ * Compute the full reuse-distance sequence of a key sequence.
+ */
+std::vector<std::int64_t>
+reuseDistances(const std::vector<std::uint64_t> &keys);
+
+} // namespace mocktails::baselines
+
+#endif // MOCKTAILS_BASELINES_REUSE_HPP

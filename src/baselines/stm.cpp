@@ -1,0 +1,366 @@
+#include "baselines/stm.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/profile.hpp"
+
+namespace mocktails::baselines
+{
+
+namespace
+{
+
+/** Sampler for StmOpModel: memoryless draws from the remaining
+ *  read/write budget. */
+class StmOpSampler : public core::FeatureSampler
+{
+  public:
+    StmOpSampler(std::uint64_t reads, std::uint64_t writes,
+                 util::Rng &rng)
+        : reads_(reads), writes_(writes), rng_(&rng)
+    {}
+
+    std::int64_t
+    next() override
+    {
+        assert(reads_ + writes_ > 0);
+        const std::uint64_t pick = rng_->below(reads_ + writes_);
+        if (pick < reads_) {
+            --reads_;
+            return 0; // read
+        }
+        --writes_;
+        return 1; // write
+    }
+
+  private:
+    std::uint64_t reads_;
+    std::uint64_t writes_;
+    util::Rng *rng_;
+};
+
+} // namespace
+
+std::unique_ptr<core::FeatureSampler>
+StmOpModel::makeSampler(util::Rng &rng) const
+{
+    return std::make_unique<StmOpSampler>(reads_, writes_, rng);
+}
+
+void
+StmOpModel::encodePayload(util::ByteWriter &writer) const
+{
+    writer.putVarint(reads_);
+    writer.putVarint(writes_);
+}
+
+core::FeatureModelPtr
+StmOpModel::decodePayload(util::ByteReader &reader)
+{
+    const std::uint64_t reads = reader.getVarint();
+    const std::uint64_t writes = reader.getVarint();
+    if (!reader.ok())
+        return nullptr;
+    return std::make_unique<StmOpModel>(reads, writes);
+}
+
+StmStrideModel::StmStrideModel(const std::vector<std::int64_t> &strides,
+                               const StmConfig &config)
+    : initial_(strides.front()), config_(config)
+{
+    assert(!strides.empty());
+
+    // Global stride counts (also the strict-convergence budget).
+    std::map<std::int64_t, std::uint64_t> global_counts;
+    for (const std::int64_t s : strides)
+        ++global_counts[s];
+    for (const auto &[value, count] : global_counts)
+        global_.emplace_back(value, count);
+
+    // Pattern table rows keyed by the (up to maxHistory) preceding
+    // strides.
+    std::map<History, std::map<std::int64_t, std::uint64_t>> counts;
+    History history;
+    for (std::size_t i = 0; i < strides.size(); ++i) {
+        if (!history.empty())
+            ++counts[history][strides[i]];
+        history.push_back(strides[i]);
+        if (history.size() > config_.maxHistory)
+            history.erase(history.begin());
+    }
+
+    // Enforce the row capacity: keep the most frequently used rows.
+    if (counts.size() > config_.maxRows) {
+        std::vector<std::pair<std::uint64_t, const History *>> ranked;
+        ranked.reserve(counts.size());
+        for (const auto &[key, row] : counts) {
+            std::uint64_t total = 0;
+            for (const auto &[value, count] : row)
+                total += count;
+            ranked.emplace_back(total, &key);
+        }
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto &a, const auto &b) {
+                      if (a.first != b.first)
+                          return a.first > b.first;
+                      return *a.second < *b.second;
+                  });
+        std::map<History, std::map<std::int64_t, std::uint64_t>> kept;
+        for (std::uint32_t i = 0; i < config_.maxRows; ++i)
+            kept.emplace(*ranked[i].second, counts[*ranked[i].second]);
+        counts = std::move(kept);
+    }
+
+    for (const auto &[key, row] : counts) {
+        Row out;
+        out.reserve(row.size());
+        for (const auto &[value, count] : row)
+            out.emplace_back(value, count);
+        table_.emplace(key, std::move(out));
+    }
+}
+
+StmStrideModel::StmStrideModel(std::map<History, Row> table, Row global,
+                               std::int64_t initial, StmConfig config)
+    : table_(std::move(table)), global_(std::move(global)),
+      initial_(initial), config_(config)
+{}
+
+std::uint64_t
+StmStrideModel::sequenceLength() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[value, count] : global_)
+        total += count;
+    return total;
+}
+
+/** Sampler walking the stride pattern table with a value budget.
+ *  Not in an anonymous namespace: it is a friend of StmStrideModel. */
+class StmStrideSampler : public core::FeatureSampler
+{
+  public:
+    StmStrideSampler(const StmStrideModel &model, util::Rng &rng);
+
+    std::int64_t next() override;
+
+  private:
+    std::int64_t pickFromRow(const StmStrideModel::Row &row);
+    std::int64_t pickFromBudget();
+    bool consume(std::int64_t value);
+
+    const StmStrideModel *model_;
+    util::Rng *rng_;
+    std::map<std::int64_t, std::uint64_t> budget_;
+    std::uint64_t budget_total_ = 0;
+    StmStrideModel::History history_;
+    std::uint64_t generated_ = 0;
+};
+
+StmStrideSampler::StmStrideSampler(const StmStrideModel &model,
+                                   util::Rng &rng)
+    : model_(&model), rng_(&rng)
+{
+    for (const auto &[value, count] : model.globalDistribution()) {
+        budget_[value] = count;
+        budget_total_ += count;
+    }
+}
+
+std::int64_t
+StmStrideSampler::pickFromRow(const StmStrideModel::Row &row)
+{
+    std::uint64_t total = 0;
+    for (const auto &[value, count] : row) {
+        const auto it = budget_.find(value);
+        if (it != budget_.end() && it->second > 0)
+            total += count;
+    }
+    if (total == 0)
+        return pickFromBudget();
+
+    std::uint64_t target = rng_->below(total);
+    for (const auto &[value, count] : row) {
+        const auto it = budget_.find(value);
+        if (it == budget_.end() || it->second == 0)
+            continue;
+        if (target < count)
+            return value;
+        target -= count;
+    }
+    return pickFromBudget(); // unreachable
+}
+
+std::int64_t
+StmStrideSampler::pickFromBudget()
+{
+    assert(budget_total_ > 0);
+    std::uint64_t target = rng_->below(budget_total_);
+    for (const auto &[value, count] : budget_) {
+        if (target < count)
+            return value;
+        target -= count;
+    }
+    return budget_.rbegin()->first; // unreachable
+}
+
+bool
+StmStrideSampler::consume(std::int64_t value)
+{
+    const auto it = budget_.find(value);
+    assert(it != budget_.end() && it->second > 0);
+    --it->second;
+    --budget_total_;
+    return true;
+}
+
+std::int64_t
+StmStrideSampler::next()
+{
+    std::int64_t value;
+    if (generated_ == 0) {
+        // Honour the recorded first stride when its budget allows.
+        value = budget_.count(model_->initial_) &&
+                        budget_[model_->initial_] > 0
+                    ? model_->initial_
+                    : pickFromBudget();
+    } else {
+        // Longest matching history suffix, then the global budget.
+        const StmStrideModel::Row *row = nullptr;
+        StmStrideModel::History key = history_;
+        while (!key.empty()) {
+            const auto it = model_->table_.find(key);
+            if (it != model_->table_.end()) {
+                row = &it->second;
+                break;
+            }
+            key.erase(key.begin());
+        }
+        value = row ? pickFromRow(*row) : pickFromBudget();
+    }
+
+    consume(value);
+    history_.push_back(value);
+    if (history_.size() > model_->config_.maxHistory)
+        history_.erase(history_.begin());
+    ++generated_;
+    return value;
+}
+
+std::unique_ptr<core::FeatureSampler>
+StmStrideModel::makeSampler(util::Rng &rng) const
+{
+    return std::make_unique<StmStrideSampler>(*this, rng);
+}
+
+void
+StmStrideModel::encodePayload(util::ByteWriter &writer) const
+{
+    writer.putVarint(config_.maxHistory);
+    writer.putVarint(config_.maxRows);
+    writer.putSigned(initial_);
+
+    writer.putVarint(global_.size());
+    for (const auto &[value, count] : global_) {
+        writer.putSigned(value);
+        writer.putVarint(count);
+    }
+
+    writer.putVarint(table_.size());
+    for (const auto &[key, row] : table_) {
+        writer.putVarint(key.size());
+        for (const std::int64_t s : key)
+            writer.putSigned(s);
+        writer.putVarint(row.size());
+        for (const auto &[value, count] : row) {
+            writer.putSigned(value);
+            writer.putVarint(count);
+        }
+    }
+}
+
+core::FeatureModelPtr
+StmStrideModel::decodePayload(util::ByteReader &reader)
+{
+    StmConfig config;
+    config.maxHistory = static_cast<std::uint32_t>(reader.getVarint());
+    config.maxRows = static_cast<std::uint32_t>(reader.getVarint());
+    const std::int64_t initial = reader.getSigned();
+
+    const std::uint64_t global_size = reader.getVarint();
+    if (!reader.ok() || global_size > reader.remaining() + 16)
+        return nullptr;
+    Row global;
+    global.reserve(global_size);
+    for (std::uint64_t i = 0; i < global_size; ++i) {
+        const std::int64_t value = reader.getSigned();
+        const std::uint64_t count = reader.getVarint();
+        global.emplace_back(value, count);
+    }
+
+    const std::uint64_t rows = reader.getVarint();
+    // Each row needs at least 2 bytes (key size + row size).
+    if (!reader.ok() || rows > reader.remaining() / 2 + 1)
+        return nullptr;
+    std::map<History, Row> table;
+    for (std::uint64_t i = 0; i < rows; ++i) {
+        const std::uint64_t key_size = reader.getVarint();
+        if (!reader.ok() || key_size > 64)
+            return nullptr;
+        History key(key_size);
+        for (auto &s : key)
+            s = reader.getSigned();
+        const std::uint64_t row_size = reader.getVarint();
+        if (!reader.ok() || row_size > reader.remaining() + 16)
+            return nullptr;
+        Row row;
+        row.reserve(row_size);
+        for (std::uint64_t j = 0; j < row_size; ++j) {
+            const std::int64_t value = reader.getSigned();
+            const std::uint64_t count = reader.getVarint();
+            row.emplace_back(value, count);
+        }
+        table.emplace(std::move(key), std::move(row));
+    }
+
+    if (!reader.ok())
+        return nullptr;
+    return std::make_unique<StmStrideModel>(std::move(table),
+                                            std::move(global), initial,
+                                            config);
+}
+
+core::LeafModelerHooks
+stmHooks(const StmConfig &config)
+{
+    core::LeafModelerHooks hooks;
+    hooks.op = [](const std::vector<std::int64_t> &values)
+        -> core::FeatureModelPtr {
+        if (values.empty())
+            return nullptr;
+        std::uint64_t reads = 0;
+        for (const std::int64_t v : values)
+            reads += (v == 0);
+        return std::make_unique<StmOpModel>(reads,
+                                            values.size() - reads);
+    };
+    hooks.stride = [config](const std::vector<std::int64_t> &values)
+        -> core::FeatureModelPtr {
+        if (values.empty())
+            return nullptr;
+        return std::make_unique<StmStrideModel>(values, config);
+    };
+    return hooks;
+}
+
+void
+registerStmModels()
+{
+    core::registerFeatureModelDecoder(StmOpModel::kTag,
+                                      &StmOpModel::decodePayload);
+    core::registerFeatureModelDecoder(StmStrideModel::kTag,
+                                      &StmStrideModel::decodePayload);
+}
+
+} // namespace mocktails::baselines

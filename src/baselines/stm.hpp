@@ -1,0 +1,121 @@
+/**
+ * @file
+ * STM-style feature models (Awad & Solihin, HPCA 2014).
+ *
+ * The paper's 2L-TS (STM) configuration swaps STM models in for the
+ * stride and operation features inside the same Mocktails hierarchy
+ * (Sec. IV-A): a stride pattern table that predicts the next stride
+ * from a history of up to 8 strides (32 table rows), and an operation
+ * model based on a single read probability. Strict convergence is kept
+ * so the exact number of reads and writes is reproduced.
+ */
+
+#ifndef MOCKTAILS_BASELINES_STM_HPP
+#define MOCKTAILS_BASELINES_STM_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/mcc.hpp"
+#include "core/model_generator.hpp"
+
+namespace mocktails::baselines
+{
+
+/**
+ * STM table sizing, matching the paper's configuration.
+ */
+struct StmConfig
+{
+    std::uint32_t maxHistory = 8;  ///< strides of history per row
+    std::uint32_t maxRows = 32;    ///< stride-pattern table capacity
+};
+
+/**
+ * Operation model: a single read probability with strict convergence
+ * (the remaining read/write budget is consumed as values are drawn).
+ */
+class StmOpModel : public core::FeatureModel
+{
+  public:
+    static constexpr std::uint8_t kTag = 3;
+
+    StmOpModel(std::uint64_t reads, std::uint64_t writes)
+        : reads_(reads), writes_(writes)
+    {}
+
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writes() const { return writes_; }
+
+    std::uint64_t sequenceLength() const override
+    {
+        return reads_ + writes_;
+    }
+    std::unique_ptr<core::FeatureSampler>
+    makeSampler(util::Rng &rng) const override;
+    std::uint8_t tag() const override { return kTag; }
+    void encodePayload(util::ByteWriter &writer) const override;
+
+    static core::FeatureModelPtr decodePayload(util::ByteReader &reader);
+
+  private:
+    std::uint64_t reads_;
+    std::uint64_t writes_;
+};
+
+/**
+ * Stride pattern table: rows keyed by a history of preceding strides;
+ * each row holds counts of the stride that followed. Lookups fall back
+ * from the longest matching history suffix to the global stride
+ * distribution. A strict-convergence value budget keeps the generated
+ * stride multiset equal to the observed one.
+ */
+class StmStrideModel : public core::FeatureModel
+{
+  public:
+    static constexpr std::uint8_t kTag = 4;
+
+    using History = std::vector<std::int64_t>;
+    using Row = std::vector<std::pair<std::int64_t, std::uint64_t>>;
+
+    /** Fit from a stride sequence. @pre !strides.empty() */
+    StmStrideModel(const std::vector<std::int64_t> &strides,
+                   const StmConfig &config);
+
+    /** Direct construction (decoding). */
+    StmStrideModel(std::map<History, Row> table, Row global,
+                   std::int64_t initial, StmConfig config);
+
+    std::uint64_t sequenceLength() const override;
+    std::unique_ptr<core::FeatureSampler>
+    makeSampler(util::Rng &rng) const override;
+    std::uint8_t tag() const override { return kTag; }
+    void encodePayload(util::ByteWriter &writer) const override;
+
+    static core::FeatureModelPtr decodePayload(util::ByteReader &reader);
+
+    std::size_t numRows() const { return table_.size(); }
+    const Row &globalDistribution() const { return global_; }
+
+  private:
+    friend class StmStrideSampler;
+
+    std::map<History, Row> table_;
+    Row global_;            ///< counts of every observed stride
+    std::int64_t initial_;  ///< first stride of the sequence
+    StmConfig config_;
+};
+
+/**
+ * Leaf modeler hooks for the paper's 2L-TS (STM) configuration: STM
+ * models for stride and operation, McC for delta time and size.
+ */
+core::LeafModelerHooks stmHooks(const StmConfig &config = StmConfig{});
+
+/** Register STM decoders with the profile codec (idempotent). */
+void registerStmModels();
+
+} // namespace mocktails::baselines
+
+#endif // MOCKTAILS_BASELINES_STM_HPP

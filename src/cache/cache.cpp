@@ -1,0 +1,150 @@
+#include "cache/cache.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace mocktails::cache
+{
+
+bool
+CacheConfig::isValid()
+    const
+{
+    return std::has_single_bit(blockSize) && associativity > 0 &&
+           size % (static_cast<std::uint64_t>(associativity) * blockSize) ==
+               0 &&
+           numSets() > 0 && std::has_single_bit(numSets());
+}
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config),
+      block_shift_(std::countr_zero(config.blockSize)),
+      sets_(config.numSets())
+{
+    assert(config.isValid());
+    lines_.resize(static_cast<std::size_t>(sets_) * config_.associativity);
+}
+
+void
+Cache::reset()
+{
+    for (Line &line : lines_)
+        line = Line{};
+    use_clock_ = 0;
+    victim_seed_ = 0x243f6a8885a308d3ull;
+    stats_ = CacheStats{};
+}
+
+void
+Cache::access(const mem::Request &request)
+{
+    assert(request.size > 0);
+    const mem::Addr first = request.addr >> block_shift_;
+    const mem::Addr last = (request.end() - 1) >> block_shift_;
+    for (mem::Addr block = first; block <= last; ++block)
+        accessBlock(block << block_shift_, request.op);
+}
+
+void
+Cache::accessBlock(mem::Addr addr, mem::Op op)
+{
+    const std::uint64_t block = addr >> block_shift_;
+    const std::uint32_t set = static_cast<std::uint32_t>(block & (sets_ - 1));
+    const std::uint64_t tag = block >> std::countr_zero(sets_);
+
+    ++stats_.accesses;
+    if (op == mem::Op::Read)
+        ++stats_.readAccesses;
+    else
+        ++stats_.writeAccesses;
+
+    Line *const base = &lines_[static_cast<std::size_t>(set) *
+                               config_.associativity];
+    ++use_clock_;
+
+    // Hit path.
+    for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+        Line &line = base[way];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = use_clock_;
+            if (op == mem::Op::Write)
+                line.dirty = true;
+            return;
+        }
+    }
+
+    // Miss path (write-allocate).
+    ++stats_.misses;
+    if (op == mem::Op::Read)
+        ++stats_.readMisses;
+    else
+        ++stats_.writeMisses;
+
+    Line *const victim = selectVictim(base);
+
+    if (victim->valid) {
+        ++stats_.replacements;
+        if (victim->dirty) {
+            ++stats_.writebacks;
+            if (next_) {
+                const std::uint64_t victim_block =
+                    (victim->tag << std::countr_zero(sets_)) | set;
+                next_->accessBlock(victim_block << block_shift_,
+                                   mem::Op::Write);
+            }
+        }
+    }
+
+    // Fetch the block from the next level (the fill is a read there).
+    if (next_)
+        next_->accessBlock(addr, mem::Op::Read);
+
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = (op == mem::Op::Write);
+    victim->lastUse = use_clock_;
+    victim->filledAt = use_clock_;
+}
+
+Cache::Line *
+Cache::selectVictim(Line *base)
+{
+    // Invalid ways are always filled first, regardless of policy.
+    for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+        if (!base[way].valid)
+            return &base[way];
+    }
+
+    switch (config_.replacement) {
+      case Replacement::Lru: {
+        Line *victim = base;
+        for (std::uint32_t way = 1; way < config_.associativity;
+             ++way) {
+            if (base[way].lastUse < victim->lastUse)
+                victim = &base[way];
+        }
+        return victim;
+      }
+      case Replacement::Fifo: {
+        Line *victim = base;
+        for (std::uint32_t way = 1; way < config_.associativity;
+             ++way) {
+            if (base[way].filledAt < victim->filledAt)
+                victim = &base[way];
+        }
+        return victim;
+      }
+      case Replacement::Random: {
+        // splitmix64 step keeps the choice deterministic per cache.
+        victim_seed_ += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = victim_seed_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        return &base[z % config_.associativity];
+      }
+    }
+    return base;
+}
+
+} // namespace mocktails::cache

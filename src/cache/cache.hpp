@@ -1,0 +1,134 @@
+/**
+ * @file
+ * A set-associative write-back cache for atomic (order-only) simulation.
+ *
+ * Matches the platform of the paper's Sec. V: gem5 atomic mode, LRU
+ * replacement, write-back write-allocate caches. Timing is ignored —
+ * only the order of accesses matters, which is exactly what the cache
+ * metrics (miss rate, footprint, replacements, write-backs) depend on.
+ */
+
+#ifndef MOCKTAILS_CACHE_CACHE_HPP
+#define MOCKTAILS_CACHE_CACHE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/request.hpp"
+
+namespace mocktails::cache
+{
+
+/**
+ * Victim-selection policy.
+ *
+ * The paper's evaluation uses LRU (Sec. V-A); the alternatives enable
+ * the replacement-policy studies Sec. VI proposes as a use case.
+ */
+enum class Replacement : std::uint8_t
+{
+    Lru = 0,    ///< least recently used
+    Fifo = 1,   ///< oldest-filled line first
+    Random = 2, ///< uniformly random victim (deterministic seed)
+};
+
+/**
+ * Cache geometry and policy.
+ */
+struct CacheConfig
+{
+    std::uint64_t size = 32 * 1024; ///< bytes
+    std::uint32_t associativity = 4;
+    std::uint32_t blockSize = 64;   ///< bytes
+    Replacement replacement = Replacement::Lru;
+
+    std::uint32_t
+    numSets() const
+    {
+        return static_cast<std::uint32_t>(
+            size / (static_cast<std::uint64_t>(associativity) * blockSize));
+    }
+
+    bool isValid() const;
+};
+
+/**
+ * Counters exposed by each cache level.
+ */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t readAccesses = 0;
+    std::uint64_t writeAccesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t readMisses = 0;
+    std::uint64_t writeMisses = 0;
+
+    /** Evictions of a valid line to make room. */
+    std::uint64_t replacements = 0;
+
+    /** Dirty evictions written back to the next level. */
+    std::uint64_t writebacks = 0;
+
+    double
+    missRate() const
+    {
+        return accesses == 0 ? 0.0
+                             : static_cast<double>(misses) /
+                                   static_cast<double>(accesses);
+    }
+};
+
+/**
+ * One cache level. Levels chain via setNextLevel(); misses propagate
+ * down as block-sized reads and dirty evictions as block-sized writes.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Perform one access, splitting it into block-sized probes.
+     * Probes to distinct blocks each count as one access.
+     */
+    void access(const mem::Request &request);
+
+    /** Probe a single block. @param addr Any byte within the block. */
+    void accessBlock(mem::Addr addr, mem::Op op);
+
+    /** Chain to the next level (nullptr = main memory). */
+    void setNextLevel(Cache *next) { next_ = next; }
+
+    /** Invalidate everything and clear statistics. */
+    void reset();
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;  ///< LRU recency stamp
+        std::uint64_t filledAt = 0; ///< FIFO insertion stamp
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    Line *selectVictim(Line *base);
+
+    CacheConfig config_;
+    Cache *next_ = nullptr;
+    std::vector<Line> lines_; ///< sets * associativity, set-major
+    std::uint64_t use_clock_ = 0;
+    std::uint64_t victim_seed_ = 0x243f6a8885a308d3ull;
+    std::uint32_t block_shift_;
+    std::uint32_t sets_;
+    CacheStats stats_;
+};
+
+} // namespace mocktails::cache
+
+#endif // MOCKTAILS_CACHE_CACHE_HPP

@@ -1,0 +1,38 @@
+#include "cache/hierarchy.hpp"
+
+namespace mocktails::cache
+{
+
+Hierarchy::Hierarchy(const HierarchyConfig &config)
+    : l1_(config.l1), l2_(config.l2)
+{
+    l1_.setNextLevel(&l2_);
+}
+
+void
+Hierarchy::access(const mem::Request &request)
+{
+    const std::uint32_t block_size = l1_.config().blockSize;
+    const mem::Addr first = request.addr / block_size;
+    const mem::Addr last = (request.end() - 1) / block_size;
+    for (mem::Addr block = first; block <= last; ++block)
+        touched_.insert(block);
+    l1_.access(request);
+}
+
+void
+Hierarchy::run(const mem::Trace &trace)
+{
+    for (const mem::Request &r : trace)
+        access(r);
+}
+
+void
+Hierarchy::reset()
+{
+    l1_.reset();
+    l2_.reset();
+    touched_.clear();
+}
+
+} // namespace mocktails::cache

@@ -1,0 +1,54 @@
+#include "core/features.hpp"
+
+namespace mocktails::core
+{
+
+std::vector<std::int64_t>
+deltaTimes(const RequestSeq &requests)
+{
+    std::vector<std::int64_t> out;
+    if (requests.size() < 2)
+        return out;
+    out.reserve(requests.size() - 1);
+    for (std::size_t i = 1; i < requests.size(); ++i) {
+        out.push_back(static_cast<std::int64_t>(requests[i].tick) -
+                      static_cast<std::int64_t>(requests[i - 1].tick));
+    }
+    return out;
+}
+
+std::vector<std::int64_t>
+strides(const RequestSeq &requests)
+{
+    std::vector<std::int64_t> out;
+    if (requests.size() < 2)
+        return out;
+    out.reserve(requests.size() - 1);
+    for (std::size_t i = 1; i < requests.size(); ++i) {
+        out.push_back(static_cast<std::int64_t>(requests[i].addr) -
+                      static_cast<std::int64_t>(requests[i - 1].addr));
+    }
+    return out;
+}
+
+std::vector<std::int64_t>
+operations(const RequestSeq &requests)
+{
+    std::vector<std::int64_t> out;
+    out.reserve(requests.size());
+    for (const auto &r : requests)
+        out.push_back(static_cast<std::int64_t>(r.op));
+    return out;
+}
+
+std::vector<std::int64_t>
+sizes(const RequestSeq &requests)
+{
+    std::vector<std::int64_t> out;
+    out.reserve(requests.size());
+    for (const auto &r : requests)
+        out.push_back(static_cast<std::int64_t>(r.size));
+    return out;
+}
+
+} // namespace mocktails::core

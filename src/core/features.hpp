@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Feature-sequence extraction from request subsets.
+ *
+ * Mocktails models the difference between subsequent values for the
+ * timestamp and address features (delta time, stride) and the raw
+ * values for operation and size (paper Sec. III-B).
+ */
+
+#ifndef MOCKTAILS_CORE_FEATURES_HPP
+#define MOCKTAILS_CORE_FEATURES_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/request.hpp"
+
+namespace mocktails::core
+{
+
+/** A time-ordered subset of requests (the contents of one node). */
+using RequestSeq = std::vector<mem::Request>;
+
+/** Delta times t[i] - t[i-1]; size N-1 (empty for N < 2). */
+std::vector<std::int64_t> deltaTimes(const RequestSeq &requests);
+
+/** Strides addr[i] - addr[i-1]; size N-1 (empty for N < 2). */
+std::vector<std::int64_t> strides(const RequestSeq &requests);
+
+/** Operations as integers (Read=0, Write=1); size N. */
+std::vector<std::int64_t> operations(const RequestSeq &requests);
+
+/** Request sizes in bytes; size N. */
+std::vector<std::int64_t> sizes(const RequestSeq &requests);
+
+} // namespace mocktails::core
+
+#endif // MOCKTAILS_CORE_FEATURES_HPP

@@ -1,0 +1,269 @@
+#include "core/history_markov.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/profile.hpp"
+
+namespace mocktails::core
+{
+
+HistoryMarkovModel::HistoryMarkovModel(
+    const std::vector<std::int64_t> &values, std::uint32_t order)
+    : initial_(values.front()), order_(order)
+{
+    assert(!values.empty());
+    assert(order >= 1);
+
+    std::map<std::int64_t, std::uint64_t> counts;
+    for (const std::int64_t v : values)
+        ++counts[v];
+    for (const auto &[value, count] : counts)
+        budget_.emplace_back(value, count);
+
+    std::map<History, std::map<std::int64_t, std::uint64_t>> rows;
+    History history;
+    for (const std::int64_t v : values) {
+        if (!history.empty())
+            ++rows[history][v];
+        history.push_back(v);
+        if (history.size() > order_)
+            history.erase(history.begin());
+    }
+    for (const auto &[key, row] : rows) {
+        Row out;
+        out.reserve(row.size());
+        for (const auto &[value, count] : row)
+            out.emplace_back(value, count);
+        table_.emplace(key, std::move(out));
+    }
+}
+
+HistoryMarkovModel::HistoryMarkovModel(std::map<History, Row> table,
+                                       Row budget, std::int64_t initial,
+                                       std::uint32_t order)
+    : table_(std::move(table)), budget_(std::move(budget)),
+      initial_(initial), order_(order)
+{}
+
+std::uint64_t
+HistoryMarkovModel::sequenceLength() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[value, count] : budget_)
+        total += count;
+    return total;
+}
+
+/** Sampler walking the order-k table under strict convergence. */
+class HistoryMarkovSampler : public FeatureSampler
+{
+  public:
+    HistoryMarkovSampler(const HistoryMarkovModel &model,
+                         util::Rng &rng)
+        : model_(&model), rng_(&rng)
+    {
+        for (const auto &[value, count] : model.budget_) {
+            remaining_[value] = count;
+            total_ += count;
+        }
+    }
+
+    std::int64_t
+    next() override
+    {
+        std::int64_t value;
+        if (first_) {
+            first_ = false;
+            value = remaining_.count(model_->initial_) &&
+                            remaining_[model_->initial_] > 0
+                        ? model_->initial_
+                        : drawBudget();
+        } else {
+            const HistoryMarkovModel::Row *row = nullptr;
+            HistoryMarkovModel::History key = history_;
+            while (!key.empty()) {
+                const auto it = model_->table_.find(key);
+                if (it != model_->table_.end()) {
+                    row = &it->second;
+                    break;
+                }
+                key.erase(key.begin());
+            }
+            value = row ? drawRow(*row) : drawBudget();
+        }
+
+        consume(value);
+        history_.push_back(value);
+        if (history_.size() > model_->order_)
+            history_.erase(history_.begin());
+        return value;
+    }
+
+  private:
+    std::int64_t
+    drawRow(const HistoryMarkovModel::Row &row)
+    {
+        std::uint64_t viable = 0;
+        for (const auto &[value, count] : row) {
+            const auto it = remaining_.find(value);
+            if (it != remaining_.end() && it->second > 0)
+                viable += count;
+        }
+        if (viable == 0)
+            return drawBudget();
+        std::uint64_t target = rng_->below(viable);
+        for (const auto &[value, count] : row) {
+            const auto it = remaining_.find(value);
+            if (it == remaining_.end() || it->second == 0)
+                continue;
+            if (target < count)
+                return value;
+            target -= count;
+        }
+        return drawBudget(); // unreachable
+    }
+
+    std::int64_t
+    drawBudget()
+    {
+        assert(total_ > 0);
+        std::uint64_t target = rng_->below(total_);
+        for (const auto &[value, count] : remaining_) {
+            if (target < count)
+                return value;
+            target -= count;
+        }
+        return remaining_.rbegin()->first; // unreachable
+    }
+
+    void
+    consume(std::int64_t value)
+    {
+        const auto it = remaining_.find(value);
+        assert(it != remaining_.end() && it->second > 0);
+        --it->second;
+        --total_;
+    }
+
+    const HistoryMarkovModel *model_;
+    util::Rng *rng_;
+    std::map<std::int64_t, std::uint64_t> remaining_;
+    std::uint64_t total_ = 0;
+    HistoryMarkovModel::History history_;
+    bool first_ = true;
+};
+
+std::unique_ptr<FeatureSampler>
+HistoryMarkovModel::makeSampler(util::Rng &rng) const
+{
+    return std::make_unique<HistoryMarkovSampler>(*this, rng);
+}
+
+void
+HistoryMarkovModel::encodePayload(util::ByteWriter &writer) const
+{
+    writer.putVarint(order_);
+    writer.putSigned(initial_);
+    writer.putVarint(budget_.size());
+    for (const auto &[value, count] : budget_) {
+        writer.putSigned(value);
+        writer.putVarint(count);
+    }
+    writer.putVarint(table_.size());
+    for (const auto &[key, row] : table_) {
+        writer.putVarint(key.size());
+        for (const std::int64_t v : key)
+            writer.putSigned(v);
+        writer.putVarint(row.size());
+        for (const auto &[value, count] : row) {
+            writer.putSigned(value);
+            writer.putVarint(count);
+        }
+    }
+}
+
+FeatureModelPtr
+HistoryMarkovModel::decodePayload(util::ByteReader &reader)
+{
+    const auto order = static_cast<std::uint32_t>(reader.getVarint());
+    const std::int64_t initial = reader.getSigned();
+
+    const std::uint64_t budget_size = reader.getVarint();
+    if (!reader.ok() || order == 0 || order > 64 ||
+        budget_size > reader.remaining() / 2 + 1) {
+        return nullptr;
+    }
+    Row budget;
+    budget.reserve(budget_size);
+    for (std::uint64_t i = 0; i < budget_size; ++i) {
+        const std::int64_t value = reader.getSigned();
+        budget.emplace_back(value, reader.getVarint());
+    }
+
+    const std::uint64_t rows = reader.getVarint();
+    if (!reader.ok() || rows > reader.remaining() / 2 + 1)
+        return nullptr;
+    std::map<History, Row> table;
+    for (std::uint64_t i = 0; i < rows; ++i) {
+        const std::uint64_t key_size = reader.getVarint();
+        if (!reader.ok() || key_size > order)
+            return nullptr;
+        History key(key_size);
+        for (auto &v : key)
+            v = reader.getSigned();
+        const std::uint64_t row_size = reader.getVarint();
+        if (!reader.ok() || row_size > reader.remaining() / 2 + 1)
+            return nullptr;
+        Row row;
+        row.reserve(row_size);
+        for (std::uint64_t j = 0; j < row_size; ++j) {
+            const std::int64_t value = reader.getSigned();
+            row.emplace_back(value, reader.getVarint());
+        }
+        table.emplace(std::move(key), std::move(row));
+    }
+    if (!reader.ok())
+        return nullptr;
+    return std::make_unique<HistoryMarkovModel>(
+        std::move(table), std::move(budget), initial, order);
+}
+
+FeatureModelPtr
+buildMccK(const std::vector<std::int64_t> &values, std::uint32_t order)
+{
+    if (values.empty())
+        return nullptr;
+    const bool constant = std::all_of(values.begin(), values.end(),
+                                      [&](std::int64_t v) {
+                                          return v == values.front();
+                                      });
+    if (constant) {
+        return std::make_unique<ConstantModel>(values.front(),
+                                               values.size());
+    }
+    return std::make_unique<HistoryMarkovModel>(values, order);
+}
+
+LeafModelerHooks
+mccKHooks(std::uint32_t order)
+{
+    LeafModelerHooks hooks;
+    const auto builder = [order](const std::vector<std::int64_t> &v) {
+        return buildMccK(v, order);
+    };
+    hooks.deltaTime = builder;
+    hooks.stride = builder;
+    hooks.op = builder;
+    hooks.size = builder;
+    return hooks;
+}
+
+void
+registerHistoryMarkov()
+{
+    registerFeatureModelDecoder(HistoryMarkovModel::kTag,
+                                &HistoryMarkovModel::decodePayload);
+}
+
+} // namespace mocktails::core

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Higher-order Markov feature models (an extension beyond the paper).
+ *
+ * The paper's McC uses first-order chains and argues hierarchical
+ * partitioning makes deeper history unnecessary (Sec. IV-B: "the need
+ * for modeling stride history is diminished thanks to dynamic spatial
+ * partitioning"). This module makes that claim testable: an order-k
+ * model conditions each value on the previous k values, with the same
+ * strict-convergence budget, so `bench/ablation_order` can measure
+ * what extra history buys (and what it costs in metadata).
+ */
+
+#ifndef MOCKTAILS_CORE_HISTORY_MARKOV_HPP
+#define MOCKTAILS_CORE_HISTORY_MARKOV_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/mcc.hpp"
+#include "core/model_generator.hpp"
+
+namespace mocktails::core
+{
+
+/**
+ * An order-k Markov model over integer feature values.
+ *
+ * Rows are keyed by the previous min(k, position) values; lookups
+ * fall back from the longest matching suffix to the global value
+ * budget, and every emission consumes the strict-convergence budget,
+ * so the generated multiset always equals the observed one.
+ */
+class HistoryMarkovModel : public FeatureModel
+{
+  public:
+    static constexpr std::uint8_t kTag = 5;
+
+    using History = std::vector<std::int64_t>;
+    using Row = std::vector<std::pair<std::int64_t, std::uint64_t>>;
+
+    /** Fit from a value sequence. @pre !values.empty(), order >= 1. */
+    HistoryMarkovModel(const std::vector<std::int64_t> &values,
+                       std::uint32_t order);
+
+    /** Direct construction (decoding). */
+    HistoryMarkovModel(std::map<History, Row> table, Row budget,
+                       std::int64_t initial, std::uint32_t order);
+
+    std::uint32_t order() const { return order_; }
+    std::size_t numRows() const { return table_.size(); }
+
+    std::uint64_t sequenceLength() const override;
+    std::unique_ptr<FeatureSampler>
+    makeSampler(util::Rng &rng) const override;
+    std::uint8_t tag() const override { return kTag; }
+    void encodePayload(util::ByteWriter &writer) const override;
+
+    static FeatureModelPtr decodePayload(util::ByteReader &reader);
+
+  private:
+    friend class HistoryMarkovSampler;
+
+    std::map<History, Row> table_;
+    Row budget_; ///< global (value, count) multiset
+    std::int64_t initial_;
+    std::uint32_t order_;
+};
+
+/**
+ * Build an order-k McC model: Constant when the sequence never
+ * varies, an order-k chain otherwise (nullptr for empty input).
+ * Order 1 is equivalent in power to the paper's MarkovModel.
+ */
+FeatureModelPtr buildMccK(const std::vector<std::int64_t> &values,
+                          std::uint32_t order);
+
+/**
+ * Leaf modeler hooks using order-k chains for every feature.
+ */
+LeafModelerHooks mccKHooks(std::uint32_t order);
+
+/** Register the decoder with the profile codec (idempotent). */
+void registerHistoryMarkov();
+
+} // namespace mocktails::core
+
+#endif // MOCKTAILS_CORE_HISTORY_MARKOV_HPP

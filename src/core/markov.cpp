@@ -1,0 +1,166 @@
+#include "core/markov.hpp"
+
+#include <cassert>
+
+namespace mocktails::core
+{
+
+MarkovChain::MarkovChain(const std::vector<std::int64_t> &values)
+{
+    assert(!values.empty());
+    length_ = values.size();
+
+    // Assign state indices in first-appearance order (deterministic).
+    for (const std::int64_t v : values) {
+        if (index_.emplace(v, static_cast<std::uint32_t>(states_.size()))
+                .second) {
+            states_.push_back(v);
+        }
+    }
+
+    value_counts_.assign(states_.size(), 0);
+    transitions_.assign(states_.size(), {});
+    initial_ = index_.at(values.front());
+
+    std::size_t prev = initial_;
+    ++value_counts_[prev];
+    for (std::size_t i = 1; i < values.size(); ++i) {
+        const std::uint32_t cur = index_.at(values[i]);
+        ++value_counts_[cur];
+
+        auto &row = transitions_[prev];
+        bool found = false;
+        for (auto &[to, count] : row) {
+            if (to == cur) {
+                ++count;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            row.emplace_back(cur, 1);
+        prev = cur;
+    }
+}
+
+std::size_t
+MarkovChain::stateIndex(std::int64_t value) const
+{
+    const auto it = index_.find(value);
+    return it == index_.end() ? states_.size() : it->second;
+}
+
+double
+MarkovChain::transitionProbability(std::size_t from, std::size_t to) const
+{
+    assert(from < states_.size());
+    std::uint64_t total = 0;
+    std::uint64_t hits = 0;
+    for (const auto &[t, count] : transitions_[from]) {
+        total += count;
+        if (t == to)
+            hits = count;
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+}
+
+MarkovChain
+MarkovChain::fromParts(
+    std::vector<std::int64_t> states, std::size_t initial,
+    std::vector<std::uint64_t> value_counts,
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>>
+        transitions)
+{
+    MarkovChain chain;
+    chain.states_ = std::move(states);
+    chain.initial_ = initial;
+    chain.value_counts_ = std::move(value_counts);
+    chain.transitions_ = std::move(transitions);
+    for (std::uint32_t i = 0; i < chain.states_.size(); ++i)
+        chain.index_.emplace(chain.states_[i], i);
+    chain.length_ = 0;
+    for (const std::uint64_t c : chain.value_counts_)
+        chain.length_ += c;
+    return chain;
+}
+
+StrictConvergenceSampler::StrictConvergenceSampler(const MarkovChain &chain,
+                                                   util::Rng &rng)
+    : chain_(&chain), rng_(&rng),
+      remaining_values_(chain.valueCounts()),
+      current_(chain.initialState())
+{
+    remaining_transitions_.reserve(chain.numStates());
+    for (std::size_t s = 0; s < chain.numStates(); ++s)
+        remaining_transitions_.push_back(chain.transitions(s));
+}
+
+std::int64_t
+StrictConvergenceSampler::next()
+{
+    assert(!exhausted());
+
+    std::size_t state;
+    if (generated_ == 0) {
+        state = chain_->initialState();
+    } else {
+        state = pickTransition();
+        if (state == chain_->numStates())
+            state = pickFromRemaining();
+    }
+
+    assert(state < chain_->numStates());
+    assert(remaining_values_[state] > 0);
+    --remaining_values_[state];
+    current_ = state;
+    ++generated_;
+    return chain_->stateValue(state);
+}
+
+std::size_t
+StrictConvergenceSampler::pickTransition()
+{
+    auto &row = remaining_transitions_[current_];
+
+    // Viable = transition count remaining and value budget remaining.
+    std::uint64_t total = 0;
+    for (const auto &[to, count] : row) {
+        if (count > 0 && remaining_values_[to] > 0)
+            total += count;
+    }
+    if (total == 0)
+        return chain_->numStates();
+
+    std::uint64_t target = rng_->below(total);
+    for (auto &[to, count] : row) {
+        if (count == 0 || remaining_values_[to] == 0)
+            continue;
+        if (target < count) {
+            --count; // strict convergence: consume the transition
+            return to;
+        }
+        target -= count;
+    }
+    return chain_->numStates(); // unreachable
+}
+
+std::size_t
+StrictConvergenceSampler::pickFromRemaining()
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : remaining_values_)
+        total += c;
+    assert(total > 0);
+
+    std::uint64_t target = rng_->below(total);
+    for (std::size_t s = 0; s < remaining_values_.size(); ++s) {
+        if (target < remaining_values_[s])
+            return s;
+        target -= remaining_values_[s];
+    }
+    return remaining_values_.size() - 1; // unreachable
+}
+
+} // namespace mocktails::core

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * First-order Markov chains over integer feature values.
+ *
+ * Each leaf feature with any variability is modelled by a Markov chain
+ * built from the observed value sequence (paper Sec. III-B). Synthesis
+ * uses *strict convergence* (following STM/WEST): every transition
+ * taken consumes one unit of its observed count, so the generated
+ * sequence reproduces the exact multiset of observed values — e.g. for
+ * Table I's partition F, exactly two 128-byte and ten 64-byte sizes.
+ */
+
+#ifndef MOCKTAILS_CORE_MARKOV_HPP
+#define MOCKTAILS_CORE_MARKOV_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mocktails::core
+{
+
+/**
+ * A first-order Markov chain with transition counts.
+ *
+ * States are the distinct values of the training sequence. The chain
+ * stores raw counts rather than probabilities so that strict
+ * convergence can consume them during synthesis.
+ */
+class MarkovChain
+{
+  public:
+    MarkovChain() = default;
+
+    /** Build from a value sequence. @pre values.size() >= 1. */
+    explicit MarkovChain(const std::vector<std::int64_t> &values);
+
+    /** Number of distinct states. */
+    std::size_t numStates() const { return states_.size(); }
+
+    /** Value of state @p index. */
+    std::int64_t stateValue(std::size_t index) const
+    {
+        return states_[index];
+    }
+
+    /** Index of the training sequence's first value. */
+    std::size_t initialState() const { return initial_; }
+
+    /** Length of the training sequence. */
+    std::uint64_t sequenceLength() const { return length_; }
+
+    /** Occurrences of each state's value in the training sequence. */
+    const std::vector<std::uint64_t> &valueCounts() const
+    {
+        return value_counts_;
+    }
+
+    /** Observed (to, count) transitions out of state @p from. */
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>> &
+    transitions(std::size_t from) const
+    {
+        return transitions_[from];
+    }
+
+    /** Index of @p value, or numStates() when unknown. */
+    std::size_t stateIndex(std::int64_t value) const;
+
+    /**
+     * Probability of moving @p from -> @p to per the raw counts
+     * (before any strict-convergence adjustment).
+     */
+    double transitionProbability(std::size_t from, std::size_t to) const;
+
+    /// @name Direct construction (used by profile decoding)
+    /// @{
+    static MarkovChain
+    fromParts(std::vector<std::int64_t> states, std::size_t initial,
+              std::vector<std::uint64_t> value_counts,
+              std::vector<std::vector<std::pair<std::uint32_t,
+                                                std::uint64_t>>> transitions);
+    /// @}
+
+  private:
+    std::vector<std::int64_t> states_;
+    std::unordered_map<std::int64_t, std::uint32_t> index_;
+    std::vector<std::uint64_t> value_counts_;
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>>
+        transitions_;
+    std::size_t initial_ = 0;
+    std::uint64_t length_ = 0;
+};
+
+/**
+ * Generates a value sequence from a MarkovChain under strict
+ * convergence.
+ *
+ * The sampler owns mutable copies of the transition and value counts.
+ * Each emission decrements the count of the transition taken and of
+ * the value produced; exhausted transitions can no longer be taken.
+ * When the current state has no viable transition left (possible
+ * because first-order counts do not capture full ordering), the next
+ * value is drawn from the remaining value multiset, which guarantees
+ * the multiset of generated values equals the training multiset.
+ */
+class StrictConvergenceSampler
+{
+  public:
+    /** The chain must outlive the sampler. */
+    StrictConvergenceSampler(const MarkovChain &chain, util::Rng &rng);
+
+    /**
+     * Produce the next value.
+     *
+     * The first call returns the initial state's value; subsequent
+     * calls walk the chain. @pre generated() < chain.sequenceLength().
+     */
+    std::int64_t next();
+
+    /** Values produced so far. */
+    std::uint64_t generated() const { return generated_; }
+
+    /** True when the full training-length sequence was produced. */
+    bool
+    exhausted() const
+    {
+        return generated_ >= chain_->sequenceLength();
+    }
+
+  private:
+    std::size_t pickTransition();
+    std::size_t pickFromRemaining();
+
+    const MarkovChain *chain_;
+    util::Rng *rng_;
+    std::vector<std::uint64_t> remaining_values_;
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>>
+        remaining_transitions_;
+    std::size_t current_ = 0;
+    std::uint64_t generated_ = 0;
+};
+
+} // namespace mocktails::core
+
+#endif // MOCKTAILS_CORE_MARKOV_HPP

@@ -1,0 +1,144 @@
+#include "core/mcc.hpp"
+
+#include <algorithm>
+
+namespace mocktails::core
+{
+
+namespace
+{
+
+/** Sampler that repeats a single value. */
+class ConstantSampler : public FeatureSampler
+{
+  public:
+    explicit ConstantSampler(std::int64_t value) : value_(value) {}
+    std::int64_t next() override { return value_; }
+
+  private:
+    std::int64_t value_;
+};
+
+/** Sampler wrapping StrictConvergenceSampler. */
+class MarkovSampler : public FeatureSampler
+{
+  public:
+    MarkovSampler(const MarkovChain &chain, util::Rng &rng)
+        : sampler_(chain, rng)
+    {}
+
+    std::int64_t next() override { return sampler_.next(); }
+
+  private:
+    StrictConvergenceSampler sampler_;
+};
+
+} // namespace
+
+std::unique_ptr<FeatureSampler>
+ConstantModel::makeSampler(util::Rng &rng) const
+{
+    (void)rng;
+    return std::make_unique<ConstantSampler>(value_);
+}
+
+void
+ConstantModel::encodePayload(util::ByteWriter &writer) const
+{
+    writer.putSigned(value_);
+    writer.putVarint(length_);
+}
+
+FeatureModelPtr
+ConstantModel::decodePayload(util::ByteReader &reader)
+{
+    const std::int64_t value = reader.getSigned();
+    const std::uint64_t length = reader.getVarint();
+    if (!reader.ok())
+        return nullptr;
+    return std::make_unique<ConstantModel>(value, length);
+}
+
+std::unique_ptr<FeatureSampler>
+MarkovModel::makeSampler(util::Rng &rng) const
+{
+    return std::make_unique<MarkovSampler>(chain_, rng);
+}
+
+void
+MarkovModel::encodePayload(util::ByteWriter &writer) const
+{
+    const std::size_t n = chain_.numStates();
+    writer.putVarint(n);
+    for (std::size_t s = 0; s < n; ++s)
+        writer.putSigned(chain_.stateValue(s));
+    writer.putVarint(chain_.initialState());
+    for (std::size_t s = 0; s < n; ++s)
+        writer.putVarint(chain_.valueCounts()[s]);
+    for (std::size_t s = 0; s < n; ++s) {
+        const auto &row = chain_.transitions(s);
+        writer.putVarint(row.size());
+        for (const auto &[to, count] : row) {
+            writer.putVarint(to);
+            writer.putVarint(count);
+        }
+    }
+}
+
+FeatureModelPtr
+MarkovModel::decodePayload(util::ByteReader &reader)
+{
+    const std::uint64_t n = reader.getVarint();
+    // Each state needs at least one byte of payload.
+    if (!reader.ok() || n == 0 || n > reader.remaining() + 1)
+        return nullptr;
+
+    std::vector<std::int64_t> states(n);
+    for (auto &v : states)
+        v = reader.getSigned();
+    const std::size_t initial = reader.getVarint();
+
+    std::vector<std::uint64_t> counts(n);
+    for (auto &c : counts)
+        c = reader.getVarint();
+
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>>
+        transitions(n);
+    for (auto &row : transitions) {
+        const std::uint64_t row_size = reader.getVarint();
+        if (!reader.ok() || row_size > n)
+            return nullptr;
+        row.reserve(row_size);
+        for (std::uint64_t i = 0; i < row_size; ++i) {
+            const auto to = static_cast<std::uint32_t>(reader.getVarint());
+            const std::uint64_t count = reader.getVarint();
+            if (to >= n)
+                return nullptr;
+            row.emplace_back(to, count);
+        }
+    }
+
+    if (!reader.ok() || initial >= n)
+        return nullptr;
+    return std::make_unique<MarkovModel>(MarkovChain::fromParts(
+        std::move(states), initial, std::move(counts),
+        std::move(transitions)));
+}
+
+FeatureModelPtr
+buildMcc(const std::vector<std::int64_t> &values)
+{
+    if (values.empty())
+        return nullptr;
+
+    const bool constant = std::all_of(values.begin(), values.end(),
+                                      [&](std::int64_t v) {
+                                          return v == values.front();
+                                      });
+    if (constant)
+        return std::make_unique<ConstantModel>(values.front(),
+                                               values.size());
+    return std::make_unique<MarkovModel>(MarkovChain(values));
+}
+
+} // namespace mocktails::core

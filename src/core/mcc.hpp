@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Feature models: the McC (Markov chain or Constant) scheme.
+ *
+ * Every leaf in the Mocktails hierarchy models its four request
+ * features — delta time, stride, operation, size — independently
+ * (paper Sec. III-B). A feature with no variability inside the leaf is
+ * stored as a single constant; anything else becomes a Markov chain
+ * sampled under strict convergence. The FeatureModel interface also
+ * lets alternative leaf models (e.g. the STM baseline) be swapped in
+ * for individual features, as the paper does in Sec. IV.
+ */
+
+#ifndef MOCKTAILS_CORE_MCC_HPP
+#define MOCKTAILS_CORE_MCC_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/markov.hpp"
+#include "util/codec.hpp"
+#include "util/rng.hpp"
+
+namespace mocktails::core
+{
+
+/**
+ * A stateful generator for one feature of one leaf.
+ */
+class FeatureSampler
+{
+  public:
+    virtual ~FeatureSampler() = default;
+
+    /** Produce the next feature value. */
+    virtual std::int64_t next() = 0;
+};
+
+/**
+ * An immutable statistical model of one feature of one leaf.
+ */
+class FeatureModel
+{
+  public:
+    virtual ~FeatureModel() = default;
+
+    /** Length of the training sequence the model reproduces. */
+    virtual std::uint64_t sequenceLength() const = 0;
+
+    /** Create a fresh sampler; @p rng must outlive it. */
+    virtual std::unique_ptr<FeatureSampler>
+    makeSampler(util::Rng &rng) const = 0;
+
+    /** Wire-format tag (see profile.hpp for the registry). */
+    virtual std::uint8_t tag() const = 0;
+
+    /** Serialise the model body (everything after the tag). */
+    virtual void encodePayload(util::ByteWriter &writer) const = 0;
+};
+
+using FeatureModelPtr = std::unique_ptr<FeatureModel>;
+
+/**
+ * A feature that never varies within the leaf.
+ */
+class ConstantModel : public FeatureModel
+{
+  public:
+    static constexpr std::uint8_t kTag = 1;
+
+    ConstantModel(std::int64_t value, std::uint64_t length)
+        : value_(value), length_(length)
+    {}
+
+    std::int64_t value() const { return value_; }
+
+    std::uint64_t sequenceLength() const override { return length_; }
+    std::unique_ptr<FeatureSampler>
+    makeSampler(util::Rng &rng) const override;
+    std::uint8_t tag() const override { return kTag; }
+    void encodePayload(util::ByteWriter &writer) const override;
+
+    static FeatureModelPtr decodePayload(util::ByteReader &reader);
+
+  private:
+    std::int64_t value_;
+    std::uint64_t length_;
+};
+
+/**
+ * A feature modelled by a first-order Markov chain with strict
+ * convergence.
+ */
+class MarkovModel : public FeatureModel
+{
+  public:
+    static constexpr std::uint8_t kTag = 2;
+
+    explicit MarkovModel(MarkovChain chain) : chain_(std::move(chain)) {}
+
+    const MarkovChain &chain() const { return chain_; }
+
+    std::uint64_t sequenceLength() const override
+    {
+        return chain_.sequenceLength();
+    }
+    std::unique_ptr<FeatureSampler>
+    makeSampler(util::Rng &rng) const override;
+    std::uint8_t tag() const override { return kTag; }
+    void encodePayload(util::ByteWriter &writer) const override;
+
+    static FeatureModelPtr decodePayload(util::ByteReader &reader);
+
+  private:
+    MarkovChain chain_;
+};
+
+/**
+ * Build a McC model for a value sequence: Constant when every value is
+ * identical, a Markov chain otherwise. Returns nullptr for an empty
+ * sequence (e.g. the delta/stride features of a single-request leaf).
+ */
+FeatureModelPtr buildMcc(const std::vector<std::int64_t> &values);
+
+} // namespace mocktails::core
+
+#endif // MOCKTAILS_CORE_MCC_HPP

@@ -1,0 +1,43 @@
+#include "core/model_generator.hpp"
+
+#include <cassert>
+
+#include "core/features.hpp"
+
+namespace mocktails::core
+{
+
+LeafModel
+modelLeaf(const Leaf &leaf, const LeafModelerHooks &hooks)
+{
+    assert(!leaf.requests.empty());
+
+    LeafModel model;
+    model.startTime = leaf.requests.front().tick;
+    model.startAddr = leaf.requests.front().addr;
+    model.addrLo = leaf.addrLo;
+    model.addrHi = leaf.addrHi;
+    model.count = leaf.requests.size();
+
+    model.deltaTime = hooks.deltaTime(deltaTimes(leaf.requests));
+    model.stride = hooks.stride(strides(leaf.requests));
+    model.op = hooks.op(operations(leaf.requests));
+    model.size = hooks.size(sizes(leaf.requests));
+    return model;
+}
+
+Profile
+buildProfile(const mem::Trace &trace, const PartitionConfig &config,
+             const LeafModelerHooks &hooks)
+{
+    Profile profile;
+    profile.name = trace.name();
+    profile.device = trace.device();
+    profile.config = config;
+
+    for (const Leaf &leaf : buildLeaves(trace, config))
+        profile.leaves.push_back(modelLeaf(leaf, hooks));
+    return profile;
+}
+
+} // namespace mocktails::core

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Builds a statistical profile from a trace.
+ *
+ * The generator partitions the trace per the hierarchy configuration
+ * and fits one model per feature per leaf. Which model family is used
+ * per feature is pluggable via LeafModelerHooks so the STM baseline
+ * can replace the stride and operation models, exactly as the paper's
+ * 2L-TS (STM) configuration does (Sec. IV-A).
+ */
+
+#ifndef MOCKTAILS_CORE_MODEL_GENERATOR_HPP
+#define MOCKTAILS_CORE_MODEL_GENERATOR_HPP
+
+#include <functional>
+
+#include "core/partition.hpp"
+#include "core/profile.hpp"
+#include "mem/trace.hpp"
+
+namespace mocktails::core
+{
+
+/**
+ * Per-feature model builders. Each hook receives the feature's value
+ * sequence for one leaf and returns the fitted model (nullptr for an
+ * empty sequence). Defaults fit McC models.
+ */
+struct LeafModelerHooks
+{
+    using Builder =
+        std::function<FeatureModelPtr(const std::vector<std::int64_t> &)>;
+
+    Builder deltaTime = buildMcc;
+    Builder stride = buildMcc;
+    Builder op = buildMcc;
+    Builder size = buildMcc;
+};
+
+/** Fit the models of a single leaf. */
+LeafModel modelLeaf(const Leaf &leaf,
+                    const LeafModelerHooks &hooks = LeafModelerHooks{});
+
+/**
+ * Build a full profile: partition @p trace per @p config and fit every
+ * leaf.
+ *
+ * @pre trace.isTimeOrdered()
+ */
+Profile buildProfile(const mem::Trace &trace,
+                     const PartitionConfig &config,
+                     const LeafModelerHooks &hooks = LeafModelerHooks{});
+
+} // namespace mocktails::core
+
+#endif // MOCKTAILS_CORE_MODEL_GENERATOR_HPP

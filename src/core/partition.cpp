@@ -1,0 +1,378 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace mocktails::core
+{
+
+std::string
+PartitionLayer::describe() const
+{
+    switch (kind) {
+      case Kind::TemporalRequestCount:
+        return "temporal(request_count=" + std::to_string(value) + ")";
+      case Kind::TemporalCycleCount:
+        return "temporal(cycle_count=" + std::to_string(value) + ")";
+      case Kind::SpatialFixed:
+        return "spatial(fixed=" + std::to_string(value) + "B)";
+      case Kind::SpatialDynamic:
+        return "spatial(dynamic)";
+    }
+    return "unknown";
+}
+
+PartitionConfig
+PartitionConfig::twoLevelTs(std::uint64_t cycles)
+{
+    return PartitionConfig{
+        {{PartitionLayer::Kind::TemporalCycleCount, cycles},
+         {PartitionLayer::Kind::SpatialDynamic, 0}}};
+}
+
+PartitionConfig
+PartitionConfig::twoLevelTsByRequests(std::uint64_t requests)
+{
+    return PartitionConfig{
+        {{PartitionLayer::Kind::TemporalRequestCount, requests},
+         {PartitionLayer::Kind::SpatialDynamic, 0}}};
+}
+
+PartitionConfig
+PartitionConfig::twoLevelTsFixed(std::uint64_t requests,
+                                 std::uint64_t block_size)
+{
+    return PartitionConfig{
+        {{PartitionLayer::Kind::TemporalRequestCount, requests},
+         {PartitionLayer::Kind::SpatialFixed, block_size}}};
+}
+
+std::string
+PartitionConfig::describe() const
+{
+    std::string out;
+    for (const auto &layer : layers) {
+        if (!out.empty())
+            out += " -> ";
+        out += layer.describe();
+    }
+    return out.empty() ? "flat" : out;
+}
+
+void
+PartitionConfig::encode(util::ByteWriter &writer) const
+{
+    writer.putVarint(layers.size());
+    for (const auto &layer : layers) {
+        writer.putByte(static_cast<std::uint8_t>(layer.kind));
+        writer.putVarint(layer.value);
+    }
+}
+
+bool
+PartitionConfig::decode(util::ByteReader &reader, PartitionConfig &config)
+{
+    const std::uint64_t n = reader.getVarint();
+    if (!reader.ok() || n > 16)
+        return false;
+    config.layers.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint8_t kind = reader.getByte();
+        const std::uint64_t value = reader.getVarint();
+        if (kind > 3)
+            return false;
+        config.layers.push_back(
+            {static_cast<PartitionLayer::Kind>(kind), value});
+    }
+    return reader.ok();
+}
+
+std::vector<IndexList>
+partitionByRequestCount(const IndexList &indices,
+                        std::uint64_t per_interval)
+{
+    assert(per_interval > 0);
+    std::vector<IndexList> out;
+    for (std::size_t start = 0; start < indices.size();
+         start += per_interval) {
+        const std::size_t end =
+            std::min(indices.size(),
+                     start + static_cast<std::size_t>(per_interval));
+        out.emplace_back(indices.begin() +
+                             static_cast<std::ptrdiff_t>(start),
+                         indices.begin() +
+                             static_cast<std::ptrdiff_t>(end));
+    }
+    return out;
+}
+
+std::vector<IndexList>
+partitionByCycleCount(const mem::Trace &trace, const IndexList &indices,
+                      std::uint64_t cycles)
+{
+    assert(cycles > 0);
+    std::vector<IndexList> out;
+    if (indices.empty())
+        return out;
+
+    const mem::Tick base = trace[indices.front()].tick;
+    std::uint64_t current_window = 0;
+    out.emplace_back();
+    for (const std::uint32_t idx : indices) {
+        const std::uint64_t window = (trace[idx].tick - base) / cycles;
+        if (window != current_window) {
+            // Empty windows produce no partitions.
+            out.emplace_back();
+            current_window = window;
+        }
+        out.back().push_back(idx);
+    }
+    return out;
+}
+
+std::vector<SpatialRegion>
+partitionSpatialFixed(const mem::Trace &trace, const IndexList &indices,
+                      std::uint64_t block_size)
+{
+    assert(block_size > 0);
+    std::map<mem::Addr, IndexList> blocks;
+    for (const std::uint32_t idx : indices)
+        blocks[trace[idx].addr / block_size].push_back(idx);
+
+    std::vector<SpatialRegion> out;
+    out.reserve(blocks.size());
+    for (auto &[block, members] : blocks) {
+        SpatialRegion region;
+        region.lo = block * block_size;
+        region.hi = region.lo + block_size;
+        // Requests are assigned by start address (as in HALO); one
+        // that spans the block boundary stretches the region so every
+        // member's byte range stays inside it.
+        for (const std::uint32_t idx : members)
+            region.hi = std::max(region.hi, trace[idx].end());
+        region.indices = std::move(members);
+        out.push_back(std::move(region));
+    }
+    return out;
+}
+
+namespace
+{
+
+/** One request's byte range, used by the Alg. 1 sweep. */
+struct ByteRange
+{
+    mem::Addr lo;
+    mem::Addr hi;
+    std::uint32_t index;
+};
+
+/** Group the lonely (single-request) regions per paper Sec. III-A. */
+void
+mergeLonelyRegions(const mem::Trace &trace,
+                   std::vector<SpatialRegion> &regions)
+{
+    std::vector<SpatialRegion> keep;
+    std::vector<std::uint32_t> lonely; // request indices, addr order
+    for (auto &region : regions) {
+        if (region.indices.size() == 1)
+            lonely.push_back(region.indices.front());
+        else
+            keep.push_back(std::move(region));
+    }
+    regions = std::move(keep);
+    if (lonely.empty())
+        return;
+
+    // Lonely regions were produced in ascending address order, so the
+    // lonely list is already sorted by address. Group maximal runs of
+    // equal address spacing ("the same stride between them"); whatever
+    // does not form a run merges into one shared partition.
+    std::vector<std::vector<std::uint32_t>> runs;
+    std::vector<std::uint32_t> leftovers;
+
+    std::size_t i = 0;
+    while (i < lonely.size()) {
+        if (i + 1 >= lonely.size()) {
+            leftovers.push_back(lonely[i]);
+            break;
+        }
+        const std::int64_t stride =
+            static_cast<std::int64_t>(trace[lonely[i + 1]].addr) -
+            static_cast<std::int64_t>(trace[lonely[i]].addr);
+        std::size_t j = i + 1;
+        while (j + 1 < lonely.size() &&
+               static_cast<std::int64_t>(trace[lonely[j + 1]].addr) -
+                       static_cast<std::int64_t>(trace[lonely[j]].addr) ==
+                   stride) {
+            ++j;
+        }
+        // Run of >= 2 equally spaced lonely requests becomes one
+        // partition.
+        runs.emplace_back(lonely.begin() + static_cast<std::ptrdiff_t>(i),
+                          lonely.begin() +
+                              static_cast<std::ptrdiff_t>(j + 1));
+        i = j + 1;
+    }
+
+    if (!leftovers.empty())
+        runs.push_back(std::move(leftovers));
+
+    for (auto &run : runs) {
+        SpatialRegion region;
+        region.lo = trace[run.front()].addr;
+        region.hi = trace[run.front()].end();
+        for (const std::uint32_t idx : run) {
+            region.lo = std::min(region.lo, trace[idx].addr);
+            region.hi = std::max(region.hi, trace[idx].end());
+        }
+        std::sort(run.begin(), run.end());
+        region.indices = std::move(run);
+        regions.push_back(std::move(region));
+    }
+
+    // Keep a deterministic region order (by start address).
+    std::sort(regions.begin(), regions.end(),
+              [](const SpatialRegion &a, const SpatialRegion &b) {
+                  return a.lo != b.lo ? a.lo < b.lo
+                                      : a.indices.front() <
+                                            b.indices.front();
+              });
+}
+
+} // namespace
+
+std::vector<SpatialRegion>
+partitionSpatialDynamic(const mem::Trace &trace, const IndexList &indices)
+{
+    std::vector<SpatialRegion> out;
+    if (indices.empty())
+        return out;
+
+    // Algorithm 1: sort request byte-ranges, sweep and merge ranges
+    // that intersect or touch.
+    std::vector<ByteRange> ranges;
+    ranges.reserve(indices.size());
+    for (const std::uint32_t idx : indices)
+        ranges.push_back({trace[idx].addr, trace[idx].end(), idx});
+    std::sort(ranges.begin(), ranges.end(),
+              [](const ByteRange &a, const ByteRange &b) {
+                  if (a.lo != b.lo)
+                      return a.lo < b.lo;
+                  if (a.hi != b.hi)
+                      return a.hi < b.hi;
+                  return a.index < b.index;
+              });
+
+    SpatialRegion group;
+    group.lo = ranges.front().lo;
+    group.hi = ranges.front().hi;
+    group.indices.push_back(ranges.front().index);
+    for (std::size_t i = 1; i < ranges.size(); ++i) {
+        if (ranges[i].lo <= group.hi) {
+            group.hi = std::max(group.hi, ranges[i].hi);
+            group.indices.push_back(ranges[i].index);
+        } else {
+            out.push_back(std::move(group));
+            group = SpatialRegion{};
+            group.lo = ranges[i].lo;
+            group.hi = ranges[i].hi;
+            group.indices.push_back(ranges[i].index);
+        }
+    }
+    out.push_back(std::move(group));
+
+    mergeLonelyRegions(trace, out);
+
+    // Restore time order inside each region.
+    for (auto &region : out)
+        std::sort(region.indices.begin(), region.indices.end());
+    return out;
+}
+
+std::vector<Leaf>
+buildLeaves(const mem::Trace &trace, const PartitionConfig &config)
+{
+    assert(trace.isTimeOrdered());
+
+    struct Node
+    {
+        IndexList indices;
+        bool hasBounds = false;
+        mem::Addr lo = 0;
+        mem::Addr hi = 0;
+    };
+
+    IndexList all(trace.size());
+    for (std::uint32_t i = 0; i < trace.size(); ++i)
+        all[i] = i;
+
+    std::vector<Node> nodes;
+    nodes.push_back({std::move(all), false, 0, 0});
+
+    for (const PartitionLayer &layer : config.layers) {
+        std::vector<Node> next;
+        for (Node &node : nodes) {
+            if (node.indices.empty())
+                continue;
+            switch (layer.kind) {
+              case PartitionLayer::Kind::TemporalRequestCount:
+                for (auto &part :
+                     partitionByRequestCount(node.indices, layer.value)) {
+                    next.push_back({std::move(part), node.hasBounds,
+                                    node.lo, node.hi});
+                }
+                break;
+              case PartitionLayer::Kind::TemporalCycleCount:
+                for (auto &part : partitionByCycleCount(
+                         trace, node.indices, layer.value)) {
+                    next.push_back({std::move(part), node.hasBounds,
+                                    node.lo, node.hi});
+                }
+                break;
+              case PartitionLayer::Kind::SpatialFixed:
+                for (auto &region : partitionSpatialFixed(
+                         trace, node.indices, layer.value)) {
+                    next.push_back({std::move(region.indices), true,
+                                    region.lo, region.hi});
+                }
+                break;
+              case PartitionLayer::Kind::SpatialDynamic:
+                for (auto &region :
+                     partitionSpatialDynamic(trace, node.indices)) {
+                    next.push_back({std::move(region.indices), true,
+                                    region.lo, region.hi});
+                }
+                break;
+            }
+        }
+        nodes = std::move(next);
+    }
+
+    std::vector<Leaf> leaves;
+    leaves.reserve(nodes.size());
+    for (const Node &node : nodes) {
+        if (node.indices.empty())
+            continue;
+        Leaf leaf;
+        leaf.requests.reserve(node.indices.size());
+        for (const std::uint32_t idx : node.indices)
+            leaf.requests.push_back(trace[idx]);
+        if (node.hasBounds) {
+            leaf.addrLo = node.lo;
+            leaf.addrHi = node.hi;
+        } else {
+            leaf.addrLo = leaf.requests.front().addr;
+            leaf.addrHi = leaf.requests.front().end();
+            for (const auto &r : leaf.requests) {
+                leaf.addrLo = std::min(leaf.addrLo, r.addr);
+                leaf.addrHi = std::max(leaf.addrHi, r.end());
+            }
+        }
+        leaves.push_back(std::move(leaf));
+    }
+    return leaves;
+}
+
+} // namespace mocktails::core

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Temporal, spatial and hierarchical partitioning of request streams.
+ *
+ * Implements paper Sec. III-A: temporal partitioning by request count
+ * (as in STM) or by cycle count (as in SynFull); spatial partitioning
+ * into fixed-size blocks (as in HALO) or into *dynamic memory regions*
+ * (Alg. 1) that merge overlapping/adjacent request byte-ranges and
+ * group lonely requests; and the hierarchical composition of layers
+ * whose leaves are the modelled request subsets.
+ */
+
+#ifndef MOCKTAILS_CORE_PARTITION_HPP
+#define MOCKTAILS_CORE_PARTITION_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/trace.hpp"
+#include "util/codec.hpp"
+
+namespace mocktails::core
+{
+
+/** Indices into a trace, always kept in ascending (time) order. */
+using IndexList = std::vector<std::uint32_t>;
+
+/**
+ * One layer of the partitioning hierarchy.
+ */
+struct PartitionLayer
+{
+    enum class Kind : std::uint8_t
+    {
+        TemporalRequestCount = 0, ///< fixed number of requests
+        TemporalCycleCount = 1,   ///< fixed number of cycles
+        SpatialFixed = 2,         ///< fixed-size address blocks
+        SpatialDynamic = 3,       ///< Alg. 1 dynamic memory regions
+    };
+
+    Kind kind = Kind::TemporalCycleCount;
+
+    /** Requests per interval, cycles per interval, or block size in
+     *  bytes. Ignored for SpatialDynamic. */
+    std::uint64_t value = 0;
+
+    bool
+    isSpatial() const
+    {
+        return kind == Kind::SpatialFixed || kind == Kind::SpatialDynamic;
+    }
+
+    std::string describe() const;
+
+    friend bool
+    operator==(const PartitionLayer &a, const PartitionLayer &b)
+    {
+        return a.kind == b.kind && a.value == b.value;
+    }
+};
+
+/**
+ * The hierarchy configuration: an ordered list of layers applied from
+ * the root (all requests) down; leaves are the final partitions.
+ */
+struct PartitionConfig
+{
+    std::vector<PartitionLayer> layers;
+
+    /**
+     * The paper's 2L-TS configuration (Sec. IV-A): temporal
+     * cycle-count phases first, then dynamic spatial partitions.
+     */
+    static PartitionConfig twoLevelTs(std::uint64_t cycles = 500000);
+
+    /** Temporal request-count phases, then dynamic spatial (Sec. V). */
+    static PartitionConfig
+    twoLevelTsByRequests(std::uint64_t requests = 100000);
+
+    /** Temporal request-count phases, then fixed-size blocks. */
+    static PartitionConfig
+    twoLevelTsFixed(std::uint64_t requests = 100000,
+                    std::uint64_t block_size = 4096);
+
+    std::string describe() const;
+
+    void encode(util::ByteWriter &writer) const;
+    static bool decode(util::ByteReader &reader, PartitionConfig &config);
+
+    friend bool
+    operator==(const PartitionConfig &a, const PartitionConfig &b)
+    {
+        return a.layers == b.layers;
+    }
+};
+
+/**
+ * A spatial region produced by a spatial partitioning scheme.
+ */
+struct SpatialRegion
+{
+    mem::Addr lo = 0; ///< first byte of the region
+    mem::Addr hi = 0; ///< one past the last byte
+    IndexList indices; ///< member requests, in time order
+};
+
+/**
+ * The requests of one hierarchy leaf, plus the address range the
+ * synthesised addresses must stay within.
+ *
+ * For leaves under a dynamic spatial partition the range is the tight
+ * merged region; for fixed-size partitions it is the whole block (the
+ * "looser bounds" the paper discusses for Mocktails (4KB)); for purely
+ * temporal hierarchies it is the min/max touched by the leaf.
+ */
+struct Leaf
+{
+    std::vector<mem::Request> requests;
+    mem::Addr addrLo = 0;
+    mem::Addr addrHi = 0;
+};
+
+/// @name Single-layer partitioners
+/// Input indices must be in time order; outputs preserve time order
+/// inside each part and are deterministically ordered across parts.
+/// @{
+
+/** Consecutive chunks of @p per_interval requests. */
+std::vector<IndexList>
+partitionByRequestCount(const IndexList &indices,
+                        std::uint64_t per_interval);
+
+/** Fixed cycle windows of @p cycles, anchored at the first request. */
+std::vector<IndexList>
+partitionByCycleCount(const mem::Trace &trace, const IndexList &indices,
+                      std::uint64_t cycles);
+
+/** Group by fixed-size address block (by request start address). */
+std::vector<SpatialRegion>
+partitionSpatialFixed(const mem::Trace &trace, const IndexList &indices,
+                      std::uint64_t block_size);
+
+/**
+ * Dynamic memory regions (paper Alg. 1): merge intersecting/adjacent
+ * request byte-ranges; then merge lonely single-request regions,
+ * grouping equally-strided lonely requests into shared partitions.
+ */
+std::vector<SpatialRegion>
+partitionSpatialDynamic(const mem::Trace &trace,
+                        const IndexList &indices);
+
+/// @}
+
+/**
+ * Apply the full hierarchy to a trace and materialise the leaves.
+ *
+ * @pre trace.isTimeOrdered()
+ */
+std::vector<Leaf> buildLeaves(const mem::Trace &trace,
+                              const PartitionConfig &config);
+
+} // namespace mocktails::core
+
+#endif // MOCKTAILS_CORE_PARTITION_HPP

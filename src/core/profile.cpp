@@ -1,0 +1,168 @@
+#include "core/profile.hpp"
+
+#include <array>
+
+#include "util/compress.hpp"
+
+namespace mocktails::core
+{
+
+namespace
+{
+
+constexpr std::uint64_t profileMagic = 0x4d4b5046; // "MKPF"
+constexpr std::uint64_t profileVersion = 1;
+
+std::array<FeatureModelDecoder, 256> &
+decoderRegistry()
+{
+    static std::array<FeatureModelDecoder, 256> registry = [] {
+        std::array<FeatureModelDecoder, 256> r{};
+        r[ConstantModel::kTag] = &ConstantModel::decodePayload;
+        r[MarkovModel::kTag] = &MarkovModel::decodePayload;
+        return r;
+    }();
+    return registry;
+}
+
+} // namespace
+
+void
+registerFeatureModelDecoder(std::uint8_t tag, FeatureModelDecoder decoder)
+{
+    decoderRegistry()[tag] = decoder;
+}
+
+void
+encodeFeatureModel(util::ByteWriter &writer, const FeatureModelPtr &model)
+{
+    if (!model) {
+        writer.putByte(0);
+        return;
+    }
+    writer.putByte(model->tag());
+    model->encodePayload(writer);
+}
+
+FeatureModelPtr
+decodeFeatureModel(util::ByteReader &reader, bool &ok)
+{
+    const std::uint8_t tag = reader.getByte();
+    if (!reader.ok()) {
+        ok = false;
+        return nullptr;
+    }
+    if (tag == 0)
+        return nullptr;
+
+    const FeatureModelDecoder decoder = decoderRegistry()[tag];
+    if (!decoder) {
+        ok = false;
+        return nullptr;
+    }
+    FeatureModelPtr model = decoder(reader);
+    if (!model)
+        ok = false;
+    return model;
+}
+
+std::uint64_t
+Profile::totalRequests() const
+{
+    std::uint64_t total = 0;
+    for (const LeafModel &leaf : leaves)
+        total += leaf.count;
+    return total;
+}
+
+std::vector<std::uint8_t>
+Profile::encode() const
+{
+    util::ByteWriter w;
+    w.putVarint(profileMagic);
+    w.putVarint(profileVersion);
+    w.putString(name);
+    w.putString(device);
+    config.encode(w);
+    w.putVarint(leaves.size());
+
+    for (const LeafModel &leaf : leaves) {
+        w.putVarint(leaf.startTime);
+        w.putVarint(leaf.startAddr);
+        w.putVarint(leaf.addrLo);
+        w.putVarint(leaf.addrHi);
+        w.putVarint(leaf.count);
+        encodeFeatureModel(w, leaf.deltaTime);
+        encodeFeatureModel(w, leaf.stride);
+        encodeFeatureModel(w, leaf.op);
+        encodeFeatureModel(w, leaf.size);
+    }
+    return w.take();
+}
+
+std::vector<std::uint8_t>
+Profile::encodeCompressed() const
+{
+    return util::compress(encode());
+}
+
+bool
+Profile::decode(const std::vector<std::uint8_t> &bytes, Profile &profile)
+{
+    util::ByteReader r(bytes);
+    if (r.getVarint() != profileMagic || r.getVarint() != profileVersion)
+        return false;
+
+    profile.name = r.getString();
+    profile.device = r.getString();
+    if (!PartitionConfig::decode(r, profile.config))
+        return false;
+
+    const std::uint64_t count = r.getVarint();
+    // Each encoded leaf needs at least 9 bytes (5 varints + 4 tags);
+    // larger claims are corrupt.
+    if (!r.ok() || count > r.remaining() / 9 + 1)
+        return false;
+
+    profile.leaves.clear();
+    profile.leaves.reserve(count);
+    bool ok = true;
+    for (std::uint64_t i = 0; i < count && ok && r.ok(); ++i) {
+        LeafModel leaf;
+        leaf.startTime = r.getVarint();
+        leaf.startAddr = r.getVarint();
+        leaf.addrLo = r.getVarint();
+        leaf.addrHi = r.getVarint();
+        leaf.count = r.getVarint();
+        leaf.deltaTime = decodeFeatureModel(r, ok);
+        leaf.stride = decodeFeatureModel(r, ok);
+        leaf.op = decodeFeatureModel(r, ok);
+        leaf.size = decodeFeatureModel(r, ok);
+        profile.leaves.push_back(std::move(leaf));
+    }
+    return ok && r.ok();
+}
+
+bool
+Profile::decodeCompressed(const std::vector<std::uint8_t> &bytes,
+                          Profile &profile)
+{
+    std::vector<std::uint8_t> raw;
+    return util::decompress(bytes, raw) && decode(raw, profile);
+}
+
+bool
+saveProfile(const Profile &profile, const std::string &path)
+{
+    return util::saveBytes(path, profile.encodeCompressed());
+}
+
+bool
+loadProfile(const std::string &path, Profile &profile)
+{
+    std::vector<std::uint8_t> bytes;
+    return util::loadBytes(path, bytes) &&
+           Profile::decodeCompressed(bytes, profile);
+}
+
+} // namespace mocktails::core

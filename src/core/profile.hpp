@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The Mocktails statistical profile.
+ *
+ * A profile is the shareable artefact of the methodology (paper
+ * Fig. 1): a collection of per-leaf models plus the metadata needed to
+ * synthesise — start time, start address, address range and request
+ * count per leaf (Sec. III-B). Profiles serialise to a compact binary
+ * form and are compressed with the same codec as traces, enabling the
+ * size comparison of Fig. 17.
+ */
+
+#ifndef MOCKTAILS_CORE_PROFILE_HPP
+#define MOCKTAILS_CORE_PROFILE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mcc.hpp"
+#include "core/partition.hpp"
+#include "mem/request.hpp"
+
+namespace mocktails::core
+{
+
+/**
+ * The model of one hierarchy leaf: four independent feature models
+ * plus synthesis metadata.
+ */
+struct LeafModel
+{
+    /// Tick at which the leaf starts injecting.
+    mem::Tick startTime = 0;
+
+    /// Address of the leaf's first request.
+    mem::Addr startAddr = 0;
+
+    /// Synthesised addresses are wrapped into [addrLo, addrHi).
+    mem::Addr addrLo = 0;
+    mem::Addr addrHi = 0;
+
+    /// Number of requests the leaf synthesises.
+    std::uint64_t count = 0;
+
+    /// Feature models. deltaTime/stride are null when count < 2.
+    FeatureModelPtr deltaTime;
+    FeatureModelPtr stride;
+    FeatureModelPtr op;
+    FeatureModelPtr size;
+};
+
+/**
+ * A statistical profile: every leaf model of a partitioned trace.
+ */
+struct Profile
+{
+    std::string name;   ///< workload name (e.g. "HEVC1")
+    std::string device; ///< device class (e.g. "VPU")
+    PartitionConfig config;
+    std::vector<LeafModel> leaves;
+
+    /** Total requests synthesised by all leaves. */
+    std::uint64_t totalRequests() const;
+
+    /** Serialise to (uncompressed) bytes. */
+    std::vector<std::uint8_t> encode() const;
+
+    /** Serialise and compress — the distributable artefact. */
+    std::vector<std::uint8_t> encodeCompressed() const;
+
+    /** Decode from encode() bytes. @return false on corrupt input. */
+    static bool decode(const std::vector<std::uint8_t> &bytes,
+                       Profile &profile);
+
+    /** Decode from encodeCompressed() bytes. */
+    static bool decodeCompressed(const std::vector<std::uint8_t> &bytes,
+                                 Profile &profile);
+};
+
+/** Save a compressed profile to a file. */
+bool saveProfile(const Profile &profile, const std::string &path);
+
+/** Load a compressed profile from a file. */
+bool loadProfile(const std::string &path, Profile &profile);
+
+/**
+ * Register a decoder for a custom FeatureModel tag (used by the STM
+ * baseline). Core tags 1 (constant) and 2 (Markov) are pre-registered.
+ */
+using FeatureModelDecoder = FeatureModelPtr (*)(util::ByteReader &);
+void registerFeatureModelDecoder(std::uint8_t tag,
+                                 FeatureModelDecoder decoder);
+
+/** Encode a nullable feature model (tag 0 = absent). */
+void encodeFeatureModel(util::ByteWriter &writer,
+                        const FeatureModelPtr &model);
+
+/** Decode a nullable feature model. Sets @p ok false on failure. */
+FeatureModelPtr decodeFeatureModel(util::ByteReader &reader, bool &ok);
+
+} // namespace mocktails::core
+
+#endif // MOCKTAILS_CORE_PROFILE_HPP

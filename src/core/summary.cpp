@@ -1,0 +1,67 @@
+#include "core/summary.hpp"
+
+namespace mocktails::core
+{
+
+namespace
+{
+
+void
+census(const FeatureModelPtr &model, FeatureCensus &out)
+{
+    if (!model) {
+        ++out.absent;
+        return;
+    }
+    switch (model->tag()) {
+      case ConstantModel::kTag:
+        ++out.constant;
+        break;
+      case MarkovModel::kTag:
+        ++out.markov;
+        out.markovStates +=
+            static_cast<const MarkovModel &>(*model).chain().numStates();
+        break;
+      default:
+        ++out.other;
+        break;
+    }
+}
+
+} // namespace
+
+double
+ProfileSummary::constantFraction() const
+{
+    const std::uint64_t constants = deltaTime.constant +
+                                    stride.constant + op.constant +
+                                    size.constant;
+    const std::uint64_t total =
+        constants + deltaTime.markov + stride.markov + op.markov +
+        size.markov + deltaTime.other + stride.other + op.other +
+        size.other;
+    return total == 0 ? 0.0
+                      : static_cast<double>(constants) /
+                            static_cast<double>(total);
+}
+
+ProfileSummary
+summarize(const Profile &profile)
+{
+    ProfileSummary summary;
+    summary.leaves = profile.leaves.size();
+    summary.requests = profile.totalRequests();
+    summary.compressedBytes = profile.encodeCompressed().size();
+
+    for (const LeafModel &leaf : profile.leaves) {
+        if (leaf.count == 1)
+            ++summary.singletonLeaves;
+        census(leaf.deltaTime, summary.deltaTime);
+        census(leaf.stride, summary.stride);
+        census(leaf.op, summary.op);
+        census(leaf.size, summary.size);
+    }
+    return summary;
+}
+
+} // namespace mocktails::core

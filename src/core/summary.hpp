@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Profile introspection.
+ *
+ * Summarises what a statistical profile contains — how many leaves,
+ * which features collapsed to constants vs. needed Markov chains, and
+ * how big the chains are. This is the trade-off Fig. 17 discusses:
+ * metadata grows with the number of leaves and with chain sizes, and
+ * shrinks with every feature a partition renders constant.
+ */
+
+#ifndef MOCKTAILS_CORE_SUMMARY_HPP
+#define MOCKTAILS_CORE_SUMMARY_HPP
+
+#include <cstdint>
+
+#include "core/profile.hpp"
+
+namespace mocktails::core
+{
+
+/**
+ * Per-feature model census.
+ */
+struct FeatureCensus
+{
+    std::uint64_t absent = 0;   ///< null models (single-request leaves)
+    std::uint64_t constant = 0; ///< ConstantModel
+    std::uint64_t markov = 0;   ///< MarkovModel
+    std::uint64_t other = 0;    ///< foreign models (e.g. STM)
+
+    /** Total Markov states across all leaves for this feature. */
+    std::uint64_t markovStates = 0;
+};
+
+/**
+ * Aggregate description of a profile.
+ */
+struct ProfileSummary
+{
+    std::uint64_t leaves = 0;
+    std::uint64_t requests = 0;
+
+    /** Leaves synthesising exactly one request. */
+    std::uint64_t singletonLeaves = 0;
+
+    /** Size of the compressed encoding, in bytes. */
+    std::uint64_t compressedBytes = 0;
+
+    FeatureCensus deltaTime;
+    FeatureCensus stride;
+    FeatureCensus op;
+    FeatureCensus size;
+
+    /** Fraction of non-null feature models that are constants. */
+    double constantFraction() const;
+};
+
+/** Compute the summary of @p profile. */
+ProfileSummary summarize(const Profile &profile);
+
+} // namespace mocktails::core
+
+#endif // MOCKTAILS_CORE_SUMMARY_HPP

@@ -1,0 +1,158 @@
+#include "core/synthesis.hpp"
+
+#include <cassert>
+
+namespace mocktails::core
+{
+
+LeafSynthesizer::LeafSynthesizer(const LeafModel &leaf, util::Rng &rng)
+    : leaf_(&leaf)
+{
+    if (leaf.deltaTime)
+        delta_ = leaf.deltaTime->makeSampler(rng);
+    if (leaf.stride)
+        stride_ = leaf.stride->makeSampler(rng);
+    if (leaf.op)
+        op_ = leaf.op->makeSampler(rng);
+    if (leaf.size)
+        size_ = leaf.size->makeSampler(rng);
+}
+
+mem::Addr
+LeafSynthesizer::wrapAddress(std::int64_t candidate) const
+{
+    const auto lo = static_cast<std::int64_t>(leaf_->addrLo);
+    const auto hi = static_cast<std::int64_t>(leaf_->addrHi);
+    const std::int64_t span = hi - lo;
+    assert(span > 0);
+
+    if (candidate >= lo && candidate < hi)
+        return static_cast<mem::Addr>(candidate);
+
+    // Modulo the address back into the leaf's memory region to
+    // preserve spatial locality (paper Sec. III-C).
+    std::int64_t rel = (candidate - lo) % span;
+    if (rel < 0)
+        rel += span;
+    return static_cast<mem::Addr>(lo + rel);
+}
+
+bool
+LeafSynthesizer::next(mem::Request &out)
+{
+    if (generated_ >= leaf_->count)
+        return false;
+
+    if (generated_ == 0) {
+        time_ = leaf_->startTime;
+        addr_ = leaf_->startAddr;
+    } else {
+        const std::int64_t dt = delta_ ? delta_->next() : 0;
+        time_ = static_cast<mem::Tick>(
+            static_cast<std::int64_t>(time_) + dt);
+        const std::int64_t stride = stride_ ? stride_->next() : 0;
+        addr_ = wrapAddress(static_cast<std::int64_t>(addr_) + stride);
+    }
+
+    out.tick = time_;
+    out.addr = addr_;
+    out.op = (op_ && op_->next() != 0) ? mem::Op::Write : mem::Op::Read;
+    out.size = size_ ? static_cast<std::uint32_t>(size_->next()) : 1;
+    ++generated_;
+    return true;
+}
+
+SynthesisEngine::SynthesisEngine(const Profile &profile,
+                                 std::uint64_t seed)
+    : rng_(seed)
+{
+    const std::size_t n = profile.leaves.size();
+    // Reserve up front: samplers keep references into leaf_rngs_, so
+    // the vector must never reallocate after leaves_ are built.
+    leaf_rngs_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        leaf_rngs_.push_back(rng_.fork());
+
+    leaves_.reserve(n);
+    pending_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        leaves_.emplace_back(profile.leaves[i], leaf_rngs_[i]);
+        total_ += profile.leaves[i].count;
+        if (leaves_.back().next(pending_[i])) {
+            heap_.push(HeapEntry{pending_[i].tick,
+                                 static_cast<std::uint32_t>(i)});
+        }
+    }
+}
+
+bool
+SynthesisEngine::next(mem::Request &out)
+{
+    if (heap_.empty())
+        return false;
+
+    const HeapEntry entry = heap_.top();
+    heap_.pop();
+    out = pending_[entry.leaf];
+    ++generated_;
+
+    if (leaves_[entry.leaf].next(pending_[entry.leaf])) {
+        heap_.push(
+            HeapEntry{pending_[entry.leaf].tick, entry.leaf});
+    }
+    return true;
+}
+
+LoopedSynthesis::LoopedSynthesis(const Profile &profile,
+                                 std::uint64_t iterations,
+                                 mem::Tick gap, std::uint64_t seed)
+    : profile_(&profile), iterations_(iterations), gap_(gap),
+      seed_(seed)
+{
+    if (iterations_ > 0)
+        engine_ = std::make_unique<SynthesisEngine>(profile, seed_);
+}
+
+std::uint64_t
+LoopedSynthesis::total() const
+{
+    return iterations_ * profile_->totalRequests();
+}
+
+bool
+LoopedSynthesis::next(mem::Request &out)
+{
+    while (engine_) {
+        if (engine_->next(out)) {
+            out.tick += offset_;
+            last_tick_ = out.tick;
+            return true;
+        }
+        // This pass drained; start the next one (if any) after the
+        // configured idle gap, with a derived seed.
+        ++iteration_;
+        if (iteration_ >= iterations_) {
+            engine_.reset();
+            break;
+        }
+        offset_ = last_tick_ + gap_;
+        engine_ = std::make_unique<SynthesisEngine>(
+            *profile_, seed_ + iteration_);
+    }
+    return false;
+}
+
+mem::Trace
+synthesize(const Profile &profile, std::uint64_t seed)
+{
+    SynthesisEngine engine(profile, seed);
+    mem::Trace trace(profile.name + "-synth", profile.device);
+    trace.requests().reserve(engine.total());
+
+    mem::Request request;
+    while (engine.next(request))
+        trace.add(request);
+    return trace;
+}
+
+} // namespace mocktails::core

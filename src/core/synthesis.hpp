@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Request synthesis from a statistical profile.
+ *
+ * Each leaf model independently generates its partial order of
+ * requests; a priority queue keyed on timestamp merges the concurrent
+ * leaf streams into the total order (paper Sec. III-C, Fig. 5). Bursts
+ * emerge naturally when leaves have overlapping start times. The
+ * engine is a RequestSource, so it can feed the trace player directly
+ * (Fig. 1 Option B) or materialise a synthetic trace (Option A).
+ */
+
+#ifndef MOCKTAILS_CORE_SYNTHESIS_HPP
+#define MOCKTAILS_CORE_SYNTHESIS_HPP
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "mem/source.hpp"
+#include "mem/trace.hpp"
+#include "util/rng.hpp"
+
+namespace mocktails::core
+{
+
+/**
+ * Generates the request sequence of a single leaf.
+ */
+class LeafSynthesizer
+{
+  public:
+    /** The leaf model must outlive the synthesizer. */
+    LeafSynthesizer(const LeafModel &leaf, util::Rng &rng);
+
+    /**
+     * Produce the leaf's next request.
+     * @return false once count requests have been generated.
+     */
+    bool next(mem::Request &out);
+
+    std::uint64_t generated() const { return generated_; }
+
+  private:
+    mem::Addr wrapAddress(std::int64_t candidate) const;
+
+    const LeafModel *leaf_;
+    std::unique_ptr<FeatureSampler> delta_;
+    std::unique_ptr<FeatureSampler> stride_;
+    std::unique_ptr<FeatureSampler> op_;
+    std::unique_ptr<FeatureSampler> size_;
+
+    mem::Tick time_ = 0;
+    mem::Addr addr_ = 0;
+    std::uint64_t generated_ = 0;
+};
+
+/**
+ * The full synthesis engine: all leaves merged through a priority
+ * queue into one time-ordered request stream.
+ */
+class SynthesisEngine : public mem::RequestSource
+{
+  public:
+    /**
+     * @param profile Must outlive the engine.
+     * @param seed Seed for all stochastic choices; equal seeds give
+     *             identical streams.
+     */
+    explicit SynthesisEngine(const Profile &profile,
+                             std::uint64_t seed = 1);
+
+    bool next(mem::Request &out) override;
+
+    /** Requests produced so far. */
+    std::uint64_t generated() const { return generated_; }
+
+    /** Requests this engine will produce in total. */
+    std::uint64_t total() const { return total_; }
+
+  private:
+    struct HeapEntry
+    {
+        mem::Tick tick;
+        std::uint32_t leaf;
+
+        bool
+        operator>(const HeapEntry &other) const
+        {
+            if (tick != other.tick)
+                return tick > other.tick;
+            return leaf > other.leaf;
+        }
+    };
+
+    util::Rng rng_;
+    std::vector<util::Rng> leaf_rngs_;
+    std::vector<LeafSynthesizer> leaves_;
+    std::vector<mem::Request> pending_;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<HeapEntry>>
+        heap_;
+    std::uint64_t generated_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Convenience: synthesise the complete trace for a profile.
+ */
+mem::Trace synthesize(const Profile &profile, std::uint64_t seed = 1);
+
+/**
+ * Replays a profile repeatedly to drive simulations longer than the
+ * original trace.
+ *
+ * A profile synthesises exactly the request count it was built from.
+ * For longer runs, LoopedSynthesis restarts the engine each time it
+ * drains, shifting all timestamps so iteration k begins one inter-
+ * iteration gap after iteration k-1 ended, and reseeding so the
+ * iterations are not byte-identical. The per-iteration behaviour
+ * (bursts, footprints, mixes) is preserved — this emulates a workload
+ * that processes its input repeatedly (e.g. a display refreshing or a
+ * decoder looping a clip).
+ */
+class LoopedSynthesis : public mem::RequestSource
+{
+  public:
+    /**
+     * @param profile Must outlive the source.
+     * @param iterations Number of full passes to generate.
+     * @param gap Idle ticks inserted between passes.
+     */
+    LoopedSynthesis(const Profile &profile, std::uint64_t iterations,
+                    mem::Tick gap = 0, std::uint64_t seed = 1);
+
+    bool next(mem::Request &out) override;
+
+    std::uint64_t iterationsDone() const { return iteration_; }
+    std::uint64_t total() const;
+
+  private:
+    const Profile *profile_;
+    std::uint64_t iterations_;
+    mem::Tick gap_;
+    std::uint64_t seed_;
+    std::uint64_t iteration_ = 0;
+    mem::Tick offset_ = 0;
+    mem::Tick last_tick_ = 0;
+    std::unique_ptr<SynthesisEngine> engine_;
+};
+
+} // namespace mocktails::core
+
+#endif // MOCKTAILS_CORE_SYNTHESIS_HPP

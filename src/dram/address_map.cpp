@@ -1,0 +1,84 @@
+#include "dram/address_map.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace mocktails::dram
+{
+
+bool
+DramConfig::isValid()
+    const
+{
+    const bool pow2 = std::has_single_bit(channels) &&
+                      std::has_single_bit(ranksPerChannel) &&
+                      std::has_single_bit(banksPerRank) &&
+                      std::has_single_bit(burstSize) &&
+                      std::has_single_bit(rowBufferSize);
+    return pow2 && burstSize > 0 && rowBufferSize >= burstSize &&
+           readQueueCapacity > 0 && writeQueueCapacity > 0 &&
+           writeLowThreshold <= writeHighThreshold && tBURST > 0;
+}
+
+AddressMap::AddressMap(const DramConfig &config)
+    : mapping_(config.mapping),
+      burst_shift_(std::countr_zero(config.burstSize)),
+      channels_(config.channels),
+      ranks_(config.ranksPerChannel),
+      banks_(config.banksPerRank),
+      columns_(config.columnsPerRow())
+{
+    assert(config.isValid());
+}
+
+DramCoord
+AddressMap::decode(mem::Addr addr) const
+{
+    std::uint64_t a = addr >> burst_shift_;
+    DramCoord c;
+
+    switch (mapping_) {
+      case AddressMapping::RoRaBaChCo:
+        c.column = static_cast<std::uint32_t>(a % columns_);
+        a /= columns_;
+        c.channel = static_cast<std::uint32_t>(a % channels_);
+        a /= channels_;
+        break;
+      case AddressMapping::RoRaBaCoCh:
+        c.channel = static_cast<std::uint32_t>(a % channels_);
+        a /= channels_;
+        c.column = static_cast<std::uint32_t>(a % columns_);
+        a /= columns_;
+        break;
+    }
+
+    c.bank = static_cast<std::uint32_t>(a % banks_);
+    a /= banks_;
+    c.rank = static_cast<std::uint32_t>(a % ranks_);
+    a /= ranks_;
+    c.row = a;
+    return c;
+}
+
+mem::Addr
+AddressMap::encode(const DramCoord &coord) const
+{
+    std::uint64_t a = coord.row;
+    a = a * ranks_ + coord.rank;
+    a = a * banks_ + coord.bank;
+
+    switch (mapping_) {
+      case AddressMapping::RoRaBaChCo:
+        a = a * channels_ + coord.channel;
+        a = a * columns_ + coord.column;
+        break;
+      case AddressMapping::RoRaBaCoCh:
+        a = a * columns_ + coord.column;
+        a = a * channels_ + coord.channel;
+        break;
+    }
+
+    return a << burst_shift_;
+}
+
+} // namespace mocktails::dram

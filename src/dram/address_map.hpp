@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Physical address decomposition into DRAM coordinates.
+ */
+
+#ifndef MOCKTAILS_DRAM_ADDRESS_MAP_HPP
+#define MOCKTAILS_DRAM_ADDRESS_MAP_HPP
+
+#include <cstdint>
+
+#include "dram/config.hpp"
+#include "mem/request.hpp"
+
+namespace mocktails::dram
+{
+
+/**
+ * The DRAM coordinates of one burst-sized access.
+ */
+struct DramCoord
+{
+    std::uint32_t channel = 0;
+    std::uint32_t rank = 0;
+    std::uint32_t bank = 0;
+    std::uint64_t row = 0;
+    std::uint32_t column = 0; ///< burst index within the row
+
+    /** Flat bank identifier within the channel (rank*banks + bank). */
+    std::uint32_t
+    flatBank(const DramConfig &config) const
+    {
+        return rank * config.banksPerRank + bank;
+    }
+
+    friend bool
+    operator==(const DramCoord &a, const DramCoord &b)
+    {
+        return a.channel == b.channel && a.rank == b.rank &&
+               a.bank == b.bank && a.row == b.row && a.column == b.column;
+    }
+};
+
+/**
+ * Decodes byte addresses into DRAM coordinates per the configured
+ * interleaving scheme.
+ */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const DramConfig &config);
+
+    /** Decode the burst containing byte address @p addr. */
+    DramCoord decode(mem::Addr addr) const;
+
+    /** Inverse of decode (returns the first byte of the burst). */
+    mem::Addr encode(const DramCoord &coord) const;
+
+  private:
+    AddressMapping mapping_;
+    std::uint32_t burst_shift_;
+    std::uint32_t channels_;
+    std::uint32_t ranks_;
+    std::uint32_t banks_;
+    std::uint32_t columns_;
+};
+
+} // namespace mocktails::dram
+
+#endif // MOCKTAILS_DRAM_ADDRESS_MAP_HPP

@@ -1,0 +1,225 @@
+#include "dram/channel.hpp"
+
+#include <cassert>
+
+namespace mocktails::dram
+{
+
+Channel::Channel(sim::EventQueue &events, const DramConfig &config,
+                 CompletionCallback on_complete)
+    : events_(events), config_(config),
+      on_complete_(std::move(on_complete)),
+      open_row_(config.banksPerChannel())
+{
+    stats_.perBankReadBursts.assign(config.banksPerChannel(), 0);
+    stats_.perBankWriteBursts.assign(config.banksPerChannel(), 0);
+}
+
+void
+Channel::push(const Burst &burst)
+{
+    if (burst.isRead) {
+        assert(canAcceptRead());
+        stats_.readQueueSeen.add(
+            static_cast<std::int64_t>(read_queue_.size()));
+        read_queue_.push_back(burst);
+    } else {
+        assert(canAcceptWrite());
+        stats_.writeQueueSeen.add(
+            static_cast<std::int64_t>(write_queue_.size()));
+        write_queue_.push_back(burst);
+    }
+
+    if (!busy_)
+        trySchedule();
+}
+
+void
+Channel::trySchedule()
+{
+    if (busy_)
+        return;
+
+    // Refresh is charged lazily: when the interval has elapsed and
+    // there is pending work to observe it. (A strictly periodic
+    // refresh event would keep the simulation alive forever; idle
+    // refreshes are invisible to every collected metric.)
+    if (config_.tREFI > 0 &&
+        events_.now() - last_refresh_ >= config_.tREFI &&
+        (!read_queue_.empty() || !write_queue_.empty())) {
+        performRefresh();
+        return;
+    }
+
+    if (write_mode_) {
+        // Leave the drain once the low watermark is reached (with the
+        // minimum-writes hysteresis) or there is nothing left to write.
+        const bool drained =
+            write_queue_.empty() ||
+            (write_queue_.size() <= config_.writeLowMark() &&
+             writes_this_drain_ >= config_.minWritesPerSwitch);
+        if (drained)
+            write_mode_ = false;
+    }
+
+    if (!write_mode_) {
+        // Enter the drain when the high watermark is crossed, or when
+        // there is nothing else to do (gem5 drains writes when idle).
+        const bool pressured =
+            write_queue_.size() >= config_.writeHighMark();
+        const bool idle_drain =
+            read_queue_.empty() && !write_queue_.empty();
+        if (pressured || idle_drain) {
+            write_mode_ = true;
+            writes_this_drain_ = 0;
+            stats_.readsPerTurnaround.add(
+                static_cast<double>(reads_this_turn_));
+            ++stats_.turnarounds;
+            reads_this_turn_ = 0;
+        }
+    }
+
+    std::deque<Burst> &queue = write_mode_ ? write_queue_ : read_queue_;
+    const std::size_t index = pickIndex(queue);
+    if (index == npos)
+        return; // both queues empty; stay idle until the next push
+
+    service(queue, index);
+}
+
+void
+Channel::performRefresh()
+{
+    last_refresh_ = events_.now();
+    for (auto &row : open_row_)
+        row.reset();
+    ++stats_.refreshes;
+
+    busy_ = true;
+    stats_.busyCycles += config_.tRFC;
+    stats_.lastActiveTick = std::max<std::uint64_t>(
+        stats_.lastActiveTick, events_.now() + config_.tRFC);
+    events_.scheduleIn(config_.tRFC, [this] {
+        busy_ = false;
+        trySchedule();
+    });
+}
+
+std::size_t
+Channel::pickIndex(const std::deque<Burst> &queue) const
+{
+    if (queue.empty())
+        return npos;
+    if (config_.scheduling == Scheduling::Fcfs)
+        return 0;
+
+    // FR-FCFS: the oldest burst that hits an open row, else the oldest.
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        const auto &open = open_row_[queue[i].bank];
+        if (open && *open == queue[i].row)
+            return i;
+    }
+    return 0;
+}
+
+void
+Channel::service(std::deque<Burst> &queue, std::size_t index)
+{
+    const Burst burst = queue[index];
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+
+    const auto &open = open_row_[burst.bank];
+    const bool hit = open && *open == burst.row;
+    const bool conflict = open && *open != burst.row;
+
+    std::uint32_t prep = 0;
+    if (conflict)
+        prep = config_.tRP + config_.tRCD;
+    else if (!hit)
+        prep = config_.tRCD;
+
+    // Bus direction turnaround penalty (none for the first burst).
+    std::uint32_t turnaround = 0;
+    if (any_serviced_) {
+        if (last_was_write_ && burst.isRead)
+            turnaround = config_.tWTR;
+        else if (!last_was_write_ && !burst.isRead)
+            turnaround = config_.tRTW;
+    }
+
+    const std::uint32_t access =
+        burst.isRead ? config_.tCL : config_.tCWL;
+    const sim::Tick start = events_.now() + turnaround;
+    const sim::Tick completion = start + prep + access + config_.tBURST;
+    const sim::Tick bus_free = start + prep + config_.tBURST;
+
+    // Statistics.
+    if (burst.isRead) {
+        ++stats_.readBursts;
+        if (hit)
+            ++stats_.readRowHits;
+        ++stats_.perBankReadBursts[burst.bank];
+        ++reads_this_turn_;
+    } else {
+        ++stats_.writeBursts;
+        if (hit)
+            ++stats_.writeRowHits;
+        ++stats_.perBankWriteBursts[burst.bank];
+        ++writes_this_drain_;
+    }
+
+    open_row_[burst.bank] = burst.row;
+    updatePagePolicy(burst.bank, burst.row);
+    last_was_write_ = !burst.isRead;
+    any_serviced_ = true;
+
+    busy_ = true;
+    stats_.busyCycles += bus_free - events_.now();
+    stats_.lastActiveTick = std::max<std::uint64_t>(
+        stats_.lastActiveTick, completion);
+    events_.schedule(completion, [this, burst, completion] {
+        on_complete_(burst, completion);
+    });
+    events_.schedule(bus_free, [this] {
+        busy_ = false;
+        trySchedule();
+    });
+}
+
+void
+Channel::updatePagePolicy(std::uint32_t bank, std::uint64_t row)
+{
+    switch (config_.pagePolicy) {
+      case PagePolicy::Closed:
+        open_row_[bank].reset();
+        break;
+      case PagePolicy::Open:
+        break;
+      case PagePolicy::OpenAdaptive:
+        // Precharge early only when a conflicting access is already
+        // queued and no queued access still wants this row.
+        if (!anyPending(bank, row, true) && anyPending(bank, row, false))
+            open_row_[bank].reset();
+        break;
+    }
+}
+
+bool
+Channel::anyPending(std::uint32_t bank, std::uint64_t row,
+                    bool same_row) const
+{
+    const auto matches = [&](const Burst &b) {
+        return b.bank == bank && ((b.row == row) == same_row);
+    };
+    for (const Burst &b : read_queue_) {
+        if (matches(b))
+            return true;
+    }
+    for (const Burst &b : write_queue_) {
+        if (matches(b))
+            return true;
+    }
+    return false;
+}
+
+} // namespace mocktails::dram

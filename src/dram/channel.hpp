@@ -1,0 +1,132 @@
+/**
+ * @file
+ * A single DRAM channel controller.
+ *
+ * Models a gem5-style memory controller (Hansson et al., ISPASS'14, as
+ * used by the paper): separate read and write burst queues, FR-FCFS
+ * scheduling, an open-adaptive page policy and a write-drain state
+ * machine with high/low watermarks. One burst occupies the channel's
+ * data bus at a time; bank preparation (activate/precharge) extends the
+ * service occupancy of row misses and conflicts.
+ */
+
+#ifndef MOCKTAILS_DRAM_CHANNEL_HPP
+#define MOCKTAILS_DRAM_CHANNEL_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "dram/address_map.hpp"
+#include "dram/config.hpp"
+#include "dram/stats.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mocktails::dram
+{
+
+/**
+ * One burst-sized unit of work inside a channel.
+ */
+struct Burst
+{
+    sim::Tick arrival = 0;      ///< admission tick
+    std::uint64_t row = 0;      ///< target row
+    std::uint32_t bank = 0;     ///< flat bank index within the channel
+    bool isRead = true;
+    std::uint64_t requestId = 0; ///< owning request, for completion
+};
+
+/**
+ * A DRAM channel: queues, scheduler, banks and the drain state machine.
+ */
+class Channel
+{
+  public:
+    /** Invoked when a burst finishes (data returned / written). */
+    using CompletionCallback =
+        std::function<void(const Burst &, sim::Tick completion)>;
+
+    Channel(sim::EventQueue &events, const DramConfig &config,
+            CompletionCallback on_complete);
+
+    /** Bursts currently queued for reading. */
+    std::size_t readQueueSize() const { return read_queue_.size(); }
+
+    /** Bursts currently queued for writing. */
+    std::size_t writeQueueSize() const { return write_queue_.size(); }
+
+    /** True when a read burst can be admitted. */
+    bool
+    canAcceptRead() const
+    {
+        return read_queue_.size() < config_.readQueueCapacity;
+    }
+
+    /** True when a write burst can be admitted. */
+    bool
+    canAcceptWrite() const
+    {
+        return write_queue_.size() < config_.writeQueueCapacity;
+    }
+
+    /**
+     * Admit one burst. @pre the corresponding canAccept*() is true.
+     * Samples the queue-seen statistics and wakes the scheduler.
+     */
+    void push(const Burst &burst);
+
+    /** True when both queues are empty and the bus is idle. */
+    bool idle() const { return !busy_ && read_queue_.empty() &&
+                               write_queue_.empty(); }
+
+    const ChannelStats &stats() const { return stats_; }
+
+  private:
+    /// Scheduler entry point; runs whenever the bus may start a burst.
+    void trySchedule();
+
+    /// Perform one refresh: close all rows, occupy the bus for tRFC.
+    void performRefresh();
+
+    /// Execute the burst at @p index of @p queue.
+    void service(std::deque<Burst> &queue, std::size_t index);
+
+    /// FR-FCFS / FCFS victim selection. Returns npos when empty.
+    std::size_t pickIndex(const std::deque<Burst> &queue) const;
+
+    /// Apply the page policy after an access to @p bank / @p row.
+    void updatePagePolicy(std::uint32_t bank, std::uint64_t row);
+
+    /// True when any queued burst targets @p bank with/without @p row.
+    bool anyPending(std::uint32_t bank, std::uint64_t row,
+                    bool same_row) const;
+
+    sim::EventQueue &events_;
+    DramConfig config_;
+    CompletionCallback on_complete_;
+
+    std::deque<Burst> read_queue_;
+    std::deque<Burst> write_queue_;
+
+    /// Open row per flat bank; nullopt = precharged.
+    std::vector<std::optional<std::uint64_t>> open_row_;
+
+    bool busy_ = false;          ///< a burst occupies the bus
+    sim::Tick last_refresh_ = 0; ///< tick of the previous refresh
+    bool write_mode_ = false;    ///< draining writes
+    bool last_was_write_ = false;
+    bool any_serviced_ = false;  ///< no turnaround before first burst
+    std::uint64_t reads_this_turn_ = 0;
+    std::uint64_t writes_this_drain_ = 0;
+
+    ChannelStats stats_;
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+} // namespace mocktails::dram
+
+#endif // MOCKTAILS_DRAM_CHANNEL_HPP

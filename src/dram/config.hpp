@@ -1,0 +1,130 @@
+/**
+ * @file
+ * DRAM subsystem configuration.
+ *
+ * Defaults reproduce the paper's Table III: 4 channels, 1 rank per
+ * channel, 8 banks per rank, 32-byte bursts, 32/64-entry read/write
+ * queues and 85%/50% write-drain thresholds. The policies match the
+ * evaluation setup: FR-FCFS scheduling with an open-adaptive page
+ * policy and a write-drain model (paper Sec. IV-A).
+ */
+
+#ifndef MOCKTAILS_DRAM_CONFIG_HPP
+#define MOCKTAILS_DRAM_CONFIG_HPP
+
+#include <cstdint>
+
+#include "mem/request.hpp"
+
+namespace mocktails::dram
+{
+
+/** How a flat physical address is spread across the DRAM topology. */
+enum class AddressMapping : std::uint8_t
+{
+    /** row:rank:bank:channel:column — channel interleave at row size. */
+    RoRaBaChCo = 0,
+    /** row:rank:bank:column:channel — channel interleave per burst. */
+    RoRaBaCoCh = 1,
+};
+
+/** Row-buffer management policy. */
+enum class PagePolicy : std::uint8_t
+{
+    /** Keep rows open until a conflicting access arrives. */
+    Open = 0,
+    /** Keep rows open, but precharge early when a queued conflict is
+     *  visible and no queued hit remains (gem5's open_adaptive). */
+    OpenAdaptive = 1,
+    /** Precharge after every access. */
+    Closed = 2,
+};
+
+/** Queue scheduling policy. */
+enum class Scheduling : std::uint8_t
+{
+    /** First come, first served. */
+    Fcfs = 0,
+    /** First-ready FCFS: oldest row hit first, then oldest. */
+    FrFcfs = 1,
+};
+
+/**
+ * Full configuration of the memory system.
+ *
+ * Timing values are expressed in interconnect clock cycles (the tick
+ * unit used throughout the library).
+ */
+struct DramConfig
+{
+    /// @name Topology (Table III)
+    /// @{
+    std::uint32_t channels = 4;
+    std::uint32_t ranksPerChannel = 1;
+    std::uint32_t banksPerRank = 8;
+    std::uint32_t burstSize = 32;       ///< bytes per DRAM burst
+    std::uint32_t rowBufferSize = 2048; ///< bytes per row per bank
+    /// @}
+
+    /// @name Queues and write drain (Table III)
+    /// @{
+    std::uint32_t readQueueCapacity = 32;  ///< bursts
+    std::uint32_t writeQueueCapacity = 64; ///< bursts
+    double writeHighThreshold = 0.85;      ///< enter drain at this fill
+    double writeLowThreshold = 0.50;       ///< leave drain at this fill
+    std::uint32_t minWritesPerSwitch = 16; ///< hysteresis floor
+    /// @}
+
+    /// @name Policies
+    /// @{
+    AddressMapping mapping = AddressMapping::RoRaBaChCo;
+    PagePolicy pagePolicy = PagePolicy::OpenAdaptive;
+    Scheduling scheduling = Scheduling::FrFcfs;
+    /// @}
+
+    /// @name Timing (cycles)
+    /// @{
+    std::uint32_t tRCD = 14;   ///< activate to column command
+    std::uint32_t tRP = 14;    ///< precharge period
+    std::uint32_t tCL = 14;    ///< read column access latency
+    std::uint32_t tCWL = 10;   ///< write column access latency
+    std::uint32_t tBURST = 4;  ///< data bus occupancy per burst
+    std::uint32_t tRTW = 4;    ///< read-to-write bus turnaround
+    std::uint32_t tWTR = 8;    ///< write-to-read bus turnaround
+    /// @}
+
+    /// @name Refresh (cycles; tREFI = 0 disables refresh)
+    /// @{
+    std::uint64_t tREFI = 7800; ///< interval between refreshes
+    std::uint32_t tRFC = 140;   ///< refresh duration (blocks channel)
+    /// @}
+
+    std::uint32_t banksPerChannel() const
+    {
+        return ranksPerChannel * banksPerRank;
+    }
+
+    std::uint32_t columnsPerRow() const
+    {
+        return rowBufferSize / burstSize;
+    }
+
+    std::uint32_t writeHighMark() const
+    {
+        return static_cast<std::uint32_t>(writeHighThreshold *
+                                          writeQueueCapacity);
+    }
+
+    std::uint32_t writeLowMark() const
+    {
+        return static_cast<std::uint32_t>(writeLowThreshold *
+                                          writeQueueCapacity);
+    }
+
+    /** Validity check: power-of-two geometry, non-zero sizes. */
+    bool isValid() const;
+};
+
+} // namespace mocktails::dram
+
+#endif // MOCKTAILS_DRAM_CONFIG_HPP

@@ -1,0 +1,181 @@
+#include "dram/memory_system.hpp"
+
+#include <cassert>
+
+namespace mocktails::dram
+{
+
+MemorySystem::MemorySystem(sim::EventQueue &events,
+                           const DramConfig &config)
+    : events_(events), config_(config), map_(config)
+{
+    assert(config.isValid());
+    channels_.reserve(config.channels);
+    for (std::uint32_t c = 0; c < config.channels; ++c) {
+        channels_.push_back(std::make_unique<Channel>(
+            events_, config_,
+            [this](const Burst &b, sim::Tick t) {
+                onBurstComplete(b, t);
+            }));
+    }
+}
+
+bool
+MemorySystem::tryInject(const mem::Request &request)
+{
+    assert(request.size > 0);
+
+    // Enumerate the bursts the request touches.
+    const mem::Addr first = request.addr & ~mem::Addr{config_.burstSize - 1};
+    const mem::Addr last =
+        (request.end() - 1) & ~mem::Addr{config_.burstSize - 1};
+
+    // Count per-channel demand so admission can be all-or-nothing.
+    std::vector<std::uint32_t> demand(config_.channels, 0);
+    std::uint32_t burst_count = 0;
+    for (mem::Addr a = first;; a += config_.burstSize) {
+        ++demand[map_.decode(a).channel];
+        ++burst_count;
+        if (a == last)
+            break;
+    }
+
+    for (std::uint32_t c = 0; c < config_.channels; ++c) {
+        if (demand[c] == 0)
+            continue;
+        const auto &channel = *channels_[c];
+        const std::size_t free =
+            request.isRead()
+                ? config_.readQueueCapacity - channel.readQueueSize()
+                : config_.writeQueueCapacity - channel.writeQueueSize();
+        if (demand[c] > free) {
+            ++stats_.backpressureRejects;
+            return false;
+        }
+    }
+
+    const std::uint64_t id = next_request_id_++;
+    pending_.emplace(id, Pending{events_.now(), burst_count,
+                                 request.isRead()});
+
+    ++stats_.requests;
+    if (request.isRead())
+        ++stats_.readRequests;
+    else
+        ++stats_.writeRequests;
+
+    for (mem::Addr a = first;; a += config_.burstSize) {
+        const DramCoord coord = map_.decode(a);
+        Burst burst;
+        burst.arrival = events_.now();
+        burst.row = coord.row;
+        burst.bank = coord.flatBank(config_);
+        burst.isRead = request.isRead();
+        burst.requestId = id;
+        channels_[coord.channel]->push(burst);
+        if (a == last)
+            break;
+    }
+    return true;
+}
+
+bool
+MemorySystem::idle() const
+{
+    for (const auto &channel : channels_) {
+        if (!channel->idle())
+            return false;
+    }
+    return true;
+}
+
+const ChannelStats &
+MemorySystem::channelStats(std::uint32_t channel) const
+{
+    assert(channel < channels_.size());
+    return channels_[channel]->stats();
+}
+
+std::uint64_t
+MemorySystem::totalReadBursts() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : channels_)
+        sum += c->stats().readBursts;
+    return sum;
+}
+
+std::uint64_t
+MemorySystem::totalWriteBursts() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : channels_)
+        sum += c->stats().writeBursts;
+    return sum;
+}
+
+std::uint64_t
+MemorySystem::totalReadRowHits() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : channels_)
+        sum += c->stats().readRowHits;
+    return sum;
+}
+
+std::uint64_t
+MemorySystem::totalWriteRowHits() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : channels_)
+        sum += c->stats().writeRowHits;
+    return sum;
+}
+
+double
+MemorySystem::avgReadQueueLength() const
+{
+    double sum = 0.0;
+    std::uint64_t samples = 0;
+    for (const auto &c : channels_) {
+        const auto &h = c->stats().readQueueSeen;
+        sum += h.mean() * static_cast<double>(h.total());
+        samples += h.total();
+    }
+    return samples == 0 ? 0.0 : sum / static_cast<double>(samples);
+}
+
+double
+MemorySystem::avgWriteQueueLength() const
+{
+    double sum = 0.0;
+    std::uint64_t samples = 0;
+    for (const auto &c : channels_) {
+        const auto &h = c->stats().writeQueueSeen;
+        sum += h.mean() * static_cast<double>(h.total());
+        samples += h.total();
+    }
+    return samples == 0 ? 0.0 : sum / static_cast<double>(samples);
+}
+
+void
+MemorySystem::onBurstComplete(const Burst &burst, sim::Tick completion)
+{
+    const auto it = pending_.find(burst.requestId);
+    assert(it != pending_.end());
+    Pending &p = it->second;
+    assert(p.outstanding > 0);
+    if (--p.outstanding == 0) {
+        if (p.isRead) {
+            stats_.readLatency.add(
+                static_cast<double>(completion - p.admission));
+        }
+        if (on_request_complete_) {
+            on_request_complete_(burst.requestId, p.isRead,
+                                 p.admission, completion);
+        }
+        pending_.erase(it);
+    }
+}
+
+} // namespace mocktails::dram

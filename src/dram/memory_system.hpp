@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The multi-channel memory system.
+ *
+ * Splits incoming requests into DRAM bursts, routes each burst to its
+ * channel per the address mapping, and aggregates statistics. Requests
+ * are admitted atomically: if any burst would overflow its destination
+ * queue the whole request is rejected, signalling backpressure to the
+ * injector (paper Sec. III-C, "Simulator Feedback").
+ */
+
+#ifndef MOCKTAILS_DRAM_MEMORY_SYSTEM_HPP
+#define MOCKTAILS_DRAM_MEMORY_SYSTEM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dram/address_map.hpp"
+#include "dram/channel.hpp"
+#include "dram/config.hpp"
+#include "dram/stats.hpp"
+#include "mem/request.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mocktails::dram
+{
+
+/**
+ * The full DRAM subsystem: one controller per channel plus routing.
+ */
+class MemorySystem
+{
+  public:
+    /**
+     * Invoked when the last burst of a request finishes.
+     *
+     * @param id        The id returned by lastRequestId() at inject.
+     * @param is_read   Operation of the request.
+     * @param admitted  Tick the request entered the queues.
+     * @param completed Tick its final burst finished.
+     */
+    using CompletionCallback =
+        std::function<void(std::uint64_t id, bool is_read,
+                           sim::Tick admitted, sim::Tick completed)>;
+
+    MemorySystem(sim::EventQueue &events, const DramConfig &config);
+
+    /**
+     * Try to admit a request at the current simulation time.
+     *
+     * @return false when backpressure prevents admission; the caller
+     *         should retry later.
+     */
+    bool tryInject(const mem::Request &request);
+
+    /** Id assigned to the most recently admitted request. */
+    std::uint64_t lastRequestId() const { return next_request_id_ - 1; }
+
+    /** Observe request completions (e.g., per-source accounting). */
+    void
+    setCompletionCallback(CompletionCallback callback)
+    {
+        on_request_complete_ = std::move(callback);
+    }
+
+    /** True when every channel has drained. */
+    bool idle() const;
+
+    const DramConfig &config() const { return config_; }
+    const AddressMap &addressMap() const { return map_; }
+
+    /** Per-channel statistics. */
+    const ChannelStats &channelStats(std::uint32_t channel) const;
+    std::uint32_t channelCount() const
+    {
+        return static_cast<std::uint32_t>(channels_.size());
+    }
+
+    /** System-level statistics. */
+    const MemoryStats &stats() const { return stats_; }
+
+    /// @name Aggregates over channels
+    /// @{
+    std::uint64_t totalReadBursts() const;
+    std::uint64_t totalWriteBursts() const;
+    std::uint64_t totalReadRowHits() const;
+    std::uint64_t totalWriteRowHits() const;
+    double avgReadQueueLength() const;
+    double avgWriteQueueLength() const;
+    /// @}
+
+  private:
+    struct Pending
+    {
+        sim::Tick admission = 0;
+        std::uint32_t outstanding = 0;
+        bool isRead = true;
+    };
+
+    void onBurstComplete(const Burst &burst, sim::Tick completion);
+
+    sim::EventQueue &events_;
+    DramConfig config_;
+    AddressMap map_;
+    std::vector<std::unique_ptr<Channel>> channels_;
+    std::unordered_map<std::uint64_t, Pending> pending_;
+    std::uint64_t next_request_id_ = 0;
+    MemoryStats stats_;
+    CompletionCallback on_request_complete_;
+};
+
+} // namespace mocktails::dram
+
+#endif // MOCKTAILS_DRAM_MEMORY_SYSTEM_HPP

@@ -1,0 +1,108 @@
+#include "dram/simulate.hpp"
+
+#include "dram/memory_system.hpp"
+#include "dram/trace_player.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mocktails::dram
+{
+
+std::uint64_t
+SimulationResult::readBursts() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : channels)
+        sum += c.readBursts;
+    return sum;
+}
+
+std::uint64_t
+SimulationResult::writeBursts() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : channels)
+        sum += c.writeBursts;
+    return sum;
+}
+
+std::uint64_t
+SimulationResult::readRowHits() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : channels)
+        sum += c.readRowHits;
+    return sum;
+}
+
+std::uint64_t
+SimulationResult::writeRowHits() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : channels)
+        sum += c.writeRowHits;
+    return sum;
+}
+
+double
+SimulationResult::avgReadQueueLength() const
+{
+    double sum = 0.0;
+    std::uint64_t samples = 0;
+    for (const auto &c : channels) {
+        sum += c.readQueueSeen.mean() *
+               static_cast<double>(c.readQueueSeen.total());
+        samples += c.readQueueSeen.total();
+    }
+    return samples == 0 ? 0.0 : sum / static_cast<double>(samples);
+}
+
+double
+SimulationResult::avgWriteQueueLength() const
+{
+    double sum = 0.0;
+    std::uint64_t samples = 0;
+    for (const auto &c : channels) {
+        sum += c.writeQueueSeen.mean() *
+               static_cast<double>(c.writeQueueSeen.total());
+        samples += c.writeQueueSeen.total();
+    }
+    return samples == 0 ? 0.0 : sum / static_cast<double>(samples);
+}
+
+SimulationResult
+simulateSource(mem::RequestSource &source,
+               const DramConfig &dram_config,
+               const interconnect::CrossbarConfig &xbar_config)
+{
+    sim::EventQueue events;
+    MemorySystem memory(events, dram_config);
+    interconnect::Crossbar xbar(events, xbar_config,
+                                [&](const mem::Request &r) {
+                                    return memory.tryInject(r);
+                                });
+    TracePlayer player(events, source, [&](const mem::Request &r) {
+        return xbar.trySend(r);
+    });
+
+    player.start();
+    events.run();
+
+    SimulationResult result;
+    result.memory = memory.stats();
+    for (std::uint32_t c = 0; c < memory.channelCount(); ++c)
+        result.channels.push_back(memory.channelStats(c));
+    result.finishTick = player.finishTick();
+    result.accumulatedDelay = player.accumulatedDelay();
+    result.injected = player.injected();
+    return result;
+}
+
+SimulationResult
+simulateTrace(const mem::Trace &trace, const DramConfig &dram_config,
+              const interconnect::CrossbarConfig &xbar_config)
+{
+    mem::TraceSource source(trace);
+    return simulateSource(source, dram_config, xbar_config);
+}
+
+} // namespace mocktails::dram

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * One-call simulation harness.
+ *
+ * Reproduces the paper's validation platform (Sec. IV-A): a traffic
+ * generator (trace player) connected to main memory through a
+ * crossbar, run to completion, returning every statistic the
+ * evaluation compares. Both recorded traces and Mocktails synthesis
+ * engines plug in through the RequestSource interface.
+ */
+
+#ifndef MOCKTAILS_DRAM_SIMULATE_HPP
+#define MOCKTAILS_DRAM_SIMULATE_HPP
+
+#include <vector>
+
+#include "dram/config.hpp"
+#include "dram/stats.hpp"
+#include "interconnect/crossbar.hpp"
+#include "mem/source.hpp"
+#include "mem/trace.hpp"
+
+namespace mocktails::dram
+{
+
+/**
+ * Everything measured by one simulation run.
+ */
+struct SimulationResult
+{
+    MemoryStats memory;
+    std::vector<ChannelStats> channels;
+
+    mem::Tick finishTick = 0;        ///< last injection tick
+    mem::Tick accumulatedDelay = 0;  ///< backpressure added by player
+    std::uint64_t injected = 0;
+
+    /// @name Aggregates
+    /// @{
+    std::uint64_t readBursts() const;
+    std::uint64_t writeBursts() const;
+    std::uint64_t readRowHits() const;
+    std::uint64_t writeRowHits() const;
+    double avgReadQueueLength() const;
+    double avgWriteQueueLength() const;
+    double avgReadLatency() const { return memory.readLatency.mean(); }
+    /// @}
+};
+
+/**
+ * Run a request source through crossbar + DRAM until it drains.
+ */
+SimulationResult
+simulateSource(mem::RequestSource &source,
+               const DramConfig &dram_config = DramConfig{},
+               const interconnect::CrossbarConfig &xbar_config =
+                   interconnect::CrossbarConfig{});
+
+/** Convenience overload for a recorded trace. */
+SimulationResult
+simulateTrace(const mem::Trace &trace,
+              const DramConfig &dram_config = DramConfig{},
+              const interconnect::CrossbarConfig &xbar_config =
+                  interconnect::CrossbarConfig{});
+
+} // namespace mocktails::dram
+
+#endif // MOCKTAILS_DRAM_SIMULATE_HPP

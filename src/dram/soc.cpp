@@ -1,0 +1,163 @@
+#include "dram/soc.hpp"
+
+#include <memory>
+#include <unordered_map>
+
+#include "dram/memory_system.hpp"
+#include "dram/trace_player.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mocktails::dram
+{
+
+std::uint64_t
+SocResult::readRowHits() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : channels)
+        sum += c.readRowHits;
+    return sum;
+}
+
+std::uint64_t
+SocResult::writeRowHits() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : channels)
+        sum += c.writeRowHits;
+    return sum;
+}
+
+std::uint64_t
+SocResult::readBursts() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : channels)
+        sum += c.readBursts;
+    return sum;
+}
+
+std::uint64_t
+SocResult::writeBursts() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &c : channels)
+        sum += c.writeBursts;
+    return sum;
+}
+
+SocResult
+simulateSoc(const std::vector<SocDevice> &devices,
+            const DramConfig &dram_config,
+            const interconnect::CrossbarConfig &xbar_config)
+{
+    SocConfig config;
+    config.dram = dram_config;
+    config.crossbar = xbar_config;
+    return simulateSoc(devices, config);
+}
+
+SocResult
+simulateSoc(const std::vector<SocDevice> &devices,
+            const SocConfig &config)
+{
+    sim::EventQueue events;
+    MemorySystem memory(events, config.dram);
+
+    SocResult result;
+    result.devices.resize(devices.size());
+
+    // Ownership of requests: map each admitted request id to the
+    // device that injected it, for per-IP latency accounting.
+    std::unordered_map<std::uint64_t, std::size_t> owner;
+    owner.reserve(1024);
+
+    memory.setCompletionCallback(
+        [&](std::uint64_t id, bool is_read, sim::Tick admitted,
+            sim::Tick completed) {
+            const auto it = owner.find(id);
+            if (it == owner.end())
+                return;
+            auto &device = result.devices[it->second];
+            const auto latency =
+                static_cast<double>(completed - admitted);
+            if (is_read)
+                device.readLatency.add(latency);
+            else
+                device.writeLatency.add(latency);
+            owner.erase(it);
+        });
+
+    // Admission into the memory system with per-device accounting.
+    const auto inject = [&](std::size_t device_index,
+                            const mem::Request &r) {
+        if (!memory.tryInject(r))
+            return false;
+        owner.emplace(memory.lastRequestId(), device_index);
+        auto &device = result.devices[device_index];
+        if (r.isRead())
+            ++device.reads;
+        else
+            ++device.writes;
+        return true;
+    };
+
+    std::vector<std::unique_ptr<interconnect::Crossbar>> ports;
+    std::unique_ptr<interconnect::Arbiter> arbiter;
+    std::vector<std::unique_ptr<TracePlayer>> players;
+    players.reserve(devices.size());
+
+    if (config.sharedLink && !devices.empty()) {
+        // All devices behind one round-robin-arbitrated link.
+        arbiter = std::make_unique<interconnect::Arbiter>(
+            events, config.arbiter,
+            static_cast<std::uint32_t>(devices.size()),
+            [&](std::uint32_t port, const mem::Request &r) {
+                return inject(port, r);
+            });
+        for (std::size_t i = 0; i < devices.size(); ++i) {
+            result.devices[i].name = devices[i].name;
+            players.push_back(std::make_unique<TracePlayer>(
+                events, *devices[i].source,
+                [&, i](const mem::Request &r) {
+                    return arbiter->trySend(
+                        static_cast<std::uint32_t>(i), r);
+                }));
+        }
+    } else {
+        // One private crossbar port per device.
+        ports.reserve(devices.size());
+        for (std::size_t i = 0; i < devices.size(); ++i) {
+            result.devices[i].name = devices[i].name;
+            ports.push_back(std::make_unique<interconnect::Crossbar>(
+                events, config.crossbar,
+                [&, i](const mem::Request &r) {
+                    return inject(i, r);
+                }));
+            players.push_back(std::make_unique<TracePlayer>(
+                events, *devices[i].source,
+                [port = ports.back().get()](const mem::Request &r) {
+                    return port->trySend(r);
+                }));
+        }
+    }
+
+    for (auto &player : players)
+        player->start();
+    events.run();
+
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        result.devices[i].injected = players[i]->injected();
+        result.devices[i].accumulatedDelay =
+            players[i]->accumulatedDelay();
+        result.devices[i].finishTick = players[i]->finishTick();
+    }
+    result.memory = memory.stats();
+    for (std::uint32_t c = 0; c < memory.channelCount(); ++c)
+        result.channels.push_back(memory.channelStats(c));
+    if (arbiter)
+        result.linkGrants = arbiter->grants();
+    return result;
+}
+
+} // namespace mocktails::dram

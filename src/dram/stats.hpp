@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Statistics collected by the DRAM model.
+ *
+ * These are exactly the observables the paper validates against
+ * (Sec. IV-B): DRAM burst counts, queue lengths seen by arriving
+ * requests, row hits, per-bank access counts, reads per read-to-write
+ * turnaround, and request latency.
+ */
+
+#ifndef MOCKTAILS_DRAM_STATS_HPP
+#define MOCKTAILS_DRAM_STATS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+
+namespace mocktails::dram
+{
+
+/**
+ * Per-channel counters and distributions.
+ */
+struct ChannelStats
+{
+    /// Bursts serviced.
+    std::uint64_t readBursts = 0;
+    std::uint64_t writeBursts = 0;
+
+    /// Bursts that hit an open row at service time.
+    std::uint64_t readRowHits = 0;
+    std::uint64_t writeRowHits = 0;
+
+    /// Queue occupancy sampled when a burst of that kind arrives.
+    util::Histogram readQueueSeen;
+    util::Histogram writeQueueSeen;
+
+    /// Bursts serviced per bank (flat rank*banks + bank index).
+    std::vector<std::uint64_t> perBankReadBursts;
+    std::vector<std::uint64_t> perBankWriteBursts;
+
+    /// Reads serviced between consecutive switches to write drain.
+    util::RunningStats readsPerTurnaround;
+
+    /// Number of read->write switches.
+    std::uint64_t turnarounds = 0;
+
+    /// Refreshes performed (tREFI elapsed while work was pending).
+    std::uint64_t refreshes = 0;
+
+    /// Cycles the channel was occupied (bursts, prep, refreshes).
+    std::uint64_t busyCycles = 0;
+
+    /// Tick of the channel's last activity.
+    std::uint64_t lastActiveTick = 0;
+
+    /** Fraction of [0, lastActiveTick] the channel was occupied. */
+    double
+    utilization() const
+    {
+        return lastActiveTick == 0
+                   ? 0.0
+                   : static_cast<double>(busyCycles) /
+                         static_cast<double>(lastActiveTick);
+    }
+
+    double
+    readRowHitRate() const
+    {
+        return readBursts == 0 ? 0.0
+                               : static_cast<double>(readRowHits) /
+                                     static_cast<double>(readBursts);
+    }
+
+    double
+    writeRowHitRate() const
+    {
+        return writeBursts == 0 ? 0.0
+                                : static_cast<double>(writeRowHits) /
+                                      static_cast<double>(writeBursts);
+    }
+};
+
+/**
+ * System-wide aggregates (sums/means over channels plus request-level
+ * latency, which only exists above the channel).
+ */
+struct MemoryStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t readRequests = 0;
+    std::uint64_t writeRequests = 0;
+
+    /// Latency from admission to last-burst completion, read requests.
+    util::RunningStats readLatency;
+
+    /// Requests rejected at least once due to full queues.
+    std::uint64_t backpressureRejects = 0;
+
+    std::uint64_t
+    totalOver(const std::vector<ChannelStats> &channels,
+              std::uint64_t ChannelStats::*member) const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &c : channels)
+            sum += c.*member;
+        return sum;
+    }
+};
+
+} // namespace mocktails::dram
+
+#endif // MOCKTAILS_DRAM_STATS_HPP

@@ -1,0 +1,112 @@
+#include "dram/stats_dump.hpp"
+
+#include <cstdio>
+
+namespace mocktails::dram
+{
+
+namespace
+{
+
+void
+line(std::string &out, const std::string &name, double value,
+     const char *description)
+{
+    char buffer[192];
+    std::snprintf(buffer, sizeof(buffer), "%-44s %16.6f  # %s\n",
+                  name.c_str(), value, description);
+    out += buffer;
+}
+
+void
+line(std::string &out, const std::string &name, std::uint64_t value,
+     const char *description)
+{
+    char buffer[192];
+    std::snprintf(buffer, sizeof(buffer), "%-44s %16llu  # %s\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(value), description);
+    out += buffer;
+}
+
+} // namespace
+
+std::string
+dumpStats(const SimulationResult &result, const std::string &prefix)
+{
+    std::string out;
+    out += "---------- Begin Simulation Statistics ----------\n";
+
+    line(out, prefix + ".requests", result.memory.requests,
+         "Total requests admitted");
+    line(out, prefix + ".readReqs", result.memory.readRequests,
+         "Read requests admitted");
+    line(out, prefix + ".writeReqs", result.memory.writeRequests,
+         "Write requests admitted");
+    line(out, prefix + ".readBursts", result.readBursts(),
+         "Read bursts serviced");
+    line(out, prefix + ".writeBursts", result.writeBursts(),
+         "Write bursts serviced");
+    line(out, prefix + ".readRowHits", result.readRowHits(),
+         "Read bursts that hit an open row");
+    line(out, prefix + ".writeRowHits", result.writeRowHits(),
+         "Write bursts that hit an open row");
+    line(out, prefix + ".avgRdQLen", result.avgReadQueueLength(),
+         "Average read queue length on arrival");
+    line(out, prefix + ".avgWrQLen", result.avgWriteQueueLength(),
+         "Average write queue length on arrival");
+    line(out, prefix + ".avgRdLatency", result.avgReadLatency(),
+         "Average read latency, admission to data (cycles)");
+    line(out, prefix + ".injectionDelay",
+         static_cast<std::uint64_t>(result.accumulatedDelay),
+         "Backpressure delay folded into the stream (cycles)");
+    line(out, prefix + ".finishTick",
+         static_cast<std::uint64_t>(result.finishTick),
+         "Tick of the final injection");
+
+    for (std::size_t c = 0; c < result.channels.size(); ++c) {
+        const auto &channel = result.channels[c];
+        const std::string base =
+            prefix + ".ctrl" + std::to_string(c);
+        line(out, base + ".readBursts", channel.readBursts,
+             "Read bursts serviced by this controller");
+        line(out, base + ".writeBursts", channel.writeBursts,
+             "Write bursts serviced by this controller");
+        line(out, base + ".readRowHits", channel.readRowHits,
+             "Read row hits");
+        line(out, base + ".writeRowHits", channel.writeRowHits,
+             "Write row hits");
+        line(out, base + ".readRowHitRate",
+             100.0 * channel.readRowHitRate(),
+             "Read row hit rate (%)");
+        line(out, base + ".writeRowHitRate",
+             100.0 * channel.writeRowHitRate(),
+             "Write row hit rate (%)");
+        line(out, base + ".rdPerTurnAround",
+             channel.readsPerTurnaround.mean(),
+             "Average reads before switching to writes");
+        line(out, base + ".turnarounds", channel.turnarounds,
+             "Read to write switches");
+        line(out, base + ".refreshes", channel.refreshes,
+             "Refreshes performed");
+        line(out, base + ".busUtilization",
+             100.0 * channel.utilization(),
+             "Bus occupancy over the active window (%)");
+        for (std::size_t b = 0; b < channel.perBankReadBursts.size();
+             ++b) {
+            line(out,
+                 base + ".bank" + std::to_string(b) + ".readBursts",
+                 channel.perBankReadBursts[b],
+                 "Read bursts to this bank");
+            line(out,
+                 base + ".bank" + std::to_string(b) + ".writeBursts",
+                 channel.perBankWriteBursts[b],
+                 "Write bursts to this bank");
+        }
+    }
+
+    out += "---------- End Simulation Statistics   ----------\n";
+    return out;
+}
+
+} // namespace mocktails::dram

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * gem5-style statistics dump.
+ *
+ * Serialises a SimulationResult in the `name value # description`
+ * line format gem5 users diff and post-process. This keeps Mocktails
+ * runs scriptable with existing stats tooling.
+ */
+
+#ifndef MOCKTAILS_DRAM_STATS_DUMP_HPP
+#define MOCKTAILS_DRAM_STATS_DUMP_HPP
+
+#include <string>
+
+#include "dram/simulate.hpp"
+
+namespace mocktails::dram
+{
+
+/**
+ * Render @p result as a gem5-style stats block.
+ *
+ * @param prefix Prepended to every stat name (e.g. "system.mem").
+ */
+std::string dumpStats(const SimulationResult &result,
+                      const std::string &prefix = "mem");
+
+} // namespace mocktails::dram
+
+#endif // MOCKTAILS_DRAM_STATS_DUMP_HPP

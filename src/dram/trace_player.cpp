@@ -1,0 +1,58 @@
+#include "dram/trace_player.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mocktails::dram
+{
+
+TracePlayer::TracePlayer(sim::EventQueue &events,
+                         mem::RequestSource &source, Sink sink,
+                         std::uint32_t retry_interval)
+    : events_(events), source_(source), sink_(std::move(sink)),
+      retry_interval_(std::max<std::uint32_t>(1, retry_interval))
+{}
+
+void
+TracePlayer::start()
+{
+    if (!source_.next(current_)) {
+        done_ = true;
+        return;
+    }
+    have_current_ = true;
+    events_.schedule(std::max(events_.now(), current_.tick),
+                     [this] { step(); });
+}
+
+void
+TracePlayer::step()
+{
+    // The request's adjusted injection time: original timestamp plus
+    // all backpressure delay accumulated so far.
+    const sim::Tick due = current_.tick + delay_;
+    if (events_.now() < due) {
+        events_.schedule(due, [this] { step(); });
+        return;
+    }
+
+    if (!sink_(current_)) {
+        // Backpressure: every future request slips by the retry wait.
+        delay_ += retry_interval_;
+        events_.scheduleIn(retry_interval_, [this] { step(); });
+        return;
+    }
+
+    ++injected_;
+    finish_tick_ = events_.now();
+
+    if (!source_.next(current_)) {
+        have_current_ = false;
+        done_ = true;
+        return;
+    }
+    events_.schedule(std::max(events_.now(), current_.tick + delay_),
+                     [this] { step(); });
+}
+
+} // namespace mocktails::dram

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Replays a request stream into the memory system.
+ *
+ * The player honours request timestamps and implements the paper's
+ * simulator-feedback rule (Sec. III-C): when backpressure prevents
+ * injection, the accumulated stall is added to the timestamps of all
+ * not-yet-injected requests, so the stream's *relative* timing is
+ * preserved under contention.
+ */
+
+#ifndef MOCKTAILS_DRAM_TRACE_PLAYER_HPP
+#define MOCKTAILS_DRAM_TRACE_PLAYER_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "mem/request.hpp"
+#include "mem/source.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mocktails::dram
+{
+
+/**
+ * Event-driven injector: pulls requests from a RequestSource and
+ * offers them to a sink (crossbar or memory system) at their adjusted
+ * timestamps.
+ */
+class TracePlayer
+{
+  public:
+    /** Downstream admission: returns false to signal backpressure. */
+    using Sink = std::function<bool(const mem::Request &)>;
+
+    TracePlayer(sim::EventQueue &events, mem::RequestSource &source,
+                Sink sink, std::uint32_t retry_interval = 1);
+
+    /** Begin injecting; call once before running the event queue. */
+    void start();
+
+    /** Requests successfully injected so far. */
+    std::uint64_t injected() const { return injected_; }
+
+    /** Total backpressure delay folded into the stream (ticks). */
+    sim::Tick accumulatedDelay() const { return delay_; }
+
+    /** True once the source is exhausted and the last request sent. */
+    bool done() const { return done_; }
+
+    /** Tick at which the final request was injected. */
+    sim::Tick finishTick() const { return finish_tick_; }
+
+  private:
+    void step();
+
+    sim::EventQueue &events_;
+    mem::RequestSource &source_;
+    Sink sink_;
+    std::uint32_t retry_interval_;
+
+    mem::Request current_{};
+    bool have_current_ = false;
+    bool done_ = false;
+    sim::Tick delay_ = 0;
+    std::uint64_t injected_ = 0;
+    sim::Tick finish_tick_ = 0;
+};
+
+} // namespace mocktails::dram
+
+#endif // MOCKTAILS_DRAM_TRACE_PLAYER_HPP

@@ -1,0 +1,100 @@
+#include "interconnect/arbiter.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace mocktails::interconnect
+{
+
+Arbiter::Arbiter(sim::EventQueue &events, const ArbiterConfig &config,
+                 std::uint32_t num_ports, Sink sink)
+    : events_(events), config_(config), sink_(std::move(sink)),
+      queues_(num_ports), grants_(num_ports, 0)
+{
+    assert(num_ports > 0);
+}
+
+bool
+Arbiter::trySend(std::uint32_t port, const mem::Request &request)
+{
+    assert(port < queues_.size());
+    if (queues_[port].size() >= config_.queueCapacity)
+        return false;
+    queues_[port].push_back(request);
+    if (!granting_)
+        scheduleGrant();
+    return true;
+}
+
+bool
+Arbiter::idle() const
+{
+    if (granting_)
+        return false;
+    for (const auto &queue : queues_) {
+        if (!queue.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+Arbiter::scheduleGrant()
+{
+    granting_ = true;
+    events_.scheduleIn(config_.cycleTime, [this] { grantOne(); });
+}
+
+void
+Arbiter::grantOne()
+{
+    // Pick the most urgent backlogged priority class, then round-
+    // robin within it (plain round-robin when no priorities are
+    // configured).
+    const std::uint32_t ports = numPorts();
+    const auto priority_of = [this](std::uint32_t port) {
+        return port < config_.priorities.size()
+                   ? config_.priorities[port]
+                   : 0u;
+    };
+
+    std::uint32_t chosen = ports;
+    std::uint32_t best_priority = ~0u;
+    for (std::uint32_t i = 0; i < ports; ++i) {
+        const std::uint32_t port = (next_port_ + i) % ports;
+        if (queues_[port].empty())
+            continue;
+        if (priority_of(port) < best_priority) {
+            best_priority = priority_of(port);
+            chosen = port;
+        }
+    }
+    if (chosen == ports) {
+        granting_ = false; // all drained; wake on next trySend
+        return;
+    }
+
+    // The grant succeeds only if the downstream sink accepts after
+    // the link traversal. To keep ordering per port, the request
+    // stays queued until accepted.
+    const mem::Request &head = queues_[chosen].front();
+    if (sink_(chosen, head)) {
+        queues_[chosen].pop_front();
+        ++grants_[chosen];
+        // Move the pointer past the granted port (fairness).
+        next_port_ = (chosen + 1) % ports;
+        // The link is busy for linkLatency before the next grant.
+        events_.scheduleIn(std::max(config_.cycleTime,
+                                    config_.linkLatency),
+                           [this] { grantOne(); });
+    } else {
+        ++sink_rejections_;
+        // Downstream is full: try a different port next cycle (the
+        // round-robin pointer advances so one blocked destination
+        // cannot starve the others... unless it is the only one).
+        next_port_ = (chosen + 1) % ports;
+        events_.scheduleIn(config_.cycleTime, [this] { grantOne(); });
+    }
+}
+
+} // namespace mocktails::interconnect

@@ -1,0 +1,52 @@
+#include "interconnect/crossbar.hpp"
+
+#include <utility>
+
+namespace mocktails::interconnect
+{
+
+Crossbar::Crossbar(sim::EventQueue &events, const CrossbarConfig &config,
+                   Sink sink)
+    : events_(events), config_(config), sink_(std::move(sink))
+{}
+
+bool
+Crossbar::trySend(const mem::Request &request)
+{
+    if (queue_.size() >= config_.queueCapacity)
+        return false;
+    queue_.push_back(InFlight{request, events_.now() + config_.latency});
+    if (!delivering_)
+        scheduleDelivery();
+    return true;
+}
+
+void
+Crossbar::scheduleDelivery()
+{
+    delivering_ = true;
+    const sim::Tick when =
+        std::max(events_.now(), queue_.front().readyAt);
+    events_.schedule(when, [this] { deliverHead(); });
+}
+
+void
+Crossbar::deliverHead()
+{
+    if (sink_(queue_.front().request)) {
+        queue_.pop_front();
+        ++delivered_;
+        if (!queue_.empty()) {
+            scheduleDelivery();
+        } else {
+            delivering_ = false;
+        }
+    } else {
+        // Head-of-line blocking: retry the same request later.
+        ++sink_rejections_;
+        events_.scheduleIn(config_.retryInterval,
+                           [this] { deliverHead(); });
+    }
+}
+
+} // namespace mocktails::interconnect

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A simple crossbar between traffic sources and the memory system.
+ *
+ * The paper's validation platform connects the traffic generator to
+ * main memory "through a crossbar" (Sec. IV-A). This model adds a fixed
+ * traversal latency, a bounded internal queue, and a one-request-per-
+ * cycle delivery port. Downstream rejection (full controller queues)
+ * causes head-of-line blocking and, once the internal queue fills,
+ * backpressure to the source — the feedback path the Mocktails
+ * injection process reacts to.
+ */
+
+#ifndef MOCKTAILS_INTERCONNECT_CROSSBAR_HPP
+#define MOCKTAILS_INTERCONNECT_CROSSBAR_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "mem/request.hpp"
+#include "sim/event_queue.hpp"
+
+namespace mocktails::interconnect
+{
+
+/**
+ * Crossbar configuration.
+ */
+struct CrossbarConfig
+{
+    /** Cycles to traverse the crossbar. */
+    std::uint32_t latency = 8;
+
+    /** Requests buffered inside the crossbar before backpressure. */
+    std::uint32_t queueCapacity = 16;
+
+    /** Cycles between delivery attempts when the sink rejects. */
+    std::uint32_t retryInterval = 1;
+};
+
+/**
+ * Single-port crossbar: accepts requests, delivers them downstream in
+ * order after a fixed latency.
+ */
+class Crossbar
+{
+  public:
+    /** Downstream admission: returns false to reject (backpressure). */
+    using Sink = std::function<bool(const mem::Request &)>;
+
+    Crossbar(sim::EventQueue &events, const CrossbarConfig &config,
+             Sink sink);
+
+    /**
+     * Offer a request to the crossbar at the current tick.
+     * @return false when the internal queue is full.
+     */
+    bool trySend(const mem::Request &request);
+
+    /** True when nothing is buffered or in flight. */
+    bool idle() const { return queue_.empty() && !delivering_; }
+
+    std::size_t queueSize() const { return queue_.size(); }
+
+    /** Requests that have left the crossbar into the memory system. */
+    std::uint64_t delivered() const { return delivered_; }
+
+    /** Delivery attempts rejected by the sink. */
+    std::uint64_t sinkRejections() const { return sink_rejections_; }
+
+  private:
+    struct InFlight
+    {
+        mem::Request request;
+        sim::Tick readyAt; ///< earliest delivery tick (arrival+latency)
+    };
+
+    void scheduleDelivery();
+    void deliverHead();
+
+    sim::EventQueue &events_;
+    CrossbarConfig config_;
+    Sink sink_;
+    std::deque<InFlight> queue_;
+    bool delivering_ = false;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t sink_rejections_ = 0;
+};
+
+} // namespace mocktails::interconnect
+
+#endif // MOCKTAILS_INTERCONNECT_CROSSBAR_HPP

@@ -1,0 +1,70 @@
+#include "mem/burstiness.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace mocktails::mem
+{
+
+BurstinessStats
+analyzeBurstiness(const Trace &trace, Tick gap_threshold)
+{
+    assert(trace.isTimeOrdered());
+
+    BurstinessStats stats;
+    stats.gapThreshold = gap_threshold;
+    if (trace.empty())
+        return stats;
+
+    util::RunningStats gaps;
+    util::RunningStats burst_lengths;
+    util::RunningStats idle_gaps;
+
+    std::uint64_t current_length = 1;
+    Tick active_cycles = 0;
+    Tick burst_start = trace[0].tick;
+
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+        const Tick gap = trace[i].tick - trace[i - 1].tick;
+        gaps.add(static_cast<double>(gap));
+        if (gap > gap_threshold) {
+            // Close the current burst.
+            burst_lengths.add(static_cast<double>(current_length));
+            stats.maxBurstLength =
+                std::max(stats.maxBurstLength, current_length);
+            active_cycles += trace[i - 1].tick - burst_start;
+
+            idle_gaps.add(static_cast<double>(gap));
+            stats.maxIdleGap = std::max(stats.maxIdleGap, gap);
+
+            current_length = 1;
+            burst_start = trace[i].tick;
+        } else {
+            ++current_length;
+        }
+    }
+    burst_lengths.add(static_cast<double>(current_length));
+    stats.maxBurstLength =
+        std::max(stats.maxBurstLength, current_length);
+    active_cycles += trace[trace.size() - 1].tick - burst_start;
+
+    stats.bursts = burst_lengths.count();
+    stats.meanBurstLength = burst_lengths.mean();
+    stats.meanIdleGap = idle_gaps.mean();
+
+    const Tick span = trace[trace.size() - 1].tick - trace[0].tick;
+    stats.activeFraction =
+        span == 0 ? 1.0
+                  : static_cast<double>(active_cycles) /
+                        static_cast<double>(span);
+
+    const double mu = gaps.mean();
+    const double sigma = gaps.stddev();
+    stats.coefficient =
+        (sigma + mu) == 0.0 ? 0.0 : (sigma - mu) / (sigma + mu);
+    return stats;
+}
+
+} // namespace mocktails::mem

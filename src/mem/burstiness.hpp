@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Injection-process analytics.
+ *
+ * Quantifies the burst/idle structure the paper's Figs. 2-3 describe
+ * qualitatively: a *burst* is a maximal run of requests whose inter-
+ * arrival gaps stay below a threshold; everything between bursts is
+ * idle. These statistics characterise device classes (GPUs issue long
+ * dense bursts; VPUs alternate frame bursts with long idles) and let
+ * tests assert that synthetic streams keep the structure.
+ */
+
+#ifndef MOCKTAILS_MEM_BURSTINESS_HPP
+#define MOCKTAILS_MEM_BURSTINESS_HPP
+
+#include <cstdint>
+
+#include "mem/trace.hpp"
+
+namespace mocktails::mem
+{
+
+/**
+ * Burst/idle structure of a trace.
+ */
+struct BurstinessStats
+{
+    Tick gapThreshold = 0; ///< the threshold used
+
+    std::uint64_t bursts = 0;       ///< number of bursts
+    double meanBurstLength = 0.0;   ///< requests per burst
+    std::uint64_t maxBurstLength = 0;
+    double meanIdleGap = 0.0;       ///< cycles between bursts
+    Tick maxIdleGap = 0;
+
+    /** Fraction of the trace duration spent inside bursts. */
+    double activeFraction = 0.0;
+
+    /**
+     * Burstiness coefficient (sigma - mu) / (sigma + mu) of the
+     * inter-arrival gaps: -1 = perfectly periodic, 0 = Poisson,
+     * towards +1 = heavily bursty (Goh & Barabasi).
+     */
+    double coefficient = 0.0;
+};
+
+/**
+ * Analyse @p trace with inter-arrival gaps above @p gap_threshold
+ * splitting bursts.
+ *
+ * @pre trace.isTimeOrdered()
+ */
+BurstinessStats analyzeBurstiness(const Trace &trace,
+                                  Tick gap_threshold = 1000);
+
+} // namespace mocktails::mem
+
+#endif // MOCKTAILS_MEM_BURSTINESS_HPP

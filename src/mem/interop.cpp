@@ -1,0 +1,93 @@
+#include "mem/interop.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace mocktails::mem
+{
+
+bool
+saveRamulatorTrace(const Trace &trace, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    for (const Request &r : trace) {
+        std::fprintf(f, "0x%" PRIx64 " %s\n", r.addr,
+                     r.isRead() ? "R" : "W");
+    }
+    return std::fclose(f) == 0;
+}
+
+bool
+loadRamulatorTrace(const std::string &path, Trace &trace,
+                   std::uint32_t request_size, Tick gap)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+
+    trace = Trace();
+    char line[128];
+    Tick tick = 0;
+    while (std::fgets(line, sizeof(line), f)) {
+        std::uint64_t addr = 0;
+        char op[16] = {};
+        if (std::sscanf(line, "0x%" SCNx64 " %15s", &addr, op) != 2) {
+            if (line[0] == '\n' || line[0] == '#')
+                continue; // blank lines / comments
+            std::fclose(f);
+            return false;
+        }
+        trace.add(tick, addr, request_size,
+                  op[0] == 'W' ? Op::Write : Op::Read);
+        tick += gap;
+    }
+    std::fclose(f);
+    return true;
+}
+
+bool
+saveDramsim3Trace(const Trace &trace, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    for (const Request &r : trace) {
+        std::fprintf(f, "0x%" PRIx64 " %s %" PRIu64 "\n", r.addr,
+                     r.isRead() ? "READ" : "WRITE", r.tick);
+    }
+    return std::fclose(f) == 0;
+}
+
+bool
+loadDramsim3Trace(const std::string &path, Trace &trace,
+                  std::uint32_t request_size)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+
+    trace = Trace();
+    char line[128];
+    while (std::fgets(line, sizeof(line), f)) {
+        std::uint64_t addr = 0;
+        std::uint64_t cycle = 0;
+        char op[16] = {};
+        if (std::sscanf(line, "0x%" SCNx64 " %15s %" SCNu64, &addr, op,
+                        &cycle) != 3) {
+            if (line[0] == '\n' || line[0] == '#')
+                continue;
+            std::fclose(f);
+            return false;
+        }
+        trace.add(cycle, addr, request_size,
+                  std::strncmp(op, "WRITE", 5) == 0 ? Op::Write
+                                                    : Op::Read);
+    }
+    std::fclose(f);
+    return true;
+}
+
+} // namespace mocktails::mem

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Trace interchange with external memory-system simulators.
+ *
+ * Mocktails' value is plugging synthetic request streams into "your
+ * simulator of choice" (paper Fig. 1). Besides our own binary format,
+ * this module reads and writes the plain-text trace formats used by
+ * two widely used DRAM simulators:
+ *
+ *  - ramulator memory traces: one request per line,
+ *    "0x<addr> R|W" (ticks are not represented; requests are
+ *    back-to-back). On import, a fixed request size is assumed.
+ *
+ *  - DRAMsim3-style traces: "0x<addr> READ|WRITE <cycle>".
+ *
+ * gem5's native packet traces are protobuf-encoded and are therefore
+ * out of scope here; gem5 users can replay the CSV form
+ * (mem/trace_io.hpp) with a custom injector, or couple the
+ * SynthesisEngine directly.
+ */
+
+#ifndef MOCKTAILS_MEM_INTEROP_HPP
+#define MOCKTAILS_MEM_INTEROP_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "mem/trace.hpp"
+
+namespace mocktails::mem
+{
+
+/** Write a ramulator memory trace ("0xADDR R|W" per line). */
+bool saveRamulatorTrace(const Trace &trace, const std::string &path);
+
+/**
+ * Read a ramulator memory trace.
+ *
+ * @param request_size Size assigned to every request (the format does
+ *                     not carry one); typically the DRAM burst or
+ *                     cache-line size.
+ * @param gap Ticks between consecutive requests.
+ */
+bool loadRamulatorTrace(const std::string &path, Trace &trace,
+                        std::uint32_t request_size = 64,
+                        Tick gap = 1);
+
+/** Write a DRAMsim3-style trace ("0xADDR READ|WRITE cycle"). */
+bool saveDramsim3Trace(const Trace &trace, const std::string &path);
+
+/** Read a DRAMsim3-style trace. */
+bool loadDramsim3Trace(const std::string &path, Trace &trace,
+                       std::uint32_t request_size = 64);
+
+} // namespace mocktails::mem
+
+#endif // MOCKTAILS_MEM_INTEROP_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The memory request abstraction shared by every layer of the library.
+ *
+ * Mocktails deliberately restricts itself to the four request features
+ * observable at the interface between a compute device and the memory
+ * system (paper Sec. III): timestamp, address, operation and size. No
+ * PC, instruction or thread information is ever attached, which is what
+ * lets the methodology treat devices as black boxes.
+ */
+
+#ifndef MOCKTAILS_MEM_REQUEST_HPP
+#define MOCKTAILS_MEM_REQUEST_HPP
+
+#include <cstdint>
+
+namespace mocktails::mem
+{
+
+/** Simulation time, in cycles of the device/interconnect clock. */
+using Tick = std::uint64_t;
+
+/** A physical byte address. */
+using Addr = std::uint64_t;
+
+/** The operation of a memory request. */
+enum class Op : std::uint8_t { Read = 0, Write = 1 };
+
+/** Short human-readable name ("R"/"W"). */
+const char *toString(Op op);
+
+/**
+ * One memory request as seen on the device's memory interface.
+ */
+struct Request
+{
+    /** Injection time. */
+    Tick tick = 0;
+
+    /** First byte accessed. */
+    Addr addr = 0;
+
+    /** Number of bytes accessed. Always >= 1 for a valid request. */
+    std::uint32_t size = 0;
+
+    /** Read or write. */
+    Op op = Op::Read;
+
+    /** Last byte address + 1 (the exclusive end of the byte range). */
+    Addr end() const { return addr + size; }
+
+    bool isRead() const { return op == Op::Read; }
+    bool isWrite() const { return op == Op::Write; }
+
+    friend bool
+    operator==(const Request &a, const Request &b)
+    {
+        return a.tick == b.tick && a.addr == b.addr && a.size == b.size &&
+               a.op == b.op;
+    }
+};
+
+} // namespace mocktails::mem
+
+#endif // MOCKTAILS_MEM_REQUEST_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Pull-style request sources.
+ *
+ * The replay machinery (trace player, crossbar, DRAM) consumes requests
+ * from a RequestSource so that a recorded trace and a Mocktails
+ * synthesis engine are interchangeable (paper Fig. 1, options A and B).
+ */
+
+#ifndef MOCKTAILS_MEM_SOURCE_HPP
+#define MOCKTAILS_MEM_SOURCE_HPP
+
+#include <cstddef>
+
+#include "mem/trace.hpp"
+
+namespace mocktails::mem
+{
+
+/**
+ * An ordered stream of memory requests.
+ */
+class RequestSource
+{
+  public:
+    virtual ~RequestSource() = default;
+
+    /**
+     * Produce the next request.
+     *
+     * @param out Receives the request when one is available.
+     * @return false when the stream is exhausted.
+     */
+    virtual bool next(Request &out) = 0;
+};
+
+/**
+ * Adapts a Trace into a RequestSource.
+ */
+class TraceSource : public RequestSource
+{
+  public:
+    /** The trace must outlive the source. */
+    explicit TraceSource(const Trace &trace) : trace_(&trace) {}
+
+    bool
+    next(Request &out) override
+    {
+        if (pos_ >= trace_->size())
+            return false;
+        out = (*trace_)[pos_++];
+        return true;
+    }
+
+    /** Restart from the beginning. */
+    void reset() { pos_ = 0; }
+
+  private:
+    const Trace *trace_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace mocktails::mem
+
+#endif // MOCKTAILS_MEM_SOURCE_HPP

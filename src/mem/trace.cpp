@@ -1,0 +1,46 @@
+#include "mem/trace.hpp"
+
+#include <algorithm>
+
+namespace mocktails::mem
+{
+
+const char *
+toString(Op op)
+{
+    return op == Op::Read ? "R" : "W";
+}
+
+void
+Trace::sortByTime()
+{
+    std::stable_sort(requests_.begin(), requests_.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.tick < b.tick;
+                     });
+}
+
+bool
+Trace::isTimeOrdered() const
+{
+    for (std::size_t i = 1; i < requests_.size(); ++i) {
+        if (requests_[i].tick < requests_[i - 1].tick)
+            return false;
+    }
+    return true;
+}
+
+Tick
+Trace::duration() const
+{
+    return requests_.empty() ? 0 : requests_.back().tick;
+}
+
+void
+Trace::truncate(std::size_t count)
+{
+    if (count < requests_.size())
+        requests_.resize(count);
+}
+
+} // namespace mocktails::mem

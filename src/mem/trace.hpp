@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A trace: an ordered sequence of memory requests.
+ */
+
+#ifndef MOCKTAILS_MEM_TRACE_HPP
+#define MOCKTAILS_MEM_TRACE_HPP
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mem/request.hpp"
+
+namespace mocktails::mem
+{
+
+/**
+ * An ordered sequence of memory requests plus identifying metadata.
+ *
+ * Requests are kept in injection order; for well-formed traces the tick
+ * sequence is non-decreasing (sortByTime() restores this after any bulk
+ * edit). The class is a thin container: heavy analysis lives in
+ * trace_stats.hpp and in the modelling code.
+ */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** Construct with a name (e.g., "HEVC1") and device class. */
+    Trace(std::string name, std::string device)
+        : name_(std::move(name)), device_(std::move(device))
+    {}
+
+    const std::string &name() const { return name_; }
+    const std::string &device() const { return device_; }
+    void setName(std::string name) { name_ = std::move(name); }
+    void setDevice(std::string device) { device_ = std::move(device); }
+
+    /** Append one request. */
+    void add(const Request &request) { requests_.push_back(request); }
+
+    /** Append a request built from its features. */
+    void
+    add(Tick tick, Addr addr, std::uint32_t size, Op op)
+    {
+        requests_.push_back(Request{tick, addr, size, op});
+    }
+
+    std::size_t size() const { return requests_.size(); }
+    bool empty() const { return requests_.empty(); }
+
+    const Request &operator[](std::size_t i) const { return requests_[i]; }
+    Request &operator[](std::size_t i) { return requests_[i]; }
+
+    const std::vector<Request> &requests() const { return requests_; }
+    std::vector<Request> &requests() { return requests_; }
+
+    auto begin() const { return requests_.begin(); }
+    auto end() const { return requests_.end(); }
+
+    /** Stable sort by tick (preserves order of simultaneous requests). */
+    void sortByTime();
+
+    /** True when ticks never decrease along the trace. */
+    bool isTimeOrdered() const;
+
+    /** Tick of the last request (0 when empty). */
+    Tick duration() const;
+
+    /** Keep only the first @p count requests. */
+    void truncate(std::size_t count);
+
+  private:
+    std::string name_;
+    std::string device_;
+    std::vector<Request> requests_;
+};
+
+} // namespace mocktails::mem
+
+#endif // MOCKTAILS_MEM_TRACE_HPP

@@ -1,0 +1,139 @@
+#include "mem/trace_io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "util/codec.hpp"
+#include "util/compress.hpp"
+
+namespace mocktails::mem
+{
+
+namespace
+{
+
+constexpr std::uint64_t traceMagic = 0x4d4b5452; // "MKTR"
+constexpr std::uint64_t traceVersion = 1;
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeTrace(const Trace &trace)
+{
+    util::ByteWriter w;
+    w.putVarint(traceMagic);
+    w.putVarint(traceVersion);
+    w.putString(trace.name());
+    w.putString(trace.device());
+    w.putVarint(trace.size());
+
+    Tick last_tick = 0;
+    Addr last_addr = 0;
+    for (const Request &r : trace) {
+        w.putSigned(static_cast<std::int64_t>(r.tick - last_tick));
+        w.putSigned(static_cast<std::int64_t>(r.addr - last_addr));
+        w.putVarint(r.size);
+        w.putByte(static_cast<std::uint8_t>(r.op));
+        last_tick = r.tick;
+        last_addr = r.addr;
+    }
+
+    return util::compress(w.bytes());
+}
+
+bool
+decodeTrace(const std::vector<std::uint8_t> &bytes, Trace &trace)
+{
+    std::vector<std::uint8_t> raw;
+    if (!util::decompress(bytes, raw))
+        return false;
+
+    util::ByteReader r(raw);
+    if (r.getVarint() != traceMagic || r.getVarint() != traceVersion)
+        return false;
+
+    // Sequence the two reads explicitly (argument evaluation order is
+    // unspecified).
+    std::string name = r.getString();
+    std::string device = r.getString();
+    trace = Trace(std::move(name), std::move(device));
+    const std::uint64_t count = r.getVarint();
+    // Each encoded request needs at least 4 bytes; larger claims are
+    // corrupt (and would over-allocate).
+    if (count > r.remaining() / 4 + 1)
+        return false;
+    trace.requests().reserve(count);
+
+    Tick tick = 0;
+    Addr addr = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        tick += static_cast<Tick>(r.getSigned());
+        addr += static_cast<Addr>(r.getSigned());
+        const auto size = static_cast<std::uint32_t>(r.getVarint());
+        const auto op = static_cast<Op>(r.getByte());
+        if (!r.ok())
+            return false;
+        trace.add(tick, addr, size, op);
+    }
+    return r.ok();
+}
+
+bool
+saveTrace(const Trace &trace, const std::string &path)
+{
+    return util::saveBytes(path, encodeTrace(trace));
+}
+
+bool
+loadTrace(const std::string &path, Trace &trace)
+{
+    std::vector<std::uint8_t> bytes;
+    return util::loadBytes(path, bytes) && decodeTrace(bytes, trace);
+}
+
+bool
+saveTraceCsv(const Trace &trace, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "tick,addr,op,size\n");
+    for (const Request &r : trace) {
+        std::fprintf(f, "%" PRIu64 ",0x%" PRIx64 ",%s,%u\n", r.tick, r.addr,
+                     toString(r.op), r.size);
+    }
+    return std::fclose(f) == 0;
+}
+
+bool
+loadTraceCsv(const std::string &path, Trace &trace)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+
+    trace = Trace();
+    char line[256];
+    bool first = true;
+    while (std::fgets(line, sizeof(line), f)) {
+        if (first) {
+            first = false;
+            if (std::strncmp(line, "tick", 4) == 0)
+                continue; // header
+        }
+        std::uint64_t tick = 0, addr = 0;
+        unsigned size = 0;
+        char op = 0;
+        if (std::sscanf(line, "%" SCNu64 ",0x%" SCNx64 ",%c,%u", &tick,
+                        &addr, &op, &size) != 4) {
+            std::fclose(f);
+            return false;
+        }
+        trace.add(tick, addr, size, op == 'W' ? Op::Write : Op::Read);
+    }
+    std::fclose(f);
+    return true;
+}
+
+} // namespace mocktails::mem

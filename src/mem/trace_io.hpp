@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Trace persistence.
+ *
+ * The binary format delta-encodes ticks and zigzag-encodes address
+ * strides before varint packing, then runs the byte stream through the
+ * LZ compressor — the same treatment profiles get, so trace-vs-profile
+ * size comparisons (paper Fig. 17) are apples to apples. A plain CSV
+ * form is provided for interoperability with external tools.
+ */
+
+#ifndef MOCKTAILS_MEM_TRACE_IO_HPP
+#define MOCKTAILS_MEM_TRACE_IO_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/trace.hpp"
+
+namespace mocktails::mem
+{
+
+/** Serialise a trace to compressed binary bytes. */
+std::vector<std::uint8_t> encodeTrace(const Trace &trace);
+
+/**
+ * Reconstruct a trace from encodeTrace() bytes.
+ * @return false when the buffer is corrupt.
+ */
+bool decodeTrace(const std::vector<std::uint8_t> &bytes, Trace &trace);
+
+/** Write a trace to a binary file. @return true on success. */
+bool saveTrace(const Trace &trace, const std::string &path);
+
+/** Load a trace from a binary file. @return true on success. */
+bool loadTrace(const std::string &path, Trace &trace);
+
+/** Write "tick,addr,op,size" CSV with a header line. */
+bool saveTraceCsv(const Trace &trace, const std::string &path);
+
+/** Parse CSV produced by saveTraceCsv. @return true on success. */
+bool loadTraceCsv(const std::string &path, Trace &trace);
+
+} // namespace mocktails::mem
+
+#endif // MOCKTAILS_MEM_TRACE_IO_HPP

@@ -1,0 +1,101 @@
+#include "mem/trace_ops.hpp"
+
+#include <cassert>
+#include <queue>
+
+namespace mocktails::mem
+{
+
+Trace
+sliceTime(const Trace &trace, Tick from, Tick to)
+{
+    Trace out(trace.name(), trace.device());
+    for (const Request &r : trace) {
+        if (r.tick >= from && r.tick < to)
+            out.add(r);
+    }
+    return out;
+}
+
+Trace
+sliceAddresses(const Trace &trace, Addr lo, Addr hi)
+{
+    Trace out(trace.name(), trace.device());
+    for (const Request &r : trace) {
+        if (r.addr < hi && r.end() > lo)
+            out.add(r);
+    }
+    return out;
+}
+
+Trace
+filterOp(const Trace &trace, Op op)
+{
+    Trace out(trace.name(), trace.device());
+    for (const Request &r : trace) {
+        if (r.op == op)
+            out.add(r);
+    }
+    return out;
+}
+
+Trace
+merge(const std::vector<const Trace *> &traces)
+{
+    Trace out;
+
+    struct Cursor
+    {
+        Tick tick;
+        std::size_t trace;
+        std::size_t index;
+
+        bool
+        operator>(const Cursor &other) const
+        {
+            if (tick != other.tick)
+                return tick > other.tick;
+            return trace > other.trace;
+        }
+    };
+
+    std::priority_queue<Cursor, std::vector<Cursor>,
+                        std::greater<Cursor>>
+        heap;
+    std::size_t total = 0;
+    for (std::size_t t = 0; t < traces.size(); ++t) {
+        assert(traces[t]->isTimeOrdered());
+        total += traces[t]->size();
+        if (!traces[t]->empty())
+            heap.push(Cursor{(*traces[t])[0].tick, t, 0});
+    }
+    out.requests().reserve(total);
+
+    while (!heap.empty()) {
+        const Cursor cursor = heap.top();
+        heap.pop();
+        const Trace &source = *traces[cursor.trace];
+        out.add(source[cursor.index]);
+        if (cursor.index + 1 < source.size()) {
+            heap.push(Cursor{source[cursor.index + 1].tick,
+                             cursor.trace, cursor.index + 1});
+        }
+    }
+    return out;
+}
+
+Trace
+shiftTime(const Trace &trace, std::int64_t offset)
+{
+    Trace out(trace.name(), trace.device());
+    out.requests().reserve(trace.size());
+    for (const Request &r : trace) {
+        const std::int64_t shifted =
+            static_cast<std::int64_t>(r.tick) + offset;
+        assert(shifted >= 0 && "tick underflow in shiftTime");
+        out.add(static_cast<Tick>(shifted), r.addr, r.size, r.op);
+    }
+    return out;
+}
+
+} // namespace mocktails::mem

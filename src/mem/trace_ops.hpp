@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Trace manipulation utilities.
+ *
+ * Practical operations for working with traces: slicing a time
+ * window (e.g. isolating one frame of a display trace before
+ * profiling it), filtering by address range or operation, merging
+ * per-IP traces into one interleaved stream, and shifting time.
+ * All functions return new traces; inputs are never modified.
+ */
+
+#ifndef MOCKTAILS_MEM_TRACE_OPS_HPP
+#define MOCKTAILS_MEM_TRACE_OPS_HPP
+
+#include <vector>
+
+#include "mem/trace.hpp"
+
+namespace mocktails::mem
+{
+
+/** Requests with tick in [from, to). Preserves order and metadata. */
+Trace sliceTime(const Trace &trace, Tick from, Tick to);
+
+/** Requests whose byte range intersects [lo, hi). */
+Trace sliceAddresses(const Trace &trace, Addr lo, Addr hi);
+
+/** Requests of one operation only. */
+Trace filterOp(const Trace &trace, Op op);
+
+/**
+ * Merge several time-ordered traces into one time-ordered stream
+ * (stable: equal ticks keep input order by trace index).
+ */
+Trace merge(const std::vector<const Trace *> &traces);
+
+/** Copy with all ticks shifted by @p offset (may be negative only if
+ *  no tick underflows; asserts otherwise). */
+Trace shiftTime(const Trace &trace, std::int64_t offset);
+
+} // namespace mocktails::mem
+
+#endif // MOCKTAILS_MEM_TRACE_OPS_HPP

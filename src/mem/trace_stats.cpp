@@ -1,0 +1,60 @@
+#include "mem/trace_stats.hpp"
+
+#include <unordered_set>
+
+namespace mocktails::mem
+{
+
+double
+TraceStats::readFraction()
+    const
+{
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(reads) / static_cast<double>(requests);
+}
+
+double
+TraceStats::requestRate() const
+{
+    const Tick span = lastTick - firstTick;
+    if (span == 0)
+        return 0.0;
+    return static_cast<double>(requests) * 1000.0 /
+           static_cast<double>(span);
+}
+
+TraceStats
+computeStats(const Trace &trace)
+{
+    TraceStats s;
+    s.requests = trace.size();
+    if (trace.empty())
+        return s;
+
+    s.minAddr = trace[0].addr;
+    s.maxAddr = trace[0].end();
+    s.firstTick = trace[0].tick;
+    s.lastTick = trace[0].tick;
+
+    std::unordered_set<Addr> pages;
+    for (const Request &r : trace) {
+        if (r.isRead()) {
+            ++s.reads;
+            s.bytesRead += r.size;
+        } else {
+            ++s.writes;
+            s.bytesWritten += r.size;
+        }
+        s.minAddr = std::min(s.minAddr, r.addr);
+        s.maxAddr = std::max(s.maxAddr, r.end());
+        s.firstTick = std::min(s.firstTick, r.tick);
+        s.lastTick = std::max(s.lastTick, r.tick);
+        for (Addr page = r.addr >> 12; page <= (r.end() - 1) >> 12; ++page)
+            pages.insert(page);
+    }
+    s.touched4k = pages.size();
+    return s;
+}
+
+} // namespace mocktails::mem

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Whole-trace summary statistics.
+ */
+
+#ifndef MOCKTAILS_MEM_TRACE_STATS_HPP
+#define MOCKTAILS_MEM_TRACE_STATS_HPP
+
+#include <cstdint>
+
+#include "mem/trace.hpp"
+
+namespace mocktails::mem
+{
+
+/**
+ * Aggregate features of a trace, for reporting and sanity checks.
+ */
+struct TraceStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+
+    /** Smallest and largest byte addresses touched. */
+    Addr minAddr = 0;
+    Addr maxAddr = 0;
+
+    /** Number of distinct 4 KiB pages touched (the footprint proxy). */
+    std::uint64_t touched4k = 0;
+
+    /** First and last request ticks. */
+    Tick firstTick = 0;
+    Tick lastTick = 0;
+
+    double readFraction() const;
+
+    /** Mean injected requests per kilocycle over the active window. */
+    double requestRate() const;
+};
+
+/** Compute TraceStats over @p trace. */
+TraceStats computeStats(const Trace &trace);
+
+} // namespace mocktails::mem
+
+#endif // MOCKTAILS_MEM_TRACE_STATS_HPP

@@ -1,0 +1,42 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace mocktails::sim
+{
+
+void
+EventQueue::schedule(Tick when, Callback callback)
+{
+    assert(when >= now_ && "cannot schedule in the past");
+    events_.push(Event{when, next_sequence_++, std::move(callback)});
+}
+
+void
+EventQueue::run()
+{
+    while (!events_.empty()) {
+        // Moving out of the priority queue requires a const_cast because
+        // top() returns a const reference; the pop() immediately after
+        // makes this safe.
+        Event event = std::move(const_cast<Event &>(events_.top()));
+        events_.pop();
+        now_ = event.when;
+        event.callback();
+    }
+}
+
+void
+EventQueue::runUntil(Tick limit)
+{
+    while (!events_.empty() && events_.top().when <= limit) {
+        Event event = std::move(const_cast<Event &>(events_.top()));
+        events_.pop();
+        now_ = event.when;
+        event.callback();
+    }
+    now_ = std::max(now_, limit);
+}
+
+} // namespace mocktails::sim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A minimal discrete-event simulation kernel.
+ *
+ * The DRAM controller and crossbar models are event driven: components
+ * schedule callbacks at future ticks and the kernel executes them in
+ * tick order. Events scheduled for the same tick run in scheduling
+ * order (FIFO), which keeps component interactions deterministic.
+ */
+
+#ifndef MOCKTAILS_SIM_EVENT_QUEUE_HPP
+#define MOCKTAILS_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "mem/request.hpp"
+
+namespace mocktails::sim
+{
+
+using Tick = mem::Tick;
+
+/**
+ * The event queue: schedule callbacks, then run until drained.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulation time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p callback at absolute tick @p when.
+     * @pre when >= now().
+     */
+    void schedule(Tick when, Callback callback);
+
+    /** Schedule @p callback @p delay ticks from now. */
+    void
+    scheduleIn(Tick delay, Callback callback)
+    {
+        schedule(now_ + delay, std::move(callback));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /** Execute events in order until the queue drains. */
+    void run();
+
+    /** Execute events with tick <= @p limit; time advances to limit. */
+    void runUntil(Tick limit);
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t sequence;
+        Callback callback;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.sequence > b.sequence;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Tick now_ = 0;
+    std::uint64_t next_sequence_ = 0;
+};
+
+} // namespace mocktails::sim
+
+#endif // MOCKTAILS_SIM_EVENT_QUEUE_HPP

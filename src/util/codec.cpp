@@ -1,0 +1,40 @@
+#include "util/codec.hpp"
+
+#include <cstdio>
+
+namespace mocktails::util
+{
+
+bool
+saveBytes(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    const std::size_t written =
+        bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
+    const bool ok = (written == bytes.size()) && (std::fclose(f) == 0);
+    return ok;
+}
+
+bool
+loadBytes(const std::string &path, std::vector<std::uint8_t> &bytes)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    if (size < 0) {
+        std::fclose(f);
+        return false;
+    }
+    std::fseek(f, 0, SEEK_SET);
+    bytes.resize(static_cast<std::size_t>(size));
+    const std::size_t read =
+        bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+    std::fclose(f);
+    return read == bytes.size();
+}
+
+} // namespace mocktails::util

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Byte-oriented binary encoding primitives.
+ *
+ * Traces and statistical profiles are persisted in a compact binary
+ * format built from LEB128 varints with zigzag encoding for signed
+ * values. The paper used protocol buffers; this codec provides the same
+ * wire-level properties (small integers stay small, deltas compress
+ * well) without the external dependency.
+ */
+
+#ifndef MOCKTAILS_UTIL_CODEC_HPP
+#define MOCKTAILS_UTIL_CODEC_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mocktails::util
+{
+
+/** Map a signed value onto an unsigned one with small magnitudes first. */
+constexpr std::uint64_t
+zigzagEncode(std::int64_t value)
+{
+    return (static_cast<std::uint64_t>(value) << 1) ^
+           static_cast<std::uint64_t>(value >> 63);
+}
+
+/** Inverse of zigzagEncode. */
+constexpr std::int64_t
+zigzagDecode(std::uint64_t value)
+{
+    return static_cast<std::int64_t>(value >> 1) ^
+           -static_cast<std::int64_t>(value & 1);
+}
+
+/**
+ * An append-only byte sink with varint helpers.
+ */
+class ByteWriter
+{
+  public:
+    /** Append one raw byte. */
+    void putByte(std::uint8_t b) { bytes_.push_back(b); }
+
+    /** Append an unsigned LEB128 varint. */
+    void
+    putVarint(std::uint64_t value)
+    {
+        while (value >= 0x80) {
+            bytes_.push_back(static_cast<std::uint8_t>(value) | 0x80);
+            value >>= 7;
+        }
+        bytes_.push_back(static_cast<std::uint8_t>(value));
+    }
+
+    /** Append a zigzag-coded signed varint. */
+    void putSigned(std::int64_t value) { putVarint(zigzagEncode(value)); }
+
+    /** Append a length-prefixed string. */
+    void
+    putString(const std::string &s)
+    {
+        putVarint(s.size());
+        bytes_.insert(bytes_.end(), s.begin(), s.end());
+    }
+
+    /** Append a double in its IEEE-754 bit pattern. */
+    void
+    putDouble(double value)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(value));
+        __builtin_memcpy(&bits, &value, sizeof(bits));
+        for (int i = 0; i < 8; ++i)
+            bytes_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+    }
+
+    /** Append raw bytes verbatim. */
+    void
+    putBytes(const std::uint8_t *data, std::size_t size)
+    {
+        bytes_.insert(bytes_.end(), data, data + size);
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+    std::vector<std::uint8_t> take() { return std::move(bytes_); }
+    std::size_t size() const { return bytes_.size(); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/**
+ * A bounds-checked cursor over an encoded byte buffer.
+ *
+ * Decoding failures (truncated or malformed input) latch an error flag
+ * instead of throwing; callers check ok() once after a decode pass.
+ */
+class ByteReader
+{
+  public:
+    ByteReader(const std::uint8_t *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    explicit ByteReader(const std::vector<std::uint8_t> &bytes)
+        : ByteReader(bytes.data(), bytes.size())
+    {}
+
+    /** Read one raw byte; returns 0 and sets the error flag past-end. */
+    std::uint8_t
+    getByte()
+    {
+        if (pos_ >= size_) {
+            failed_ = true;
+            return 0;
+        }
+        return data_[pos_++];
+    }
+
+    /** Read an unsigned LEB128 varint. */
+    std::uint64_t
+    getVarint()
+    {
+        std::uint64_t value = 0;
+        int shift = 0;
+        while (true) {
+            if (pos_ >= size_ || shift > 63) {
+                failed_ = true;
+                return 0;
+            }
+            const std::uint8_t b = data_[pos_++];
+            value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+            if (!(b & 0x80))
+                return value;
+            shift += 7;
+        }
+    }
+
+    /** Read a zigzag-coded signed varint. */
+    std::int64_t getSigned() { return zigzagDecode(getVarint()); }
+
+    /** Read a length-prefixed string. */
+    std::string
+    getString()
+    {
+        const std::uint64_t n = getVarint();
+        if (failed_ || n > size_ - pos_) {
+            failed_ = true;
+            return {};
+        }
+        std::string s(reinterpret_cast<const char *>(data_ + pos_), n);
+        pos_ += n;
+        return s;
+    }
+
+    /** Read a double stored by ByteWriter::putDouble. */
+    double
+    getDouble()
+    {
+        std::uint64_t bits = 0;
+        for (int i = 0; i < 8; ++i)
+            bits |= static_cast<std::uint64_t>(getByte()) << (8 * i);
+        double value;
+        __builtin_memcpy(&value, &bits, sizeof(value));
+        return value;
+    }
+
+    /** True until a decode error (truncation/overflow) occurs. */
+    bool ok() const { return !failed_; }
+    bool atEnd() const { return pos_ >= size_; }
+    std::size_t position() const { return pos_; }
+    std::size_t remaining() const { return size_ - pos_; }
+
+  private:
+    const std::uint8_t *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+/** Write a byte buffer to a file. @return true on success. */
+bool saveBytes(const std::string &path,
+               const std::vector<std::uint8_t> &bytes);
+
+/** Read a whole file into a byte buffer. @return true on success. */
+bool loadBytes(const std::string &path, std::vector<std::uint8_t> &bytes);
+
+} // namespace mocktails::util
+
+#endif // MOCKTAILS_UTIL_CODEC_HPP

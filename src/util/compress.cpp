@@ -1,0 +1,200 @@
+#include "util/compress.hpp"
+
+#include <cstring>
+
+#include "util/codec.hpp"
+
+namespace mocktails::util
+{
+
+namespace
+{
+
+constexpr std::size_t minMatch = 4;
+constexpr std::size_t maxOffset = 65535;
+constexpr int hashBits = 16;
+
+std::uint32_t
+hash4(const std::uint8_t *p)
+{
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return (v * 2654435761u) >> (32 - hashBits);
+}
+
+/** Emit one sequence: a literal run, then (unless final) a match. */
+void
+emitSequence(std::vector<std::uint8_t> &out, const std::uint8_t *literals,
+             std::size_t lit_len, std::size_t offset, std::size_t match_len)
+{
+    const bool has_match = match_len >= minMatch;
+    const std::size_t match_code = has_match ? match_len - minMatch : 0;
+
+    std::uint8_t token = 0;
+    token |= static_cast<std::uint8_t>(lit_len >= 15 ? 15 : lit_len) << 4;
+    if (has_match)
+        token |= static_cast<std::uint8_t>(match_code >= 15 ? 15
+                                                            : match_code);
+    out.push_back(token);
+
+    if (lit_len >= 15) {
+        std::size_t rest = lit_len - 15;
+        while (rest >= 255) {
+            out.push_back(255);
+            rest -= 255;
+        }
+        out.push_back(static_cast<std::uint8_t>(rest));
+    }
+    out.insert(out.end(), literals, literals + lit_len);
+
+    if (has_match) {
+        out.push_back(static_cast<std::uint8_t>(offset & 0xff));
+        out.push_back(static_cast<std::uint8_t>(offset >> 8));
+        if (match_code >= 15) {
+            std::size_t rest = match_code - 15;
+            while (rest >= 255) {
+                out.push_back(255);
+                rest -= 255;
+            }
+            out.push_back(static_cast<std::uint8_t>(rest));
+        }
+    }
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+compress(const std::vector<std::uint8_t> &input)
+{
+    std::vector<std::uint8_t> out;
+    {
+        ByteWriter header;
+        header.putVarint(input.size());
+        out = header.take();
+    }
+    if (input.empty())
+        return out;
+
+    const std::uint8_t *base = input.data();
+    const std::size_t size = input.size();
+
+    // Most recent position of each 4-byte hash; kNoPos means unseen.
+    constexpr std::uint32_t no_pos = 0xffffffffu;
+    std::vector<std::uint32_t> table(std::size_t{1} << hashBits, no_pos);
+
+    std::size_t pos = 0;
+    std::size_t literal_start = 0;
+    // The final minMatch-1 bytes can never start a match.
+    const std::size_t match_limit = size >= minMatch ? size - minMatch + 1
+                                                     : 0;
+
+    while (pos < match_limit) {
+        const std::uint32_t h = hash4(base + pos);
+        const std::uint32_t candidate = table[h];
+        table[h] = static_cast<std::uint32_t>(pos);
+
+        std::size_t match_len = 0;
+        if (candidate != no_pos && pos - candidate <= maxOffset &&
+            std::memcmp(base + candidate, base + pos, minMatch) == 0) {
+            match_len = minMatch;
+            while (pos + match_len < size &&
+                   base[candidate + match_len] == base[pos + match_len]) {
+                ++match_len;
+            }
+        }
+
+        if (match_len >= minMatch) {
+            emitSequence(out, base + literal_start, pos - literal_start,
+                         pos - candidate, match_len);
+            // Index a sparse set of positions inside the match so later
+            // data can still find it, without quadratic insertion cost.
+            const std::size_t end = pos + match_len;
+            for (std::size_t p = pos + 1; p + minMatch <= end && p + 4 <= size;
+                 p += 7) {
+                table[hash4(base + p)] = static_cast<std::uint32_t>(p);
+            }
+            pos = end;
+            literal_start = pos;
+        } else {
+            ++pos;
+        }
+    }
+
+    // Trailing literal-only sequence.
+    emitSequence(out, base + literal_start, size - literal_start, 0, 0);
+    return out;
+}
+
+bool
+decompress(const std::vector<std::uint8_t> &input,
+           std::vector<std::uint8_t> &output)
+{
+    ByteReader header(input);
+    const std::uint64_t expected = header.getVarint();
+    if (!header.ok())
+        return false;
+
+    // Sanity bound: one input byte can expand to at most ~256 output
+    // bytes (match-length extension bytes), so a larger claim is
+    // corrupt — reject before allocating.
+    if (expected > (static_cast<std::uint64_t>(input.size()) + 1) * 256)
+        return false;
+
+    output.clear();
+    output.reserve(expected);
+
+    std::size_t pos = header.position();
+    const std::uint8_t *data = input.data();
+    const std::size_t size = input.size();
+
+    auto read_extension = [&](std::size_t &value) -> bool {
+        while (true) {
+            if (pos >= size)
+                return false;
+            const std::uint8_t b = data[pos++];
+            value += b;
+            if (b != 255)
+                return true;
+        }
+    };
+
+    while (output.size() < expected) {
+        if (pos >= size)
+            return false;
+        const std::uint8_t token = data[pos++];
+
+        std::size_t lit_len = token >> 4;
+        if (lit_len == 15 && !read_extension(lit_len))
+            return false;
+        if (pos + lit_len > size)
+            return false;
+        output.insert(output.end(), data + pos, data + pos + lit_len);
+        pos += lit_len;
+
+        if (output.size() >= expected)
+            break;
+
+        if (pos + 2 > size)
+            return false;
+        const std::size_t offset = data[pos] |
+                                   (static_cast<std::size_t>(data[pos + 1])
+                                    << 8);
+        pos += 2;
+        if (offset == 0 || offset > output.size())
+            return false;
+
+        std::size_t match_len = (token & 0x0f);
+        if (match_len == 15 && !read_extension(match_len))
+            return false;
+        match_len += minMatch;
+
+        // Byte-by-byte copy: matches may overlap their own output.
+        std::size_t src = output.size() - offset;
+        for (std::size_t i = 0; i < match_len; ++i)
+            output.push_back(output[src + i]);
+    }
+
+    return output.size() == expected;
+}
+
+} // namespace mocktails::util

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * A small LZ77-family byte compressor.
+ *
+ * Stands in for the gzip stage the paper applied to its protobuf files
+ * (Sec. V, Fig. 17). The block format follows the LZ4 scheme: a stream
+ * of sequences, each a literal run followed by a match copy described
+ * by a 16-bit backwards offset. The comparison in Fig. 17 only depends
+ * on traces and profiles being compressed with the same codec, which
+ * this provides.
+ */
+
+#ifndef MOCKTAILS_UTIL_COMPRESS_HPP
+#define MOCKTAILS_UTIL_COMPRESS_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace mocktails::util
+{
+
+/** Compress a byte buffer. The output embeds the uncompressed size. */
+std::vector<std::uint8_t> compress(const std::vector<std::uint8_t> &input);
+
+/**
+ * Decompress a buffer produced by compress().
+ *
+ * @param input The compressed bytes.
+ * @param output Receives the reconstructed bytes.
+ * @return false if the input is corrupt or truncated.
+ */
+bool decompress(const std::vector<std::uint8_t> &input,
+                std::vector<std::uint8_t> &output);
+
+} // namespace mocktails::util
+
+#endif // MOCKTAILS_UTIL_COMPRESS_HPP

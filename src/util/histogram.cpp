@@ -1,0 +1,56 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mocktails::util
+{
+
+std::vector<std::uint64_t>
+Histogram::dense(std::size_t size) const
+{
+    std::vector<std::uint64_t> out(size, 0);
+    if (size == 0)
+        return out;
+    for (const auto &[value, count] : counts_) {
+        const auto idx = value < 0 ? std::size_t{0}
+                         : std::min(static_cast<std::size_t>(value),
+                                    size - 1);
+        out[idx] += count;
+    }
+    return out;
+}
+
+double
+Histogram::distanceTo(const Histogram &other) const
+{
+    if (total_ == 0 && other.total_ == 0)
+        return 0.0;
+    const double n1 = std::max<double>(1.0, static_cast<double>(total_));
+    const double n2 =
+        std::max<double>(1.0, static_cast<double>(other.total_));
+
+    double distance = 0.0;
+    auto it1 = counts_.begin();
+    auto it2 = other.counts_.begin();
+    while (it1 != counts_.end() || it2 != other.counts_.end()) {
+        double p1 = 0.0, p2 = 0.0;
+        if (it2 == other.counts_.end() ||
+            (it1 != counts_.end() && it1->first < it2->first)) {
+            p1 = it1->second / n1;
+            ++it1;
+        } else if (it1 == counts_.end() || it2->first < it1->first) {
+            p2 = it2->second / n2;
+            ++it2;
+        } else {
+            p1 = it1->second / n1;
+            p2 = it2->second / n2;
+            ++it1;
+            ++it2;
+        }
+        distance += std::abs(p1 - p2);
+    }
+    return distance;
+}
+
+} // namespace mocktails::util

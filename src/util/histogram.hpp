@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Histograms used for reporting simulator statistics.
+ */
+
+#ifndef MOCKTAILS_UTIL_HISTOGRAM_HPP
+#define MOCKTAILS_UTIL_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace mocktails::util
+{
+
+/**
+ * A sparse histogram over integer values.
+ *
+ * Used for, e.g., the per-channel queue-length distributions of paper
+ * Fig. 8 where arriving requests sample the current queue occupancy.
+ */
+class Histogram
+{
+  public:
+    /** Record one observation of @p value. */
+    void
+    add(std::int64_t value, std::uint64_t weight = 1)
+    {
+        counts_[value] += weight;
+        total_ += weight;
+        weighted_sum_ += static_cast<double>(value) *
+                         static_cast<double>(weight);
+    }
+
+    /** Number of observations of a specific value. */
+    std::uint64_t
+    count(std::int64_t value) const
+    {
+        const auto it = counts_.find(value);
+        return it == counts_.end() ? 0 : it->second;
+    }
+
+    /** Total number of observations. */
+    std::uint64_t total() const { return total_; }
+
+    /** Arithmetic mean of all observations (0 when empty). */
+    double
+    mean() const
+    {
+        return total_ == 0 ? 0.0
+                           : weighted_sum_ / static_cast<double>(total_);
+    }
+
+    /** Smallest observed value. @pre total() > 0. */
+    std::int64_t minValue() const { return counts_.begin()->first; }
+
+    /** Largest observed value. @pre total() > 0. */
+    std::int64_t maxValue() const { return counts_.rbegin()->first; }
+
+    /** All (value, count) pairs in increasing value order. */
+    const std::map<std::int64_t, std::uint64_t> &bins() const
+    {
+        return counts_;
+    }
+
+    /**
+     * Dense counts over [0, size). Values outside are clamped into the
+     * last bin; convenient for plotting fixed-width distributions.
+     */
+    std::vector<std::uint64_t> dense(std::size_t size) const;
+
+    /**
+     * Sum of |this - other| bin differences divided by total mass, in
+     * [0, 2]; a simple distance for comparing two distributions.
+     */
+    double distanceTo(const Histogram &other) const;
+
+  private:
+    std::map<std::int64_t, std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    double weighted_sum_ = 0.0;
+};
+
+} // namespace mocktails::util
+
+#endif // MOCKTAILS_UTIL_HISTOGRAM_HPP

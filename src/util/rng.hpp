@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the library flows through Rng so that
+ * model generation, synthesis and the synthetic workload generators are
+ * reproducible from a single seed. The generator is xoshiro256**, seeded
+ * through splitmix64 so that nearby seeds produce unrelated streams.
+ */
+
+#ifndef MOCKTAILS_UTIL_RNG_HPP
+#define MOCKTAILS_UTIL_RNG_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace mocktails::util
+{
+
+/**
+ * A small, fast, deterministic random number generator (xoshiro256**).
+ *
+ * Satisfies the UniformRandomBitGenerator concept so it can also be used
+ * with <random> distributions, although the member helpers below cover
+ * everything the library needs.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a seed; equal seeds yield equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 expansion of the seed into the 256-bit state.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+
+    /** Next raw 64-bit value. */
+    result_type
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        assert(bound > 0);
+        // Lemire's unbiased bounded generation.
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            const std::uint64_t threshold = -bound % bound;
+            while (low < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. @pre lo <= hi. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        assert(lo <= hi);
+        const auto span =
+            static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+        if (span == max())
+            return static_cast<std::int64_t>((*this)());
+        return lo + static_cast<std::int64_t>(below(span + 1));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Sample an index from non-negative weights.
+     *
+     * @param weights Relative weights; at least one must be positive.
+     * @return An index i with probability weights[i] / sum(weights).
+     */
+    std::size_t
+    weightedIndex(const std::vector<double> &weights)
+    {
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        assert(total > 0.0);
+        double target = uniform() * total;
+        for (std::size_t i = 0; i < weights.size(); ++i) {
+            target -= weights[i];
+            if (target < 0.0)
+                return i;
+        }
+        return weights.size() - 1;
+    }
+
+    /** Derive an unrelated child generator (for per-stream RNGs). */
+    Rng
+    fork()
+    {
+        return Rng((*this)());
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace mocktails::util
+
+#endif // MOCKTAILS_UTIL_RNG_HPP

@@ -1,0 +1,56 @@
+#include "util/stats.hpp"
+
+#include <cmath>
+
+namespace mocktails::util
+{
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+percentError(double measured, double reference)
+{
+    if (reference == 0.0)
+        return measured == 0.0 ? 0.0 : 100.0;
+    return std::abs(measured - reference) / std::abs(reference) * 100.0;
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values)
+        log_sum += std::log(v > 0.0 ? v : 1e-12);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+arithmeticMean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+variance(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double mean = arithmeticMean(values);
+    double m2 = 0.0;
+    for (double v : values)
+        m2 += (v - mean) * (v - mean);
+    return m2 / static_cast<double>(values.size());
+}
+
+} // namespace mocktails::util

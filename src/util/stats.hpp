@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Summary statistics used when reporting experiment results.
+ */
+
+#ifndef MOCKTAILS_UTIL_STATS_HPP
+#define MOCKTAILS_UTIL_STATS_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace mocktails::util
+{
+
+/**
+ * Streaming mean/variance accumulator (Welford's algorithm).
+ */
+class RunningStats
+{
+  public:
+    /** Record one sample. */
+    void
+    add(double value)
+    {
+        ++count_;
+        const double delta = value - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (value - mean_);
+    }
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+    /** Population variance (0 with fewer than two samples). */
+    double
+    variance() const
+    {
+        return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+    }
+
+    double stddev() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * Relative error |measured - reference| / reference, as a percentage.
+ *
+ * When the reference is zero the error is 0 if measured is also zero,
+ * otherwise 100 (matching how the paper reports errors against counts
+ * that may legitimately be zero, e.g. banks receiving no writes).
+ */
+double percentError(double measured, double reference);
+
+/** Geometric mean of non-negative values; zeros contribute as 1e-12. */
+double geometricMean(const std::vector<double> &values);
+
+/** Arithmetic mean (0 when empty). */
+double arithmeticMean(const std::vector<double> &values);
+
+/** Population variance (0 when fewer than 2 values). */
+double variance(const std::vector<double> &values);
+
+} // namespace mocktails::util
+
+#endif // MOCKTAILS_UTIL_STATS_HPP

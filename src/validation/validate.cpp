@@ -1,0 +1,149 @@
+#include "validation/validate.hpp"
+
+#include <cstdio>
+
+#include "cache/hierarchy.hpp"
+#include "core/model_generator.hpp"
+#include "core/synthesis.hpp"
+#include "dram/simulate.hpp"
+#include "util/stats.hpp"
+
+namespace mocktails::validation
+{
+
+namespace
+{
+
+void
+addMetric(std::vector<MetricComparison> &out, std::string name,
+          double baseline, double synthetic)
+{
+    MetricComparison metric;
+    metric.name = std::move(name);
+    metric.baseline = baseline;
+    metric.synthetic = synthetic;
+    metric.errorPercent = util::percentError(synthetic, baseline);
+    out.push_back(std::move(metric));
+}
+
+void
+compareOnDram(const mem::Trace &baseline, const mem::Trace &synthetic,
+              std::vector<MetricComparison> &out)
+{
+    const auto base = dram::simulateTrace(baseline);
+    const auto synth = dram::simulateTrace(synthetic);
+
+    addMetric(out, "dram.read_bursts",
+              static_cast<double>(base.readBursts()),
+              static_cast<double>(synth.readBursts()));
+    addMetric(out, "dram.write_bursts",
+              static_cast<double>(base.writeBursts()),
+              static_cast<double>(synth.writeBursts()));
+    addMetric(out, "dram.read_row_hits",
+              static_cast<double>(base.readRowHits()),
+              static_cast<double>(synth.readRowHits()));
+    addMetric(out, "dram.write_row_hits",
+              static_cast<double>(base.writeRowHits()),
+              static_cast<double>(synth.writeRowHits()));
+    addMetric(out, "dram.avg_read_latency", base.avgReadLatency(),
+              synth.avgReadLatency());
+}
+
+void
+compareOnCaches(const mem::Trace &baseline,
+                const mem::Trace &synthetic,
+                std::vector<MetricComparison> &out)
+{
+    cache::Hierarchy base_h{cache::HierarchyConfig{}};
+    base_h.run(baseline);
+    cache::Hierarchy synth_h{cache::HierarchyConfig{}};
+    synth_h.run(synthetic);
+
+    addMetric(out, "cache.l1_miss_rate",
+              100.0 * base_h.l1Stats().missRate(),
+              100.0 * synth_h.l1Stats().missRate());
+    addMetric(out, "cache.l2_miss_rate",
+              100.0 * base_h.l2Stats().missRate(),
+              100.0 * synth_h.l2Stats().missRate());
+    addMetric(out, "cache.l1_writebacks",
+              static_cast<double>(base_h.l1Stats().writebacks),
+              static_cast<double>(synth_h.l1Stats().writebacks));
+    addMetric(out, "cache.footprint_blocks",
+              static_cast<double>(base_h.footprintBlocks()),
+              static_cast<double>(synth_h.footprintBlocks()));
+}
+
+void
+finalize(ValidationReport &report, double threshold)
+{
+    double worst = 0.0;
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (const auto *metrics :
+         {&report.dramMetrics, &report.cacheMetrics}) {
+        for (const auto &metric : *metrics) {
+            worst = std::max(worst, metric.errorPercent);
+            sum += metric.errorPercent;
+            ++count;
+        }
+    }
+    report.worstErrorPercent = worst;
+    report.meanErrorPercent =
+        count == 0 ? 0.0 : sum / static_cast<double>(count);
+    report.passed = worst <= threshold;
+}
+
+} // namespace
+
+ValidationReport
+validateProfile(const mem::Trace &trace, const core::Profile &profile,
+                const ValidationOptions &options)
+{
+    const mem::Trace synthetic =
+        core::synthesize(profile, options.seed);
+
+    ValidationReport report;
+    if (options.dram)
+        compareOnDram(trace, synthetic, report.dramMetrics);
+    if (options.cache)
+        compareOnCaches(trace, synthetic, report.cacheMetrics);
+    finalize(report, options.passThresholdPercent);
+    return report;
+}
+
+ValidationReport
+validateConfig(const mem::Trace &trace,
+               const core::PartitionConfig &config,
+               const ValidationOptions &options)
+{
+    return validateProfile(trace, core::buildProfile(trace, config),
+                           options);
+}
+
+std::string
+formatReport(const ValidationReport &report)
+{
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof(line), "%-24s %14s %14s %9s\n",
+                  "metric", "baseline", "synthetic", "error");
+    out += line;
+    for (const auto *metrics :
+         {&report.dramMetrics, &report.cacheMetrics}) {
+        for (const auto &metric : *metrics) {
+            std::snprintf(line, sizeof(line),
+                          "%-24s %14.1f %14.1f %8.2f%%\n",
+                          metric.name.c_str(), metric.baseline,
+                          metric.synthetic, metric.errorPercent);
+            out += line;
+        }
+    }
+    std::snprintf(line, sizeof(line),
+                  "worst %.2f%%, mean %.2f%% -> %s\n",
+                  report.worstErrorPercent, report.meanErrorPercent,
+                  report.passed ? "PASS" : "FAIL");
+    out += line;
+    return out;
+}
+
+} // namespace mocktails::validation

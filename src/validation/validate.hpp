@@ -1,0 +1,96 @@
+/**
+ * @file
+ * One-call fidelity validation.
+ *
+ * The paper validates Mocktails by comparing baseline and synthetic
+ * streams on memory-controller and cache metrics (Secs. IV-V). This
+ * module packages that methodology: given a trace and a hierarchy
+ * configuration, it builds the profile, synthesises, runs both streams
+ * on the DRAM and cache substrates, and reports per-metric errors with
+ * an overall verdict. Profile producers can use it to check that a
+ * profile is a faithful stand-in before distributing it.
+ */
+
+#ifndef MOCKTAILS_VALIDATION_VALIDATE_HPP
+#define MOCKTAILS_VALIDATION_VALIDATE_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "mem/trace.hpp"
+
+namespace mocktails::validation
+{
+
+/**
+ * One compared metric.
+ */
+struct MetricComparison
+{
+    std::string name;
+    double baseline = 0.0;
+    double synthetic = 0.0;
+    double errorPercent = 0.0;
+};
+
+/**
+ * The full validation report.
+ */
+struct ValidationReport
+{
+    std::vector<MetricComparison> dramMetrics;
+    std::vector<MetricComparison> cacheMetrics;
+
+    /** Largest error across all metrics. */
+    double worstErrorPercent = 0.0;
+
+    /** Mean error across all metrics. */
+    double meanErrorPercent = 0.0;
+
+    /**
+     * True when every metric error is below the pass threshold given
+     * to validateProfile().
+     */
+    bool passed = false;
+};
+
+/**
+ * Validation knobs.
+ */
+struct ValidationOptions
+{
+    /** Per-metric error above this fails the validation. */
+    double passThresholdPercent = 15.0;
+
+    /** Synthesis seed. */
+    std::uint64_t seed = 1;
+
+    /** Run the DRAM-controller comparison (paper Sec. IV). */
+    bool dram = true;
+
+    /** Run the cache-hierarchy comparison (paper Sec. V). */
+    bool cache = true;
+};
+
+/**
+ * Build a profile for @p trace with @p config, synthesise, and compare
+ * both streams on the library's substrates.
+ */
+ValidationReport
+validateConfig(const mem::Trace &trace, const core::PartitionConfig &config,
+               const ValidationOptions &options = ValidationOptions{});
+
+/**
+ * Validate an existing profile against the trace it was built from.
+ */
+ValidationReport
+validateProfile(const mem::Trace &trace, const core::Profile &profile,
+                const ValidationOptions &options = ValidationOptions{});
+
+/** Render a report as human-readable text. */
+std::string formatReport(const ValidationReport &report);
+
+} // namespace mocktails::validation
+
+#endif // MOCKTAILS_VALIDATION_VALIDATE_HPP

@@ -1,0 +1,33 @@
+#include "workloads/builder.hpp"
+
+namespace mocktails::workloads
+{
+
+void
+TraceBuilder::linearRun(mem::Addr base, std::uint32_t count,
+                        std::int64_t stride, std::uint32_t size,
+                        mem::Op op, mem::Tick gap, mem::Tick jitter)
+{
+    mem::Addr addr = base;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        emit(addr, size, op);
+        addr = static_cast<mem::Addr>(static_cast<std::int64_t>(addr) +
+                                      stride);
+        mem::Tick step = gap;
+        if (jitter > 0) {
+            // Symmetric jitter in [-min(jitter, gap), +jitter].
+            const mem::Tick down = std::min(jitter, gap);
+            step = gap - down + rng_.below(down + jitter + 1);
+        }
+        advance(step);
+    }
+}
+
+mem::Trace
+TraceBuilder::take()
+{
+    trace_.sortByTime();
+    return std::move(trace_);
+}
+
+} // namespace mocktails::workloads

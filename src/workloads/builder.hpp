@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Helpers for constructing synthetic device traces.
+ *
+ * The proprietary traces of the paper's Table II are unavailable, so
+ * the workloads library synthesises traces with the per-device
+ * characteristics the paper documents (see DESIGN.md, substitutions).
+ * TraceBuilder provides the shared mechanics: a clock, deterministic
+ * randomness, and common access-pattern idioms (linear runs, tiled
+ * scans, scattered region accesses).
+ */
+
+#ifndef MOCKTAILS_WORKLOADS_BUILDER_HPP
+#define MOCKTAILS_WORKLOADS_BUILDER_HPP
+
+#include <cstdint>
+
+#include "mem/trace.hpp"
+#include "util/rng.hpp"
+
+namespace mocktails::workloads
+{
+
+/**
+ * Incrementally builds a time-ordered trace.
+ */
+class TraceBuilder
+{
+  public:
+    TraceBuilder(std::string name, std::string device,
+                 std::uint64_t seed)
+        : trace_(std::move(name), std::move(device)), rng_(seed)
+    {}
+
+    util::Rng &rng() { return rng_; }
+    mem::Tick now() const { return now_; }
+
+    /** Advance the clock. */
+    void advance(mem::Tick cycles) { now_ += cycles; }
+
+    /** Emit one request at the current time. */
+    void
+    emit(mem::Addr addr, std::uint32_t size, mem::Op op)
+    {
+        trace_.add(now_, addr, size, op);
+    }
+
+    /** Emit and then advance by @p gap cycles. */
+    void
+    emitThen(mem::Addr addr, std::uint32_t size, mem::Op op,
+             mem::Tick gap)
+    {
+        emit(addr, size, op);
+        advance(gap);
+    }
+
+    /**
+     * Emit @p count requests with a constant stride, one every @p gap
+     * cycles (with +/- jitter cycles of uniform noise).
+     */
+    void linearRun(mem::Addr base, std::uint32_t count,
+                   std::int64_t stride, std::uint32_t size, mem::Op op,
+                   mem::Tick gap, mem::Tick jitter = 0);
+
+    std::size_t size() const { return trace_.size(); }
+
+    /** Finish: sorts by time and returns the trace. */
+    mem::Trace take();
+
+  private:
+    mem::Trace trace_;
+    util::Rng rng_;
+    mem::Tick now_ = 0;
+};
+
+} // namespace mocktails::workloads
+
+#endif // MOCKTAILS_WORKLOADS_BUILDER_HPP

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * CPU device traces: cache-filtered request streams.
+ *
+ * CPU requests reach the interconnect only after the cache hierarchy
+ * filters them, so the streams are sparser and more irregular than
+ * raw load/store streams: miss clusters, whole-cache-line sizes, and
+ * phase changes in which memory regions are active (the behaviour the
+ * paper's Fig. 13 discusses for CPUs).
+ */
+
+#include "workloads/devices.hpp"
+
+#include "workloads/builder.hpp"
+
+namespace mocktails::workloads
+{
+
+namespace
+{
+
+constexpr mem::Addr cryptoSrc = 0x80000000;
+constexpr mem::Addr cryptoDst = 0x88000000;
+constexpr mem::Addr cryptoTbl = 0x90000000;
+constexpr mem::Addr heapBase = 0xa0000000;
+constexpr mem::Addr stagingBase = 0xa8000000;
+constexpr mem::Addr ioBase = 0xb0000000;
+
+/**
+ * Shared skeleton for the CPU-D/G/V host workloads: alternating
+ * compute phases (scattered cache-line misses over a heap working
+ * set) and transfer phases (linear copies into a device buffer), with
+ * per-device parameters.
+ */
+mem::Trace
+makeHostWorkload(const char *name, std::size_t target,
+                 std::uint64_t seed, std::uint64_t heap_bytes,
+                 std::uint64_t buffer_bytes, std::uint32_t copy_size,
+                 mem::Tick compute_gap, mem::Tick transfer_gap,
+                 double compute_write_fraction)
+{
+    TraceBuilder b(name, "CPU", seed);
+    util::Rng &rng = b.rng();
+
+    std::uint32_t phase = 0;
+    while (b.size() < target) {
+        // Compute phase: irregular misses over a phase-local slice of
+        // the heap; regions shift between phases.
+        const mem::Addr slice =
+            heapBase + (phase % 8) * (heap_bytes / 4);
+        const std::uint32_t misses =
+            2000 + static_cast<std::uint32_t>(rng.below(2000));
+        for (std::uint32_t i = 0; i < misses && b.size() < target; ++i) {
+            // Miss clusters: short runs of nearby lines.
+            const mem::Addr line =
+                slice + (rng.below(heap_bytes / 2) & ~mem::Addr{63});
+            const std::uint32_t run =
+                1 + static_cast<std::uint32_t>(rng.below(4));
+            for (std::uint32_t j = 0; j < run; ++j) {
+                const mem::Op op = rng.chance(compute_write_fraction)
+                                       ? mem::Op::Write
+                                       : mem::Op::Read;
+                // Reads sometimes fetch an adjacent-line prefetch
+                // pair (128B); writes evict single lines (64B). The
+                // op-size correlation inside mixed regions is what
+                // independent feature models mis-pair (the paper's
+                // Fig. 6 error source).
+                const std::uint32_t size =
+                    op == mem::Op::Read && rng.chance(0.3) ? 128 : 64;
+                b.emitThen(line + j * 64, size, op,
+                           4 + rng.below(compute_gap));
+            }
+            b.advance(rng.below(compute_gap * 4));
+        }
+
+        // Transfer phase: stream the marshalled staging buffer into
+        // the device buffer. The staging region is distinct from the
+        // compute heap — the dense copy burst forms its own dynamic
+        // partitions rather than smearing into the miss-cluster
+        // regions.
+        const mem::Addr src =
+            stagingBase + (phase % 2) * buffer_bytes;
+        const mem::Addr dst = ioBase + (phase % 2) * buffer_bytes;
+        const std::uint32_t lines =
+            static_cast<std::uint32_t>(buffer_bytes / copy_size);
+        for (std::uint32_t i = 0; i < lines && b.size() < target; ++i) {
+            b.emitThen(src + i * copy_size, copy_size, mem::Op::Read,
+                       transfer_gap);
+            b.emitThen(dst + i * copy_size, copy_size, mem::Op::Write,
+                       transfer_gap);
+        }
+
+        // Idle until the next iteration (device busy).
+        b.advance(200000 + rng.below(100000));
+        ++phase;
+    }
+
+    mem::Trace trace = b.take();
+    trace.truncate(target);
+    return trace;
+}
+
+} // namespace
+
+mem::Trace
+makeCrypto(std::size_t target, std::uint64_t seed, int variant)
+{
+    TraceBuilder b(variant == 1 ? "Crypto1" : "Crypto2", "CPU",
+                   seed ^ static_cast<std::uint64_t>(variant));
+    util::Rng &rng = b.rng();
+
+    // Variant 2 uses larger blocks and a bigger table (e.g. a
+    // different cipher configuration).
+    const std::uint32_t chunk = variant == 1 ? 64 : 128;
+    const std::uint64_t table_bytes = variant == 1 ? 8192 : 32768;
+    const mem::Tick gap = variant == 1 ? 24 : 32;
+
+    std::uint64_t offset = 0;
+    while (b.size() < target) {
+        // One buffer's worth of encryption: read plaintext lines,
+        // write ciphertext lines, with occasional table lookups that
+        // missed the cache.
+        const std::uint32_t lines =
+            512 + static_cast<std::uint32_t>(rng.below(256));
+        for (std::uint32_t i = 0; i < lines && b.size() < target; ++i) {
+            b.emitThen(cryptoSrc + offset, chunk, mem::Op::Read, gap);
+            if (rng.chance(0.15)) {
+                b.emitThen(cryptoTbl + (rng.below(table_bytes) &
+                                        ~mem::Addr{63}),
+                           64, mem::Op::Read, gap / 2);
+            }
+            b.emitThen(cryptoDst + offset, chunk, mem::Op::Write, gap);
+            offset += chunk;
+        }
+        // Key schedule / buffer management pause.
+        b.advance(50000 + rng.below(50000));
+    }
+
+    mem::Trace trace = b.take();
+    trace.truncate(target);
+    return trace;
+}
+
+mem::Trace
+makeCpuD(std::size_t target, std::uint64_t seed)
+{
+    // Prepares display layers: medium heap, frame-sized buffers,
+    // write-leaning compute (software composition).
+    return makeHostWorkload("CPU-D", target, seed, 1 << 22, 1 << 16, 64,
+                            40, 8, 0.45);
+}
+
+mem::Trace
+makeCpuG(std::size_t target, std::uint64_t seed)
+{
+    // Builds GPU command streams: larger heap, small command buffers,
+    // read-leaning compute (scene traversal).
+    return makeHostWorkload("CPU-G", target, seed, 1 << 23, 1 << 14, 64,
+                            24, 4, 0.3);
+}
+
+mem::Trace
+makeCpuV(std::size_t target, std::uint64_t seed)
+{
+    // Feeds a video decoder: smaller heap, large bitstream buffers
+    // copied with bigger chunks.
+    return makeHostWorkload("CPU-V", target, seed, 1 << 21, 1 << 17,
+                            128, 48, 12, 0.35);
+}
+
+} // namespace mocktails::workloads

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Synthetic device workload generators (paper Table II).
+ *
+ * Each generator produces a trace with the memory-interface behaviour
+ * the paper attributes to that device class; see DESIGN.md for the
+ * substitution rationale. All generators are deterministic in
+ * (target_requests, seed).
+ */
+
+#ifndef MOCKTAILS_WORKLOADS_DEVICES_HPP
+#define MOCKTAILS_WORKLOADS_DEVICES_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mem/trace.hpp"
+
+namespace mocktails::workloads
+{
+
+/// @name CPU traces (cache-filtered, coherent interconnect)
+/// @{
+
+/** Cryptography workload: streaming blocks + scattered table reads. */
+mem::Trace makeCrypto(std::size_t target_requests, std::uint64_t seed,
+                      int variant = 1);
+
+/** CPU workload that interacts with a DPU (buffer preparation). */
+mem::Trace makeCpuD(std::size_t target_requests, std::uint64_t seed);
+
+/** CPU workload that interacts with a GPU (command/scene updates). */
+mem::Trace makeCpuG(std::size_t target_requests, std::uint64_t seed);
+
+/** CPU workload that interacts with a VPU (bitstream feeding). */
+mem::Trace makeCpuV(std::size_t target_requests, std::uint64_t seed);
+
+/// @}
+/// @name DPU traces (non-coherent interconnect)
+/// @{
+
+/** Display of compressed frames, linear scan order. */
+mem::Trace makeFbcLinear(std::size_t target_requests,
+                         std::uint64_t seed, int variant = 1);
+
+/** Display of compressed frames, tiled scan order. */
+mem::Trace makeFbcTiled(std::size_t target_requests, std::uint64_t seed,
+                        int variant = 1);
+
+/** Composition of multiple VGA layers. */
+mem::Trace makeMultiLayer(std::size_t target_requests,
+                          std::uint64_t seed);
+
+/// @}
+/// @name GPU traces
+/// @{
+
+/** GFXBench T-Rex style rendering. */
+mem::Trace makeTRex(std::size_t target_requests, std::uint64_t seed,
+                    int variant = 1);
+
+/** GFXBench Manhattan style rendering. */
+mem::Trace makeManhattan(std::size_t target_requests,
+                         std::uint64_t seed);
+
+/** OpenCL streaming-compute stress test. */
+mem::Trace makeOpenCl(std::size_t target_requests, std::uint64_t seed,
+                      int variant = 1);
+
+/// @}
+/// @name VPU traces
+/// @{
+
+/** HEVC video decode: motion compensation + frame writes. */
+mem::Trace makeHevc(std::size_t target_requests, std::uint64_t seed,
+                    int variant = 1);
+
+/// @}
+
+/**
+ * One entry of the trace inventory (paper Table II).
+ */
+struct DeviceTraceSpec
+{
+    std::string name;        ///< e.g. "HEVC1"
+    std::string device;      ///< CPU / DPU / GPU / VPU
+    std::string description; ///< Table II description
+    std::function<mem::Trace(std::size_t, std::uint64_t)> make;
+};
+
+/**
+ * The 18-trace inventory of paper Table II (Crypto x2, CPU-D/G/V,
+ * FBC-Linear x2, FBC-Tiled x2, Multi-layer, T-Rex x2, Manhattan,
+ * OpenCL x2, HEVC x3).
+ */
+const std::vector<DeviceTraceSpec> &deviceTraces();
+
+/** Look up a Table II trace by name and build it. */
+mem::Trace makeDeviceTrace(const std::string &name,
+                           std::size_t target_requests,
+                           std::uint64_t seed = 0);
+
+} // namespace mocktails::workloads
+
+#endif // MOCKTAILS_WORKLOADS_DEVICES_HPP

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * DPU (display processing unit) traces.
+ *
+ * Displays read framebuffers at a fixed refresh cadence. The FBC
+ * (frame buffer compression) traces differ in scan order — linear
+ * raster vs. tiled — which changes the stride sequence while keeping
+ * volume similar, exactly the contrast the paper exploits in Figs. 10
+ * and 11. A modest write stream (rotation/composition scratch) gives
+ * the controller write traffic with high row locality.
+ */
+
+#include "workloads/devices.hpp"
+
+#include "workloads/builder.hpp"
+
+namespace mocktails::workloads
+{
+
+namespace
+{
+
+constexpr mem::Addr fb0 = 0x100000000;
+constexpr mem::Addr fb1 = 0x110000000;
+constexpr mem::Addr scratch = 0x120000000;
+constexpr mem::Addr headerBase = 0x128000000;
+
+} // namespace
+
+mem::Trace
+makeFbcLinear(std::size_t target, std::uint64_t seed, int variant)
+{
+    TraceBuilder b(variant == 1 ? "FBC-Linear1" : "FBC-Linear2", "DPU",
+                   seed ^ static_cast<std::uint64_t>(variant * 17));
+    util::Rng &rng = b.rng();
+
+    // Variant 2 displays a higher resolution at the same refresh.
+    const std::uint32_t width_lines = variant == 1 ? 1280 * 4 : 1920 * 4;
+    const std::uint32_t rows = variant == 1 ? 192 : 256;
+    const mem::Tick read_gap = 6;
+
+    std::uint32_t frame = 0;
+    while (b.size() < target) {
+        const mem::Addr base = (frame & 1) ? fb1 : fb0;
+
+        for (std::uint32_t row = 0; row < rows && b.size() < target;
+             ++row) {
+            // Compressed-row header.
+            b.emitThen(headerBase + row * 64, 64, mem::Op::Read, 20);
+
+            // Pipelined decompress-and-write-back: each line keeps
+            // its compressed payload and decompressed output in
+            // adjacent halves of one contiguous region, and the DPU
+            // alternates strictly between reading a compressed block
+            // and writing the decoded block. Reads stream through one
+            // set of DRAM rows and writes through another, with a
+            // deterministic R/W alternation — a pattern a Markov
+            // operation chain captures exactly, while a memoryless
+            // operation probability scrambles which rows the writes
+            // land in (the paper's Fig. 10 contrast).
+            const mem::Addr line_addr =
+                base + static_cast<mem::Addr>(row) * 2 * width_lines;
+            mem::Addr read_cursor = line_addr;
+            mem::Addr write_cursor = line_addr + width_lines;
+            const mem::Addr read_end = line_addr + width_lines;
+            while (read_cursor < read_end && b.size() < target) {
+                // Fully-compressed blocks skip the read but still
+                // produce decoded output.
+                if (!rng.chance(0.12)) {
+                    b.emitThen(read_cursor, 64, mem::Op::Read,
+                               read_gap);
+                }
+                read_cursor += 64;
+                b.emitThen(write_cursor, 64, mem::Op::Write, read_gap);
+                write_cursor += 64;
+            }
+
+            // Horizontal blanking.
+            b.advance(2000 + rng.below(500));
+        }
+
+        // Vertical blanking between frames.
+        b.advance(300000 + rng.below(50000));
+        ++frame;
+    }
+
+    mem::Trace trace = b.take();
+    trace.truncate(target);
+    return trace;
+}
+
+mem::Trace
+makeFbcTiled(std::size_t target, std::uint64_t seed, int variant)
+{
+    TraceBuilder b(variant == 1 ? "FBC-Tiled1" : "FBC-Tiled2", "DPU",
+                   seed ^ static_cast<std::uint64_t>(variant * 31));
+    util::Rng &rng = b.rng();
+
+    // A tile is 4 lines of 64 bytes; consecutive tiles sit pitch bytes
+    // apart per line, so the scan alternates +pitch strides inside a
+    // tile with a back-jump between tiles.
+    const std::uint32_t pitch = variant == 1 ? 4096 : 8192;
+    const std::uint32_t tiles_per_row = variant == 1 ? 40 : 64;
+    const std::uint32_t tile_rows = variant == 1 ? 48 : 40;
+    const mem::Tick read_gap = 6;
+
+    std::uint32_t frame = 0;
+    while (b.size() < target) {
+        const mem::Addr base = (frame & 1) ? fb1 : fb0;
+
+        for (std::uint32_t trow = 0;
+             trow < tile_rows && b.size() < target; ++trow) {
+            b.emitThen(headerBase + trow * 64, 64, mem::Op::Read, 20);
+
+            for (std::uint32_t tile = 0;
+                 tile < tiles_per_row && b.size() < target; ++tile) {
+                // Occasionally a fully compressed tile is skipped.
+                if (rng.chance(0.1))
+                    continue;
+                const mem::Addr tile_base =
+                    base +
+                    static_cast<mem::Addr>(trow) * 4 * pitch +
+                    static_cast<mem::Addr>(tile) * 64;
+                for (std::uint32_t line = 0; line < 4; ++line) {
+                    b.emitThen(tile_base + line * pitch, 64,
+                               mem::Op::Read, read_gap);
+                }
+                // Every fourth tile's header line is updated in place
+                // after decompression, interleaving writes into the
+                // read stream of the same region.
+                if (tile % 4 == 0 && b.size() < target) {
+                    b.emitThen(tile_base, 64, mem::Op::Write,
+                               read_gap);
+                    b.emitThen(tile_base + pitch, 64, mem::Op::Write,
+                               read_gap);
+                }
+            }
+
+            b.advance(2000 + rng.below(500));
+        }
+
+        b.advance(300000 + rng.below(50000));
+        ++frame;
+    }
+
+    mem::Trace trace = b.take();
+    trace.truncate(target);
+    return trace;
+}
+
+mem::Trace
+makeMultiLayer(std::size_t target, std::uint64_t seed)
+{
+    TraceBuilder b("Multi-layer", "DPU", seed ^ 0x4d4c);
+    util::Rng &rng = b.rng();
+
+    // Four VGA layers with different bases and pixel sizes, read
+    // interleaved line by line, plus a composited output write stream.
+    struct Layer
+    {
+        mem::Addr base;
+        std::uint32_t bytes_per_line;
+        std::uint32_t size;
+    };
+    const Layer layers[4] = {
+        {fb0, 640 * 4, 64},
+        {fb0 + 0x400000, 640 * 2, 64},
+        {fb1, 640 * 4, 128},
+        {fb1 + 0x800000, 320 * 4, 64},
+    };
+
+    std::uint32_t frame = 0;
+    while (b.size() < target) {
+        for (std::uint32_t row = 0; row < 120 && b.size() < target;
+             ++row) {
+            // Interleave the four layer fetches for this line.
+            for (std::uint32_t chunk = 0; chunk < 10; ++chunk) {
+                for (const Layer &layer : layers) {
+                    const mem::Addr addr =
+                        layer.base +
+                        static_cast<mem::Addr>(row) *
+                            layer.bytes_per_line +
+                        chunk * layer.size *
+                            (layer.bytes_per_line / (10 * layer.size));
+                    b.emitThen(addr, layer.size, mem::Op::Read, 4);
+                }
+            }
+            // Composited line out.
+            for (std::uint32_t i = 0; i < 8 && b.size() < target; ++i) {
+                b.emitThen(scratch + 0x100000 +
+                               static_cast<mem::Addr>(row) * 2560 +
+                               i * 128,
+                           128, mem::Op::Write, 6);
+            }
+            b.advance(1500 + rng.below(400));
+        }
+        b.advance(250000 + rng.below(50000));
+        ++frame;
+    }
+
+    mem::Trace trace = b.take();
+    trace.truncate(target);
+    return trace;
+}
+
+} // namespace mocktails::workloads

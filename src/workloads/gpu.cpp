@@ -1,0 +1,161 @@
+/**
+ * @file
+ * GPU traces: bursty, high-volume, many concurrent streams.
+ *
+ * GPUs issue large requests in short intervals (paper Sec. IV-B
+ * attributes their long controller queues to exactly this), mixing
+ * texture fetches, vertex/attribute reads and framebuffer writes from
+ * many in-flight warps.
+ */
+
+#include "workloads/devices.hpp"
+
+#include "workloads/builder.hpp"
+
+namespace mocktails::workloads
+{
+
+namespace
+{
+
+constexpr mem::Addr textureBase = 0x200000000;
+constexpr mem::Addr vertexBase = 0x210000000;
+constexpr mem::Addr colorBase = 0x220000000;
+constexpr mem::Addr depthBase = 0x228000000;
+constexpr mem::Addr uboBase = 0x230000000;
+
+/**
+ * One render burst: interleaved texture/vertex reads and color/depth
+ * traffic issued back to back (deltas of a few cycles).
+ */
+void
+renderBurst(TraceBuilder &b, std::size_t target, std::uint32_t quads,
+            double texture_bias, std::uint32_t tex_size)
+{
+    util::Rng &rng = b.rng();
+    mem::Addr vertex_cursor =
+        vertexBase + (rng.below(64) << 16);
+    mem::Addr color_cursor =
+        colorBase + (rng.below(256) & ~mem::Addr{1}) * 4096;
+
+    for (std::uint32_t q = 0; q < quads && b.size() < target; ++q) {
+        // Texture fetches: tiled locality — a hot tile is reused for
+        // several quads before moving on.
+        if (rng.chance(texture_bias)) {
+            const mem::Addr tile =
+                textureBase + (rng.below(4096) << 12);
+            for (std::uint32_t i = 0;
+                 i < 4 && b.size() < target; ++i) {
+                b.emitThen(tile + rng.below(64) * 64, tex_size,
+                           mem::Op::Read, 1 + rng.below(2));
+            }
+        }
+        // Vertex attributes: linear.
+        b.emitThen(vertex_cursor, 64, mem::Op::Read, 1);
+        vertex_cursor += 64;
+
+        // Color writes + depth read-modify-write.
+        b.emitThen(color_cursor + (q % 64) * 128, 128, mem::Op::Write,
+                   1 + rng.below(2));
+        if (rng.chance(0.5)) {
+            const mem::Addr z = depthBase + (q % 64) * 64 +
+                                ((q / 64) << 12);
+            b.emitThen(z, 64, mem::Op::Read, 1);
+            b.emitThen(z, 64, mem::Op::Write, 1);
+        }
+    }
+}
+
+mem::Trace
+makeRenderTrace(const char *name, std::size_t target,
+                std::uint64_t seed, std::uint32_t bursts_per_pass,
+                std::uint32_t quads_per_burst, double texture_bias,
+                std::uint32_t tex_size, mem::Tick burst_gap,
+                mem::Tick pass_gap)
+{
+    TraceBuilder b(name, "GPU", seed);
+    util::Rng &rng = b.rng();
+
+    while (b.size() < target) {
+        // Uniform/constant reads at pass start.
+        for (std::uint32_t i = 0; i < 16 && b.size() < target; ++i)
+            b.emitThen(uboBase + i * 64, 64, mem::Op::Read, 2);
+
+        for (std::uint32_t burst = 0;
+             burst < bursts_per_pass && b.size() < target; ++burst) {
+            renderBurst(b, target, quads_per_burst, texture_bias,
+                        tex_size);
+            b.advance(burst_gap + rng.below(burst_gap));
+        }
+        b.advance(pass_gap + rng.below(pass_gap / 2));
+    }
+
+    mem::Trace trace = b.take();
+    trace.truncate(target);
+    return trace;
+}
+
+} // namespace
+
+mem::Trace
+makeTRex(std::size_t target, std::uint64_t seed, int variant)
+{
+    // Variant 2 renders at a lower resolution: shorter bursts.
+    return makeRenderTrace(variant == 1 ? "T-Rex1" : "T-Rex2", target,
+                           seed ^ static_cast<std::uint64_t>(variant),
+                           24, variant == 1 ? 160 : 96, 0.8, 64, 4000,
+                           400000);
+}
+
+mem::Trace
+makeManhattan(std::size_t target, std::uint64_t seed)
+{
+    // Heavier shading: more texture traffic, larger fetches, denser
+    // passes.
+    return makeRenderTrace("Manhattan", target, seed ^ 0x6d68, 32, 224,
+                           0.9, 128, 3000, 300000);
+}
+
+mem::Trace
+makeOpenCl(std::size_t target, std::uint64_t seed, int variant)
+{
+    TraceBuilder b(variant == 1 ? "OpenCL1" : "OpenCL2", "GPU",
+                   seed ^ static_cast<std::uint64_t>(variant * 7));
+    util::Rng &rng = b.rng();
+
+    constexpr mem::Addr in_a = 0x240000000;
+    constexpr mem::Addr in_b = 0x248000000;
+    constexpr mem::Addr out_c = 0x250000000;
+    const std::uint64_t array_bytes = variant == 1 ? (1u << 24)
+                                                   : (1u << 22);
+
+    while (b.size() < target) {
+        // Streaming kernel: wavefronts read both inputs and write the
+        // output, back to back.
+        for (std::uint64_t offset = 0;
+             offset < array_bytes && b.size() < target; offset += 128) {
+            b.emitThen(in_a + offset, 128, mem::Op::Read, 1);
+            b.emitThen(in_b + offset, 128, mem::Op::Read, 1);
+            b.emitThen(out_c + offset, 128, mem::Op::Write,
+                       1 + rng.below(2));
+        }
+        if (variant == 2) {
+            // Variant 2 adds a gather/reduction kernel with random
+            // reads.
+            for (std::uint32_t i = 0;
+                 i < 20000 && b.size() < target; ++i) {
+                b.emitThen(out_c + (rng.below(array_bytes) &
+                                    ~mem::Addr{127}),
+                           128, mem::Op::Read, 2);
+            }
+        }
+        // Kernel launch overhead.
+        b.advance(150000 + rng.below(50000));
+    }
+
+    mem::Trace trace = b.take();
+    trace.truncate(target);
+    return trace;
+}
+
+} // namespace mocktails::workloads

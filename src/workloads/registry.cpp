@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The Table II trace inventory.
+ */
+
+#include "workloads/devices.hpp"
+
+#include <stdexcept>
+
+namespace mocktails::workloads
+{
+
+const std::vector<DeviceTraceSpec> &
+deviceTraces()
+{
+    static const std::vector<DeviceTraceSpec> specs = {
+        {"Crypto1", "CPU", "A cryptography workload (trace 1 of 2)",
+         [](std::size_t n, std::uint64_t s) { return makeCrypto(n, s, 1); }},
+        {"Crypto2", "CPU", "A cryptography workload (trace 2 of 2)",
+         [](std::size_t n, std::uint64_t s) { return makeCrypto(n, s, 2); }},
+        {"CPU-D", "CPU", "A workload that interacts with a DPU",
+         [](std::size_t n, std::uint64_t s) { return makeCpuD(n, s); }},
+        {"CPU-G", "CPU", "A workload that interacts with a GPU",
+         [](std::size_t n, std::uint64_t s) { return makeCpuG(n, s); }},
+        {"CPU-V", "CPU", "A workload that interacts with a VPU",
+         [](std::size_t n, std::uint64_t s) { return makeCpuV(n, s); }},
+        {"FBC-Linear1", "DPU",
+         "Display compressed frames (linear mode, trace 1 of 2)",
+         [](std::size_t n, std::uint64_t s) {
+             return makeFbcLinear(n, s, 1);
+         }},
+        {"FBC-Linear2", "DPU",
+         "Display compressed frames (linear mode, trace 2 of 2)",
+         [](std::size_t n, std::uint64_t s) {
+             return makeFbcLinear(n, s, 2);
+         }},
+        {"FBC-Tiled1", "DPU",
+         "Display compressed frames (tiled mode, trace 1 of 2)",
+         [](std::size_t n, std::uint64_t s) {
+             return makeFbcTiled(n, s, 1);
+         }},
+        {"FBC-Tiled2", "DPU",
+         "Display compressed frames (tiled mode, trace 2 of 2)",
+         [](std::size_t n, std::uint64_t s) {
+             return makeFbcTiled(n, s, 2);
+         }},
+        {"Multi-layer", "DPU", "Display multiple VGA layers",
+         [](std::size_t n, std::uint64_t s) {
+             return makeMultiLayer(n, s);
+         }},
+        {"T-Rex1", "GPU", "T-Rex from GFXBench (trace 1 of 2)",
+         [](std::size_t n, std::uint64_t s) { return makeTRex(n, s, 1); }},
+        {"T-Rex2", "GPU", "T-Rex from GFXBench (trace 2 of 2)",
+         [](std::size_t n, std::uint64_t s) { return makeTRex(n, s, 2); }},
+        {"Manhattan", "GPU", "Manhattan from GFXBench",
+         [](std::size_t n, std::uint64_t s) {
+             return makeManhattan(n, s);
+         }},
+        {"OpenCL1", "GPU", "An OpenCL stress test (trace 1 of 2)",
+         [](std::size_t n, std::uint64_t s) { return makeOpenCl(n, s, 1); }},
+        {"OpenCL2", "GPU", "An OpenCL stress test (trace 2 of 2)",
+         [](std::size_t n, std::uint64_t s) { return makeOpenCl(n, s, 2); }},
+        {"HEVC1", "VPU", "Decoding compressed video (trace 1 of 3)",
+         [](std::size_t n, std::uint64_t s) { return makeHevc(n, s, 1); }},
+        {"HEVC2", "VPU", "Decoding compressed video (trace 2 of 3)",
+         [](std::size_t n, std::uint64_t s) { return makeHevc(n, s, 2); }},
+        {"HEVC3", "VPU", "Decoding compressed video (trace 3 of 3)",
+         [](std::size_t n, std::uint64_t s) { return makeHevc(n, s, 3); }},
+    };
+    return specs;
+}
+
+mem::Trace
+makeDeviceTrace(const std::string &name, std::size_t target_requests,
+                std::uint64_t seed)
+{
+    for (const DeviceTraceSpec &spec : deviceTraces()) {
+        if (spec.name == name)
+            return spec.make(target_requests, seed);
+    }
+    throw std::invalid_argument("unknown device trace: " + name);
+}
+
+} // namespace mocktails::workloads

@@ -1,0 +1,174 @@
+#include "workloads/spec.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mocktails::workloads
+{
+
+namespace
+{
+
+constexpr mem::Addr specBase = 0x10000000;
+
+// Parameters per benchmark. Footprints/working sets are scaled to the
+// cache sizes of Sec. V (16-32 KiB L1, 256 KiB L2): hot sets around or
+// below L1 size create associativity sensitivity; sweeps slightly
+// above capacity create LRU thrash; large streams defeat both caches.
+constexpr std::array<SpecParams, 23> specTable = {{
+    // name          footprint   hot      sweep    pHot pStr pChase rdF strms
+    {"astar",        32u << 20,  24576,   0,       0.35, 0.05, 0.45, 0.72, 2},
+    {"bzip2",        16u << 20,  32768,   0,       0.45, 0.30, 0.10, 0.68, 3},
+    {"cactusADM",    48u << 20,  16384,   0,       0.25, 0.60, 0.05, 0.62, 6},
+    {"calculix",     8u << 20,   20480,   0,       0.70, 0.25, 0.02, 0.75, 1},
+    {"gcc",          24u << 20,  40960,   0,       0.40, 0.15, 0.35, 0.70, 4},
+    {"GemsFDTD",     64u << 20,  8192,    0,       0.10, 0.80, 0.05, 0.60, 8},
+    {"gobmk",        12u << 20,  49152,   0,       0.60, 0.10, 0.20, 0.74, 2},
+    {"gromacs",      6u << 20,   12288,   0,       0.65, 0.25, 0.05, 0.71, 2},
+    {"h264ref",      10u << 20,  16384,   0,       0.50, 0.35, 0.05, 0.58, 4},
+    {"hmmer",        2u << 20,   8192,    0,       0.80, 0.18, 0.01, 0.76, 1},
+    {"lbm",          56u << 20,  4096,    0,       0.05, 0.85, 0.02, 0.52, 4},
+    {"leslie3d",     40u << 20,  12288,   0,       0.20, 0.65, 0.05, 0.64, 6},
+    {"libquantum",   32u << 20,  4096,    0,       0.04, 0.92, 0.01, 0.66, 1},
+    {"mcf",          96u << 20,  32768,   0,       0.25, 0.05, 0.60, 0.78, 1},
+    {"milc",         48u << 20,  24576,   0,       0.30, 0.45, 0.15, 0.63, 4},
+    {"namd",         8u << 20,   16384,   0,       0.60, 0.30, 0.05, 0.70, 3},
+    {"omnetpp",      28u << 20,  36864,   0,       0.35, 0.10, 0.45, 0.69, 2},
+    {"perlbench",    20u << 20,  28672,   0,       0.50, 0.15, 0.25, 0.73, 3},
+    {"povray",       4u << 20,   12288,   0,       0.70, 0.22, 0.04, 0.77, 2},
+    {"sjeng",        14u << 20,  24576,   0,       0.45, 0.05, 0.40, 0.75, 1},
+    {"soplex",       44u << 20,  20480,   0,       0.30, 0.35, 0.30, 0.80, 3},
+    {"tonto",        12u << 20,  16384,   0,       0.55, 0.30, 0.08, 0.72, 2},
+    {"zeusmp",       36u << 20,  8192,    49152,   0.15, 0.30, 0.05, 0.61, 4},
+}};
+
+} // namespace
+
+const std::vector<std::string> &
+specBenchmarks()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        out.reserve(specTable.size());
+        for (const SpecParams &p : specTable)
+            out.emplace_back(p.name);
+        return out;
+    }();
+    return names;
+}
+
+const SpecParams &
+specParams(const std::string &name)
+{
+    for (const SpecParams &p : specTable) {
+        if (name == p.name)
+            return p;
+    }
+    throw std::invalid_argument("unknown SPEC benchmark: " + name);
+}
+
+mem::Trace
+makeSpecTrace(const std::string &name, std::size_t requests,
+              std::uint64_t seed)
+{
+    const SpecParams &p = specParams(name);
+    mem::Trace trace(name, "CPU");
+    trace.requests().reserve(requests);
+
+    util::Rng rng(seed ^ std::hash<std::string>{}(name));
+
+    // Region layout within the benchmark's footprint.
+    const mem::Addr hot_base = specBase;
+    const mem::Addr sweep_base = specBase + 0x4000000;
+    const mem::Addr stream_base = specBase + 0x8000000;
+    const mem::Addr chase_base = specBase + 0x8000000;
+
+    // Per-stream sequential cursors, spread across the footprint.
+    std::vector<std::uint64_t> cursors(p.streams);
+    for (std::uint32_t s = 0; s < p.streams; ++s)
+        cursors[s] = s * (p.footprint / p.streams);
+    std::uint32_t next_stream = 0;
+
+    // Hot-set movement: a walk over cache lines with a small,
+    // benchmark-specific stride alphabet (loops over structs/arrays),
+    // with occasional random re-seeds (function calls). Accesses
+    // dwell within a line before moving on.
+    const std::uint64_t hot_lines = p.hotBytes / 64;
+    const std::array<std::int64_t, 4> hot_deltas = {
+        1, -1, static_cast<std::int64_t>(2 + seed % 3),
+        static_cast<std::int64_t>(7 + (seed >> 2) % 9)};
+    std::uint64_t hot_line = 0;
+    std::uint32_t hot_off = 0;
+
+    // Pointer chasing: a walk over a fixed random graph of nodes laid
+    // out at a constant spacing across the footprint. The node set
+    // and successor edges are fixed per benchmark, so the observed
+    // stride alphabet is limited, as for real linked structures.
+    const std::uint32_t chase_nodes = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(p.footprint / 4096, 16384));
+    const std::uint64_t chase_spacing =
+        (p.footprint / std::max(1u, chase_nodes)) & ~std::uint64_t{7};
+    std::vector<std::uint32_t> chase_succ(2 *
+                                          std::max(1u, chase_nodes));
+    for (auto &s : chase_succ)
+        s = static_cast<std::uint32_t>(rng.below(
+            std::max<std::uint64_t>(1, chase_nodes)));
+    std::uint32_t chase_node = 0;
+
+    std::uint64_t sweep_cursor = 0;
+    mem::Tick tick = 0;
+
+    for (std::size_t i = 0; i < requests; ++i) {
+        const double pick = rng.uniform();
+        const std::uint32_t size = rng.chance(0.6) ? 8 : 4;
+        mem::Addr addr;
+
+        if (pick < p.pHot) {
+            // Hot working set: within-line dwell, then walk.
+            if (hot_off + size > 64 || rng.chance(0.2)) {
+                if (rng.chance(0.05)) {
+                    hot_line = rng.below(hot_lines);
+                } else {
+                    const std::int64_t delta =
+                        hot_deltas[rng.below(hot_deltas.size())];
+                    hot_line = static_cast<std::uint64_t>(
+                                   static_cast<std::int64_t>(
+                                       hot_line + hot_lines) +
+                                   delta) %
+                               hot_lines;
+                }
+                hot_off = 0;
+            }
+            addr = hot_base + hot_line * 64 + hot_off;
+            hot_off += size;
+        } else if (pick < p.pHot + p.pStream) {
+            // Round-robin sequential streams over the footprint.
+            std::uint64_t &cursor = cursors[next_stream];
+            next_stream = (next_stream + 1) % p.streams;
+            addr = stream_base + cursor;
+            cursor = (cursor + size) % p.footprint;
+        } else if (pick < p.pHot + p.pStream + p.pChase) {
+            // Pointer chase along the fixed graph.
+            addr = chase_base + chase_node * chase_spacing;
+            chase_node =
+                chase_succ[2 * chase_node + rng.below(2)];
+        } else if (p.sweepBytes > 0) {
+            // Cyclic sweep slightly above cache capacity (LRU
+            // thrash).
+            addr = sweep_base + sweep_cursor;
+            sweep_cursor = (sweep_cursor + 64) % p.sweepBytes;
+        } else {
+            addr = hot_base + (rng.below(p.hotBytes) & ~mem::Addr{7});
+        }
+
+        const mem::Op op = rng.chance(p.readFraction) ? mem::Op::Read
+                                                      : mem::Op::Write;
+        trace.add(tick, addr, size, op);
+        tick += 1 + rng.below(4);
+    }
+    return trace;
+}
+
+} // namespace mocktails::workloads

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * SPEC CPU2006-like workload generators (paper Sec. V).
+ *
+ * The paper collects CPU-to-L1 request traces of 23 SPEC CPU2006
+ * benchmarks with Pin. Those traces cannot be redistributed, so this
+ * module provides 23 deterministic generators whose locality profiles
+ * span the same behavioural space — streaming, pointer chasing, hot
+ * working sets, cyclic sweeps — with per-benchmark parameters chosen
+ * to produce distinct cache behaviour (see DESIGN.md).
+ *
+ * Requests model the CPU-L1 port: byte-granularity addresses, 4/8-byte
+ * sizes, unfiltered by any cache.
+ */
+
+#ifndef MOCKTAILS_WORKLOADS_SPEC_HPP
+#define MOCKTAILS_WORKLOADS_SPEC_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/trace.hpp"
+
+namespace mocktails::workloads
+{
+
+/**
+ * The behavioural parameters of one SPEC-like benchmark.
+ */
+struct SpecParams
+{
+    const char *name;
+
+    std::uint64_t footprint;  ///< total bytes ever touched
+    std::uint64_t hotBytes;   ///< hot working-set size
+    std::uint64_t sweepBytes; ///< cyclic-sweep region (0 = none)
+
+    double pHot;    ///< P(access hot set, uniform)
+    double pStream; ///< P(sequential stream access)
+    double pChase;  ///< P(random access in full footprint)
+    // Remaining probability: cyclic sweep (or hot if sweepBytes==0).
+
+    double readFraction;
+    std::uint32_t streams; ///< interleaved sequential streams
+};
+
+/** Names of the 23 benchmarks (Fig. 17's x-axis). */
+const std::vector<std::string> &specBenchmarks();
+
+/** Parameters of a benchmark. @throws std::invalid_argument. */
+const SpecParams &specParams(const std::string &name);
+
+/** Generate a CPU-L1 trace for a benchmark. */
+mem::Trace makeSpecTrace(const std::string &name,
+                         std::size_t requests, std::uint64_t seed = 0);
+
+} // namespace mocktails::workloads
+
+#endif // MOCKTAILS_WORKLOADS_SPEC_HPP

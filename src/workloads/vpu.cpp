@@ -1,0 +1,112 @@
+/**
+ * @file
+ * VPU traces: HEVC decode.
+ *
+ * Video decoders work frame by frame with long idle gaps in between
+ * (the burst/idle structure of paper Fig. 3). Within a frame, motion
+ * compensation reads scatter small chunks across reference-frame
+ * regions — sparse, irregular accesses inside 4 KiB blocks with mixed
+ * 64/128-byte sizes, as in paper Fig. 2 — while the decoded frame is
+ * written out in near-linear CTU order and the bitstream is read
+ * slowly and linearly.
+ */
+
+#include "workloads/devices.hpp"
+
+#include "workloads/builder.hpp"
+
+namespace mocktails::workloads
+{
+
+namespace
+{
+
+constexpr mem::Addr refBase = 0x300000000;
+constexpr mem::Addr decBase = 0x310000000;
+constexpr mem::Addr bitstreamBase = 0x320000000;
+
+} // namespace
+
+mem::Trace
+makeHevc(std::size_t target, std::uint64_t seed, int variant)
+{
+    std::string name = "HEVC" + std::to_string(variant);
+    TraceBuilder b(std::move(name), "VPU",
+                   seed ^ (0x48455643ull + variant));
+    util::Rng &rng = b.rng();
+
+    // Down-scaled inputs (as the paper notes for its own traces):
+    // small CTU grids, two reference frames.
+    const std::uint32_t ctus_per_row = 16 + 4 * variant;
+    const std::uint32_t ctu_rows = 8 + 2 * variant;
+    const std::uint64_t frame_bytes =
+        static_cast<std::uint64_t>(ctus_per_row) * ctu_rows * 4096;
+    const mem::Tick frame_gap = 150000000 + variant * 50000000;
+
+    std::uint64_t bitstream_cursor = 0;
+    std::uint32_t frame = 0;
+    while (b.size() < target) {
+        // The frame's motion vectors: a small set of scattered
+        // offsets reused across CTUs, covering the whole 4 KiB
+        // reference window (the sparse irregular pattern of Fig. 2).
+        mem::Addr mv_offsets[8];
+        for (auto &mv : mv_offsets)
+            mv = rng.below(56) * 64 + rng.below(8) * 8;
+        const mem::Addr ref =
+            refBase + (frame & 1) * (frame_bytes + 0x100000);
+        const mem::Addr dec =
+            decBase + (frame & 1) * (frame_bytes + 0x100000);
+
+        for (std::uint32_t ctu = 0;
+             ctu < ctus_per_row * ctu_rows && b.size() < target;
+             ++ctu) {
+            // Bitstream read for this CTU (slow linear stream).
+            if (ctu % 4 == 0) {
+                b.emitThen(bitstreamBase + bitstream_cursor, 64,
+                           mem::Op::Read, 200);
+                bitstream_cursor += 64;
+            }
+
+            // Motion compensation: a few scattered chunks from the
+            // collocated reference window. Offsets reuse a small set
+            // of motion vectors, so patterns repeat within a region
+            // (cf. Fig. 2's partitions).
+            const mem::Addr window =
+                ref + static_cast<mem::Addr>(ctu) * 4096;
+            const std::uint32_t chunks =
+                2 + static_cast<std::uint32_t>(rng.below(4));
+            for (std::uint32_t c = 0;
+                 c < chunks && b.size() < target; ++c) {
+                const mem::Addr mv = mv_offsets[rng.below(8)];
+                const std::uint32_t size = rng.chance(0.25) ? 128 : 64;
+                b.emitThen(window + mv + c * 64, size, mem::Op::Read,
+                           30 + rng.below(40));
+            }
+
+            // Decoded CTU write-out: near-linear, 64/128B chunks.
+            const mem::Addr out =
+                dec + static_cast<mem::Addr>(ctu) * 4096;
+            const std::uint32_t writes =
+                4 + static_cast<std::uint32_t>(rng.below(3));
+            for (std::uint32_t w = 0;
+                 w < writes && b.size() < target; ++w) {
+                const std::uint32_t size = rng.chance(0.3) ? 128 : 64;
+                b.emitThen(out + w * 128, size, mem::Op::Write,
+                           20 + rng.below(20));
+            }
+
+            // Inter-CTU decode latency.
+            b.advance(500 + rng.below(500));
+        }
+
+        // Idle until the next frame arrives (Fig. 3's gaps).
+        b.advance(frame_gap + rng.below(frame_gap / 4));
+        ++frame;
+    }
+
+    mem::Trace trace = b.take();
+    trace.truncate(target);
+    return trace;
+}
+
+} // namespace mocktails::workloads

@@ -1,0 +1,128 @@
+#include "baselines/reuse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails::baselines;
+
+/** Naive O(n^2) LRU stack distance for cross-checking. */
+std::vector<std::int64_t>
+naiveReuse(const std::vector<std::uint64_t> &keys)
+{
+    std::list<std::uint64_t> stack;
+    std::vector<std::int64_t> out;
+    for (const auto key : keys) {
+        std::int64_t depth = 0;
+        bool found = false;
+        for (auto it = stack.begin(); it != stack.end(); ++it, ++depth) {
+            if (*it == key) {
+                out.push_back(depth);
+                stack.erase(it);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            out.push_back(reuseInfinite);
+        stack.push_front(key);
+    }
+    return out;
+}
+
+TEST(ReuseDistance, FirstTouchIsInfinite)
+{
+    ReuseDistanceTracker tracker;
+    EXPECT_EQ(tracker.access(1), reuseInfinite);
+    EXPECT_EQ(tracker.access(2), reuseInfinite);
+}
+
+TEST(ReuseDistance, ImmediateReuseIsZero)
+{
+    ReuseDistanceTracker tracker;
+    tracker.access(1);
+    EXPECT_EQ(tracker.access(1), 0);
+}
+
+TEST(ReuseDistance, CountsUniqueIntermediates)
+{
+    ReuseDistanceTracker tracker;
+    tracker.access(1);
+    tracker.access(2);
+    tracker.access(3);
+    tracker.access(2); // distance 1 (only 3 since last access of 2)
+    EXPECT_EQ(tracker.access(1), 2); // 2 and 3 touched since
+}
+
+TEST(ReuseDistance, RepeatsDoNotInflateDistance)
+{
+    ReuseDistanceTracker tracker;
+    tracker.access(1);
+    tracker.access(2);
+    tracker.access(2);
+    tracker.access(2);
+    EXPECT_EQ(tracker.access(1), 1); // only one unique key between
+}
+
+TEST(ReuseDistance, ClassicSequence)
+{
+    // a b c b a: distances inf inf inf 1 2.
+    const auto d = reuseDistances({10, 20, 30, 20, 10});
+    EXPECT_EQ(d, (std::vector<std::int64_t>{reuseInfinite,
+                                            reuseInfinite,
+                                            reuseInfinite, 1, 2}));
+}
+
+TEST(ReuseDistance, UniqueKeyCount)
+{
+    ReuseDistanceTracker tracker;
+    tracker.access(5);
+    tracker.access(5);
+    tracker.access(9);
+    EXPECT_EQ(tracker.uniqueKeys(), 2u);
+}
+
+TEST(ReuseDistance, MatchesNaiveOnRandomStreams)
+{
+    mocktails::util::Rng rng(31);
+    for (int trial = 0; trial < 5; ++trial) {
+        std::vector<std::uint64_t> keys;
+        for (int i = 0; i < 800; ++i)
+            keys.push_back(rng.below(60));
+        EXPECT_EQ(reuseDistances(keys), naiveReuse(keys))
+            << "trial " << trial;
+    }
+}
+
+TEST(ReuseDistance, MatchesNaiveOnStridedStream)
+{
+    std::vector<std::uint64_t> keys;
+    for (int round = 0; round < 4; ++round) {
+        for (std::uint64_t k = 0; k < 50; ++k)
+            keys.push_back(k);
+    }
+    const auto fast = reuseDistances(keys);
+    const auto slow = naiveReuse(keys);
+    EXPECT_EQ(fast, slow);
+    // Cyclic sweeps have constant distance = working set - 1.
+    EXPECT_EQ(fast[50], 49);
+    EXPECT_EQ(fast[150], 49);
+}
+
+TEST(ReuseDistance, LargeStreamGrowsTree)
+{
+    // Exceeds the initial Fenwick-tree capacity to exercise regrowth.
+    ReuseDistanceTracker tracker;
+    for (std::uint64_t i = 0; i < 5000; ++i)
+        tracker.access(i % 100);
+    EXPECT_EQ(tracker.uniqueKeys(), 100u);
+    EXPECT_EQ(tracker.access(0), 99);
+}
+
+} // namespace

@@ -1,0 +1,182 @@
+#include "baselines/stm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/model_generator.hpp"
+#include "core/profile.hpp"
+#include "core/synthesis.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::baselines;
+
+TEST(StmOpModel, ExactCountsUnderStrictConvergence)
+{
+    StmOpModel model(7, 3);
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        util::Rng rng(seed);
+        const auto sampler = model.makeSampler(rng);
+        int reads = 0, writes = 0;
+        for (int i = 0; i < 10; ++i) {
+            if (sampler->next() == 0)
+                ++reads;
+            else
+                ++writes;
+        }
+        EXPECT_EQ(reads, 7);
+        EXPECT_EQ(writes, 3);
+    }
+}
+
+TEST(StmOpModel, AllReads)
+{
+    StmOpModel model(5, 0);
+    util::Rng rng(1);
+    const auto sampler = model.makeSampler(rng);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(sampler->next(), 0);
+}
+
+TEST(StmOpModel, IsMemoryless)
+{
+    // Unlike a Markov chain, STM cannot capture strict alternation:
+    // over many seeds some generated orders differ from R W R W...
+    std::vector<std::int64_t> pattern = {0, 1, 0, 1, 0, 1, 0, 1};
+    StmOpModel model(4, 4);
+    int exact_matches = 0;
+    for (std::uint64_t seed = 0; seed < 50; ++seed) {
+        util::Rng rng(seed);
+        const auto sampler = model.makeSampler(rng);
+        bool match = true;
+        for (const std::int64_t expected : pattern)
+            match &= (sampler->next() == expected);
+        exact_matches += match;
+    }
+    EXPECT_LT(exact_matches, 50);
+}
+
+TEST(StmStrideModel, ExactMultisetUnderStrictConvergence)
+{
+    std::vector<std::int64_t> strides = {64, 64, 64, -264, 64,
+                                         64, 128, 64, 64};
+    StmStrideModel model(strides, StmConfig{});
+    std::map<std::int64_t, int> expected;
+    for (const auto s : strides)
+        ++expected[s];
+
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        util::Rng rng(seed);
+        const auto sampler = model.makeSampler(rng);
+        std::map<std::int64_t, int> got;
+        for (std::size_t i = 0; i < strides.size(); ++i)
+            ++got[sampler->next()];
+        EXPECT_EQ(got, expected) << "seed " << seed;
+    }
+}
+
+TEST(StmStrideModel, CapturesLongPeriodicPattern)
+{
+    // Period-3 stride pattern: 8-deep history captures it perfectly,
+    // and with strict convergence the sequence is reproduced exactly.
+    std::vector<std::int64_t> strides;
+    for (int i = 0; i < 30; ++i) {
+        strides.push_back(64);
+        strides.push_back(64);
+        strides.push_back(-128);
+    }
+    StmStrideModel model(strides, StmConfig{});
+    util::Rng rng(5);
+    const auto sampler = model.makeSampler(rng);
+    for (std::size_t i = 0; i < strides.size(); ++i)
+        EXPECT_EQ(sampler->next(), strides[i]) << "at " << i;
+}
+
+TEST(StmStrideModel, RowCapacityEnforced)
+{
+    // Many distinct histories: the table must not exceed 32 rows.
+    std::vector<std::int64_t> strides;
+    util::Rng rng(6);
+    for (int i = 0; i < 500; ++i)
+        strides.push_back(rng.between(-100, 100) * 8);
+    StmConfig config;
+    StmStrideModel model(strides, config);
+    EXPECT_LE(model.numRows(), config.maxRows);
+}
+
+TEST(StmStrideModel, SequenceLengthMatches)
+{
+    std::vector<std::int64_t> strides = {1, 2, 3, 4, 5};
+    StmStrideModel model(strides, StmConfig{});
+    EXPECT_EQ(model.sequenceLength(), 5u);
+}
+
+TEST(StmHooks, BuildProfileWithStmLeaves)
+{
+    mem::Trace trace("t", "GPU");
+    util::Rng rng(7);
+    mem::Tick tick = 0;
+    for (int i = 0; i < 2000; ++i) {
+        tick += rng.below(20);
+        trace.add(tick, 0x1000 + (rng.below(1 << 16) & ~mem::Addr{63}),
+                  64, rng.chance(0.4) ? mem::Op::Write : mem::Op::Read);
+    }
+    const core::Profile p = core::buildProfile(
+        trace, core::PartitionConfig::twoLevelTs(5000), stmHooks());
+
+    bool found_stm_op = false;
+    for (const auto &leaf : p.leaves) {
+        if (leaf.op && leaf.op->tag() == StmOpModel::kTag)
+            found_stm_op = true;
+        if (leaf.stride)
+            EXPECT_EQ(leaf.stride->tag(), StmStrideModel::kTag);
+        // Delta time and size still use McC models.
+        if (leaf.size) {
+            EXPECT_TRUE(leaf.size->tag() == core::ConstantModel::kTag ||
+                        leaf.size->tag() == core::MarkovModel::kTag);
+        }
+    }
+    EXPECT_TRUE(found_stm_op);
+
+    // Synthesis with STM leaves preserves read/write counts.
+    std::uint64_t reads = 0;
+    for (const auto &r : trace)
+        reads += r.isRead();
+    const mem::Trace synth = core::synthesize(p, 3);
+    std::uint64_t synth_reads = 0;
+    for (const auto &r : synth)
+        synth_reads += r.isRead();
+    EXPECT_EQ(synth.size(), trace.size());
+    EXPECT_EQ(synth_reads, reads);
+}
+
+TEST(StmCodec, ProfileWithStmModelsRoundTrips)
+{
+    registerStmModels();
+    mem::Trace trace("t", "DPU");
+    for (int i = 0; i < 100; ++i) {
+        trace.add(static_cast<mem::Tick>(i * 3),
+                  0x100 + static_cast<mem::Addr>((i % 7) * 64), 64,
+                  i % 3 ? mem::Op::Read : mem::Op::Write);
+    }
+    const core::Profile p = core::buildProfile(
+        trace, core::PartitionConfig::twoLevelTs(1000), stmHooks());
+
+    core::Profile decoded;
+    ASSERT_TRUE(core::Profile::decode(p.encode(), decoded));
+    ASSERT_EQ(decoded.leaves.size(), p.leaves.size());
+    for (std::size_t i = 0; i < p.leaves.size(); ++i) {
+        if (p.leaves[i].stride) {
+            ASSERT_NE(decoded.leaves[i].stride, nullptr);
+            EXPECT_EQ(decoded.leaves[i].stride->tag(),
+                      p.leaves[i].stride->tag());
+        }
+    }
+    // Decoded profile synthesises the same request count.
+    EXPECT_EQ(core::synthesize(decoded, 1).size(), trace.size());
+}
+
+} // namespace

@@ -1,0 +1,246 @@
+#include "cache/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::cache;
+
+mem::Request
+req(mem::Addr addr, std::uint32_t size, mem::Op op)
+{
+    return mem::Request{0, addr, size, op};
+}
+
+TEST(CacheConfig, Validity)
+{
+    EXPECT_TRUE((CacheConfig{32768, 4, 64}.isValid()));
+    EXPECT_FALSE((CacheConfig{32768, 4, 48}.isValid())); // block !pow2
+    EXPECT_FALSE((CacheConfig{100, 3, 64}.isValid()));
+    EXPECT_EQ((CacheConfig{32768, 4, 64}.numSets()), 128u);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache({1024, 2, 64});
+    cache.accessBlock(0x1000, mem::Op::Read);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    cache.accessBlock(0x1000, mem::Op::Read);
+    EXPECT_EQ(cache.stats().accesses, 2u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, SameBlockDifferentByteHits)
+{
+    Cache cache({1024, 2, 64});
+    cache.accessBlock(0x1000, mem::Op::Read);
+    cache.accessBlock(0x103f, mem::Op::Read);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, ReadWriteCountsSplit)
+{
+    Cache cache({1024, 2, 64});
+    cache.accessBlock(0x0, mem::Op::Read);
+    cache.accessBlock(0x40, mem::Op::Write);
+    cache.accessBlock(0x40, mem::Op::Write);
+    EXPECT_EQ(cache.stats().readAccesses, 1u);
+    EXPECT_EQ(cache.stats().writeAccesses, 2u);
+    EXPECT_EQ(cache.stats().readMisses, 1u);
+    EXPECT_EQ(cache.stats().writeMisses, 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 1 set of interest: blocks mapping to set 0 are multiples
+    // of 64 * numSets. 1KB 2-way 64B -> 8 sets.
+    Cache cache({1024, 2, 64});
+    const mem::Addr a = 0 * 512, b = 1 * 512 + 0, c = 2 * 512;
+    // a, b fill set 0; touching a makes b the LRU; c evicts b.
+    cache.accessBlock(a, mem::Op::Read);
+    cache.accessBlock(b, mem::Op::Read);
+    cache.accessBlock(a, mem::Op::Read);
+    cache.accessBlock(c, mem::Op::Read);
+    EXPECT_EQ(cache.stats().replacements, 1u);
+    cache.accessBlock(a, mem::Op::Read); // still resident
+    EXPECT_EQ(cache.stats().misses, 3u);
+    cache.accessBlock(b, mem::Op::Read); // was evicted
+    EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    Cache cache({1024, 2, 64});
+    cache.accessBlock(0, mem::Op::Read);
+    cache.accessBlock(512, mem::Op::Read);
+    cache.accessBlock(1024, mem::Op::Read); // evicts clean block
+    EXPECT_EQ(cache.stats().replacements, 1u);
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(Cache, DirtyEvictionWritesBack)
+{
+    Cache cache({1024, 2, 64});
+    cache.accessBlock(0, mem::Op::Write);
+    cache.accessBlock(512, mem::Op::Read);
+    cache.accessBlock(1024, mem::Op::Read); // evicts dirty block 0
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    Cache cache({1024, 2, 64});
+    cache.accessBlock(0, mem::Op::Read);  // clean fill
+    cache.accessBlock(0, mem::Op::Write); // dirty on hit
+    cache.accessBlock(512, mem::Op::Read);
+    cache.accessBlock(1024, mem::Op::Read); // evict block 0
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, WritebackReachesNextLevel)
+{
+    Cache l2({4096, 4, 64});
+    Cache l1({1024, 2, 64});
+    l1.setNextLevel(&l2);
+
+    l1.accessBlock(0, mem::Op::Write);
+    l1.accessBlock(512, mem::Op::Read);
+    l1.accessBlock(1024, mem::Op::Read);
+    // L2 sees: 3 fills (reads) + 1 writeback (write).
+    EXPECT_EQ(l2.stats().readAccesses, 3u);
+    EXPECT_EQ(l2.stats().writeAccesses, 1u);
+}
+
+TEST(Cache, MissFillsFromNextLevel)
+{
+    Cache l2({4096, 4, 64});
+    Cache l1({1024, 2, 64});
+    l1.setNextLevel(&l2);
+    l1.accessBlock(0x40, mem::Op::Read);
+    EXPECT_EQ(l2.stats().accesses, 1u);
+    // L1 hit does not touch L2.
+    l1.accessBlock(0x40, mem::Op::Read);
+    EXPECT_EQ(l2.stats().accesses, 1u);
+}
+
+TEST(Cache, RequestSpanningBlocksProbesEach)
+{
+    Cache cache({1024, 2, 64});
+    cache.access(req(0x20, 128, mem::Op::Read)); // blocks 0,1,2
+    EXPECT_EQ(cache.stats().accesses, 3u);
+    EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(Cache, AlignedRequestSingleProbe)
+{
+    Cache cache({1024, 2, 64});
+    cache.access(req(0x40, 64, mem::Op::Read));
+    EXPECT_EQ(cache.stats().accesses, 1u);
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache cache({1024, 2, 64});
+    cache.accessBlock(0, mem::Op::Write);
+    cache.reset();
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    cache.accessBlock(0, mem::Op::Read);
+    EXPECT_EQ(cache.stats().misses, 1u); // content was invalidated
+}
+
+TEST(Cache, MissRate)
+{
+    Cache cache({1024, 2, 64});
+    cache.accessBlock(0, mem::Op::Read);
+    cache.accessBlock(0, mem::Op::Read);
+    cache.accessBlock(0, mem::Op::Read);
+    cache.accessBlock(0, mem::Op::Read);
+    EXPECT_DOUBLE_EQ(cache.stats().missRate(), 0.25);
+}
+
+TEST(Cache, FullyAssociativeBehaviour)
+{
+    // size/assoc/block: one set.
+    Cache cache({512, 8, 64});
+    for (mem::Addr a = 0; a < 8; ++a)
+        cache.accessBlock(a * 4096, mem::Op::Read);
+    // All 8 blocks resident despite mapping to one set.
+    for (mem::Addr a = 0; a < 8; ++a)
+        cache.accessBlock(a * 4096, mem::Op::Read);
+    EXPECT_EQ(cache.stats().misses, 8u);
+}
+
+TEST(Cache, FifoIgnoresRecency)
+{
+    // 2-way set: fill a then b; touch a (recent); insert c.
+    // LRU evicts b, FIFO evicts a (oldest fill).
+    CacheConfig config{1024, 2, 64, Replacement::Fifo};
+    Cache cache(config);
+    cache.accessBlock(0, mem::Op::Read);    // fill a
+    cache.accessBlock(512, mem::Op::Read);  // fill b
+    cache.accessBlock(0, mem::Op::Read);    // touch a
+    cache.accessBlock(1024, mem::Op::Read); // evicts a under FIFO
+    cache.accessBlock(512, mem::Op::Read);  // b still resident
+    EXPECT_EQ(cache.stats().misses, 3u);
+    cache.accessBlock(0, mem::Op::Read); // a was evicted
+    EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(Cache, RandomReplacementIsDeterministic)
+{
+    const auto run = [] {
+        CacheConfig config{1024, 2, 64, Replacement::Random};
+        Cache cache(config);
+        for (mem::Addr i = 0; i < 200; ++i)
+            cache.accessBlock((i % 5) * 512, mem::Op::Read);
+        return cache.stats().misses;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST(Cache, RandomReplacementStillCaches)
+{
+    CacheConfig config{1024, 2, 64, Replacement::Random};
+    Cache cache(config);
+    for (int round = 0; round < 50; ++round)
+        cache.accessBlock(0x40, mem::Op::Read);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(Cache, PoliciesDivergeOnThrashPattern)
+{
+    // Cyclic sweep over assoc+1 conflicting blocks: LRU misses every
+    // access after warmup; random replacement keeps some.
+    const auto run = [](Replacement policy) {
+        CacheConfig config{4096, 4, 64, policy};
+        Cache cache(config);
+        for (int round = 0; round < 100; ++round) {
+            for (mem::Addr i = 0; i < 5; ++i)
+                cache.accessBlock(i * 4096, mem::Op::Read);
+        }
+        return cache.stats().misses;
+    };
+    const auto lru = run(Replacement::Lru);
+    const auto random = run(Replacement::Random);
+    EXPECT_EQ(lru, 500u); // LRU pathological: every access misses
+    EXPECT_LT(random, lru);
+}
+
+TEST(Cache, HigherAssociativityReducesConflicts)
+{
+    // Access 4 blocks that conflict in a direct-mapped cache.
+    auto run = [](std::uint32_t assoc) {
+        Cache cache({4096, assoc, 64});
+        for (int round = 0; round < 10; ++round) {
+            for (mem::Addr i = 0; i < 4; ++i)
+                cache.accessBlock(i * 4096, mem::Op::Read);
+        }
+        return cache.stats().misses;
+    };
+    EXPECT_GT(run(1), run(4));
+    EXPECT_EQ(run(4), 4u); // all fit with assoc 4
+}
+
+} // namespace

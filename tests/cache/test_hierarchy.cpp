@@ -1,0 +1,106 @@
+#include "cache/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::cache;
+
+TEST(Hierarchy, DefaultConfigMatchesSec5Platform)
+{
+    HierarchyConfig config;
+    EXPECT_EQ(config.l2.size, 256u * 1024);
+    EXPECT_EQ(config.l2.associativity, 8u);
+    EXPECT_EQ(config.l1.blockSize, 64u);
+}
+
+TEST(Hierarchy, L1MissGoesToL2)
+{
+    Hierarchy h{HierarchyConfig{}};
+    h.access(mem::Request{0, 0x1000, 8, mem::Op::Read});
+    EXPECT_EQ(h.l1Stats().misses, 1u);
+    EXPECT_EQ(h.l2Stats().accesses, 1u);
+
+    h.access(mem::Request{1, 0x1000, 8, mem::Op::Read});
+    EXPECT_EQ(h.l1Stats().accesses, 2u);
+    EXPECT_EQ(h.l2Stats().accesses, 1u); // L1 hit shields L2
+}
+
+TEST(Hierarchy, FootprintCountsUniqueBlocks)
+{
+    Hierarchy h{HierarchyConfig{}};
+    h.access(mem::Request{0, 0x0, 8, mem::Op::Read});
+    h.access(mem::Request{1, 0x8, 8, mem::Op::Read});  // same block
+    h.access(mem::Request{2, 0x40, 8, mem::Op::Read}); // new block
+    EXPECT_EQ(h.footprintBlocks(), 2u);
+    EXPECT_EQ(h.footprintBytes(), 128u);
+}
+
+TEST(Hierarchy, FootprintCountsSpannedBlocks)
+{
+    Hierarchy h{HierarchyConfig{}};
+    h.access(mem::Request{0, 0x3c, 8, mem::Op::Read}); // spans 2 blocks
+    EXPECT_EQ(h.footprintBlocks(), 2u);
+}
+
+TEST(Hierarchy, RunProcessesWholeTrace)
+{
+    Hierarchy h{HierarchyConfig{}};
+    mem::Trace trace;
+    for (int i = 0; i < 1000; ++i)
+        trace.add(static_cast<mem::Tick>(i),
+                  static_cast<mem::Addr>(i % 50) * 64, 8, mem::Op::Read);
+    h.run(trace);
+    EXPECT_EQ(h.l1Stats().accesses, 1000u);
+    EXPECT_EQ(h.l1Stats().misses, 50u);
+    EXPECT_EQ(h.footprintBlocks(), 50u);
+}
+
+TEST(Hierarchy, ResetClearsState)
+{
+    Hierarchy h{HierarchyConfig{}};
+    h.access(mem::Request{0, 0x1000, 8, mem::Op::Write});
+    h.reset();
+    EXPECT_EQ(h.l1Stats().accesses, 0u);
+    EXPECT_EQ(h.l2Stats().accesses, 0u);
+    EXPECT_EQ(h.footprintBlocks(), 0u);
+}
+
+TEST(Hierarchy, DirtyL1VictimWritesIntoL2)
+{
+    HierarchyConfig config;
+    config.l1 = CacheConfig{1024, 2, 64};
+    Hierarchy h(config);
+    // Fill set 0 (8 sets in this L1) with a dirty block and two more.
+    h.access(mem::Request{0, 0, 8, mem::Op::Write});
+    h.access(mem::Request{1, 512, 8, mem::Op::Read});
+    h.access(mem::Request{2, 1024, 8, mem::Op::Read});
+    EXPECT_EQ(h.l1Stats().writebacks, 1u);
+    EXPECT_EQ(h.l2Stats().writeAccesses, 1u);
+}
+
+TEST(Hierarchy, WorkingSetLargerThanL1FitsInL2)
+{
+    HierarchyConfig config;
+    config.l1 = CacheConfig{16 * 1024, 2, 64};
+    Hierarchy h(config);
+    // 64 KiB working set: misses L1 when cycled, hits L2.
+    const int blocks = (64 * 1024) / 64;
+    for (int round = 0; round < 3; ++round) {
+        for (int b = 0; b < blocks; ++b) {
+            h.access(mem::Request{0, static_cast<mem::Addr>(b) * 64, 8,
+                                  mem::Op::Read});
+        }
+    }
+    // After the cold round, L2 should hit almost always.
+    EXPECT_GT(h.l2Stats().accesses, static_cast<std::uint64_t>(blocks));
+    const double l2_miss =
+        static_cast<double>(h.l2Stats().misses) /
+        static_cast<double>(h.l2Stats().accesses);
+    EXPECT_LT(l2_miss, 0.5);
+    EXPECT_EQ(h.l2Stats().misses, static_cast<std::uint64_t>(blocks));
+}
+
+} // namespace

@@ -1,0 +1,73 @@
+#include "core/features.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::core;
+
+RequestSeq
+sample()
+{
+    return {
+        {100, 0x1000, 64, mem::Op::Read},
+        {110, 0x1040, 64, mem::Op::Write},
+        {110, 0x0fc0, 128, mem::Op::Read},
+    };
+}
+
+TEST(Features, DeltaTimes)
+{
+    EXPECT_EQ(deltaTimes(sample()),
+              (std::vector<std::int64_t>{10, 0}));
+}
+
+TEST(Features, Strides)
+{
+    EXPECT_EQ(strides(sample()),
+              (std::vector<std::int64_t>{64, -128}));
+}
+
+TEST(Features, Operations)
+{
+    EXPECT_EQ(operations(sample()),
+              (std::vector<std::int64_t>{0, 1, 0}));
+}
+
+TEST(Features, Sizes)
+{
+    EXPECT_EQ(sizes(sample()),
+              (std::vector<std::int64_t>{64, 64, 128}));
+}
+
+TEST(Features, SingleRequestHasNoDeltas)
+{
+    RequestSeq one = {{5, 0x10, 4, mem::Op::Read}};
+    EXPECT_TRUE(deltaTimes(one).empty());
+    EXPECT_TRUE(strides(one).empty());
+    EXPECT_EQ(operations(one).size(), 1u);
+    EXPECT_EQ(sizes(one).size(), 1u);
+}
+
+TEST(Features, EmptySequence)
+{
+    RequestSeq none;
+    EXPECT_TRUE(deltaTimes(none).empty());
+    EXPECT_TRUE(strides(none).empty());
+    EXPECT_TRUE(operations(none).empty());
+    EXPECT_TRUE(sizes(none).empty());
+}
+
+TEST(Features, LargeAddressDifferences)
+{
+    RequestSeq seq = {
+        {0, 0x100000000, 64, mem::Op::Read},
+        {1, 0x0, 64, mem::Op::Read},
+    };
+    EXPECT_EQ(strides(seq),
+              (std::vector<std::int64_t>{-0x100000000ll}));
+}
+
+} // namespace

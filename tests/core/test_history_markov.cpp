@@ -1,0 +1,136 @@
+#include "core/history_markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/profile.hpp"
+#include "core/synthesis.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::core;
+
+std::map<std::int64_t, int>
+multiset(const std::vector<std::int64_t> &values)
+{
+    std::map<std::int64_t, int> m;
+    for (const auto v : values)
+        ++m[v];
+    return m;
+}
+
+std::vector<std::int64_t>
+generate(const FeatureModel &model, std::uint64_t n,
+         std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    const auto sampler = model.makeSampler(rng);
+    std::vector<std::int64_t> out;
+    for (std::uint64_t i = 0; i < n; ++i)
+        out.push_back(sampler->next());
+    return out;
+}
+
+TEST(HistoryMarkov, MultisetPreserved)
+{
+    std::vector<std::int64_t> seq = {1, 2, 3, 1, 2, 3, 2, 1, 3,
+                                     1, 1, 2};
+    HistoryMarkovModel model(seq, 2);
+    for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        const auto out = generate(model, seq.size(), seed);
+        EXPECT_EQ(multiset(out),
+                  (std::map<std::int64_t, int>(multiset(seq))))
+            << "seed " << seed;
+    }
+}
+
+TEST(HistoryMarkov, Order2CapturesWhatOrder1CanNot)
+{
+    // The sequence a a b a a b ...: after 'a' the next value depends
+    // on the value before it (a->a->b, b->a->a). Order-2 reproduces
+    // it exactly; order-1 sometimes deviates.
+    std::vector<std::int64_t> seq;
+    for (int i = 0; i < 40; ++i) {
+        seq.push_back(7);
+        seq.push_back(7);
+        seq.push_back(9);
+    }
+
+    HistoryMarkovModel order2(seq, 2);
+    bool order2_exact = true;
+    for (std::uint64_t seed = 0; seed < 10; ++seed)
+        order2_exact &= generate(order2, seq.size(), seed) == seq;
+    EXPECT_TRUE(order2_exact);
+
+    HistoryMarkovModel order1(seq, 1);
+    bool order1_deviates = false;
+    for (std::uint64_t seed = 0; seed < 10; ++seed)
+        order1_deviates |= generate(order1, seq.size(), seed) != seq;
+    EXPECT_TRUE(order1_deviates);
+}
+
+TEST(HistoryMarkov, FirstValueHonoursInitial)
+{
+    std::vector<std::int64_t> seq = {42, 1, 2, 1, 2};
+    HistoryMarkovModel model(seq, 3);
+    for (std::uint64_t seed = 0; seed < 5; ++seed)
+        EXPECT_EQ(generate(model, seq.size(), seed).front(), 42);
+}
+
+TEST(HistoryMarkov, BuildMccKConstantCollapses)
+{
+    const auto model = buildMccK({5, 5, 5}, 4);
+    EXPECT_EQ(model->tag(), ConstantModel::kTag);
+    EXPECT_EQ(buildMccK({}, 2), nullptr);
+    EXPECT_EQ(buildMccK({1, 2}, 2)->tag(), HistoryMarkovModel::kTag);
+}
+
+TEST(HistoryMarkov, CodecRoundTrip)
+{
+    registerHistoryMarkov();
+    std::vector<std::int64_t> seq = {64, -264, 64, 64, 128, 64, -264};
+    const auto model = buildMccK(seq, 3);
+
+    util::ByteWriter writer;
+    encodeFeatureModel(writer, model);
+    util::ByteReader reader(writer.bytes());
+    bool ok = true;
+    const auto decoded = decodeFeatureModel(reader, ok);
+    ASSERT_TRUE(ok);
+    ASSERT_NE(decoded, nullptr);
+    EXPECT_EQ(decoded->tag(), HistoryMarkovModel::kTag);
+    EXPECT_EQ(decoded->sequenceLength(), seq.size());
+    const auto out = generate(*decoded, seq.size(), 3);
+    EXPECT_EQ(multiset(out), multiset(seq));
+}
+
+TEST(HistoryMarkov, HooksProduceWorkingProfiles)
+{
+    mem::Trace trace;
+    util::Rng rng(9);
+    mem::Tick tick = 0;
+    for (int i = 0; i < 2000; ++i) {
+        tick += 1 + rng.below(10);
+        trace.add(tick, 0x1000 + (rng.below(1 << 14) & ~mem::Addr{7}),
+                  rng.chance(0.5) ? 64 : 32,
+                  rng.chance(0.3) ? mem::Op::Write : mem::Op::Read);
+    }
+    const Profile profile = buildProfile(
+        trace, PartitionConfig::twoLevelTs(), mccKHooks(2));
+    const mem::Trace synth = synthesize(profile, 5);
+    EXPECT_EQ(synth.size(), trace.size());
+    EXPECT_TRUE(synth.isTimeOrdered());
+
+    // Strict convergence still holds at higher orders.
+    std::uint64_t reads = 0, synth_reads = 0;
+    for (const auto &r : trace)
+        reads += r.isRead();
+    for (const auto &r : synth)
+        synth_reads += r.isRead();
+    EXPECT_EQ(synth_reads, reads);
+}
+
+} // namespace

@@ -1,0 +1,174 @@
+#include "core/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::core;
+
+std::map<std::int64_t, std::uint64_t>
+multiset(const std::vector<std::int64_t> &values)
+{
+    std::map<std::int64_t, std::uint64_t> m;
+    for (const auto v : values)
+        ++m[v];
+    return m;
+}
+
+std::vector<std::int64_t>
+generateAll(const MarkovChain &chain, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    StrictConvergenceSampler sampler(chain, rng);
+    std::vector<std::int64_t> out;
+    while (!sampler.exhausted())
+        out.push_back(sampler.next());
+    return out;
+}
+
+TEST(MarkovChain, StatesInFirstAppearanceOrder)
+{
+    MarkovChain chain({5, 3, 5, 7});
+    ASSERT_EQ(chain.numStates(), 3u);
+    EXPECT_EQ(chain.stateValue(0), 5);
+    EXPECT_EQ(chain.stateValue(1), 3);
+    EXPECT_EQ(chain.stateValue(2), 7);
+    EXPECT_EQ(chain.initialState(), 0u);
+    EXPECT_EQ(chain.sequenceLength(), 4u);
+}
+
+TEST(MarkovChain, ValueCounts)
+{
+    MarkovChain chain({1, 1, 2, 1});
+    EXPECT_EQ(chain.valueCounts()[chain.stateIndex(1)], 3u);
+    EXPECT_EQ(chain.valueCounts()[chain.stateIndex(2)], 1u);
+}
+
+TEST(MarkovChain, TransitionProbabilities)
+{
+    // From 64: 8 times to 64, 1 time to -264 (Table I flavour).
+    std::vector<std::int64_t> seq;
+    for (int i = 0; i < 9; ++i)
+        seq.push_back(64);
+    seq.push_back(-264);
+    seq.push_back(64);
+    MarkovChain chain(seq);
+    const std::size_t s64 = chain.stateIndex(64);
+    const std::size_t sneg = chain.stateIndex(-264);
+    EXPECT_NEAR(chain.transitionProbability(s64, s64), 8.0 / 9.0, 1e-12);
+    EXPECT_NEAR(chain.transitionProbability(s64, sneg), 1.0 / 9.0,
+                1e-12);
+    EXPECT_DOUBLE_EQ(chain.transitionProbability(sneg, s64), 1.0);
+}
+
+TEST(MarkovChain, UnknownValueIndex)
+{
+    MarkovChain chain({1, 2});
+    EXPECT_EQ(chain.stateIndex(99), chain.numStates());
+}
+
+TEST(StrictConvergence, FirstValueIsInitialState)
+{
+    MarkovChain chain({42, 7, 42});
+    util::Rng rng(1);
+    StrictConvergenceSampler sampler(chain, rng);
+    EXPECT_EQ(sampler.next(), 42);
+}
+
+TEST(StrictConvergence, DeterministicSequenceReproducedExactly)
+{
+    // A period-2 sequence has deterministic transitions.
+    std::vector<std::int64_t> seq;
+    for (int i = 0; i < 50; ++i) {
+        seq.push_back(10);
+        seq.push_back(20);
+    }
+    MarkovChain chain(seq);
+    EXPECT_EQ(generateAll(chain, 3), seq);
+}
+
+TEST(StrictConvergence, TableIExample)
+{
+    // Paper Table I (1 temporal partition): sizes
+    // 128 64 64 64 64 64 128 64 64 64 64 64 — strict convergence must
+    // produce exactly two 128s and ten 64s.
+    std::vector<std::int64_t> seq = {128, 64, 64, 64, 64, 64,
+                                     128, 64, 64, 64, 64, 64};
+    MarkovChain chain(seq);
+    for (std::uint64_t s = 0; s < 20; ++s) {
+        const auto out = generateAll(chain, s);
+        EXPECT_EQ(multiset(out), multiset(seq)) << "seed " << s;
+        EXPECT_EQ(out.front(), 128);
+    }
+}
+
+TEST(StrictConvergence, MultisetPreservedOnRandomSequences)
+{
+    util::Rng source(77);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::vector<std::int64_t> seq;
+        const std::size_t n = 5 + source.below(200);
+        for (std::size_t i = 0; i < n; ++i)
+            seq.push_back(source.between(-3, 3));
+        MarkovChain chain(seq);
+        const auto out = generateAll(chain, 1000 + trial);
+        EXPECT_EQ(out.size(), seq.size());
+        EXPECT_EQ(multiset(out), multiset(seq)) << "trial " << trial;
+    }
+}
+
+TEST(StrictConvergence, SingleValueSequence)
+{
+    MarkovChain chain({std::vector<std::int64_t>{9}});
+    const auto out = generateAll(chain, 5);
+    EXPECT_EQ(out, std::vector<std::int64_t>{9});
+}
+
+TEST(StrictConvergence, TransitionCountsConsumed)
+{
+    // 1 -> 2 occurs exactly once; generation can never use it twice.
+    std::vector<std::int64_t> seq = {1, 2, 1, 1};
+    MarkovChain chain(seq);
+    for (std::uint64_t s = 0; s < 50; ++s) {
+        const auto out = generateAll(chain, s);
+        EXPECT_EQ(multiset(out), multiset(seq));
+    }
+}
+
+TEST(MarkovChain, FromPartsRoundTrip)
+{
+    MarkovChain original({3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5});
+    std::vector<std::int64_t> states;
+    for (std::size_t i = 0; i < original.numStates(); ++i)
+        states.push_back(original.stateValue(i));
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>>
+        transitions;
+    for (std::size_t i = 0; i < original.numStates(); ++i)
+        transitions.push_back(original.transitions(i));
+
+    const MarkovChain rebuilt = MarkovChain::fromParts(
+        states, original.initialState(), original.valueCounts(),
+        transitions);
+    EXPECT_EQ(rebuilt.numStates(), original.numStates());
+    EXPECT_EQ(rebuilt.sequenceLength(), original.sequenceLength());
+    EXPECT_EQ(rebuilt.initialState(), original.initialState());
+    // Generation from the rebuilt chain preserves the multiset too.
+    const auto out = generateAll(rebuilt, 9);
+    EXPECT_EQ(multiset(out),
+              multiset({3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}));
+}
+
+TEST(StrictConvergence, SameSeedSameOutput)
+{
+    std::vector<std::int64_t> seq = {1, 2, 3, 1, 2, 3, 2, 1, 3, 3};
+    MarkovChain chain(seq);
+    EXPECT_EQ(generateAll(chain, 42), generateAll(chain, 42));
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+#include "core/mcc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/profile.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::core;
+
+TEST(BuildMcc, EmptySequenceGivesNull)
+{
+    EXPECT_EQ(buildMcc({}), nullptr);
+}
+
+TEST(BuildMcc, ConstantSequenceGivesConstant)
+{
+    const auto model = buildMcc({7, 7, 7, 7});
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->tag(), ConstantModel::kTag);
+    EXPECT_EQ(model->sequenceLength(), 4u);
+}
+
+TEST(BuildMcc, SingleValueGivesConstant)
+{
+    const auto model = buildMcc({std::vector<std::int64_t>{-3}});
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->tag(), ConstantModel::kTag);
+}
+
+TEST(BuildMcc, VaryingSequenceGivesMarkov)
+{
+    const auto model = buildMcc({1, 2, 1, 2});
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->tag(), MarkovModel::kTag);
+}
+
+TEST(ConstantModel, SamplerRepeatsValue)
+{
+    ConstantModel model(-64, 10);
+    util::Rng rng(1);
+    const auto sampler = model.makeSampler(rng);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(sampler->next(), -64);
+}
+
+TEST(MarkovModel, SamplerPreservesMultiset)
+{
+    std::vector<std::int64_t> seq = {5, 6, 5, 6, 6, 5, 7};
+    const auto model = buildMcc(seq);
+    util::Rng rng(4);
+    const auto sampler = model->makeSampler(rng);
+    std::map<std::int64_t, int> counts;
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        ++counts[sampler->next()];
+    EXPECT_EQ(counts[5], 3);
+    EXPECT_EQ(counts[6], 3);
+    EXPECT_EQ(counts[7], 1);
+}
+
+TEST(FeatureModelCodec, ConstantRoundTrip)
+{
+    ConstantModel model(123456789, 42);
+    util::ByteWriter w;
+    FeatureModelPtr ptr = std::make_unique<ConstantModel>(model);
+    encodeFeatureModel(w, ptr);
+
+    util::ByteReader r(w.bytes());
+    bool ok = true;
+    const auto decoded = decodeFeatureModel(r, ok);
+    ASSERT_TRUE(ok);
+    ASSERT_NE(decoded, nullptr);
+    EXPECT_EQ(decoded->tag(), ConstantModel::kTag);
+    EXPECT_EQ(decoded->sequenceLength(), 42u);
+    EXPECT_EQ(static_cast<const ConstantModel &>(*decoded).value(),
+              123456789);
+}
+
+TEST(FeatureModelCodec, MarkovRoundTrip)
+{
+    std::vector<std::int64_t> seq = {64, 64, -264, 128, 64, 64, 128};
+    FeatureModelPtr model = buildMcc(seq);
+    util::ByteWriter w;
+    encodeFeatureModel(w, model);
+
+    util::ByteReader r(w.bytes());
+    bool ok = true;
+    const auto decoded = decodeFeatureModel(r, ok);
+    ASSERT_TRUE(ok);
+    ASSERT_NE(decoded, nullptr);
+    EXPECT_EQ(decoded->tag(), MarkovModel::kTag);
+    EXPECT_EQ(decoded->sequenceLength(), seq.size());
+
+    // The decoded model generates the same multiset.
+    util::Rng rng(8);
+    const auto sampler = decoded->makeSampler(rng);
+    std::map<std::int64_t, int> counts;
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        ++counts[sampler->next()];
+    EXPECT_EQ(counts[64], 4);
+    EXPECT_EQ(counts[-264], 1);
+    EXPECT_EQ(counts[128], 2);
+}
+
+TEST(FeatureModelCodec, NullRoundTrip)
+{
+    util::ByteWriter w;
+    encodeFeatureModel(w, nullptr);
+    util::ByteReader r(w.bytes());
+    bool ok = true;
+    EXPECT_EQ(decodeFeatureModel(r, ok), nullptr);
+    EXPECT_TRUE(ok);
+}
+
+TEST(FeatureModelCodec, UnknownTagFails)
+{
+    util::ByteWriter w;
+    w.putByte(200); // unregistered tag
+    util::ByteReader r(w.bytes());
+    bool ok = true;
+    EXPECT_EQ(decodeFeatureModel(r, ok), nullptr);
+    EXPECT_FALSE(ok);
+}
+
+TEST(FeatureModelCodec, TruncatedMarkovFails)
+{
+    FeatureModelPtr model = buildMcc({1, 2, 3, 1, 2});
+    util::ByteWriter w;
+    encodeFeatureModel(w, model);
+    auto bytes = w.bytes();
+    bytes.resize(bytes.size() - 2);
+    util::ByteReader r(bytes);
+    bool ok = true;
+    (void)decodeFeatureModel(r, ok);
+    EXPECT_FALSE(ok);
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+#include "core/model_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/features.hpp"
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::core;
+
+Leaf
+makeLeaf(std::initializer_list<mem::Request> requests)
+{
+    Leaf leaf;
+    leaf.requests = requests;
+    leaf.addrLo = leaf.requests.front().addr;
+    leaf.addrHi = leaf.requests.front().end();
+    for (const auto &r : leaf.requests) {
+        leaf.addrLo = std::min(leaf.addrLo, r.addr);
+        leaf.addrHi = std::max(leaf.addrHi, r.end());
+    }
+    return leaf;
+}
+
+TEST(ModelLeaf, MetadataCaptured)
+{
+    const Leaf leaf = makeLeaf({
+        {100, 0x2000, 64, mem::Op::Read},
+        {120, 0x2040, 64, mem::Op::Read},
+    });
+    const LeafModel model = modelLeaf(leaf);
+    EXPECT_EQ(model.startTime, 100u);
+    EXPECT_EQ(model.startAddr, 0x2000u);
+    EXPECT_EQ(model.addrLo, 0x2000u);
+    EXPECT_EQ(model.addrHi, 0x2080u);
+    EXPECT_EQ(model.count, 2u);
+}
+
+TEST(ModelLeaf, ConstantFeaturesBecomeConstants)
+{
+    const Leaf leaf = makeLeaf({
+        {0, 0x0, 64, mem::Op::Read},
+        {10, 0x40, 64, mem::Op::Read},
+        {20, 0x80, 64, mem::Op::Read},
+    });
+    const LeafModel model = modelLeaf(leaf);
+    EXPECT_EQ(model.deltaTime->tag(), ConstantModel::kTag);
+    EXPECT_EQ(model.stride->tag(), ConstantModel::kTag);
+    EXPECT_EQ(model.op->tag(), ConstantModel::kTag);
+    EXPECT_EQ(model.size->tag(), ConstantModel::kTag);
+}
+
+TEST(ModelLeaf, VaryingFeaturesBecomeMarkov)
+{
+    const Leaf leaf = makeLeaf({
+        {0, 0x0, 64, mem::Op::Read},
+        {10, 0x40, 128, mem::Op::Write},
+        {15, 0x20, 64, mem::Op::Read},
+    });
+    const LeafModel model = modelLeaf(leaf);
+    EXPECT_EQ(model.deltaTime->tag(), MarkovModel::kTag);
+    EXPECT_EQ(model.stride->tag(), MarkovModel::kTag);
+    EXPECT_EQ(model.op->tag(), MarkovModel::kTag);
+    EXPECT_EQ(model.size->tag(), MarkovModel::kTag);
+}
+
+TEST(ModelLeaf, SingleRequestHasNoDeltaModels)
+{
+    const Leaf leaf = makeLeaf({{5, 0x100, 32, mem::Op::Write}});
+    const LeafModel model = modelLeaf(leaf);
+    EXPECT_EQ(model.deltaTime, nullptr);
+    EXPECT_EQ(model.stride, nullptr);
+    ASSERT_NE(model.op, nullptr);
+    ASSERT_NE(model.size, nullptr);
+    EXPECT_EQ(model.count, 1u);
+}
+
+TEST(ModelLeaf, HooksCanOverrideFeatures)
+{
+    LeafModelerHooks hooks;
+    int op_calls = 0;
+    hooks.op = [&](const std::vector<std::int64_t> &values) {
+        ++op_calls;
+        return buildMcc(values);
+    };
+    const Leaf leaf = makeLeaf({
+        {0, 0x0, 64, mem::Op::Read},
+        {1, 0x40, 64, mem::Op::Write},
+    });
+    (void)modelLeaf(leaf, hooks);
+    EXPECT_EQ(op_calls, 1);
+}
+
+TEST(BuildProfile, CarriesTraceIdentity)
+{
+    mem::Trace trace("HEVC1", "VPU");
+    trace.add(0, 0x1000, 64, mem::Op::Read);
+    trace.add(5, 0x1040, 64, mem::Op::Read);
+    const Profile p =
+        buildProfile(trace, PartitionConfig::twoLevelTs(100));
+    EXPECT_EQ(p.name, "HEVC1");
+    EXPECT_EQ(p.device, "VPU");
+    EXPECT_EQ(p.config, PartitionConfig::twoLevelTs(100));
+}
+
+TEST(BuildProfile, LeafCountsSumToTrace)
+{
+    mem::Trace trace;
+    util::Rng rng(3);
+    mem::Tick tick = 0;
+    for (int i = 0; i < 3000; ++i) {
+        tick += rng.below(100);
+        trace.add(tick, rng.below(1 << 20) & ~mem::Addr{63}, 64,
+                  rng.chance(0.4) ? mem::Op::Write : mem::Op::Read);
+    }
+    const Profile p =
+        buildProfile(trace, PartitionConfig::twoLevelTs(5000));
+    EXPECT_EQ(p.totalRequests(), trace.size());
+    EXPECT_GT(p.leaves.size(), 1u);
+}
+
+TEST(BuildProfile, EmptyTraceGivesEmptyProfile)
+{
+    const Profile p =
+        buildProfile(mem::Trace{}, PartitionConfig::twoLevelTs());
+    EXPECT_TRUE(p.leaves.empty());
+}
+
+TEST(BuildProfile, LeafStartTimesMatchFirstRequests)
+{
+    mem::Trace trace;
+    trace.add(100, 0x1000, 64, mem::Op::Read);
+    trace.add(200, 0x90000, 64, mem::Op::Read);
+    trace.add(300, 0x1040, 64, mem::Op::Read);
+    trace.add(400, 0x90040, 64, mem::Op::Read);
+    const Profile p = buildProfile(
+        trace, PartitionConfig{{{PartitionLayer::Kind::SpatialDynamic,
+                                 0}}});
+    ASSERT_EQ(p.leaves.size(), 2u);
+    EXPECT_EQ(p.leaves[0].startTime, 100u);
+    EXPECT_EQ(p.leaves[1].startTime, 200u);
+}
+
+} // namespace

@@ -1,0 +1,389 @@
+#include "core/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::core;
+
+mem::Trace
+traceOf(std::initializer_list<mem::Request> requests)
+{
+    mem::Trace t;
+    for (const auto &r : requests)
+        t.add(r);
+    return t;
+}
+
+IndexList
+allIndices(const mem::Trace &trace)
+{
+    IndexList idx(trace.size());
+    for (std::uint32_t i = 0; i < trace.size(); ++i)
+        idx[i] = i;
+    return idx;
+}
+
+TEST(PartitionConfig, NamedConstructorsMatchPaper)
+{
+    const auto ts = PartitionConfig::twoLevelTs();
+    ASSERT_EQ(ts.layers.size(), 2u);
+    EXPECT_EQ(ts.layers[0].kind,
+              PartitionLayer::Kind::TemporalCycleCount);
+    EXPECT_EQ(ts.layers[0].value, 500000u);
+    EXPECT_EQ(ts.layers[1].kind, PartitionLayer::Kind::SpatialDynamic);
+
+    const auto tsr = PartitionConfig::twoLevelTsByRequests();
+    EXPECT_EQ(tsr.layers[0].kind,
+              PartitionLayer::Kind::TemporalRequestCount);
+    EXPECT_EQ(tsr.layers[0].value, 100000u);
+
+    const auto fixed = PartitionConfig::twoLevelTsFixed();
+    EXPECT_EQ(fixed.layers[1].kind, PartitionLayer::Kind::SpatialFixed);
+    EXPECT_EQ(fixed.layers[1].value, 4096u);
+}
+
+TEST(PartitionConfig, DescribeAndCodec)
+{
+    const auto config = PartitionConfig::twoLevelTs(1000);
+    EXPECT_NE(config.describe().find("cycle_count=1000"),
+              std::string::npos);
+    util::ByteWriter w;
+    config.encode(w);
+    util::ByteReader r(w.bytes());
+    PartitionConfig decoded;
+    ASSERT_TRUE(PartitionConfig::decode(r, decoded));
+    EXPECT_EQ(decoded, config);
+}
+
+TEST(TemporalRequestCount, ChunksOfN)
+{
+    IndexList idx = {0, 1, 2, 3, 4, 5, 6};
+    const auto parts = partitionByRequestCount(idx, 3);
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], (IndexList{0, 1, 2}));
+    EXPECT_EQ(parts[1], (IndexList{3, 4, 5}));
+    EXPECT_EQ(parts[2], (IndexList{6}));
+}
+
+TEST(TemporalRequestCount, EmptyInput)
+{
+    EXPECT_TRUE(partitionByRequestCount({}, 10).empty());
+}
+
+TEST(TemporalCycleCount, AnchorsAtFirstRequest)
+{
+    const auto t = traceOf({
+        {1000, 0, 4, mem::Op::Read},
+        {1099, 4, 4, mem::Op::Read},
+        {1100, 8, 4, mem::Op::Read},
+        {1250, 12, 4, mem::Op::Read},
+    });
+    const auto parts = partitionByCycleCount(t, allIndices(t), 100);
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], (IndexList{0, 1}));
+    EXPECT_EQ(parts[1], (IndexList{2}));
+    EXPECT_EQ(parts[2], (IndexList{3}));
+}
+
+TEST(TemporalCycleCount, EmptyWindowsProduceNoPartitions)
+{
+    const auto t = traceOf({
+        {0, 0, 4, mem::Op::Read},
+        {1000000, 4, 4, mem::Op::Read},
+    });
+    const auto parts = partitionByCycleCount(t, allIndices(t), 100);
+    EXPECT_EQ(parts.size(), 2u);
+}
+
+TEST(SpatialFixed, GroupsByBlock)
+{
+    const auto t = traceOf({
+        {0, 0x0000, 64, mem::Op::Read},
+        {1, 0x1001, 4, mem::Op::Read},
+        {2, 0x0800, 64, mem::Op::Read},
+        {3, 0x1fff, 1, mem::Op::Read},
+    });
+    const auto regions = partitionSpatialFixed(t, allIndices(t), 4096);
+    ASSERT_EQ(regions.size(), 2u);
+    EXPECT_EQ(regions[0].lo, 0u);
+    EXPECT_EQ(regions[0].hi, 4096u);
+    EXPECT_EQ(regions[0].indices, (IndexList{0, 2}));
+    EXPECT_EQ(regions[1].lo, 4096u);
+    EXPECT_EQ(regions[1].indices, (IndexList{1, 3}));
+}
+
+TEST(SpatialFixed, SpanningRequestStretchesRegion)
+{
+    // A request assigned to a block by its start address may spill
+    // past the block boundary; the region grows to contain it.
+    const auto t = traceOf({
+        {0, 0x0fc0, 128, mem::Op::Read}, // spills into the next block
+        {1, 0x0100, 64, mem::Op::Read},
+    });
+    const auto regions = partitionSpatialFixed(t, allIndices(t), 4096);
+    ASSERT_EQ(regions.size(), 1u);
+    EXPECT_EQ(regions[0].lo, 0u);
+    EXPECT_EQ(regions[0].hi, 0x1040u); // 4096 stretched to 0xfc0+128
+}
+
+TEST(SpatialDynamic, MergesOverlapping)
+{
+    const auto t = traceOf({
+        {0, 100, 50, mem::Op::Read},  // [100,150)
+        {1, 120, 100, mem::Op::Read}, // overlaps -> [100,220)
+    });
+    const auto regions = partitionSpatialDynamic(t, allIndices(t));
+    ASSERT_EQ(regions.size(), 1u);
+    EXPECT_EQ(regions[0].lo, 100u);
+    EXPECT_EQ(regions[0].hi, 220u);
+}
+
+TEST(SpatialDynamic, MergesAdjacent)
+{
+    const auto t = traceOf({
+        {0, 0, 64, mem::Op::Read},  // [0,64)
+        {1, 64, 64, mem::Op::Read}, // adjacent
+        {2, 64, 64, mem::Op::Read},
+    });
+    const auto regions = partitionSpatialDynamic(t, allIndices(t));
+    ASSERT_EQ(regions.size(), 1u);
+    EXPECT_EQ(regions[0].hi, 128u);
+    EXPECT_EQ(regions[0].indices, (IndexList{0, 1, 2}));
+}
+
+TEST(SpatialDynamic, SplitsDisjointGroups)
+{
+    const auto t = traceOf({
+        {0, 0, 64, mem::Op::Read},
+        {1, 64, 64, mem::Op::Read},
+        {2, 4096, 64, mem::Op::Read},
+        {3, 4160, 64, mem::Op::Read},
+    });
+    const auto regions = partitionSpatialDynamic(t, allIndices(t));
+    ASSERT_EQ(regions.size(), 2u);
+    EXPECT_EQ(regions[0].indices, (IndexList{0, 1}));
+    EXPECT_EQ(regions[1].indices, (IndexList{2, 3}));
+}
+
+TEST(SpatialDynamic, VariableSizedRegionsNotBlockMultiples)
+{
+    // Region sizes adapt to the data: 100 and 24 bytes here.
+    const auto t = traceOf({
+        {0, 0, 100, mem::Op::Read},
+        {1, 50, 50, mem::Op::Read},
+        {2, 1000, 24, mem::Op::Read},
+        {3, 1000, 24, mem::Op::Read},
+    });
+    const auto regions = partitionSpatialDynamic(t, allIndices(t));
+    ASSERT_EQ(regions.size(), 2u);
+    EXPECT_EQ(regions[0].hi - regions[0].lo, 100u);
+    EXPECT_EQ(regions[1].hi - regions[1].lo, 24u);
+}
+
+TEST(SpatialDynamic, LonelyRequestsMergeTogether)
+{
+    // Two isolated single requests with nothing nearby: they merge
+    // into one partition (paper partition D).
+    const auto t = traceOf({
+        {0, 0, 64, mem::Op::Read},
+        {1, 64, 64, mem::Op::Read},
+        {2, 100000, 64, mem::Op::Read}, // lonely
+        {3, 900000, 64, mem::Op::Read}, // lonely
+    });
+    const auto regions = partitionSpatialDynamic(t, allIndices(t));
+    ASSERT_EQ(regions.size(), 2u);
+    std::set<std::size_t> sizes;
+    for (const auto &r : regions)
+        sizes.insert(r.indices.size());
+    EXPECT_EQ(sizes, (std::set<std::size_t>{2, 2}));
+}
+
+TEST(SpatialDynamic, EquallyStridedLoneliesGroup)
+{
+    // Four lonely requests with equal spacing form one partition.
+    const auto t = traceOf({
+        {0, 0x10000, 64, mem::Op::Read},
+        {1, 0x20000, 64, mem::Op::Read},
+        {2, 0x30000, 64, mem::Op::Read},
+        {3, 0x40000, 64, mem::Op::Read},
+    });
+    const auto regions = partitionSpatialDynamic(t, allIndices(t));
+    ASSERT_EQ(regions.size(), 1u);
+    EXPECT_EQ(regions[0].indices.size(), 4u);
+    EXPECT_EQ(regions[0].lo, 0x10000u);
+    EXPECT_EQ(regions[0].hi, 0x40040u);
+}
+
+TEST(SpatialDynamic, SingleRequestTrace)
+{
+    const auto t = traceOf({{0, 0x100, 64, mem::Op::Read}});
+    const auto regions = partitionSpatialDynamic(t, allIndices(t));
+    ASSERT_EQ(regions.size(), 1u);
+    EXPECT_EQ(regions[0].indices, (IndexList{0}));
+}
+
+TEST(SpatialDynamic, PartitionsCoverAllRequestsExactlyOnce)
+{
+    mem::Trace t;
+    util::Rng rng(12);
+    for (std::uint32_t i = 0; i < 2000; ++i) {
+        t.add(i, rng.below(1 << 20) & ~mem::Addr{3},
+              static_cast<std::uint32_t>(1 + rng.below(128)),
+              mem::Op::Read);
+    }
+    const auto regions = partitionSpatialDynamic(t, allIndices(t));
+    std::set<std::uint32_t> seen;
+    for (const auto &region : regions) {
+        for (const auto idx : region.indices) {
+            EXPECT_TRUE(seen.insert(idx).second)
+                << "index " << idx << " appears twice";
+        }
+        // Time order within each region.
+        for (std::size_t i = 1; i < region.indices.size(); ++i)
+            EXPECT_LT(region.indices[i - 1], region.indices[i]);
+        // All requests lie within the region bounds.
+        for (const auto idx : region.indices) {
+            EXPECT_GE(t[idx].addr, region.lo);
+            EXPECT_LE(t[idx].end(), region.hi);
+        }
+    }
+    EXPECT_EQ(seen.size(), t.size());
+}
+
+TEST(SpatialDynamic, RegionsDisjointWhenNoLonelyRequests)
+{
+    // Every address is accessed twice, so no sweep region is lonely
+    // and all regions come from the Alg. 1 merge: they must be
+    // pairwise disjoint.
+    mem::Trace t;
+    util::Rng rng(13);
+    for (std::uint32_t i = 0; i < 1000; ++i) {
+        const mem::Addr addr = rng.below(1 << 20) & ~mem::Addr{3};
+        t.add(2 * i, addr, 32, mem::Op::Read);
+        t.add(2 * i + 1, addr, 32, mem::Op::Write);
+    }
+    const auto regions = partitionSpatialDynamic(t, allIndices(t));
+    std::vector<std::pair<mem::Addr, mem::Addr>> spans;
+    for (const auto &region : regions) {
+        ASSERT_GT(region.indices.size(), 1u);
+        spans.emplace_back(region.lo, region.hi);
+    }
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t i = 1; i < spans.size(); ++i)
+        EXPECT_LE(spans[i - 1].second, spans[i].first);
+}
+
+TEST(BuildLeaves, TemporalThenSpatial)
+{
+    // Paper Fig. 4a: two concurrent streams in one time window split
+    // into two spatial leaves.
+    const auto t = traceOf({
+        {0, 0x1000, 64, mem::Op::Read},
+        {10, 0x8000, 64, mem::Op::Write},
+        {20, 0x1040, 64, mem::Op::Read},
+        {30, 0x8040, 64, mem::Op::Write},
+    });
+    PartitionConfig config{
+        {{PartitionLayer::Kind::TemporalCycleCount, 1000},
+         {PartitionLayer::Kind::SpatialDynamic, 0}}};
+    const auto leaves = buildLeaves(t, config);
+    ASSERT_EQ(leaves.size(), 2u);
+    EXPECT_EQ(leaves[0].requests.size(), 2u);
+    EXPECT_EQ(leaves[1].requests.size(), 2u);
+    // Tight dynamic bounds.
+    EXPECT_EQ(leaves[0].addrLo, 0x1000u);
+    EXPECT_EQ(leaves[0].addrHi, 0x1080u);
+}
+
+TEST(BuildLeaves, TableIExampleTwoTemporalSubPartitions)
+{
+    // Paper Table I: partition F split spatially first, then into two
+    // temporal halves of six requests each.
+    mem::Trace t;
+    const mem::Addr f = 0x81002EB8;
+    const std::uint32_t sizes[6] = {128, 64, 64, 64, 64, 64};
+    const mem::Addr addrs[6] = {f, f + 8, f + 0x48, f + 0x88, f + 0xc8,
+                                f + 0x108};
+    for (int rep = 0; rep < 2; ++rep) {
+        for (int i = 0; i < 6; ++i) {
+            t.add(static_cast<mem::Tick>(rep * 600 + i * 10), addrs[i],
+                  sizes[i], mem::Op::Read);
+        }
+    }
+    PartitionConfig config{
+        {{PartitionLayer::Kind::SpatialDynamic, 0},
+         {PartitionLayer::Kind::TemporalRequestCount, 6}}};
+    const auto leaves = buildLeaves(t, config);
+    ASSERT_EQ(leaves.size(), 2u);
+    EXPECT_EQ(leaves[0].requests.size(), 6u);
+    EXPECT_EQ(leaves[1].requests.size(), 6u);
+    // Both leaves inherit the spatial bounds of partition F.
+    EXPECT_EQ(leaves[0].addrLo, leaves[1].addrLo);
+    EXPECT_EQ(leaves[0].addrHi, leaves[1].addrHi);
+}
+
+TEST(BuildLeaves, FixedBlocksKeepLooseBounds)
+{
+    const auto t = traceOf({
+        {0, 0x1100, 64, mem::Op::Read},
+        {1, 0x1200, 64, mem::Op::Read},
+    });
+    PartitionConfig config{
+        {{PartitionLayer::Kind::SpatialFixed, 4096}}};
+    const auto leaves = buildLeaves(t, config);
+    ASSERT_EQ(leaves.size(), 1u);
+    // The whole 4 KiB block, not the touched 0x1100..0x1240 span.
+    EXPECT_EQ(leaves[0].addrLo, 0x1000u);
+    EXPECT_EQ(leaves[0].addrHi, 0x2000u);
+}
+
+TEST(BuildLeaves, PurelyTemporalUsesTightRequestBounds)
+{
+    const auto t = traceOf({
+        {0, 0x500, 64, mem::Op::Read},
+        {1, 0x900, 32, mem::Op::Read},
+    });
+    PartitionConfig config{
+        {{PartitionLayer::Kind::TemporalRequestCount, 10}}};
+    const auto leaves = buildLeaves(t, config);
+    ASSERT_EQ(leaves.size(), 1u);
+    EXPECT_EQ(leaves[0].addrLo, 0x500u);
+    EXPECT_EQ(leaves[0].addrHi, 0x920u);
+}
+
+TEST(BuildLeaves, LeafCountsSumToTraceSize)
+{
+    mem::Trace t;
+    util::Rng rng(21);
+    mem::Tick tick = 0;
+    for (std::uint32_t i = 0; i < 5000; ++i) {
+        tick += rng.below(200);
+        t.add(tick, rng.below(1 << 22) & ~mem::Addr{3}, 64,
+              rng.chance(0.3) ? mem::Op::Write : mem::Op::Read);
+    }
+    for (const auto &config :
+         {PartitionConfig::twoLevelTs(10000),
+          PartitionConfig::twoLevelTsByRequests(500),
+          PartitionConfig::twoLevelTsFixed(500, 4096)}) {
+        const auto leaves = buildLeaves(t, config);
+        std::size_t total = 0;
+        for (const auto &leaf : leaves)
+            total += leaf.requests.size();
+        EXPECT_EQ(total, t.size()) << config.describe();
+    }
+}
+
+TEST(BuildLeaves, EmptyTrace)
+{
+    EXPECT_TRUE(
+        buildLeaves(mem::Trace{}, PartitionConfig::twoLevelTs()).empty());
+}
+
+} // namespace

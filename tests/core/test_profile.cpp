@@ -1,0 +1,122 @@
+#include "core/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/model_generator.hpp"
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::core;
+
+mem::Trace
+sampleTrace(std::size_t n)
+{
+    mem::Trace t("unit", "CPU");
+    util::Rng rng(55);
+    mem::Tick tick = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        tick += 1 + rng.below(50);
+        t.add(tick, 0x1000 + (rng.below(1 << 16) & ~mem::Addr{7}),
+              rng.chance(0.5) ? 64 : 32,
+              rng.chance(0.25) ? mem::Op::Write : mem::Op::Read);
+    }
+    return t;
+}
+
+Profile
+sampleProfile(std::size_t n = 2000)
+{
+    return buildProfile(sampleTrace(n),
+                        PartitionConfig::twoLevelTsByRequests(500));
+}
+
+TEST(Profile, TotalRequestsSumsLeaves)
+{
+    const Profile p = sampleProfile();
+    EXPECT_EQ(p.totalRequests(), 2000u);
+}
+
+TEST(Profile, EncodeDecodeRoundTrip)
+{
+    const Profile p = sampleProfile();
+    Profile decoded;
+    ASSERT_TRUE(Profile::decode(p.encode(), decoded));
+    EXPECT_EQ(decoded.name, p.name);
+    EXPECT_EQ(decoded.device, p.device);
+    EXPECT_EQ(decoded.config, p.config);
+    ASSERT_EQ(decoded.leaves.size(), p.leaves.size());
+    for (std::size_t i = 0; i < p.leaves.size(); ++i) {
+        EXPECT_EQ(decoded.leaves[i].startTime, p.leaves[i].startTime);
+        EXPECT_EQ(decoded.leaves[i].startAddr, p.leaves[i].startAddr);
+        EXPECT_EQ(decoded.leaves[i].addrLo, p.leaves[i].addrLo);
+        EXPECT_EQ(decoded.leaves[i].addrHi, p.leaves[i].addrHi);
+        EXPECT_EQ(decoded.leaves[i].count, p.leaves[i].count);
+        EXPECT_EQ(decoded.leaves[i].op != nullptr,
+                  p.leaves[i].op != nullptr);
+    }
+}
+
+TEST(Profile, CompressedRoundTrip)
+{
+    const Profile p = sampleProfile();
+    Profile decoded;
+    ASSERT_TRUE(
+        Profile::decodeCompressed(p.encodeCompressed(), decoded));
+    EXPECT_EQ(decoded.leaves.size(), p.leaves.size());
+    EXPECT_EQ(decoded.totalRequests(), p.totalRequests());
+}
+
+TEST(Profile, CompressedSmallerThanRaw)
+{
+    const Profile p = sampleProfile(10000);
+    EXPECT_LT(p.encodeCompressed().size(), p.encode().size());
+}
+
+TEST(Profile, DecodeRejectsGarbage)
+{
+    Profile decoded;
+    EXPECT_FALSE(Profile::decode({9, 9, 9, 9, 9}, decoded));
+}
+
+TEST(Profile, DecodeRejectsTruncated)
+{
+    auto bytes = sampleProfile().encode();
+    bytes.resize(bytes.size() / 2);
+    Profile decoded;
+    EXPECT_FALSE(Profile::decode(bytes, decoded));
+}
+
+TEST(Profile, FileRoundTrip)
+{
+    const std::string path = testing::TempDir() + "profile_test.mkp";
+    const Profile p = sampleProfile();
+    ASSERT_TRUE(saveProfile(p, path));
+    Profile loaded;
+    ASSERT_TRUE(loadProfile(path, loaded));
+    EXPECT_EQ(loaded.name, p.name);
+    EXPECT_EQ(loaded.totalRequests(), p.totalRequests());
+    std::remove(path.c_str());
+}
+
+TEST(Profile, LoadMissingFileFails)
+{
+    Profile p;
+    EXPECT_FALSE(loadProfile("/nonexistent/profile.mkp", p));
+}
+
+TEST(Profile, EmptyProfileRoundTrips)
+{
+    Profile p;
+    p.name = "empty";
+    Profile decoded;
+    ASSERT_TRUE(Profile::decode(p.encode(), decoded));
+    EXPECT_TRUE(decoded.leaves.empty());
+    EXPECT_EQ(decoded.totalRequests(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+#include "core/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/stm.hpp"
+#include "core/model_generator.hpp"
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::core;
+
+TEST(Summary, EmptyProfile)
+{
+    const ProfileSummary s = summarize(Profile{});
+    EXPECT_EQ(s.leaves, 0u);
+    EXPECT_EQ(s.requests, 0u);
+    EXPECT_EQ(s.constantFraction(), 0.0);
+}
+
+TEST(Summary, PureLinearTraceIsAllConstants)
+{
+    mem::Trace trace;
+    for (int i = 0; i < 100; ++i) {
+        trace.add(static_cast<mem::Tick>(i * 10),
+                  0x1000 + static_cast<mem::Addr>(i) * 64, 64,
+                  mem::Op::Read);
+    }
+    const ProfileSummary s = summarize(buildProfile(
+        trace, PartitionConfig{{{PartitionLayer::Kind::SpatialDynamic,
+                                 0}}}));
+    EXPECT_EQ(s.leaves, 1u);
+    EXPECT_EQ(s.requests, 100u);
+    EXPECT_EQ(s.singletonLeaves, 0u);
+    EXPECT_DOUBLE_EQ(s.constantFraction(), 1.0);
+    EXPECT_EQ(s.deltaTime.constant, 1u);
+    EXPECT_EQ(s.stride.constant, 1u);
+    EXPECT_EQ(s.op.constant, 1u);
+    EXPECT_EQ(s.size.constant, 1u);
+    EXPECT_EQ(s.stride.markov, 0u);
+}
+
+TEST(Summary, IrregularTraceNeedsChains)
+{
+    mem::Trace trace;
+    util::Rng rng(3);
+    mem::Tick tick = 0;
+    for (int i = 0; i < 500; ++i) {
+        tick += 1 + rng.below(20);
+        trace.add(tick, 0x1000 + (rng.below(4096) & ~mem::Addr{7}), 8,
+                  rng.chance(0.5) ? mem::Op::Write : mem::Op::Read);
+    }
+    const ProfileSummary s = summarize(buildProfile(
+        trace, PartitionConfig{{{PartitionLayer::Kind::SpatialDynamic,
+                                 0}}}));
+    EXPECT_GT(s.stride.markov + s.stride.constant, 0u);
+    EXPECT_GT(s.op.markov, 0u);
+    EXPECT_GT(s.stride.markovStates, 0u);
+    EXPECT_LT(s.constantFraction(), 1.0);
+}
+
+TEST(Summary, SingletonLeavesCounted)
+{
+    mem::Trace trace;
+    trace.add(0, 0x1000, 64, mem::Op::Read);
+    trace.add(10, 0x90000000, 64, mem::Op::Read); // far away: lonely
+    trace.add(20, 0x1040, 64, mem::Op::Read);
+    const ProfileSummary s = summarize(buildProfile(
+        trace, PartitionConfig{{{PartitionLayer::Kind::SpatialDynamic,
+                                 0}}}));
+    // The lonely request merges with... there is only one lonely, so
+    // it forms a singleton leaf; its delta/stride models are absent.
+    EXPECT_EQ(s.singletonLeaves, 1u);
+    EXPECT_EQ(s.deltaTime.absent, 1u);
+    EXPECT_EQ(s.stride.absent, 1u);
+}
+
+TEST(Summary, ForeignModelsCountedAsOther)
+{
+    mem::Trace trace;
+    util::Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+        trace.add(static_cast<mem::Tick>(i * 4),
+                  0x1000 + (rng.below(2048) & ~mem::Addr{63}), 64,
+                  rng.chance(0.5) ? mem::Op::Write : mem::Op::Read);
+    }
+    const ProfileSummary s = summarize(
+        buildProfile(trace,
+                     PartitionConfig{
+                         {{PartitionLayer::Kind::SpatialDynamic, 0}}},
+                     baselines::stmHooks()));
+    EXPECT_GT(s.stride.other + s.op.other, 0u);
+}
+
+TEST(Summary, CompressedBytesMatchesEncoding)
+{
+    mem::Trace trace;
+    for (int i = 0; i < 50; ++i)
+        trace.add(static_cast<mem::Tick>(i), 0x40 * i, 64,
+                  mem::Op::Read);
+    const Profile profile =
+        buildProfile(trace, PartitionConfig::twoLevelTs());
+    EXPECT_EQ(summarize(profile).compressedBytes,
+              profile.encodeCompressed().size());
+}
+
+} // namespace

@@ -1,0 +1,151 @@
+#include "dram/address_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::dram;
+
+TEST(DramConfig, DefaultIsValidAndMatchesTable3)
+{
+    DramConfig c;
+    EXPECT_TRUE(c.isValid());
+    EXPECT_EQ(c.channels, 4u);
+    EXPECT_EQ(c.ranksPerChannel, 1u);
+    EXPECT_EQ(c.banksPerRank, 8u);
+    EXPECT_EQ(c.burstSize, 32u);
+    EXPECT_EQ(c.readQueueCapacity, 32u);
+    EXPECT_EQ(c.writeQueueCapacity, 64u);
+    EXPECT_DOUBLE_EQ(c.writeHighThreshold, 0.85);
+    EXPECT_DOUBLE_EQ(c.writeLowThreshold, 0.50);
+}
+
+TEST(DramConfig, DerivedQuantities)
+{
+    DramConfig c;
+    EXPECT_EQ(c.banksPerChannel(), 8u);
+    EXPECT_EQ(c.columnsPerRow(), 64u);
+    EXPECT_EQ(c.writeHighMark(), 54u);
+    EXPECT_EQ(c.writeLowMark(), 32u);
+}
+
+TEST(DramConfig, RejectsNonPowerOfTwo)
+{
+    DramConfig c;
+    c.channels = 3;
+    EXPECT_FALSE(c.isValid());
+    c = DramConfig{};
+    c.burstSize = 48;
+    EXPECT_FALSE(c.isValid());
+}
+
+TEST(DramConfig, RejectsInvertedThresholds)
+{
+    DramConfig c;
+    c.writeLowThreshold = 0.9;
+    c.writeHighThreshold = 0.5;
+    EXPECT_FALSE(c.isValid());
+}
+
+TEST(AddressMap, SequentialBurstsSameRowRoRaBaChCo)
+{
+    DramConfig c; // RoRaBaChCo
+    AddressMap map(c);
+    // Within one 2 KiB row buffer the channel stays fixed and the
+    // column increments.
+    const DramCoord first = map.decode(0);
+    const DramCoord second = map.decode(32);
+    EXPECT_EQ(first.channel, second.channel);
+    EXPECT_EQ(first.row, second.row);
+    EXPECT_EQ(first.bank, second.bank);
+    EXPECT_EQ(second.column, first.column + 1);
+}
+
+TEST(AddressMap, ChannelInterleaveAtRowSizeRoRaBaChCo)
+{
+    DramConfig c;
+    AddressMap map(c);
+    EXPECT_EQ(map.decode(0).channel, 0u);
+    EXPECT_EQ(map.decode(2048).channel, 1u);
+    EXPECT_EQ(map.decode(4096).channel, 2u);
+    EXPECT_EQ(map.decode(6144).channel, 3u);
+    EXPECT_EQ(map.decode(8192).channel, 0u);
+    // After wrapping all channels we move to the next bank.
+    EXPECT_EQ(map.decode(8192).bank, 1u);
+}
+
+TEST(AddressMap, ChannelInterleaveAtBurstRoRaBaCoCh)
+{
+    DramConfig c;
+    c.mapping = AddressMapping::RoRaBaCoCh;
+    AddressMap map(c);
+    EXPECT_EQ(map.decode(0).channel, 0u);
+    EXPECT_EQ(map.decode(32).channel, 1u);
+    EXPECT_EQ(map.decode(64).channel, 2u);
+    EXPECT_EQ(map.decode(96).channel, 3u);
+    EXPECT_EQ(map.decode(128).channel, 0u);
+    EXPECT_EQ(map.decode(128).column, 1u);
+}
+
+TEST(AddressMap, CoordinatesWithinBounds)
+{
+    for (const auto mapping :
+         {AddressMapping::RoRaBaChCo, AddressMapping::RoRaBaCoCh}) {
+        DramConfig c;
+        c.mapping = mapping;
+        AddressMap map(c);
+        util::Rng rng(5);
+        for (int i = 0; i < 2000; ++i) {
+            const mem::Addr addr = rng.below(1ull << 40);
+            const DramCoord coord = map.decode(addr);
+            EXPECT_LT(coord.channel, c.channels);
+            EXPECT_LT(coord.rank, c.ranksPerChannel);
+            EXPECT_LT(coord.bank, c.banksPerRank);
+            EXPECT_LT(coord.column, c.columnsPerRow());
+        }
+    }
+}
+
+TEST(AddressMap, EncodeIsInverseOfDecode)
+{
+    for (const auto mapping :
+         {AddressMapping::RoRaBaChCo, AddressMapping::RoRaBaCoCh}) {
+        DramConfig c;
+        c.mapping = mapping;
+        AddressMap map(c);
+        util::Rng rng(6);
+        for (int i = 0; i < 2000; ++i) {
+            const mem::Addr addr =
+                rng.below(1ull << 40) & ~mem::Addr{31};
+            EXPECT_EQ(map.encode(map.decode(addr)), addr);
+        }
+    }
+}
+
+TEST(AddressMap, DistinctBurstsDistinctCoords)
+{
+    DramConfig c;
+    AddressMap map(c);
+    // Two different burst-aligned addresses never map to the same
+    // full coordinate.
+    const DramCoord a = map.decode(0x12340000);
+    const DramCoord b = map.decode(0x12340020);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(AddressMap, FlatBankIndex)
+{
+    DramConfig c;
+    c.ranksPerChannel = 2;
+    AddressMap map(c);
+    DramCoord coord;
+    coord.rank = 1;
+    coord.bank = 3;
+    EXPECT_EQ(coord.flatBank(c), 8u + 3u);
+}
+
+} // namespace

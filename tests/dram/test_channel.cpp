@@ -1,0 +1,388 @@
+#include "dram/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::dram;
+
+struct ChannelFixture : public ::testing::Test
+{
+    sim::EventQueue events;
+    DramConfig config;
+    std::vector<std::pair<Burst, sim::Tick>> completions;
+
+    std::unique_ptr<Channel>
+    makeChannel()
+    {
+        return std::make_unique<Channel>(
+            events, config, [this](const Burst &b, sim::Tick t) {
+                completions.emplace_back(b, t);
+            });
+    }
+
+    static Burst
+    burst(std::uint64_t row, std::uint32_t bank, bool is_read,
+          std::uint64_t id = 0)
+    {
+        Burst b;
+        b.row = row;
+        b.bank = bank;
+        b.isRead = is_read;
+        b.requestId = id;
+        return b;
+    }
+};
+
+TEST_F(ChannelFixture, SingleReadCompletes)
+{
+    auto channel = makeChannel();
+    channel->push(burst(1, 0, true));
+    events.run();
+    ASSERT_EQ(completions.size(), 1u);
+    EXPECT_TRUE(channel->idle());
+    EXPECT_EQ(channel->stats().readBursts, 1u);
+    // Closed bank: tRCD + tCL + tBURST.
+    EXPECT_EQ(completions[0].second,
+              config.tRCD + config.tCL + config.tBURST);
+}
+
+TEST_F(ChannelFixture, FirstAccessIsNeverRowHit)
+{
+    auto channel = makeChannel();
+    channel->push(burst(1, 0, true));
+    events.run();
+    EXPECT_EQ(channel->stats().readRowHits, 0u);
+}
+
+TEST_F(ChannelFixture, SecondAccessSameRowHits)
+{
+    auto channel = makeChannel();
+    channel->push(burst(1, 0, true));
+    channel->push(burst(1, 0, true));
+    events.run();
+    EXPECT_EQ(channel->stats().readBursts, 2u);
+    EXPECT_EQ(channel->stats().readRowHits, 1u);
+}
+
+TEST_F(ChannelFixture, ConflictingRowsDoNotHit)
+{
+    // FCFS keeps the conflicting order; every access misses (and the
+    // adaptive policy precharges ahead of each visible conflict).
+    config.scheduling = Scheduling::Fcfs;
+    auto channel = makeChannel();
+    channel->push(burst(1, 0, true));
+    channel->push(burst(2, 0, true));
+    channel->push(burst(1, 0, true));
+    events.run();
+    EXPECT_EQ(channel->stats().readBursts, 3u);
+    EXPECT_EQ(channel->stats().readRowHits, 0u);
+}
+
+TEST_F(ChannelFixture, FrFcfsReordersConflictIntoHit)
+{
+    // The same three bursts under FR-FCFS: the queued row-1 burst is
+    // serviced while row 1 is still open, yielding one hit.
+    auto channel = makeChannel();
+    channel->push(burst(1, 0, true));
+    channel->push(burst(2, 0, true));
+    channel->push(burst(1, 0, true));
+    events.run();
+    EXPECT_EQ(channel->stats().readBursts, 3u);
+    EXPECT_EQ(channel->stats().readRowHits, 1u);
+}
+
+TEST_F(ChannelFixture, FrFcfsPrefersRowHitOverOlder)
+{
+    auto channel = makeChannel();
+    // The first burst opens row 1 and keeps the bus busy while the
+    // older row-2 and younger row-1 bursts queue behind it.
+    channel->push(burst(1, 0, true, 100));
+    channel->push(burst(2, 0, true, 1));
+    channel->push(burst(1, 0, true, 2));
+    events.run();
+    ASSERT_EQ(completions.size(), 3u);
+    EXPECT_EQ(completions[0].first.requestId, 100u);
+    EXPECT_EQ(completions[1].first.requestId, 2u); // hit first
+    EXPECT_EQ(completions[2].first.requestId, 1u);
+    EXPECT_EQ(channel->stats().readRowHits, 1u);
+}
+
+TEST_F(ChannelFixture, FcfsIgnoresRowHits)
+{
+    config.scheduling = Scheduling::Fcfs;
+    auto channel = makeChannel();
+    channel->push(burst(1, 0, true, 100));
+    channel->push(burst(2, 0, true, 1));
+    channel->push(burst(1, 0, true, 2));
+    events.run();
+    ASSERT_EQ(completions.size(), 3u);
+    EXPECT_EQ(completions[1].first.requestId, 1u); // strictly oldest
+    EXPECT_EQ(channel->stats().readRowHits, 0u);
+}
+
+TEST_F(ChannelFixture, ClosedPagePolicyNeverHits)
+{
+    config.pagePolicy = PagePolicy::Closed;
+    auto channel = makeChannel();
+    for (int i = 0; i < 5; ++i)
+        channel->push(burst(1, 0, true));
+    events.run();
+    EXPECT_EQ(channel->stats().readRowHits, 0u);
+}
+
+TEST_F(ChannelFixture, OpenAdaptivePrechargesOnPendingConflict)
+{
+    auto channel = makeChannel();
+    // id0 opens row 1; while it occupies the bus, a row-1 hit (id1)
+    // and a row-2 conflict (id2) queue up. After servicing id1 the
+    // adaptive policy sees only the pending conflict and precharges,
+    // so id2 pays tRCD (closed) rather than tRP + tRCD (conflict).
+    channel->push(burst(1, 0, true, 0));
+    channel->push(burst(1, 0, true, 1));
+    channel->push(burst(2, 0, true, 2));
+    events.run();
+    ASSERT_EQ(completions.size(), 3u);
+    const sim::Tick id0_busfree = config.tRCD + config.tBURST;
+    const sim::Tick id1_busfree = id0_busfree + config.tBURST;
+    EXPECT_EQ(completions[2].second,
+              id1_busfree + config.tRCD + config.tCL + config.tBURST);
+}
+
+TEST_F(ChannelFixture, PlainOpenPolicyPaysConflict)
+{
+    config.pagePolicy = PagePolicy::Open;
+    auto channel = makeChannel();
+    channel->push(burst(1, 0, true, 0));
+    channel->push(burst(1, 0, true, 1));
+    channel->push(burst(2, 0, true, 2));
+    events.run();
+    ASSERT_EQ(completions.size(), 3u);
+    const sim::Tick id0_busfree = config.tRCD + config.tBURST;
+    const sim::Tick id1_busfree = id0_busfree + config.tBURST;
+    EXPECT_EQ(completions[2].second,
+              id1_busfree + config.tRP + config.tRCD + config.tCL +
+                  config.tBURST);
+}
+
+TEST_F(ChannelFixture, WritesDrainWhenIdle)
+{
+    auto channel = makeChannel();
+    channel->push(burst(1, 0, false));
+    events.run();
+    EXPECT_EQ(channel->stats().writeBursts, 1u);
+    EXPECT_TRUE(channel->idle());
+}
+
+TEST_F(ChannelFixture, ReadsPrioritizedOverWritesBelowThreshold)
+{
+    auto channel = makeChannel();
+    // Stage both kinds while the channel is busy with a first burst.
+    channel->push(burst(1, 0, true, 1));
+    channel->push(burst(3, 1, false, 2));
+    channel->push(burst(4, 2, true, 3));
+    events.run();
+    ASSERT_EQ(completions.size(), 3u);
+    // The write is serviced last even though it is older than read 3.
+    EXPECT_EQ(completions[2].first.requestId, 2u);
+}
+
+TEST_F(ChannelFixture, HighWatermarkTriggersDrain)
+{
+    auto channel = makeChannel();
+    // Keep the channel permanently supplied with reads, and fill the
+    // write queue past the high watermark; writes must eventually be
+    // serviced before the reads run out.
+    for (std::uint32_t i = 0; i < config.writeHighMark() + 1; ++i)
+        channel->push(burst(100 + i, i % 8, false, 1000 + i));
+    for (int i = 0; i < 8; ++i)
+        channel->push(burst(i, i % 8, true, i));
+    events.run();
+    EXPECT_EQ(channel->stats().writeBursts, config.writeHighMark() + 1);
+    EXPECT_GE(channel->stats().turnarounds, 1u);
+}
+
+TEST_F(ChannelFixture, ReadsPerTurnaroundRecorded)
+{
+    auto channel = makeChannel();
+    // 3 reads, then idle-drain a write: the switch records 3 reads.
+    channel->push(burst(1, 0, true));
+    channel->push(burst(1, 0, true));
+    channel->push(burst(1, 0, true));
+    events.run();
+    channel->push(burst(2, 1, false));
+    events.run();
+    ASSERT_EQ(channel->stats().readsPerTurnaround.count(), 1u);
+    EXPECT_DOUBLE_EQ(channel->stats().readsPerTurnaround.mean(), 3.0);
+}
+
+TEST_F(ChannelFixture, MinWritesHysteresisKeepsDraining)
+{
+    // Enter the drain via the high watermark with reads waiting: the
+    // drain must service at least minWritesPerSwitch writes before
+    // returning to reads, even once below the low watermark.
+    config.writeQueueCapacity = 8;
+    config.writeHighThreshold = 0.5; // high mark = 4
+    config.writeLowThreshold = 0.25; // low mark = 2
+    config.minWritesPerSwitch = 4;
+    auto channel = makeChannel();
+
+    // Busy the channel with a read, then queue 4 writes (hits the
+    // high mark) and one more read.
+    channel->push(burst(1, 0, true, 0));
+    for (std::uint32_t i = 0; i < 4; ++i)
+        channel->push(burst(10 + i, i % 8, false, 100 + i));
+    channel->push(burst(2, 1, true, 1));
+    events.run();
+
+    // Completion order: read 0, then all 4 writes (hysteresis), then
+    // read 1.
+    ASSERT_EQ(completions.size(), 6u);
+    EXPECT_EQ(completions[0].first.requestId, 0u);
+    for (std::size_t i = 1; i <= 4; ++i)
+        EXPECT_FALSE(completions[i].first.isRead) << i;
+    EXPECT_EQ(completions[5].first.requestId, 1u);
+}
+
+TEST_F(ChannelFixture, DrainExitsEarlyWhenQueueEmpties)
+{
+    // Fewer writes than minWritesPerSwitch: the drain ends when the
+    // queue empties rather than stalling.
+    config.minWritesPerSwitch = 16;
+    auto channel = makeChannel();
+    channel->push(burst(1, 0, false));
+    channel->push(burst(2, 1, false));
+    events.run();
+    EXPECT_EQ(channel->stats().writeBursts, 2u);
+    EXPECT_TRUE(channel->idle());
+}
+
+TEST_F(ChannelFixture, QueueSeenSampledOnArrival)
+{
+    auto channel = makeChannel();
+    channel->push(burst(1, 0, true));
+    channel->push(burst(2, 1, true));
+    channel->push(burst(3, 2, true));
+    events.run();
+    const auto &h = channel->stats().readQueueSeen;
+    EXPECT_EQ(h.total(), 3u);
+    // The first arrival saw an empty queue and went straight into
+    // service, so the second arrival saw an empty queue too; only the
+    // third saw one queued burst.
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+}
+
+TEST_F(ChannelFixture, PerBankCountsSumToBursts)
+{
+    auto channel = makeChannel();
+    for (std::uint32_t i = 0; i < 20; ++i)
+        channel->push(burst(i, i % 8, i % 3 != 0));
+    events.run();
+    std::uint64_t reads = 0, writes = 0;
+    for (std::uint32_t b = 0; b < config.banksPerChannel(); ++b) {
+        reads += channel->stats().perBankReadBursts[b];
+        writes += channel->stats().perBankWriteBursts[b];
+    }
+    EXPECT_EQ(reads, channel->stats().readBursts);
+    EXPECT_EQ(writes, channel->stats().writeBursts);
+}
+
+TEST_F(ChannelFixture, RefreshChargedWhenIntervalElapses)
+{
+    auto channel = makeChannel();
+    // First access at t=0: the interval has not elapsed.
+    channel->push(burst(1, 0, true, 0));
+    events.run();
+    EXPECT_EQ(channel->stats().refreshes, 0u);
+
+    // A burst arriving after tREFI pays one refresh first, and the
+    // refresh closes the previously open row (no row hit).
+    events.runUntil(config.tREFI + 10);
+    channel->push(burst(1, 0, true, 1));
+    events.run();
+    EXPECT_EQ(channel->stats().refreshes, 1u);
+    EXPECT_EQ(channel->stats().readRowHits, 0u);
+}
+
+TEST_F(ChannelFixture, RefreshDelaysTheNextBurst)
+{
+    auto channel = makeChannel();
+    events.runUntil(config.tREFI + 1);
+    const sim::Tick start = events.now();
+    channel->push(burst(1, 0, true, 0));
+    events.run();
+    ASSERT_EQ(completions.size(), 1u);
+    // tRFC (refresh) + tRCD + tCL + tBURST after the arrival.
+    EXPECT_EQ(completions[0].second,
+              start + config.tRFC + config.tRCD + config.tCL +
+                  config.tBURST);
+}
+
+TEST_F(ChannelFixture, RefreshDisabledWithZeroInterval)
+{
+    config.tREFI = 0;
+    auto channel = makeChannel();
+    events.runUntil(100000);
+    channel->push(burst(1, 0, true, 0));
+    events.run();
+    EXPECT_EQ(channel->stats().refreshes, 0u);
+}
+
+TEST_F(ChannelFixture, UtilizationTracksOccupancy)
+{
+    auto channel = makeChannel();
+    // One burst: busy for prep + tBURST, active window ends at the
+    // data completion.
+    channel->push(burst(1, 0, true));
+    events.run();
+    const auto &stats = channel->stats();
+    EXPECT_EQ(stats.busyCycles, config.tRCD + config.tBURST);
+    EXPECT_EQ(stats.lastActiveTick,
+              config.tRCD + config.tCL + config.tBURST);
+    EXPECT_GT(stats.utilization(), 0.0);
+    EXPECT_LE(stats.utilization(), 1.0);
+}
+
+TEST_F(ChannelFixture, BackToBackHitsKeepBusNearlyBusy)
+{
+    auto channel = makeChannel();
+    for (int i = 0; i < 16; ++i)
+        channel->push(burst(1, 0, true));
+    events.run();
+    // After the first activate, hits stream at tBURST each.
+    const auto &stats = channel->stats();
+    EXPECT_EQ(stats.busyCycles,
+              config.tRCD + 16u * config.tBURST);
+}
+
+TEST_F(ChannelFixture, CapacityChecks)
+{
+    auto channel = makeChannel();
+    EXPECT_TRUE(channel->canAcceptRead());
+    EXPECT_TRUE(channel->canAcceptWrite());
+}
+
+TEST_F(ChannelFixture, WriteToReadTurnaroundPenalty)
+{
+    auto channel = makeChannel();
+    channel->push(burst(1, 0, false, 1));
+    events.run();
+    const sim::Tick write_done = completions[0].second;
+    completions.clear();
+    // A read right after a write pays tWTR; same row so no prep.
+    channel->push(burst(1, 0, true, 2));
+    events.run();
+    const sim::Tick expected_start =
+        write_done - config.tCWL; // bus became free before data done
+    (void)expected_start;
+    // The read completion includes the tWTR turnaround.
+    EXPECT_GE(completions[0].second,
+              config.tWTR + config.tCL + config.tBURST);
+}
+
+} // namespace

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * DRAM configuration-space property tests: invariants that must hold
+ * for every topology/policy combination, swept with parameterised
+ * gtest — conservation of bursts, row-hit bounds, queue-capacity
+ * limits and clean drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dram/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::dram;
+
+using Param = std::tuple<std::uint32_t, // channels
+                         int,           // mapping
+                         int,           // page policy
+                         int>;          // scheduling
+
+class DramConfigSweep : public ::testing::TestWithParam<Param>
+{
+  protected:
+    DramConfig
+    config() const
+    {
+        DramConfig c;
+        c.channels = std::get<0>(GetParam());
+        c.mapping = static_cast<AddressMapping>(std::get<1>(GetParam()));
+        c.pagePolicy = static_cast<PagePolicy>(std::get<2>(GetParam()));
+        c.scheduling = static_cast<Scheduling>(std::get<3>(GetParam()));
+        return c;
+    }
+
+    mem::Trace
+    trace() const
+    {
+        mem::Trace t;
+        util::Rng rng(123);
+        mem::Tick tick = 0;
+        for (int i = 0; i < 3000; ++i) {
+            tick += rng.below(12);
+            const std::uint32_t size = rng.chance(0.3) ? 128 : 64;
+            t.add(tick, rng.below(1 << 26) & ~mem::Addr{31}, size,
+                  rng.chance(0.35) ? mem::Op::Write : mem::Op::Read);
+        }
+        return t;
+    }
+};
+
+TEST_P(DramConfigSweep, ConservesBursts)
+{
+    const mem::Trace t = trace();
+    std::uint64_t expected = 0;
+    for (const auto &r : t)
+        expected += r.size / 32; // sizes are burst-aligned here
+
+    const auto result = simulateTrace(t, config());
+    EXPECT_EQ(result.injected, t.size());
+    EXPECT_EQ(result.readBursts() + result.writeBursts(), expected);
+}
+
+TEST_P(DramConfigSweep, RowHitsBoundedByBursts)
+{
+    const auto result = simulateTrace(trace(), config());
+    for (const auto &channel : result.channels) {
+        EXPECT_LE(channel.readRowHits, channel.readBursts);
+        EXPECT_LE(channel.writeRowHits, channel.writeBursts);
+    }
+}
+
+TEST_P(DramConfigSweep, QueueSamplesRespectCapacity)
+{
+    const DramConfig c = config();
+    const auto result = simulateTrace(trace(), c);
+    for (const auto &channel : result.channels) {
+        if (channel.readQueueSeen.total() > 0) {
+            EXPECT_LT(channel.readQueueSeen.maxValue(),
+                      static_cast<std::int64_t>(c.readQueueCapacity));
+        }
+        if (channel.writeQueueSeen.total() > 0) {
+            EXPECT_LT(channel.writeQueueSeen.maxValue(),
+                      static_cast<std::int64_t>(c.writeQueueCapacity));
+        }
+    }
+}
+
+TEST_P(DramConfigSweep, LatencyAtLeastUnloadedMinimum)
+{
+    const DramConfig c = config();
+    const auto result = simulateTrace(trace(), c);
+    ASSERT_GT(result.memory.readLatency.count(), 0u);
+    // No read can complete faster than CAS + burst.
+    EXPECT_GE(result.avgReadLatency(), c.tCL + c.tBURST);
+}
+
+TEST_P(DramConfigSweep, UtilizationWithinBounds)
+{
+    const auto result = simulateTrace(trace(), config());
+    for (const auto &channel : result.channels) {
+        EXPECT_GE(channel.utilization(), 0.0);
+        EXPECT_LE(channel.utilization(), 1.0 + 1e-9);
+    }
+}
+
+std::string
+sweepName(const ::testing::TestParamInfo<Param> &info)
+{
+    static const char *const page[] = {"Open", "Adaptive", "Closed"};
+    static const char *const sched[] = {"Fcfs", "FrFcfs"};
+    const char *mapping =
+        std::get<1>(info.param) == 0 ? "ChCo" : "CoCh";
+    return std::to_string(std::get<0>(info.param)) + "ch_" + mapping +
+           "_" + page[std::get<2>(info.param)] + "_" +
+           sched[std::get<3>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DramConfigSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(0, 1),    // ChCo, CoCh
+                       ::testing::Values(0, 1, 2), // page policies
+                       ::testing::Values(0, 1)),   // FCFS, FR-FCFS
+    sweepName);
+
+} // namespace

@@ -1,0 +1,183 @@
+#include "dram/memory_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::dram;
+
+struct MemorySystemFixture : public ::testing::Test
+{
+    sim::EventQueue events;
+    DramConfig config;
+
+    static mem::Request
+    req(mem::Addr addr, std::uint32_t size, mem::Op op)
+    {
+        return mem::Request{0, addr, size, op};
+    }
+};
+
+TEST_F(MemorySystemFixture, SingleBurstRequest)
+{
+    MemorySystem memory(events, config);
+    ASSERT_TRUE(memory.tryInject(req(0x0, 32, mem::Op::Read)));
+    events.run();
+    EXPECT_EQ(memory.totalReadBursts(), 1u);
+    EXPECT_EQ(memory.stats().requests, 1u);
+    EXPECT_EQ(memory.stats().readRequests, 1u);
+    EXPECT_TRUE(memory.idle());
+}
+
+TEST_F(MemorySystemFixture, LargeRequestSplitsIntoBursts)
+{
+    MemorySystem memory(events, config);
+    ASSERT_TRUE(memory.tryInject(req(0x0, 128, mem::Op::Write)));
+    events.run();
+    EXPECT_EQ(memory.totalWriteBursts(), 4u);
+    EXPECT_EQ(memory.stats().writeRequests, 1u);
+}
+
+TEST_F(MemorySystemFixture, UnalignedRequestCoversAllBursts)
+{
+    MemorySystem memory(events, config);
+    // 64 bytes starting 16 bytes into a burst touches 3 bursts.
+    ASSERT_TRUE(memory.tryInject(req(0x10, 64, mem::Op::Read)));
+    events.run();
+    EXPECT_EQ(memory.totalReadBursts(), 3u);
+}
+
+TEST_F(MemorySystemFixture, SingleByteRequest)
+{
+    MemorySystem memory(events, config);
+    ASSERT_TRUE(memory.tryInject(req(0x7, 1, mem::Op::Read)));
+    events.run();
+    EXPECT_EQ(memory.totalReadBursts(), 1u);
+}
+
+TEST_F(MemorySystemFixture, RoutesToCorrectChannel)
+{
+    MemorySystem memory(events, config);
+    // RoRaBaChCo: channel flips every 2 KiB.
+    ASSERT_TRUE(memory.tryInject(req(0, 32, mem::Op::Read)));
+    ASSERT_TRUE(memory.tryInject(req(2048, 32, mem::Op::Read)));
+    ASSERT_TRUE(memory.tryInject(req(4096, 32, mem::Op::Read)));
+    events.run();
+    EXPECT_EQ(memory.channelStats(0).readBursts, 1u);
+    EXPECT_EQ(memory.channelStats(1).readBursts, 1u);
+    EXPECT_EQ(memory.channelStats(2).readBursts, 1u);
+    EXPECT_EQ(memory.channelStats(3).readBursts, 0u);
+}
+
+TEST_F(MemorySystemFixture, BackpressureWhenQueueFull)
+{
+    MemorySystem memory(events, config);
+    // Fill channel 0's read queue (32 bursts) without running events.
+    for (std::uint32_t i = 0; i < config.readQueueCapacity; ++i) {
+        ASSERT_TRUE(
+            memory.tryInject(req(i * 32, 32, mem::Op::Read)));
+    }
+    // One burst is in service (popped from the queue), so one more
+    // fits; after that the queue must reject. 0x8000 and 0x10000 both
+    // map to channel 0 under RoRaBaChCo (2 KiB interleave).
+    ASSERT_TRUE(memory.tryInject(req(0x8000, 32, mem::Op::Read)));
+    EXPECT_FALSE(memory.tryInject(req(0x10000, 32, mem::Op::Read)));
+    EXPECT_GT(memory.stats().backpressureRejects, 0u);
+    events.run();
+    EXPECT_EQ(memory.totalReadBursts(), config.readQueueCapacity + 1);
+}
+
+TEST_F(MemorySystemFixture, AdmissionIsAllOrNothing)
+{
+    MemorySystem memory(events, config);
+    // Leave exactly one free slot in channel 0's read queue, then
+    // offer a 2-burst request to that channel: it must be rejected
+    // entirely (no partial admission).
+    for (std::uint32_t i = 0; i < config.readQueueCapacity + 1; ++i) {
+        ASSERT_TRUE(
+            memory.tryInject(req(i * 32, 32, mem::Op::Read)));
+    }
+    // Queue now has 32 entries; capacity reached.
+    EXPECT_FALSE(memory.tryInject(req(0x10000, 64, mem::Op::Read)));
+    events.run();
+    EXPECT_EQ(memory.totalReadBursts(), config.readQueueCapacity + 1);
+}
+
+TEST_F(MemorySystemFixture, ReadLatencyRecorded)
+{
+    MemorySystem memory(events, config);
+    ASSERT_TRUE(memory.tryInject(req(0, 32, mem::Op::Read)));
+    events.run();
+    ASSERT_EQ(memory.stats().readLatency.count(), 1u);
+    EXPECT_DOUBLE_EQ(memory.stats().readLatency.mean(),
+                     config.tRCD + config.tCL + config.tBURST);
+}
+
+TEST_F(MemorySystemFixture, WriteLatencyNotRecordedAsRead)
+{
+    MemorySystem memory(events, config);
+    ASSERT_TRUE(memory.tryInject(req(0, 32, mem::Op::Write)));
+    events.run();
+    EXPECT_EQ(memory.stats().readLatency.count(), 0u);
+}
+
+TEST_F(MemorySystemFixture, MultiBurstLatencyIsLastCompletion)
+{
+    MemorySystem memory(events, config);
+    ASSERT_TRUE(memory.tryInject(req(0, 64, mem::Op::Read)));
+    events.run();
+    ASSERT_EQ(memory.stats().readLatency.count(), 1u);
+    // Two bursts to the same row: second is a row hit after the first
+    // frees the bus.
+    const double expected = (config.tRCD + config.tBURST) +
+                            config.tCL + config.tBURST;
+    EXPECT_DOUBLE_EQ(memory.stats().readLatency.mean(), expected);
+}
+
+TEST_F(MemorySystemFixture, SequentialStreamGetsRowHits)
+{
+    MemorySystem memory(events, config);
+    // 24 sequential bursts within one row (fits the 32-entry queue).
+    for (std::uint32_t i = 0; i < 24; ++i)
+        ASSERT_TRUE(memory.tryInject(req(i * 32, 32, mem::Op::Read)));
+    events.run();
+    EXPECT_EQ(memory.totalReadBursts(), 24u);
+    EXPECT_EQ(memory.totalReadRowHits(), 23u);
+}
+
+TEST_F(MemorySystemFixture, AggregatesMatchChannelSums)
+{
+    MemorySystem memory(events, config);
+    for (std::uint32_t i = 0; i < 40; ++i) {
+        ASSERT_TRUE(memory.tryInject(
+            req(i * 512, 64, i % 2 ? mem::Op::Write : mem::Op::Read)));
+    }
+    events.run();
+    std::uint64_t rd = 0, wr = 0, rh = 0, wh = 0;
+    for (std::uint32_t c = 0; c < memory.channelCount(); ++c) {
+        rd += memory.channelStats(c).readBursts;
+        wr += memory.channelStats(c).writeBursts;
+        rh += memory.channelStats(c).readRowHits;
+        wh += memory.channelStats(c).writeRowHits;
+    }
+    EXPECT_EQ(memory.totalReadBursts(), rd);
+    EXPECT_EQ(memory.totalWriteBursts(), wr);
+    EXPECT_EQ(memory.totalReadRowHits(), rh);
+    EXPECT_EQ(memory.totalWriteRowHits(), wh);
+    EXPECT_EQ(rd + wr, 40u * 2);
+}
+
+TEST_F(MemorySystemFixture, QueueLengthAveragesAreFinite)
+{
+    MemorySystem memory(events, config);
+    for (std::uint32_t i = 0; i < 20; ++i)
+        ASSERT_TRUE(memory.tryInject(req(i * 32, 32, mem::Op::Read)));
+    events.run();
+    EXPECT_GE(memory.avgReadQueueLength(), 0.0);
+    EXPECT_LT(memory.avgReadQueueLength(),
+              static_cast<double>(config.readQueueCapacity));
+}
+
+} // namespace

@@ -1,0 +1,115 @@
+#include "dram/simulate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/model_generator.hpp"
+#include "core/synthesis.hpp"
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::dram;
+
+mem::Trace
+makeTrace(std::size_t n)
+{
+    mem::Trace t;
+    util::Rng rng(9);
+    mem::Tick tick = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        tick += rng.below(30);
+        t.add(tick, rng.below(1 << 24) & ~mem::Addr{63}, 64,
+              rng.chance(0.4) ? mem::Op::Write : mem::Op::Read);
+    }
+    return t;
+}
+
+TEST(Simulate, TraceRunsToCompletion)
+{
+    const mem::Trace trace = makeTrace(2000);
+    const auto result = simulateTrace(trace);
+    EXPECT_EQ(result.injected, 2000u);
+    EXPECT_EQ(result.memory.requests, 2000u);
+    // 64-byte requests split into two 32-byte bursts each.
+    EXPECT_EQ(result.readBursts() + result.writeBursts(), 4000u);
+}
+
+TEST(Simulate, AggregatesMatchChannelSums)
+{
+    const auto result = simulateTrace(makeTrace(3000));
+    std::uint64_t rd = 0, wr = 0, rh = 0, wh = 0;
+    for (const auto &c : result.channels) {
+        rd += c.readBursts;
+        wr += c.writeBursts;
+        rh += c.readRowHits;
+        wh += c.writeRowHits;
+    }
+    EXPECT_EQ(result.readBursts(), rd);
+    EXPECT_EQ(result.writeBursts(), wr);
+    EXPECT_EQ(result.readRowHits(), rh);
+    EXPECT_EQ(result.writeRowHits(), wh);
+    EXPECT_LE(rh, rd);
+    EXPECT_LE(wh, wr);
+}
+
+TEST(Simulate, QueueAveragesWeightedAcrossChannels)
+{
+    const auto result = simulateTrace(makeTrace(3000));
+    // The weighted average must lie within [min, max] channel means.
+    double lo = 1e9, hi = -1.0;
+    for (const auto &c : result.channels) {
+        if (c.readQueueSeen.total() == 0)
+            continue;
+        lo = std::min(lo, c.readQueueSeen.mean());
+        hi = std::max(hi, c.readQueueSeen.mean());
+    }
+    EXPECT_GE(result.avgReadQueueLength(), lo - 1e-9);
+    EXPECT_LE(result.avgReadQueueLength(), hi + 1e-9);
+}
+
+TEST(Simulate, LatencyIncludesCrossbarButNotInjectionWait)
+{
+    // A single request's read latency is pure service time; the
+    // crossbar latency happens before admission.
+    mem::Trace t;
+    t.add(0, 0, 32, mem::Op::Read);
+    const auto result = simulateTrace(t);
+    const DramConfig c;
+    EXPECT_DOUBLE_EQ(result.avgReadLatency(),
+                     c.tRCD + c.tCL + c.tBURST);
+}
+
+TEST(Simulate, SourceOverloadAcceptsSynthesisEngine)
+{
+    const mem::Trace trace = makeTrace(1500);
+    const core::Profile profile =
+        core::buildProfile(trace, core::PartitionConfig::twoLevelTs());
+    core::SynthesisEngine engine(profile, 3);
+    const auto result = simulateSource(engine);
+    EXPECT_EQ(result.injected, trace.size());
+}
+
+TEST(Simulate, CustomConfigsRespected)
+{
+    DramConfig config;
+    config.channels = 1;
+    config.banksPerRank = 4;
+    const auto result = simulateTrace(makeTrace(500), config);
+    EXPECT_EQ(result.channels.size(), 1u);
+    EXPECT_EQ(result.channels[0].perBankReadBursts.size(), 4u);
+}
+
+TEST(Simulate, BackpressureReportedUnderOverload)
+{
+    // Saturating zero-gap traffic must accumulate injection delay.
+    mem::Trace t;
+    for (int i = 0; i < 3000; ++i)
+        t.add(0, static_cast<mem::Addr>(i) * 128, 128, mem::Op::Read);
+    const auto result = simulateTrace(t);
+    EXPECT_GT(result.accumulatedDelay, 0u);
+    EXPECT_EQ(result.injected, 3000u);
+}
+
+} // namespace

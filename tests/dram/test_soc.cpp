@@ -1,0 +1,172 @@
+#include "dram/soc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::dram;
+
+mem::Trace
+makeStream(mem::Addr base, std::size_t n, mem::Tick gap,
+           std::uint64_t seed)
+{
+    mem::Trace t;
+    util::Rng rng(seed);
+    mem::Tick tick = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        t.add(tick, base + static_cast<mem::Addr>(i) * 64, 64,
+              rng.chance(0.3) ? mem::Op::Write : mem::Op::Read);
+        tick += gap;
+    }
+    return t;
+}
+
+TEST(Soc, SingleDeviceMatchesInjection)
+{
+    const mem::Trace trace = makeStream(0x1000000, 500, 10, 1);
+    mem::TraceSource source(trace);
+    const auto result = simulateSoc({{"dev", &source}});
+
+    ASSERT_EQ(result.devices.size(), 1u);
+    EXPECT_EQ(result.devices[0].name, "dev");
+    EXPECT_EQ(result.devices[0].injected, 500u);
+    EXPECT_EQ(result.devices[0].reads + result.devices[0].writes,
+              500u);
+    EXPECT_EQ(result.memory.requests, 500u);
+    // Every request produced exactly 2 bursts (64B / 32B).
+    EXPECT_EQ(result.readBursts() + result.writeBursts(), 1000u);
+}
+
+TEST(Soc, PerDeviceLatencyRecorded)
+{
+    const mem::Trace trace = makeStream(0x1000000, 200, 20, 2);
+    mem::TraceSource source(trace);
+    const auto result = simulateSoc({{"dev", &source}});
+
+    const auto &device = result.devices[0];
+    EXPECT_EQ(device.readLatency.count(), device.reads);
+    EXPECT_EQ(device.writeLatency.count(), device.writes);
+    EXPECT_GT(device.readLatency.mean(), 0.0);
+}
+
+TEST(Soc, TwoDevicesConserveRequests)
+{
+    const mem::Trace a = makeStream(0x1000000, 400, 5, 3);
+    const mem::Trace b = makeStream(0x9000000, 300, 7, 4);
+    mem::TraceSource sa(a), sb(b);
+    const auto result = simulateSoc({{"a", &sa}, {"b", &sb}});
+
+    EXPECT_EQ(result.devices[0].injected, 400u);
+    EXPECT_EQ(result.devices[1].injected, 300u);
+    EXPECT_EQ(result.memory.requests, 700u);
+    EXPECT_EQ(result.devices[0].readLatency.count() +
+                  result.devices[0].writeLatency.count(),
+              400u);
+    EXPECT_EQ(result.devices[1].readLatency.count() +
+                  result.devices[1].writeLatency.count(),
+              300u);
+}
+
+TEST(Soc, ContentionRaisesLatency)
+{
+    // A victim stream alone vs. alongside an aggressive neighbour.
+    const mem::Trace victim = makeStream(0x1000000, 400, 50, 5);
+    mem::TraceSource v1(victim);
+    const auto alone = simulateSoc({{"victim", &v1}});
+
+    const mem::Trace aggressor = makeStream(0x9000000, 4000, 2, 6);
+    mem::TraceSource v2(victim), a2(aggressor);
+    const auto shared =
+        simulateSoc({{"victim", &v2}, {"aggressor", &a2}});
+
+    EXPECT_GT(shared.devices[0].readLatency.mean(),
+              alone.devices[0].readLatency.mean());
+}
+
+TEST(Soc, IndependentPortsIsolateBackpressure)
+{
+    // The victim's port must not reject just because the aggressor's
+    // port is saturated (each device has its own crossbar queue).
+    const mem::Trace victim = makeStream(0x1000000, 100, 500, 7);
+    const mem::Trace aggressor = makeStream(0x9000000, 5000, 1, 8);
+    mem::TraceSource v(victim), a(aggressor);
+    const auto result =
+        simulateSoc({{"victim", &v}, {"aggressor", &a}});
+
+    EXPECT_EQ(result.devices[0].injected, 100u);
+    EXPECT_EQ(result.devices[1].injected, 5000u);
+    // The sparse victim stream should accumulate far less delay than
+    // the saturating aggressor.
+    EXPECT_LE(result.devices[0].accumulatedDelay,
+              result.devices[1].accumulatedDelay);
+}
+
+TEST(Soc, SharedLinkConservesRequests)
+{
+    const mem::Trace a = makeStream(0x1000000, 300, 5, 11);
+    const mem::Trace b = makeStream(0x9000000, 200, 8, 12);
+    mem::TraceSource sa(a), sb(b);
+
+    SocConfig config;
+    config.sharedLink = true;
+    const auto result = simulateSoc({{"a", &sa}, {"b", &sb}}, config);
+
+    EXPECT_EQ(result.memory.requests, 500u);
+    ASSERT_EQ(result.linkGrants.size(), 2u);
+    EXPECT_EQ(result.linkGrants[0], 300u);
+    EXPECT_EQ(result.linkGrants[1], 200u);
+    EXPECT_EQ(result.devices[0].readLatency.count() +
+                  result.devices[0].writeLatency.count(),
+              300u);
+}
+
+TEST(Soc, SharedLinkSerializesMoreThanPrivatePorts)
+{
+    // Two saturating streams: a single arbitrated link is a tighter
+    // bottleneck than two private crossbar ports, so the streams take
+    // at least as long to finish.
+    const mem::Trace a = makeStream(0x1000000, 2000, 1, 13);
+    const mem::Trace b = makeStream(0x9000000, 2000, 1, 14);
+
+    mem::TraceSource a1(a), b1(b);
+    const auto private_ports =
+        simulateSoc({{"a", &a1}, {"b", &b1}});
+
+    mem::TraceSource a2(a), b2(b);
+    SocConfig config;
+    config.sharedLink = true;
+    config.arbiter.linkLatency = 8;
+    const auto shared =
+        simulateSoc({{"a", &a2}, {"b", &b2}}, config);
+
+    const auto finish = [](const SocResult &r) {
+        mem::Tick latest = 0;
+        for (const auto &d : r.devices)
+            latest = std::max(latest, d.finishTick);
+        return latest;
+    };
+    EXPECT_GE(finish(shared), finish(private_ports));
+    EXPECT_EQ(shared.memory.requests, 4000u);
+}
+
+TEST(Soc, EmptyDeviceList)
+{
+    const auto result = simulateSoc({});
+    EXPECT_TRUE(result.devices.empty());
+    EXPECT_EQ(result.memory.requests, 0u);
+}
+
+TEST(Soc, DeviceWithEmptySource)
+{
+    mem::Trace empty;
+    mem::TraceSource source(empty);
+    const auto result = simulateSoc({{"idle", &source}});
+    EXPECT_EQ(result.devices[0].injected, 0u);
+    EXPECT_EQ(result.devices[0].readLatency.count(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,83 @@
+#include "dram/stats_dump.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::dram;
+
+SimulationResult
+sampleResult()
+{
+    mem::Trace trace;
+    util::Rng rng(4);
+    mem::Tick tick = 0;
+    for (int i = 0; i < 500; ++i) {
+        tick += rng.below(20);
+        trace.add(tick, rng.below(1 << 20) & ~mem::Addr{63}, 64,
+                  rng.chance(0.3) ? mem::Op::Write : mem::Op::Read);
+    }
+    return simulateTrace(trace);
+}
+
+TEST(StatsDump, ContainsHeaderAndFooter)
+{
+    const std::string dump = dumpStats(sampleResult());
+    EXPECT_NE(dump.find("Begin Simulation Statistics"),
+              std::string::npos);
+    EXPECT_NE(dump.find("End Simulation Statistics"),
+              std::string::npos);
+}
+
+TEST(StatsDump, UsesPrefix)
+{
+    const std::string dump =
+        dumpStats(sampleResult(), "system.mem_ctrls");
+    EXPECT_NE(dump.find("system.mem_ctrls.requests"),
+              std::string::npos);
+    EXPECT_NE(dump.find("system.mem_ctrls.ctrl0.readRowHits"),
+              std::string::npos);
+    EXPECT_NE(dump.find("system.mem_ctrls.ctrl3.bank7.writeBursts"),
+              std::string::npos);
+}
+
+TEST(StatsDump, ValuesMatchResult)
+{
+    const auto result = sampleResult();
+    const std::string dump = dumpStats(result, "m");
+    char expected[64];
+    std::snprintf(expected, sizeof(expected), "%llu",
+                  static_cast<unsigned long long>(
+                      result.memory.requests));
+    // The requests line carries the right value.
+    const auto pos = dump.find("m.requests");
+    ASSERT_NE(pos, std::string::npos);
+    const auto line_end = dump.find('\n', pos);
+    EXPECT_NE(dump.substr(pos, line_end - pos).find(expected),
+              std::string::npos);
+}
+
+TEST(StatsDump, EveryLineHasDescription)
+{
+    const std::string dump = dumpStats(sampleResult());
+    std::size_t start = 0;
+    int stat_lines = 0;
+    while (start < dump.size()) {
+        std::size_t end = dump.find('\n', start);
+        if (end == std::string::npos)
+            end = dump.size();
+        const std::string line = dump.substr(start, end - start);
+        if (line.find("----------") == std::string::npos) {
+            EXPECT_NE(line.find('#'), std::string::npos) << line;
+            ++stat_lines;
+        }
+        start = end + 1;
+    }
+    EXPECT_GT(stat_lines, 40);
+}
+
+} // namespace

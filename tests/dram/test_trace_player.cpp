@@ -1,0 +1,165 @@
+#include "dram/trace_player.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dram/memory_system.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::dram;
+
+TEST(TracePlayer, HonoursTimestamps)
+{
+    sim::EventQueue events;
+    mem::Trace trace;
+    trace.add(10, 0x100, 32, mem::Op::Read);
+    trace.add(50, 0x200, 32, mem::Op::Read);
+    mem::TraceSource source(trace);
+
+    std::vector<sim::Tick> injected_at;
+    TracePlayer player(events, source, [&](const mem::Request &) {
+        injected_at.push_back(events.now());
+        return true;
+    });
+    player.start();
+    events.run();
+
+    EXPECT_EQ(injected_at, (std::vector<sim::Tick>{10, 50}));
+    EXPECT_TRUE(player.done());
+    EXPECT_EQ(player.injected(), 2u);
+    EXPECT_EQ(player.accumulatedDelay(), 0u);
+    EXPECT_EQ(player.finishTick(), 50u);
+}
+
+TEST(TracePlayer, EmptySourceFinishesImmediately)
+{
+    sim::EventQueue events;
+    mem::Trace trace;
+    mem::TraceSource source(trace);
+    TracePlayer player(events, source,
+                       [](const mem::Request &) { return true; });
+    player.start();
+    EXPECT_TRUE(player.done());
+    EXPECT_EQ(player.injected(), 0u);
+}
+
+TEST(TracePlayer, BackpressureDelaysLaterRequests)
+{
+    sim::EventQueue events;
+    mem::Trace trace;
+    trace.add(0, 0x100, 32, mem::Op::Read);
+    trace.add(100, 0x200, 32, mem::Op::Read);
+    mem::TraceSource source(trace);
+
+    int rejections = 5;
+    std::vector<sim::Tick> injected_at;
+    TracePlayer player(
+        events, source,
+        [&](const mem::Request &) {
+            if (rejections > 0) {
+                --rejections;
+                return false;
+            }
+            injected_at.push_back(events.now());
+            return true;
+        },
+        2);
+    player.start();
+    events.run();
+
+    // First request retried 5 times at 2-cycle intervals -> 10 cycles
+    // of accumulated delay shift the second request to 110.
+    ASSERT_EQ(injected_at.size(), 2u);
+    EXPECT_EQ(injected_at[0], 10u);
+    EXPECT_EQ(injected_at[1], 110u);
+    EXPECT_EQ(player.accumulatedDelay(), 10u);
+}
+
+TEST(TracePlayer, CatchesUpWhenBehind)
+{
+    sim::EventQueue events;
+    // Second request is timestamped earlier than the first finishes
+    // being delayed; it should inject as soon as possible, not in the
+    // past.
+    mem::Trace trace;
+    trace.add(0, 0x100, 32, mem::Op::Read);
+    trace.add(1, 0x200, 32, mem::Op::Read);
+    mem::TraceSource source(trace);
+
+    int rejections = 10;
+    std::vector<sim::Tick> injected_at;
+    TracePlayer player(events, source, [&](const mem::Request &) {
+        if (rejections > 0) {
+            --rejections;
+            return false;
+        }
+        injected_at.push_back(events.now());
+        return true;
+    });
+    player.start();
+    events.run();
+    ASSERT_EQ(injected_at.size(), 2u);
+    EXPECT_EQ(injected_at[0], 10u);
+    EXPECT_EQ(injected_at[1], 11u); // 1 + 10 delay
+}
+
+TEST(TracePlayer, DrivesMemorySystemEndToEnd)
+{
+    sim::EventQueue events;
+    DramConfig config;
+    MemorySystem memory(events, config);
+
+    mem::Trace trace;
+    for (int i = 0; i < 200; ++i) {
+        trace.add(static_cast<mem::Tick>(i * 2),
+                  static_cast<mem::Addr>(i) * 64, 64,
+                  i % 4 == 0 ? mem::Op::Write : mem::Op::Read);
+    }
+    mem::TraceSource source(trace);
+    TracePlayer player(events, source, [&](const mem::Request &r) {
+        return memory.tryInject(r);
+    });
+    player.start();
+    events.run();
+
+    EXPECT_TRUE(player.done());
+    EXPECT_EQ(player.injected(), 200u);
+    EXPECT_EQ(memory.stats().requests, 200u);
+    EXPECT_EQ(memory.totalReadBursts() + memory.totalWriteBursts(),
+              400u);
+    EXPECT_TRUE(memory.idle());
+}
+
+TEST(TracePlayer, ConservationUnderHeavyBackpressure)
+{
+    sim::EventQueue events;
+    DramConfig config;
+    config.readQueueCapacity = 4;
+    config.writeQueueCapacity = 4;
+    MemorySystem memory(events, config);
+
+    mem::Trace trace;
+    for (int i = 0; i < 500; ++i) {
+        // Everything at tick 0: maximum contention.
+        trace.add(0, static_cast<mem::Addr>(i) * 128, 128,
+                  i % 2 ? mem::Op::Write : mem::Op::Read);
+    }
+    mem::TraceSource source(trace);
+    TracePlayer player(events, source, [&](const mem::Request &r) {
+        return memory.tryInject(r);
+    });
+    player.start();
+    events.run();
+
+    EXPECT_EQ(player.injected(), 500u);
+    EXPECT_EQ(memory.totalReadBursts() + memory.totalWriteBursts(),
+              2000u);
+    EXPECT_GT(player.accumulatedDelay(), 0u);
+    EXPECT_TRUE(memory.idle());
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Decoder robustness: random and mutated byte buffers must never
+ * crash the trace/profile/compression decoders — they either decode
+ * or cleanly report failure. Profiles are the artefact exchanged
+ * between organisations (paper Fig. 1), so hostile input is a real
+ * concern.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/model_generator.hpp"
+#include "core/profile.hpp"
+#include "mem/trace_io.hpp"
+#include "util/compress.hpp"
+#include "util/rng.hpp"
+#include "workloads/spec.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+
+std::vector<std::uint8_t>
+randomBytes(util::Rng &rng, std::size_t n)
+{
+    std::vector<std::uint8_t> bytes(n);
+    for (auto &b : bytes)
+        b = static_cast<std::uint8_t>(rng());
+    return bytes;
+}
+
+TEST(DecodeRobustness, RandomBuffersNeverCrashTraceDecode)
+{
+    util::Rng rng(101);
+    for (int trial = 0; trial < 200; ++trial) {
+        mem::Trace trace;
+        (void)decodeTrace(randomBytes(rng, 1 + rng.below(512)), trace);
+    }
+}
+
+TEST(DecodeRobustness, RandomBuffersNeverCrashProfileDecode)
+{
+    util::Rng rng(102);
+    for (int trial = 0; trial < 200; ++trial) {
+        core::Profile profile;
+        (void)core::Profile::decode(
+            randomBytes(rng, 1 + rng.below(512)), profile);
+        (void)core::Profile::decodeCompressed(
+            randomBytes(rng, 1 + rng.below(512)), profile);
+    }
+}
+
+TEST(DecodeRobustness, RandomBuffersNeverCrashDecompress)
+{
+    util::Rng rng(103);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::vector<std::uint8_t> out;
+        (void)util::decompress(randomBytes(rng, 1 + rng.below(512)),
+                               out);
+    }
+}
+
+TEST(DecodeRobustness, SingleByteMutationsOfValidTrace)
+{
+    const mem::Trace trace =
+        workloads::makeSpecTrace("hmmer", 500, 1);
+    const auto good = mem::encodeTrace(trace);
+
+    util::Rng rng(104);
+    for (int trial = 0; trial < 300; ++trial) {
+        auto bytes = good;
+        bytes[rng.below(bytes.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+        mem::Trace out;
+        // Decoding may succeed (the mutation may hit a value field)
+        // or fail, but must never crash; a success must be
+        // structurally sane.
+        if (decodeTrace(bytes, out))
+            EXPECT_LE(out.size(), trace.size() * 2 + 16);
+    }
+}
+
+TEST(DecodeRobustness, SingleByteMutationsOfValidProfile)
+{
+    const mem::Trace trace =
+        workloads::makeSpecTrace("povray", 500, 1);
+    const core::Profile profile = core::buildProfile(
+        trace, core::PartitionConfig::twoLevelTsByRequests(100));
+    const auto good = profile.encode();
+
+    util::Rng rng(105);
+    for (int trial = 0; trial < 300; ++trial) {
+        auto bytes = good;
+        bytes[rng.below(bytes.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+        core::Profile out;
+        (void)core::Profile::decode(bytes, out);
+    }
+}
+
+TEST(DecodeRobustness, TruncationsOfValidProfile)
+{
+    const core::Profile profile = core::buildProfile(
+        workloads::makeSpecTrace("namd", 400, 1),
+        core::PartitionConfig::twoLevelTsByRequests(100));
+    const auto good = profile.encodeCompressed();
+
+    for (std::size_t cut = 0; cut < good.size();
+         cut += 1 + good.size() / 64) {
+        auto bytes = good;
+        bytes.resize(cut);
+        core::Profile out;
+        EXPECT_FALSE(core::Profile::decodeCompressed(bytes, out))
+            << "cut=" << cut;
+    }
+}
+
+} // namespace

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * End-to-end pipeline tests: workload -> profile -> synthesis -> DRAM
+ * or cache simulation, checking that the synthetic stream reproduces
+ * the original's memory behaviour (the paper's whole premise).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/stm.hpp"
+#include "cache/hierarchy.hpp"
+#include "core/model_generator.hpp"
+#include "core/synthesis.hpp"
+#include "dram/simulate.hpp"
+#include "mem/trace_io.hpp"
+#include "util/stats.hpp"
+#include "workloads/devices.hpp"
+#include "workloads/spec.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+
+constexpr std::size_t traceLen = 30000;
+
+struct Comparison
+{
+    dram::SimulationResult baseline;
+    dram::SimulationResult synthetic;
+};
+
+Comparison
+compareOnDram(const mem::Trace &trace,
+              const core::PartitionConfig &config)
+{
+    Comparison out;
+    out.baseline = dram::simulateTrace(trace);
+    const core::Profile profile = core::buildProfile(trace, config);
+    const mem::Trace synth = core::synthesize(profile, 1);
+    out.synthetic = dram::simulateTrace(synth);
+    return out;
+}
+
+TEST(EndToEnd, BurstCountsMatchExactly)
+{
+    // Strict convergence on sizes + exact request counts mean the
+    // total burst counts line up to within address-alignment noise.
+    const mem::Trace trace =
+        workloads::makeFbcLinear(traceLen, 1, 1);
+    const auto cmp =
+        compareOnDram(trace, core::PartitionConfig::twoLevelTs());
+
+    EXPECT_LT(util::percentError(
+                  static_cast<double>(cmp.synthetic.readBursts()),
+                  static_cast<double>(cmp.baseline.readBursts())),
+              5.0);
+    EXPECT_LT(util::percentError(
+                  static_cast<double>(cmp.synthetic.writeBursts()),
+                  static_cast<double>(cmp.baseline.writeBursts())),
+              5.0);
+}
+
+TEST(EndToEnd, DpuRowHitsAccuratelyReproduced)
+{
+    const mem::Trace trace = workloads::makeFbcTiled(traceLen, 1, 1);
+    const auto cmp =
+        compareOnDram(trace, core::PartitionConfig::twoLevelTs());
+
+    EXPECT_LT(util::percentError(
+                  static_cast<double>(cmp.synthetic.readRowHits()),
+                  static_cast<double>(cmp.baseline.readRowHits())),
+              15.0);
+    EXPECT_LT(util::percentError(
+                  static_cast<double>(cmp.synthetic.writeRowHits()),
+                  static_cast<double>(cmp.baseline.writeRowHits())),
+              15.0);
+}
+
+TEST(EndToEnd, VpuLatencyReproduced)
+{
+    const mem::Trace trace = workloads::makeHevc(traceLen, 1, 1);
+    const auto cmp =
+        compareOnDram(trace, core::PartitionConfig::twoLevelTs());
+    EXPECT_LT(util::percentError(cmp.synthetic.avgReadLatency(),
+                                 cmp.baseline.avgReadLatency()),
+              10.0);
+}
+
+TEST(EndToEnd, GpuQueueLengthsReproduced)
+{
+    const mem::Trace trace = workloads::makeTRex(traceLen, 1, 1);
+    const auto cmp =
+        compareOnDram(trace, core::PartitionConfig::twoLevelTs());
+    // Queue lengths integrate all four features; allow a loose band.
+    EXPECT_LT(std::abs(cmp.synthetic.avgWriteQueueLength() -
+                       cmp.baseline.avgWriteQueueLength()),
+              0.35 * std::max(1.0, cmp.baseline.avgWriteQueueLength()));
+}
+
+TEST(EndToEnd, PerBankDistributionReproduced)
+{
+    const mem::Trace trace =
+        workloads::makeFbcLinear(traceLen, 1, 1);
+    const auto cmp =
+        compareOnDram(trace, core::PartitionConfig::twoLevelTs());
+    ASSERT_EQ(cmp.baseline.channels.size(),
+              cmp.synthetic.channels.size());
+
+    // Banks that the baseline leaves untouched should stay near-idle
+    // in the synthetic run, and per-bank totals should correlate.
+    for (std::size_t c = 0; c < cmp.baseline.channels.size(); ++c) {
+        const auto &base = cmp.baseline.channels[c];
+        const auto &synth = cmp.synthetic.channels[c];
+        std::uint64_t base_total = 0, synth_total = 0;
+        for (std::size_t b = 0; b < base.perBankReadBursts.size();
+             ++b) {
+            base_total += base.perBankReadBursts[b];
+            synth_total += synth.perBankReadBursts[b];
+        }
+        EXPECT_LT(util::percentError(
+                      static_cast<double>(synth_total),
+                      static_cast<double>(base_total)),
+                  10.0);
+    }
+}
+
+TEST(EndToEnd, McCBeatsStmOnOperationStructure)
+{
+    // Paper Figs. 9-11: McC models read/write interleaving; STM's
+    // single-probability operation model degrades write row locality.
+    const mem::Trace trace =
+        workloads::makeFbcLinear(traceLen, 1, 1);
+    const auto baseline = dram::simulateTrace(trace);
+
+    const auto config = core::PartitionConfig::twoLevelTs();
+    const mem::Trace mcc_synth =
+        core::synthesize(core::buildProfile(trace, config), 1);
+    const mem::Trace stm_synth = core::synthesize(
+        core::buildProfile(trace, config, baselines::stmHooks()), 1);
+
+    const auto mcc = dram::simulateTrace(mcc_synth);
+    const auto stm = dram::simulateTrace(stm_synth);
+
+    const double mcc_err = util::percentError(
+        static_cast<double>(mcc.writeRowHits()),
+        static_cast<double>(baseline.writeRowHits()));
+    const double stm_err = util::percentError(
+        static_cast<double>(stm.writeRowHits()),
+        static_cast<double>(baseline.writeRowHits()));
+    EXPECT_LE(mcc_err, stm_err + 1.0);
+}
+
+TEST(EndToEnd, CacheMissRatesReproducedForSpecWorkload)
+{
+    // The Sec. V experiment in miniature.
+    const mem::Trace trace =
+        workloads::makeSpecTrace("gobmk", 60000, 1);
+    const core::Profile profile = core::buildProfile(
+        trace, core::PartitionConfig::twoLevelTsByRequests(10000));
+    const mem::Trace synth = core::synthesize(profile, 1);
+
+    cache::HierarchyConfig config;
+    config.l1 = cache::CacheConfig{16 * 1024, 2, 64};
+    cache::Hierarchy base_h(config);
+    base_h.run(trace);
+    cache::Hierarchy synth_h(config);
+    synth_h.run(synth);
+
+    EXPECT_NEAR(synth_h.l1Stats().missRate(),
+                base_h.l1Stats().missRate(), 0.05);
+    const double fp_err = util::percentError(
+        static_cast<double>(synth_h.footprintBlocks()),
+        static_cast<double>(base_h.footprintBlocks()));
+    EXPECT_LT(fp_err, 15.0);
+}
+
+TEST(EndToEnd, ProfileSmallerThanTrace)
+{
+    // Fig. 17's headline: profiles are much smaller than traces.
+    const mem::Trace trace =
+        workloads::makeSpecTrace("hmmer", 100000, 1);
+    const core::Profile profile = core::buildProfile(
+        trace, core::PartitionConfig::twoLevelTsByRequests(10000));
+    const auto trace_bytes = mem::encodeTrace(trace);
+    const auto profile_bytes = profile.encodeCompressed();
+    EXPECT_LT(profile_bytes.size(), trace_bytes.size());
+}
+
+TEST(EndToEnd, SerializedProfileSynthesisesIdentically)
+{
+    // Industry ships the profile file; academia synthesises from it
+    // (Fig. 1). The round trip must not change the synthetic stream.
+    const mem::Trace trace = workloads::makeCpuD(10000, 1);
+    const core::Profile profile = core::buildProfile(
+        trace, core::PartitionConfig::twoLevelTs());
+    core::Profile decoded;
+    ASSERT_TRUE(core::Profile::decodeCompressed(
+        profile.encodeCompressed(), decoded));
+
+    const mem::Trace a = core::synthesize(profile, 9);
+    const mem::Trace b = core::synthesize(decoded, 9);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i += 7)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+} // namespace

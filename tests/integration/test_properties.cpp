@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Property tests: invariants that must hold for every (workload,
+ * hierarchy) combination, swept with parameterised gtest.
+ *
+ * These pin down the guarantees the paper's mechanisms provide:
+ * request-count conservation through partitioning and synthesis,
+ * exact read/write and size multisets under strict convergence,
+ * monotonic synthetic timestamps, and address containment within the
+ * original trace's (leaf-extended) address range.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "core/model_generator.hpp"
+#include "core/partition.hpp"
+#include "core/synthesis.hpp"
+#include "workloads/devices.hpp"
+#include "workloads/spec.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+
+constexpr std::size_t traceLen = 8000;
+
+struct ConfigCase
+{
+    const char *label;
+    core::PartitionConfig config;
+};
+
+std::vector<ConfigCase>
+configCases()
+{
+    using Kind = core::PartitionLayer::Kind;
+    return {
+        {"2L_TS_cycles", core::PartitionConfig::twoLevelTs(200000)},
+        {"2L_TS_requests",
+         core::PartitionConfig::twoLevelTsByRequests(1000)},
+        {"2L_TS_fixed4K",
+         core::PartitionConfig::twoLevelTsFixed(1000, 4096)},
+        {"spatial_first",
+         core::PartitionConfig{{{Kind::SpatialDynamic, 0},
+                                {Kind::TemporalRequestCount, 500}}}},
+        {"three_level",
+         core::PartitionConfig{{{Kind::TemporalCycleCount, 1000000},
+                                {Kind::SpatialFixed, 65536},
+                                {Kind::SpatialDynamic, 0}}}},
+    };
+}
+
+using Param = std::tuple<std::string, std::size_t>; // workload, config
+
+class PipelineProperty : public ::testing::TestWithParam<Param>
+{
+  protected:
+    mem::Trace
+    trace() const
+    {
+        return workloads::makeDeviceTrace(std::get<0>(GetParam()),
+                                          traceLen, 1);
+    }
+
+    const core::PartitionConfig &
+    config() const
+    {
+        static const auto cases = configCases();
+        return cases[std::get<1>(GetParam())].config;
+    }
+};
+
+TEST_P(PipelineProperty, LeavesPartitionTheTrace)
+{
+    const mem::Trace t = trace();
+    const auto leaves = core::buildLeaves(t, config());
+    std::size_t total = 0;
+    for (const auto &leaf : leaves) {
+        ASSERT_FALSE(leaf.requests.empty());
+        ASSERT_LT(leaf.addrLo, leaf.addrHi);
+        total += leaf.requests.size();
+        // Every request honours the leaf's address bounds, and
+        // requests stay in time order.
+        for (std::size_t i = 0; i < leaf.requests.size(); ++i) {
+            EXPECT_GE(leaf.requests[i].addr, leaf.addrLo);
+            EXPECT_LE(leaf.requests[i].end(), leaf.addrHi);
+            if (i > 0) {
+                EXPECT_GE(leaf.requests[i].tick,
+                          leaf.requests[i - 1].tick);
+            }
+        }
+    }
+    EXPECT_EQ(total, t.size());
+}
+
+TEST_P(PipelineProperty, SynthesisConservesCountsAndMultisets)
+{
+    const mem::Trace t = trace();
+    const core::Profile profile = core::buildProfile(t, config());
+    const mem::Trace synth = core::synthesize(profile, 5);
+
+    ASSERT_EQ(synth.size(), t.size());
+
+    std::uint64_t reads = 0, synth_reads = 0;
+    std::map<std::uint32_t, std::uint64_t> sizes, synth_sizes;
+    for (const auto &r : t) {
+        reads += r.isRead();
+        ++sizes[r.size];
+    }
+    for (const auto &r : synth) {
+        synth_reads += r.isRead();
+        ++synth_sizes[r.size];
+    }
+    EXPECT_EQ(synth_reads, reads);
+    EXPECT_EQ(synth_sizes, sizes);
+}
+
+TEST_P(PipelineProperty, SyntheticStreamIsTimeOrdered)
+{
+    const core::Profile profile =
+        core::buildProfile(trace(), config());
+    EXPECT_TRUE(core::synthesize(profile, 6).isTimeOrdered());
+}
+
+TEST_P(PipelineProperty, SyntheticAddressesStayInLeafRanges)
+{
+    const core::Profile profile =
+        core::buildProfile(trace(), config());
+
+    mem::Addr lo = ~mem::Addr{0}, hi = 0;
+    for (const auto &leaf : profile.leaves) {
+        lo = std::min(lo, leaf.addrLo);
+        hi = std::max(hi, leaf.addrHi);
+    }
+
+    const mem::Trace synth = core::synthesize(profile, 7);
+    for (const auto &r : synth) {
+        ASSERT_GE(r.addr, lo);
+        ASSERT_LT(r.addr, hi);
+    }
+}
+
+TEST_P(PipelineProperty, ProfileRoundTripsThroughBytes)
+{
+    const core::Profile profile =
+        core::buildProfile(trace(), config());
+    core::Profile decoded;
+    ASSERT_TRUE(core::Profile::decodeCompressed(
+        profile.encodeCompressed(), decoded));
+    EXPECT_EQ(decoded.leaves.size(), profile.leaves.size());
+    EXPECT_EQ(decoded.totalRequests(), profile.totalRequests());
+    // Decoded profiles synthesise identical streams.
+    const mem::Trace a = core::synthesize(profile, 8);
+    const mem::Trace b = core::synthesize(decoded, 8);
+    for (std::size_t i = 0; i < a.size(); i += 101)
+        ASSERT_EQ(a[i], b[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PipelineProperty,
+    ::testing::Combine(::testing::Values("Crypto1", "CPU-V",
+                                         "FBC-Tiled1", "Multi-layer",
+                                         "T-Rex2", "OpenCL1", "HEVC2"),
+                       ::testing::Range<std::size_t>(0, 5)),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        static const auto cases = configCases();
+        std::string name = std::get<0>(info.param) + "_" +
+                           cases[std::get<1>(info.param)].label;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace

@@ -1,0 +1,85 @@
+#include "mem/burstiness.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace mocktails::mem;
+
+TEST(Burstiness, EmptyTrace)
+{
+    const BurstinessStats s = analyzeBurstiness(Trace{});
+    EXPECT_EQ(s.bursts, 0u);
+    EXPECT_EQ(s.meanBurstLength, 0.0);
+}
+
+TEST(Burstiness, SingleRequestIsOneBurst)
+{
+    Trace t;
+    t.add(100, 0, 4, Op::Read);
+    const BurstinessStats s = analyzeBurstiness(t);
+    EXPECT_EQ(s.bursts, 1u);
+    EXPECT_EQ(s.maxBurstLength, 1u);
+    EXPECT_DOUBLE_EQ(s.activeFraction, 1.0);
+}
+
+TEST(Burstiness, TwoBurstsSeparatedByIdle)
+{
+    Trace t;
+    // Burst 1: 3 requests, 10 cycles apart.
+    for (int i = 0; i < 3; ++i)
+        t.add(static_cast<Tick>(i * 10), 0, 4, Op::Read);
+    // 100000-cycle idle gap.
+    for (int i = 0; i < 5; ++i)
+        t.add(static_cast<Tick>(100020 + i * 10), 0, 4, Op::Read);
+
+    const BurstinessStats s = analyzeBurstiness(t, 1000);
+    EXPECT_EQ(s.bursts, 2u);
+    EXPECT_DOUBLE_EQ(s.meanBurstLength, 4.0); // (3 + 5) / 2
+    EXPECT_EQ(s.maxBurstLength, 5u);
+    EXPECT_EQ(s.maxIdleGap, 100000u);
+    EXPECT_LT(s.activeFraction, 0.01);
+}
+
+TEST(Burstiness, PeriodicStreamIsOneBurstAndAntibursty)
+{
+    Trace t;
+    for (int i = 0; i < 1000; ++i)
+        t.add(static_cast<Tick>(i * 50), 0, 4, Op::Read);
+    const BurstinessStats s = analyzeBurstiness(t, 1000);
+    EXPECT_EQ(s.bursts, 1u);
+    EXPECT_DOUBLE_EQ(s.activeFraction, 1.0);
+    // Perfectly periodic: coefficient -> -1.
+    EXPECT_LT(s.coefficient, -0.9);
+}
+
+TEST(Burstiness, BurstyStreamHasPositiveCoefficient)
+{
+    Trace t;
+    Tick tick = 0;
+    for (int burst = 0; burst < 50; ++burst) {
+        for (int i = 0; i < 50; ++i) {
+            t.add(tick, 0, 4, Op::Read);
+            tick += 1;
+        }
+        tick += 500000; // long idle
+    }
+    const BurstinessStats s = analyzeBurstiness(t, 1000);
+    EXPECT_EQ(s.bursts, 50u);
+    EXPECT_GT(s.coefficient, 0.5);
+    EXPECT_LT(s.activeFraction, 0.01);
+    EXPECT_NEAR(s.meanIdleGap, 500000.0, 1.0);
+}
+
+TEST(Burstiness, ThresholdControlsSegmentation)
+{
+    Trace t;
+    for (int i = 0; i < 10; ++i)
+        t.add(static_cast<Tick>(i * 100), 0, 4, Op::Read);
+    // Gap 100: one burst with threshold 1000, ten with threshold 50.
+    EXPECT_EQ(analyzeBurstiness(t, 1000).bursts, 1u);
+    EXPECT_EQ(analyzeBurstiness(t, 50).bursts, 10u);
+}
+
+} // namespace

@@ -1,0 +1,130 @@
+#include "mem/interop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace
+{
+
+using namespace mocktails::mem;
+
+Trace
+sample()
+{
+    Trace t;
+    t.add(0, 0x1000, 64, Op::Read);
+    t.add(4, 0x2040, 64, Op::Write);
+    t.add(9, 0xdeadbe00, 64, Op::Read);
+    return t;
+}
+
+TEST(Interop, RamulatorRoundTrip)
+{
+    const std::string path = testing::TempDir() + "ram_trace.txt";
+    ASSERT_TRUE(saveRamulatorTrace(sample(), path));
+
+    Trace loaded;
+    ASSERT_TRUE(loadRamulatorTrace(path, loaded, 64, 1));
+    ASSERT_EQ(loaded.size(), 3u);
+    EXPECT_EQ(loaded[0].addr, 0x1000u);
+    EXPECT_EQ(loaded[0].op, Op::Read);
+    EXPECT_EQ(loaded[1].addr, 0x2040u);
+    EXPECT_EQ(loaded[1].op, Op::Write);
+    EXPECT_EQ(loaded[2].addr, 0xdeadbe00u);
+    // Ticks are synthesised back-to-back with the requested gap.
+    EXPECT_EQ(loaded[1].tick, 1u);
+    EXPECT_EQ(loaded[2].tick, 2u);
+    EXPECT_EQ(loaded[0].size, 64u);
+    std::remove(path.c_str());
+}
+
+TEST(Interop, RamulatorFormatIsExact)
+{
+    const std::string path = testing::TempDir() + "ram_fmt.txt";
+    ASSERT_TRUE(saveRamulatorTrace(sample(), path));
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char line[64] = {};
+    ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+    EXPECT_STREQ(line, "0x1000 R\n");
+    ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+    EXPECT_STREQ(line, "0x2040 W\n");
+    std::fclose(f);
+    std::remove(path.c_str());
+}
+
+TEST(Interop, RamulatorCustomSizeAndGap)
+{
+    const std::string path = testing::TempDir() + "ram_gap.txt";
+    ASSERT_TRUE(saveRamulatorTrace(sample(), path));
+    Trace loaded;
+    ASSERT_TRUE(loadRamulatorTrace(path, loaded, 32, 10));
+    EXPECT_EQ(loaded[0].size, 32u);
+    EXPECT_EQ(loaded[2].tick, 20u);
+    std::remove(path.c_str());
+}
+
+TEST(Interop, RamulatorRejectsGarbage)
+{
+    const std::string path = testing::TempDir() + "ram_bad.txt";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "not a trace line\n");
+    std::fclose(f);
+    Trace loaded;
+    EXPECT_FALSE(loadRamulatorTrace(path, loaded));
+    std::remove(path.c_str());
+}
+
+TEST(Interop, RamulatorSkipsCommentsAndBlanks)
+{
+    const std::string path = testing::TempDir() + "ram_comment.txt";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::fprintf(f, "# header comment\n\n0x40 R\n");
+    std::fclose(f);
+    Trace loaded;
+    ASSERT_TRUE(loadRamulatorTrace(path, loaded));
+    EXPECT_EQ(loaded.size(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Interop, Dramsim3RoundTripPreservesTicks)
+{
+    const std::string path = testing::TempDir() + "ds3_trace.txt";
+    ASSERT_TRUE(saveDramsim3Trace(sample(), path));
+
+    Trace loaded;
+    ASSERT_TRUE(loadDramsim3Trace(path, loaded, 64));
+    ASSERT_EQ(loaded.size(), 3u);
+    EXPECT_EQ(loaded[0].tick, 0u);
+    EXPECT_EQ(loaded[1].tick, 4u);
+    EXPECT_EQ(loaded[2].tick, 9u);
+    EXPECT_EQ(loaded[1].op, Op::Write);
+    EXPECT_EQ(loaded[2].addr, 0xdeadbe00u);
+    std::remove(path.c_str());
+}
+
+TEST(Interop, Dramsim3FormatIsExact)
+{
+    const std::string path = testing::TempDir() + "ds3_fmt.txt";
+    ASSERT_TRUE(saveDramsim3Trace(sample(), path));
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char line[64] = {};
+    ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+    EXPECT_STREQ(line, "0x1000 READ 0\n");
+    ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+    EXPECT_STREQ(line, "0x2040 WRITE 4\n");
+    std::fclose(f);
+    std::remove(path.c_str());
+}
+
+TEST(Interop, MissingFilesFail)
+{
+    Trace t;
+    EXPECT_FALSE(loadRamulatorTrace("/nonexistent/x.txt", t));
+    EXPECT_FALSE(loadDramsim3Trace("/nonexistent/x.txt", t));
+    EXPECT_FALSE(saveRamulatorTrace(sample(), "/nonexistent/x.txt"));
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+#include "mem/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace mocktails::mem;
+
+TEST(Request, EndIsExclusive)
+{
+    Request r{0, 0x100, 64, Op::Read};
+    EXPECT_EQ(r.end(), 0x140u);
+}
+
+TEST(Request, OpPredicates)
+{
+    Request r{0, 0, 4, Op::Read};
+    EXPECT_TRUE(r.isRead());
+    EXPECT_FALSE(r.isWrite());
+    r.op = Op::Write;
+    EXPECT_TRUE(r.isWrite());
+}
+
+TEST(Request, Equality)
+{
+    Request a{1, 2, 3, Op::Read};
+    Request b = a;
+    EXPECT_EQ(a, b);
+    b.size = 4;
+    EXPECT_FALSE(a == b);
+}
+
+TEST(Op, ToString)
+{
+    EXPECT_STREQ(toString(Op::Read), "R");
+    EXPECT_STREQ(toString(Op::Write), "W");
+}
+
+TEST(Trace, MetadataAndAppend)
+{
+    Trace t("HEVC1", "VPU");
+    EXPECT_EQ(t.name(), "HEVC1");
+    EXPECT_EQ(t.device(), "VPU");
+    EXPECT_TRUE(t.empty());
+
+    t.add(10, 0x1000, 64, Op::Write);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].tick, 10u);
+    EXPECT_EQ(t[0].op, Op::Write);
+}
+
+TEST(Trace, SortByTimeIsStable)
+{
+    Trace t;
+    t.add(5, 0xa, 4, Op::Read);
+    t.add(1, 0xb, 4, Op::Read);
+    t.add(5, 0xc, 4, Op::Write);
+    t.sortByTime();
+    EXPECT_TRUE(t.isTimeOrdered());
+    EXPECT_EQ(t[0].addr, 0xbu);
+    // Stability: the two tick-5 requests keep their relative order.
+    EXPECT_EQ(t[1].addr, 0xau);
+    EXPECT_EQ(t[2].addr, 0xcu);
+}
+
+TEST(Trace, IsTimeOrderedDetectsViolation)
+{
+    Trace t;
+    t.add(5, 0, 4, Op::Read);
+    t.add(4, 0, 4, Op::Read);
+    EXPECT_FALSE(t.isTimeOrdered());
+}
+
+TEST(Trace, EmptyIsOrdered)
+{
+    Trace t;
+    EXPECT_TRUE(t.isTimeOrdered());
+    EXPECT_EQ(t.duration(), 0u);
+}
+
+TEST(Trace, DurationIsLastTick)
+{
+    Trace t;
+    t.add(3, 0, 4, Op::Read);
+    t.add(9, 0, 4, Op::Read);
+    EXPECT_EQ(t.duration(), 9u);
+}
+
+TEST(Trace, TruncateShrinksOnly)
+{
+    Trace t;
+    for (int i = 0; i < 10; ++i)
+        t.add(i, 0, 4, Op::Read);
+    t.truncate(20);
+    EXPECT_EQ(t.size(), 10u);
+    t.truncate(4);
+    EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(Trace, RangeForIteration)
+{
+    Trace t;
+    t.add(0, 1, 4, Op::Read);
+    t.add(1, 2, 4, Op::Read);
+    std::uint64_t sum = 0;
+    for (const Request &r : t)
+        sum += r.addr;
+    EXPECT_EQ(sum, 3u);
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+#include "mem/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails::mem;
+
+Trace
+makeSample(std::size_t n)
+{
+    Trace t("sample", "CPU");
+    mocktails::util::Rng rng(3);
+    Tick tick = 0;
+    Addr addr = 0x1000;
+    for (std::size_t i = 0; i < n; ++i) {
+        tick += rng.below(100);
+        addr += static_cast<Addr>(rng.between(-512, 512) & ~7ll);
+        t.add(tick, addr, rng.chance(0.5) ? 64 : 128,
+              rng.chance(0.3) ? Op::Write : Op::Read);
+    }
+    return t;
+}
+
+TEST(TraceIo, BinaryRoundTripEmpty)
+{
+    Trace t("empty", "DPU");
+    Trace out;
+    ASSERT_TRUE(decodeTrace(encodeTrace(t), out));
+    EXPECT_EQ(out.name(), "empty");
+    EXPECT_EQ(out.device(), "DPU");
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(TraceIo, BinaryRoundTripPreservesRequests)
+{
+    const Trace t = makeSample(5000);
+    Trace out;
+    ASSERT_TRUE(decodeTrace(encodeTrace(t), out));
+    ASSERT_EQ(out.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(out[i], t[i]) << "at index " << i;
+}
+
+TEST(TraceIo, EncodedFormIsCompact)
+{
+    const Trace t = makeSample(10000);
+    const auto bytes = encodeTrace(t);
+    // A raw struct dump would be ~21 bytes per request.
+    EXPECT_LT(bytes.size(), t.size() * 12);
+}
+
+TEST(TraceIo, DecodeRejectsGarbage)
+{
+    Trace out;
+    EXPECT_FALSE(decodeTrace({1, 2, 3, 4}, out));
+}
+
+TEST(TraceIo, DecodeRejectsTruncated)
+{
+    auto bytes = encodeTrace(makeSample(100));
+    bytes.resize(bytes.size() / 3);
+    Trace out;
+    EXPECT_FALSE(decodeTrace(bytes, out));
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const std::string path = testing::TempDir() + "trace_io_test.mkt";
+    const Trace t = makeSample(500);
+    ASSERT_TRUE(saveTrace(t, path));
+    Trace out;
+    ASSERT_TRUE(loadTrace(path, out));
+    EXPECT_EQ(out.size(), t.size());
+    EXPECT_EQ(out.requests(), t.requests());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, CsvRoundTrip)
+{
+    const std::string path = testing::TempDir() + "trace_io_test.csv";
+    const Trace t = makeSample(200);
+    ASSERT_TRUE(saveTraceCsv(t, path));
+    Trace out;
+    ASSERT_TRUE(loadTraceCsv(path, out));
+    ASSERT_EQ(out.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(out[i], t[i]);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, CsvHasHeader)
+{
+    const std::string path = testing::TempDir() + "trace_hdr_test.csv";
+    ASSERT_TRUE(saveTraceCsv(makeSample(1), path));
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char line[64] = {};
+    ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+    std::fclose(f);
+    EXPECT_STREQ(line, "tick,addr,op,size\n");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, SaveToBadPathFails)
+{
+    EXPECT_FALSE(saveTrace(makeSample(1), "/nonexistent/dir/x.mkt"));
+    EXPECT_FALSE(saveTraceCsv(makeSample(1), "/nonexistent/dir/x.csv"));
+}
+
+} // namespace

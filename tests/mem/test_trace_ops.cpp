@@ -1,0 +1,132 @@
+#include "mem/trace_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails::mem;
+
+Trace
+sample()
+{
+    Trace t("s", "CPU");
+    t.add(0, 0x100, 64, Op::Read);
+    t.add(10, 0x200, 32, Op::Write);
+    t.add(20, 0x300, 64, Op::Read);
+    t.add(30, 0x140, 16, Op::Write);
+    return t;
+}
+
+TEST(TraceOps, SliceTimeHalfOpen)
+{
+    const Trace out = sliceTime(sample(), 10, 30);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].tick, 10u);
+    EXPECT_EQ(out[1].tick, 20u);
+    EXPECT_EQ(out.name(), "s");
+}
+
+TEST(TraceOps, SliceTimeEmptyWindow)
+{
+    EXPECT_TRUE(sliceTime(sample(), 100, 200).empty());
+}
+
+TEST(TraceOps, SliceAddressesIntersectsRanges)
+{
+    // [0x130, 0x150) intersects the requests at 0x100 (+64) and
+    // 0x140 (+16) but not 0x200/0x300.
+    const Trace out = sliceAddresses(sample(), 0x130, 0x150);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].addr, 0x100u);
+    EXPECT_EQ(out[1].addr, 0x140u);
+}
+
+TEST(TraceOps, SliceAddressesBoundaryExclusive)
+{
+    // The request at 0x100 spans [0x100, 0x140), which ends exactly
+    // at the window start: excluded. Only the 0x140 request matches.
+    const Trace out = sliceAddresses(sample(), 0x140, 0x141);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].addr, 0x140u);
+}
+
+TEST(TraceOps, FilterOp)
+{
+    const Trace reads = filterOp(sample(), Op::Read);
+    ASSERT_EQ(reads.size(), 2u);
+    for (const auto &r : reads)
+        EXPECT_TRUE(r.isRead());
+    const Trace writes = filterOp(sample(), Op::Write);
+    EXPECT_EQ(writes.size(), 2u);
+}
+
+TEST(TraceOps, MergeInterleavesByTime)
+{
+    Trace a;
+    a.add(0, 1, 4, Op::Read);
+    a.add(20, 2, 4, Op::Read);
+    Trace b;
+    b.add(10, 3, 4, Op::Write);
+    b.add(30, 4, 4, Op::Write);
+
+    const Trace out = merge({&a, &b});
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_TRUE(out.isTimeOrdered());
+    EXPECT_EQ(out[0].addr, 1u);
+    EXPECT_EQ(out[1].addr, 3u);
+    EXPECT_EQ(out[2].addr, 2u);
+    EXPECT_EQ(out[3].addr, 4u);
+}
+
+TEST(TraceOps, MergeTiesKeepTraceOrder)
+{
+    Trace a, b;
+    a.add(5, 0xa, 4, Op::Read);
+    b.add(5, 0xb, 4, Op::Read);
+    const Trace out = merge({&a, &b});
+    EXPECT_EQ(out[0].addr, 0xau);
+    EXPECT_EQ(out[1].addr, 0xbu);
+}
+
+TEST(TraceOps, MergeManyRandomTracesIsSorted)
+{
+    mocktails::util::Rng rng(8);
+    std::vector<Trace> traces(5);
+    std::size_t total = 0;
+    for (auto &t : traces) {
+        Tick tick = rng.below(100);
+        const std::size_t n = 50 + rng.below(100);
+        for (std::size_t i = 0; i < n; ++i) {
+            t.add(tick, rng.below(1 << 16), 4, Op::Read);
+            tick += rng.below(20);
+        }
+        total += n;
+    }
+    std::vector<const Trace *> pointers;
+    for (const auto &t : traces)
+        pointers.push_back(&t);
+    const Trace out = merge(pointers);
+    EXPECT_EQ(out.size(), total);
+    EXPECT_TRUE(out.isTimeOrdered());
+}
+
+TEST(TraceOps, MergeEmptyInputs)
+{
+    EXPECT_TRUE(merge({}).empty());
+    Trace empty;
+    EXPECT_TRUE(merge({&empty}).empty());
+}
+
+TEST(TraceOps, ShiftTime)
+{
+    const Trace out = shiftTime(sample(), 100);
+    EXPECT_EQ(out[0].tick, 100u);
+    EXPECT_EQ(out[3].tick, 130u);
+    const Trace back = shiftTime(out, -100);
+    EXPECT_EQ(back[0].tick, 0u);
+}
+
+} // namespace

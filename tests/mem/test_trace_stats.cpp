@@ -1,0 +1,81 @@
+#include "mem/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using namespace mocktails::mem;
+
+TEST(TraceStats, EmptyTrace)
+{
+    const TraceStats s = computeStats(Trace{});
+    EXPECT_EQ(s.requests, 0u);
+    EXPECT_EQ(s.readFraction(), 0.0);
+    EXPECT_EQ(s.requestRate(), 0.0);
+}
+
+TEST(TraceStats, CountsReadsAndWrites)
+{
+    Trace t;
+    t.add(0, 0x1000, 64, Op::Read);
+    t.add(10, 0x2000, 32, Op::Write);
+    t.add(20, 0x3000, 64, Op::Read);
+    const TraceStats s = computeStats(t);
+    EXPECT_EQ(s.requests, 3u);
+    EXPECT_EQ(s.reads, 2u);
+    EXPECT_EQ(s.writes, 1u);
+    EXPECT_EQ(s.bytesRead, 128u);
+    EXPECT_EQ(s.bytesWritten, 32u);
+    EXPECT_NEAR(s.readFraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(TraceStats, AddressAndTickBounds)
+{
+    Trace t;
+    t.add(5, 0x2000, 64, Op::Read);
+    t.add(2, 0x1000, 16, Op::Read);
+    t.add(9, 0x3000, 64, Op::Read);
+    const TraceStats s = computeStats(t);
+    EXPECT_EQ(s.minAddr, 0x1000u);
+    EXPECT_EQ(s.maxAddr, 0x3040u);
+    EXPECT_EQ(s.firstTick, 2u);
+    EXPECT_EQ(s.lastTick, 9u);
+}
+
+TEST(TraceStats, Footprint4kCountsPages)
+{
+    Trace t;
+    t.add(0, 0x0000, 64, Op::Read); // page 0
+    t.add(1, 0x0800, 64, Op::Read); // page 0 again
+    t.add(2, 0x1000, 64, Op::Read); // page 1
+    const TraceStats s = computeStats(t);
+    EXPECT_EQ(s.touched4k, 2u);
+}
+
+TEST(TraceStats, PageSpanningRequestCountsBothPages)
+{
+    Trace t;
+    t.add(0, 0x0fc0, 128, Op::Read); // crosses the 4K boundary
+    const TraceStats s = computeStats(t);
+    EXPECT_EQ(s.touched4k, 2u);
+}
+
+TEST(TraceStats, RequestRatePerKilocycle)
+{
+    Trace t;
+    for (int i = 0; i < 11; ++i)
+        t.add(static_cast<Tick>(i * 100), 0, 4, Op::Read);
+    // 11 requests over 1000 cycles = 11 per kilocycle.
+    EXPECT_NEAR(computeStats(t).requestRate(), 11.0, 1e-9);
+}
+
+TEST(TraceStats, ZeroSpanRate)
+{
+    Trace t;
+    t.add(5, 0, 4, Op::Read);
+    t.add(5, 4, 4, Op::Read);
+    EXPECT_EQ(computeStats(t).requestRate(), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace
+{
+
+using namespace mocktails::sim;
+
+TEST(EventQueue, StartsEmptyAtZero)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTickOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NowAdvancesDuringExecution)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(42, [&] { seen = q.now(); });
+    q.run();
+    EXPECT_EQ(seen, 42u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        ++count;
+        if (count < 5)
+            q.scheduleIn(10, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, ScheduleAtCurrentTickRunsThisPass)
+{
+    EventQueue q;
+    bool ran = false;
+    q.schedule(7, [&] { q.schedule(7, [&] { ran = true; }); });
+    q.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    std::vector<Tick> fired;
+    for (Tick t : {5u, 10u, 15u, 20u})
+        q.schedule(t, [&, t] { fired.push_back(t); });
+    q.runUntil(12);
+    EXPECT_EQ(fired, (std::vector<Tick>{5, 10}));
+    EXPECT_EQ(q.now(), 12u);
+    EXPECT_EQ(q.pending(), 2u);
+    q.run();
+    EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue q;
+    q.runUntil(100);
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, PendingCount)
+{
+    EventQueue q;
+    q.schedule(1, [] {});
+    q.schedule(2, [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    q.run();
+    EXPECT_EQ(q.pending(), 0u);
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+#include "util/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+
+namespace
+{
+
+using namespace mocktails::util;
+
+TEST(Zigzag, RoundTripsInterestingValues)
+{
+    for (std::int64_t v :
+         {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+          std::int64_t{1234567}, std::int64_t{-1234567},
+          std::numeric_limits<std::int64_t>::max(),
+          std::numeric_limits<std::int64_t>::min()}) {
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v);
+    }
+}
+
+TEST(Zigzag, SmallMagnitudesGetSmallCodes)
+{
+    EXPECT_EQ(zigzagEncode(0), 0u);
+    EXPECT_EQ(zigzagEncode(-1), 1u);
+    EXPECT_EQ(zigzagEncode(1), 2u);
+    EXPECT_EQ(zigzagEncode(-2), 3u);
+    EXPECT_EQ(zigzagEncode(2), 4u);
+}
+
+TEST(Varint, RoundTripsBoundaries)
+{
+    ByteWriter w;
+    const std::uint64_t values[] = {0,
+                                    1,
+                                    127,
+                                    128,
+                                    16383,
+                                    16384,
+                                    std::uint64_t{1} << 35,
+                                    ~std::uint64_t{0}};
+    for (const auto v : values)
+        w.putVarint(v);
+
+    ByteReader r(w.bytes());
+    for (const auto v : values)
+        EXPECT_EQ(r.getVarint(), v);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(Varint, SingleByteForSmallValues)
+{
+    ByteWriter w;
+    w.putVarint(127);
+    EXPECT_EQ(w.size(), 1u);
+    w.putVarint(128);
+    EXPECT_EQ(w.size(), 3u); // 127 took 1 byte, 128 takes 2
+}
+
+TEST(Varint, SignedRoundTrip)
+{
+    ByteWriter w;
+    const std::int64_t values[] = {0, -1, 1, -64, 64, -1000000, 1000000,
+                                   std::numeric_limits<std::int64_t>::min()};
+    for (const auto v : values)
+        w.putSigned(v);
+    ByteReader r(w.bytes());
+    for (const auto v : values)
+        EXPECT_EQ(r.getSigned(), v);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(Codec, StringRoundTrip)
+{
+    ByteWriter w;
+    w.putString("");
+    w.putString("hello");
+    w.putString(std::string(1000, 'x'));
+    ByteReader r(w.bytes());
+    EXPECT_EQ(r.getString(), "");
+    EXPECT_EQ(r.getString(), "hello");
+    EXPECT_EQ(r.getString(), std::string(1000, 'x'));
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(Codec, DoubleRoundTrip)
+{
+    ByteWriter w;
+    const double values[] = {0.0, 1.5, -3.25, 1e300, -1e-300};
+    for (const double v : values)
+        w.putDouble(v);
+    ByteReader r(w.bytes());
+    for (const double v : values)
+        EXPECT_EQ(r.getDouble(), v);
+}
+
+TEST(Codec, TruncatedVarintSetsError)
+{
+    ByteWriter w;
+    w.putByte(0x80); // continuation bit with no following byte
+    ByteReader r(w.bytes());
+    (void)r.getVarint();
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, OverlongVarintSetsError)
+{
+    ByteWriter w;
+    for (int i = 0; i < 11; ++i)
+        w.putByte(0xff);
+    ByteReader r(w.bytes());
+    (void)r.getVarint();
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, ReadPastEndSetsError)
+{
+    ByteReader r(nullptr, 0);
+    EXPECT_EQ(r.getByte(), 0);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, StringLengthBeyondBufferSetsError)
+{
+    ByteWriter w;
+    w.putVarint(100); // claims 100 bytes, none follow
+    ByteReader r(w.bytes());
+    (void)r.getString();
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Codec, FileRoundTrip)
+{
+    const std::string path = testing::TempDir() + "codec_test.bin";
+    std::vector<std::uint8_t> data = {1, 2, 3, 250, 0};
+    ASSERT_TRUE(saveBytes(path, data));
+    std::vector<std::uint8_t> loaded;
+    ASSERT_TRUE(loadBytes(path, loaded));
+    EXPECT_EQ(loaded, data);
+    std::remove(path.c_str());
+}
+
+TEST(Codec, LoadMissingFileFails)
+{
+    std::vector<std::uint8_t> bytes;
+    EXPECT_FALSE(loadBytes("/nonexistent/path/file.bin", bytes));
+}
+
+} // namespace

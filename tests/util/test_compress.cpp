@@ -1,0 +1,155 @@
+#include "util/compress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails::util;
+
+std::vector<std::uint8_t>
+roundTrip(const std::vector<std::uint8_t> &input)
+{
+    std::vector<std::uint8_t> out;
+    EXPECT_TRUE(decompress(compress(input), out));
+    return out;
+}
+
+TEST(Compress, EmptyInput)
+{
+    EXPECT_EQ(roundTrip({}), std::vector<std::uint8_t>{});
+}
+
+TEST(Compress, SingleByte)
+{
+    EXPECT_EQ(roundTrip({42}), std::vector<std::uint8_t>{42});
+}
+
+TEST(Compress, ShortLiteralOnly)
+{
+    std::vector<std::uint8_t> input = {1, 2, 3};
+    EXPECT_EQ(roundTrip(input), input);
+}
+
+TEST(Compress, RepeatedByteCompresses)
+{
+    std::vector<std::uint8_t> input(10000, 7);
+    const auto compressed = compress(input);
+    EXPECT_LT(compressed.size(), input.size() / 10);
+    EXPECT_EQ(roundTrip(input), input);
+}
+
+TEST(Compress, RepeatedPatternCompresses)
+{
+    std::vector<std::uint8_t> input;
+    for (int i = 0; i < 5000; ++i) {
+        input.push_back(static_cast<std::uint8_t>(i % 7));
+        input.push_back(static_cast<std::uint8_t>(i % 13));
+    }
+    const auto compressed = compress(input);
+    EXPECT_LT(compressed.size(), input.size() / 2);
+    EXPECT_EQ(roundTrip(input), input);
+}
+
+TEST(Compress, OverlappingMatchRoundTrip)
+{
+    // Classic overlap: a run copied from one byte back.
+    std::vector<std::uint8_t> input;
+    input.push_back(9);
+    input.insert(input.end(), 300, 9);
+    input.push_back(1);
+    EXPECT_EQ(roundTrip(input), input);
+}
+
+TEST(Compress, IncompressibleRandomDataRoundTrips)
+{
+    Rng rng(1234);
+    std::vector<std::uint8_t> input(65536);
+    for (auto &b : input)
+        b = static_cast<std::uint8_t>(rng());
+    const auto compressed = compress(input);
+    // Random data does not shrink, but must not blow up badly.
+    EXPECT_LT(compressed.size(), input.size() + input.size() / 8 + 64);
+    EXPECT_EQ(roundTrip(input), input);
+}
+
+TEST(Compress, MixedStructureRoundTrips)
+{
+    Rng rng(99);
+    std::vector<std::uint8_t> input;
+    for (int block = 0; block < 50; ++block) {
+        if (block % 2 == 0) {
+            input.insert(input.end(), 500,
+                         static_cast<std::uint8_t>(block));
+        } else {
+            for (int i = 0; i < 500; ++i)
+                input.push_back(static_cast<std::uint8_t>(rng()));
+        }
+    }
+    EXPECT_EQ(roundTrip(input), input);
+}
+
+TEST(Compress, LongMatchesBeyondExtensionBoundary)
+{
+    // Match lengths around 15+4 and 255 extension boundaries.
+    for (std::size_t run : {18u, 19u, 20u, 273u, 274u, 275u, 1000u}) {
+        std::vector<std::uint8_t> input = {1, 2, 3, 4};
+        for (std::size_t i = 0; i < run; ++i)
+            input.push_back(input[i]); // repeat prefix cyclically
+        EXPECT_EQ(roundTrip(input), input) << "run=" << run;
+    }
+}
+
+TEST(Compress, LiteralRunsAroundExtensionBoundary)
+{
+    Rng rng(5);
+    for (std::size_t len : {14u, 15u, 16u, 269u, 270u, 271u}) {
+        std::vector<std::uint8_t> input(len);
+        for (auto &b : input)
+            b = static_cast<std::uint8_t>(rng());
+        EXPECT_EQ(roundTrip(input), input) << "len=" << len;
+    }
+}
+
+TEST(Decompress, RejectsTruncatedInput)
+{
+    std::vector<std::uint8_t> input(1000, 5);
+    auto compressed = compress(input);
+    compressed.resize(compressed.size() / 2);
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(decompress(compressed, out));
+}
+
+TEST(Decompress, RejectsEmptyBuffer)
+{
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(decompress({}, out));
+}
+
+TEST(Decompress, RejectsBogusOffset)
+{
+    // Hand-craft: header says 8 bytes, token with a match whose offset
+    // points before the start of output.
+    std::vector<std::uint8_t> bad = {
+        8,          // uncompressed size 8
+        0x10,       // 1 literal, match_code 0 (length 4)
+        0xaa,       // the literal
+        0x09, 0x00, // offset 9 > output size 1
+    };
+    std::vector<std::uint8_t> out;
+    EXPECT_FALSE(decompress(bad, out));
+}
+
+TEST(Compress, DeterministicOutput)
+{
+    std::vector<std::uint8_t> input;
+    for (int i = 0; i < 4096; ++i)
+        input.push_back(static_cast<std::uint8_t>(i * 31));
+    EXPECT_EQ(compress(input), compress(input));
+}
+
+} // namespace

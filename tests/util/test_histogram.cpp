@@ -1,0 +1,113 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using mocktails::util::Histogram;
+
+TEST(Histogram, EmptyDefaults)
+{
+    Histogram h;
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.count(5), 0u);
+}
+
+TEST(Histogram, CountsAndMean)
+{
+    Histogram h;
+    h.add(1);
+    h.add(2);
+    h.add(2);
+    h.add(3);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.count(2), 2u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+    EXPECT_EQ(h.minValue(), 1);
+    EXPECT_EQ(h.maxValue(), 3);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h;
+    h.add(10, 5);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.count(10), 5u);
+    EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+}
+
+TEST(Histogram, NegativeValues)
+{
+    Histogram h;
+    h.add(-5);
+    h.add(5);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.minValue(), -5);
+}
+
+TEST(Histogram, DenseClampsTail)
+{
+    Histogram h;
+    h.add(0);
+    h.add(2);
+    h.add(100); // beyond the dense size
+    h.add(-4);  // below zero clamps to bin 0
+    const auto dense = h.dense(4);
+    ASSERT_EQ(dense.size(), 4u);
+    EXPECT_EQ(dense[0], 2u); // value 0 and value -4
+    EXPECT_EQ(dense[2], 1u);
+    EXPECT_EQ(dense[3], 1u); // clamped 100
+}
+
+TEST(Histogram, DenseZeroSize)
+{
+    Histogram h;
+    h.add(1);
+    EXPECT_TRUE(h.dense(0).empty());
+}
+
+TEST(Histogram, DistanceToSelfIsZero)
+{
+    Histogram h;
+    h.add(1);
+    h.add(2, 3);
+    EXPECT_DOUBLE_EQ(h.distanceTo(h), 0.0);
+}
+
+TEST(Histogram, DistanceOfDisjointIsTwo)
+{
+    Histogram a, b;
+    a.add(1, 10);
+    b.add(2, 10);
+    EXPECT_DOUBLE_EQ(a.distanceTo(b), 2.0);
+}
+
+TEST(Histogram, DistanceIsScaleInvariant)
+{
+    Histogram a, b;
+    a.add(1, 1);
+    a.add(2, 1);
+    b.add(1, 100);
+    b.add(2, 100);
+    EXPECT_NEAR(a.distanceTo(b), 0.0, 1e-12);
+}
+
+TEST(Histogram, DistanceSymmetric)
+{
+    Histogram a, b;
+    a.add(1, 3);
+    a.add(4, 1);
+    b.add(1, 1);
+    b.add(9, 2);
+    EXPECT_DOUBLE_EQ(a.distanceTo(b), b.distanceTo(a));
+}
+
+TEST(Histogram, DistanceBothEmpty)
+{
+    Histogram a, b;
+    EXPECT_DOUBLE_EQ(a.distanceTo(b), 0.0);
+}
+
+} // namespace

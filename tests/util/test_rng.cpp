@@ -1,0 +1,132 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace
+{
+
+using mocktails::util::Rng;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += (a() == b());
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NearbySeedsAreDecorrelated)
+{
+    // splitmix64 seeding should break up seed-adjacency structure.
+    Rng a(100), b(101);
+    EXPECT_NE(a(), b());
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull,
+                                1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowOneAlwaysZero)
+{
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(11);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, BetweenInclusiveBounds)
+{
+    Rng rng(13);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::int64_t v = rng.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        hit_lo |= (v == -3);
+        hit_hi |= (v == 3);
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(17);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(23);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights)
+{
+    Rng rng(29);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 4000; ++i)
+        ++counts[rng.weightedIndex(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    // The child should not replay the parent's stream.
+    Rng parent2(31);
+    (void)parent2(); // consume the value that seeded the child
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += (child() == parent2());
+    EXPECT_LT(equal, 3);
+}
+
+} // namespace

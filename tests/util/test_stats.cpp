@@ -1,0 +1,98 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace
+{
+
+using namespace mocktails::util;
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMeanAndVariance)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(RunningStats, MatchesBatchVariance)
+{
+    std::vector<double> values = {1.5, -2.0, 3.25, 8.0, 0.0, -1.0};
+    RunningStats s;
+    for (double v : values)
+        s.add(v);
+    EXPECT_NEAR(s.mean(), arithmeticMean(values), 1e-12);
+    EXPECT_NEAR(s.variance(), variance(values), 1e-12);
+}
+
+TEST(PercentError, ExactMatchIsZero)
+{
+    EXPECT_DOUBLE_EQ(percentError(10.0, 10.0), 0.0);
+}
+
+TEST(PercentError, SymmetricMagnitude)
+{
+    EXPECT_DOUBLE_EQ(percentError(11.0, 10.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentError(9.0, 10.0), 10.0);
+}
+
+TEST(PercentError, ZeroReference)
+{
+    EXPECT_DOUBLE_EQ(percentError(0.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentError(5.0, 0.0), 100.0);
+}
+
+TEST(PercentError, NegativeReference)
+{
+    EXPECT_DOUBLE_EQ(percentError(-9.0, -10.0), 10.0);
+}
+
+TEST(GeometricMean, Basics)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({4.0, 9.0}), 6.0);
+    EXPECT_DOUBLE_EQ(geometricMean({5.0}), 5.0);
+    EXPECT_EQ(geometricMean({}), 0.0);
+}
+
+TEST(GeometricMean, HandlesZeros)
+{
+    // Zeros contribute epsilon instead of collapsing to -inf.
+    const double g = geometricMean({0.0, 100.0});
+    EXPECT_GT(g, 0.0);
+    EXPECT_LT(g, 100.0);
+}
+
+TEST(ArithmeticMean, Basics)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_EQ(arithmeticMean({}), 0.0);
+}
+
+TEST(Variance, FewerThanTwoIsZero)
+{
+    EXPECT_EQ(variance({}), 0.0);
+    EXPECT_EQ(variance({3.0}), 0.0);
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+#include "validation/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/model_generator.hpp"
+#include "workloads/devices.hpp"
+#include "workloads/spec.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::validation;
+
+TEST(Validate, GoodProfilePasses)
+{
+    const mem::Trace trace =
+        workloads::makeFbcTiled(15000, 1, 1);
+    const auto report = validateConfig(
+        trace, core::PartitionConfig::twoLevelTs());
+    EXPECT_TRUE(report.passed) << formatReport(report);
+    EXPECT_FALSE(report.dramMetrics.empty());
+    EXPECT_FALSE(report.cacheMetrics.empty());
+    EXPECT_LE(report.meanErrorPercent, report.worstErrorPercent);
+}
+
+TEST(Validate, SelfComparisonIsPerfect)
+{
+    // Validating a trace against a profile whose synthesis reproduces
+    // it exactly (pure linear stream) yields ~zero errors.
+    mem::Trace trace("linear", "DPU");
+    for (int i = 0; i < 5000; ++i) {
+        trace.add(static_cast<mem::Tick>(i * 8),
+                  0x10000 + static_cast<mem::Addr>(i) * 64, 64,
+                  mem::Op::Read);
+    }
+    const auto report = validateConfig(
+        trace,
+        core::PartitionConfig{
+            {{core::PartitionLayer::Kind::SpatialDynamic, 0}}});
+    EXPECT_TRUE(report.passed);
+    EXPECT_LT(report.worstErrorPercent, 1.0);
+}
+
+TEST(Validate, BadProfileFails)
+{
+    // A degenerate hierarchy (flat, one leaf) on an irregular
+    // workload misses metrics that a tight threshold catches.
+    const mem::Trace trace =
+        workloads::makeSpecTrace("mcf", 20000, 1);
+    ValidationOptions options;
+    options.passThresholdPercent = 0.05;
+    const auto report =
+        validateConfig(trace, core::PartitionConfig{}, options);
+    EXPECT_FALSE(report.passed);
+    EXPECT_GT(report.worstErrorPercent, 0.05);
+}
+
+TEST(Validate, OptionsDisableSubstrates)
+{
+    const mem::Trace trace = workloads::makeCpuV(5000, 1);
+    ValidationOptions options;
+    options.cache = false;
+    const auto dram_only = validateConfig(
+        trace, core::PartitionConfig::twoLevelTs(), options);
+    EXPECT_FALSE(dram_only.dramMetrics.empty());
+    EXPECT_TRUE(dram_only.cacheMetrics.empty());
+
+    options.cache = true;
+    options.dram = false;
+    const auto cache_only = validateConfig(
+        trace, core::PartitionConfig::twoLevelTs(), options);
+    EXPECT_TRUE(cache_only.dramMetrics.empty());
+    EXPECT_FALSE(cache_only.cacheMetrics.empty());
+}
+
+TEST(Validate, ReportFormatsAllMetrics)
+{
+    const mem::Trace trace = workloads::makeCrypto(5000, 1, 1);
+    const auto report = validateConfig(
+        trace, core::PartitionConfig::twoLevelTs());
+    const std::string text = formatReport(report);
+    EXPECT_NE(text.find("dram.read_row_hits"), std::string::npos);
+    EXPECT_NE(text.find("cache.l1_miss_rate"), std::string::npos);
+    EXPECT_NE(text.find(report.passed ? "PASS" : "FAIL"),
+              std::string::npos);
+}
+
+TEST(Validate, ValidateProfileMatchesValidateConfig)
+{
+    const mem::Trace trace = workloads::makeHevc(8000, 1, 2);
+    const auto config = core::PartitionConfig::twoLevelTs();
+    const core::Profile profile = core::buildProfile(trace, config);
+
+    const auto a = validateProfile(trace, profile);
+    const auto b = validateConfig(trace, config);
+    ASSERT_EQ(a.dramMetrics.size(), b.dramMetrics.size());
+    for (std::size_t i = 0; i < a.dramMetrics.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.dramMetrics[i].synthetic,
+                         b.dramMetrics[i].synthetic);
+    }
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+#include "workloads/devices.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/trace_stats.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::workloads;
+
+TEST(DeviceRegistry, MatchesTable2Inventory)
+{
+    const auto &specs = deviceTraces();
+    EXPECT_EQ(specs.size(), 18u);
+
+    int cpu = 0, dpu = 0, gpu = 0, vpu = 0;
+    for (const auto &spec : specs) {
+        if (spec.device == "CPU")
+            ++cpu;
+        else if (spec.device == "DPU")
+            ++dpu;
+        else if (spec.device == "GPU")
+            ++gpu;
+        else if (spec.device == "VPU")
+            ++vpu;
+    }
+    EXPECT_EQ(cpu, 5);
+    EXPECT_EQ(dpu, 5);
+    EXPECT_EQ(gpu, 5);
+    EXPECT_EQ(vpu, 3);
+}
+
+TEST(DeviceRegistry, UnknownNameThrows)
+{
+    EXPECT_THROW(makeDeviceTrace("NoSuchTrace", 100),
+                 std::invalid_argument);
+}
+
+class DeviceTraceTest
+    : public ::testing::TestWithParam<DeviceTraceSpec>
+{};
+
+TEST_P(DeviceTraceTest, ProducesWellFormedTrace)
+{
+    const auto &spec = GetParam();
+    const mem::Trace trace = spec.make(20000, 1);
+    EXPECT_EQ(trace.size(), 20000u);
+    EXPECT_EQ(trace.name(), spec.name);
+    EXPECT_EQ(trace.device(), spec.device);
+    EXPECT_TRUE(trace.isTimeOrdered());
+    for (std::size_t i = 0; i < trace.size(); i += 97) {
+        EXPECT_GT(trace[i].size, 0u);
+        EXPECT_LE(trace[i].size, 4096u);
+    }
+}
+
+TEST_P(DeviceTraceTest, DeterministicForSeed)
+{
+    const auto &spec = GetParam();
+    const mem::Trace a = spec.make(5000, 7);
+    const mem::Trace b = spec.make(5000, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i += 13)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+TEST_P(DeviceTraceTest, MixesReadsAndWrites)
+{
+    const auto &spec = GetParam();
+    const auto stats = mem::computeStats(spec.make(20000, 1));
+    EXPECT_GT(stats.reads, 0u);
+    EXPECT_GT(stats.writes, 0u);
+    // Every device class is read-dominant (display/decode/render).
+    EXPECT_GT(stats.readFraction(), 0.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDevices, DeviceTraceTest, ::testing::ValuesIn(deviceTraces()),
+    [](const ::testing::TestParamInfo<DeviceTraceSpec> &info) {
+        std::string name = info.param.name;
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(DeviceCharacteristics, VpuHasLongIdleGaps)
+{
+    // Paper Fig. 3: request clusters separated by long idle periods.
+    const mem::Trace trace = makeHevc(30000, 1, 1);
+    mem::Tick max_gap = 0;
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        max_gap = std::max(max_gap, trace[i].tick - trace[i - 1].tick);
+    EXPECT_GT(max_gap, 10000000u);
+}
+
+TEST(DeviceCharacteristics, GpuIsBurstier)
+{
+    // GPU issues large requests back to back: the median inter-arrival
+    // gap is tiny relative to the DPU's paced refresh traffic.
+    const mem::Trace gpu = makeTRex(20000, 1, 1);
+    const mem::Trace dpu = makeFbcLinear(20000, 1, 1);
+    auto median_gap = [](const mem::Trace &t) {
+        std::vector<mem::Tick> gaps;
+        for (std::size_t i = 1; i < t.size(); ++i)
+            gaps.push_back(t[i].tick - t[i - 1].tick);
+        std::nth_element(gaps.begin(),
+                         gaps.begin() +
+                             static_cast<std::ptrdiff_t>(gaps.size() / 2),
+                         gaps.end());
+        return gaps[gaps.size() / 2];
+    };
+    EXPECT_LE(median_gap(gpu), median_gap(dpu));
+}
+
+TEST(DeviceCharacteristics, TiledAndLinearDiffer)
+{
+    // The tiled scan produces pitch-sized strides absent from the
+    // linear scan (the Fig. 10 contrast).
+    const mem::Trace linear = makeFbcLinear(10000, 1, 1);
+    const mem::Trace tiled = makeFbcTiled(10000, 1, 1);
+    auto count_stride = [](const mem::Trace &t, std::int64_t wanted) {
+        std::size_t n = 0;
+        for (std::size_t i = 1; i < t.size(); ++i) {
+            const std::int64_t s =
+                static_cast<std::int64_t>(t[i].addr) -
+                static_cast<std::int64_t>(t[i - 1].addr);
+            n += (s == wanted);
+        }
+        return n;
+    };
+    EXPECT_GT(count_stride(tiled, 4096), count_stride(linear, 4096) * 2);
+}
+
+TEST(DeviceCharacteristics, CryptoVariantsDiffer)
+{
+    const auto s1 = mem::computeStats(makeCrypto(10000, 1, 1));
+    const auto s2 = mem::computeStats(makeCrypto(10000, 1, 2));
+    EXPECT_NE(s1.bytesRead, s2.bytesRead);
+}
+
+} // namespace

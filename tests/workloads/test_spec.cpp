@@ -1,0 +1,112 @@
+#include "workloads/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hpp"
+#include "mem/trace_stats.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::workloads;
+
+TEST(SpecRegistry, TwentyThreeBenchmarks)
+{
+    EXPECT_EQ(specBenchmarks().size(), 23u);
+}
+
+TEST(SpecRegistry, KnownNamesPresent)
+{
+    const auto &names = specBenchmarks();
+    for (const char *expected :
+         {"gobmk", "h264ref", "libquantum", "milc", "soplex", "zeusmp",
+          "astar", "hmmer", "calculix", "mcf"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << expected;
+    }
+}
+
+TEST(SpecRegistry, UnknownNameThrows)
+{
+    EXPECT_THROW(specParams("fortran_dreams"), std::invalid_argument);
+    EXPECT_THROW(makeSpecTrace("fortran_dreams", 10),
+                 std::invalid_argument);
+}
+
+TEST(SpecRegistry, ProbabilitiesAreSane)
+{
+    for (const auto &name : specBenchmarks()) {
+        const SpecParams &p = specParams(name);
+        EXPECT_GE(p.pHot, 0.0) << name;
+        EXPECT_LE(p.pHot + p.pStream + p.pChase, 1.0) << name;
+        EXPECT_GT(p.readFraction, 0.0) << name;
+        EXPECT_LT(p.readFraction, 1.0) << name;
+        EXPECT_GE(p.streams, 1u) << name;
+        EXPECT_GT(p.footprint, p.hotBytes) << name;
+    }
+}
+
+class SpecTraceTest : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(SpecTraceTest, WellFormed)
+{
+    const mem::Trace trace = makeSpecTrace(GetParam(), 10000, 1);
+    EXPECT_EQ(trace.size(), 10000u);
+    EXPECT_EQ(trace.name(), GetParam());
+    EXPECT_EQ(trace.device(), "CPU");
+    EXPECT_TRUE(trace.isTimeOrdered());
+    for (std::size_t i = 0; i < trace.size(); i += 53) {
+        EXPECT_TRUE(trace[i].size == 4 || trace[i].size == 8);
+    }
+}
+
+TEST_P(SpecTraceTest, ReadFractionNearConfigured)
+{
+    const mem::Trace trace = makeSpecTrace(GetParam(), 20000, 2);
+    const auto stats = mem::computeStats(trace);
+    EXPECT_NEAR(stats.readFraction(),
+                specParams(GetParam()).readFraction, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SpecTraceTest,
+                         ::testing::ValuesIn(specBenchmarks()));
+
+TEST(SpecBehaviour, LibquantumStreamsThroughCache)
+{
+    // Streaming-dominant: very high L1 miss rate on repeated data.
+    cache::Hierarchy h{cache::HierarchyConfig{}};
+    h.run(makeSpecTrace("libquantum", 50000, 1));
+    EXPECT_GT(h.l1Stats().missRate(), 0.05);
+}
+
+TEST(SpecBehaviour, HmmerHitsInCache)
+{
+    // Tiny hot working set: low L1 miss rate.
+    cache::Hierarchy h{cache::HierarchyConfig{}};
+    h.run(makeSpecTrace("hmmer", 50000, 1));
+    EXPECT_LT(h.l1Stats().missRate(), 0.05);
+}
+
+TEST(SpecBehaviour, BenchmarksAreDistinct)
+{
+    // Different benchmarks produce different miss rates (they are not
+    // all the same generator in disguise).
+    cache::Hierarchy a{cache::HierarchyConfig{}};
+    a.run(makeSpecTrace("mcf", 30000, 1));
+    cache::Hierarchy b{cache::HierarchyConfig{}};
+    b.run(makeSpecTrace("povray", 30000, 1));
+    EXPECT_GT(a.l1Stats().missRate(), b.l1Stats().missRate() * 2);
+}
+
+TEST(SpecBehaviour, Deterministic)
+{
+    const mem::Trace a = makeSpecTrace("gcc", 5000, 3);
+    const mem::Trace b = makeSpecTrace("gcc", 5000, 3);
+    for (std::size_t i = 0; i < a.size(); i += 17)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+} // namespace
