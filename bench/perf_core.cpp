@@ -64,6 +64,62 @@ BM_BuildProfile(benchmark::State &state)
 }
 BENCHMARK(BM_BuildProfile);
 
+// A multi-leaf workload (hundreds of leaves with the short phase
+// length below) for the thread-scaling benchmarks.
+const mem::Trace &
+multiLeafTrace()
+{
+    static const mem::Trace trace = workloads::makeHevc(100000, 1, 1);
+    return trace;
+}
+
+core::PartitionConfig
+multiLeafConfig()
+{
+    return core::PartitionConfig::twoLevelTs(50000);
+}
+
+const core::Profile &
+multiLeafProfile()
+{
+    static const core::Profile profile =
+        core::buildProfile(multiLeafTrace(), multiLeafConfig());
+    return profile;
+}
+
+void
+BM_BuildProfileThreads(benchmark::State &state)
+{
+    const auto threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::buildProfile(multiLeafTrace(), multiLeafConfig(),
+                               core::LeafModelerHooks{}, threads));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(multiLeafTrace().size()));
+    state.counters["leaves"] =
+        static_cast<double>(multiLeafProfile().leaves.size());
+}
+BENCHMARK(BM_BuildProfileThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_SynthesizeThreads(benchmark::State &state)
+{
+    const auto threads = static_cast<unsigned>(state.range(0));
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::synthesize(multiLeafProfile(), ++seed, threads));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(
+            multiLeafProfile().totalRequests()));
+}
+BENCHMARK(BM_SynthesizeThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void
 BM_Synthesize(benchmark::State &state)
 {

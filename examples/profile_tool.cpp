@@ -45,7 +45,7 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: profile_tool <command> [args]\n"
+        "usage: profile_tool [--threads N] <command> [args]\n"
         "  generate <workload> <requests> <trace.mkt>\n"
         "  profile  <trace.mkt> <profile.mkp> [cycles_per_phase]\n"
         "  synth    <profile.mkp> <out.mkt> [seed]\n"
@@ -55,9 +55,15 @@ usage()
         "  compare  <a.mkt|a.mkp> <b.mkt|b.mkp>\n"
         "  validate <trace.mkt> <profile.mkp>\n"
         "workloads: Table II names (e.g. HEVC1, T-Rex1, FBC-Linear1)\n"
-        "           or SPEC names (e.g. gobmk, libquantum)\n");
+        "           or SPEC names (e.g. gobmk, libquantum)\n"
+        "--threads: worker threads for profile/synth/validate\n"
+        "           (0 = one per hardware thread, 1 = sequential;\n"
+        "           the output is identical at every count)\n");
     return 2;
 }
+
+/** Worker-thread knob shared by the pipeline commands. */
+unsigned g_threads = 0;
 
 mem::Trace
 makeWorkload(const std::string &name, std::size_t requests)
@@ -93,7 +99,8 @@ cmdProfile(const std::string &in, const std::string &out,
         return 1;
     }
     const core::Profile profile = core::buildProfile(
-        trace, core::PartitionConfig::twoLevelTs(cycles));
+        trace, core::PartitionConfig::twoLevelTs(cycles),
+        core::LeafModelerHooks{}, g_threads);
     if (!core::saveProfile(profile, out)) {
         std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
         return 1;
@@ -113,7 +120,7 @@ cmdSynth(const std::string &in, const std::string &out,
         std::fprintf(stderr, "error: cannot read %s\n", in.c_str());
         return 1;
     }
-    const mem::Trace synth = core::synthesize(profile, seed);
+    const mem::Trace synth = core::synthesize(profile, seed, g_threads);
     if (!mem::saveTrace(synth, out)) {
         std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
         return 1;
@@ -266,7 +273,10 @@ cmdValidate(const std::string &trace_path,
                      profile_path.c_str());
         return 1;
     }
-    const auto report = validation::validateProfile(trace, profile);
+    validation::ValidationOptions options;
+    options.threads = g_threads;
+    const auto report =
+        validation::validateProfile(trace, profile, options);
     std::fputs(validation::formatReport(report).c_str(), stdout);
     return report.passed ? 0 : 3;
 }
@@ -324,6 +334,20 @@ cmdCompare(const std::string &path_a, const std::string &path_b)
 int
 main(int argc, char **argv)
 {
+    // Strip a leading "--threads N" before command dispatch.
+    if (argc >= 3 && std::strcmp(argv[1], "--threads") == 0) {
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(argv[2], &end, 10);
+        if (end == argv[2] || *end != '\0' || argv[2][0] == '-') {
+            std::fprintf(stderr,
+                         "profile_tool: --threads expects a "
+                         "non-negative integer, got '%s'\n", argv[2]);
+            return 2;
+        }
+        g_threads = static_cast<unsigned>(n);
+        argc -= 2;
+        argv += 2;
+    }
     if (argc < 2)
         return usage();
     const std::string command = argv[1];

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "core/features.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mocktails::core
 {
@@ -28,15 +29,24 @@ modelLeaf(const Leaf &leaf, const LeafModelerHooks &hooks)
 
 Profile
 buildProfile(const mem::Trace &trace, const PartitionConfig &config,
-             const LeafModelerHooks &hooks)
+             const LeafModelerHooks &hooks, unsigned threads)
 {
     Profile profile;
     profile.name = trace.name();
     profile.device = trace.device();
     profile.config = config;
 
-    for (const Leaf &leaf : buildLeaves(trace, config))
-        profile.leaves.push_back(modelLeaf(leaf, hooks));
+    // Leaves are independent once partitioned: fan the McC fitting out
+    // across workers, each writing its own slot so the leaf order (and
+    // hence the encoded profile) is identical at every thread count.
+    const std::vector<Leaf> leaves = buildLeaves(trace, config);
+    profile.leaves.resize(leaves.size());
+    util::parallelFor(
+        leaves.size(),
+        [&](std::size_t i) {
+            profile.leaves[i] = modelLeaf(leaves[i], hooks);
+        },
+        threads);
     return profile;
 }
 

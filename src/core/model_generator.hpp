@@ -45,11 +45,20 @@ LeafModel modelLeaf(const Leaf &leaf,
  * Build a full profile: partition @p trace per @p config and fit every
  * leaf.
  *
+ * Leaves are independent after partitioning, so fitting fans out over
+ * the thread pool (util/thread_pool.hpp) and results are collected in
+ * leaf order: the profile is bit-identical at every thread count. The
+ * hook builders are called concurrently and must be thread-safe (the
+ * built-in McC, McC-k and STM builders are pure functions).
+ *
+ * @param threads Worker cap; 0 = one per hardware thread, 1 = the
+ *                exact sequential legacy path.
  * @pre trace.isTimeOrdered()
  */
 Profile buildProfile(const mem::Trace &trace,
                      const PartitionConfig &config,
-                     const LeafModelerHooks &hooks = LeafModelerHooks{});
+                     const LeafModelerHooks &hooks = LeafModelerHooks{},
+                     unsigned threads = 0);
 
 } // namespace mocktails::core
 

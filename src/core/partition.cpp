@@ -116,17 +116,27 @@ partitionByCycleCount(const mem::Trace &trace, const IndexList &indices,
     if (indices.empty())
         return out;
 
-    const mem::Tick base = trace[indices.front()].tick;
-    std::uint64_t current_window = 0;
-    out.emplace_back();
-    for (const std::uint32_t idx : indices) {
-        const std::uint64_t window = (trace[idx].tick - base) / cycles;
-        if (window != current_window) {
-            // Empty windows produce no partitions.
-            out.emplace_back();
-            current_window = window;
-        }
-        out.back().push_back(idx);
+    // The subset is not guaranteed to arrive tick-sorted — a spatial
+    // layer above this one hands down address-ordered subsets — so
+    // anchor the windows at the earliest tick and bin by window
+    // number instead of cutting wherever the window value changes.
+    mem::Tick base = trace[indices.front()].tick;
+    for (const std::uint32_t idx : indices)
+        base = std::min(base, trace[idx].tick);
+
+    // Empty windows produce no partitions; the map emits the rest in
+    // ascending window order.
+    std::map<std::uint64_t, IndexList> windows;
+    for (const std::uint32_t idx : indices)
+        windows[(trace[idx].tick - base) / cycles].push_back(idx);
+
+    out.reserve(windows.size());
+    for (auto &[window, members] : windows) {
+        // Restore time order inside the window regardless of the
+        // arrival order (index order == time order for a time-ordered
+        // trace).
+        std::sort(members.begin(), members.end());
+        out.push_back(std::move(members));
     }
     return out;
 }

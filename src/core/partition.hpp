@@ -131,7 +131,15 @@ std::vector<IndexList>
 partitionByRequestCount(const IndexList &indices,
                         std::uint64_t per_interval);
 
-/** Fixed cycle windows of @p cycles, anchored at the first request. */
+/**
+ * Fixed cycle windows of @p cycles, anchored at the earliest request.
+ *
+ * Unlike the other partitioners this one tolerates indices in any
+ * arrival order (e.g. the address-ordered subsets a spatial layer
+ * hands down): requests are binned by window number independently of
+ * their position in @p indices, and each window's members come out in
+ * time order.
+ */
 std::vector<IndexList>
 partitionByCycleCount(const mem::Trace &trace, const IndexList &indices,
                       std::uint64_t cycles);

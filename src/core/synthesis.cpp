@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "util/thread_pool.hpp"
+
 namespace mocktails::core
 {
 
@@ -19,18 +21,27 @@ LeafSynthesizer::LeafSynthesizer(const LeafModel &leaf, util::Rng &rng)
 }
 
 mem::Addr
-LeafSynthesizer::wrapAddress(std::int64_t candidate) const
+LeafSynthesizer::wrapAddress(std::int64_t candidate,
+                             std::uint32_t size) const
 {
     const auto lo = static_cast<std::int64_t>(leaf_->addrLo);
     const auto hi = static_cast<std::int64_t>(leaf_->addrHi);
-    const std::int64_t span = hi - lo;
-    assert(span > 0);
 
-    if (candidate >= lo && candidate < hi)
+    // Highest start address whose byte range still fits the region.
+    // Single-address leaves (addrLo == addrHi) and requests larger
+    // than the whole region pin to the base — the old modulo-by-span
+    // was UB for a zero span and let ranges spill past addrHi.
+    const std::int64_t limit = hi - static_cast<std::int64_t>(size);
+    if (limit <= lo)
+        return leaf_->addrLo;
+
+    if (candidate >= lo && candidate <= limit)
         return static_cast<mem::Addr>(candidate);
 
-    // Modulo the address back into the leaf's memory region to
-    // preserve spatial locality (paper Sec. III-C).
+    // Modulo the address back into [addrLo, addrHi - size] to
+    // preserve spatial locality (paper Sec. III-C) without the byte
+    // range crossing the region's end.
+    const std::int64_t span = limit - lo + 1;
     std::int64_t rel = (candidate - lo) % span;
     if (rel < 0)
         rel += span;
@@ -43,21 +54,26 @@ LeafSynthesizer::next(mem::Request &out)
     if (generated_ >= leaf_->count)
         return false;
 
+    std::int64_t candidate;
     if (generated_ == 0) {
         time_ = leaf_->startTime;
-        addr_ = leaf_->startAddr;
+        candidate = static_cast<std::int64_t>(leaf_->startAddr);
     } else {
         const std::int64_t dt = delta_ ? delta_->next() : 0;
         time_ = static_cast<mem::Tick>(
             static_cast<std::int64_t>(time_) + dt);
         const std::int64_t stride = stride_ ? stride_->next() : 0;
-        addr_ = wrapAddress(static_cast<std::int64_t>(addr_) + stride);
+        candidate = static_cast<std::int64_t>(addr_) + stride;
     }
 
     out.tick = time_;
-    out.addr = addr_;
     out.op = (op_ && op_->next() != 0) ? mem::Op::Write : mem::Op::Read;
     out.size = size_ ? static_cast<std::uint32_t>(size_->next()) : 1;
+    // Wrapping is size-aware, so the size must be sampled before the
+    // address is finalised (sampler draw order is unchanged: delta,
+    // stride, op, size).
+    addr_ = wrapAddress(candidate, out.size);
+    out.addr = addr_;
     ++generated_;
     return true;
 }
@@ -142,16 +158,95 @@ LoopedSynthesis::next(mem::Request &out)
     return false;
 }
 
-mem::Trace
-synthesize(const Profile &profile, std::uint64_t seed)
+namespace
 {
-    SynthesisEngine engine(profile, seed);
-    mem::Trace trace(profile.name + "-synth", profile.device);
-    trace.requests().reserve(engine.total());
 
-    mem::Request request;
-    while (engine.next(request))
-        trace.add(request);
+/** Head-of-leaf entry of the sharded k-way merge; same (tick, leaf)
+ *  order as SynthesisEngine's heap. */
+struct MergeEntry
+{
+    mem::Tick tick;
+    std::uint32_t leaf;
+
+    bool
+    operator>(const MergeEntry &other) const
+    {
+        if (tick != other.tick)
+            return tick > other.tick;
+        return leaf > other.leaf;
+    }
+};
+
+} // namespace
+
+mem::Trace
+synthesize(const Profile &profile, std::uint64_t seed, unsigned threads)
+{
+    const unsigned want =
+        threads == 0 ? util::ThreadPool::defaultThreadCount() : threads;
+    mem::Trace trace(profile.name + "-synth", profile.device);
+
+    if (want <= 1 || profile.leaves.size() < 2) {
+        SynthesisEngine engine(profile, seed);
+        trace.requests().reserve(engine.total());
+        mem::Request request;
+        while (engine.next(request))
+            trace.add(request);
+        return trace;
+    }
+
+    // Sharded path: fork the per-leaf RNG streams exactly as the
+    // sequential engine does (one fork per leaf, in leaf order), then
+    // generate whole per-leaf runs in parallel.
+    const std::size_t n = profile.leaves.size();
+    util::Rng root(seed);
+    std::vector<util::Rng> rngs;
+    rngs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        rngs.push_back(root.fork());
+
+    std::vector<std::vector<mem::Request>> runs(n);
+    util::parallelFor(
+        n,
+        [&](std::size_t i) {
+            const LeafModel &leaf = profile.leaves[i];
+            LeafSynthesizer synth(leaf, rngs[i]);
+            auto &run = runs[i];
+            run.resize(leaf.count);
+            std::size_t made = 0;
+            while (made < run.size() && synth.next(run[made]))
+                ++made;
+            run.resize(made);
+        },
+        want);
+
+    // Deterministic k-way timestamp merge. Each leaf's run is already
+    // in generation order, so merging the heads under the engine's
+    // (tick, leaf) tie-break reproduces its output bit for bit.
+    std::uint64_t total = 0;
+    for (const auto &run : runs)
+        total += run.size();
+    trace.requests().reserve(total);
+
+    std::priority_queue<MergeEntry, std::vector<MergeEntry>,
+                        std::greater<MergeEntry>>
+        heap;
+    std::vector<std::size_t> pos(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!runs[i].empty()) {
+            heap.push(MergeEntry{runs[i].front().tick,
+                                 static_cast<std::uint32_t>(i)});
+        }
+    }
+    while (!heap.empty()) {
+        const MergeEntry entry = heap.top();
+        heap.pop();
+        trace.add(runs[entry.leaf][pos[entry.leaf]]);
+        if (++pos[entry.leaf] < runs[entry.leaf].size()) {
+            heap.push(MergeEntry{
+                runs[entry.leaf][pos[entry.leaf]].tick, entry.leaf});
+        }
+    }
     return trace;
 }
 

@@ -44,7 +44,14 @@ class LeafSynthesizer
     std::uint64_t generated() const { return generated_; }
 
   private:
-    mem::Addr wrapAddress(std::int64_t candidate) const;
+    /**
+     * Wrap a candidate start address into [addrLo, addrHi - size] so
+     * the request's whole byte range stays inside the leaf's region.
+     * Degenerate regions (addrLo == addrHi, or smaller than the
+     * request) pin to addrLo.
+     */
+    mem::Addr wrapAddress(std::int64_t candidate,
+                          std::uint32_t size) const;
 
     const LeafModel *leaf_;
     std::unique_ptr<FeatureSampler> delta_;
@@ -108,8 +115,19 @@ class SynthesisEngine : public mem::RequestSource
 
 /**
  * Convenience: synthesise the complete trace for a profile.
+ *
+ * With threads != 1 the leaves are sharded across the thread pool:
+ * each worker generates whole per-leaf request runs (using the same
+ * per-leaf forked RNG streams as SynthesisEngine) and a deterministic
+ * k-way merge with the engine's (tick, leaf) tie-break produces the
+ * total order. The result is bit-identical to the sequential engine
+ * for the same seed at every thread count.
+ *
+ * @param threads Worker cap; 0 = one per hardware thread, 1 = the
+ *                exact sequential engine loop.
  */
-mem::Trace synthesize(const Profile &profile, std::uint64_t seed = 1);
+mem::Trace synthesize(const Profile &profile, std::uint64_t seed = 1,
+                      unsigned threads = 1);
 
 /**
  * Replays a profile repeatedly to drive simulations longer than the

@@ -1,0 +1,218 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mocktails::util
+{
+
+namespace
+{
+
+/** Set while a thread is executing ThreadPool::workerLoop. */
+thread_local bool on_worker_thread = false;
+
+} // namespace
+
+/** One worker's deque: owner pops the front, thieves pop the back. */
+struct ThreadPool::Queue
+{
+    std::mutex mutex;
+    std::deque<Task> tasks;
+};
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = threads == 0 ? defaultThreadCount() : threads;
+    queues_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        queues_.push_back(std::make_unique<Queue>());
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        stop_.store(true);
+    }
+    sleep_cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    assert(task);
+    const unsigned id =
+        next_queue_.fetch_add(1, std::memory_order_relaxed) % size();
+    {
+        std::lock_guard<std::mutex> lock(queues_[id]->mutex);
+        queues_[id]->tasks.push_back(std::move(task));
+    }
+    {
+        // pending_ is only advanced under sleep_mutex_ so a worker
+        // between its empty-queue scan and its wait cannot miss the
+        // wakeup.
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        pending_.fetch_add(1, std::memory_order_relaxed);
+    }
+    sleep_cv_.notify_one();
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return on_worker_thread;
+}
+
+unsigned
+ThreadPool::defaultThreadCount()
+{
+    return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+ThreadPool::workerLoop(unsigned id)
+{
+    on_worker_thread = true;
+    for (;;) {
+        Task task;
+        if (tryPop(id, task)) {
+            pending_.fetch_sub(1, std::memory_order_relaxed);
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        sleep_cv_.wait(lock, [this] {
+            return stop_.load(std::memory_order_relaxed) ||
+                   pending_.load(std::memory_order_relaxed) > 0;
+        });
+        if (stop_.load(std::memory_order_relaxed) &&
+            pending_.load(std::memory_order_relaxed) == 0) {
+            return;
+        }
+    }
+}
+
+bool
+ThreadPool::tryPop(unsigned id, Task &out)
+{
+    {
+        Queue &own = *queues_[id];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            out = std::move(own.tasks.front());
+            own.tasks.pop_front();
+            return true;
+        }
+    }
+    for (unsigned k = 1; k < size(); ++k) {
+        Queue &victim = *queues_[(id + k) % size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            out = std::move(victim.tasks.back());
+            victim.tasks.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace
+{
+
+/**
+ * Shared state of one parallelFor call: a bag of contiguous chunks
+ * drained cooperatively by the caller and by pool workers.
+ */
+struct ForState
+{
+    std::size_t n = 0;
+    std::size_t chunk = 0;
+    std::size_t total_chunks = 0;
+    const std::function<void(std::size_t)> *fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+
+    void
+    drain()
+    {
+        for (;;) {
+            const std::size_t c =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (c >= total_chunks)
+                return;
+            const std::size_t begin = c * chunk;
+            const std::size_t end = std::min(n, begin + chunk);
+            for (std::size_t i = begin; i < end; ++i)
+                (*fn)(i);
+            std::size_t finished;
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                finished = done.fetch_add(1) + 1;
+            }
+            if (finished == total_chunks)
+                cv.notify_all();
+        }
+    }
+};
+
+} // namespace
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn,
+            unsigned threads)
+{
+    if (n == 0)
+        return;
+    const unsigned want =
+        threads == 0 ? ThreadPool::defaultThreadCount() : threads;
+    // threads == 1 is the exact legacy path: no pool, no task objects.
+    // Nested parallel sections also run inline — the outer call
+    // already keeps the workers busy.
+    if (want <= 1 || n == 1 || ThreadPool::onWorkerThread()) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    auto state = std::make_shared<ForState>();
+    state->n = n;
+    // ~4 chunks per worker: coarse enough to amortise the queue
+    // round-trips, fine enough for stealing to balance skewed leaves.
+    state->total_chunks =
+        std::min(n, static_cast<std::size_t>(want) * 4);
+    state->chunk = (n + state->total_chunks - 1) / state->total_chunks;
+    state->total_chunks = (n + state->chunk - 1) / state->chunk;
+    state->fn = &fn;
+
+    // The caller is one participant; helpers become no-ops if the
+    // caller drains every chunk first. Stragglers only hold the
+    // shared state, never &fn, once the chunk bag is empty.
+    ThreadPool &pool = ThreadPool::global();
+    const unsigned helpers = static_cast<unsigned>(std::min<std::size_t>(
+        want - 1, state->total_chunks - 1));
+    for (unsigned i = 0; i < helpers; ++i)
+        pool.submit([state] { state->drain(); });
+
+    state->drain();
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->cv.wait(lock, [&] {
+        return state->done.load() == state->total_chunks;
+    });
+}
+
+} // namespace mocktails::util

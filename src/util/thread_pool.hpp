@@ -1,0 +1,113 @@
+/**
+ * @file
+ * A small work-stealing thread pool and a parallel-for helper.
+ *
+ * Profile construction and synthesis are embarrassingly parallel
+ * across hierarchy leaves (every leaf is modelled and generated
+ * independently — paper Secs. III-B/III-C), so the hot paths fan leaf
+ * work out over a process-wide pool. Each worker owns a deque: it pops
+ * its own tasks from the front and steals from the back of its
+ * siblings' deques when it runs dry, which keeps skewed leaf sizes
+ * balanced without a global queue bottleneck.
+ *
+ * Determinism contract: parallelFor() runs fn(i) exactly once for
+ * every index, callers write results into disjoint per-index slots,
+ * and a thread count of 1 executes the plain sequential loop. All
+ * users of the pool (model fitting, sharded synthesis) are therefore
+ * bit-identical at every thread count.
+ */
+
+#ifndef MOCKTAILS_UTIL_THREAD_POOL_HPP
+#define MOCKTAILS_UTIL_THREAD_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mocktails::util
+{
+
+/**
+ * A fixed-size pool of worker threads with per-worker deques and work
+ * stealing.
+ */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param threads Worker count; 0 = defaultThreadCount(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains all queued tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned
+    size() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Enqueue a task for asynchronous execution. Tasks must not throw.
+     */
+    void submit(Task task);
+
+    /** True when the calling thread is a pool worker. */
+    static bool onWorkerThread();
+
+    /** max(1, std::thread::hardware_concurrency()). */
+    static unsigned defaultThreadCount();
+
+    /**
+     * The shared process-wide pool, sized defaultThreadCount().
+     * Created on first use, joined at process exit.
+     */
+    static ThreadPool &global();
+
+  private:
+    struct Queue;
+
+    void workerLoop(unsigned id);
+    bool tryPop(unsigned id, Task &out);
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::thread> workers_;
+    std::mutex sleep_mutex_;
+    std::condition_variable sleep_cv_;
+    std::atomic<std::size_t> pending_{0};
+    std::atomic<unsigned> next_queue_{0};
+    std::atomic<bool> stop_{false};
+};
+
+/**
+ * Run fn(i) for every i in [0, n), fanned out over the global pool.
+ *
+ * The calling thread participates, so the call also makes progress
+ * when every worker is busy, and returns only once all n indices have
+ * been processed. Indices are handed out in contiguous chunks; fn must
+ * be safe to call concurrently for distinct indices and must not
+ * throw.
+ *
+ * @param threads Parallelism cap; 0 = defaultThreadCount(). A value
+ *                of 1 runs the exact sequential loop on the calling
+ *                thread (the legacy path), as do nested calls from
+ *                inside a pool worker.
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t)> &fn,
+                 unsigned threads = 0);
+
+} // namespace mocktails::util
+
+#endif // MOCKTAILS_UTIL_THREAD_POOL_HPP

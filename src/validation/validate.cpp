@@ -100,7 +100,7 @@ validateProfile(const mem::Trace &trace, const core::Profile &profile,
                 const ValidationOptions &options)
 {
     const mem::Trace synthetic =
-        core::synthesize(profile, options.seed);
+        core::synthesize(profile, options.seed, options.threads);
 
     ValidationReport report;
     if (options.dram)
@@ -116,7 +116,10 @@ validateConfig(const mem::Trace &trace,
                const core::PartitionConfig &config,
                const ValidationOptions &options)
 {
-    return validateProfile(trace, core::buildProfile(trace, config),
+    return validateProfile(trace,
+                           core::buildProfile(trace, config,
+                                              core::LeafModelerHooks{},
+                                              options.threads),
                            options);
 }
 

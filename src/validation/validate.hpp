@@ -71,6 +71,13 @@ struct ValidationOptions
 
     /** Run the cache-hierarchy comparison (paper Sec. V). */
     bool cache = true;
+
+    /**
+     * Worker threads for profile building and synthesis; 0 = one per
+     * hardware thread, 1 = sequential. Results are identical at every
+     * count.
+     */
+    unsigned threads = 0;
 };
 
 /**

@@ -129,6 +129,35 @@ TEST(BuildProfile, EmptyTraceGivesEmptyProfile)
     EXPECT_TRUE(p.leaves.empty());
 }
 
+TEST(BuildProfile, ParallelFittingIsBitIdentical)
+{
+    // Leaves are fitted concurrently but collected in leaf order, so
+    // the encoded profile must match the sequential path byte for
+    // byte at every thread count.
+    mem::Trace trace;
+    util::Rng rng(17);
+    mem::Tick tick = 0;
+    for (int i = 0; i < 4000; ++i) {
+        tick += rng.below(60);
+        trace.add(tick, rng.below(1 << 21) & ~mem::Addr{63},
+                  rng.chance(0.5) ? 64 : 128,
+                  rng.chance(0.3) ? mem::Op::Write : mem::Op::Read);
+    }
+    const auto config = PartitionConfig::twoLevelTs(2000);
+
+    const Profile sequential =
+        buildProfile(trace, config, LeafModelerHooks{}, 1);
+    ASSERT_GT(sequential.leaves.size(), 4u);
+    const auto reference = sequential.encode();
+
+    for (const unsigned threads : {0u, 2u, 8u}) {
+        const Profile parallel =
+            buildProfile(trace, config, LeafModelerHooks{}, threads);
+        EXPECT_EQ(parallel.encode(), reference)
+            << "threads=" << threads;
+    }
+}
+
 TEST(BuildProfile, LeafStartTimesMatchFirstRequests)
 {
     mem::Trace trace;

@@ -102,6 +102,85 @@ TEST(TemporalCycleCount, EmptyWindowsProduceNoPartitions)
     EXPECT_EQ(parts.size(), 2u);
 }
 
+TEST(TemporalCycleCount, AddressOrderedInputIsBinnedByTime)
+{
+    // Regression: the old implementation assumed tick-sorted indices
+    // and cut a new partition at every window change, so the
+    // address-ordered subsets a spatial layer hands down were
+    // mis-binned (one window split into several partitions, windows
+    // anchored at the wrong tick).
+    const auto t = traceOf({
+        {0, 0x0000, 4, mem::Op::Read},   // window 0
+        {250, 0x3000, 4, mem::Op::Read}, // window 2
+        {50, 0x1000, 4, mem::Op::Read},  // window 0
+        {120, 0x2000, 4, mem::Op::Read}, // window 1
+    });
+    // Address order: indices 0, 2, 3, 1 — not tick order.
+    const IndexList by_addr = {0, 2, 3, 1};
+    const auto parts = partitionByCycleCount(t, by_addr, 100);
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], (IndexList{0, 2})); // ticks 0, 50
+    EXPECT_EQ(parts[1], (IndexList{3}));    // tick 120
+    EXPECT_EQ(parts[2], (IndexList{1}));    // tick 250
+}
+
+TEST(TemporalCycleCount, AnchorIsEarliestTickNotFirstArrival)
+{
+    const auto t = traceOf({
+        {500, 0x1000, 4, mem::Op::Read},
+        {10, 0x2000, 4, mem::Op::Read},
+    });
+    // The later request arrives first; windows must still anchor at
+    // tick 10.
+    const IndexList reversed = {0, 1};
+    const auto parts = partitionByCycleCount(t, reversed, 100);
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_EQ(parts[0], (IndexList{1}));
+    EXPECT_EQ(parts[1], (IndexList{0}));
+}
+
+TEST(BuildLeaves, SpatialBeforeTemporalHierarchy)
+{
+    // A spatial->temporal hierarchy: two distant regions, each active
+    // in two separate bursts. Every leaf must be one (region, window)
+    // subset with time-ordered requests spanning < one window.
+    mem::Trace t;
+    for (int burst = 0; burst < 2; ++burst) {
+        const mem::Tick base = static_cast<mem::Tick>(burst) * 10000;
+        for (int i = 0; i < 8; ++i) {
+            t.add(base + static_cast<mem::Tick>(i) * 10,
+                  0x1000 + static_cast<mem::Addr>(i) * 64, 64,
+                  mem::Op::Read);
+            t.add(base + static_cast<mem::Tick>(i) * 10 + 5,
+                  0x800000 + static_cast<mem::Addr>(i) * 64, 64,
+                  mem::Op::Write);
+        }
+    }
+    t.sortByTime();
+
+    const PartitionConfig config{
+        {{PartitionLayer::Kind::SpatialDynamic, 0},
+         {PartitionLayer::Kind::TemporalCycleCount, 1000}}};
+    const auto leaves = buildLeaves(t, config);
+    ASSERT_EQ(leaves.size(), 4u); // 2 regions x 2 bursts
+
+    std::size_t total = 0;
+    for (const auto &leaf : leaves) {
+        ASSERT_FALSE(leaf.requests.empty());
+        total += leaf.requests.size();
+        mem::Tick last = leaf.requests.front().tick;
+        mem::Tick first = last;
+        for (const auto &r : leaf.requests) {
+            EXPECT_GE(r.tick, last); // time order inside the leaf
+            last = r.tick;
+            EXPECT_GE(r.addr, leaf.addrLo);
+            EXPECT_LE(r.end(), leaf.addrHi);
+        }
+        EXPECT_LT(last - first, 1000u); // fits one temporal window
+    }
+    EXPECT_EQ(total, t.size());
+}
+
 TEST(SpatialFixed, GroupsByBlock)
 {
     const auto t = traceOf({

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "core/model_generator.hpp"
+#include "mem/trace_io.hpp"
 #include "util/rng.hpp"
 
 namespace
@@ -97,6 +98,75 @@ TEST(LeafSynthesizer, NegativeStrideWrapsCorrectly)
         EXPECT_GE(r.addr, leaf.addrLo);
         EXPECT_LT(r.addr, leaf.addrHi);
     }
+}
+
+TEST(LeafSynthesizer, SingleAddressLeafPinsToBase)
+{
+    // Regression: addrLo == addrHi used to feed a zero span into the
+    // wrap modulo (UB) as soon as a nonzero stride was sampled.
+    LeafModel leaf;
+    leaf.startTime = 0;
+    leaf.startAddr = 0x4000;
+    leaf.addrLo = 0x4000;
+    leaf.addrHi = 0x4000;
+    leaf.count = 50;
+    leaf.deltaTime = std::make_unique<ConstantModel>(5, 49);
+    leaf.stride = std::make_unique<ConstantModel>(0x40, 49);
+    leaf.op = std::make_unique<ConstantModel>(0, 50);
+    leaf.size = std::make_unique<ConstantModel>(64, 50);
+
+    util::Rng rng(4);
+    LeafSynthesizer synth(leaf, rng);
+    mem::Request r;
+    while (synth.next(r))
+        EXPECT_EQ(r.addr, 0x4000u);
+    EXPECT_EQ(synth.generated(), 50u);
+}
+
+TEST(LeafSynthesizer, ByteRangeNeverSpillsPastRegionEnd)
+{
+    // Regression: the wrap used to be size-unaware, so an address
+    // just below addrHi plus the sampled size spilled past the
+    // region, inflating footprints vs. the paper's Sec. III-C wrap.
+    LeafModel leaf;
+    leaf.startTime = 0;
+    leaf.startAddr = 0x1000;
+    leaf.addrLo = 0x1000;
+    leaf.addrHi = 0x1100;
+    leaf.count = 64;
+    leaf.deltaTime = std::make_unique<ConstantModel>(10, 63);
+    leaf.stride = std::make_unique<ConstantModel>(0x40, 63);
+    leaf.op = std::make_unique<ConstantModel>(0, 64);
+    leaf.size = std::make_unique<ConstantModel>(0x80, 64);
+
+    util::Rng rng(5);
+    LeafSynthesizer synth(leaf, rng);
+    mem::Request r;
+    while (synth.next(r)) {
+        EXPECT_GE(r.addr, leaf.addrLo);
+        EXPECT_LE(r.end(), leaf.addrHi) << "request spills past hi";
+    }
+    EXPECT_EQ(synth.generated(), 64u);
+}
+
+TEST(LeafSynthesizer, RequestLargerThanRegionClampsToBase)
+{
+    LeafModel leaf;
+    leaf.startTime = 0;
+    leaf.startAddr = 0x2000;
+    leaf.addrLo = 0x2000;
+    leaf.addrHi = 0x2020; // 32-byte region, 64-byte requests
+    leaf.count = 10;
+    leaf.deltaTime = std::make_unique<ConstantModel>(1, 9);
+    leaf.stride = std::make_unique<ConstantModel>(8, 9);
+    leaf.op = std::make_unique<ConstantModel>(0, 10);
+    leaf.size = std::make_unique<ConstantModel>(64, 10);
+
+    util::Rng rng(6);
+    LeafSynthesizer synth(leaf, rng);
+    mem::Request r;
+    while (synth.next(r))
+        EXPECT_EQ(r.addr, leaf.addrLo);
 }
 
 TEST(SynthesisEngine, OutputIsTimeOrdered)
@@ -297,6 +367,54 @@ TEST(LoopedSynthesis, ZeroIterations)
     mem::Request r;
     EXPECT_FALSE(source.next(r));
     EXPECT_EQ(source.total(), 0u);
+}
+
+TEST(ShardedSynthesis, BitIdenticalAcrossThreadCounts)
+{
+    // Same seed => byte-identical synthetic trace for 1, 2 and 8
+    // workers: the sharded path forks the same per-leaf RNG streams
+    // and merges with the same (tick, leaf) tie-break.
+    const mem::Trace trace = randomTrace(4000, 30);
+    const Profile p =
+        buildProfile(trace, PartitionConfig::twoLevelTs(2000));
+    ASSERT_GT(p.leaves.size(), 1u);
+
+    const auto reference = mem::encodeTrace(synthesize(p, 21, 1));
+    for (const unsigned threads : {2u, 8u}) {
+        const auto bytes =
+            mem::encodeTrace(synthesize(p, 21, threads));
+        EXPECT_EQ(bytes, reference) << "threads=" << threads;
+    }
+}
+
+TEST(ShardedSynthesis, MatchesSequentialEngineRequestByRequest)
+{
+    const mem::Trace trace = randomTrace(2500, 31);
+    const Profile p =
+        buildProfile(trace, PartitionConfig::twoLevelTs(1500));
+
+    SynthesisEngine engine(p, 9);
+    const mem::Trace sharded = synthesize(p, 9, 4);
+    ASSERT_EQ(sharded.size(), engine.total());
+
+    mem::Request r;
+    std::size_t i = 0;
+    while (engine.next(r)) {
+        ASSERT_LT(i, sharded.size());
+        EXPECT_EQ(sharded[i], r) << "index " << i;
+        ++i;
+    }
+    EXPECT_EQ(i, sharded.size());
+}
+
+TEST(ShardedSynthesis, AutoThreadCountMatchesSequential)
+{
+    const mem::Trace trace = randomTrace(1200, 32);
+    const Profile p =
+        buildProfile(trace, PartitionConfig::twoLevelTs(3000));
+    const auto seq = mem::encodeTrace(synthesize(p, 3, 1));
+    const auto auto_threads = mem::encodeTrace(synthesize(p, 3, 0));
+    EXPECT_EQ(auto_threads, seq);
 }
 
 TEST(SynthesisEngine, ConcurrentLeavesInterleave)

@@ -1,0 +1,120 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace
+{
+
+using namespace mocktails;
+
+TEST(ThreadPool, DefaultThreadCountIsPositive)
+{
+    EXPECT_GE(util::ThreadPool::defaultThreadCount(), 1u);
+}
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    util::ThreadPool pool(2);
+    EXPECT_EQ(pool.size(), 2u);
+
+    std::atomic<int> counter{0};
+    std::atomic<int> done{0};
+    constexpr int kTasks = 64;
+    for (int i = 0; i < kTasks; ++i) {
+        pool.submit([&] {
+            counter.fetch_add(1);
+            done.fetch_add(1);
+        });
+    }
+    // The destructor drains the queue before joining.
+    while (done.load() < kTasks)
+        std::this_thread::yield();
+    EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> counter{0};
+    {
+        util::ThreadPool pool(1);
+        for (int i = 0; i < 100; ++i)
+            pool.submit([&] { counter.fetch_add(1); });
+    }
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, OnWorkerThreadIsVisibleInsideTasks)
+{
+    EXPECT_FALSE(util::ThreadPool::onWorkerThread());
+    util::ThreadPool pool(1);
+    std::atomic<bool> inside{false};
+    std::atomic<bool> done{false};
+    pool.submit([&] {
+        inside.store(util::ThreadPool::onWorkerThread());
+        done.store(true);
+    });
+    while (!done.load())
+        std::this_thread::yield();
+    EXPECT_TRUE(inside.load());
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    for (const unsigned threads : {1u, 2u, 8u}) {
+        constexpr std::size_t kN = 1000;
+        std::vector<std::atomic<int>> hits(kN);
+        util::parallelFor(
+            kN, [&](std::size_t i) { hits[i].fetch_add(1); }, threads);
+        for (std::size_t i = 0; i < kN; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ParallelFor, DisjointSlotWritesAreDeterministic)
+{
+    std::vector<std::uint64_t> seq(517), par(517);
+    util::parallelFor(
+        seq.size(), [&](std::size_t i) { seq[i] = i * i + 7; }, 1);
+    util::parallelFor(
+        par.size(), [&](std::size_t i) { par[i] = i * i + 7; }, 8);
+    EXPECT_EQ(seq, par);
+}
+
+TEST(ParallelFor, ZeroAndOneElement)
+{
+    int calls = 0;
+    util::parallelFor(0, [&](std::size_t) { ++calls; }, 4);
+    EXPECT_EQ(calls, 0);
+    util::parallelFor(1, [&](std::size_t) { ++calls; }, 4);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, NestedCallsRunInline)
+{
+    std::atomic<int> calls{0};
+    util::parallelFor(
+        8,
+        [&](std::size_t) {
+            util::parallelFor(
+                4, [&](std::size_t) { calls.fetch_add(1); }, 4);
+        },
+        4);
+    EXPECT_EQ(calls.load(), 32);
+}
+
+TEST(ParallelFor, ManyMoreChunksThanWorkers)
+{
+    // n far above the chunk budget exercises the chunk-bag refill
+    // path and the caller's participation.
+    std::vector<int> out(10000, 0);
+    util::parallelFor(
+        out.size(), [&](std::size_t i) { out[i] = 1; }, 2);
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 10000);
+}
+
+} // namespace
