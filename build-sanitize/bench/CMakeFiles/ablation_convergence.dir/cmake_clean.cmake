@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_convergence.dir/ablation_convergence.cpp.o"
+  "CMakeFiles/ablation_convergence.dir/ablation_convergence.cpp.o.d"
+  "ablation_convergence"
+  "ablation_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hierarchy.dir/ablation_hierarchy.cpp.o"
+  "CMakeFiles/ablation_hierarchy.dir/ablation_hierarchy.cpp.o.d"
+  "ablation_hierarchy"
+  "ablation_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

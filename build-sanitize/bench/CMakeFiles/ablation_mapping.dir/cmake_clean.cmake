@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mapping.dir/ablation_mapping.cpp.o"
+  "CMakeFiles/ablation_mapping.dir/ablation_mapping.cpp.o.d"
+  "ablation_mapping"
+  "ablation_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_order.dir/ablation_order.cpp.o"
+  "CMakeFiles/ablation_order.dir/ablation_order.cpp.o.d"
+  "ablation_order"
+  "ablation_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

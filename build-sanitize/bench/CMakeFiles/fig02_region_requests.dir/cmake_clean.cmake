@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_region_requests.dir/fig02_region_requests.cpp.o"
+  "CMakeFiles/fig02_region_requests.dir/fig02_region_requests.cpp.o.d"
+  "fig02_region_requests"
+  "fig02_region_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_region_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

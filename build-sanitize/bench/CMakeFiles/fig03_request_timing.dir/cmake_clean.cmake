@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_request_timing.dir/fig03_request_timing.cpp.o"
+  "CMakeFiles/fig03_request_timing.dir/fig03_request_timing.cpp.o.d"
+  "fig03_request_timing"
+  "fig03_request_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_request_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

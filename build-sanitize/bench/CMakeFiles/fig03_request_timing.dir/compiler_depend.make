@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_request_timing.
+# This may be replaced when dependencies are built.

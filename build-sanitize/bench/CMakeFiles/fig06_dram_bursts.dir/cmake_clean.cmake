@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_dram_bursts.dir/fig06_dram_bursts.cpp.o"
+  "CMakeFiles/fig06_dram_bursts.dir/fig06_dram_bursts.cpp.o.d"
+  "fig06_dram_bursts"
+  "fig06_dram_bursts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_dram_bursts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_dram_bursts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_queue_length.dir/fig07_queue_length.cpp.o"
+  "CMakeFiles/fig07_queue_length.dir/fig07_queue_length.cpp.o.d"
+  "fig07_queue_length"
+  "fig07_queue_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_queue_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

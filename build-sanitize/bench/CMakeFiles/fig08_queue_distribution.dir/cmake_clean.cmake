@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_queue_distribution.dir/fig08_queue_distribution.cpp.o"
+  "CMakeFiles/fig08_queue_distribution.dir/fig08_queue_distribution.cpp.o.d"
+  "fig08_queue_distribution"
+  "fig08_queue_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_queue_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_queue_distribution.
+# This may be replaced when dependencies are built.

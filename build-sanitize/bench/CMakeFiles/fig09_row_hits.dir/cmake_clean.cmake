@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_row_hits.dir/fig09_row_hits.cpp.o"
+  "CMakeFiles/fig09_row_hits.dir/fig09_row_hits.cpp.o.d"
+  "fig09_row_hits"
+  "fig09_row_hits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_row_hits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

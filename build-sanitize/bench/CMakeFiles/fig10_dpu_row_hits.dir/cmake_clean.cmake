@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dpu_row_hits.dir/fig10_dpu_row_hits.cpp.o"
+  "CMakeFiles/fig10_dpu_row_hits.dir/fig10_dpu_row_hits.cpp.o.d"
+  "fig10_dpu_row_hits"
+  "fig10_dpu_row_hits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dpu_row_hits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10_dpu_row_hits.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_reads_per_turnaround.dir/fig11_reads_per_turnaround.cpp.o"
+  "CMakeFiles/fig11_reads_per_turnaround.dir/fig11_reads_per_turnaround.cpp.o.d"
+  "fig11_reads_per_turnaround"
+  "fig11_reads_per_turnaround.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_reads_per_turnaround.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

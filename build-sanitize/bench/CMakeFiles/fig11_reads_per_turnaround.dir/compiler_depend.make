@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_reads_per_turnaround.
+# This may be replaced when dependencies are built.

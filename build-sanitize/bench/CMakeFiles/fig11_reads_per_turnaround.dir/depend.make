@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_reads_per_turnaround.
+# This may be replaced when dependencies are built.

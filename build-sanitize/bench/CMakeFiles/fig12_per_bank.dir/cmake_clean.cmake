@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_per_bank.dir/fig12_per_bank.cpp.o"
+  "CMakeFiles/fig12_per_bank.dir/fig12_per_bank.cpp.o.d"
+  "fig12_per_bank"
+  "fig12_per_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_per_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

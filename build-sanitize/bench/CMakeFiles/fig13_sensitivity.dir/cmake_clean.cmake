@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_sensitivity.dir/fig13_sensitivity.cpp.o"
+  "CMakeFiles/fig13_sensitivity.dir/fig13_sensitivity.cpp.o.d"
+  "fig13_sensitivity"
+  "fig13_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cache_miss_rates.dir/fig14_cache_miss_rates.cpp.o"
+  "CMakeFiles/fig14_cache_miss_rates.dir/fig14_cache_miss_rates.cpp.o.d"
+  "fig14_cache_miss_rates"
+  "fig14_cache_miss_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cache_miss_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

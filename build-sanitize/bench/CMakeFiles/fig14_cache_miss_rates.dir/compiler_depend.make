@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_cache_miss_rates.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_associativity.dir/fig15_associativity.cpp.o"
+  "CMakeFiles/fig15_associativity.dir/fig15_associativity.cpp.o.d"
+  "fig15_associativity"
+  "fig15_associativity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_associativity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_associativity.
+# This may be replaced when dependencies are built.

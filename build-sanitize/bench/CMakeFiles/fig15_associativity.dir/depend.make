@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_associativity.
+# This may be replaced when dependencies are built.

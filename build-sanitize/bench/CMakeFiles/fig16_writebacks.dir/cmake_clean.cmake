@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_writebacks.dir/fig16_writebacks.cpp.o"
+  "CMakeFiles/fig16_writebacks.dir/fig16_writebacks.cpp.o.d"
+  "fig16_writebacks"
+  "fig16_writebacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_writebacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_metadata.dir/fig17_metadata.cpp.o"
+  "CMakeFiles/fig17_metadata.dir/fig17_metadata.cpp.o.d"
+  "fig17_metadata"
+  "fig17_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

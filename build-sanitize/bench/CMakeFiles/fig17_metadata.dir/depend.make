@@ -1,0 +1,2 @@
+# Empty dependencies file for fig17_metadata.
+# This may be replaced when dependencies are built.

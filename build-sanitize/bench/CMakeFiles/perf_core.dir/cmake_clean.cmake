@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_core.dir/perf_core.cpp.o"
+  "CMakeFiles/perf_core.dir/perf_core.cpp.o.d"
+  "perf_core"
+  "perf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

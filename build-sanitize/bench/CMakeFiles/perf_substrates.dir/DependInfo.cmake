@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/perf_substrates.cpp" "bench/CMakeFiles/perf_substrates.dir/perf_substrates.cpp.o" "gcc" "bench/CMakeFiles/perf_substrates.dir/perf_substrates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/baselines/CMakeFiles/mocktails_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/validation/CMakeFiles/mocktails_validation.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/dram/CMakeFiles/mocktails_dram.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/interconnect/CMakeFiles/mocktails_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/sim/CMakeFiles/mocktails_sim.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/cache/CMakeFiles/mocktails_cache.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/core/CMakeFiles/mocktails_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/workloads/CMakeFiles/mocktails_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/mem/CMakeFiles/mocktails_mem.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/util/CMakeFiles/mocktails_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

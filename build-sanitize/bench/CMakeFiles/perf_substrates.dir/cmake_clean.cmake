@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_substrates.dir/perf_substrates.cpp.o"
+  "CMakeFiles/perf_substrates.dir/perf_substrates.cpp.o.d"
+  "perf_substrates"
+  "perf_substrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_substrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_partition_f.dir/table1_partition_f.cpp.o"
+  "CMakeFiles/table1_partition_f.dir/table1_partition_f.cpp.o.d"
+  "table1_partition_f"
+  "table1_partition_f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_partition_f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_traces.dir/table2_traces.cpp.o"
+  "CMakeFiles/table2_traces.dir/table2_traces.cpp.o.d"
+  "table2_traces"
+  "table2_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

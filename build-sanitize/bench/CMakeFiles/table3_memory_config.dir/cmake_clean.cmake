@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_memory_config.dir/table3_memory_config.cpp.o"
+  "CMakeFiles/table3_memory_config.dir/table3_memory_config.cpp.o.d"
+  "table3_memory_config"
+  "table3_memory_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_memory_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

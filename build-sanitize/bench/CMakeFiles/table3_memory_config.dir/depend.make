@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_memory_config.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_study.dir/cache_study.cpp.o"
+  "CMakeFiles/cache_study.dir/cache_study.cpp.o.d"
+  "cache_study"
+  "cache_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip_feedback.dir/ip_feedback.cpp.o"
+  "CMakeFiles/ip_feedback.dir/ip_feedback.cpp.o.d"
+  "ip_feedback"
+  "ip_feedback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip_feedback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

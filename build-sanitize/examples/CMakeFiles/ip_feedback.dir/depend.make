@@ -1,0 +1,2 @@
+# Empty dependencies file for ip_feedback.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_ip_soc.dir/multi_ip_soc.cpp.o"
+  "CMakeFiles/multi_ip_soc.dir/multi_ip_soc.cpp.o.d"
+  "multi_ip_soc"
+  "multi_ip_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_ip_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

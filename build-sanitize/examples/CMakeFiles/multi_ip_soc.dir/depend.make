@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_ip_soc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_tool.dir/profile_tool.cpp.o"
+  "CMakeFiles/profile_tool.dir/profile_tool.cpp.o.d"
+  "profile_tool"
+  "profile_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soc_memory_study.dir/soc_memory_study.cpp.o"
+  "CMakeFiles/soc_memory_study.dir/soc_memory_study.cpp.o.d"
+  "soc_memory_study"
+  "soc_memory_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soc_memory_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for soc_memory_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-sanitize/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-sanitize/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  WORKING_DIRECTORY "/root/repo/build-sanitize/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cache_study "/root/repo/build-sanitize/examples/cache_study")
+set_tests_properties(example_cache_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_soc_memory_study "/root/repo/build-sanitize/examples/soc_memory_study")
+set_tests_properties(example_soc_memory_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multi_ip_soc "/root/repo/build-sanitize/examples/multi_ip_soc")
+set_tests_properties(example_multi_ip_soc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ip_feedback "/root/repo/build-sanitize/examples/ip_feedback")
+set_tests_properties(example_ip_feedback PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_profile_tool_usage "/root/repo/build-sanitize/examples/profile_tool")
+set_tests_properties(example_profile_tool_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-sanitize/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("mem")
+subdirs("sim")
+subdirs("interconnect")
+subdirs("dram")
+subdirs("cache")
+subdirs("core")
+subdirs("baselines")
+subdirs("validation")
+subdirs("workloads")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/hrd.cpp" "src/baselines/CMakeFiles/mocktails_baselines.dir/hrd.cpp.o" "gcc" "src/baselines/CMakeFiles/mocktails_baselines.dir/hrd.cpp.o.d"
+  "/root/repo/src/baselines/reuse.cpp" "src/baselines/CMakeFiles/mocktails_baselines.dir/reuse.cpp.o" "gcc" "src/baselines/CMakeFiles/mocktails_baselines.dir/reuse.cpp.o.d"
+  "/root/repo/src/baselines/stm.cpp" "src/baselines/CMakeFiles/mocktails_baselines.dir/stm.cpp.o" "gcc" "src/baselines/CMakeFiles/mocktails_baselines.dir/stm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/core/CMakeFiles/mocktails_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/mem/CMakeFiles/mocktails_mem.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/util/CMakeFiles/mocktails_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocktails_baselines.dir/hrd.cpp.o"
+  "CMakeFiles/mocktails_baselines.dir/hrd.cpp.o.d"
+  "CMakeFiles/mocktails_baselines.dir/reuse.cpp.o"
+  "CMakeFiles/mocktails_baselines.dir/reuse.cpp.o.d"
+  "CMakeFiles/mocktails_baselines.dir/stm.cpp.o"
+  "CMakeFiles/mocktails_baselines.dir/stm.cpp.o.d"
+  "libmocktails_baselines.a"
+  "libmocktails_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocktails_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

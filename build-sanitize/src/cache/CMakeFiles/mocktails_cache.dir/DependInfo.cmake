@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cpp" "src/cache/CMakeFiles/mocktails_cache.dir/cache.cpp.o" "gcc" "src/cache/CMakeFiles/mocktails_cache.dir/cache.cpp.o.d"
+  "/root/repo/src/cache/hierarchy.cpp" "src/cache/CMakeFiles/mocktails_cache.dir/hierarchy.cpp.o" "gcc" "src/cache/CMakeFiles/mocktails_cache.dir/hierarchy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/mem/CMakeFiles/mocktails_mem.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/util/CMakeFiles/mocktails_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocktails_cache.dir/cache.cpp.o"
+  "CMakeFiles/mocktails_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/mocktails_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/mocktails_cache.dir/hierarchy.cpp.o.d"
+  "libmocktails_cache.a"
+  "libmocktails_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocktails_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

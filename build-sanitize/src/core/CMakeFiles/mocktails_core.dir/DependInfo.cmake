@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/mocktails_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/mocktails_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/history_markov.cpp" "src/core/CMakeFiles/mocktails_core.dir/history_markov.cpp.o" "gcc" "src/core/CMakeFiles/mocktails_core.dir/history_markov.cpp.o.d"
+  "/root/repo/src/core/markov.cpp" "src/core/CMakeFiles/mocktails_core.dir/markov.cpp.o" "gcc" "src/core/CMakeFiles/mocktails_core.dir/markov.cpp.o.d"
+  "/root/repo/src/core/mcc.cpp" "src/core/CMakeFiles/mocktails_core.dir/mcc.cpp.o" "gcc" "src/core/CMakeFiles/mocktails_core.dir/mcc.cpp.o.d"
+  "/root/repo/src/core/model_generator.cpp" "src/core/CMakeFiles/mocktails_core.dir/model_generator.cpp.o" "gcc" "src/core/CMakeFiles/mocktails_core.dir/model_generator.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/mocktails_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/mocktails_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/mocktails_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/mocktails_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/summary.cpp" "src/core/CMakeFiles/mocktails_core.dir/summary.cpp.o" "gcc" "src/core/CMakeFiles/mocktails_core.dir/summary.cpp.o.d"
+  "/root/repo/src/core/synthesis.cpp" "src/core/CMakeFiles/mocktails_core.dir/synthesis.cpp.o" "gcc" "src/core/CMakeFiles/mocktails_core.dir/synthesis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/mem/CMakeFiles/mocktails_mem.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/util/CMakeFiles/mocktails_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocktails_core.dir/features.cpp.o"
+  "CMakeFiles/mocktails_core.dir/features.cpp.o.d"
+  "CMakeFiles/mocktails_core.dir/history_markov.cpp.o"
+  "CMakeFiles/mocktails_core.dir/history_markov.cpp.o.d"
+  "CMakeFiles/mocktails_core.dir/markov.cpp.o"
+  "CMakeFiles/mocktails_core.dir/markov.cpp.o.d"
+  "CMakeFiles/mocktails_core.dir/mcc.cpp.o"
+  "CMakeFiles/mocktails_core.dir/mcc.cpp.o.d"
+  "CMakeFiles/mocktails_core.dir/model_generator.cpp.o"
+  "CMakeFiles/mocktails_core.dir/model_generator.cpp.o.d"
+  "CMakeFiles/mocktails_core.dir/partition.cpp.o"
+  "CMakeFiles/mocktails_core.dir/partition.cpp.o.d"
+  "CMakeFiles/mocktails_core.dir/profile.cpp.o"
+  "CMakeFiles/mocktails_core.dir/profile.cpp.o.d"
+  "CMakeFiles/mocktails_core.dir/summary.cpp.o"
+  "CMakeFiles/mocktails_core.dir/summary.cpp.o.d"
+  "CMakeFiles/mocktails_core.dir/synthesis.cpp.o"
+  "CMakeFiles/mocktails_core.dir/synthesis.cpp.o.d"
+  "libmocktails_core.a"
+  "libmocktails_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocktails_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

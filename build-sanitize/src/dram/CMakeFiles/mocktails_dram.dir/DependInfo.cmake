@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address_map.cpp" "src/dram/CMakeFiles/mocktails_dram.dir/address_map.cpp.o" "gcc" "src/dram/CMakeFiles/mocktails_dram.dir/address_map.cpp.o.d"
+  "/root/repo/src/dram/channel.cpp" "src/dram/CMakeFiles/mocktails_dram.dir/channel.cpp.o" "gcc" "src/dram/CMakeFiles/mocktails_dram.dir/channel.cpp.o.d"
+  "/root/repo/src/dram/memory_system.cpp" "src/dram/CMakeFiles/mocktails_dram.dir/memory_system.cpp.o" "gcc" "src/dram/CMakeFiles/mocktails_dram.dir/memory_system.cpp.o.d"
+  "/root/repo/src/dram/simulate.cpp" "src/dram/CMakeFiles/mocktails_dram.dir/simulate.cpp.o" "gcc" "src/dram/CMakeFiles/mocktails_dram.dir/simulate.cpp.o.d"
+  "/root/repo/src/dram/soc.cpp" "src/dram/CMakeFiles/mocktails_dram.dir/soc.cpp.o" "gcc" "src/dram/CMakeFiles/mocktails_dram.dir/soc.cpp.o.d"
+  "/root/repo/src/dram/stats_dump.cpp" "src/dram/CMakeFiles/mocktails_dram.dir/stats_dump.cpp.o" "gcc" "src/dram/CMakeFiles/mocktails_dram.dir/stats_dump.cpp.o.d"
+  "/root/repo/src/dram/trace_player.cpp" "src/dram/CMakeFiles/mocktails_dram.dir/trace_player.cpp.o" "gcc" "src/dram/CMakeFiles/mocktails_dram.dir/trace_player.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/mem/CMakeFiles/mocktails_mem.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/sim/CMakeFiles/mocktails_sim.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/util/CMakeFiles/mocktails_util.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/interconnect/CMakeFiles/mocktails_interconnect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocktails_dram.dir/address_map.cpp.o"
+  "CMakeFiles/mocktails_dram.dir/address_map.cpp.o.d"
+  "CMakeFiles/mocktails_dram.dir/channel.cpp.o"
+  "CMakeFiles/mocktails_dram.dir/channel.cpp.o.d"
+  "CMakeFiles/mocktails_dram.dir/memory_system.cpp.o"
+  "CMakeFiles/mocktails_dram.dir/memory_system.cpp.o.d"
+  "CMakeFiles/mocktails_dram.dir/simulate.cpp.o"
+  "CMakeFiles/mocktails_dram.dir/simulate.cpp.o.d"
+  "CMakeFiles/mocktails_dram.dir/soc.cpp.o"
+  "CMakeFiles/mocktails_dram.dir/soc.cpp.o.d"
+  "CMakeFiles/mocktails_dram.dir/stats_dump.cpp.o"
+  "CMakeFiles/mocktails_dram.dir/stats_dump.cpp.o.d"
+  "CMakeFiles/mocktails_dram.dir/trace_player.cpp.o"
+  "CMakeFiles/mocktails_dram.dir/trace_player.cpp.o.d"
+  "libmocktails_dram.a"
+  "libmocktails_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocktails_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

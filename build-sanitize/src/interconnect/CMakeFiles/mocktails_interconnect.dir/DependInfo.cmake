@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interconnect/arbiter.cpp" "src/interconnect/CMakeFiles/mocktails_interconnect.dir/arbiter.cpp.o" "gcc" "src/interconnect/CMakeFiles/mocktails_interconnect.dir/arbiter.cpp.o.d"
+  "/root/repo/src/interconnect/crossbar.cpp" "src/interconnect/CMakeFiles/mocktails_interconnect.dir/crossbar.cpp.o" "gcc" "src/interconnect/CMakeFiles/mocktails_interconnect.dir/crossbar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/mem/CMakeFiles/mocktails_mem.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/sim/CMakeFiles/mocktails_sim.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/util/CMakeFiles/mocktails_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

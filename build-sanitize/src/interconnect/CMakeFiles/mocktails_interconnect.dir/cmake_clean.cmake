@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocktails_interconnect.dir/arbiter.cpp.o"
+  "CMakeFiles/mocktails_interconnect.dir/arbiter.cpp.o.d"
+  "CMakeFiles/mocktails_interconnect.dir/crossbar.cpp.o"
+  "CMakeFiles/mocktails_interconnect.dir/crossbar.cpp.o.d"
+  "libmocktails_interconnect.a"
+  "libmocktails_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocktails_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

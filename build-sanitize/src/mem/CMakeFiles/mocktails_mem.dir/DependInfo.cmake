@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/burstiness.cpp" "src/mem/CMakeFiles/mocktails_mem.dir/burstiness.cpp.o" "gcc" "src/mem/CMakeFiles/mocktails_mem.dir/burstiness.cpp.o.d"
+  "/root/repo/src/mem/interop.cpp" "src/mem/CMakeFiles/mocktails_mem.dir/interop.cpp.o" "gcc" "src/mem/CMakeFiles/mocktails_mem.dir/interop.cpp.o.d"
+  "/root/repo/src/mem/trace.cpp" "src/mem/CMakeFiles/mocktails_mem.dir/trace.cpp.o" "gcc" "src/mem/CMakeFiles/mocktails_mem.dir/trace.cpp.o.d"
+  "/root/repo/src/mem/trace_io.cpp" "src/mem/CMakeFiles/mocktails_mem.dir/trace_io.cpp.o" "gcc" "src/mem/CMakeFiles/mocktails_mem.dir/trace_io.cpp.o.d"
+  "/root/repo/src/mem/trace_ops.cpp" "src/mem/CMakeFiles/mocktails_mem.dir/trace_ops.cpp.o" "gcc" "src/mem/CMakeFiles/mocktails_mem.dir/trace_ops.cpp.o.d"
+  "/root/repo/src/mem/trace_stats.cpp" "src/mem/CMakeFiles/mocktails_mem.dir/trace_stats.cpp.o" "gcc" "src/mem/CMakeFiles/mocktails_mem.dir/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/util/CMakeFiles/mocktails_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

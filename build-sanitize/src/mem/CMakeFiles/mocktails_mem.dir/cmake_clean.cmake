@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocktails_mem.dir/burstiness.cpp.o"
+  "CMakeFiles/mocktails_mem.dir/burstiness.cpp.o.d"
+  "CMakeFiles/mocktails_mem.dir/interop.cpp.o"
+  "CMakeFiles/mocktails_mem.dir/interop.cpp.o.d"
+  "CMakeFiles/mocktails_mem.dir/trace.cpp.o"
+  "CMakeFiles/mocktails_mem.dir/trace.cpp.o.d"
+  "CMakeFiles/mocktails_mem.dir/trace_io.cpp.o"
+  "CMakeFiles/mocktails_mem.dir/trace_io.cpp.o.d"
+  "CMakeFiles/mocktails_mem.dir/trace_ops.cpp.o"
+  "CMakeFiles/mocktails_mem.dir/trace_ops.cpp.o.d"
+  "CMakeFiles/mocktails_mem.dir/trace_stats.cpp.o"
+  "CMakeFiles/mocktails_mem.dir/trace_stats.cpp.o.d"
+  "libmocktails_mem.a"
+  "libmocktails_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocktails_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mocktails_mem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocktails_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/mocktails_sim.dir/event_queue.cpp.o.d"
+  "libmocktails_sim.a"
+  "libmocktails_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocktails_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/codec.cpp" "src/util/CMakeFiles/mocktails_util.dir/codec.cpp.o" "gcc" "src/util/CMakeFiles/mocktails_util.dir/codec.cpp.o.d"
+  "/root/repo/src/util/compress.cpp" "src/util/CMakeFiles/mocktails_util.dir/compress.cpp.o" "gcc" "src/util/CMakeFiles/mocktails_util.dir/compress.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/util/CMakeFiles/mocktails_util.dir/histogram.cpp.o" "gcc" "src/util/CMakeFiles/mocktails_util.dir/histogram.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/mocktails_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/mocktails_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/mocktails_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/mocktails_util.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

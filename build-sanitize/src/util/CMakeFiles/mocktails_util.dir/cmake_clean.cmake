@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocktails_util.dir/codec.cpp.o"
+  "CMakeFiles/mocktails_util.dir/codec.cpp.o.d"
+  "CMakeFiles/mocktails_util.dir/compress.cpp.o"
+  "CMakeFiles/mocktails_util.dir/compress.cpp.o.d"
+  "CMakeFiles/mocktails_util.dir/histogram.cpp.o"
+  "CMakeFiles/mocktails_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/mocktails_util.dir/stats.cpp.o"
+  "CMakeFiles/mocktails_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mocktails_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mocktails_util.dir/thread_pool.cpp.o.d"
+  "libmocktails_util.a"
+  "libmocktails_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocktails_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocktails_validation.dir/validate.cpp.o"
+  "CMakeFiles/mocktails_validation.dir/validate.cpp.o.d"
+  "libmocktails_validation.a"
+  "libmocktails_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocktails_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

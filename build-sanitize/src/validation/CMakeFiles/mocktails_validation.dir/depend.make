@@ -1,0 +1,2 @@
+# Empty dependencies file for mocktails_validation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/builder.cpp" "src/workloads/CMakeFiles/mocktails_workloads.dir/builder.cpp.o" "gcc" "src/workloads/CMakeFiles/mocktails_workloads.dir/builder.cpp.o.d"
+  "/root/repo/src/workloads/cpu.cpp" "src/workloads/CMakeFiles/mocktails_workloads.dir/cpu.cpp.o" "gcc" "src/workloads/CMakeFiles/mocktails_workloads.dir/cpu.cpp.o.d"
+  "/root/repo/src/workloads/dpu.cpp" "src/workloads/CMakeFiles/mocktails_workloads.dir/dpu.cpp.o" "gcc" "src/workloads/CMakeFiles/mocktails_workloads.dir/dpu.cpp.o.d"
+  "/root/repo/src/workloads/gpu.cpp" "src/workloads/CMakeFiles/mocktails_workloads.dir/gpu.cpp.o" "gcc" "src/workloads/CMakeFiles/mocktails_workloads.dir/gpu.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/mocktails_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/mocktails_workloads.dir/registry.cpp.o.d"
+  "/root/repo/src/workloads/spec.cpp" "src/workloads/CMakeFiles/mocktails_workloads.dir/spec.cpp.o" "gcc" "src/workloads/CMakeFiles/mocktails_workloads.dir/spec.cpp.o.d"
+  "/root/repo/src/workloads/vpu.cpp" "src/workloads/CMakeFiles/mocktails_workloads.dir/vpu.cpp.o" "gcc" "src/workloads/CMakeFiles/mocktails_workloads.dir/vpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/mem/CMakeFiles/mocktails_mem.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/util/CMakeFiles/mocktails_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

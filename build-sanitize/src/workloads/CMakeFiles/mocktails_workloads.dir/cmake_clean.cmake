@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocktails_workloads.dir/builder.cpp.o"
+  "CMakeFiles/mocktails_workloads.dir/builder.cpp.o.d"
+  "CMakeFiles/mocktails_workloads.dir/cpu.cpp.o"
+  "CMakeFiles/mocktails_workloads.dir/cpu.cpp.o.d"
+  "CMakeFiles/mocktails_workloads.dir/dpu.cpp.o"
+  "CMakeFiles/mocktails_workloads.dir/dpu.cpp.o.d"
+  "CMakeFiles/mocktails_workloads.dir/gpu.cpp.o"
+  "CMakeFiles/mocktails_workloads.dir/gpu.cpp.o.d"
+  "CMakeFiles/mocktails_workloads.dir/registry.cpp.o"
+  "CMakeFiles/mocktails_workloads.dir/registry.cpp.o.d"
+  "CMakeFiles/mocktails_workloads.dir/spec.cpp.o"
+  "CMakeFiles/mocktails_workloads.dir/spec.cpp.o.d"
+  "CMakeFiles/mocktails_workloads.dir/vpu.cpp.o"
+  "CMakeFiles/mocktails_workloads.dir/vpu.cpp.o.d"
+  "libmocktails_workloads.a"
+  "libmocktails_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocktails_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

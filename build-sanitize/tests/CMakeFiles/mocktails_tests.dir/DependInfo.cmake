@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/test_hrd.cpp" "tests/CMakeFiles/mocktails_tests.dir/baselines/test_hrd.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/baselines/test_hrd.cpp.o.d"
+  "/root/repo/tests/baselines/test_reuse.cpp" "tests/CMakeFiles/mocktails_tests.dir/baselines/test_reuse.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/baselines/test_reuse.cpp.o.d"
+  "/root/repo/tests/baselines/test_stm.cpp" "tests/CMakeFiles/mocktails_tests.dir/baselines/test_stm.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/baselines/test_stm.cpp.o.d"
+  "/root/repo/tests/cache/test_cache.cpp" "tests/CMakeFiles/mocktails_tests.dir/cache/test_cache.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/cache/test_cache.cpp.o.d"
+  "/root/repo/tests/cache/test_hierarchy.cpp" "tests/CMakeFiles/mocktails_tests.dir/cache/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/cache/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/core/test_features.cpp" "tests/CMakeFiles/mocktails_tests.dir/core/test_features.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/core/test_features.cpp.o.d"
+  "/root/repo/tests/core/test_history_markov.cpp" "tests/CMakeFiles/mocktails_tests.dir/core/test_history_markov.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/core/test_history_markov.cpp.o.d"
+  "/root/repo/tests/core/test_markov.cpp" "tests/CMakeFiles/mocktails_tests.dir/core/test_markov.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/core/test_markov.cpp.o.d"
+  "/root/repo/tests/core/test_mcc.cpp" "tests/CMakeFiles/mocktails_tests.dir/core/test_mcc.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/core/test_mcc.cpp.o.d"
+  "/root/repo/tests/core/test_model_generator.cpp" "tests/CMakeFiles/mocktails_tests.dir/core/test_model_generator.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/core/test_model_generator.cpp.o.d"
+  "/root/repo/tests/core/test_partition.cpp" "tests/CMakeFiles/mocktails_tests.dir/core/test_partition.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/core/test_partition.cpp.o.d"
+  "/root/repo/tests/core/test_profile.cpp" "tests/CMakeFiles/mocktails_tests.dir/core/test_profile.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/core/test_profile.cpp.o.d"
+  "/root/repo/tests/core/test_summary.cpp" "tests/CMakeFiles/mocktails_tests.dir/core/test_summary.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/core/test_summary.cpp.o.d"
+  "/root/repo/tests/core/test_synthesis.cpp" "tests/CMakeFiles/mocktails_tests.dir/core/test_synthesis.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/core/test_synthesis.cpp.o.d"
+  "/root/repo/tests/dram/test_address_map.cpp" "tests/CMakeFiles/mocktails_tests.dir/dram/test_address_map.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/dram/test_address_map.cpp.o.d"
+  "/root/repo/tests/dram/test_channel.cpp" "tests/CMakeFiles/mocktails_tests.dir/dram/test_channel.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/dram/test_channel.cpp.o.d"
+  "/root/repo/tests/dram/test_config_sweep.cpp" "tests/CMakeFiles/mocktails_tests.dir/dram/test_config_sweep.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/dram/test_config_sweep.cpp.o.d"
+  "/root/repo/tests/dram/test_memory_system.cpp" "tests/CMakeFiles/mocktails_tests.dir/dram/test_memory_system.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/dram/test_memory_system.cpp.o.d"
+  "/root/repo/tests/dram/test_simulate.cpp" "tests/CMakeFiles/mocktails_tests.dir/dram/test_simulate.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/dram/test_simulate.cpp.o.d"
+  "/root/repo/tests/dram/test_soc.cpp" "tests/CMakeFiles/mocktails_tests.dir/dram/test_soc.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/dram/test_soc.cpp.o.d"
+  "/root/repo/tests/dram/test_stats_dump.cpp" "tests/CMakeFiles/mocktails_tests.dir/dram/test_stats_dump.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/dram/test_stats_dump.cpp.o.d"
+  "/root/repo/tests/dram/test_trace_player.cpp" "tests/CMakeFiles/mocktails_tests.dir/dram/test_trace_player.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/dram/test_trace_player.cpp.o.d"
+  "/root/repo/tests/integration/test_decode_robustness.cpp" "tests/CMakeFiles/mocktails_tests.dir/integration/test_decode_robustness.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/integration/test_decode_robustness.cpp.o.d"
+  "/root/repo/tests/integration/test_end_to_end.cpp" "tests/CMakeFiles/mocktails_tests.dir/integration/test_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/integration/test_end_to_end.cpp.o.d"
+  "/root/repo/tests/integration/test_properties.cpp" "tests/CMakeFiles/mocktails_tests.dir/integration/test_properties.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/integration/test_properties.cpp.o.d"
+  "/root/repo/tests/interconnect/test_arbiter.cpp" "tests/CMakeFiles/mocktails_tests.dir/interconnect/test_arbiter.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/interconnect/test_arbiter.cpp.o.d"
+  "/root/repo/tests/interconnect/test_crossbar.cpp" "tests/CMakeFiles/mocktails_tests.dir/interconnect/test_crossbar.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/interconnect/test_crossbar.cpp.o.d"
+  "/root/repo/tests/mem/test_burstiness.cpp" "tests/CMakeFiles/mocktails_tests.dir/mem/test_burstiness.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/mem/test_burstiness.cpp.o.d"
+  "/root/repo/tests/mem/test_interop.cpp" "tests/CMakeFiles/mocktails_tests.dir/mem/test_interop.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/mem/test_interop.cpp.o.d"
+  "/root/repo/tests/mem/test_trace.cpp" "tests/CMakeFiles/mocktails_tests.dir/mem/test_trace.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/mem/test_trace.cpp.o.d"
+  "/root/repo/tests/mem/test_trace_io.cpp" "tests/CMakeFiles/mocktails_tests.dir/mem/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/mem/test_trace_io.cpp.o.d"
+  "/root/repo/tests/mem/test_trace_ops.cpp" "tests/CMakeFiles/mocktails_tests.dir/mem/test_trace_ops.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/mem/test_trace_ops.cpp.o.d"
+  "/root/repo/tests/mem/test_trace_stats.cpp" "tests/CMakeFiles/mocktails_tests.dir/mem/test_trace_stats.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/mem/test_trace_stats.cpp.o.d"
+  "/root/repo/tests/sim/test_event_queue.cpp" "tests/CMakeFiles/mocktails_tests.dir/sim/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/sim/test_event_queue.cpp.o.d"
+  "/root/repo/tests/util/test_codec.cpp" "tests/CMakeFiles/mocktails_tests.dir/util/test_codec.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/util/test_codec.cpp.o.d"
+  "/root/repo/tests/util/test_compress.cpp" "tests/CMakeFiles/mocktails_tests.dir/util/test_compress.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/util/test_compress.cpp.o.d"
+  "/root/repo/tests/util/test_histogram.cpp" "tests/CMakeFiles/mocktails_tests.dir/util/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/util/test_histogram.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/mocktails_tests.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/mocktails_tests.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_thread_pool.cpp" "tests/CMakeFiles/mocktails_tests.dir/util/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/util/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/validation/test_validate.cpp" "tests/CMakeFiles/mocktails_tests.dir/validation/test_validate.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/validation/test_validate.cpp.o.d"
+  "/root/repo/tests/workloads/test_devices.cpp" "tests/CMakeFiles/mocktails_tests.dir/workloads/test_devices.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/workloads/test_devices.cpp.o.d"
+  "/root/repo/tests/workloads/test_spec.cpp" "tests/CMakeFiles/mocktails_tests.dir/workloads/test_spec.cpp.o" "gcc" "tests/CMakeFiles/mocktails_tests.dir/workloads/test_spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-sanitize/src/baselines/CMakeFiles/mocktails_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/validation/CMakeFiles/mocktails_validation.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/dram/CMakeFiles/mocktails_dram.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/interconnect/CMakeFiles/mocktails_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/sim/CMakeFiles/mocktails_sim.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/cache/CMakeFiles/mocktails_cache.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/core/CMakeFiles/mocktails_core.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/workloads/CMakeFiles/mocktails_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/mem/CMakeFiles/mocktails_mem.dir/DependInfo.cmake"
+  "/root/repo/build-sanitize/src/util/CMakeFiles/mocktails_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
