@@ -1,9 +1,69 @@
 #include "common.hpp"
 
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "telemetry/exporter.hpp"
 
 namespace bench
 {
+
+void
+initTelemetry(int argc, char **argv)
+{
+    std::string path;
+    std::uint64_t interval_ms = 0;
+    for (int i = 1; argv != nullptr && i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--telemetry") == 0)
+            path = argv[++i];
+        else if (std::strcmp(argv[i], "--telemetry-interval") == 0)
+            interval_ms = std::strtoull(argv[++i], nullptr, 10);
+    }
+    if (path.empty()) {
+        if (const char *env = std::getenv("MOCKTAILS_TELEMETRY"))
+            path = env;
+        if (const char *env =
+                std::getenv("MOCKTAILS_TELEMETRY_INTERVAL_MS"))
+            interval_ms = std::strtoull(env, nullptr, 10);
+    }
+    if (path.empty())
+        return;
+
+    // The statics below are constructed after the registry singleton
+    // (global() is called first), so their destructors — which take
+    // the final snapshot — run before the registry is torn down.
+    static bool initialised = false;
+    if (initialised)
+        return;
+    initialised = true;
+
+    auto &registry = telemetry::MetricsRegistry::global();
+    telemetry::setEnabled(true);
+    auto exporter = telemetry::makeFileExporter(path);
+    if (!exporter->ok()) {
+        std::fprintf(stderr, "bench: cannot write telemetry to %s\n",
+                     path.c_str());
+        return;
+    }
+    if (interval_ms > 0) {
+        static telemetry::PeriodicExporter periodic(
+            registry, std::move(exporter),
+            std::chrono::milliseconds(interval_ms));
+    } else {
+        struct FinalDump
+        {
+            std::unique_ptr<telemetry::Exporter> exporter;
+            ~FinalDump()
+            {
+                exporter->write(
+                    telemetry::MetricsRegistry::global().snapshot());
+            }
+        };
+        static FinalDump dump{std::move(exporter)};
+    }
+}
 
 std::size_t
 traceLength()
@@ -68,6 +128,7 @@ compareModels(const mem::Trace &trace,
 void
 banner(const char *experiment_id, const char *description)
 {
+    initTelemetry();
     std::printf("=== %s ===\n%s\n", experiment_id, description);
     std::printf("(traces: %zu requests each; synthetic substitutes "
                 "for the proprietary Table II workloads)\n\n",

@@ -71,6 +71,18 @@ mem::Trace synthesizeStm(const mem::Trace &trace,
                          const core::PartitionConfig &config,
                          std::uint64_t seed = 1);
 
+/**
+ * Enable telemetry for a bench run.
+ *
+ * Parses "--telemetry PATH" and "--telemetry-interval MS" from argv
+ * (pass 0/nullptr to skip), falling back to the MOCKTAILS_TELEMETRY
+ * and MOCKTAILS_TELEMETRY_INTERVAL_MS environment variables — the env
+ * route covers benches whose main() takes no arguments. A final
+ * snapshot is appended at process exit. Idempotent; banner() calls
+ * the env-only form, so every bench honours the variables.
+ */
+void initTelemetry(int argc = 0, char **argv = nullptr);
+
 /** Print the bench banner. */
 void banner(const char *experiment_id, const char *description);
 

@@ -10,9 +10,10 @@
 #include "common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
+    initTelemetry(argc, argv);
     banner("Fig. 6",
            "Average error per device for the number of DRAM bursts");
 

@@ -39,9 +39,10 @@ runCaches(const mem::Trace &trace, const cache::CacheConfig &l1)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bench;
+    initTelemetry(argc, argv);
     banner("Fig. 14",
            "Cache miss rates (geometric mean over 23 benchmarks) for "
            "two cache configurations");

@@ -17,9 +17,11 @@
  * runs.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/model_generator.hpp"
@@ -31,6 +33,7 @@
 #include "mem/interop.hpp"
 #include "mem/trace_io.hpp"
 #include "mem/trace_stats.hpp"
+#include "telemetry/exporter.hpp"
 #include "util/stats.hpp"
 #include "workloads/devices.hpp"
 #include "workloads/spec.hpp"
@@ -45,7 +48,9 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: profile_tool [--threads N] <command> [args]\n"
+        "usage: profile_tool [--threads N] [--telemetry PATH]\n"
+        "                    [--telemetry-interval MS] <command> "
+        "[args]\n"
         "  generate <workload> <requests> <trace.mkt>\n"
         "  profile  <trace.mkt> <profile.mkp> [cycles_per_phase]\n"
         "  synth    <profile.mkp> <out.mkt> [seed]\n"
@@ -53,12 +58,17 @@ usage()
         "  export   <trace.mkt> <out.csv|out.ram|out.ds3>\n"
         "  simulate <file.mkt|file.mkp> [--gem5-stats]\n"
         "  compare  <a.mkt|a.mkp> <b.mkt|b.mkp>\n"
-        "  validate <trace.mkt> <profile.mkp>\n"
+        "  validate <trace.mkt> [profile.mkp]\n"
         "workloads: Table II names (e.g. HEVC1, T-Rex1, FBC-Linear1)\n"
         "           or SPEC names (e.g. gobmk, libquantum)\n"
         "--threads: worker threads for profile/synth/validate\n"
         "           (0 = one per hardware thread, 1 = sequential;\n"
-        "           the output is identical at every count)\n");
+        "           the output is identical at every count)\n"
+        "--telemetry: enable metric collection and append a final\n"
+        "           snapshot to PATH (.csv -> CSV, else JSON lines)\n"
+        "--telemetry-interval: also snapshot every MS milliseconds\n"
+        "validate with only a trace profiles it with the default\n"
+        "  hierarchy first (exercises the whole pipeline)\n");
     return 2;
 }
 
@@ -267,16 +277,25 @@ cmdValidate(const std::string &trace_path,
                      trace_path.c_str());
         return 1;
     }
-    core::Profile profile;
-    if (!core::loadProfile(profile_path, profile)) {
-        std::fprintf(stderr, "error: cannot read %s\n",
-                     profile_path.c_str());
-        return 1;
-    }
     validation::ValidationOptions options;
     options.threads = g_threads;
-    const auto report =
-        validation::validateProfile(trace, profile, options);
+    validation::ValidationReport report;
+    if (profile_path.empty()) {
+        // Single-argument form: build the profile here with the
+        // default hierarchy, then synthesise and compare. One command
+        // that exercises partitioning, fitting, synthesis, the DRAM
+        // model and the cache hierarchy — the telemetry smoke test.
+        report = validation::validateConfig(
+            trace, core::PartitionConfig::twoLevelTs(500000), options);
+    } else {
+        core::Profile profile;
+        if (!core::loadProfile(profile_path, profile)) {
+            std::fprintf(stderr, "error: cannot read %s\n",
+                         profile_path.c_str());
+            return 1;
+        }
+        report = validation::validateProfile(trace, profile, options);
+    }
     std::fputs(validation::formatReport(report).c_str(), stdout);
     return report.passed ? 0 : 3;
 }
@@ -329,25 +348,30 @@ cmdCompare(const std::string &path_a, const std::string &path_b)
     return 0;
 }
 
-} // namespace
+/** Telemetry output path ("" = telemetry off) and snapshot cadence. */
+std::string g_telemetry_path;
+std::uint64_t g_telemetry_interval_ms = 0;
+
+/** Parse a non-negative integer flag value; exits with usage error. */
+bool
+parseUnsigned(const char *flag, const char *text, std::uint64_t &out)
+{
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || text[0] == '-') {
+        std::fprintf(stderr,
+                     "profile_tool: %s expects a non-negative "
+                     "integer, got '%s'\n",
+                     flag, text);
+        return false;
+    }
+    out = n;
+    return true;
+}
 
 int
-main(int argc, char **argv)
+dispatch(int argc, char **argv)
 {
-    // Strip a leading "--threads N" before command dispatch.
-    if (argc >= 3 && std::strcmp(argv[1], "--threads") == 0) {
-        char *end = nullptr;
-        const unsigned long n = std::strtoul(argv[2], &end, 10);
-        if (end == argv[2] || *end != '\0' || argv[2][0] == '-') {
-            std::fprintf(stderr,
-                         "profile_tool: --threads expects a "
-                         "non-negative integer, got '%s'\n", argv[2]);
-            return 2;
-        }
-        g_threads = static_cast<unsigned>(n);
-        argc -= 2;
-        argv += 2;
-    }
     if (argc < 2)
         return usage();
     const std::string command = argv[1];
@@ -379,7 +403,62 @@ main(int argc, char **argv)
     }
     if (command == "compare" && argc == 4)
         return cmdCompare(argv[2], argv[3]);
-    if (command == "validate" && argc == 4)
-        return cmdValidate(argv[2], argv[3]);
+    if (command == "validate" && (argc == 3 || argc == 4))
+        return cmdValidate(argv[2], argc == 4 ? argv[3] : "");
     return usage();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Strip the global flags (in any order) before command dispatch.
+    while (argc >= 3 && argv[1][0] == '-') {
+        std::uint64_t value = 0;
+        if (std::strcmp(argv[1], "--threads") == 0) {
+            if (!parseUnsigned("--threads", argv[2], value))
+                return 2;
+            g_threads = static_cast<unsigned>(value);
+        } else if (std::strcmp(argv[1], "--telemetry") == 0) {
+            g_telemetry_path = argv[2];
+        } else if (std::strcmp(argv[1], "--telemetry-interval") == 0) {
+            if (!parseUnsigned("--telemetry-interval", argv[2], value))
+                return 2;
+            g_telemetry_interval_ms = value;
+        } else {
+            return usage();
+        }
+        argc -= 2;
+        argv += 2;
+    }
+
+    std::unique_ptr<telemetry::Exporter> final_exporter;
+    std::unique_ptr<telemetry::PeriodicExporter> periodic;
+    if (!g_telemetry_path.empty()) {
+        telemetry::setEnabled(true);
+        auto exporter = telemetry::makeFileExporter(g_telemetry_path);
+        if (!exporter->ok()) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         g_telemetry_path.c_str());
+            return 1;
+        }
+        if (g_telemetry_interval_ms > 0) {
+            periodic = std::make_unique<telemetry::PeriodicExporter>(
+                telemetry::MetricsRegistry::global(),
+                std::move(exporter),
+                std::chrono::milliseconds(g_telemetry_interval_ms));
+        } else {
+            final_exporter = std::move(exporter);
+        }
+    }
+
+    const int rc = dispatch(argc, argv);
+
+    if (periodic)
+        periodic->stop(); // includes the final snapshot
+    else if (final_exporter)
+        final_exporter->write(
+            telemetry::MetricsRegistry::global().snapshot());
+    return rc;
 }

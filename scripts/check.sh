@@ -1,0 +1,24 @@
+#!/bin/sh
+# Tier-1 gate: configure + build + test both CMake presets.
+#
+#   scripts/check.sh          # default (RelWithDebInfo) and sanitize
+#   scripts/check.sh --fast   # default preset only
+#
+# Run from the repository root. Any failure aborts with a non-zero
+# exit code, so this is safe to use as a pre-commit / CI entry point.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+PRESETS="default sanitize"
+[ "${1:-}" = "--fast" ] && PRESETS="default"
+
+for preset in $PRESETS; do
+    echo "== preset: $preset =="
+    cmake --preset "$preset"
+    cmake --build --preset "$preset" -j "$JOBS"
+    ctest --preset "$preset" -j "$JOBS" --output-on-failure
+done
+
+echo "== all checks passed =="

@@ -1,7 +1,37 @@
 #include "cache/hierarchy.hpp"
 
+#include <string>
+
+#include "telemetry/span.hpp"
+
 namespace mocktails::cache
 {
+
+namespace
+{
+
+/**
+ * Publish the delta between a level's stats at run() entry and exit,
+ * so back-to-back runs on one hierarchy each contribute their own
+ * traffic (the registry accumulates across runs).
+ */
+void
+publishLevelDelta(const char *level, const CacheStats &before,
+                  const CacheStats &after)
+{
+    auto &registry = telemetry::MetricsRegistry::global();
+    const std::string prefix = std::string("cache.") + level + ".";
+    registry.counter(prefix + "accesses")
+        .add(after.accesses - before.accesses);
+    registry.counter(prefix + "misses")
+        .add(after.misses - before.misses);
+    registry.counter(prefix + "writebacks")
+        .add(after.writebacks - before.writebacks);
+    registry.counter(prefix + "replacements")
+        .add(after.replacements - before.replacements);
+}
+
+} // namespace
 
 Hierarchy::Hierarchy(const HierarchyConfig &config)
     : l1_(config.l1), l2_(config.l2)
@@ -23,8 +53,22 @@ Hierarchy::access(const mem::Request &request)
 void
 Hierarchy::run(const mem::Trace &trace)
 {
+    if (!telemetry::enabled()) {
+        for (const mem::Request &r : trace)
+            access(r);
+        return;
+    }
+
+    telemetry::Span span("cache.run");
+    const CacheStats l1_before = l1_.stats();
+    const CacheStats l2_before = l2_.stats();
     for (const mem::Request &r : trace)
         access(r);
+    publishLevelDelta("l1", l1_before, l1_.stats());
+    publishLevelDelta("l2", l2_before, l2_.stats());
+    telemetry::MetricsRegistry::global()
+        .gauge("cache.footprint_blocks")
+        .set(static_cast<std::int64_t>(footprintBlocks()));
 }
 
 void

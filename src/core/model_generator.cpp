@@ -3,10 +3,58 @@
 #include <cassert>
 
 #include "core/features.hpp"
+#include "telemetry/span.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mocktails::core
 {
+
+namespace
+{
+
+/**
+ * Telemetry census of the fitted models: constants vs. Markov chains
+ * per feature, plus the states-per-chain distribution. Runs as a
+ * single-threaded post-pass so the parallel fitting loop stays free
+ * of shared counters.
+ */
+void
+recordModelCensus(const Profile &profile)
+{
+    auto &registry = telemetry::MetricsRegistry::global();
+    auto &states = registry.histogram(
+        "mcc.markov_states",
+        telemetry::FixedHistogram::exponentialEdges(1, 1024));
+
+    const auto census = [&](const char *feature,
+                            const FeatureModelPtr &model) {
+        const std::string prefix = std::string("mcc.") + feature;
+        if (!model) {
+            registry.counter(prefix + ".empty").add(1);
+            return;
+        }
+        if (model->tag() == ConstantModel::kTag) {
+            registry.counter(prefix + ".constant").add(1);
+        } else if (model->tag() == MarkovModel::kTag) {
+            registry.counter(prefix + ".markov").add(1);
+            states.record(static_cast<std::int64_t>(
+                static_cast<const MarkovModel *>(model.get())
+                    ->chain()
+                    .numStates()));
+        } else {
+            registry.counter(prefix + ".other").add(1);
+        }
+    };
+
+    for (const LeafModel &leaf : profile.leaves) {
+        census("delta_time", leaf.deltaTime);
+        census("stride", leaf.stride);
+        census("op", leaf.op);
+        census("size", leaf.size);
+    }
+}
+
+} // namespace
 
 LeafModel
 modelLeaf(const Leaf &leaf, const LeafModelerHooks &hooks)
@@ -31,6 +79,8 @@ Profile
 buildProfile(const mem::Trace &trace, const PartitionConfig &config,
              const LeafModelerHooks &hooks, unsigned threads)
 {
+    telemetry::Span span("profile.build");
+
     Profile profile;
     profile.name = trace.name();
     profile.device = trace.device();
@@ -39,14 +89,23 @@ buildProfile(const mem::Trace &trace, const PartitionConfig &config,
     // Leaves are independent once partitioned: fan the McC fitting out
     // across workers, each writing its own slot so the leaf order (and
     // hence the encoded profile) is identical at every thread count.
-    const std::vector<Leaf> leaves = buildLeaves(trace, config);
-    profile.leaves.resize(leaves.size());
-    util::parallelFor(
-        leaves.size(),
-        [&](std::size_t i) {
-            profile.leaves[i] = modelLeaf(leaves[i], hooks);
-        },
-        threads);
+    std::vector<Leaf> leaves;
+    {
+        telemetry::Span partition_span("profile.partition");
+        leaves = buildLeaves(trace, config);
+    }
+    {
+        telemetry::Span fit_span("profile.fit");
+        profile.leaves.resize(leaves.size());
+        util::parallelFor(
+            leaves.size(),
+            [&](std::size_t i) {
+                profile.leaves[i] = modelLeaf(leaves[i], hooks);
+            },
+            threads);
+    }
+    if (telemetry::enabled())
+        recordModelCensus(profile);
     return profile;
 }
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <map>
 
+#include "telemetry/metrics.hpp"
+
 namespace mocktails::core
 {
 
@@ -192,6 +194,11 @@ mergeLonelyRegions(const mem::Trace &trace,
             keep.push_back(std::move(region));
     }
     regions = std::move(keep);
+    if (telemetry::enabled()) {
+        telemetry::MetricsRegistry::global()
+            .counter("partition.lonely_requests")
+            .add(lonely.size());
+    }
     if (lonely.empty())
         return;
 
@@ -228,6 +235,12 @@ mergeLonelyRegions(const mem::Trace &trace,
 
     if (!leftovers.empty())
         runs.push_back(std::move(leftovers));
+
+    if (telemetry::enabled()) {
+        telemetry::MetricsRegistry::global()
+            .counter("partition.lonely_merges")
+            .add(runs.size());
+    }
 
     for (auto &run : runs) {
         SpatialRegion region;
@@ -295,6 +308,12 @@ partitionSpatialDynamic(const mem::Trace &trace, const IndexList &indices)
 
     mergeLonelyRegions(trace, out);
 
+    if (telemetry::enabled()) {
+        telemetry::MetricsRegistry::global()
+            .counter("partition.dynamic_regions")
+            .add(out.size());
+    }
+
     // Restore time order inside each region.
     for (auto &region : out)
         std::sort(region.indices.begin(), region.indices.end());
@@ -321,11 +340,23 @@ buildLeaves(const mem::Trace &trace, const PartitionConfig &config)
     std::vector<Node> nodes;
     nodes.push_back({std::move(all), false, 0, 0});
 
+    const bool collect = telemetry::enabled();
+    telemetry::FixedHistogram *fanout = nullptr;
+    if (collect) {
+        // Children produced per node per layer, in power-of-two
+        // buckets 1..4096.
+        fanout = &telemetry::MetricsRegistry::global().histogram(
+            "partition.fanout",
+            telemetry::FixedHistogram::exponentialEdges(1, 4096));
+    }
+
+    std::size_t layer_number = 0;
     for (const PartitionLayer &layer : config.layers) {
         std::vector<Node> next;
         for (Node &node : nodes) {
             if (node.indices.empty())
                 continue;
+            const std::size_t before = next.size();
             switch (layer.kind) {
               case PartitionLayer::Kind::TemporalRequestCount:
                 for (auto &part :
@@ -356,8 +387,19 @@ buildLeaves(const mem::Trace &trace, const PartitionConfig &config)
                 }
                 break;
             }
+            if (collect) {
+                fanout->record(static_cast<std::int64_t>(next.size() -
+                                                         before));
+            }
         }
         nodes = std::move(next);
+        if (collect) {
+            telemetry::MetricsRegistry::global()
+                .gauge("partition.layer" +
+                       std::to_string(layer_number) + ".parts")
+                .set(static_cast<std::int64_t>(nodes.size()));
+        }
+        ++layer_number;
     }
 
     std::vector<Leaf> leaves;
@@ -381,6 +423,11 @@ buildLeaves(const mem::Trace &trace, const PartitionConfig &config)
             }
         }
         leaves.push_back(std::move(leaf));
+    }
+    if (collect) {
+        auto &registry = telemetry::MetricsRegistry::global();
+        registry.counter("partition.leaves").add(leaves.size());
+        registry.counter("partition.requests").add(trace.size());
     }
     return leaves;
 }

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "telemetry/span.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mocktails::core
@@ -21,8 +22,7 @@ LeafSynthesizer::LeafSynthesizer(const LeafModel &leaf, util::Rng &rng)
 }
 
 mem::Addr
-LeafSynthesizer::wrapAddress(std::int64_t candidate,
-                             std::uint32_t size) const
+LeafSynthesizer::wrapAddress(std::int64_t candidate, std::uint32_t size)
 {
     const auto lo = static_cast<std::int64_t>(leaf_->addrLo);
     const auto hi = static_cast<std::int64_t>(leaf_->addrHi);
@@ -32,8 +32,11 @@ LeafSynthesizer::wrapAddress(std::int64_t candidate,
     // than the whole region pin to the base — the old modulo-by-span
     // was UB for a zero span and let ranges spill past addrHi.
     const std::int64_t limit = hi - static_cast<std::int64_t>(size);
-    if (limit <= lo)
+    if (limit <= lo) {
+        if (candidate != lo)
+            ++wraps_;
         return leaf_->addrLo;
+    }
 
     if (candidate >= lo && candidate <= limit)
         return static_cast<mem::Addr>(candidate);
@@ -41,6 +44,7 @@ LeafSynthesizer::wrapAddress(std::int64_t candidate,
     // Modulo the address back into [addrLo, addrHi - size] to
     // preserve spatial locality (paper Sec. III-C) without the byte
     // range crossing the region's end.
+    ++wraps_;
     const std::int64_t span = limit - lo + 1;
     std::int64_t rel = (candidate - lo) % span;
     if (rel < 0)
@@ -99,6 +103,15 @@ SynthesisEngine::SynthesisEngine(const Profile &profile,
                                  static_cast<std::uint32_t>(i)});
         }
     }
+}
+
+std::uint64_t
+SynthesisEngine::addressWraps() const
+{
+    std::uint64_t wraps = 0;
+    for (const LeafSynthesizer &leaf : leaves_)
+        wraps += leaf.addressWraps();
+    return wraps;
 }
 
 bool
@@ -161,6 +174,29 @@ LoopedSynthesis::next(mem::Request &out)
 namespace
 {
 
+/**
+ * Telemetry for one completed synthesis run. The merge-depth
+ * distribution is sampled every kMergeSampleStride emitted requests
+ * (not per request) so the observable stays cheap on long traces.
+ */
+constexpr std::uint64_t kMergeSampleStride = 1024;
+
+void
+publishSynthesisRun(std::uint64_t requests, std::uint64_t wraps)
+{
+    auto &registry = telemetry::MetricsRegistry::global();
+    registry.counter("synthesis.requests").add(requests);
+    registry.counter("synthesis.address_wraps").add(wraps);
+}
+
+telemetry::FixedHistogram &
+mergeDepthHistogram()
+{
+    return telemetry::MetricsRegistry::global().histogram(
+        "synthesis.merge_depth",
+        telemetry::FixedHistogram::exponentialEdges(1, 4096));
+}
+
 /** Head-of-leaf entry of the sharded k-way merge; same (tick, leaf)
  *  order as SynthesisEngine's heap. */
 struct MergeEntry
@@ -185,13 +221,28 @@ synthesize(const Profile &profile, std::uint64_t seed, unsigned threads)
     const unsigned want =
         threads == 0 ? util::ThreadPool::defaultThreadCount() : threads;
     mem::Trace trace(profile.name + "-synth", profile.device);
+    telemetry::Span span("synthesis.run");
+    const bool collect = telemetry::enabled();
 
     if (want <= 1 || profile.leaves.size() < 2) {
         SynthesisEngine engine(profile, seed);
         trace.requests().reserve(engine.total());
         mem::Request request;
-        while (engine.next(request))
-            trace.add(request);
+        if (collect) {
+            auto &depth = mergeDepthHistogram();
+            while (engine.next(request)) {
+                trace.add(request);
+                if (engine.generated() % kMergeSampleStride == 1) {
+                    depth.record(static_cast<std::int64_t>(
+                        engine.heapDepth()));
+                }
+            }
+            publishSynthesisRun(engine.generated(),
+                                engine.addressWraps());
+        } else {
+            while (engine.next(request))
+                trace.add(request);
+        }
         return trace;
     }
 
@@ -206,6 +257,10 @@ synthesize(const Profile &profile, std::uint64_t seed, unsigned threads)
         rngs.push_back(root.fork());
 
     std::vector<std::vector<mem::Request>> runs(n);
+    // Per-leaf wrap counts: each worker writes only its own slot, so
+    // the parallel loop needs no shared counters and stays
+    // deterministic; the slots are summed after the join.
+    std::vector<std::uint64_t> wraps(n, 0);
     util::parallelFor(
         n,
         [&](std::size_t i) {
@@ -217,6 +272,7 @@ synthesize(const Profile &profile, std::uint64_t seed, unsigned threads)
             while (made < run.size() && synth.next(run[made]))
                 ++made;
             run.resize(made);
+            wraps[i] = synth.addressWraps();
         },
         want);
 
@@ -238,14 +294,25 @@ synthesize(const Profile &profile, std::uint64_t seed, unsigned threads)
                                  static_cast<std::uint32_t>(i)});
         }
     }
+    telemetry::FixedHistogram *depth =
+        collect ? &mergeDepthHistogram() : nullptr;
+    std::uint64_t emitted = 0;
     while (!heap.empty()) {
         const MergeEntry entry = heap.top();
         heap.pop();
         trace.add(runs[entry.leaf][pos[entry.leaf]]);
+        if (depth && ++emitted % kMergeSampleStride == 1)
+            depth->record(static_cast<std::int64_t>(heap.size() + 1));
         if (++pos[entry.leaf] < runs[entry.leaf].size()) {
             heap.push(MergeEntry{
                 runs[entry.leaf][pos[entry.leaf]].tick, entry.leaf});
         }
+    }
+    if (collect) {
+        std::uint64_t total_wraps = 0;
+        for (std::uint64_t w : wraps)
+            total_wraps += w;
+        publishSynthesisRun(trace.requests().size(), total_wraps);
     }
     return trace;
 }

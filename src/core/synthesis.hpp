@@ -43,15 +43,18 @@ class LeafSynthesizer
 
     std::uint64_t generated() const { return generated_; }
 
+    /** Candidates wrapped/pinned back into the leaf's region. */
+    std::uint64_t addressWraps() const { return wraps_; }
+
   private:
     /**
      * Wrap a candidate start address into [addrLo, addrHi - size] so
      * the request's whole byte range stays inside the leaf's region.
      * Degenerate regions (addrLo == addrHi, or smaller than the
-     * request) pin to addrLo.
+     * request) pin to addrLo. Counts every modified candidate in
+     * wraps_ (the "synthesis.address_wraps" telemetry observable).
      */
-    mem::Addr wrapAddress(std::int64_t candidate,
-                          std::uint32_t size) const;
+    mem::Addr wrapAddress(std::int64_t candidate, std::uint32_t size);
 
     const LeafModel *leaf_;
     std::unique_ptr<FeatureSampler> delta_;
@@ -62,6 +65,7 @@ class LeafSynthesizer
     mem::Tick time_ = 0;
     mem::Addr addr_ = 0;
     std::uint64_t generated_ = 0;
+    std::uint64_t wraps_ = 0;
 };
 
 /**
@@ -86,6 +90,12 @@ class SynthesisEngine : public mem::RequestSource
 
     /** Requests this engine will produce in total. */
     std::uint64_t total() const { return total_; }
+
+    /** Leaves currently competing in the merge heap. */
+    std::size_t heapDepth() const { return heap_.size(); }
+
+    /** Sum of the leaves' address-wrap counts so far. */
+    std::uint64_t addressWraps() const;
 
   private:
     struct HeapEntry

@@ -1,11 +1,82 @@
 #include "dram/simulate.hpp"
 
+#include <string>
+
 #include "dram/memory_system.hpp"
 #include "dram/trace_player.hpp"
 #include "sim/event_queue.hpp"
+#include "telemetry/span.hpp"
 
 namespace mocktails::dram
 {
+
+namespace
+{
+
+/**
+ * Mirror one finished simulation into the telemetry registry. The DRAM
+ * model is single-threaded, so this runs as a post-pass over the
+ * already-collected ChannelStats instead of adding atomic traffic to
+ * the event loop.
+ */
+void
+publishDramRun(const SimulationResult &result,
+               const sim::EventQueue &events)
+{
+    auto &registry = telemetry::MetricsRegistry::global();
+    registry.counter("sim.events_scheduled")
+        .add(events.scheduledCount());
+    registry.counter("sim.events_executed").add(events.executedCount());
+    registry.counter("dram.requests").add(result.memory.requests);
+    registry.counter("dram.backpressure_rejects")
+        .add(result.memory.backpressureRejects);
+
+    const auto queue_edges =
+        telemetry::FixedHistogram::linearEdges(1, 64, 63);
+    const auto bank_edges =
+        telemetry::FixedHistogram::exponentialEdges(1, 1 << 20);
+
+    for (std::size_t c = 0; c < result.channels.size(); ++c) {
+        const ChannelStats &stats = result.channels[c];
+        const std::string prefix =
+            "dram.channel" + std::to_string(c) + ".";
+        registry.counter(prefix + "read_bursts").add(stats.readBursts);
+        registry.counter(prefix + "write_bursts")
+            .add(stats.writeBursts);
+        registry.counter(prefix + "read_row_hits")
+            .add(stats.readRowHits);
+        registry.counter(prefix + "write_row_hits")
+            .add(stats.writeRowHits);
+        registry.counter(prefix + "refreshes").add(stats.refreshes);
+        registry.counter(prefix + "turnarounds").add(stats.turnarounds);
+        registry.gauge(prefix + "busy_cycles")
+            .set(static_cast<std::int64_t>(stats.busyCycles));
+
+        auto &read_queue =
+            registry.histogram(prefix + "read_queue_seen", queue_edges);
+        for (const auto &[value, count] : stats.readQueueSeen.bins())
+            read_queue.record(value, count);
+        auto &write_queue = registry.histogram(
+            prefix + "write_queue_seen", queue_edges);
+        for (const auto &[value, count] : stats.writeQueueSeen.bins())
+            write_queue.record(value, count);
+
+        // Bank-load balance as a distribution of per-bank burst
+        // counts: a flat load puts every bank in the same bucket.
+        auto &bank_load =
+            registry.histogram(prefix + "bank_bursts", bank_edges);
+        for (std::size_t b = 0; b < stats.perBankReadBursts.size();
+             ++b) {
+            bank_load.record(static_cast<std::int64_t>(
+                stats.perBankReadBursts[b] +
+                (b < stats.perBankWriteBursts.size()
+                     ? stats.perBankWriteBursts[b]
+                     : 0)));
+        }
+    }
+}
+
+} // namespace
 
 std::uint64_t
 SimulationResult::readBursts() const
@@ -74,6 +145,7 @@ simulateSource(mem::RequestSource &source,
                const DramConfig &dram_config,
                const interconnect::CrossbarConfig &xbar_config)
 {
+    telemetry::Span span("dram.simulate");
     sim::EventQueue events;
     MemorySystem memory(events, dram_config);
     interconnect::Crossbar xbar(events, xbar_config,
@@ -94,6 +166,8 @@ simulateSource(mem::RequestSource &source,
     result.finishTick = player.finishTick();
     result.accumulatedDelay = player.accumulatedDelay();
     result.injected = player.injected();
+    if (telemetry::enabled())
+        publishDramRun(result, events);
     return result;
 }
 

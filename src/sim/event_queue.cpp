@@ -23,6 +23,7 @@ EventQueue::run()
         Event event = std::move(const_cast<Event &>(events_.top()));
         events_.pop();
         now_ = event.when;
+        ++executed_;
         event.callback();
     }
 }
@@ -34,6 +35,7 @@ EventQueue::runUntil(Tick limit)
         Event event = std::move(const_cast<Event &>(events_.top()));
         events_.pop();
         now_ = event.when;
+        ++executed_;
         event.callback();
     }
     now_ = std::max(now_, limit);

@@ -53,6 +53,12 @@ class EventQueue
     /** Number of pending events. */
     std::size_t pending() const { return events_.size(); }
 
+    /** Events ever scheduled on this queue (telemetry observable). */
+    std::uint64_t scheduledCount() const { return next_sequence_; }
+
+    /** Events executed so far (telemetry observable). */
+    std::uint64_t executedCount() const { return executed_; }
+
     /** Execute events in order until the queue drains. */
     void run();
 
@@ -81,6 +87,7 @@ class EventQueue
     std::priority_queue<Event, std::vector<Event>, Later> events_;
     Tick now_ = 0;
     std::uint64_t next_sequence_ = 0;
+    std::uint64_t executed_ = 0;
 };
 
 } // namespace mocktails::sim

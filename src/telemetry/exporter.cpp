@@ -1,0 +1,270 @@
+#include "telemetry/exporter.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace mocktails::telemetry
+{
+
+namespace
+{
+
+/** JSON string escaping for metric names (control chars, quote, \). */
+std::string
+escapeJson(const std::string &in)
+{
+    std::string out;
+    out.reserve(in.size());
+    for (const char c : in) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Shortest round-trip double without locale surprises. */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+/** CSV-quote a field when it contains a separator or quote. */
+std::string
+csvField(const std::string &in)
+{
+    if (in.find_first_of(",\"\n") == std::string::npos)
+        return in;
+    std::string out = "\"";
+    for (const char c : in) {
+        out += c;
+        if (c == '"')
+            out += '"';
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+JsonlExporter::render(const Snapshot &snapshot, std::uint64_t seq,
+                      const ExportOptions &options, std::ostream &out)
+{
+    out << "{\"type\":\"snapshot\",\"seq\":" << seq;
+    if (options.includeTimes)
+        out << ",\"unix_ns\":" << snapshot.wallUnixNs;
+    out << "}\n";
+
+    for (const auto &c : snapshot.counters) {
+        out << "{\"type\":\"counter\",\"seq\":" << seq << ",\"name\":\""
+            << escapeJson(c.name) << "\",\"value\":" << c.value
+            << "}\n";
+    }
+    for (const auto &g : snapshot.gauges) {
+        out << "{\"type\":\"gauge\",\"seq\":" << seq << ",\"name\":\""
+            << escapeJson(g.name) << "\",\"value\":" << g.value
+            << "}\n";
+    }
+    for (const auto &h : snapshot.histograms) {
+        out << "{\"type\":\"histogram\",\"seq\":" << seq
+            << ",\"name\":\"" << escapeJson(h.name) << "\",\"edges\":[";
+        for (std::size_t i = 0; i < h.edges.size(); ++i)
+            out << (i ? "," : "") << h.edges[i];
+        out << "],\"counts\":[";
+        for (std::size_t i = 0; i < h.counts.size(); ++i)
+            out << (i ? "," : "") << h.counts[i];
+        out << "],\"total\":" << h.total
+            << ",\"mean\":" << formatDouble(h.mean) << "}\n";
+    }
+    for (const auto &s : snapshot.spans) {
+        out << "{\"type\":\"span\",\"seq\":" << seq << ",\"name\":\""
+            << escapeJson(s.name) << "\",\"parent\":" << s.parent
+            << ",\"depth\":" << s.depth;
+        if (options.includeTimes) {
+            out << ",\"start_ns\":" << s.startNs
+                << ",\"duration_ns\":" << s.durationNs;
+        }
+        out << "}\n";
+    }
+}
+
+struct JsonlExporter::Impl
+{
+    std::ofstream file;
+    ExportOptions options;
+    std::uint64_t seq = 0;
+};
+
+JsonlExporter::JsonlExporter(const std::string &path,
+                             ExportOptions options)
+    : impl_(std::make_unique<Impl>())
+{
+    impl_->file.open(path, std::ios::app);
+    impl_->options = options;
+}
+
+JsonlExporter::~JsonlExporter() = default;
+
+bool
+JsonlExporter::ok() const
+{
+    return impl_->file.is_open() && impl_->file.good();
+}
+
+void
+JsonlExporter::write(const Snapshot &snapshot)
+{
+    render(snapshot, impl_->seq++, impl_->options, impl_->file);
+    impl_->file.flush();
+}
+
+void
+CsvExporter::render(const Snapshot &snapshot, std::uint64_t seq,
+                    const ExportOptions &options, bool header,
+                    std::ostream &out)
+{
+    if (header)
+        out << "seq,kind,name,bucket,value\n";
+    if (options.includeTimes) {
+        out << seq << ",snapshot,unix_ns,," << snapshot.wallUnixNs
+            << "\n";
+    }
+    for (const auto &c : snapshot.counters) {
+        out << seq << ",counter," << csvField(c.name) << ",,"
+            << c.value << "\n";
+    }
+    for (const auto &g : snapshot.gauges) {
+        out << seq << ",gauge," << csvField(g.name) << ",," << g.value
+            << "\n";
+    }
+    for (const auto &h : snapshot.histograms) {
+        for (std::size_t b = 0; b < h.counts.size(); ++b) {
+            out << seq << ",histogram," << csvField(h.name) << ",";
+            if (b < h.edges.size())
+                out << h.edges[b];
+            else
+                out << "inf";
+            out << "," << h.counts[b] << "\n";
+        }
+    }
+    for (const auto &s : snapshot.spans) {
+        out << seq << ",span," << csvField(s.name) << ","
+            << s.depth << ","
+            << (options.includeTimes ? s.durationNs : 0) << "\n";
+    }
+}
+
+struct CsvExporter::Impl
+{
+    std::ofstream file;
+    ExportOptions options;
+    std::uint64_t seq = 0;
+    bool needHeader = true;
+};
+
+CsvExporter::CsvExporter(const std::string &path, ExportOptions options)
+    : impl_(std::make_unique<Impl>())
+{
+    // Only a fresh file gets the header; appending to an earlier
+    // run's file keeps it parseable as one table.
+    {
+        std::ifstream existing(path);
+        impl_->needHeader = !existing.good() ||
+                            existing.peek() == std::ifstream::
+                                                   traits_type::eof();
+    }
+    impl_->file.open(path, std::ios::app);
+    impl_->options = options;
+}
+
+CsvExporter::~CsvExporter() = default;
+
+bool
+CsvExporter::ok() const
+{
+    return impl_->file.is_open() && impl_->file.good();
+}
+
+void
+CsvExporter::write(const Snapshot &snapshot)
+{
+    render(snapshot, impl_->seq++, impl_->options, impl_->needHeader,
+           impl_->file);
+    impl_->needHeader = false;
+    impl_->file.flush();
+}
+
+std::unique_ptr<Exporter>
+makeFileExporter(const std::string &path)
+{
+    const bool csv = path.size() >= 4 &&
+                     path.compare(path.size() - 4, 4, ".csv") == 0;
+    if (csv)
+        return std::make_unique<CsvExporter>(path);
+    return std::make_unique<JsonlExporter>(path);
+}
+
+PeriodicExporter::PeriodicExporter(MetricsRegistry &registry,
+                                   std::unique_ptr<Exporter> exporter,
+                                   std::chrono::milliseconds interval)
+    : registry_(registry), exporter_(std::move(exporter)),
+      interval_(interval)
+{
+    thread_ = std::thread([this] {
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            if (cv_.wait_for(lock, interval_,
+                             [this] { return stop_; })) {
+                return;
+            }
+            lock.unlock();
+            exporter_->write(registry_.snapshot());
+            lock.lock();
+        }
+    });
+}
+
+PeriodicExporter::~PeriodicExporter()
+{
+    stop();
+}
+
+void
+PeriodicExporter::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopped_)
+            return;
+        stop_ = true;
+        stopped_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    exporter_->write(registry_.snapshot());
+}
+
+} // namespace mocktails::telemetry

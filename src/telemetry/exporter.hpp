@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Snapshot exporters: JSONL, CSV, and a periodic background dumper.
+ *
+ * JSONL layout (one record per line, greppable / jq-able):
+ *   {"type":"snapshot","seq":0,"unix_ns":...}
+ *   {"type":"counter","seq":0,"name":"partition.leaves","value":42}
+ *   {"type":"gauge","seq":0,"name":"...","value":-3}
+ *   {"type":"histogram","seq":0,"name":"...","edges":[...],
+ *    "counts":[...],"total":9,"mean":1.5}
+ *   {"type":"span","seq":0,"name":"profile.build","parent":-1,
+ *    "depth":0,"start_ns":...,"duration_ns":...}
+ *
+ * CSV layout: header "seq,kind,name,bucket,value" — counters/gauges
+ * use one row with an empty bucket column; histograms one row per
+ * bucket (bucket column = exclusive upper edge, "inf" for overflow);
+ * spans one row with the duration in ns as the value.
+ *
+ * Exporters append, so successive snapshots of one process (or of a
+ * multi-command pipeline writing to the same path) accumulate in one
+ * file with increasing "seq".
+ */
+
+#ifndef MOCKTAILS_TELEMETRY_EXPORTER_HPP
+#define MOCKTAILS_TELEMETRY_EXPORTER_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include "telemetry/metrics.hpp"
+
+namespace mocktails::telemetry
+{
+
+/**
+ * Exporter knobs.
+ */
+struct ExportOptions
+{
+    /**
+     * Include wall-clock / steady-clock time fields. Disable for
+     * byte-reproducible output (golden tests).
+     */
+    bool includeTimes = true;
+};
+
+/**
+ * Writes snapshots somewhere, one call per snapshot.
+ */
+class Exporter
+{
+  public:
+    virtual ~Exporter() = default;
+
+    /** Append one snapshot. */
+    virtual void write(const Snapshot &snapshot) = 0;
+
+    /** False when the output could not be opened. */
+    virtual bool ok() const = 0;
+};
+
+/**
+ * Appends snapshots to a file as JSON Lines.
+ */
+class JsonlExporter : public Exporter
+{
+  public:
+    explicit JsonlExporter(const std::string &path,
+                           ExportOptions options = ExportOptions{});
+    ~JsonlExporter() override;
+
+    void write(const Snapshot &snapshot) override;
+    bool ok() const override;
+
+    /** Render one snapshot to a stream (the file-less core). */
+    static void render(const Snapshot &snapshot, std::uint64_t seq,
+                       const ExportOptions &options,
+                       std::ostream &out);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Appends snapshots to a CSV file (header written once per file).
+ */
+class CsvExporter : public Exporter
+{
+  public:
+    explicit CsvExporter(const std::string &path,
+                         ExportOptions options = ExportOptions{});
+    ~CsvExporter() override;
+
+    void write(const Snapshot &snapshot) override;
+    bool ok() const override;
+
+    /**
+     * Render one snapshot to a stream.
+     * @param header Emit the column header before the rows.
+     */
+    static void render(const Snapshot &snapshot, std::uint64_t seq,
+                       const ExportOptions &options, bool header,
+                       std::ostream &out);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Make a file exporter for @p path: CsvExporter for *.csv, otherwise
+ * JsonlExporter.
+ */
+std::unique_ptr<Exporter> makeFileExporter(const std::string &path);
+
+/**
+ * Snapshots a registry through an exporter at a fixed cadence on a
+ * background thread, plus one final snapshot on stop()/destruction.
+ */
+class PeriodicExporter
+{
+  public:
+    PeriodicExporter(MetricsRegistry &registry,
+                     std::unique_ptr<Exporter> exporter,
+                     std::chrono::milliseconds interval);
+    ~PeriodicExporter();
+
+    PeriodicExporter(const PeriodicExporter &) = delete;
+    PeriodicExporter &operator=(const PeriodicExporter &) = delete;
+
+    /** Stop the cadence and write the final snapshot (idempotent). */
+    void stop();
+
+  private:
+    MetricsRegistry &registry_;
+    std::unique_ptr<Exporter> exporter_;
+    std::chrono::milliseconds interval_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    bool stopped_ = false;
+    std::thread thread_;
+};
+
+} // namespace mocktails::telemetry
+
+#endif // MOCKTAILS_TELEMETRY_EXPORTER_HPP

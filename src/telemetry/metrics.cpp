@@ -1,0 +1,278 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace mocktails::telemetry
+{
+
+namespace
+{
+
+std::atomic<bool> g_enabled{false};
+
+std::int64_t
+wallUnixNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+std::size_t
+shardIndex()
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t index =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return index;
+}
+
+bool
+enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void
+setEnabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+FixedHistogram::FixedHistogram(std::vector<std::int64_t> edges)
+    : edges_(std::move(edges))
+{
+    assert(!edges_.empty());
+    assert(std::is_sorted(edges_.begin(), edges_.end()) &&
+           std::adjacent_find(edges_.begin(), edges_.end()) ==
+               edges_.end());
+    counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+        kShards * buckets());
+    for (std::size_t i = 0; i < kShards * buckets(); ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
+}
+
+std::size_t
+FixedHistogram::bucketFor(std::int64_t value) const
+{
+    // First bucket whose exclusive upper edge is above the value;
+    // v >= last edge lands in the final (overflow) bucket.
+    const auto it =
+        std::upper_bound(edges_.begin(), edges_.end(), value);
+    return static_cast<std::size_t>(it - edges_.begin());
+}
+
+void
+FixedHistogram::record(std::int64_t value, std::uint64_t weight)
+{
+    const std::size_t shard = shardIndex();
+    counts_[shard * buckets() + bucketFor(value)].fetch_add(
+        weight, std::memory_order_relaxed);
+    sums_[shard].sum.fetch_add(value * static_cast<std::int64_t>(weight),
+                               std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t>
+FixedHistogram::counts() const
+{
+    std::vector<std::uint64_t> out(buckets(), 0);
+    for (std::size_t s = 0; s < kShards; ++s) {
+        for (std::size_t b = 0; b < buckets(); ++b)
+            out[b] += counts_[s * buckets() + b].load(
+                std::memory_order_relaxed);
+    }
+    return out;
+}
+
+std::uint64_t
+FixedHistogram::total() const
+{
+    std::uint64_t sum = 0;
+    for (const std::uint64_t c : counts())
+        sum += c;
+    return sum;
+}
+
+double
+FixedHistogram::mean() const
+{
+    const std::uint64_t n = total();
+    if (n == 0)
+        return 0.0;
+    std::int64_t sum = 0;
+    for (const auto &shard : sums_)
+        sum += shard.sum.load(std::memory_order_relaxed);
+    return static_cast<double>(sum) / static_cast<double>(n);
+}
+
+void
+FixedHistogram::reset()
+{
+    for (std::size_t i = 0; i < kShards * buckets(); ++i)
+        counts_[i].store(0, std::memory_order_relaxed);
+    for (auto &shard : sums_)
+        shard.sum.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::int64_t>
+FixedHistogram::linearEdges(std::int64_t lo, std::int64_t hi,
+                            std::size_t n)
+{
+    assert(n > 0 && hi > lo);
+    std::vector<std::int64_t> edges;
+    edges.reserve(n);
+    const double step =
+        static_cast<double>(hi - lo) / static_cast<double>(n);
+    for (std::size_t i = 1; i <= n; ++i) {
+        const auto edge =
+            lo + static_cast<std::int64_t>(step * static_cast<double>(i));
+        if (edges.empty() || edge > edges.back())
+            edges.push_back(edge);
+    }
+    return edges;
+}
+
+std::vector<std::int64_t>
+FixedHistogram::exponentialEdges(std::int64_t first, std::int64_t limit)
+{
+    assert(first > 0 && limit >= first);
+    std::vector<std::int64_t> edges;
+    for (std::int64_t edge = first; edge <= limit; edge *= 2) {
+        edges.push_back(edge);
+        if (edge > limit / 2)
+            break; // next doubling would overflow past limit
+    }
+    return edges;
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+FixedHistogram &
+MetricsRegistry::histogram(const std::string &name,
+                           std::vector<std::int64_t> edges)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<FixedHistogram>(std::move(edges));
+    return *slot;
+}
+
+std::int32_t
+MetricsRegistry::beginSpan(std::string name, std::int32_t parent,
+                           std::int32_t depth, std::int64_t start_ns)
+{
+    std::lock_guard<std::mutex> lock(span_mutex_);
+    SpanSample sample;
+    sample.name = std::move(name);
+    sample.parent = parent;
+    sample.depth = depth;
+    sample.startNs = start_ns;
+    sample.durationNs = -1; // in flight
+    spans_.push_back(std::move(sample));
+    return static_cast<std::int32_t>(spans_.size() - 1);
+}
+
+void
+MetricsRegistry::endSpan(std::int32_t index, std::int64_t duration_ns)
+{
+    std::lock_guard<std::mutex> lock(span_mutex_);
+    if (index >= 0 && static_cast<std::size_t>(index) < spans_.size())
+        spans_[static_cast<std::size_t>(index)].durationNs =
+            duration_ns;
+}
+
+Snapshot
+MetricsRegistry::snapshot() const
+{
+    Snapshot out;
+    out.wallUnixNs = wallUnixNs();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.counters.reserve(counters_.size());
+        for (const auto &[name, counter] : counters_)
+            out.counters.push_back({name, counter->value()});
+        out.gauges.reserve(gauges_.size());
+        for (const auto &[name, gauge] : gauges_)
+            out.gauges.push_back({name, gauge->value()});
+        out.histograms.reserve(histograms_.size());
+        for (const auto &[name, histogram] : histograms_) {
+            Snapshot::HistogramSample sample;
+            sample.name = name;
+            sample.edges = histogram->edges();
+            sample.counts = histogram->counts();
+            for (const std::uint64_t c : sample.counts)
+                sample.total += c;
+            sample.mean = histogram->mean();
+            out.histograms.push_back(std::move(sample));
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(span_mutex_);
+        out.spans.reserve(spans_.size());
+        // In-flight spans are skipped, so remap parent indices into
+        // the filtered vector (a finished child whose parent is still
+        // open becomes a root in this snapshot).
+        std::vector<std::int32_t> remap(spans_.size(), -1);
+        for (std::size_t i = 0; i < spans_.size(); ++i) {
+            const SpanSample &span = spans_[i];
+            if (span.durationNs < 0)
+                continue;
+            remap[i] = static_cast<std::int32_t>(out.spans.size());
+            out.spans.push_back(span);
+            auto &copied = out.spans.back();
+            copied.parent = span.parent >= 0
+                                ? remap[static_cast<std::size_t>(
+                                      span.parent)]
+                                : -1;
+        }
+    }
+    return out;
+}
+
+void
+MetricsRegistry::reset()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &[name, counter] : counters_)
+            counter->reset();
+        for (auto &[name, gauge] : gauges_)
+            gauge->reset();
+        for (auto &[name, histogram] : histograms_)
+            histogram->reset();
+    }
+    std::lock_guard<std::mutex> lock(span_mutex_);
+    spans_.clear();
+}
+
+} // namespace mocktails::telemetry

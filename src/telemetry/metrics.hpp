@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Low-overhead process-wide metrics: counters, gauges and fixed-bucket
+ * histograms.
+ *
+ * Design goals (see DESIGN.md "Telemetry"):
+ *  - Hot paths pay one relaxed atomic increment. Every counter and
+ *    histogram is internally sharded into cache-line-sized slots; a
+ *    thread always touches its own shard, so concurrent increments
+ *    from the thread pool never contend on one cache line. snapshot()
+ *    sums the shards.
+ *  - Metric handles (Counter&, Gauge&, FixedHistogram&) returned by
+ *    MetricsRegistry are stable for the registry's lifetime, so
+ *    instrumented components resolve a name once and keep the pointer.
+ *  - Collection is opt-in: instrumentation sites guard on enabled()
+ *    (a single relaxed bool load), so a build without --telemetry
+ *    pays essentially nothing.
+ *
+ * Naming scheme: lower-case dotted paths, "<subsystem>.<metric>" or
+ * "<subsystem>.<component>.<metric>", e.g. "partition.leaves",
+ * "dram.channel0.read_bursts", "pool.steals". Durations are counters
+ * suffixed ".ns"; distributions are histograms.
+ */
+
+#ifndef MOCKTAILS_TELEMETRY_METRICS_HPP
+#define MOCKTAILS_TELEMETRY_METRICS_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mocktails::telemetry
+{
+
+/// Shards per metric; increments spread over these by thread.
+constexpr std::size_t kShards = 16;
+
+/** Stable per-thread shard slot in [0, kShards). */
+std::size_t shardIndex();
+
+/** True when telemetry collection is switched on (default off). */
+bool enabled();
+
+/** Globally enable/disable collection at instrumentation sites. */
+void setEnabled(bool on);
+
+/**
+ * A monotonically increasing event count (sharded, thread-safe).
+ */
+class Counter
+{
+  public:
+    /** Add @p n to the calling thread's shard (relaxed). */
+    void
+    add(std::uint64_t n = 1)
+    {
+        shards_[shardIndex()].value.fetch_add(
+            n, std::memory_order_relaxed);
+    }
+
+    /** Sum over all shards. Safe concurrently with add(). */
+    std::uint64_t
+    value() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &shard : shards_)
+            sum += shard.value.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+    /** Zero every shard (not atomic w.r.t. concurrent add()). */
+    void
+    reset()
+    {
+        for (auto &shard : shards_)
+            shard.value.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    struct alignas(64) Shard
+    {
+        std::atomic<std::uint64_t> value{0};
+    };
+    std::array<Shard, kShards> shards_{};
+};
+
+/**
+ * A last-writer-wins instantaneous value (thread-safe).
+ */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(std::int64_t delta)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { set(0); }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/**
+ * A histogram over fixed, immutable bucket edges (sharded,
+ * thread-safe).
+ *
+ * Bucket-edge semantics (shared with util::Histogram::dense()):
+ * @p edges are ascending *exclusive upper bounds*. With k edges there
+ * are k + 1 buckets: bucket i (i < k) counts values v with
+ * edges[i-1] <= v < edges[i]; underflow (v < edges[0]) clamps into
+ * bucket 0 and overflow (v >= edges[k-1]) into the final bucket k.
+ */
+class FixedHistogram
+{
+  public:
+    /** @pre edges is non-empty and strictly ascending. */
+    explicit FixedHistogram(std::vector<std::int64_t> edges);
+
+    /** Record @p weight observations of @p value. */
+    void record(std::int64_t value, std::uint64_t weight = 1);
+
+    /** Number of buckets (edges + 1, including overflow). */
+    std::size_t buckets() const { return edges_.size() + 1; }
+
+    const std::vector<std::int64_t> &edges() const { return edges_; }
+
+    /** Bucket the value would land in (see class comment). */
+    std::size_t bucketFor(std::int64_t value) const;
+
+    /** Per-bucket totals summed over shards. */
+    std::vector<std::uint64_t> counts() const;
+
+    /** Total observations. */
+    std::uint64_t total() const;
+
+    /** Mean of all recorded values (0 when empty). */
+    double mean() const;
+
+    /** Zero every bucket (not atomic w.r.t. concurrent record()). */
+    void reset();
+
+    /// @name Edge builders
+    /// @{
+
+    /** n evenly spaced edges covering [lo, hi). */
+    static std::vector<std::int64_t>
+    linearEdges(std::int64_t lo, std::int64_t hi, std::size_t n);
+
+    /** Power-of-two edges first, 2*first, ... up to and incl. limit. */
+    static std::vector<std::int64_t>
+    exponentialEdges(std::int64_t first, std::int64_t limit);
+
+    /// @}
+
+  private:
+    std::vector<std::int64_t> edges_;
+    /// Flat [shard][bucket] counts; atomics are never moved after
+    /// construction.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+    struct alignas(64) SumShard
+    {
+        std::atomic<std::int64_t> sum{0};
+    };
+    std::array<SumShard, kShards> sums_{};
+};
+
+/**
+ * One finished Span (see span.hpp), as captured by a snapshot.
+ */
+struct SpanSample
+{
+    std::string name;
+    std::int32_t parent = -1; ///< index into Snapshot::spans, -1 = root
+    std::int32_t depth = 0;
+    std::int64_t startNs = 0; ///< steady-clock, relative to process
+    std::int64_t durationNs = 0;
+};
+
+/**
+ * A point-in-time copy of every metric, sorted by name.
+ */
+struct Snapshot
+{
+    struct CounterSample
+    {
+        std::string name;
+        std::uint64_t value = 0;
+    };
+
+    struct GaugeSample
+    {
+        std::string name;
+        std::int64_t value = 0;
+    };
+
+    struct HistogramSample
+    {
+        std::string name;
+        std::vector<std::int64_t> edges;
+        std::vector<std::uint64_t> counts;
+        std::uint64_t total = 0;
+        double mean = 0.0;
+    };
+
+    std::int64_t wallUnixNs = 0; ///< wall-clock time of the snapshot
+    std::vector<CounterSample> counters;
+    std::vector<GaugeSample> gauges;
+    std::vector<HistogramSample> histograms;
+    std::vector<SpanSample> spans; ///< finished spans, start order
+};
+
+/**
+ * Owns every named metric. Handles stay valid until the registry is
+ * destroyed; values can be zeroed with reset() but metrics are never
+ * removed.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** The process-wide registry used by built-in instrumentation. */
+    static MetricsRegistry &global();
+
+    /** Find-or-create; one object per name for the registry's life. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+
+    /**
+     * Find-or-create. The first registration of a name fixes its
+     * bucket edges; later lookups ignore @p edges.
+     */
+    FixedHistogram &histogram(const std::string &name,
+                              std::vector<std::int64_t> edges);
+
+    /// @name Span bookkeeping (used by telemetry::Span)
+    /// @{
+    std::int32_t beginSpan(std::string name, std::int32_t parent,
+                           std::int32_t depth, std::int64_t start_ns);
+    void endSpan(std::int32_t index, std::int64_t duration_ns);
+    /// @}
+
+    /** Copy every metric (and finished span) at this instant. */
+    Snapshot snapshot() const;
+
+    /** Zero all values and drop spans; handles stay valid. */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_;
+
+    mutable std::mutex span_mutex_;
+    std::vector<SpanSample> spans_;
+};
+
+} // namespace mocktails::telemetry
+
+#endif // MOCKTAILS_TELEMETRY_METRICS_HPP

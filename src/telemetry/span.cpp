@@ -1,0 +1,86 @@
+#include "telemetry/span.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+#include <vector>
+
+namespace mocktails::telemetry
+{
+
+namespace
+{
+
+/** The calling thread's stack of open spans (registry, index). */
+thread_local std::vector<std::pair<MetricsRegistry *, std::int32_t>>
+    t_span_stack;
+
+} // namespace
+
+std::int64_t
+steadyNowNs()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point origin = clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               clock::now() - origin)
+        .count();
+}
+
+Span::Span(MetricsRegistry &registry, const std::string &name)
+{
+    if (!enabled())
+        return;
+    registry_ = &registry;
+    start_ns_ = steadyNowNs();
+
+    // The innermost open span of the same registry on this thread is
+    // the parent.
+    std::int32_t parent = -1;
+    std::int32_t depth = 0;
+    for (auto it = t_span_stack.rbegin(); it != t_span_stack.rend();
+         ++it) {
+        if (it->first == registry_) {
+            parent = it->second;
+            break;
+        }
+    }
+    for (const auto &[reg, index] : t_span_stack)
+        depth += reg == registry_ ? 1 : 0;
+
+    index_ = registry_->beginSpan(name, parent, depth, start_ns_);
+    t_span_stack.emplace_back(registry_, index_);
+}
+
+Span::~Span()
+{
+    if (registry_ == nullptr)
+        return;
+    registry_->endSpan(index_, steadyNowNs() - start_ns_);
+    // RAII scopes unwind in order, so this span is the top entry.
+    if (!t_span_stack.empty() &&
+        t_span_stack.back() == std::make_pair(registry_, index_)) {
+        t_span_stack.pop_back();
+    }
+}
+
+ScopedTimer::ScopedTimer(MetricsRegistry &registry,
+                         const std::string &name)
+{
+    if (!enabled())
+        return;
+    calls_ = &registry.counter(name + ".calls");
+    ns_ = &registry.counter(name + ".ns");
+    start_ns_ = steadyNowNs();
+}
+
+ScopedTimer::~ScopedTimer()
+{
+    if (calls_ == nullptr)
+        return;
+    calls_->add(1);
+    ns_->add(static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, steadyNowNs() - start_ns_)));
+}
+
+} // namespace mocktails::telemetry

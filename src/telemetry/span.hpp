@@ -1,0 +1,81 @@
+/**
+ * @file
+ * RAII wall-time instrumentation: Span and ScopedTimer.
+ *
+ * A Span records one timed interval with parent/child nesting: spans
+ * opened while another span is active on the same thread become its
+ * children, so a snapshot reconstructs the phase tree of a pipeline
+ * run (profile.build -> profile.partition / profile.fit -> ...).
+ *
+ * A ScopedTimer is the cheap aggregate variant: it folds its elapsed
+ * time into a pair of counters ("<name>.calls", "<name>.ns") instead
+ * of recording individual intervals — right for phases that repeat
+ * many times per run.
+ *
+ * Both are no-ops while telemetry is disabled (the enabled() check in
+ * the constructor is a single relaxed load).
+ */
+
+#ifndef MOCKTAILS_TELEMETRY_SPAN_HPP
+#define MOCKTAILS_TELEMETRY_SPAN_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace mocktails::telemetry
+{
+
+/** Nanoseconds on the steady clock since the process started. */
+std::int64_t steadyNowNs();
+
+/**
+ * One timed interval in the span tree. Must be destroyed on the
+ * thread that created it (RAII scopes guarantee this).
+ */
+class Span
+{
+  public:
+    /** Opens a span in the global registry (if telemetry is on). */
+    explicit Span(const std::string &name)
+        : Span(MetricsRegistry::global(), name)
+    {}
+
+    Span(MetricsRegistry &registry, const std::string &name);
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+  private:
+    MetricsRegistry *registry_ = nullptr; ///< null when inactive
+    std::int32_t index_ = -1;
+    std::int64_t start_ns_ = 0;
+};
+
+/**
+ * Accumulates elapsed wall time into "<name>.calls" / "<name>.ns".
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(const std::string &name)
+        : ScopedTimer(MetricsRegistry::global(), name)
+    {}
+
+    ScopedTimer(MetricsRegistry &registry, const std::string &name);
+    ~ScopedTimer();
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Counter *calls_ = nullptr; ///< null when inactive
+    Counter *ns_ = nullptr;
+    std::int64_t start_ns_ = 0;
+};
+
+} // namespace mocktails::telemetry
+
+#endif // MOCKTAILS_TELEMETRY_SPAN_HPP

@@ -64,8 +64,12 @@ class Histogram
     }
 
     /**
-     * Dense counts over [0, size). Values outside are clamped into the
-     * last bin; convenient for plotting fixed-width distributions.
+     * Dense counts over [0, size). Out-of-range values clamp to the
+     * boundary bins — negatives into bin 0, values >= size into the
+     * last bin — convenient for plotting fixed-width distributions.
+     * These are the same edge semantics as telemetry::FixedHistogram
+     * (underflow to the first bucket, overflow to the last), so dense
+     * plots and telemetry exports of one distribution agree.
      */
     std::vector<std::uint64_t> dense(std::size_t size) const;
 

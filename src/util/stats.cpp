@@ -12,6 +12,12 @@ RunningStats::stddev() const
 }
 
 double
+RunningStats::sampleStddev() const
+{
+    return std::sqrt(sampleVariance());
+}
+
+double
 percentError(double measured, double reference)
 {
     if (reference == 0.0)

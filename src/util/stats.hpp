@@ -26,10 +26,20 @@ class RunningStats
         const double delta = value - mean_;
         mean_ += delta / static_cast<double>(count_);
         m2_ += delta * (value - mean_);
+        if (count_ == 1 || value < min_)
+            min_ = value;
+        if (count_ == 1 || value > max_)
+            max_ = value;
     }
 
     std::uint64_t count() const { return count_; }
     double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+    /** Smallest sample seen (0 when empty). */
+    double min() const { return count_ == 0 ? 0.0 : min_; }
+
+    /** Largest sample seen (0 when empty). */
+    double max() const { return count_ == 0 ? 0.0 : max_; }
 
     /** Population variance (0 with fewer than two samples). */
     double
@@ -38,12 +48,25 @@ class RunningStats
         return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
     }
 
+    /** Bessel-corrected sample variance, m2/(n-1) (0 when n < 2). */
+    double
+    sampleVariance() const
+    {
+        return count_ < 2 ? 0.0
+                          : m2_ / static_cast<double>(count_ - 1);
+    }
+
     double stddev() const;
+
+    /** Square root of sampleVariance(). */
+    double sampleStddev() const;
 
   private:
     std::uint64_t count_ = 0;
     double mean_ = 0.0;
     double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
 };
 
 /**

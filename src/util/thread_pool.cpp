@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/span.hpp"
+
 namespace mocktails::util
 {
 
@@ -23,6 +25,16 @@ struct ThreadPool::Queue
 
 ThreadPool::ThreadPool(unsigned threads)
 {
+    // Resolve the telemetry counters before any worker exists. This
+    // also guarantees the registry singleton finishes construction
+    // first and is therefore destroyed only after this pool has
+    // joined its workers (reverse static-destruction order).
+    auto &registry = telemetry::MetricsRegistry::global();
+    tasks_run_metric_ = &registry.counter("pool.tasks_run");
+    steals_metric_ = &registry.counter("pool.steals");
+    idle_ns_metric_ = &registry.counter("pool.idle_ns");
+    submitted_metric_ = &registry.counter("pool.submitted");
+
     const unsigned n = threads == 0 ? defaultThreadCount() : threads;
     queues_.reserve(n);
     for (unsigned i = 0; i < n; ++i)
@@ -61,6 +73,8 @@ ThreadPool::submit(Task task)
         pending_.fetch_add(1, std::memory_order_relaxed);
     }
     sleep_cv_.notify_one();
+    if (telemetry::enabled())
+        submitted_metric_->add(1);
 }
 
 bool
@@ -91,13 +105,25 @@ ThreadPool::workerLoop(unsigned id)
         if (tryPop(id, task)) {
             pending_.fetch_sub(1, std::memory_order_relaxed);
             task();
+            if (telemetry::enabled())
+                tasks_run_metric_->add(1);
             continue;
         }
+        // Time spent parked counts as idle; the clock reads happen
+        // only on the sleep path and only while telemetry is on.
+        const bool timed = telemetry::enabled();
+        const std::int64_t idle_from =
+            timed ? telemetry::steadyNowNs() : 0;
         std::unique_lock<std::mutex> lock(sleep_mutex_);
         sleep_cv_.wait(lock, [this] {
             return stop_.load(std::memory_order_relaxed) ||
                    pending_.load(std::memory_order_relaxed) > 0;
         });
+        if (timed) {
+            idle_ns_metric_->add(static_cast<std::uint64_t>(
+                std::max<std::int64_t>(
+                    0, telemetry::steadyNowNs() - idle_from)));
+        }
         if (stop_.load(std::memory_order_relaxed) &&
             pending_.load(std::memory_order_relaxed) == 0) {
             return;
@@ -123,6 +149,8 @@ ThreadPool::tryPop(unsigned id, Task &out)
         if (!victim.tasks.empty()) {
             out = std::move(victim.tasks.back());
             victim.tasks.pop_back();
+            if (telemetry::enabled())
+                steals_metric_->add(1);
             return true;
         }
     }

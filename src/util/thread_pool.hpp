@@ -30,12 +30,21 @@
 #include <thread>
 #include <vector>
 
+namespace mocktails::telemetry
+{
+class Counter;
+} // namespace mocktails::telemetry
+
 namespace mocktails::util
 {
 
 /**
  * A fixed-size pool of worker threads with per-worker deques and work
  * stealing.
+ *
+ * Telemetry (when enabled, see telemetry/metrics.hpp): every pool
+ * feeds the process-wide "pool.submitted", "pool.tasks_run",
+ * "pool.steals" and "pool.idle_ns" counters.
  */
 class ThreadPool
 {
@@ -83,6 +92,14 @@ class ThreadPool
 
     std::vector<std::unique_ptr<Queue>> queues_;
     std::vector<std::thread> workers_;
+
+    /// Process-wide telemetry counters, resolved once in the
+    /// constructor (before any worker starts).
+    telemetry::Counter *tasks_run_metric_ = nullptr;
+    telemetry::Counter *steals_metric_ = nullptr;
+    telemetry::Counter *idle_ns_metric_ = nullptr;
+    telemetry::Counter *submitted_metric_ = nullptr;
+
     std::mutex sleep_mutex_;
     std::condition_variable sleep_cv_;
     std::atomic<std::size_t> pending_{0};

@@ -39,6 +39,39 @@ TEST(EventQueue, SameTickIsFifo)
         EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
+TEST(EventQueue, CountsScheduledAndExecutedEvents)
+{
+    EventQueue q;
+    EXPECT_EQ(q.scheduledCount(), 0u);
+    EXPECT_EQ(q.executedCount(), 0u);
+    q.schedule(1, [] {});
+    q.schedule(2, [&] { q.scheduleIn(1, [] {}); });
+    EXPECT_EQ(q.scheduledCount(), 2u);
+    EXPECT_EQ(q.executedCount(), 0u);
+    q.runUntil(2);
+    EXPECT_EQ(q.scheduledCount(), 3u); // includes the nested schedule
+    EXPECT_EQ(q.executedCount(), 2u);
+    q.run();
+    EXPECT_EQ(q.executedCount(), q.scheduledCount());
+}
+
+TEST(EventQueue, SameTickFifoHoldsForNestedSchedules)
+{
+    // Events scheduled *during* execution at the same tick run after
+    // every already-queued same-tick event, preserving FIFO by
+    // scheduling order.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] {
+        order.push_back(0);
+        q.schedule(5, [&] { order.push_back(3); });
+    });
+    q.schedule(5, [&] { order.push_back(1); });
+    q.schedule(5, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
 TEST(EventQueue, NowAdvancesDuringExecution)
 {
     EventQueue q;

@@ -1,0 +1,165 @@
+#include "telemetry/exporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using telemetry::CsvExporter;
+using telemetry::ExportOptions;
+using telemetry::JsonlExporter;
+using telemetry::Snapshot;
+
+/** A fixed snapshot covering every record type. */
+Snapshot
+goldenSnapshot()
+{
+    Snapshot snap;
+    snap.wallUnixNs = 1234567890;
+    snap.counters.push_back({"partition.leaves", 42});
+    snap.counters.push_back({"weird\"name", 1});
+    snap.gauges.push_back({"cache.footprint_blocks", -3});
+    snap.histograms.push_back(
+        {"synthesis.merge_depth", {1, 2, 4}, {5, 0, 1, 2}, 8, 1.5});
+    snap.spans.push_back({"profile.build", -1, 0, 100, 900});
+    snap.spans.push_back({"profile.fit", 0, 1, 200, 300});
+    return snap;
+}
+
+TEST(JsonlExporter, GoldenRenderWithoutTimes)
+{
+    ExportOptions options;
+    options.includeTimes = false;
+    std::ostringstream out;
+    JsonlExporter::render(goldenSnapshot(), 7, options, out);
+    EXPECT_EQ(
+        out.str(),
+        "{\"type\":\"snapshot\",\"seq\":7}\n"
+        "{\"type\":\"counter\",\"seq\":7,"
+        "\"name\":\"partition.leaves\",\"value\":42}\n"
+        "{\"type\":\"counter\",\"seq\":7,"
+        "\"name\":\"weird\\\"name\",\"value\":1}\n"
+        "{\"type\":\"gauge\",\"seq\":7,"
+        "\"name\":\"cache.footprint_blocks\",\"value\":-3}\n"
+        "{\"type\":\"histogram\",\"seq\":7,"
+        "\"name\":\"synthesis.merge_depth\",\"edges\":[1,2,4],"
+        "\"counts\":[5,0,1,2],\"total\":8,\"mean\":1.5}\n"
+        "{\"type\":\"span\",\"seq\":7,\"name\":\"profile.build\","
+        "\"parent\":-1,\"depth\":0}\n"
+        "{\"type\":\"span\",\"seq\":7,\"name\":\"profile.fit\","
+        "\"parent\":0,\"depth\":1}\n");
+}
+
+TEST(JsonlExporter, TimesAppearWhenEnabled)
+{
+    std::ostringstream out;
+    JsonlExporter::render(goldenSnapshot(), 0, ExportOptions{}, out);
+    EXPECT_NE(out.str().find("\"unix_ns\":1234567890"),
+              std::string::npos);
+    EXPECT_NE(out.str().find("\"start_ns\":100"), std::string::npos);
+    EXPECT_NE(out.str().find("\"duration_ns\":900"),
+              std::string::npos);
+}
+
+TEST(CsvExporter, GoldenRenderWithoutTimes)
+{
+    ExportOptions options;
+    options.includeTimes = false;
+    std::ostringstream out;
+    CsvExporter::render(goldenSnapshot(), 2, options, true, out);
+    EXPECT_EQ(out.str(),
+              "seq,kind,name,bucket,value\n"
+              "2,counter,partition.leaves,,42\n"
+              "2,counter,\"weird\"\"name\",,1\n"
+              "2,gauge,cache.footprint_blocks,,-3\n"
+              "2,histogram,synthesis.merge_depth,1,5\n"
+              "2,histogram,synthesis.merge_depth,2,0\n"
+              "2,histogram,synthesis.merge_depth,4,1\n"
+              "2,histogram,synthesis.merge_depth,inf,2\n"
+              "2,span,profile.build,0,0\n"
+              "2,span,profile.fit,1,0\n");
+}
+
+TEST(CsvExporter, HeaderOnlyOnFreshFile)
+{
+    const std::string path =
+        testing::TempDir() + "telemetry_exporter_test.csv";
+    std::remove(path.c_str());
+    {
+        CsvExporter exporter(path);
+        ASSERT_TRUE(exporter.ok());
+        exporter.write(goldenSnapshot());
+    }
+    {
+        // A second exporter appending to the same file must not
+        // repeat the header, and its seq restarts at 0 per process.
+        CsvExporter exporter(path);
+        exporter.write(goldenSnapshot());
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::size_t headers = 0, lines = 0;
+    while (std::getline(in, line)) {
+        ++lines;
+        if (line == "seq,kind,name,bucket,value")
+            ++headers;
+    }
+    EXPECT_EQ(headers, 1u);
+    // 1 header + 2 x (1 snapshot + 2 counters + 1 gauge + 4 histogram
+    // buckets + 2 spans).
+    EXPECT_EQ(lines, 1u + 2u * 10u);
+    std::remove(path.c_str());
+}
+
+TEST(MakeFileExporter, PicksFormatByExtension)
+{
+    const std::string base = testing::TempDir() + "telemetry_make_";
+    const std::string jsonl_path = base + "out.jsonl";
+    const std::string csv_path = base + "out.csv";
+    std::remove(jsonl_path.c_str());
+    std::remove(csv_path.c_str());
+
+    telemetry::makeFileExporter(jsonl_path)->write(goldenSnapshot());
+    telemetry::makeFileExporter(csv_path)->write(goldenSnapshot());
+
+    std::ifstream jsonl(jsonl_path), csv(csv_path);
+    std::string first;
+    std::getline(jsonl, first);
+    EXPECT_EQ(first.rfind("{\"type\":\"snapshot\"", 0), 0u);
+    std::getline(csv, first);
+    EXPECT_EQ(first, "seq,kind,name,bucket,value");
+    std::remove(jsonl_path.c_str());
+    std::remove(csv_path.c_str());
+}
+
+TEST(PeriodicExporter, WritesFinalSnapshotOnStop)
+{
+    const std::string path =
+        testing::TempDir() + "telemetry_periodic_test.jsonl";
+    std::remove(path.c_str());
+    telemetry::MetricsRegistry registry;
+    registry.counter("ticks").add(5);
+    {
+        telemetry::PeriodicExporter periodic(
+            registry, telemetry::makeFileExporter(path),
+            std::chrono::milliseconds(3600 * 1000));
+        // Interval far in the future: only the stop() snapshot fires.
+    }
+    std::ifstream in(path);
+    std::string all, line;
+    while (std::getline(in, line))
+        all += line + "\n";
+    EXPECT_NE(all.find("\"name\":\"ticks\",\"value\":5"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,173 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using telemetry::FixedHistogram;
+using telemetry::MetricsRegistry;
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableIdentity)
+{
+    MetricsRegistry registry;
+    telemetry::Counter &a = registry.counter("a");
+    telemetry::Counter &b = registry.counter("b");
+    EXPECT_NE(&a, &b);
+    EXPECT_EQ(&a, &registry.counter("a"));
+
+    telemetry::Gauge &g = registry.gauge("a"); // separate namespace
+    EXPECT_EQ(&g, &registry.gauge("a"));
+
+    FixedHistogram &h = registry.histogram("a", {10});
+    EXPECT_EQ(&h, &registry.histogram("a", {99, 100}));
+    // The first registration fixed the edges; later edges are ignored.
+    EXPECT_EQ(h.edges(), (std::vector<std::int64_t>{10}));
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsHandles)
+{
+    MetricsRegistry registry;
+    telemetry::Counter &c = registry.counter("events");
+    c.add(7);
+    registry.gauge("level").set(-3);
+    registry.histogram("dist", {5}).record(1);
+
+    registry.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(&c, &registry.counter("events"));
+    EXPECT_EQ(registry.gauge("level").value(), 0);
+    EXPECT_EQ(registry.histogram("dist", {5}).total(), 0u);
+}
+
+TEST(Counter, AddAccumulatesAcrossShards)
+{
+    telemetry::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset)
+{
+    telemetry::Gauge g;
+    g.set(-5);
+    EXPECT_EQ(g.value(), -5);
+    g.add(15);
+    EXPECT_EQ(g.value(), 10);
+    g.reset();
+    EXPECT_EQ(g.value(), 0);
+}
+
+TEST(FixedHistogram, BucketEdgesAreExclusiveUpperBounds)
+{
+    // Two edges -> three buckets: (-inf,10), [10,20), [20,+inf).
+    FixedHistogram h({10, 20});
+    EXPECT_EQ(h.buckets(), 3u);
+    EXPECT_EQ(h.bucketFor(-100), 0u); // underflow clamps to bucket 0
+    EXPECT_EQ(h.bucketFor(0), 0u);
+    EXPECT_EQ(h.bucketFor(9), 0u);
+    EXPECT_EQ(h.bucketFor(10), 1u); // exact edge -> next bucket
+    EXPECT_EQ(h.bucketFor(19), 1u);
+    EXPECT_EQ(h.bucketFor(20), 2u);
+    EXPECT_EQ(h.bucketFor(1000000), 2u); // overflow -> final bucket
+}
+
+TEST(FixedHistogram, RecordCountsTotalsAndMean)
+{
+    FixedHistogram h({10, 20});
+    h.record(5);
+    h.record(10);
+    h.record(15, 2);
+    h.record(25);
+    EXPECT_EQ(h.counts(), (std::vector<std::uint64_t>{1, 3, 1}));
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.mean(), (5.0 + 10.0 + 15.0 + 15.0 + 25.0) / 5.0);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(FixedHistogram, EdgeBuilders)
+{
+    // n evenly spaced edges stepping up from lo, ending at hi; the
+    // final bucket [40, inf) catches overflow.
+    EXPECT_EQ(FixedHistogram::linearEdges(0, 40, 4),
+              (std::vector<std::int64_t>{10, 20, 30, 40}));
+    EXPECT_EQ(FixedHistogram::exponentialEdges(1, 16),
+              (std::vector<std::int64_t>{1, 2, 4, 8, 16}));
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByName)
+{
+    MetricsRegistry registry;
+    registry.counter("zebra").add(1);
+    registry.counter("aardvark").add(2);
+    registry.gauge("middle").set(3);
+    registry.histogram("dist", {4}).record(1);
+
+    const telemetry::Snapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].name, "aardvark");
+    EXPECT_EQ(snap.counters[0].value, 2u);
+    EXPECT_EQ(snap.counters[1].name, "zebra");
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].value, 3);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    EXPECT_EQ(snap.histograms[0].counts,
+              (std::vector<std::uint64_t>{1, 0}));
+}
+
+TEST(MetricsRegistry, SnapshotRacesWithConcurrentIncrements)
+{
+    MetricsRegistry registry;
+    telemetry::Counter &hits = registry.counter("hits");
+    FixedHistogram &dist = registry.histogram(
+        "dist", FixedHistogram::linearEdges(0, 64, 8));
+
+    constexpr int kTasks = 64;
+    constexpr int kAddsPerTask = 1000;
+    std::atomic<int> done{0};
+    {
+        util::ThreadPool pool(4);
+        for (int t = 0; t < kTasks; ++t) {
+            pool.submit([&, t] {
+                for (int i = 0; i < kAddsPerTask; ++i) {
+                    hits.add();
+                    dist.record((t + i) % 64);
+                }
+                done.fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+        // Snapshot while the workers are mid-flight: totals must be
+        // monotone and never exceed the final count (no torn reads,
+        // no crashes).
+        std::uint64_t last = 0;
+        while (done.load(std::memory_order_relaxed) < kTasks) {
+            const telemetry::Snapshot snap = registry.snapshot();
+            ASSERT_EQ(snap.counters.size(), 1u);
+            EXPECT_GE(snap.counters[0].value, last);
+            EXPECT_LE(snap.counters[0].value,
+                      static_cast<std::uint64_t>(kTasks) *
+                          kAddsPerTask);
+            last = snap.counters[0].value;
+        }
+    } // pool drains and joins here
+
+    EXPECT_EQ(hits.value(),
+              static_cast<std::uint64_t>(kTasks) * kAddsPerTask);
+    EXPECT_EQ(dist.total(),
+              static_cast<std::uint64_t>(kTasks) * kAddsPerTask);
+}
+
+} // namespace

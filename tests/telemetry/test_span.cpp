@@ -1,0 +1,89 @@
+#include "telemetry/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/metrics.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using telemetry::MetricsRegistry;
+using telemetry::Snapshot;
+using telemetry::Span;
+
+/** Spans only collect while telemetry is enabled. */
+class SpanTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { telemetry::setEnabled(true); }
+    void TearDown() override { telemetry::setEnabled(false); }
+};
+
+TEST_F(SpanTest, RecordsNestingAsParentChild)
+{
+    MetricsRegistry registry;
+    {
+        Span outer(registry, "outer");
+        {
+            Span inner(registry, "inner");
+        }
+        {
+            Span sibling(registry, "sibling");
+        }
+    }
+    const Snapshot snap = registry.snapshot();
+    ASSERT_EQ(snap.spans.size(), 3u);
+    // Start order: outer first, then its two children.
+    EXPECT_EQ(snap.spans[0].name, "outer");
+    EXPECT_EQ(snap.spans[0].parent, -1);
+    EXPECT_EQ(snap.spans[0].depth, 0);
+    EXPECT_EQ(snap.spans[1].name, "inner");
+    EXPECT_EQ(snap.spans[1].parent, 0);
+    EXPECT_EQ(snap.spans[1].depth, 1);
+    EXPECT_EQ(snap.spans[2].name, "sibling");
+    EXPECT_EQ(snap.spans[2].parent, 0);
+    EXPECT_EQ(snap.spans[2].depth, 1);
+    for (const auto &s : snap.spans)
+        EXPECT_GE(s.durationNs, 0);
+}
+
+TEST_F(SpanTest, SnapshotSkipsOpenSpans)
+{
+    MetricsRegistry registry;
+    Span open(registry, "still-running");
+    {
+        Span closed(registry, "closed-child");
+    }
+    const Snapshot snap = registry.snapshot();
+    // Only the finished child appears; its open parent is filtered
+    // and the child is re-rooted rather than pointing at a hole.
+    ASSERT_EQ(snap.spans.size(), 1u);
+    EXPECT_EQ(snap.spans[0].name, "closed-child");
+    EXPECT_EQ(snap.spans[0].parent, -1);
+}
+
+TEST_F(SpanTest, ScopedTimerFoldsIntoCounters)
+{
+    MetricsRegistry registry;
+    for (int i = 0; i < 3; ++i)
+        telemetry::ScopedTimer timer(registry, "work");
+    EXPECT_EQ(registry.counter("work.calls").value(), 3u);
+    // Durations can legitimately round to 0 ns; just require sanity.
+    EXPECT_GE(registry.counter("work.ns").value(), 0u);
+}
+
+TEST(SpanDisabled, IsANoOp)
+{
+    ASSERT_FALSE(telemetry::enabled());
+    MetricsRegistry registry;
+    {
+        Span span(registry, "ignored");
+        telemetry::ScopedTimer timer(registry, "ignored");
+    }
+    const Snapshot snap = registry.snapshot();
+    EXPECT_TRUE(snap.spans.empty());
+    EXPECT_TRUE(snap.counters.empty());
+}
+
+} // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "telemetry/metrics.hpp"
+
 namespace
 {
 
@@ -59,6 +61,24 @@ TEST(Histogram, DenseClampsTail)
     EXPECT_EQ(dense[0], 2u); // value 0 and value -4
     EXPECT_EQ(dense[2], 1u);
     EXPECT_EQ(dense[3], 1u); // clamped 100
+}
+
+TEST(Histogram, DenseMatchesFixedHistogramEdgeSemantics)
+{
+    // dense(n) with unit-wide bins is the special case of a
+    // FixedHistogram with edges {1, 2, ..., n-1}: both clamp
+    // underflow into the first bin and overflow into the last.
+    Histogram sparse;
+    mocktails::telemetry::FixedHistogram fixed({1, 2, 3});
+    for (std::int64_t v : {-7, 0, 0, 1, 2, 3, 3, 99}) {
+        sparse.add(v);
+        fixed.record(v);
+    }
+    const auto dense = sparse.dense(4);
+    const auto counts = fixed.counts();
+    ASSERT_EQ(dense.size(), counts.size());
+    for (std::size_t i = 0; i < dense.size(); ++i)
+        EXPECT_EQ(dense[i], counts[i]) << "bin " << i;
 }
 
 TEST(Histogram, DenseZeroSize)

@@ -46,6 +46,43 @@ TEST(RunningStats, MatchesBatchVariance)
     EXPECT_NEAR(s.variance(), variance(values), 1e-12);
 }
 
+TEST(RunningStats, MinMaxGuardedWhenEmpty)
+{
+    RunningStats s;
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    s.add(-4.0);
+    EXPECT_DOUBLE_EQ(s.min(), -4.0);
+    EXPECT_DOUBLE_EQ(s.max(), -4.0);
+    s.add(7.0);
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.min(), -4.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesBesselCorrection)
+{
+    RunningStats s;
+    EXPECT_EQ(s.sampleVariance(), 0.0);
+    s.add(1.0);
+    EXPECT_EQ(s.sampleVariance(), 0.0); // n < 2 guards to zero
+    s.add(3.0);
+    // Population variance 1, sample variance 2 (m2 = 2, n - 1 = 1).
+    EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+    EXPECT_DOUBLE_EQ(s.sampleVariance(), 2.0);
+    EXPECT_DOUBLE_EQ(s.sampleStddev(), std::sqrt(2.0));
+}
+
+TEST(RunningStats, SampleAndPopulationVarianceRelation)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    const double n = static_cast<double>(s.count());
+    EXPECT_NEAR(s.sampleVariance(), s.variance() * n / (n - 1.0),
+                1e-12);
+}
+
 TEST(PercentError, ExactMatchIsZero)
 {
     EXPECT_DOUBLE_EQ(percentError(10.0, 10.0), 0.0);
