@@ -5,6 +5,7 @@
 #include <cstring>
 #include <memory>
 
+#include "obs/trace_event.hpp"
 #include "telemetry/exporter.hpp"
 
 namespace bench
@@ -63,6 +64,58 @@ initTelemetry(int argc, char **argv)
         };
         static FinalDump dump{std::move(exporter)};
     }
+}
+
+void
+initTracing(int argc, char **argv)
+{
+    std::string path;
+    for (int i = 1; argv != nullptr && i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace-out") == 0)
+            path = argv[++i];
+    }
+    if (path.empty()) {
+        if (const char *env = std::getenv("MOCKTAILS_TRACE_OUT"))
+            path = env;
+    }
+    if (path.empty())
+        return;
+
+    static bool initialised = false;
+    if (initialised)
+        return;
+    initialised = true;
+
+    // A static collector whose destructor detaches itself and writes
+    // the file, so any instrumented work between banner() and process
+    // exit lands in the output.
+    struct CollectorDump
+    {
+        obs::TraceEventWriter writer;
+        std::string path;
+        ~CollectorDump()
+        {
+            obs::setCollector(nullptr);
+            const bool binary =
+                path.size() > 4 &&
+                path.compare(path.size() - 4, 4, ".bin") == 0;
+            const bool ok = binary ? writer.saveBinary(path)
+                                   : writer.saveJson(path);
+            if (!ok) {
+                std::fprintf(stderr,
+                             "bench: cannot write trace to %s\n",
+                             path.c_str());
+                return;
+            }
+            std::fprintf(
+                stderr, "bench: %zu trace events (%llu dropped) -> %s\n",
+                writer.size(),
+                static_cast<unsigned long long>(writer.dropped()),
+                path.c_str());
+        }
+    };
+    static CollectorDump dump{obs::TraceEventWriter{}, path};
+    obs::setCollector(&dump.writer);
 }
 
 std::size_t
@@ -129,6 +182,7 @@ void
 banner(const char *experiment_id, const char *description)
 {
     initTelemetry();
+    initTracing();
     std::printf("=== %s ===\n%s\n", experiment_id, description);
     std::printf("(traces: %zu requests each; synthetic substitutes "
                 "for the proprietary Table II workloads)\n\n",

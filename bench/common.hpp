@@ -83,6 +83,18 @@ mem::Trace synthesizeStm(const mem::Trace &trace,
  */
 void initTelemetry(int argc = 0, char **argv = nullptr);
 
+/**
+ * Enable trace-event recording for a bench run.
+ *
+ * Parses "--trace-out PATH" from argv, falling back to the
+ * MOCKTAILS_TRACE_OUT environment variable. Installs a process-wide
+ * obs::TraceEventWriter and writes it at process exit (.bin -> compact
+ * binary, anything else -> Chrome trace_event JSON). Idempotent;
+ * banner() calls the env-only form, so every bench honours the
+ * variable without touching its main().
+ */
+void initTracing(int argc = 0, char **argv = nullptr);
+
 /** Print the bench banner. */
 void banner(const char *experiment_id, const char *description);
 

@@ -24,11 +24,14 @@
 #include <memory>
 #include <string>
 
+#include "cache/hierarchy.hpp"
 #include "core/model_generator.hpp"
 #include "core/summary.hpp"
 #include "core/synthesis.hpp"
 #include "dram/simulate.hpp"
 #include "dram/stats_dump.hpp"
+#include "obs/trace_event.hpp"
+#include "validation/attribution.hpp"
 #include "validation/validate.hpp"
 #include "mem/interop.hpp"
 #include "mem/trace_io.hpp"
@@ -49,8 +52,9 @@ usage()
     std::fprintf(
         stderr,
         "usage: profile_tool [--threads N] [--telemetry PATH]\n"
-        "                    [--telemetry-interval MS] <command> "
-        "[args]\n"
+        "                    [--telemetry-interval MS]\n"
+        "                    [--trace-out PATH] [--report-json PATH]\n"
+        "                    [--attribution PATH] <command> [args]\n"
         "  generate <workload> <requests> <trace.mkt>\n"
         "  profile  <trace.mkt> <profile.mkp> [cycles_per_phase]\n"
         "  synth    <profile.mkp> <out.mkt> [seed]\n"
@@ -59,6 +63,7 @@ usage()
         "  simulate <file.mkt|file.mkp> [--gem5-stats]\n"
         "  compare  <a.mkt|a.mkp> <b.mkt|b.mkp>\n"
         "  validate <trace.mkt> [profile.mkp]\n"
+        "  trace    <file.mkt|file.mkp> <out.json|out.bin>\n"
         "workloads: Table II names (e.g. HEVC1, T-Rex1, FBC-Linear1)\n"
         "           or SPEC names (e.g. gobmk, libquantum)\n"
         "--threads: worker threads for profile/synth/validate\n"
@@ -67,8 +72,18 @@ usage()
         "--telemetry: enable metric collection and append a final\n"
         "           snapshot to PATH (.csv -> CSV, else JSON lines)\n"
         "--telemetry-interval: also snapshot every MS milliseconds\n"
+        "--trace-out: record trace events during the command and\n"
+        "           write them to PATH (.bin -> compact binary, else\n"
+        "           Chrome trace_event JSON for chrome://tracing)\n"
+        "--report-json: validate only; dump the ValidationReport to\n"
+        "           PATH as JSON (exit stays 3 on failure)\n"
+        "--attribution: validate only; re-run the comparison per\n"
+        "           hierarchy leaf and write the ranked error table\n"
+        "           to PATH (JSON) and PATH-derived .md (markdown)\n"
         "validate with only a trace profiles it with the default\n"
-        "  hierarchy first (exercises the whole pipeline)\n");
+        "  hierarchy first (exercises the whole pipeline)\n"
+        "trace replays a trace (or a profile, synthesised with\n"
+        "  tracing on) through the DRAM and cache substrates\n");
     return 2;
 }
 
@@ -267,6 +282,22 @@ printDramMetrics(const char *label, const dram::SimulationResult &r)
                 r.avgReadLatency());
 }
 
+/** Extra validate outputs ("" = off), set by the global flags. */
+std::string g_report_json_path;
+std::string g_attribution_path;
+
+/** Companion markdown path: "a.json" -> "a.md", else PATH + ".md". */
+std::string
+markdownPathFor(const std::string &path)
+{
+    const std::string suffix = ".json";
+    if (path.size() > suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(),
+                     suffix) == 0)
+        return path.substr(0, path.size() - suffix.size()) + ".md";
+    return path + ".md";
+}
+
 int
 cmdValidate(const std::string &trace_path,
             const std::string &profile_path)
@@ -279,25 +310,117 @@ cmdValidate(const std::string &trace_path,
     }
     validation::ValidationOptions options;
     options.threads = g_threads;
-    validation::ValidationReport report;
+    core::Profile profile;
     if (profile_path.empty()) {
         // Single-argument form: build the profile here with the
         // default hierarchy, then synthesise and compare. One command
         // that exercises partitioning, fitting, synthesis, the DRAM
         // model and the cache hierarchy — the telemetry smoke test.
-        report = validation::validateConfig(
-            trace, core::PartitionConfig::twoLevelTs(500000), options);
-    } else {
-        core::Profile profile;
-        if (!core::loadProfile(profile_path, profile)) {
-            std::fprintf(stderr, "error: cannot read %s\n",
-                         profile_path.c_str());
+        profile = core::buildProfile(
+            trace, core::PartitionConfig::twoLevelTs(500000),
+            core::LeafModelerHooks{}, g_threads);
+    } else if (!core::loadProfile(profile_path, profile)) {
+        std::fprintf(stderr, "error: cannot read %s\n",
+                     profile_path.c_str());
+        return 1;
+    }
+    const validation::ValidationReport report =
+        validation::validateProfile(trace, profile, options);
+    std::fputs(validation::formatReport(report).c_str(), stdout);
+
+    if (!g_report_json_path.empty() &&
+        !validation::saveReportJson(report, g_report_json_path)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     g_report_json_path.c_str());
+        return 1;
+    }
+
+    if (!g_attribution_path.empty()) {
+        // Drill down: which leaves of the hierarchy carry the error.
+        validation::AttributionOptions attr_options;
+        attr_options.seed = options.seed;
+        attr_options.threads = g_threads;
+        const validation::AttributionReport attribution =
+            validation::attributeErrors(trace, profile, attr_options);
+        const std::string md_path =
+            markdownPathFor(g_attribution_path);
+        if (!validation::saveAttribution(attribution,
+                                         g_attribution_path)) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         g_attribution_path.c_str());
             return 1;
         }
-        report = validation::validateProfile(trace, profile, options);
+        const std::string markdown =
+            validation::attributionToMarkdown(attribution);
+        std::FILE *f = std::fopen(md_path.c_str(), "w");
+        if (f == nullptr ||
+            std::fwrite(markdown.data(), 1, markdown.size(), f) !=
+                markdown.size() ||
+            std::fclose(f) != 0) {
+            if (f != nullptr)
+                std::fclose(f);
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         md_path.c_str());
+            return 1;
+        }
+        std::printf("attribution: %zu leaves ranked -> %s, %s\n",
+                    attribution.leaves.size(),
+                    g_attribution_path.c_str(), md_path.c_str());
     }
-    std::fputs(validation::formatReport(report).c_str(), stdout);
     return report.passed ? 0 : 3;
+}
+
+int
+cmdTrace(const std::string &in, const std::string &out)
+{
+    // The command-scoped collector below (main) is optional here: the
+    // trace command always collects, into its own writer when no
+    // --trace-out was given.
+    obs::TraceEventWriter local;
+    obs::TraceEventWriter *writer = obs::collector();
+    const bool own_writer = writer == nullptr;
+    if (own_writer)
+        obs::setCollector(writer = &local);
+
+    mem::Trace trace;
+    bool loaded = mem::loadTrace(in, trace);
+    if (!loaded) {
+        core::Profile profile;
+        if (core::loadProfile(in, profile)) {
+            // Synthesise with the collector installed so leaf
+            // emission and merge events land in the output too.
+            trace = core::synthesize(profile, 1, g_threads);
+            loaded = true;
+        }
+    }
+    if (!loaded) {
+        if (own_writer)
+            obs::setCollector(nullptr);
+        std::fprintf(stderr, "error: cannot read %s\n", in.c_str());
+        return 1;
+    }
+
+    dram::simulateTrace(trace);
+    cache::Hierarchy hierarchy{cache::HierarchyConfig{}};
+    hierarchy.run(trace);
+
+    if (own_writer)
+        obs::setCollector(nullptr);
+
+    const bool binary =
+        out.size() > 4 &&
+        out.compare(out.size() - 4, 4, ".bin") == 0;
+    const bool ok =
+        binary ? writer->saveBinary(out) : writer->saveJson(out);
+    if (!ok) {
+        std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+        return 1;
+    }
+    std::printf("recorded %zu trace events (%llu dropped) -> %s\n",
+                writer->size(),
+                static_cast<unsigned long long>(writer->dropped()),
+                out.c_str());
+    return 0;
 }
 
 int
@@ -352,6 +475,9 @@ cmdCompare(const std::string &path_a, const std::string &path_b)
 std::string g_telemetry_path;
 std::uint64_t g_telemetry_interval_ms = 0;
 
+/** Trace-event output path ("" = tracing off). */
+std::string g_trace_out_path;
+
 /** Parse a non-negative integer flag value; exits with usage error. */
 bool
 parseUnsigned(const char *flag, const char *text, std::uint64_t &out)
@@ -405,6 +531,8 @@ dispatch(int argc, char **argv)
         return cmdCompare(argv[2], argv[3]);
     if (command == "validate" && (argc == 3 || argc == 4))
         return cmdValidate(argv[2], argc == 4 ? argv[3] : "");
+    if (command == "trace" && argc == 4)
+        return cmdTrace(argv[2], argv[3]);
     return usage();
 }
 
@@ -426,11 +554,25 @@ main(int argc, char **argv)
             if (!parseUnsigned("--telemetry-interval", argv[2], value))
                 return 2;
             g_telemetry_interval_ms = value;
+        } else if (std::strcmp(argv[1], "--trace-out") == 0) {
+            g_trace_out_path = argv[2];
+        } else if (std::strcmp(argv[1], "--report-json") == 0) {
+            g_report_json_path = argv[2];
+        } else if (std::strcmp(argv[1], "--attribution") == 0) {
+            g_attribution_path = argv[2];
         } else {
             return usage();
         }
         argc -= 2;
         argv += 2;
+    }
+
+    // --trace-out: collect trace events for the whole command and
+    // write them on the way out (.bin -> binary, else Chrome JSON).
+    std::unique_ptr<obs::TraceEventWriter> trace_writer;
+    if (!g_trace_out_path.empty()) {
+        trace_writer = std::make_unique<obs::TraceEventWriter>();
+        obs::setCollector(trace_writer.get());
     }
 
     std::unique_ptr<telemetry::Exporter> final_exporter;
@@ -454,6 +596,27 @@ main(int argc, char **argv)
     }
 
     const int rc = dispatch(argc, argv);
+
+    if (trace_writer) {
+        obs::setCollector(nullptr);
+        const std::string &path = g_trace_out_path;
+        const bool binary =
+            path.size() > 4 &&
+            path.compare(path.size() - 4, 4, ".bin") == 0;
+        const bool ok = binary ? trace_writer->saveBinary(path)
+                               : trace_writer->saveJson(path);
+        if (!ok) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         path.c_str());
+            return rc == 0 ? 1 : rc;
+        }
+        std::fprintf(stderr,
+                     "trace: %zu events (%llu dropped) -> %s\n",
+                     trace_writer->size(),
+                     static_cast<unsigned long long>(
+                         trace_writer->dropped()),
+                     path.c_str());
+    }
 
     if (periodic)
         periodic->stop(); // includes the final snapshot

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/trace_event.hpp"
 #include "telemetry/span.hpp"
 
 namespace mocktails::cache
@@ -47,12 +48,35 @@ Hierarchy::access(const mem::Request &request)
     const mem::Addr last = (request.end() - 1) / block_size;
     for (mem::Addr block = first; block <= last; ++block)
         touched_.insert(block);
+
+    // Observability: miss instants per level (the common all-hit case
+    // emits nothing, which keeps the event budget for the anomalies).
+    if (obs::TraceEventWriter *trace = obs::collector()) {
+        const std::uint64_t l1_before = l1_.stats().misses;
+        const std::uint64_t l2_before = l2_.stats().misses;
+        l1_.access(request);
+        if (l1_.stats().misses != l1_before) {
+            trace->instant(
+                "l1_miss", "cache", request.tick, obs::track::kCacheL1,
+                {{"addr", static_cast<std::int64_t>(request.addr)}});
+        }
+        if (l2_.stats().misses != l2_before) {
+            trace->instant(
+                "l2_miss", "cache", request.tick, obs::track::kCacheL2,
+                {{"addr", static_cast<std::int64_t>(request.addr)}});
+        }
+        return;
+    }
     l1_.access(request);
 }
 
 void
 Hierarchy::run(const mem::Trace &trace)
 {
+    if (obs::TraceEventWriter *events = obs::collector()) {
+        events->nameTrack(obs::track::kCacheL1, "cache L1 misses");
+        events->nameTrack(obs::track::kCacheL2, "cache L2 misses");
+    }
     if (!telemetry::enabled()) {
         for (const mem::Request &r : trace)
             access(r);

@@ -122,6 +122,13 @@ class StrictConvergenceSampler
     /** Values produced so far. */
     std::uint64_t generated() const { return generated_; }
 
+    /**
+     * State whose value the last next() call emitted (the initial
+     * state before any call) — the provenance hook that lets a
+     * synthesised request name the chain state that produced it.
+     */
+    std::size_t currentState() const { return current_; }
+
     /** True when the full training-length sequence was produced. */
     bool
     exhausted() const

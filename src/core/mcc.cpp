@@ -29,6 +29,12 @@ class MarkovSampler : public FeatureSampler
 
     std::int64_t next() override { return sampler_.next(); }
 
+    std::int64_t
+    lastState() const override
+    {
+        return static_cast<std::int64_t>(sampler_.currentState());
+    }
+
   private:
     StrictConvergenceSampler sampler_;
 };

@@ -35,6 +35,12 @@ class FeatureSampler
 
     /** Produce the next feature value. */
     virtual std::int64_t next() = 0;
+
+    /**
+     * Provenance: the Markov state index that emitted the last
+     * next() value, or -1 for stateless samplers (constant, custom).
+     */
+    virtual std::int64_t lastState() const { return -1; }
 };
 
 /**

@@ -10,6 +10,20 @@ namespace mocktails::core
 {
 
 std::string
+pathString(const std::vector<std::uint32_t> &path)
+{
+    if (path.empty())
+        return "root";
+    std::string out;
+    for (const std::uint32_t component : path) {
+        if (!out.empty())
+            out += '/';
+        out += std::to_string(component);
+    }
+    return out;
+}
+
+std::string
 PartitionLayer::describe() const
 {
     switch (kind) {
@@ -331,6 +345,8 @@ buildLeaves(const mem::Trace &trace, const PartitionConfig &config)
         bool hasBounds = false;
         mem::Addr lo = 0;
         mem::Addr hi = 0;
+        /// Child ordinal at each layer above (see Leaf::path).
+        std::vector<std::uint32_t> path;
     };
 
     IndexList all(trace.size());
@@ -338,7 +354,7 @@ buildLeaves(const mem::Trace &trace, const PartitionConfig &config)
         all[i] = i;
 
     std::vector<Node> nodes;
-    nodes.push_back({std::move(all), false, 0, 0});
+    nodes.push_back({std::move(all), false, 0, 0, {}});
 
     const bool collect = telemetry::enabled();
     telemetry::FixedHistogram *fanout = nullptr;
@@ -387,6 +403,13 @@ buildLeaves(const mem::Trace &trace, const PartitionConfig &config)
                 }
                 break;
             }
+            // Stamp each child's hierarchy path: the parent's path
+            // plus the child's ordinal within this node's split.
+            for (std::size_t k = before; k < next.size(); ++k) {
+                next[k].path = node.path;
+                next[k].path.push_back(
+                    static_cast<std::uint32_t>(k - before));
+            }
             if (collect) {
                 fanout->record(static_cast<std::int64_t>(next.size() -
                                                          before));
@@ -404,10 +427,11 @@ buildLeaves(const mem::Trace &trace, const PartitionConfig &config)
 
     std::vector<Leaf> leaves;
     leaves.reserve(nodes.size());
-    for (const Node &node : nodes) {
+    for (Node &node : nodes) {
         if (node.indices.empty())
             continue;
         Leaf leaf;
+        leaf.path = std::move(node.path);
         leaf.requests.reserve(node.indices.size());
         for (const std::uint32_t idx : node.indices)
             leaf.requests.push_back(trace[idx]);

@@ -119,7 +119,17 @@ struct Leaf
     std::vector<mem::Request> requests;
     mem::Addr addrLo = 0;
     mem::Addr addrHi = 0;
+
+    /**
+     * Position in the hierarchy: the child ordinal this leaf's chain
+     * of partitions occupied at each layer (empty for a flat config).
+     * Provenance/attribution reporting renders it via pathString().
+     */
+    std::vector<std::uint32_t> path;
 };
+
+/** Render a hierarchy path as "2/0" ("root" when empty). */
+std::string pathString(const std::vector<std::uint32_t> &path);
 
 /// @name Single-layer partitioners
 /// Input indices must be in time order; outputs preserve time order

@@ -1,7 +1,9 @@
 #include "core/synthesis.hpp"
 
+#include <algorithm>
 #include <cassert>
 
+#include "obs/trace_event.hpp"
 #include "telemetry/span.hpp"
 #include "util/thread_pool.hpp"
 
@@ -62,8 +64,10 @@ LeafSynthesizer::next(mem::Request &out)
     if (generated_ == 0) {
         time_ = leaf_->startTime;
         candidate = static_cast<std::int64_t>(leaf_->startAddr);
+        last_delta_state_ = -1; // the first request has no delta
     } else {
         const std::int64_t dt = delta_ ? delta_->next() : 0;
+        last_delta_state_ = delta_ ? delta_->lastState() : -1;
         time_ = static_cast<mem::Tick>(
             static_cast<std::int64_t>(time_) + dt);
         const std::int64_t stride = stride_ ? stride_->next() : 0;
@@ -83,8 +87,9 @@ LeafSynthesizer::next(mem::Request &out)
 }
 
 SynthesisEngine::SynthesisEngine(const Profile &profile,
-                                 std::uint64_t seed)
-    : rng_(seed)
+                                 std::uint64_t seed,
+                                 obs::ProvenanceTable *provenance)
+    : rng_(seed), provenance_(provenance)
 {
     const std::size_t n = profile.leaves.size();
     // Reserve up front: samplers keep references into leaf_rngs_, so
@@ -95,12 +100,37 @@ SynthesisEngine::SynthesisEngine(const Profile &profile,
 
     leaves_.reserve(n);
     pending_.resize(n);
+    if (provenance_) {
+        pending_state_.assign(n, -1);
+        provenance_->leaves().reserve(n);
+    }
     for (std::size_t i = 0; i < n; ++i) {
         leaves_.emplace_back(profile.leaves[i], leaf_rngs_[i]);
         total_ += profile.leaves[i].count;
+        if (provenance_) {
+            provenance_->leaves().push_back(describeLeaf(
+                profile.leaves[i], static_cast<std::uint32_t>(i)));
+        }
         if (leaves_.back().next(pending_[i])) {
+            if (provenance_)
+                pending_state_[i] = leaves_.back().lastDeltaState();
             heap_.push(HeapEntry{pending_[i].tick,
                                  static_cast<std::uint32_t>(i)});
+        }
+    }
+    if (provenance_)
+        provenance_->origins().reserve(total_);
+
+    if (obs::TraceEventWriter *events = obs::collector()) {
+        events->nameTrack(obs::track::kMerge, "synthesis merge");
+        // Label the leaf tracks, capped so profiles with thousands of
+        // leaves don't fill the metadata (unnamed tracks stay usable
+        // through their numeric tid).
+        const std::size_t named = std::min<std::size_t>(n, 256);
+        for (std::size_t i = 0; i < named; ++i) {
+            events->nameTrack(
+                obs::track::kLeafBase + static_cast<std::uint32_t>(i),
+                "leaf " + std::to_string(i));
         }
     }
 }
@@ -125,7 +155,23 @@ SynthesisEngine::next(mem::Request &out)
     out = pending_[entry.leaf];
     ++generated_;
 
+    if (provenance_) {
+        provenance_->origins().push_back(obs::RequestOrigin{
+            entry.leaf,
+            static_cast<std::int32_t>(pending_state_[entry.leaf])});
+    }
+    if (obs::TraceEventWriter *trace = obs::collector()) {
+        trace->instant("req", "synthesis", out.tick,
+                       obs::track::kLeafBase + entry.leaf,
+                       {{"leaf", entry.leaf},
+                        {"op", out.isWrite() ? 1 : 0}});
+    }
+
     if (leaves_[entry.leaf].next(pending_[entry.leaf])) {
+        if (provenance_) {
+            pending_state_[entry.leaf] =
+                leaves_[entry.leaf].lastDeltaState();
+        }
         heap_.push(
             HeapEntry{pending_[entry.leaf].tick, entry.leaf});
     }
@@ -174,6 +220,42 @@ LoopedSynthesis::next(mem::Request &out)
 namespace
 {
 
+/** McC family of a fitted feature model (see obs::FeatureMode). */
+obs::FeatureMode
+modeOf(const FeatureModelPtr &model)
+{
+    if (!model)
+        return obs::FeatureMode::Absent;
+    switch (model->tag()) {
+      case ConstantModel::kTag:
+        return obs::FeatureMode::Constant;
+      case MarkovModel::kTag:
+        return obs::FeatureMode::Markov;
+      default:
+        return obs::FeatureMode::Other;
+    }
+}
+
+} // namespace
+
+obs::LeafProvenance
+describeLeaf(const LeafModel &leaf, std::uint32_t index)
+{
+    obs::LeafProvenance out;
+    out.path = "leaf" + std::to_string(index);
+    out.count = leaf.count;
+    out.addrLo = leaf.addrLo;
+    out.addrHi = leaf.addrHi;
+    out.deltaTime = modeOf(leaf.deltaTime);
+    out.stride = modeOf(leaf.stride);
+    out.op = modeOf(leaf.op);
+    out.size = modeOf(leaf.size);
+    return out;
+}
+
+namespace
+{
+
 /**
  * Telemetry for one completed synthesis run. The merge-depth
  * distribution is sampled every kMergeSampleStride emitted requests
@@ -216,18 +298,22 @@ struct MergeEntry
 } // namespace
 
 mem::Trace
-synthesize(const Profile &profile, std::uint64_t seed, unsigned threads)
+synthesize(const Profile &profile, std::uint64_t seed, unsigned threads,
+           obs::ProvenanceTable *provenance)
 {
     const unsigned want =
         threads == 0 ? util::ThreadPool::defaultThreadCount() : threads;
     mem::Trace trace(profile.name + "-synth", profile.device);
     telemetry::Span span("synthesis.run");
     const bool collect = telemetry::enabled();
+    if (provenance)
+        provenance->clear();
 
     if (want <= 1 || profile.leaves.size() < 2) {
-        SynthesisEngine engine(profile, seed);
+        SynthesisEngine engine(profile, seed, provenance);
         trace.requests().reserve(engine.total());
         mem::Request request;
+        obs::TraceEventWriter *events = obs::collector();
         if (collect) {
             auto &depth = mergeDepthHistogram();
             while (engine.next(request)) {
@@ -235,13 +321,28 @@ synthesize(const Profile &profile, std::uint64_t seed, unsigned threads)
                 if (engine.generated() % kMergeSampleStride == 1) {
                     depth.record(static_cast<std::int64_t>(
                         engine.heapDepth()));
+                    if (events) {
+                        events->counter(
+                            "merge_depth", "synthesis", request.tick,
+                            static_cast<std::int64_t>(
+                                engine.heapDepth()),
+                            obs::track::kMerge);
+                    }
                 }
             }
             publishSynthesisRun(engine.generated(),
                                 engine.addressWraps());
         } else {
-            while (engine.next(request))
+            while (engine.next(request)) {
                 trace.add(request);
+                if (events &&
+                    engine.generated() % kMergeSampleStride == 1) {
+                    events->counter(
+                        "merge_depth", "synthesis", request.tick,
+                        static_cast<std::int64_t>(engine.heapDepth()),
+                        obs::track::kMerge);
+                }
+            }
         }
         return trace;
     }
@@ -261,6 +362,17 @@ synthesize(const Profile &profile, std::uint64_t seed, unsigned threads)
     // the parallel loop needs no shared counters and stays
     // deterministic; the slots are summed after the join.
     std::vector<std::uint64_t> wraps(n, 0);
+    // Per-leaf delta-state provenance, recorded at generation time in
+    // each worker and mapped to the merged order afterwards.
+    std::vector<std::vector<std::int32_t>> states(
+        provenance ? n : std::size_t{0});
+    if (provenance) {
+        provenance->leaves().reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            provenance->leaves().push_back(describeLeaf(
+                profile.leaves[i], static_cast<std::uint32_t>(i)));
+        }
+    }
     util::parallelFor(
         n,
         [&](std::size_t i) {
@@ -269,8 +381,19 @@ synthesize(const Profile &profile, std::uint64_t seed, unsigned threads)
             auto &run = runs[i];
             run.resize(leaf.count);
             std::size_t made = 0;
-            while (made < run.size() && synth.next(run[made]))
-                ++made;
+            if (provenance) {
+                auto &leaf_states = states[i];
+                leaf_states.resize(leaf.count);
+                while (made < run.size() && synth.next(run[made])) {
+                    leaf_states[made] = static_cast<std::int32_t>(
+                        synth.lastDeltaState());
+                    ++made;
+                }
+                leaf_states.resize(made);
+            } else {
+                while (made < run.size() && synth.next(run[made]))
+                    ++made;
+            }
             run.resize(made);
             wraps[i] = synth.addressWraps();
         },
@@ -294,15 +417,48 @@ synthesize(const Profile &profile, std::uint64_t seed, unsigned threads)
                                  static_cast<std::uint32_t>(i)});
         }
     }
+    if (provenance)
+        provenance->origins().reserve(total);
     telemetry::FixedHistogram *depth =
         collect ? &mergeDepthHistogram() : nullptr;
+    obs::TraceEventWriter *events = obs::collector();
+    if (events) {
+        events->nameTrack(obs::track::kMerge, "synthesis merge");
+        const std::size_t named = std::min<std::size_t>(n, 256);
+        for (std::size_t i = 0; i < named; ++i) {
+            events->nameTrack(
+                obs::track::kLeafBase + static_cast<std::uint32_t>(i),
+                "leaf " + std::to_string(i));
+        }
+    }
     std::uint64_t emitted = 0;
     while (!heap.empty()) {
         const MergeEntry entry = heap.top();
         heap.pop();
-        trace.add(runs[entry.leaf][pos[entry.leaf]]);
-        if (depth && ++emitted % kMergeSampleStride == 1)
-            depth->record(static_cast<std::int64_t>(heap.size() + 1));
+        const mem::Request &request = runs[entry.leaf][pos[entry.leaf]];
+        trace.add(request);
+        if (provenance) {
+            provenance->origins().push_back(obs::RequestOrigin{
+                entry.leaf, states[entry.leaf][pos[entry.leaf]]});
+        }
+        if (events) {
+            events->instant("req", "synthesis", request.tick,
+                            obs::track::kLeafBase + entry.leaf,
+                            {{"leaf", entry.leaf},
+                             {"op", request.isWrite() ? 1 : 0}});
+        }
+        ++emitted;
+        if (emitted % kMergeSampleStride == 1) {
+            if (depth)
+                depth->record(
+                    static_cast<std::int64_t>(heap.size() + 1));
+            if (events) {
+                events->counter(
+                    "merge_depth", "synthesis", request.tick,
+                    static_cast<std::int64_t>(heap.size() + 1),
+                    obs::track::kMerge);
+            }
+        }
         if (++pos[entry.leaf] < runs[entry.leaf].size()) {
             heap.push(MergeEntry{
                 runs[entry.leaf][pos[entry.leaf]].tick, entry.leaf});

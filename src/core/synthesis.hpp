@@ -21,6 +21,7 @@
 #include "core/profile.hpp"
 #include "mem/source.hpp"
 #include "mem/trace.hpp"
+#include "obs/provenance.hpp"
 #include "util/rng.hpp"
 
 namespace mocktails::core
@@ -46,6 +47,13 @@ class LeafSynthesizer
     /** Candidates wrapped/pinned back into the leaf's region. */
     std::uint64_t addressWraps() const { return wraps_; }
 
+    /**
+     * Provenance: the Markov state that emitted the inter-arrival
+     * delta of the last next() request, or -1 when the delta model is
+     * constant/absent or for the leaf's first request (no delta).
+     */
+    std::int64_t lastDeltaState() const { return last_delta_state_; }
+
   private:
     /**
      * Wrap a candidate start address into [addrLo, addrHi - size] so
@@ -66,6 +74,7 @@ class LeafSynthesizer
     mem::Addr addr_ = 0;
     std::uint64_t generated_ = 0;
     std::uint64_t wraps_ = 0;
+    std::int64_t last_delta_state_ = -1;
 };
 
 /**
@@ -79,9 +88,16 @@ class SynthesisEngine : public mem::RequestSource
      * @param profile Must outlive the engine.
      * @param seed Seed for all stochastic choices; equal seeds give
      *             identical streams.
+     * @param provenance Optional side channel (must outlive the
+     *             engine): one RequestOrigin is appended per emitted
+     *             request, index-aligned with the output order, and
+     *             the per-leaf metadata is filled at construction.
+     *             The request stream itself is bit-identical with and
+     *             without a table attached.
      */
     explicit SynthesisEngine(const Profile &profile,
-                             std::uint64_t seed = 1);
+                             std::uint64_t seed = 1,
+                             obs::ProvenanceTable *provenance = nullptr);
 
     bool next(mem::Request &out) override;
 
@@ -116,6 +132,11 @@ class SynthesisEngine : public mem::RequestSource
     std::vector<util::Rng> leaf_rngs_;
     std::vector<LeafSynthesizer> leaves_;
     std::vector<mem::Request> pending_;
+    /// Delta-state provenance of each leaf's pending request (the
+    /// engine prefetches, so the state must be captured at generation
+    /// time, not at emission).
+    std::vector<std::int64_t> pending_state_;
+    obs::ProvenanceTable *provenance_ = nullptr;
     std::priority_queue<HeapEntry, std::vector<HeapEntry>,
                         std::greater<HeapEntry>>
         heap_;
@@ -135,9 +156,21 @@ class SynthesisEngine : public mem::RequestSource
  *
  * @param threads Worker cap; 0 = one per hardware thread, 1 = the
  *                exact sequential engine loop.
+ * @param provenance Optional request-provenance side channel; filled
+ *                index-aligned with the returned trace (identical at
+ *                every thread count, like the trace itself).
  */
 mem::Trace synthesize(const Profile &profile, std::uint64_t seed = 1,
-                      unsigned threads = 1);
+                      unsigned threads = 1,
+                      obs::ProvenanceTable *provenance = nullptr);
+
+/**
+ * Provenance metadata of one leaf model: McC feature modes, range and
+ * count, with the placeholder path "leaf<index>" (callers that know
+ * the hierarchy overwrite it with the real path).
+ */
+obs::LeafProvenance describeLeaf(const LeafModel &leaf,
+                                 std::uint32_t index);
 
 /**
  * Replays a profile repeatedly to drive simulations longer than the

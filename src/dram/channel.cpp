@@ -2,13 +2,15 @@
 
 #include <cassert>
 
+#include "obs/trace_event.hpp"
+
 namespace mocktails::dram
 {
 
 Channel::Channel(sim::EventQueue &events, const DramConfig &config,
-                 CompletionCallback on_complete)
+                 CompletionCallback on_complete, std::uint32_t id)
     : events_(events), config_(config),
-      on_complete_(std::move(on_complete)),
+      on_complete_(std::move(on_complete)), id_(id),
       open_row_(config.banksPerChannel())
 {
     stats_.perBankReadBursts.assign(config.banksPerChannel(), 0);
@@ -94,6 +96,10 @@ Channel::performRefresh()
     for (auto &row : open_row_)
         row.reset();
     ++stats_.refreshes;
+    if (obs::TraceEventWriter *trace = obs::collector()) {
+        trace->complete("refresh", "dram", events_.now(), config_.tRFC,
+                        obs::track::kDramBase + id_);
+    }
 
     busy_ = true;
     stats_.busyCycles += config_.tRFC;
@@ -166,6 +172,19 @@ Channel::service(std::deque<Burst> &queue, std::size_t index)
             ++stats_.writeRowHits;
         ++stats_.perBankWriteBursts[burst.bank];
         ++writes_this_drain_;
+    }
+
+    // Observability: the burst's bus occupancy as a duration on this
+    // channel's track, with the row outcome and bank as drill-down
+    // args (0 = miss, 1 = hit, 2 = conflict).
+    if (obs::TraceEventWriter *trace = obs::collector()) {
+        trace->complete(
+            burst.isRead ? "R" : "W", "dram", events_.now(),
+            bus_free - events_.now(), obs::track::kDramBase + id_,
+            {{"row", conflict ? 2 : (hit ? 1 : 0)},
+             {"bank", burst.bank},
+             {"queued", static_cast<std::int64_t>(
+                            read_queue_.size() + write_queue_.size())}});
     }
 
     open_row_[burst.bank] = burst.row;

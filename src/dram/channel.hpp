@@ -49,8 +49,9 @@ class Channel
     using CompletionCallback =
         std::function<void(const Burst &, sim::Tick completion)>;
 
+    /** @param id Channel index, used to label observability tracks. */
     Channel(sim::EventQueue &events, const DramConfig &config,
-            CompletionCallback on_complete);
+            CompletionCallback on_complete, std::uint32_t id = 0);
 
     /** Bursts currently queued for reading. */
     std::size_t readQueueSize() const { return read_queue_.size(); }
@@ -107,6 +108,7 @@ class Channel
     sim::EventQueue &events_;
     DramConfig config_;
     CompletionCallback on_complete_;
+    std::uint32_t id_ = 0;
 
     std::deque<Burst> read_queue_;
     std::deque<Burst> write_queue_;

@@ -16,7 +16,8 @@ MemorySystem::MemorySystem(sim::EventQueue &events,
             events_, config_,
             [this](const Burst &b, sim::Tick t) {
                 onBurstComplete(b, t);
-            }));
+            },
+            c));
     }
 }
 

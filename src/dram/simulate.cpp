@@ -4,6 +4,7 @@
 
 #include "dram/memory_system.hpp"
 #include "dram/trace_player.hpp"
+#include "obs/trace_event.hpp"
 #include "sim/event_queue.hpp"
 #include "telemetry/span.hpp"
 
@@ -155,6 +156,13 @@ simulateSource(mem::RequestSource &source,
     TracePlayer player(events, source, [&](const mem::Request &r) {
         return xbar.trySend(r);
     });
+
+    if (obs::TraceEventWriter *trace = obs::collector()) {
+        for (std::uint32_t c = 0; c < memory.channelCount(); ++c) {
+            trace->nameTrack(obs::track::kDramBase + c,
+                             "dram channel " + std::to_string(c));
+        }
+    }
 
     player.start();
     events.run();

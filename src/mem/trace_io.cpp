@@ -106,27 +106,91 @@ saveTraceCsv(const Trace &trace, const std::string &path)
     return std::fclose(f) == 0;
 }
 
+namespace
+{
+
+/**
+ * Read one full line of any length (fgets into a fixed buffer would
+ * silently split long lines into two bogus records).
+ * @return false at end of file with nothing read.
+ */
 bool
-loadTraceCsv(const std::string &path, Trace &trace)
+readLine(std::FILE *f, std::string &line)
+{
+    line.clear();
+    char chunk[256];
+    while (std::fgets(chunk, sizeof(chunk), f)) {
+        line += chunk;
+        if (!line.empty() && line.back() == '\n') {
+            line.pop_back();
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return true;
+        }
+    }
+    return !line.empty();
+}
+
+void
+setParseError(std::string *error, const std::string &path,
+              std::uint64_t line_number, const std::string &message,
+              const std::string &line)
+{
+    if (error == nullptr)
+        return;
+    *error = path + ":" + std::to_string(line_number) + ": " + message;
+    if (!line.empty()) {
+        // Quote at most the head of the line; enough to recognise it.
+        const std::string head = line.substr(0, 64);
+        *error += " in '" + head +
+                  (line.size() > head.size() ? "...'" : "'");
+    }
+}
+
+} // namespace
+
+bool
+loadTraceCsv(const std::string &path, Trace &trace, std::string *error)
 {
     std::FILE *f = std::fopen(path.c_str(), "r");
-    if (!f)
+    if (!f) {
+        if (error != nullptr)
+            *error = path + ": cannot open file";
         return false;
+    }
 
     trace = Trace();
-    char line[256];
-    bool first = true;
-    while (std::fgets(line, sizeof(line), f)) {
-        if (first) {
-            first = false;
-            if (std::strncmp(line, "tick", 4) == 0)
-                continue; // header
-        }
+    std::string line;
+    std::uint64_t line_number = 0;
+    while (readLine(f, line)) {
+        ++line_number;
+        if (line_number == 1 && line.compare(0, 4, "tick") == 0)
+            continue; // header
+        if (line.empty())
+            continue;
         std::uint64_t tick = 0, addr = 0;
         unsigned size = 0;
         char op = 0;
-        if (std::sscanf(line, "%" SCNu64 ",0x%" SCNx64 ",%c,%u", &tick,
-                        &addr, &op, &size) != 4) {
+        int consumed = 0;
+        if (std::sscanf(line.c_str(),
+                        "%" SCNu64 ",0x%" SCNx64 ",%c,%u%n", &tick,
+                        &addr, &op, &size, &consumed) != 4) {
+            setParseError(error, path, line_number,
+                          "expected 'tick,0xaddr,op,size'", line);
+            std::fclose(f);
+            return false;
+        }
+        if (static_cast<std::size_t>(consumed) != line.size()) {
+            setParseError(error, path, line_number,
+                          "trailing garbage after record", line);
+            std::fclose(f);
+            return false;
+        }
+        if (op != 'R' && op != 'W') {
+            setParseError(error, path, line_number,
+                          std::string("unknown op '") + op +
+                              "' (expected R or W)",
+                          line);
             std::fclose(f);
             return false;
         }
@@ -134,6 +198,16 @@ loadTraceCsv(const std::string &path, Trace &trace)
     }
     std::fclose(f);
     return true;
+}
+
+bool
+loadTraceCsv(const std::string &path, Trace &trace)
+{
+    std::string error;
+    if (loadTraceCsv(path, trace, &error))
+        return true;
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return false;
 }
 
 } // namespace mocktails::mem

@@ -39,7 +39,16 @@ bool loadTrace(const std::string &path, Trace &trace);
 /** Write "tick,addr,op,size" CSV with a header line. */
 bool saveTraceCsv(const Trace &trace, const std::string &path);
 
-/** Parse CSV produced by saveTraceCsv. @return true on success. */
+/**
+ * Parse CSV produced by saveTraceCsv. @return true on success.
+ *
+ * Malformed input fails loudly: @p error (when non-null) receives a
+ * "path:line: message" diagnostic naming the offending line; lines of
+ * any length are handled (no fixed buffer). The two-argument overload
+ * prints the diagnostic to stderr instead of swallowing it.
+ */
+bool loadTraceCsv(const std::string &path, Trace &trace,
+                  std::string *error);
 bool loadTraceCsv(const std::string &path, Trace &trace);
 
 } // namespace mocktails::mem

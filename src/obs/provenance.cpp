@@ -1,0 +1,33 @@
+#include "obs/provenance.hpp"
+
+namespace mocktails::obs
+{
+
+const char *
+toString(FeatureMode mode)
+{
+    switch (mode) {
+      case FeatureMode::Absent:
+        return "-";
+      case FeatureMode::Constant:
+        return "const";
+      case FeatureMode::Markov:
+        return "markov";
+      case FeatureMode::Other:
+        return "other";
+    }
+    return "?";
+}
+
+std::vector<std::uint64_t>
+ProvenanceTable::requestsPerLeaf() const
+{
+    std::vector<std::uint64_t> counts(leaves_.size(), 0);
+    for (const RequestOrigin &origin : origins_) {
+        if (origin.leaf < counts.size())
+            ++counts[origin.leaf];
+    }
+    return counts;
+}
+
+} // namespace mocktails::obs

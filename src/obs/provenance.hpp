@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Request provenance: which part of the model produced each request.
+ *
+ * A Mocktails synthetic stream is the merge of many per-leaf streams,
+ * each driven by four independent McC feature models. When a metric
+ * of the synthetic stream misses its baseline, the aggregate stream
+ * cannot say *which leaf* (or which layer of the partitioning
+ * hierarchy, or which Markov chain) produced the error. This module
+ * carries that origin information as a side channel — one compact
+ * record per synthesised request, index-aligned with the output trace
+ * — so mem::Request itself never grows and the disabled path stays
+ * bit-identical and free.
+ *
+ * The table has two levels:
+ *  - LeafProvenance (one per leaf): the leaf's position in the
+ *    hierarchy (path), its synthesis metadata, and the McC mode of
+ *    each feature model (Constant vs Markov chain).
+ *  - RequestOrigin (one per request): the emitting leaf plus the
+ *    Markov state that produced the request's inter-arrival delta
+ *    (-1 when the delta model is constant/absent, or for a leaf's
+ *    first request, which has no delta).
+ */
+
+#ifndef MOCKTAILS_OBS_PROVENANCE_HPP
+#define MOCKTAILS_OBS_PROVENANCE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mocktails::obs
+{
+
+/** The McC family of one fitted feature model. */
+enum class FeatureMode : std::uint8_t
+{
+    Absent = 0,   ///< no model (empty training sequence)
+    Constant = 1, ///< single repeated value
+    Markov = 2,   ///< first-order Markov chain
+    Other = 3,    ///< custom model (e.g. the STM baseline)
+};
+
+/** Short name: "-", "const", "markov", "other". */
+const char *toString(FeatureMode mode);
+
+/**
+ * Static origin metadata of one hierarchy leaf.
+ */
+struct LeafProvenance
+{
+    /**
+     * Position in the partitioning hierarchy: the child ordinal at
+     * each layer, "/"-joined (e.g. "2/0" = third temporal window,
+     * first spatial region). Leaves synthesised from a bare profile
+     * (no trace to re-partition) fall back to "leaf<N>".
+     */
+    std::string path;
+
+    std::uint64_t count = 0;  ///< requests the leaf synthesises
+    std::uint64_t addrLo = 0; ///< leaf address range, [lo, hi)
+    std::uint64_t addrHi = 0;
+
+    FeatureMode deltaTime = FeatureMode::Absent;
+    FeatureMode stride = FeatureMode::Absent;
+    FeatureMode op = FeatureMode::Absent;
+    FeatureMode size = FeatureMode::Absent;
+};
+
+/**
+ * Per-request origin, index-aligned with the synthesised trace.
+ */
+struct RequestOrigin
+{
+    std::uint32_t leaf = 0;      ///< index into ProvenanceTable::leaves
+    std::int32_t deltaState = -1; ///< Markov state of the delta, or -1
+};
+
+/**
+ * The provenance side channel of one synthesis run.
+ *
+ * Filled by core::SynthesisEngine / core::synthesize when a table is
+ * passed in; origins()[i] describes the i-th request of the output
+ * trace.
+ */
+class ProvenanceTable
+{
+  public:
+    std::vector<LeafProvenance> &leaves() { return leaves_; }
+    const std::vector<LeafProvenance> &leaves() const { return leaves_; }
+
+    std::vector<RequestOrigin> &origins() { return origins_; }
+    const std::vector<RequestOrigin> &origins() const { return origins_; }
+
+    /** Drop all recorded state (e.g. between synthesis runs). */
+    void
+    clear()
+    {
+        leaves_.clear();
+        origins_.clear();
+    }
+
+    /**
+     * Requests emitted by each leaf, summed over origins(). The vector
+     * has leaves().size() entries.
+     */
+    std::vector<std::uint64_t> requestsPerLeaf() const;
+
+  private:
+    std::vector<LeafProvenance> leaves_;
+    std::vector<RequestOrigin> origins_;
+};
+
+} // namespace mocktails::obs
+
+#endif // MOCKTAILS_OBS_PROVENANCE_HPP

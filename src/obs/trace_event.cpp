@@ -1,0 +1,378 @@
+#include "obs/trace_event.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+#include "util/codec.hpp"
+
+namespace mocktails::obs
+{
+
+namespace
+{
+
+std::atomic<TraceEventWriter *> g_collector{nullptr};
+
+constexpr std::uint64_t kMagic = 0x4d4b5445; // "MKTE"
+constexpr std::uint64_t kVersion = 1;
+
+/** Append @p s to @p out with JSON string escaping. */
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+} // namespace
+
+TraceEventWriter *
+collector()
+{
+    return g_collector.load(std::memory_order_acquire);
+}
+
+void
+setCollector(TraceEventWriter *writer)
+{
+    g_collector.store(writer, std::memory_order_release);
+}
+
+TraceEventWriter::TraceEventWriter(std::size_t max_events)
+    : max_events_(max_events)
+{
+    // Id 0 is the empty string so "no name" needs no special case.
+    strings_.emplace_back();
+}
+
+std::uint32_t
+TraceEventWriter::intern(const std::string &s)
+{
+    // Linear scan is fine: instrumentation uses a handful of fixed
+    // names, and the scan avoids keeping a side map coherent with
+    // decode()'s direct table rebuild.
+    for (std::uint32_t i = 0; i < strings_.size(); ++i) {
+        if (strings_[i] == s)
+            return i;
+    }
+    strings_.push_back(s);
+    return static_cast<std::uint32_t>(strings_.size() - 1);
+}
+
+void
+TraceEventWriter::record(TraceEvent event)
+{
+    if (events_.size() >= max_events_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(std::move(event));
+}
+
+void
+TraceEventWriter::complete(const char *name, const char *category,
+                           std::uint64_t ts, std::uint64_t dur,
+                           std::uint32_t tid,
+                           std::initializer_list<Arg> args)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TraceEvent event;
+    event.phase = 'X';
+    event.name = intern(name);
+    event.category = intern(category);
+    event.ts = ts;
+    event.dur = dur;
+    event.tid = tid;
+    for (const Arg &arg : args)
+        event.args.emplace_back(intern(arg.first), arg.second);
+    record(std::move(event));
+}
+
+void
+TraceEventWriter::instant(const char *name, const char *category,
+                          std::uint64_t ts, std::uint32_t tid,
+                          std::initializer_list<Arg> args)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TraceEvent event;
+    event.phase = 'i';
+    event.name = intern(name);
+    event.category = intern(category);
+    event.ts = ts;
+    event.tid = tid;
+    for (const Arg &arg : args)
+        event.args.emplace_back(intern(arg.first), arg.second);
+    record(std::move(event));
+}
+
+void
+TraceEventWriter::counter(const char *name, const char *category,
+                          std::uint64_t ts, std::int64_t value,
+                          std::uint32_t tid)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TraceEvent event;
+    event.phase = 'C';
+    event.name = intern(name);
+    event.category = intern(category);
+    event.ts = ts;
+    event.tid = tid;
+    event.args.emplace_back(intern("value"), value);
+    record(std::move(event));
+}
+
+void
+TraceEventWriter::nameTrack(std::uint32_t tid, const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Last label wins; repeated naming (one call per run) stays one
+    // metadata event per track.
+    for (auto &entry : track_names_) {
+        if (entry.first == tid) {
+            entry.second = intern(name);
+            return;
+        }
+    }
+    track_names_.emplace_back(tid, intern(name));
+}
+
+std::size_t
+TraceEventWriter::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::uint64_t
+TraceEventWriter::dropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+std::string
+TraceEventWriter::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    // ~96 bytes per rendered event is a close upper bound for the
+    // built-in instrumentation; reserve to avoid quadratic growth.
+    out.reserve(64 + events_.size() * 96);
+    out += "{\"traceEvents\":[";
+    bool first = true;
+    char buf[96];
+
+    for (const auto &[tid, name] : track_names_) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,";
+        std::snprintf(buf, sizeof(buf), "\"tid\":%u,\"args\":{\"name\":",
+                      tid);
+        out += buf;
+        appendJsonString(out, strings_[name]);
+        out += "}}";
+    }
+
+    for (const TraceEvent &e : events_) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"ph\":\"";
+        out += e.phase;
+        out += "\",\"name\":";
+        appendJsonString(out, strings_[e.name]);
+        out += ",\"cat\":";
+        appendJsonString(out, strings_[e.category]);
+        std::snprintf(buf, sizeof(buf),
+                      ",\"ts\":%llu,\"pid\":1,\"tid\":%u",
+                      static_cast<unsigned long long>(e.ts), e.tid);
+        out += buf;
+        if (e.phase == 'X') {
+            std::snprintf(buf, sizeof(buf), ",\"dur\":%llu",
+                          static_cast<unsigned long long>(e.dur));
+            out += buf;
+        }
+        if (e.phase == 'i')
+            out += ",\"s\":\"t\""; // instant scoped to its track
+        if (!e.args.empty()) {
+            out += ",\"args\":{";
+            bool first_arg = true;
+            for (const auto &[key, value] : e.args) {
+                if (!first_arg)
+                    out += ',';
+                first_arg = false;
+                appendJsonString(out, strings_[key]);
+                std::snprintf(buf, sizeof(buf), ":%lld",
+                              static_cast<long long>(value));
+                out += buf;
+            }
+            out += '}';
+        }
+        out += '}';
+    }
+    out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(dropped_));
+    out += buf;
+    out += "}}";
+    return out;
+}
+
+std::vector<std::uint8_t>
+TraceEventWriter::encode() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    util::ByteWriter w;
+    w.putVarint(kMagic);
+    w.putVarint(kVersion);
+    w.putVarint(dropped_);
+
+    w.putVarint(strings_.size());
+    for (const std::string &s : strings_)
+        w.putString(s);
+
+    w.putVarint(track_names_.size());
+    for (const auto &[tid, name] : track_names_) {
+        w.putVarint(tid);
+        w.putVarint(name);
+    }
+
+    w.putVarint(events_.size());
+    std::uint64_t last_ts = 0;
+    for (const TraceEvent &e : events_) {
+        w.putByte(static_cast<std::uint8_t>(e.phase));
+        w.putVarint(e.name);
+        w.putVarint(e.category);
+        // Events arrive roughly time-ordered per source; delta-encode
+        // the timestamps so the common case packs into 1-2 bytes.
+        w.putSigned(static_cast<std::int64_t>(e.ts - last_ts));
+        last_ts = e.ts;
+        w.putVarint(e.dur);
+        w.putVarint(e.tid);
+        w.putVarint(e.args.size());
+        for (const auto &[key, value] : e.args) {
+            w.putVarint(key);
+            w.putSigned(value);
+        }
+    }
+    return w.bytes();
+}
+
+bool
+TraceEventWriter::decode(const std::vector<std::uint8_t> &bytes,
+                         TraceEventWriter &writer)
+{
+    util::ByteReader r(bytes);
+    if (r.getVarint() != kMagic || r.getVarint() != kVersion)
+        return false;
+
+    TraceEventWriter out;
+    out.dropped_ = r.getVarint();
+
+    const std::uint64_t n_strings = r.getVarint();
+    if (!r.ok() || n_strings == 0 || n_strings > r.remaining() + 1)
+        return false;
+    out.strings_.clear();
+    out.strings_.reserve(n_strings);
+    for (std::uint64_t i = 0; i < n_strings; ++i)
+        out.strings_.push_back(r.getString());
+
+    const std::uint64_t n_tracks = r.getVarint();
+    if (!r.ok() || n_tracks > r.remaining() + 1)
+        return false;
+    for (std::uint64_t i = 0; i < n_tracks; ++i) {
+        const auto tid = static_cast<std::uint32_t>(r.getVarint());
+        const auto name = static_cast<std::uint32_t>(r.getVarint());
+        if (name >= out.strings_.size())
+            return false;
+        out.track_names_.emplace_back(tid, name);
+    }
+
+    const std::uint64_t n_events = r.getVarint();
+    // Each encoded event is at least 7 bytes.
+    if (!r.ok() || n_events > r.remaining() / 7 + 1)
+        return false;
+    out.events_.reserve(n_events);
+    out.max_events_ =
+        std::max<std::size_t>(out.max_events_, n_events);
+    std::uint64_t last_ts = 0;
+    for (std::uint64_t i = 0; i < n_events; ++i) {
+        TraceEvent e;
+        e.phase = static_cast<char>(r.getByte());
+        e.name = static_cast<std::uint32_t>(r.getVarint());
+        e.category = static_cast<std::uint32_t>(r.getVarint());
+        last_ts += static_cast<std::uint64_t>(r.getSigned());
+        e.ts = last_ts;
+        e.dur = r.getVarint();
+        e.tid = static_cast<std::uint32_t>(r.getVarint());
+        const std::uint64_t n_args = r.getVarint();
+        if (!r.ok() || n_args > r.remaining() + 1)
+            return false;
+        for (std::uint64_t a = 0; a < n_args; ++a) {
+            const auto key = static_cast<std::uint32_t>(r.getVarint());
+            const std::int64_t value = r.getSigned();
+            e.args.emplace_back(key, value);
+        }
+        if (e.name >= out.strings_.size() ||
+            e.category >= out.strings_.size())
+            return false;
+        out.events_.push_back(std::move(e));
+    }
+    if (!r.ok())
+        return false;
+
+    // The mutex makes the writer non-movable; hand the decoded state
+    // over field by field under the destination's lock.
+    std::lock_guard<std::mutex> lock(writer.mutex_);
+    writer.max_events_ = std::max(writer.max_events_, out.max_events_);
+    writer.dropped_ = out.dropped_;
+    writer.strings_ = std::move(out.strings_);
+    writer.track_names_ = std::move(out.track_names_);
+    writer.events_ = std::move(out.events_);
+    return true;
+}
+
+bool
+TraceEventWriter::saveJson(const std::string &path) const
+{
+    const std::string json = toJson();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    return std::fclose(f) == 0 && written == json.size();
+}
+
+bool
+TraceEventWriter::saveBinary(const std::string &path) const
+{
+    return util::saveBytes(path, encode());
+}
+
+} // namespace mocktails::obs

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Bounded trace-event recording in Chrome trace_event format.
+ *
+ * Telemetry (src/telemetry) answers *how much*; this module answers
+ * *when and from where*: discrete events — a synthetic request being
+ * emitted, a DRAM burst occupying the bus, a cache miss — recorded
+ * with their simulated timestamp and an origin track, so a whole run
+ * can be opened in chrome://tracing or Perfetto and scrubbed along
+ * the simulated timeline.
+ *
+ * Design constraints mirror the telemetry subsystem:
+ *  - Disabled is free: instrumentation sites guard on collector()
+ *    returning nullptr (one pointer load) and never touch the
+ *    simulated state, so runs without tracing are bit-identical.
+ *  - Bounded and lossy-safe: the writer owns a fixed event budget;
+ *    once full, further events are counted as dropped instead of
+ *    growing without bound. A truncated file is still valid JSON and
+ *    still loads in the viewer.
+ *  - Two serialisations: the JSON "traceEvents" array the Chrome/
+ *    Perfetto UIs consume, and a compact varint-packed binary form
+ *    (same codec family as traces/profiles) for archival.
+ *
+ * Timestamps: the trace_event "ts" field is nominally microseconds.
+ * Simulated ticks are written through 1:1 — one tick displays as one
+ * microsecond, which preserves every ratio the viewer shows.
+ */
+
+#ifndef MOCKTAILS_OBS_TRACE_EVENT_HPP
+#define MOCKTAILS_OBS_TRACE_EVENT_HPP
+
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mocktails::obs
+{
+
+/**
+ * Track-id ("tid") conventions of the built-in instrumentation, so
+ * the different subsystems land on disjoint, stably-named tracks in
+ * the viewer.
+ */
+namespace track
+{
+constexpr std::uint32_t kMerge = 0;       ///< synthesis merge counters
+constexpr std::uint32_t kDramBase = 1;    ///< + DRAM channel index
+constexpr std::uint32_t kCacheL1 = 900;   ///< L1 miss events
+constexpr std::uint32_t kCacheL2 = 901;   ///< L2 miss events
+constexpr std::uint32_t kLeafBase = 1000; ///< + synthesis leaf index
+} // namespace track
+
+/**
+ * One recorded event. Names, categories and argument keys are
+ * interned; args hold integer values only (enough for ids, rows,
+ * depths and flags, and it keeps the binary form compact).
+ */
+struct TraceEvent
+{
+    std::uint32_t name = 0;     ///< index into the intern table
+    std::uint32_t category = 0; ///< index into the intern table
+    char phase = 'i';           ///< 'X' complete, 'i' instant, 'C' counter
+    std::uint64_t ts = 0;       ///< simulated tick
+    std::uint64_t dur = 0;      ///< duration in ticks ('X' only)
+    std::uint32_t tid = 0;      ///< track: leaf id, channel id, ...
+    /// (interned key, value) pairs rendered into "args".
+    std::vector<std::pair<std::uint32_t, std::int64_t>> args;
+};
+
+/**
+ * Collects events up to a fixed budget and serialises them.
+ *
+ * Thread-safe: recording takes a mutex. All built-in instrumentation
+ * sites sit on single-threaded code (the event-driven simulators and
+ * the synthesis merge loops), so the lock is uncontended there; the
+ * guard exists so user code may record from worker threads too.
+ */
+class TraceEventWriter
+{
+  public:
+    /** Named argument passed alongside an event. */
+    using Arg = std::pair<const char *, std::int64_t>;
+
+    /** @param max_events Event budget; further events are dropped. */
+    explicit TraceEventWriter(std::size_t max_events = kDefaultMaxEvents);
+
+    static constexpr std::size_t kDefaultMaxEvents = 1u << 20;
+
+    /// @name Recording
+    /// @{
+
+    /** A duration on track @p tid: [ts, ts + dur). */
+    void complete(const char *name, const char *category,
+                  std::uint64_t ts, std::uint64_t dur, std::uint32_t tid,
+                  std::initializer_list<Arg> args = {});
+
+    /** A point event on track @p tid. */
+    void instant(const char *name, const char *category, std::uint64_t ts,
+                 std::uint32_t tid, std::initializer_list<Arg> args = {});
+
+    /** A sampled counter series (rendered as a chart in the viewer). */
+    void counter(const char *name, const char *category, std::uint64_t ts,
+                 std::int64_t value, std::uint32_t tid = 0);
+
+    /** Label track @p tid as @p name in the viewer (metadata event). */
+    void nameTrack(std::uint32_t tid, const std::string &name);
+
+    /// @}
+
+    /** Events currently held. */
+    std::size_t size() const;
+
+    /** Events rejected because the budget was exhausted. */
+    std::uint64_t dropped() const;
+
+    /** The event budget this writer was built with. */
+    std::size_t capacity() const { return max_events_; }
+
+    /// @name Serialisation
+    /// @{
+
+    /** Render the Chrome trace_event JSON object. */
+    std::string toJson() const;
+
+    /** Serialise to the compact binary form. */
+    std::vector<std::uint8_t> encode() const;
+
+    /** Rebuild a writer from encode() bytes. @return false if corrupt. */
+    static bool decode(const std::vector<std::uint8_t> &bytes,
+                       TraceEventWriter &writer);
+
+    /** Write toJson() (path ending ".json") to a file. */
+    bool saveJson(const std::string &path) const;
+
+    /** Write encode() bytes to a file. */
+    bool saveBinary(const std::string &path) const;
+
+    /// @}
+
+    /// Test/inspection access to the raw events and intern table.
+    const std::vector<TraceEvent> &events() const { return events_; }
+    const std::string &internedString(std::uint32_t id) const
+    {
+        return strings_[id];
+    }
+
+  private:
+    std::uint32_t intern(const std::string &s);
+    void record(TraceEvent event);
+
+    mutable std::mutex mutex_;
+    std::size_t max_events_;
+    std::uint64_t dropped_ = 0;
+    std::vector<std::string> strings_;
+    std::vector<TraceEvent> events_;
+    /// (tid, interned name) labels emitted as metadata events.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> track_names_;
+};
+
+/// @name Global collector
+/// Instrumentation sites check collector() — a single pointer load —
+/// and record only when a writer is installed, so runs without
+/// tracing pay nothing and stay bit-identical.
+/// @{
+
+/** The currently installed writer, or nullptr (tracing off). */
+TraceEventWriter *collector();
+
+/**
+ * Install (or with nullptr remove) the global writer. The caller
+ * keeps ownership and must uninstall before destroying the writer.
+ */
+void setCollector(TraceEventWriter *writer);
+
+/**
+ * RAII installation of a writer for one scope (e.g. one validate
+ * run). Restores the previous collector on destruction.
+ */
+class ScopedCollector
+{
+  public:
+    explicit ScopedCollector(TraceEventWriter &writer)
+        : previous_(collector())
+    {
+        setCollector(&writer);
+    }
+
+    ~ScopedCollector() { setCollector(previous_); }
+
+    ScopedCollector(const ScopedCollector &) = delete;
+    ScopedCollector &operator=(const ScopedCollector &) = delete;
+
+  private:
+    TraceEventWriter *previous_;
+};
+
+/// @}
+
+} // namespace mocktails::obs
+
+#endif // MOCKTAILS_OBS_TRACE_EVENT_HPP

@@ -1,0 +1,466 @@
+#include "validation/attribution.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "cache/hierarchy.hpp"
+#include "core/partition.hpp"
+#include "core/synthesis.hpp"
+#include "dram/simulate.hpp"
+#include "util/stats.hpp"
+
+namespace mocktails::validation
+{
+
+namespace
+{
+
+void
+addMetric(std::vector<MetricComparison> &out, std::string name,
+          double baseline, double synthetic)
+{
+    MetricComparison metric;
+    metric.name = std::move(name);
+    metric.baseline = baseline;
+    metric.synthetic = synthetic;
+    metric.errorPercent = util::percentError(synthetic, baseline);
+    out.push_back(std::move(metric));
+}
+
+/**
+ * The per-leaf version of validate.cpp's comparison: same metric
+ * names, run on one leaf's baseline and synthetic sub-streams.
+ */
+std::vector<MetricComparison>
+compareLeaf(const mem::Trace &baseline, const mem::Trace &synthetic,
+            const AttributionOptions &options)
+{
+    std::vector<MetricComparison> out;
+    if (options.dram) {
+        const auto base = dram::simulateTrace(baseline);
+        const auto synth = dram::simulateTrace(synthetic);
+        addMetric(out, "dram.read_bursts",
+                  static_cast<double>(base.readBursts()),
+                  static_cast<double>(synth.readBursts()));
+        addMetric(out, "dram.write_bursts",
+                  static_cast<double>(base.writeBursts()),
+                  static_cast<double>(synth.writeBursts()));
+        addMetric(out, "dram.read_row_hits",
+                  static_cast<double>(base.readRowHits()),
+                  static_cast<double>(synth.readRowHits()));
+        addMetric(out, "dram.write_row_hits",
+                  static_cast<double>(base.writeRowHits()),
+                  static_cast<double>(synth.writeRowHits()));
+    }
+    if (options.cache) {
+        cache::Hierarchy base_h{cache::HierarchyConfig{}};
+        base_h.run(baseline);
+        cache::Hierarchy synth_h{cache::HierarchyConfig{}};
+        synth_h.run(synthetic);
+        addMetric(out, "cache.l1_miss_rate",
+                  100.0 * base_h.l1Stats().missRate(),
+                  100.0 * synth_h.l1Stats().missRate());
+        addMetric(out, "cache.l2_miss_rate",
+                  100.0 * base_h.l2Stats().missRate(),
+                  100.0 * synth_h.l2Stats().missRate());
+        addMetric(out, "cache.footprint_blocks",
+                  static_cast<double>(base_h.footprintBlocks()),
+                  static_cast<double>(synth_h.footprintBlocks()));
+    }
+    // Always available even with both substrates off: the shape of
+    // the sub-stream itself.
+    addMetric(out, "stream.requests",
+              static_cast<double>(baseline.size()),
+              static_cast<double>(synthetic.size()));
+    return out;
+}
+
+void
+finalizeLeaf(LeafAttribution &leaf)
+{
+    double worst = 0.0;
+    double sum = 0.0;
+    const MetricComparison *worst_metric = nullptr;
+    for (const MetricComparison &metric : leaf.metrics) {
+        if (metric.errorPercent >= worst) {
+            worst = metric.errorPercent;
+            worst_metric = &metric;
+        }
+        sum += metric.errorPercent;
+    }
+    leaf.worstErrorPercent = worst;
+    leaf.meanErrorPercent =
+        leaf.metrics.empty()
+            ? 0.0
+            : sum / static_cast<double>(leaf.metrics.size());
+    if (worst_metric != nullptr)
+        leaf.worstMetric = worst_metric->name;
+}
+
+/**
+ * Aggregate leaves into every proper prefix of their hierarchy paths.
+ * A 2-layer config with leaves "2/0", "2/1" produces the layer "2":
+ * the third temporal phase, across all its spatial children.
+ */
+std::vector<LayerAttribution>
+aggregateLayers(const std::vector<LeafAttribution> &leaves,
+                const std::vector<std::vector<std::uint32_t>> &paths)
+{
+    struct Accum
+    {
+        std::size_t depth = 0;
+        std::uint64_t leaves = 0;
+        std::uint64_t requests = 0;
+        double worst = 0.0;
+        double weighted_sum = 0.0;
+        double weight = 0.0;
+    };
+    std::map<std::string, Accum> accum;
+
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+        const LeafAttribution &leaf = leaves[i];
+        const std::vector<std::uint32_t> &path = paths[i];
+        std::vector<std::uint32_t> prefix;
+        for (std::size_t d = 0; d + 1 < path.size(); ++d) {
+            prefix.push_back(path[d]);
+            Accum &a = accum[core::pathString(prefix)];
+            a.depth = prefix.size();
+            a.leaves += 1;
+            a.requests += leaf.baselineRequests;
+            a.worst = std::max(a.worst, leaf.worstErrorPercent);
+            // Weight small leaves at least 1 so empty leaves cannot
+            // divide by zero and still count a little.
+            const double w = static_cast<double>(
+                std::max<std::uint64_t>(leaf.baselineRequests, 1));
+            a.weighted_sum += w * leaf.meanErrorPercent;
+            a.weight += w;
+        }
+    }
+
+    std::vector<LayerAttribution> out;
+    out.reserve(accum.size());
+    for (const auto &[path, a] : accum) {
+        LayerAttribution layer;
+        layer.path = path;
+        layer.depth = a.depth;
+        layer.leaves = a.leaves;
+        layer.baselineRequests = a.requests;
+        layer.worstErrorPercent = a.worst;
+        layer.meanErrorPercent =
+            a.weight == 0.0 ? 0.0 : a.weighted_sum / a.weight;
+        out.push_back(std::move(layer));
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const LayerAttribution &a,
+                        const LayerAttribution &b) {
+                         return a.worstErrorPercent > b.worstErrorPercent;
+                     });
+    return out;
+}
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out += c;
+    }
+    out += '"';
+}
+
+void
+appendNumber(std::string &out, double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    out += buf;
+}
+
+void
+appendU64(std::string &out, std::uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    out += buf;
+}
+
+void
+appendMetrics(std::string &out,
+              const std::vector<MetricComparison> &metrics)
+{
+    out += '[';
+    bool first = true;
+    for (const MetricComparison &m : metrics) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"name\":";
+        appendJsonString(out, m.name);
+        out += ",\"baseline\":";
+        appendNumber(out, m.baseline);
+        out += ",\"synthetic\":";
+        appendNumber(out, m.synthetic);
+        out += ",\"error_percent\":";
+        appendNumber(out, m.errorPercent);
+        out += '}';
+    }
+    out += ']';
+}
+
+} // namespace
+
+AttributionReport
+attributeErrors(const mem::Trace &trace, const core::Profile &profile,
+                const AttributionOptions &options)
+{
+    AttributionReport report;
+    report.baselineRequests = trace.size();
+
+    // Synthesise with the provenance side channel: origins()[i] names
+    // the leaf that produced synthetic request i.
+    obs::ProvenanceTable provenance;
+    const mem::Trace synthetic = core::synthesize(
+        profile, options.seed, options.threads, &provenance);
+    report.syntheticRequests = synthetic.size();
+
+    const std::size_t n_leaves = profile.leaves.size();
+
+    // Split the synthetic stream back into per-leaf sub-streams.
+    std::vector<mem::Trace> synth_leaf(n_leaves);
+    {
+        std::vector<std::uint64_t> per_leaf =
+            provenance.requestsPerLeaf();
+        for (std::size_t i = 0; i < n_leaves; ++i)
+            synth_leaf[i].requests().reserve(per_leaf[i]);
+    }
+    for (std::size_t i = 0; i < synthetic.size(); ++i) {
+        const std::uint32_t leaf = provenance.origins()[i].leaf;
+        if (leaf < n_leaves)
+            synth_leaf[leaf].add(synthetic[i]);
+    }
+
+    // Re-partition the baseline with the profile's own hierarchy so
+    // baseline leaf i pairs with profile leaf i — buildProfile models
+    // the buildLeaves output in order, so the pairing is exact when
+    // the profile really came from this trace and this config.
+    std::vector<core::Leaf> base_leaves =
+        core::buildLeaves(trace, profile.config);
+    report.hierarchyMatched = base_leaves.size() == n_leaves;
+    if (report.hierarchyMatched) {
+        for (std::size_t i = 0; i < n_leaves; ++i) {
+            if (base_leaves[i].requests.size() !=
+                profile.leaves[i].count) {
+                report.hierarchyMatched = false;
+                break;
+            }
+        }
+    }
+    if (!report.hierarchyMatched) {
+        report.note =
+            "re-partitioning the baseline produced " +
+            std::to_string(base_leaves.size()) +
+            " leaves where the profile has " +
+            std::to_string(n_leaves) +
+            " (or per-leaf counts differ); the trace or hierarchy "
+            "configuration is not the one the profile was built from, "
+            "so leaves are paired positionally best-effort";
+    }
+
+    const std::size_t paired = std::min(base_leaves.size(), n_leaves);
+    std::vector<std::vector<std::uint32_t>> paths(n_leaves);
+    report.leaves.reserve(n_leaves);
+    for (std::size_t i = 0; i < n_leaves; ++i) {
+        LeafAttribution leaf;
+        leaf.leaf = static_cast<std::uint32_t>(i);
+        const obs::LeafProvenance &meta = provenance.leaves()[i];
+        leaf.deltaTimeMode = meta.deltaTime;
+        leaf.strideMode = meta.stride;
+        leaf.opMode = meta.op;
+        leaf.sizeMode = meta.size;
+        leaf.syntheticRequests = synth_leaf[i].size();
+
+        mem::Trace baseline;
+        if (i < paired) {
+            paths[i] = base_leaves[i].path;
+            leaf.path = core::pathString(base_leaves[i].path);
+            baseline.requests() = std::move(base_leaves[i].requests);
+        } else {
+            leaf.path = meta.path; // "leaf<N>" placeholder
+        }
+        leaf.baselineRequests = baseline.size();
+
+        leaf.metrics = compareLeaf(baseline, synth_leaf[i], options);
+        finalizeLeaf(leaf);
+        report.leaves.push_back(std::move(leaf));
+    }
+
+    report.layers = aggregateLayers(report.leaves, paths);
+
+    std::stable_sort(report.leaves.begin(), report.leaves.end(),
+                     [](const LeafAttribution &a,
+                        const LeafAttribution &b) {
+                         return a.worstErrorPercent > b.worstErrorPercent;
+                     });
+    if (report.leaves.size() > options.maxLeaves)
+        report.leaves.resize(options.maxLeaves);
+    return report;
+}
+
+std::string
+attributionToJson(const AttributionReport &report)
+{
+    std::string out;
+    out.reserve(1024 + report.leaves.size() * 512);
+    out += "{\"hierarchy_matched\":";
+    out += report.hierarchyMatched ? "true" : "false";
+    out += ",\"note\":";
+    appendJsonString(out, report.note);
+    out += ",\"baseline_requests\":";
+    appendU64(out, report.baselineRequests);
+    out += ",\"synthetic_requests\":";
+    appendU64(out, report.syntheticRequests);
+
+    out += ",\"leaves\":[";
+    bool first = true;
+    for (const LeafAttribution &leaf : report.leaves) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"leaf\":";
+        appendU64(out, leaf.leaf);
+        out += ",\"path\":";
+        appendJsonString(out, leaf.path);
+        out += ",\"baseline_requests\":";
+        appendU64(out, leaf.baselineRequests);
+        out += ",\"synthetic_requests\":";
+        appendU64(out, leaf.syntheticRequests);
+        out += ",\"models\":{\"delta_time\":";
+        appendJsonString(out, obs::toString(leaf.deltaTimeMode));
+        out += ",\"stride\":";
+        appendJsonString(out, obs::toString(leaf.strideMode));
+        out += ",\"op\":";
+        appendJsonString(out, obs::toString(leaf.opMode));
+        out += ",\"size\":";
+        appendJsonString(out, obs::toString(leaf.sizeMode));
+        out += "},\"worst_metric\":";
+        appendJsonString(out, leaf.worstMetric);
+        out += ",\"worst_error_percent\":";
+        appendNumber(out, leaf.worstErrorPercent);
+        out += ",\"mean_error_percent\":";
+        appendNumber(out, leaf.meanErrorPercent);
+        out += ",\"metrics\":";
+        appendMetrics(out, leaf.metrics);
+        out += '}';
+    }
+    out += ']';
+
+    out += ",\"layers\":[";
+    first = true;
+    for (const LayerAttribution &layer : report.layers) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"path\":";
+        appendJsonString(out, layer.path);
+        out += ",\"depth\":";
+        appendU64(out, layer.depth);
+        out += ",\"leaves\":";
+        appendU64(out, layer.leaves);
+        out += ",\"baseline_requests\":";
+        appendU64(out, layer.baselineRequests);
+        out += ",\"worst_error_percent\":";
+        appendNumber(out, layer.worstErrorPercent);
+        out += ",\"mean_error_percent\":";
+        appendNumber(out, layer.meanErrorPercent);
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+attributionToMarkdown(const AttributionReport &report)
+{
+    std::string out;
+    char line[256];
+    out += "# Fidelity attribution\n\n";
+    std::snprintf(line, sizeof(line),
+                  "Baseline %llu requests, synthetic %llu. Hierarchy "
+                  "pairing: %s.\n\n",
+                  static_cast<unsigned long long>(
+                      report.baselineRequests),
+                  static_cast<unsigned long long>(
+                      report.syntheticRequests),
+                  report.hierarchyMatched ? "exact" : "positional");
+    out += line;
+    if (!report.note.empty()) {
+        out += "> ";
+        out += report.note;
+        out += "\n\n";
+    }
+
+    out += "## Worst leaves\n\n";
+    out += "| rank | leaf | path | base reqs | synth reqs | models "
+           "(dt/stride/op/size) | worst metric | worst err | mean err "
+           "|\n";
+    out += "|---:|---:|---|---:|---:|---|---|---:|---:|\n";
+    int rank = 1;
+    for (const LeafAttribution &leaf : report.leaves) {
+        std::snprintf(
+            line, sizeof(line),
+            "| %d | %u | %s | %llu | %llu | %s/%s/%s/%s | %s | %.2f%% "
+            "| %.2f%% |\n",
+            rank++, leaf.leaf, leaf.path.c_str(),
+            static_cast<unsigned long long>(leaf.baselineRequests),
+            static_cast<unsigned long long>(leaf.syntheticRequests),
+            obs::toString(leaf.deltaTimeMode),
+            obs::toString(leaf.strideMode), obs::toString(leaf.opMode),
+            obs::toString(leaf.sizeMode), leaf.worstMetric.c_str(),
+            leaf.worstErrorPercent, leaf.meanErrorPercent);
+        out += line;
+    }
+
+    if (!report.layers.empty()) {
+        out += "\n## Hierarchy layers\n\n";
+        out += "| path | depth | leaves | base reqs | worst err | "
+               "mean err |\n";
+        out += "|---|---:|---:|---:|---:|---:|\n";
+        for (const LayerAttribution &layer : report.layers) {
+            std::snprintf(
+                line, sizeof(line),
+                "| %s | %llu | %llu | %llu | %.2f%% | %.2f%% |\n",
+                layer.path.c_str(),
+                static_cast<unsigned long long>(layer.depth),
+                static_cast<unsigned long long>(layer.leaves),
+                static_cast<unsigned long long>(
+                    layer.baselineRequests),
+                layer.worstErrorPercent, layer.meanErrorPercent);
+            out += line;
+        }
+    }
+    return out;
+}
+
+bool
+saveAttribution(const AttributionReport &report, const std::string &path)
+{
+    const std::string json = attributionToJson(report);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::size_t written =
+        std::fwrite(json.data(), 1, json.size(), f);
+    return std::fclose(f) == 0 && written == json.size();
+}
+
+} // namespace mocktails::validation

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Per-leaf and per-layer fidelity attribution.
+ *
+ * validate.hpp answers *whether* a synthetic stream reproduces its
+ * baseline; this module answers *where it doesn't*. Using the request
+ * provenance recorded during synthesis (obs/provenance.hpp), the
+ * synthetic stream is split back into per-leaf sub-streams, the
+ * baseline trace is re-partitioned with the profile's own hierarchy
+ * configuration so leaf i of the partition lines up with leaf i of
+ * the profile, and the validation comparison is re-run per leaf and
+ * aggregated per hierarchy layer. The result is a ranked table that
+ * names the worst-offending partitions — the drill-down from "the
+ * row-hit metric is red" to "leaf 7 (path 2/0, Markov stride) is
+ * responsible".
+ */
+
+#ifndef MOCKTAILS_VALIDATION_ATTRIBUTION_HPP
+#define MOCKTAILS_VALIDATION_ATTRIBUTION_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "mem/trace.hpp"
+#include "obs/provenance.hpp"
+#include "validation/validate.hpp"
+
+namespace mocktails::validation
+{
+
+/**
+ * The re-run comparison of one hierarchy leaf.
+ */
+struct LeafAttribution
+{
+    std::uint32_t leaf = 0;  ///< index into Profile::leaves
+    std::string path;        ///< hierarchy path ("2/0"), see Leaf::path
+
+    std::uint64_t baselineRequests = 0;
+    std::uint64_t syntheticRequests = 0;
+
+    /// Feature-model families of the leaf (names the Markov chains).
+    obs::FeatureMode deltaTimeMode = obs::FeatureMode::Absent;
+    obs::FeatureMode strideMode = obs::FeatureMode::Absent;
+    obs::FeatureMode opMode = obs::FeatureMode::Absent;
+    obs::FeatureMode sizeMode = obs::FeatureMode::Absent;
+
+    /// Per-metric baseline/synthetic/error, like a ValidationReport.
+    std::vector<MetricComparison> metrics;
+
+    std::string worstMetric; ///< name of the worst metric
+    double worstErrorPercent = 0.0;
+    double meanErrorPercent = 0.0;
+};
+
+/**
+ * Errors aggregated over all leaves below one hierarchy node.
+ */
+struct LayerAttribution
+{
+    std::string path;       ///< hierarchy prefix ("2" = third phase)
+    std::size_t depth = 0;  ///< layers above this node
+    std::uint64_t leaves = 0;
+    std::uint64_t baselineRequests = 0;
+
+    double worstErrorPercent = 0.0;
+    /// Mean of the member leaves' mean errors, weighted by baseline
+    /// request count (big leaves dominate, as they do the metrics).
+    double meanErrorPercent = 0.0;
+};
+
+/**
+ * The full attribution report.
+ */
+struct AttributionReport
+{
+    /**
+     * True when re-partitioning the baseline produced exactly the
+     * profile's leaves (matching count and per-leaf request count).
+     * When false the per-leaf pairing is positional best-effort and
+     * @ref note says why — e.g. the profile was built from another
+     * trace or with different partitioning code.
+     */
+    bool hierarchyMatched = false;
+    std::string note;
+
+    std::uint64_t baselineRequests = 0;
+    std::uint64_t syntheticRequests = 0;
+
+    /// Ranked worst-first by worstErrorPercent.
+    std::vector<LeafAttribution> leaves;
+
+    /// Every proper hierarchy prefix, ranked worst-first.
+    std::vector<LayerAttribution> layers;
+};
+
+/**
+ * Attribution knobs.
+ */
+struct AttributionOptions
+{
+    /** Synthesis seed; use the seed of the validate run to explain. */
+    std::uint64_t seed = 1;
+
+    /** Worker threads for synthesis (0 = hardware threads). */
+    unsigned threads = 1;
+
+    /** Re-run the DRAM comparison per leaf (row hits, bursts). */
+    bool dram = true;
+
+    /** Re-run the cache comparison per leaf (miss rates, footprint). */
+    bool cache = true;
+
+    /**
+     * Leaves reported in full. All leaves are always compared and
+     * aggregated into layers; only the ranked table is truncated.
+     */
+    std::size_t maxLeaves = 64;
+};
+
+/**
+ * Re-run the validation comparison per leaf and per layer.
+ *
+ * Synthesises @p profile with provenance enabled, re-partitions
+ * @p trace with profile.config, and compares each leaf's baseline
+ * sub-stream against its synthetic sub-stream.
+ */
+AttributionReport
+attributeErrors(const mem::Trace &trace, const core::Profile &profile,
+                const AttributionOptions &options = AttributionOptions{});
+
+/** Render as a JSON document. */
+std::string attributionToJson(const AttributionReport &report);
+
+/** Render as a markdown error table (worst leaves first). */
+std::string attributionToMarkdown(const AttributionReport &report);
+
+/** Write attributionToJson() to a file. @return true on success. */
+bool saveAttribution(const AttributionReport &report,
+                     const std::string &path);
+
+} // namespace mocktails::validation
+
+#endif // MOCKTAILS_VALIDATION_ATTRIBUTION_HPP

@@ -123,6 +123,89 @@ validateConfig(const mem::Trace &trace,
                            options);
 }
 
+namespace
+{
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out += c;
+    }
+    out += '"';
+}
+
+void
+appendMetricArray(std::string &out,
+                  const std::vector<MetricComparison> &metrics)
+{
+    out += '[';
+    bool first = true;
+    char buf[48];
+    for (const MetricComparison &m : metrics) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"name\":";
+        appendJsonString(out, m.name);
+        std::snprintf(buf, sizeof(buf), ",\"baseline\":%.6g",
+                      m.baseline);
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"synthetic\":%.6g",
+                      m.synthetic);
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"error_percent\":%.6g}",
+                      m.errorPercent);
+        out += buf;
+    }
+    out += ']';
+}
+
+} // namespace
+
+std::string
+reportToJson(const ValidationReport &report)
+{
+    std::string out;
+    out.reserve(512);
+    char buf[64];
+    out += "{\"passed\":";
+    out += report.passed ? "true" : "false";
+    std::snprintf(buf, sizeof(buf), ",\"worst_error_percent\":%.6g",
+                  report.worstErrorPercent);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"mean_error_percent\":%.6g",
+                  report.meanErrorPercent);
+    out += buf;
+    out += ",\"dram_metrics\":";
+    appendMetricArray(out, report.dramMetrics);
+    out += ",\"cache_metrics\":";
+    appendMetricArray(out, report.cacheMetrics);
+    out += '}';
+    return out;
+}
+
+bool
+saveReportJson(const ValidationReport &report, const std::string &path)
+{
+    const std::string json = reportToJson(report);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::size_t written =
+        std::fwrite(json.data(), 1, json.size(), f);
+    return std::fclose(f) == 0 && written == json.size();
+}
+
 std::string
 formatReport(const ValidationReport &report)
 {

@@ -98,6 +98,14 @@ validateProfile(const mem::Trace &trace, const core::Profile &profile,
 /** Render a report as human-readable text. */
 std::string formatReport(const ValidationReport &report);
 
+/** Render a report as a JSON document (machine-readable twin of
+ *  formatReport(), for `profile_tool validate --report-json`). */
+std::string reportToJson(const ValidationReport &report);
+
+/** Write reportToJson() to a file. @return true on success. */
+bool saveReportJson(const ValidationReport &report,
+                    const std::string &path);
+
 } // namespace mocktails::validation
 
 #endif // MOCKTAILS_VALIDATION_VALIDATE_HPP

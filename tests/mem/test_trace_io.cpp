@@ -113,4 +113,113 @@ TEST(TraceIo, SaveToBadPathFails)
     EXPECT_FALSE(saveTraceCsv(makeSample(1), "/nonexistent/dir/x.csv"));
 }
 
+/** Write @p content verbatim and return the path. */
+std::string
+writeCsv(const char *name, const std::string &content)
+{
+    const std::string path = testing::TempDir() + name;
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    EXPECT_NE(f, nullptr);
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    return path;
+}
+
+TEST(TraceIo, CsvParseErrorNamesFileAndLine)
+{
+    const std::string path = writeCsv("csv_badline.csv",
+                                      "tick,addr,op,size\n"
+                                      "10,0x1000,R,64\n"
+                                      "not a record\n"
+                                      "20,0x1040,W,64\n");
+    Trace out;
+    std::string error;
+    EXPECT_FALSE(loadTraceCsv(path, out, &error));
+    EXPECT_NE(error.find(path + ":3:"), std::string::npos) << error;
+    EXPECT_NE(error.find("not a record"), std::string::npos) << error;
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, CsvRejectsUnknownOp)
+{
+    const std::string path = writeCsv("csv_badop.csv",
+                                      "tick,addr,op,size\n"
+                                      "10,0x1000,X,64\n");
+    Trace out;
+    std::string error;
+    EXPECT_FALSE(loadTraceCsv(path, out, &error));
+    EXPECT_NE(error.find(":2:"), std::string::npos) << error;
+    EXPECT_NE(error.find("unknown op"), std::string::npos) << error;
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, CsvRejectsTrailingGarbage)
+{
+    const std::string path = writeCsv("csv_trailing.csv",
+                                      "10,0x1000,R,64,extra\n");
+    Trace out;
+    std::string error;
+    EXPECT_FALSE(loadTraceCsv(path, out, &error));
+    EXPECT_NE(error.find(":1:"), std::string::npos) << error;
+    EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, CsvHandlesLinesLongerThanAnyFixedBuffer)
+{
+    // A valid record padded past the historical 256-byte read buffer:
+    // a fixed-size fgets would split it into two bogus lines.
+    std::string long_line(400, ' ');
+    long_line += "10,0x1000,R,64";
+    const std::string path = writeCsv(
+        "csv_longline.csv",
+        "tick,addr,op,size\n" + long_line + "\n20,0x1040,W,128\n");
+    Trace out;
+    std::string error;
+    ASSERT_TRUE(loadTraceCsv(path, out, &error)) << error;
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].tick, 10u);
+    EXPECT_EQ(out[0].addr, 0x1000u);
+    EXPECT_EQ(out[1].op, Op::Write);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, CsvLongInvalidLineReportsItsOwnLineNumber)
+{
+    const std::string path = writeCsv(
+        "csv_longbad.csv", "tick,addr,op,size\n10,0x1000,R,64\n" +
+                               std::string(500, 'z') + "\n");
+    Trace out;
+    std::string error;
+    EXPECT_FALSE(loadTraceCsv(path, out, &error));
+    EXPECT_NE(error.find(":3:"), std::string::npos) << error;
+    // The quoted excerpt is clipped, not the whole 500-char line.
+    EXPECT_LT(error.size(), 200u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, CsvMissingFileReportsPath)
+{
+    Trace out;
+    std::string error;
+    EXPECT_FALSE(loadTraceCsv("/nonexistent/x.csv", out, &error));
+    EXPECT_NE(error.find("/nonexistent/x.csv"), std::string::npos);
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(TraceIo, CsvSkipsBlankLinesAndWindowsLineEndings)
+{
+    const std::string path = writeCsv("csv_crlf.csv",
+                                      "tick,addr,op,size\r\n"
+                                      "10,0x1000,R,64\r\n"
+                                      "\n"
+                                      "20,0x1040,W,32\n");
+    Trace out;
+    std::string error;
+    ASSERT_TRUE(loadTraceCsv(path, out, &error)) << error;
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[1].size, 32u);
+    std::remove(path.c_str());
+}
+
 } // namespace

@@ -1,0 +1,179 @@
+#include "obs/trace_event.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/codec.hpp"
+
+namespace
+{
+
+using namespace mocktails::obs;
+
+TEST(TraceEvent, StartsEmptyAndDisabled)
+{
+    EXPECT_EQ(collector(), nullptr);
+    TraceEventWriter w;
+    EXPECT_EQ(w.size(), 0u);
+    EXPECT_EQ(w.dropped(), 0u);
+}
+
+TEST(TraceEvent, ScopedCollectorInstallsAndRestores)
+{
+    TraceEventWriter w;
+    {
+        ScopedCollector scoped(w);
+        EXPECT_EQ(collector(), &w);
+        collector()->instant("hello", "test", 10, 0, {});
+    }
+    EXPECT_EQ(collector(), nullptr);
+    EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(TraceEvent, RecordsAllPhases)
+{
+    TraceEventWriter w;
+    w.complete("work", "cat", 100, 50, 7, {{"arg", 3}});
+    w.instant("mark", "cat", 120, 7, {});
+    w.counter("depth", "cat", 130, 42);
+    ASSERT_EQ(w.size(), 3u);
+    EXPECT_EQ(w.events()[0].phase, 'X');
+    EXPECT_EQ(w.events()[0].dur, 50u);
+    EXPECT_EQ(w.events()[1].phase, 'i');
+    EXPECT_EQ(w.events()[2].phase, 'C');
+    // The counter carries its value as the "value" arg.
+    ASSERT_EQ(w.events()[2].args.size(), 1u);
+    EXPECT_EQ(w.events()[2].args[0].second, 42);
+}
+
+TEST(TraceEvent, BudgetDropsLossily)
+{
+    TraceEventWriter w(4);
+    for (int i = 0; i < 10; ++i)
+        w.instant("e", "cat", static_cast<std::uint64_t>(i), 0, {});
+    EXPECT_EQ(w.size(), 4u);
+    EXPECT_EQ(w.dropped(), 6u);
+    // The drop count surfaces in the JSON so a viewer-loaded file
+    // admits its own truncation.
+    EXPECT_NE(w.toJson().find("\"dropped\":6"), std::string::npos);
+}
+
+TEST(TraceEvent, JsonIsChromeTraceShaped)
+{
+    TraceEventWriter w;
+    w.nameTrack(5, "my track");
+    w.complete("R", "dram", 1000, 12, 5, {{"bank", 3}});
+    w.instant("l1_miss", "cache", 1500, 900,
+              {{"addr", 0x1000}});
+    const std::string json = w.toJson();
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(json.find("\"my track\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":12"), std::string::npos);
+    EXPECT_NE(json.find("\"bank\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":1500"), std::string::npos);
+    // Instants are scoped to their thread/track.
+    EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+}
+
+TEST(TraceEvent, JsonEscapesStrings)
+{
+    TraceEventWriter w;
+    w.nameTrack(1, "quote\"back\\slash");
+    const std::string json = w.toJson();
+    EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+}
+
+TEST(TraceEvent, NameTrackDedupesByTid)
+{
+    TraceEventWriter w;
+    w.nameTrack(3, "first");
+    w.nameTrack(3, "second");
+    const std::string json = w.toJson();
+    EXPECT_EQ(json.find("first"), std::string::npos);
+    EXPECT_NE(json.find("second"), std::string::npos);
+}
+
+TEST(TraceEvent, BinaryRoundTrip)
+{
+    TraceEventWriter w;
+    w.nameTrack(2, "dram channel 1");
+    for (int i = 0; i < 100; ++i) {
+        w.complete("R", "dram", 100 + 7 * static_cast<std::uint64_t>(i),
+                   5, 2, {{"bank", i % 8}, {"row", i % 2}});
+    }
+    w.counter("merge_depth", "synthesis", 900, 17);
+
+    TraceEventWriter out;
+    ASSERT_TRUE(TraceEventWriter::decode(w.encode(), out));
+    ASSERT_EQ(out.size(), w.size());
+    EXPECT_EQ(out.dropped(), w.dropped());
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        EXPECT_EQ(out.events()[i].phase, w.events()[i].phase);
+        EXPECT_EQ(out.events()[i].ts, w.events()[i].ts);
+        EXPECT_EQ(out.events()[i].dur, w.events()[i].dur);
+        EXPECT_EQ(out.events()[i].tid, w.events()[i].tid);
+        EXPECT_EQ(out.events()[i].args, w.events()[i].args);
+        EXPECT_EQ(out.internedString(out.events()[i].name),
+                  w.internedString(w.events()[i].name));
+    }
+    // Same viewer-facing document either way.
+    EXPECT_EQ(out.toJson(), w.toJson());
+}
+
+TEST(TraceEvent, DecodeRejectsGarbage)
+{
+    TraceEventWriter out;
+    EXPECT_FALSE(TraceEventWriter::decode({1, 2, 3, 4, 5}, out));
+    std::vector<std::uint8_t> truncated;
+    {
+        TraceEventWriter w;
+        w.instant("x", "y", 1, 0, {});
+        truncated = w.encode();
+    }
+    truncated.resize(truncated.size() / 2);
+    EXPECT_FALSE(TraceEventWriter::decode(truncated, out));
+}
+
+TEST(TraceEvent, BinaryIsSmallerThanJson)
+{
+    TraceEventWriter w;
+    for (int i = 0; i < 1000; ++i)
+        w.instant("req", "synthesis",
+                  static_cast<std::uint64_t>(i) * 13, 1000,
+                  {{"leaf", i % 5}});
+    EXPECT_LT(w.encode().size(), w.toJson().size() / 4);
+}
+
+TEST(TraceEvent, SaveFilesRoundTrip)
+{
+    const std::string json_path =
+        testing::TempDir() + "obs_events.json";
+    const std::string bin_path = testing::TempDir() + "obs_events.bin";
+    TraceEventWriter w;
+    w.complete("work", "test", 10, 5, 0, {});
+    ASSERT_TRUE(w.saveJson(json_path));
+    ASSERT_TRUE(w.saveBinary(bin_path));
+
+    std::FILE *f = std::fopen(json_path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[16] = {};
+    ASSERT_EQ(std::fread(buf, 1, 1, f), 1u);
+    std::fclose(f);
+    EXPECT_EQ(buf[0], '{'); // a JSON object, not the binary form
+
+    std::vector<std::uint8_t> bytes;
+    ASSERT_TRUE(mocktails::util::loadBytes(bin_path, bytes));
+    TraceEventWriter out;
+    EXPECT_TRUE(TraceEventWriter::decode(bytes, out));
+    EXPECT_EQ(out.size(), 1u);
+
+    std::remove(json_path.c_str());
+    std::remove(bin_path.c_str());
+}
+
+} // namespace

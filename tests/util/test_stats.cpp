@@ -105,6 +105,26 @@ TEST(PercentError, NegativeReference)
     EXPECT_DOUBLE_EQ(percentError(-9.0, -10.0), 10.0);
 }
 
+TEST(PercentError, NegativeMeasuredAgainstZeroReference)
+{
+    // Zero baseline with a nonzero measurement saturates at 100%
+    // whatever the sign of the measurement.
+    EXPECT_DOUBLE_EQ(percentError(-5.0, 0.0), 100.0);
+}
+
+TEST(PercentError, SignCrossingDelta)
+{
+    // Measured and reference on opposite sides of zero: the error is
+    // the full gap relative to |reference|, not a signed cancellation.
+    EXPECT_DOUBLE_EQ(percentError(9.0, -10.0), 190.0);
+    EXPECT_DOUBLE_EQ(percentError(-10.0, 10.0), 200.0);
+}
+
+TEST(PercentError, NegativeExactMatchIsZero)
+{
+    EXPECT_DOUBLE_EQ(percentError(-123.4, -123.4), 0.0);
+}
+
 TEST(GeometricMean, Basics)
 {
     EXPECT_DOUBLE_EQ(geometricMean({4.0, 9.0}), 6.0);

@@ -1,0 +1,165 @@
+#include "validation/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/model_generator.hpp"
+#include "workloads/devices.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::validation;
+
+/**
+ * A trace whose default spatial partitioning yields exactly two
+ * leaves: a linear read stream in a low region and a linear write
+ * stream in a high, disjoint region.
+ */
+mem::Trace
+makeTwoLeafTrace(std::size_t per_leaf = 3000)
+{
+    mem::Trace trace("two-leaf", "DPU");
+    for (std::size_t i = 0; i < per_leaf; ++i) {
+        trace.add(static_cast<mem::Tick>(i * 10),
+                  0x10000 + static_cast<mem::Addr>(i) * 64, 64,
+                  mem::Op::Read);
+        trace.add(static_cast<mem::Tick>(i * 10 + 5),
+                  0x4000000 + static_cast<mem::Addr>(i) * 64, 64,
+                  mem::Op::Write);
+    }
+    return trace;
+}
+
+core::PartitionConfig
+flatSpatial()
+{
+    return core::PartitionConfig{
+        {{core::PartitionLayer::Kind::SpatialDynamic, 0}}};
+}
+
+TEST(Attribution, TwoLeafHandBuiltProfile)
+{
+    const mem::Trace trace = makeTwoLeafTrace();
+    const core::Profile profile =
+        core::buildProfile(trace, flatSpatial());
+    ASSERT_EQ(profile.leaves.size(), 2u);
+
+    const AttributionReport report = attributeErrors(trace, profile);
+    EXPECT_TRUE(report.hierarchyMatched) << report.note;
+    EXPECT_EQ(report.baselineRequests, trace.size());
+    EXPECT_EQ(report.syntheticRequests, trace.size());
+    ASSERT_EQ(report.leaves.size(), 2u);
+
+    // Request counts round-trip through the provenance split: each
+    // leaf's baseline and synthetic sub-streams both hold its half.
+    for (const LeafAttribution &leaf : report.leaves) {
+        EXPECT_LT(leaf.leaf, 2u);
+        EXPECT_EQ(leaf.baselineRequests, trace.size() / 2);
+        EXPECT_EQ(leaf.syntheticRequests, trace.size() / 2);
+        EXPECT_FALSE(leaf.metrics.empty());
+        EXPECT_LE(leaf.meanErrorPercent, leaf.worstErrorPercent);
+        // Flat config: paths are single ordinals.
+        EXPECT_TRUE(leaf.path == "0" || leaf.path == "1");
+    }
+    // Ranking is worst-first.
+    EXPECT_GE(report.leaves[0].worstErrorPercent,
+              report.leaves[1].worstErrorPercent);
+    // Two perfectly regular streams synthesise near-perfectly.
+    EXPECT_LT(report.leaves[0].worstErrorPercent, 5.0)
+        << attributionToMarkdown(report);
+    // A single-layer hierarchy has no proper prefixes to aggregate.
+    EXPECT_TRUE(report.layers.empty());
+}
+
+TEST(Attribution, BrokenLeafRanksFirst)
+{
+    const mem::Trace trace = makeTwoLeafTrace();
+    core::Profile profile = core::buildProfile(trace, flatSpatial());
+    ASSERT_EQ(profile.leaves.size(), 2u);
+
+    // Sabotage leaf 1: halve its request count. The per-leaf
+    // comparison must pin the damage on it, not on healthy leaf 0.
+    profile.leaves[1].count /= 2;
+    const AttributionReport report = attributeErrors(trace, profile);
+
+    // The doctored profile no longer matches the re-partitioned
+    // baseline exactly (leaf 1's count differs), which the report
+    // must say rather than silently mispair.
+    EXPECT_FALSE(report.hierarchyMatched);
+    EXPECT_FALSE(report.note.empty());
+
+    ASSERT_EQ(report.leaves.size(), 2u);
+    EXPECT_EQ(report.leaves[0].leaf, 1u);
+    EXPECT_GT(report.leaves[0].worstErrorPercent,
+              report.leaves[1].worstErrorPercent);
+    // stream.requests names the halved count: ~50% error.
+    EXPECT_GT(report.leaves[0].worstErrorPercent, 25.0);
+}
+
+TEST(Attribution, LayerAggregationOnTwoLevelHierarchy)
+{
+    const mem::Trace trace = workloads::makeHevc(12000, 1, 2);
+    const auto config =
+        core::PartitionConfig::twoLevelTsByRequests(3000);
+    const core::Profile profile = core::buildProfile(trace, config);
+
+    AttributionOptions options;
+    options.maxLeaves = 8;
+    const AttributionReport report =
+        attributeErrors(trace, profile, options);
+    EXPECT_TRUE(report.hierarchyMatched) << report.note;
+    EXPECT_LE(report.leaves.size(), 8u);
+    ASSERT_FALSE(report.layers.empty());
+
+    // 12000 requests in windows of 3000 -> four depth-1 phases, which
+    // between them hold every leaf.
+    std::uint64_t leaves_in_layers = 0;
+    for (const LayerAttribution &layer : report.layers) {
+        EXPECT_EQ(layer.depth, 1u);
+        leaves_in_layers += layer.leaves;
+        EXPECT_GE(layer.worstErrorPercent, layer.meanErrorPercent);
+    }
+    EXPECT_EQ(report.layers.size(), 4u);
+    EXPECT_EQ(leaves_in_layers, profile.leaves.size());
+}
+
+TEST(Attribution, JsonAndMarkdownNameTheLeaves)
+{
+    const mem::Trace trace = makeTwoLeafTrace(1500);
+    const core::Profile profile =
+        core::buildProfile(trace, flatSpatial());
+    const AttributionReport report = attributeErrors(trace, profile);
+
+    const std::string json = attributionToJson(report);
+    EXPECT_NE(json.find("\"hierarchy_matched\":true"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"path\":\"0\""), std::string::npos);
+    EXPECT_NE(json.find("\"path\":\"1\""), std::string::npos);
+    EXPECT_NE(json.find("\"worst_error_percent\""), std::string::npos);
+    EXPECT_NE(json.find("\"delta_time\""), std::string::npos);
+
+    const std::string md = attributionToMarkdown(report);
+    EXPECT_NE(md.find("# Fidelity attribution"), std::string::npos);
+    EXPECT_NE(md.find("| rank |"), std::string::npos);
+    EXPECT_NE(md.find("Hierarchy pairing: exact"), std::string::npos);
+}
+
+TEST(Attribution, SubstrateTogglesLimitMetrics)
+{
+    const mem::Trace trace = makeTwoLeafTrace(1000);
+    const core::Profile profile =
+        core::buildProfile(trace, flatSpatial());
+    AttributionOptions options;
+    options.dram = false;
+    options.cache = false;
+    const AttributionReport report =
+        attributeErrors(trace, profile, options);
+    for (const LeafAttribution &leaf : report.leaves) {
+        // Only the stream-shape metric remains.
+        ASSERT_EQ(leaf.metrics.size(), 1u);
+        EXPECT_EQ(leaf.metrics[0].name, "stream.requests");
+    }
+}
+
+} // namespace

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "core/model_generator.hpp"
+#include "util/stats.hpp"
 #include "workloads/devices.hpp"
 #include "workloads/spec.hpp"
 
@@ -84,6 +87,64 @@ TEST(Validate, ReportFormatsAllMetrics)
     EXPECT_NE(text.find("cache.l1_miss_rate"), std::string::npos);
     EXPECT_NE(text.find(report.passed ? "PASS" : "FAIL"),
               std::string::npos);
+}
+
+TEST(Validate, MetricComparisonEdgeCases)
+{
+    // The MetricComparison error semantics on degenerate baselines:
+    // both-zero is a perfect match, zero baseline with nonzero
+    // synthetic saturates, negative deltas report magnitude.
+    MetricComparison both_zero{"m", 0.0, 0.0,
+                               util::percentError(0.0, 0.0)};
+    EXPECT_DOUBLE_EQ(both_zero.errorPercent, 0.0);
+
+    MetricComparison zero_base{"m", 0.0, 17.0,
+                               util::percentError(17.0, 0.0)};
+    EXPECT_DOUBLE_EQ(zero_base.errorPercent, 100.0);
+
+    MetricComparison negative{"m", -10.0, -9.0,
+                              util::percentError(-9.0, -10.0)};
+    EXPECT_DOUBLE_EQ(negative.errorPercent, 10.0);
+}
+
+TEST(Validate, ReportJsonRoundTripsVerdictAndMetrics)
+{
+    const mem::Trace trace = workloads::makeCrypto(5000, 1, 1);
+    const auto report = validateConfig(
+        trace, core::PartitionConfig::twoLevelTs());
+    const std::string json = reportToJson(report);
+    EXPECT_NE(json.find(report.passed ? "\"passed\":true"
+                                      : "\"passed\":false"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"worst_error_percent\""), std::string::npos);
+    EXPECT_NE(json.find("\"dram_metrics\""), std::string::npos);
+    EXPECT_NE(json.find("\"cache_metrics\""), std::string::npos);
+    for (const auto &metric : report.dramMetrics)
+        EXPECT_NE(json.find("\"" + metric.name + "\""),
+                  std::string::npos);
+}
+
+TEST(Validate, SaveReportJsonWritesFile)
+{
+    ValidationReport report;
+    report.passed = false;
+    report.worstErrorPercent = 42.0;
+    report.dramMetrics.push_back({"dram.read_bursts", 10.0, 5.0, 50.0});
+
+    const std::string path =
+        testing::TempDir() + "validate_report.json";
+    ASSERT_TRUE(saveReportJson(report, path));
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[512] = {};
+    const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    const std::string text(buf, n);
+    EXPECT_NE(text.find("\"passed\":false"), std::string::npos);
+    EXPECT_NE(text.find("dram.read_bursts"), std::string::npos);
+    std::remove(path.c_str());
+
+    EXPECT_FALSE(saveReportJson(report, "/nonexistent/dir/x.json"));
 }
 
 TEST(Validate, ValidateProfileMatchesValidateConfig)
