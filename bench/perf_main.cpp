@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared main() for the perf_* google-benchmark binaries.
+ *
+ * Adds two convenience flags on top of the stock benchmark ones:
+ *
+ *   --quick        cut per-benchmark measuring time to ~0.01 s, for
+ *                  CI smoke runs where trend data is enough
+ *   --json <path>  write the full machine-readable report (per-bench
+ *                  wall-clock, items/s and counters) to <path>;
+ *                  MOCKTAILS_BENCH_JSON is honoured when the flag is
+ *                  absent, so wrappers can opt in via the environment
+ *
+ * Everything else passes through to google-benchmark untouched, so
+ * --benchmark_filter and friends keep working.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    if (const char *env = std::getenv("MOCKTAILS_BENCH_JSON"))
+        json_path = env;
+
+    std::vector<std::string> args;
+    args.reserve(static_cast<std::size_t>(argc) + 2);
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            args.push_back("--benchmark_min_time=0.01");
+        } else if (std::strcmp(argv[i], "--json") == 0 &&
+                   i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    if (!json_path.empty()) {
+        args.push_back("--benchmark_out=" + json_path);
+        args.push_back("--benchmark_out_format=json");
+    }
+
+    std::vector<char *> c_args;
+    c_args.reserve(args.size());
+    for (std::string &arg : args)
+        c_args.push_back(arg.data());
+    int c_argc = static_cast<int>(c_args.size());
+
+    benchmark::Initialize(&c_argc, c_args.data());
+    if (benchmark::ReportUnrecognizedArguments(c_argc, c_args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -38,6 +38,7 @@
 #include "mem/trace_stats.hpp"
 #include "telemetry/exporter.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/devices.hpp"
 #include "workloads/spec.hpp"
 
@@ -89,6 +90,15 @@ usage()
 
 /** Worker-thread knob shared by the pipeline commands. */
 unsigned g_threads = 0;
+
+/** DRAM simulation options honouring the --threads knob. */
+dram::SimulationOptions
+simOptions()
+{
+    dram::SimulationOptions options;
+    options.threads = g_threads;
+    return options;
+}
 
 mem::Trace
 makeWorkload(const std::string &name, std::size_t requests)
@@ -400,7 +410,8 @@ cmdTrace(const std::string &in, const std::string &out)
         return 1;
     }
 
-    dram::simulateTrace(trace);
+    dram::simulateTrace(trace, dram::DramConfig{},
+                        interconnect::CrossbarConfig{}, simOptions());
     cache::Hierarchy hierarchy{cache::HierarchyConfig{}};
     hierarchy.run(trace);
 
@@ -431,7 +442,9 @@ cmdSimulate(const std::string &path, bool gem5_style)
         std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
         return 1;
     }
-    const auto result = dram::simulateTrace(trace);
+    const auto result = dram::simulateTrace(
+        trace, dram::DramConfig{}, interconnect::CrossbarConfig{},
+        simOptions());
     if (gem5_style)
         std::fputs(dram::dumpStats(result).c_str(), stdout);
     else
@@ -447,8 +460,12 @@ cmdCompare(const std::string &path_a, const std::string &path_b)
         std::fprintf(stderr, "error: cannot read inputs\n");
         return 1;
     }
-    const auto ra = dram::simulateTrace(a);
-    const auto rb = dram::simulateTrace(b);
+    const auto ra = dram::simulateTrace(
+        a, dram::DramConfig{}, interconnect::CrossbarConfig{},
+        simOptions());
+    const auto rb = dram::simulateTrace(
+        b, dram::DramConfig{}, interconnect::CrossbarConfig{},
+        simOptions());
 
     const auto row = [](const char *metric, double va, double vb) {
         std::printf("%-22s %14.1f %14.1f %9.2f%%\n", metric, va, vb,
@@ -566,6 +583,11 @@ main(int argc, char **argv)
         argc -= 2;
         argv += 2;
     }
+
+    // Size the shared pool once, before anything touches it, so every
+    // stage (profile build, synthesis, validation, DRAM sharding)
+    // honours the same knob.
+    util::ThreadPool::setGlobalThreadCount(g_threads);
 
     // --trace-out: collect trace events for the whole command and
     // write them on the way out (.bin -> binary, else Chrome JSON).

@@ -19,7 +19,8 @@ CacheConfig::isValid()
 Cache::Cache(const CacheConfig &config)
     : config_(config),
       block_shift_(std::countr_zero(config.blockSize)),
-      sets_(config.numSets())
+      sets_(config.numSets()),
+      set_shift_(std::countr_zero(config.numSets()))
 {
     assert(config.isValid());
     lines_.resize(static_cast<std::size_t>(sets_) * config_.associativity);
@@ -50,7 +51,7 @@ Cache::accessBlock(mem::Addr addr, mem::Op op)
 {
     const std::uint64_t block = addr >> block_shift_;
     const std::uint32_t set = static_cast<std::uint32_t>(block & (sets_ - 1));
-    const std::uint64_t tag = block >> std::countr_zero(sets_);
+    const std::uint64_t tag = block >> set_shift_;
 
     ++stats_.accesses;
     if (op == mem::Op::Read)
@@ -88,7 +89,7 @@ Cache::accessBlock(mem::Addr addr, mem::Op op)
             ++stats_.writebacks;
             if (next_) {
                 const std::uint64_t victim_block =
-                    (victim->tag << std::countr_zero(sets_)) | set;
+                    (victim->tag << set_shift_) | set;
                 next_->accessBlock(victim_block << block_shift_,
                                    mem::Op::Write);
             }

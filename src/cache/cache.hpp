@@ -126,6 +126,7 @@ class Cache
     std::uint64_t victim_seed_ = 0x243f6a8885a308d3ull;
     std::uint32_t block_shift_;
     std::uint32_t sets_;
+    std::uint32_t set_shift_; ///< countr_zero(sets_), hoisted
     CacheStats stats_;
 };
 

@@ -12,10 +12,10 @@
 #define MOCKTAILS_CACHE_HIERARCHY_HPP
 
 #include <cstdint>
-#include <unordered_set>
 
 #include "cache/cache.hpp"
 #include "mem/trace.hpp"
+#include "util/flat_set.hpp"
 
 namespace mocktails::cache
 {
@@ -62,7 +62,7 @@ class Hierarchy
   private:
     Cache l1_;
     Cache l2_;
-    std::unordered_set<std::uint64_t> touched_;
+    util::FlatSet64 touched_;
 };
 
 } // namespace mocktails::cache

@@ -105,7 +105,7 @@ Channel::performRefresh()
     stats_.busyCycles += config_.tRFC;
     stats_.lastActiveTick = std::max<std::uint64_t>(
         stats_.lastActiveTick, events_.now() + config_.tRFC);
-    events_.scheduleIn(config_.tRFC, [this] {
+    events_.scheduleIn(config_.tRFC, sim::kBandDevice, [this] {
         busy_ = false;
         trySchedule();
     });
@@ -196,10 +196,16 @@ Channel::service(std::deque<Burst> &queue, std::size_t index)
     stats_.busyCycles += bus_free - events_.now();
     stats_.lastActiveTick = std::max<std::uint64_t>(
         stats_.lastActiveTick, completion);
-    events_.schedule(completion, [this, burst, completion] {
-        on_complete_(burst, completion);
-    });
-    events_.schedule(bus_free, [this] {
+    // Channel-internal events run on the device band: at any tick,
+    // every transport-side push lands before the bus frees and before
+    // completions fire, so the scheduler's view of its queues depends
+    // only on this channel's burst-arrival history — the property the
+    // sharded simulation's per-channel replay relies on.
+    events_.schedule(completion, sim::kBandDevice,
+                     [this, burst, completion] {
+                         on_complete_(burst, completion);
+                     });
+    events_.schedule(bus_free, sim::kBandDevice, [this] {
         busy_ = false;
         trySchedule();
     });

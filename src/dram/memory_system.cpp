@@ -1,9 +1,18 @@
 #include "dram/memory_system.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace mocktails::dram
 {
+
+namespace
+{
+
+/** Initial pending-table capacity; covers the default queue depths. */
+constexpr std::size_t kInitialPendingSlots = 1024;
+
+} // namespace
 
 MemorySystem::MemorySystem(sim::EventQueue &events,
                            const DramConfig &config)
@@ -19,6 +28,46 @@ MemorySystem::MemorySystem(sim::EventQueue &events,
             },
             c));
     }
+    pending_slots_.resize(kInitialPendingSlots);
+    pending_mask_ = kInitialPendingSlots - 1;
+    demand_scratch_.assign(config.channels, 0);
+}
+
+MemorySystem::PendingSlot &
+MemorySystem::claimSlot(std::uint64_t id)
+{
+    while (pending_slots_[id & pending_mask_].id != kNoId)
+        growPendingTable();
+    PendingSlot &slot = pending_slots_[id & pending_mask_];
+    slot.id = id;
+    return slot;
+}
+
+void
+MemorySystem::growPendingTable()
+{
+    std::size_t capacity = pending_slots_.size();
+    for (;;) {
+        capacity *= 2;
+        const std::uint64_t mask = capacity - 1;
+        std::vector<PendingSlot> next(capacity);
+        bool clean = true;
+        for (const PendingSlot &slot : pending_slots_) {
+            if (slot.id == kNoId)
+                continue;
+            PendingSlot &dest = next[slot.id & mask];
+            if (dest.id != kNoId) {
+                clean = false;
+                break;
+            }
+            dest = slot;
+        }
+        if (clean) {
+            pending_slots_ = std::move(next);
+            pending_mask_ = mask;
+            return;
+        }
+    }
 }
 
 bool
@@ -26,38 +75,34 @@ MemorySystem::tryInject(const mem::Request &request)
 {
     assert(request.size > 0);
 
-    // Enumerate the bursts the request touches.
-    const mem::Addr first = request.addr & ~mem::Addr{config_.burstSize - 1};
-    const mem::Addr last =
-        (request.end() - 1) & ~mem::Addr{config_.burstSize - 1};
-
     // Count per-channel demand so admission can be all-or-nothing.
-    std::vector<std::uint32_t> demand(config_.channels, 0);
+    std::fill(demand_scratch_.begin(), demand_scratch_.end(), 0u);
     std::uint32_t burst_count = 0;
-    for (mem::Addr a = first;; a += config_.burstSize) {
-        ++demand[map_.decode(a).channel];
-        ++burst_count;
-        if (a == last)
-            break;
-    }
+    forEachBurst(request, config_, map_,
+                 [&](mem::Addr, const DramCoord &coord) {
+                     ++demand_scratch_[coord.channel];
+                     ++burst_count;
+                 });
 
     for (std::uint32_t c = 0; c < config_.channels; ++c) {
-        if (demand[c] == 0)
+        if (demand_scratch_[c] == 0)
             continue;
         const auto &channel = *channels_[c];
         const std::size_t free =
             request.isRead()
                 ? config_.readQueueCapacity - channel.readQueueSize()
                 : config_.writeQueueCapacity - channel.writeQueueSize();
-        if (demand[c] > free) {
+        if (demand_scratch_[c] > free) {
             ++stats_.backpressureRejects;
             return false;
         }
     }
 
     const std::uint64_t id = next_request_id_++;
-    pending_.emplace(id, Pending{events_.now(), burst_count,
-                                 request.isRead()});
+    PendingSlot &slot = claimSlot(id);
+    slot.admission = events_.now();
+    slot.outstanding = burst_count;
+    slot.isRead = request.isRead();
 
     ++stats_.requests;
     if (request.isRead())
@@ -65,18 +110,16 @@ MemorySystem::tryInject(const mem::Request &request)
     else
         ++stats_.writeRequests;
 
-    for (mem::Addr a = first;; a += config_.burstSize) {
-        const DramCoord coord = map_.decode(a);
-        Burst burst;
-        burst.arrival = events_.now();
-        burst.row = coord.row;
-        burst.bank = coord.flatBank(config_);
-        burst.isRead = request.isRead();
-        burst.requestId = id;
-        channels_[coord.channel]->push(burst);
-        if (a == last)
-            break;
-    }
+    forEachBurst(request, config_, map_,
+                 [&](mem::Addr, const DramCoord &coord) {
+                     Burst burst;
+                     burst.arrival = events_.now();
+                     burst.row = coord.row;
+                     burst.bank = coord.flatBank(config_);
+                     burst.isRead = request.isRead();
+                     burst.requestId = id;
+                     channels_[coord.channel]->push(burst);
+                 });
     return true;
 }
 
@@ -162,20 +205,19 @@ MemorySystem::avgWriteQueueLength() const
 void
 MemorySystem::onBurstComplete(const Burst &burst, sim::Tick completion)
 {
-    const auto it = pending_.find(burst.requestId);
-    assert(it != pending_.end());
-    Pending &p = it->second;
-    assert(p.outstanding > 0);
-    if (--p.outstanding == 0) {
-        if (p.isRead) {
+    PendingSlot &slot = pending_slots_[burst.requestId & pending_mask_];
+    assert(slot.id == burst.requestId && "completion for unknown id");
+    assert(slot.outstanding > 0);
+    if (--slot.outstanding == 0) {
+        if (slot.isRead) {
             stats_.readLatency.add(
-                static_cast<double>(completion - p.admission));
+                static_cast<double>(completion - slot.admission));
         }
         if (on_request_complete_) {
-            on_request_complete_(burst.requestId, p.isRead,
-                                 p.admission, completion);
+            on_request_complete_(burst.requestId, slot.isRead,
+                                 slot.admission, completion);
         }
-        pending_.erase(it);
+        slot.id = kNoId;
     }
 }
 

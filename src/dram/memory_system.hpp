@@ -14,7 +14,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "dram/address_map.hpp"
@@ -26,6 +25,31 @@
 
 namespace mocktails::dram
 {
+
+/**
+ * Invoke @p fn(addr, coord) for every burst-aligned address a request
+ * touches, in ascending address order.
+ *
+ * This is *the* request-to-burst decomposition: MemorySystem admission
+ * and the sharded simulation front-end (dram/sharded.cpp) both use it,
+ * so a request always expands to the same burst sequence regardless of
+ * which execution path replays it.
+ */
+template <typename Fn>
+inline void
+forEachBurst(const mem::Request &request, const DramConfig &config,
+             const AddressMap &map, Fn &&fn)
+{
+    const mem::Addr first =
+        request.addr & ~mem::Addr{config.burstSize - 1};
+    const mem::Addr last =
+        (request.end() - 1) & ~mem::Addr{config.burstSize - 1};
+    for (mem::Addr a = first;; a += config.burstSize) {
+        fn(a, map.decode(a));
+        if (a == last)
+            break;
+    }
+}
 
 /**
  * The full DRAM subsystem: one controller per channel plus routing.
@@ -92,20 +116,34 @@ class MemorySystem
     /// @}
 
   private:
-    struct Pending
+    /**
+     * In-flight request bookkeeping lives in a flat power-of-two table
+     * indexed by `id & mask`. Request ids are sequential and the
+     * outstanding window is bounded by the channel queue capacities, so
+     * the table almost never collides; a collision (an id from a full
+     * table-period ago still in flight) doubles the table.
+     */
+    struct PendingSlot
     {
+        std::uint64_t id = kNoId;
         sim::Tick admission = 0;
         std::uint32_t outstanding = 0;
         bool isRead = true;
     };
 
+    static constexpr std::uint64_t kNoId = ~std::uint64_t{0};
+
     void onBurstComplete(const Burst &burst, sim::Tick completion);
+    PendingSlot &claimSlot(std::uint64_t id);
+    void growPendingTable();
 
     sim::EventQueue &events_;
     DramConfig config_;
     AddressMap map_;
     std::vector<std::unique_ptr<Channel>> channels_;
-    std::unordered_map<std::uint64_t, Pending> pending_;
+    std::vector<PendingSlot> pending_slots_;
+    std::uint64_t pending_mask_ = 0;
+    std::vector<std::uint32_t> demand_scratch_; ///< per-channel, reused
     std::uint64_t next_request_id_ = 0;
     MemoryStats stats_;
     CompletionCallback on_request_complete_;

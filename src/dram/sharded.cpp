@@ -1,0 +1,269 @@
+#include "dram/sharded.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "dram/channel.hpp"
+#include "dram/memory_system.hpp"
+#include "dram/trace_player.hpp"
+#include "sim/event_queue.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mocktails::dram
+{
+
+namespace
+{
+
+/**
+ * One request's footprint on one channel: push the bursts in
+ * [burstBegin, burstEnd) at @p tick. Admissions are stored in delivery
+ * order, which is also nondecreasing tick order.
+ */
+struct Admission
+{
+    sim::Tick tick = 0;
+    std::uint64_t requestId = 0;
+    std::uint32_t burstBegin = 0;
+    std::uint32_t burstEnd = 0;
+    bool isRead = true;
+};
+
+/** Everything one channel needs to replay in isolation. */
+struct ChannelPlan
+{
+    std::vector<Admission> admissions;
+    std::vector<Burst> bursts; ///< channel-local, address order per request
+};
+
+/** Pull-through source that records every request it hands out. */
+class RecordingSource : public mem::RequestSource
+{
+  public:
+    RecordingSource(mem::RequestSource &inner, mem::Trace &out)
+        : inner_(inner), out_(out)
+    {}
+
+    bool
+    next(mem::Request &request) override
+    {
+        if (!inner_.next(request))
+            return false;
+        out_.add(request);
+        return true;
+    }
+
+  private:
+    mem::RequestSource &inner_;
+    mem::Trace &out_;
+};
+
+/**
+ * Replays one channel's plan on a private event queue.
+ *
+ * Admission events chain: each one pushes its bursts (transport band,
+ * mirroring the coupled crossbar delivery) and schedules the next.
+ * Channel-internal events (device band) interleave exactly as in the
+ * coupled run. A failed capacity check sets the shared abort flag;
+ * other channels observe it and stop admitting.
+ */
+class ChannelReplay
+{
+  public:
+    ChannelReplay(const ChannelPlan &plan, const DramConfig &config,
+                  std::uint32_t id, std::size_t request_count,
+                  std::atomic<bool> &abort)
+        : plan_(plan), config_(config), abort_(abort),
+          completion_(request_count, 0),
+          channel_(events_, config,
+                   [this](const Burst &b, sim::Tick t) {
+                       sim::Tick &done = completion_[b.requestId];
+                       done = std::max(done, t);
+                   },
+                   id)
+    {
+        events_.reserve(256);
+    }
+
+    void
+    run()
+    {
+        scheduleNext();
+        events_.run();
+    }
+
+    const ChannelStats &stats() const { return channel_.stats(); }
+    const std::vector<sim::Tick> &completions() const
+    {
+        return completion_;
+    }
+    std::uint64_t scheduled() const { return events_.scheduledCount(); }
+    std::uint64_t executed() const { return events_.executedCount(); }
+
+  private:
+    void
+    scheduleNext()
+    {
+        if (next_ >= plan_.admissions.size() ||
+            abort_.load(std::memory_order_relaxed)) {
+            return;
+        }
+        events_.schedule(plan_.admissions[next_].tick,
+                         [this] { admit(); });
+    }
+
+    void
+    admit()
+    {
+        if (abort_.load(std::memory_order_relaxed))
+            return;
+        const Admission &a = plan_.admissions[next_];
+        const std::size_t queued = a.isRead
+                                       ? channel_.readQueueSize()
+                                       : channel_.writeQueueSize();
+        const std::size_t capacity = a.isRead
+                                         ? config_.readQueueCapacity
+                                         : config_.writeQueueCapacity;
+        const std::uint32_t demand = a.burstEnd - a.burstBegin;
+        if (demand > capacity - queued) {
+            // The coupled run rejects this very request: channel state
+            // is identical up to here and MemorySystem's all-or-nothing
+            // check would see the same full queue.
+            abort_.store(true, std::memory_order_relaxed);
+            return;
+        }
+        for (std::uint32_t i = a.burstBegin; i < a.burstEnd; ++i)
+            channel_.push(plan_.bursts[i]);
+        ++next_;
+        scheduleNext();
+    }
+
+    const ChannelPlan &plan_;
+    const DramConfig &config_;
+    std::atomic<bool> &abort_;
+    std::vector<sim::Tick> completion_;
+    sim::EventQueue events_;
+    Channel channel_;
+    std::size_t next_ = 0;
+};
+
+} // namespace
+
+ShardedRun
+simulateSharded(mem::RequestSource &source,
+                const DramConfig &dram_config,
+                const interconnect::CrossbarConfig &xbar_config,
+                unsigned threads)
+{
+    ShardedRun run;
+    const std::uint32_t channels = dram_config.channels;
+    AddressMap map(dram_config);
+
+    // --- Front-end pass: real player + crossbar, always-accept sink.
+    sim::EventQueue fe_events;
+    std::vector<ChannelPlan> plans(channels);
+    struct RequestMeta
+    {
+        sim::Tick admission;
+        bool isRead;
+    };
+    std::vector<RequestMeta> meta;
+    std::uint64_t next_id = 0;
+
+    const auto accept = [&](const mem::Request &request) {
+        const std::uint64_t id = next_id++;
+        meta.push_back({fe_events.now(), request.isRead()});
+        forEachBurst(
+            request, dram_config, map,
+            [&](mem::Addr, const DramCoord &coord) {
+                ChannelPlan &plan = plans[coord.channel];
+                if (plan.admissions.empty() ||
+                    plan.admissions.back().requestId != id) {
+                    const auto at =
+                        static_cast<std::uint32_t>(plan.bursts.size());
+                    plan.admissions.push_back(Admission{
+                        fe_events.now(), id, at, at, request.isRead()});
+                }
+                Burst burst;
+                burst.arrival = fe_events.now();
+                burst.row = coord.row;
+                burst.bank = coord.flatBank(dram_config);
+                burst.isRead = request.isRead();
+                burst.requestId = id;
+                plan.bursts.push_back(burst);
+                ++plan.admissions.back().burstEnd;
+            });
+        return true;
+    };
+
+    interconnect::Crossbar xbar(fe_events, xbar_config, accept);
+    RecordingSource recording(source, run.recorded);
+    TracePlayer player(fe_events, recording,
+                       [&](const mem::Request &r) {
+                           return xbar.trySend(r);
+                       });
+    player.start();
+    fe_events.run();
+
+    run.eventsScheduled = fe_events.scheduledCount();
+    run.eventsExecuted = fe_events.executedCount();
+
+    // --- Per-channel replay, one worker per channel.
+    std::atomic<bool> abort{false};
+    std::vector<std::unique_ptr<ChannelReplay>> replays(channels);
+    util::parallelFor(
+        channels,
+        [&](std::size_t c) {
+            replays[c] = std::make_unique<ChannelReplay>(
+                plans[c], dram_config, static_cast<std::uint32_t>(c),
+                next_id, abort);
+            replays[c]->run();
+        },
+        threads);
+
+    if (abort.load(std::memory_order_relaxed))
+        return run; // completed stays false; caller replays coupled
+
+    // --- Deterministic merge (channel order, then request-id order).
+    run.result.finishTick = player.finishTick();
+    run.result.accumulatedDelay = player.accumulatedDelay();
+    run.result.injected = player.injected();
+
+    MemoryStats &mem_stats = run.result.memory;
+    mem_stats.requests = next_id;
+    for (const RequestMeta &m : meta) {
+        if (m.isRead)
+            ++mem_stats.readRequests;
+        else
+            ++mem_stats.writeRequests;
+    }
+    mem_stats.backpressureRejects = 0;
+
+    run.result.channels.reserve(channels);
+    for (std::uint32_t c = 0; c < channels; ++c) {
+        run.result.channels.push_back(replays[c]->stats());
+        run.eventsScheduled += replays[c]->scheduled();
+        run.eventsExecuted += replays[c]->executed();
+    }
+
+    // Canonical read-latency fold: request-id order, completion = last
+    // burst completion over all channels the request touched. The
+    // coupled path folds the same sequence (simulate.cpp), so the
+    // Welford accumulator matches bit for bit.
+    for (std::uint64_t id = 0; id < next_id; ++id) {
+        if (!meta[id].isRead)
+            continue;
+        sim::Tick done = 0;
+        for (std::uint32_t c = 0; c < channels; ++c)
+            done = std::max(done, replays[c]->completions()[id]);
+        mem_stats.readLatency.add(
+            static_cast<double>(done - meta[id].admission));
+    }
+
+    run.completed = true;
+    return run;
+}
+
+} // namespace mocktails::dram

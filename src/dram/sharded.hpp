@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Per-channel sharded DRAM simulation.
+ *
+ * A request maps to a fixed set of channels (dram::AddressMap), and a
+ * channel's behaviour depends only on the sequence of bursts that
+ * arrive at it — never on another channel's internals. The only
+ * feedback from DRAM to the front end (trace player + crossbar) is
+ * admission backpressure. The sharded path exploits this:
+ *
+ *  1. **Front-end pass** (sequential, cheap): run the real TracePlayer
+ *     and Crossbar against an always-accepting sink, recording for
+ *     every delivered request its delivery tick and its per-channel
+ *     burst decomposition (via forEachBurst, the same decomposition
+ *     MemorySystem uses). Speculation: no DRAM backpressure occurs.
+ *  2. **Per-channel replay** (parallel): each channel gets its own
+ *     sim::EventQueue and Channel instance and replays exactly the
+ *     bursts addressed to it, pushed at the recorded delivery ticks on
+ *     the transport band. Channel-internal events run on the device
+ *     band, so intra-tick ordering is identical to the coupled run
+ *     (see sim/event_queue.hpp). Each admission re-checks queue
+ *     capacity; the first would-be rejection anywhere aborts the
+ *     speculation, because channel state is bit-identical to the
+ *     coupled run up to that point — the coupled run would have
+ *     rejected the same request.
+ *  3. **Deterministic merge**: ChannelStats are taken verbatim per
+ *     channel; request read latency is folded in request-id order
+ *     (both paths use the same canonical order, see simulate.cpp), so
+ *     every statistic is bit-identical to the coupled path at any
+ *     thread count.
+ *
+ * On abort the caller replays the recorded request stream through the
+ * coupled path, which handles backpressure exactly.
+ *
+ * Note: when an obs collector is installed, per-channel replay emits
+ * trace events from worker threads in nondeterministic order; the Auto
+ * dispatch in simulate.cpp therefore prefers the coupled path while
+ * tracing.
+ */
+
+#ifndef MOCKTAILS_DRAM_SHARDED_HPP
+#define MOCKTAILS_DRAM_SHARDED_HPP
+
+#include <cstdint>
+
+#include "dram/config.hpp"
+#include "dram/simulate.hpp"
+#include "interconnect/crossbar.hpp"
+#include "mem/source.hpp"
+#include "mem/trace.hpp"
+
+namespace mocktails::dram
+{
+
+/**
+ * Outcome of one sharded simulation attempt.
+ */
+struct ShardedRun
+{
+    /** False when backpressure speculation failed (result invalid). */
+    bool completed = false;
+
+    /** Valid when completed; bit-identical to the coupled path. */
+    SimulationResult result;
+
+    /**
+     * Every request pulled from the source, in order. On abort the
+     * caller replays this through the coupled path; the source itself
+     * has already been consumed.
+     */
+    mem::Trace recorded;
+
+    /** Events over all queues (front end + channels), for telemetry. */
+    std::uint64_t eventsScheduled = 0;
+    std::uint64_t eventsExecuted = 0;
+};
+
+/**
+ * Attempt a sharded simulation of @p source.
+ *
+ * @param threads Parallelism across channels; 0 = default, 1 = the
+ *                sequential loop. The result does not depend on it.
+ */
+ShardedRun
+simulateSharded(mem::RequestSource &source,
+                const DramConfig &dram_config,
+                const interconnect::CrossbarConfig &xbar_config,
+                unsigned threads);
+
+} // namespace mocktails::dram
+
+#endif // MOCKTAILS_DRAM_SHARDED_HPP

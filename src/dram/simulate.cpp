@@ -1,12 +1,16 @@
 #include "dram/simulate.hpp"
 
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "dram/memory_system.hpp"
+#include "dram/sharded.hpp"
 #include "dram/trace_player.hpp"
 #include "obs/trace_event.hpp"
 #include "sim/event_queue.hpp"
 #include "telemetry/span.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mocktails::dram
 {
@@ -15,19 +19,21 @@ namespace
 {
 
 /**
- * Mirror one finished simulation into the telemetry registry. The DRAM
- * model is single-threaded, so this runs as a post-pass over the
- * already-collected ChannelStats instead of adding atomic traffic to
- * the event loop.
+ * Mirror one finished simulation into the telemetry registry. Runs as
+ * a post-pass over the already-collected ChannelStats instead of
+ * adding atomic traffic to the event loop, and only when telemetry is
+ * enabled — disabled runs skip every per-channel string build here.
  */
 void
 publishDramRun(const SimulationResult &result,
-               const sim::EventQueue &events)
+               std::uint64_t events_scheduled,
+               std::uint64_t events_executed)
 {
+    if (!telemetry::enabled())
+        return;
     auto &registry = telemetry::MetricsRegistry::global();
-    registry.counter("sim.events_scheduled")
-        .add(events.scheduledCount());
-    registry.counter("sim.events_executed").add(events.executedCount());
+    registry.counter("sim.events_scheduled").add(events_scheduled);
+    registry.counter("sim.events_executed").add(events_executed);
     registry.counter("dram.requests").add(result.memory.requests);
     registry.counter("dram.backpressure_rejects")
         .add(result.memory.backpressureRejects);
@@ -75,6 +81,82 @@ publishDramRun(const SimulationResult &result,
                      : 0)));
         }
     }
+}
+
+/**
+ * The classic coupled simulation: one event queue, the full system.
+ *
+ * The read-latency accumulator is re-folded in request-id order (the
+ * canonical order) rather than taken from MemorySystem's incremental
+ * completion-order accumulator: Welford statistics are sensitive to
+ * fold order in the low bits, and the sharded path naturally produces
+ * the id-ordered fold. Count, min and max are order-independent and
+ * unchanged.
+ */
+SimulationResult
+simulateCoupled(mem::RequestSource &source,
+                const DramConfig &dram_config,
+                const interconnect::CrossbarConfig &xbar_config)
+{
+    sim::EventQueue events;
+    MemorySystem memory(events, dram_config);
+    interconnect::Crossbar xbar(events, xbar_config,
+                                [&](const mem::Request &r) {
+                                    return memory.tryInject(r);
+                                });
+    TracePlayer player(events, source, [&](const mem::Request &r) {
+        return xbar.trySend(r);
+    });
+
+    struct Completion
+    {
+        std::uint64_t id;
+        sim::Tick admitted;
+        sim::Tick completed;
+        bool isRead;
+    };
+    std::vector<Completion> completions;
+    memory.setCompletionCallback(
+        [&](std::uint64_t id, bool is_read, sim::Tick admitted,
+            sim::Tick completed) {
+            completions.push_back(
+                Completion{id, admitted, completed, is_read});
+        });
+
+    if (obs::TraceEventWriter *trace = obs::collector()) {
+        for (std::uint32_t c = 0; c < memory.channelCount(); ++c) {
+            trace->nameTrack(obs::track::kDramBase + c,
+                             "dram channel " + std::to_string(c));
+        }
+    }
+
+    player.start();
+    events.run();
+
+    SimulationResult result;
+    result.memory = memory.stats();
+    for (std::uint32_t c = 0; c < memory.channelCount(); ++c)
+        result.channels.push_back(memory.channelStats(c));
+    result.finishTick = player.finishTick();
+    result.accumulatedDelay = player.accumulatedDelay();
+    result.injected = player.injected();
+
+    std::sort(completions.begin(), completions.end(),
+              [](const Completion &a, const Completion &b) {
+                  return a.id < b.id;
+              });
+    util::RunningStats canonical;
+    for (const Completion &c : completions) {
+        if (c.isRead) {
+            canonical.add(
+                static_cast<double>(c.completed - c.admitted));
+        }
+    }
+    result.memory.readLatency = canonical;
+
+    publishDramRun(result, events.scheduledCount(),
+                   events.executedCount());
+    return result;
 }
 
 } // namespace
@@ -144,47 +226,53 @@ SimulationResult::avgWriteQueueLength() const
 SimulationResult
 simulateSource(mem::RequestSource &source,
                const DramConfig &dram_config,
-               const interconnect::CrossbarConfig &xbar_config)
+               const interconnect::CrossbarConfig &xbar_config,
+               const SimulationOptions &options)
 {
     telemetry::Span span("dram.simulate");
-    sim::EventQueue events;
-    MemorySystem memory(events, dram_config);
-    interconnect::Crossbar xbar(events, xbar_config,
-                                [&](const mem::Request &r) {
-                                    return memory.tryInject(r);
-                                });
-    TracePlayer player(events, source, [&](const mem::Request &r) {
-        return xbar.trySend(r);
-    });
 
-    if (obs::TraceEventWriter *trace = obs::collector()) {
-        for (std::uint32_t c = 0; c < memory.channelCount(); ++c) {
-            trace->nameTrack(obs::track::kDramBase + c,
-                             "dram channel " + std::to_string(c));
-        }
+    bool try_sharded = false;
+    switch (options.mode) {
+      case SimulationOptions::Mode::Coupled:
+        break;
+      case SimulationOptions::Mode::Sharded:
+        try_sharded = true;
+        break;
+      case SimulationOptions::Mode::Auto: {
+        const unsigned effective =
+            options.threads == 0 ? util::ThreadPool::defaultThreadCount()
+                                 : options.threads;
+        try_sharded = dram_config.channels > 1 && effective > 1 &&
+                      obs::collector() == nullptr;
+        break;
+      }
     }
 
-    player.start();
-    events.run();
+    if (try_sharded) {
+        ShardedRun run = simulateSharded(source, dram_config,
+                                         xbar_config, options.threads);
+        if (run.completed) {
+            publishDramRun(run.result, run.eventsScheduled,
+                           run.eventsExecuted);
+            return run.result;
+        }
+        // Backpressure speculation failed: the coupled path handles
+        // admission feedback exactly. The source is consumed, so
+        // replay the recorded stream.
+        mem::TraceSource replay(run.recorded);
+        return simulateCoupled(replay, dram_config, xbar_config);
+    }
 
-    SimulationResult result;
-    result.memory = memory.stats();
-    for (std::uint32_t c = 0; c < memory.channelCount(); ++c)
-        result.channels.push_back(memory.channelStats(c));
-    result.finishTick = player.finishTick();
-    result.accumulatedDelay = player.accumulatedDelay();
-    result.injected = player.injected();
-    if (telemetry::enabled())
-        publishDramRun(result, events);
-    return result;
+    return simulateCoupled(source, dram_config, xbar_config);
 }
 
 SimulationResult
 simulateTrace(const mem::Trace &trace, const DramConfig &dram_config,
-              const interconnect::CrossbarConfig &xbar_config)
+              const interconnect::CrossbarConfig &xbar_config,
+              const SimulationOptions &options)
 {
     mem::TraceSource source(trace);
-    return simulateSource(source, dram_config, xbar_config);
+    return simulateSource(source, dram_config, xbar_config, options);
 }
 
 } // namespace mocktails::dram

@@ -24,6 +24,40 @@ namespace mocktails::dram
 {
 
 /**
+ * Execution knobs for one simulation run. The knobs select *how* the
+ * run executes, never *what* it computes: every mode and thread count
+ * produces bit-identical SimulationResult contents.
+ */
+struct SimulationOptions
+{
+    /** Worker threads for the sharded path; 0 = default, 1 = serial. */
+    unsigned threads = 0;
+
+    enum class Mode
+    {
+        /**
+         * Sharded when it can help: more than one channel, an
+         * effective thread count above one, and no obs collector
+         * installed (per-channel replay would scramble trace-event
+         * order). Otherwise coupled.
+         */
+        Auto,
+
+        /** The classic single-event-queue simulation. */
+        Coupled,
+
+        /**
+         * Force the per-channel sharded path (dram/sharded.hpp); it
+         * still falls back to coupled when backpressure speculation
+         * aborts.
+         */
+        Sharded,
+    };
+
+    Mode mode = Mode::Auto;
+};
+
+/**
  * Everything measured by one simulation run.
  */
 struct SimulationResult
@@ -54,14 +88,16 @@ SimulationResult
 simulateSource(mem::RequestSource &source,
                const DramConfig &dram_config = DramConfig{},
                const interconnect::CrossbarConfig &xbar_config =
-                   interconnect::CrossbarConfig{});
+                   interconnect::CrossbarConfig{},
+               const SimulationOptions &options = SimulationOptions{});
 
 /** Convenience overload for a recorded trace. */
 SimulationResult
 simulateTrace(const mem::Trace &trace,
               const DramConfig &dram_config = DramConfig{},
               const interconnect::CrossbarConfig &xbar_config =
-                  interconnect::CrossbarConfig{});
+                  interconnect::CrossbarConfig{},
+              const SimulationOptions &options = SimulationOptions{});
 
 } // namespace mocktails::dram
 

@@ -1,43 +1,118 @@
 #include "sim/event_queue.hpp"
 
-#include <cassert>
-#include <utility>
+#include <algorithm>
 
 namespace mocktails::sim
 {
 
 void
-EventQueue::schedule(Tick when, Callback callback)
+EventQueue::schedule(Tick when, Band band, Callback callback)
 {
     assert(when >= now_ && "cannot schedule in the past");
-    events_.push(Event{when, next_sequence_++, std::move(callback)});
+    // A same-tick event on a band the queue has already moved past
+    // would silently run out of order; every legal component schedules
+    // same-tick work on its own band or a later one.
+    assert((!executing_ || when > now_ || band >= current_band_) &&
+           "same-tick event scheduled on an already-executed band");
+    pushHeap(Event{when, next_sequence_++, std::move(callback),
+                   static_cast<std::uint8_t>(band)});
+}
+
+void
+EventQueue::pushHeap(Event event)
+{
+    heap_.push_back(std::move(event));
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+        const std::size_t parent = (i - 1) / 2;
+        if (!later(heap_[parent], heap_[i]))
+            break;
+        std::swap(heap_[parent], heap_[i]);
+        i = parent;
+    }
+}
+
+EventQueue::Event
+EventQueue::popHeap()
+{
+    Event top = std::move(heap_.front());
+    if (heap_.size() > 1)
+        heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    std::size_t i = 0;
+    while (true) {
+        const std::size_t left = 2 * i + 1;
+        const std::size_t right = left + 1;
+        std::size_t best = i;
+        if (left < n && later(heap_[best], heap_[left]))
+            best = left;
+        if (right < n && later(heap_[best], heap_[right]))
+            best = right;
+        if (best == i)
+            break;
+        std::swap(heap_[i], heap_[best]);
+        i = best;
+    }
+    return top;
+}
+
+std::size_t
+EventQueue::stageBatch()
+{
+    // Successive pops come out in (tick, band, seq) order, so the
+    // staged run preserves FIFO within the band. Events scheduled by
+    // the callbacks themselves land in heap_ with larger sequence
+    // numbers and are staged by a later batch at the same key.
+    batch_.clear();
+    batch_pos_ = 0;
+    const Tick when = heap_.front().when;
+    const std::uint8_t band = heap_.front().band;
+    now_ = when;
+    current_band_ = band;
+    do {
+        batch_.push_back(popHeap());
+    } while (!heap_.empty() && heap_.front().when == when &&
+             heap_.front().band == band);
+    return batch_.size();
 }
 
 void
 EventQueue::run()
 {
-    while (!events_.empty()) {
-        // Moving out of the priority queue requires a const_cast because
-        // top() returns a const reference; the pop() immediately after
-        // makes this safe.
-        Event event = std::move(const_cast<Event &>(events_.top()));
-        events_.pop();
-        now_ = event.when;
-        ++executed_;
-        event.callback();
+    executing_ = true;
+    while (!heap_.empty()) {
+        stageBatch();
+        while (batch_pos_ < batch_.size()) {
+            Callback callback =
+                std::move(batch_[batch_pos_].callback);
+            ++batch_pos_;
+            ++executed_;
+            callback();
+        }
     }
+    batch_.clear();
+    batch_pos_ = 0;
+    executing_ = false;
 }
 
 void
 EventQueue::runUntil(Tick limit)
 {
-    while (!events_.empty() && events_.top().when <= limit) {
-        Event event = std::move(const_cast<Event &>(events_.top()));
-        events_.pop();
-        now_ = event.when;
-        ++executed_;
-        event.callback();
+    executing_ = true;
+    while (!heap_.empty() && heap_.front().when <= limit) {
+        stageBatch();
+        while (batch_pos_ < batch_.size()) {
+            Callback callback =
+                std::move(batch_[batch_pos_].callback);
+            ++batch_pos_;
+            ++executed_;
+            callback();
+        }
     }
+    batch_.clear();
+    batch_pos_ = 0;
+    executing_ = false;
     now_ = std::max(now_, limit);
 }
 

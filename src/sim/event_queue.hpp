@@ -4,16 +4,32 @@
  *
  * The DRAM controller and crossbar models are event driven: components
  * schedule callbacks at future ticks and the kernel executes them in
- * tick order. Events scheduled for the same tick run in scheduling
- * order (FIFO), which keeps component interactions deterministic.
+ * tick order. Events scheduled for the same tick run in band order
+ * first (see Band) and in scheduling order (FIFO) within a band, which
+ * keeps component interactions deterministic — and, crucially, makes
+ * the interleaving of transport events (player, crossbar) and
+ * device-internal events (channel service completions) independent of
+ * *when* each side scheduled its event. That independence is what lets
+ * the per-channel sharded DRAM simulation replay a channel's event
+ * stream in isolation and still produce bit-identical statistics (see
+ * dram/sharded.hpp).
+ *
+ * The queue is engineered for the simulation hot loop: events live in
+ * a flat binary heap (no node allocations), callbacks are stored in a
+ * small-buffer callable so typical captures never touch the heap, and
+ * run() drains same-(tick, band) runs of events in batches.
  */
 
 #ifndef MOCKTAILS_SIM_EVENT_QUEUE_HPP
 #define MOCKTAILS_SIM_EVENT_QUEUE_HPP
 
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "mem/request.hpp"
@@ -24,34 +40,187 @@ namespace mocktails::sim
 using Tick = mem::Tick;
 
 /**
+ * Intra-tick ordering class. All events at one tick run in increasing
+ * band order; FIFO within a band.
+ *
+ * Transport covers injection-side components (trace player, crossbar,
+ * arbiter) — everything that *pushes work into* a device. Device
+ * covers a component's internal bookkeeping (bus-free, burst
+ * completion, refresh). Running transport before device at the same
+ * tick gives arrivals a fixed, component-local ordering relative to
+ * internal state transitions, independent of global scheduling
+ * history.
+ */
+enum Band : std::uint8_t
+{
+    kBandTransport = 0,
+    kBandDevice = 1,
+};
+
+/**
+ * A move-only callable with inline storage for small captures.
+ *
+ * std::function heap-allocates captures beyond its tiny internal
+ * buffer, which put an allocation on every DRAM burst completion. This
+ * type stores captures up to kInlineSize bytes in place and falls back
+ * to the heap only for larger callables.
+ */
+class EventCallback
+{
+  public:
+    static constexpr std::size_t kInlineSize = 48;
+
+    EventCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback>>>
+    EventCallback(F &&f) // NOLINT(google-explicit-constructor)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineSize &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(buffer_))
+                Fn(std::forward<F>(f));
+            invoke_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+            relocate_ = [](void *dst, void *src) {
+                Fn *from = static_cast<Fn *>(src);
+                ::new (dst) Fn(std::move(*from));
+                from->~Fn();
+            };
+            destroy_ = [](void *p) { static_cast<Fn *>(p)->~Fn(); };
+        } else {
+            // Large capture: one allocation, pointer stored inline.
+            Fn *heap = new Fn(std::forward<F>(f));
+            std::memcpy(buffer_, &heap, sizeof(heap));
+            invoke_ = [](void *p) {
+                Fn *fn;
+                std::memcpy(&fn, p, sizeof(fn));
+                (*fn)();
+            };
+            relocate_ = [](void *dst, void *src) {
+                std::memcpy(dst, src, sizeof(Fn *));
+            };
+            destroy_ = [](void *p) {
+                Fn *fn;
+                std::memcpy(&fn, p, sizeof(fn));
+                delete fn;
+            };
+        }
+    }
+
+    EventCallback(EventCallback &&other) noexcept { moveFrom(other); }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    void
+    operator()()
+    {
+        assert(invoke_ != nullptr);
+        invoke_(buffer_);
+    }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+  private:
+    void
+    moveFrom(EventCallback &other) noexcept
+    {
+        invoke_ = other.invoke_;
+        relocate_ = other.relocate_;
+        destroy_ = other.destroy_;
+        if (relocate_ != nullptr)
+            relocate_(buffer_, other.buffer_);
+        other.invoke_ = nullptr;
+        other.relocate_ = nullptr;
+        other.destroy_ = nullptr;
+    }
+
+    void
+    reset() noexcept
+    {
+        if (destroy_ != nullptr)
+            destroy_(buffer_);
+        invoke_ = nullptr;
+        relocate_ = nullptr;
+        destroy_ = nullptr;
+    }
+
+    alignas(std::max_align_t) unsigned char buffer_[kInlineSize]{};
+    void (*invoke_)(void *) = nullptr;
+    void (*relocate_)(void *, void *) = nullptr;
+    void (*destroy_)(void *) = nullptr;
+};
+
+/**
  * The event queue: schedule callbacks, then run until drained.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
 
     /** Current simulation time. */
     Tick now() const { return now_; }
 
     /**
-     * Schedule @p callback at absolute tick @p when.
-     * @pre when >= now().
+     * Schedule @p callback at absolute tick @p when on @p band.
+     * @pre when >= now(); at the current tick, band must not order the
+     *      event before the band currently executing.
      */
-    void schedule(Tick when, Callback callback);
+    void schedule(Tick when, Band band, Callback callback);
+
+    /** Schedule on the transport band (the default for components). */
+    void
+    schedule(Tick when, Callback callback)
+    {
+        schedule(when, kBandTransport, std::move(callback));
+    }
 
     /** Schedule @p callback @p delay ticks from now. */
     void
     scheduleIn(Tick delay, Callback callback)
     {
-        schedule(now_ + delay, std::move(callback));
+        schedule(now_ + delay, kBandTransport, std::move(callback));
+    }
+
+    /** Band-aware relative scheduling. */
+    void
+    scheduleIn(Tick delay, Band band, Callback callback)
+    {
+        schedule(now_ + delay, band, std::move(callback));
     }
 
     /** True when no events remain. */
-    bool empty() const { return events_.empty(); }
+    bool
+    empty() const
+    {
+        return heap_.empty() && batch_pos_ >= batch_.size();
+    }
 
     /** Number of pending events. */
-    std::size_t pending() const { return events_.size(); }
+    std::size_t
+    pending() const
+    {
+        return heap_.size() + (batch_.size() - batch_pos_);
+    }
+
+    /** Pre-size the heap (events), avoiding growth in the hot loop. */
+    void reserve(std::size_t events) { heap_.reserve(events); }
 
     /** Events ever scheduled on this queue (telemetry observable). */
     std::uint64_t scheduledCount() const { return next_sequence_; }
@@ -71,21 +240,35 @@ class EventQueue
         Tick when;
         std::uint64_t sequence;
         Callback callback;
+        std::uint8_t band;
     };
 
-    struct Later
+    /** True when @p a must run after @p b. */
+    static bool
+    later(const Event &a, const Event &b)
     {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.sequence > b.sequence;
-        }
-    };
+        if (a.when != b.when)
+            return a.when > b.when;
+        if (a.band != b.band)
+            return a.band > b.band;
+        return a.sequence > b.sequence;
+    }
 
-    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    void pushHeap(Event event);
+    Event popHeap();
+
+    /**
+     * Move every event matching the top's (tick, band) into batch_.
+     * @return the number of events staged.
+     */
+    std::size_t stageBatch();
+
+    std::vector<Event> heap_;
+    std::vector<Event> batch_; ///< reused same-(tick, band) run
+    std::size_t batch_pos_ = 0;
     Tick now_ = 0;
+    std::uint8_t current_band_ = 0; ///< band being executed at now_
+    bool executing_ = false;
     std::uint64_t next_sequence_ = 0;
     std::uint64_t executed_ = 0;
 };

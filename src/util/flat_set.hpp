@@ -1,0 +1,133 @@
+/**
+ * @file
+ * An open-addressing set of 64-bit keys for hot-loop membership tests.
+ *
+ * The cache hierarchy records the footprint (unique blocks touched) on
+ * every access; std::unordered_set allocates a node per insert and
+ * chases pointers per probe. This set keeps keys in one flat
+ * power-of-two array with linear probing — an insert is a hash, a few
+ * contiguous probes and a store, and clear() reuses the allocation.
+ * Insert-only (no erase), which is all the footprint needs.
+ */
+
+#ifndef MOCKTAILS_UTIL_FLAT_SET_HPP
+#define MOCKTAILS_UTIL_FLAT_SET_HPP
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mocktails::util
+{
+
+/**
+ * Insert-only hash set of uint64 keys. One key value is reserved as
+ * the internal empty marker: ~0 (keys are stored biased by one).
+ */
+class FlatSet64
+{
+  public:
+    /** @param expected Sizing hint; the set grows as needed. */
+    explicit FlatSet64(std::size_t expected = 0)
+    {
+        slots_.resize(capacityFor(expected), 0);
+        mask_ = slots_.size() - 1;
+    }
+
+    /**
+     * Insert @p key. @return true when the key was not yet present.
+     * @pre key != ~0 (reserved).
+     */
+    bool
+    insert(std::uint64_t key)
+    {
+        assert(key != ~std::uint64_t{0} && "reserved key");
+        const std::uint64_t stored = key + 1;
+        std::size_t i = static_cast<std::size_t>(mix(key)) & mask_;
+        while (slots_[i] != 0) {
+            if (slots_[i] == stored)
+                return false;
+            i = (i + 1) & mask_;
+        }
+        slots_[i] = stored;
+        ++size_;
+        // Keep the load factor under ~0.7 so probe runs stay short.
+        if (size_ * 10 > slots_.size() * 7)
+            grow();
+        return true;
+    }
+
+    /** True when @p key has been inserted. */
+    bool
+    contains(std::uint64_t key) const
+    {
+        const std::uint64_t stored = key + 1;
+        std::size_t i = static_cast<std::size_t>(mix(key)) & mask_;
+        while (slots_[i] != 0) {
+            if (slots_[i] == stored)
+                return true;
+            i = (i + 1) & mask_;
+        }
+        return false;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Remove every key, keeping the allocation. */
+    void
+    clear()
+    {
+        std::fill(slots_.begin(), slots_.end(), 0);
+        size_ = 0;
+    }
+
+  private:
+    /** splitmix64 finalizer: full-avalanche mix of the key. */
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+    static std::size_t
+    capacityFor(std::size_t expected)
+    {
+        std::size_t capacity = 64;
+        // Headroom so `expected` inserts stay under the growth load.
+        while (capacity * 7 < expected * 10)
+            capacity *= 2;
+        return capacity;
+    }
+
+    void
+    grow()
+    {
+        std::vector<std::uint64_t> old;
+        old.swap(slots_);
+        slots_.resize(old.size() * 2, 0);
+        mask_ = slots_.size() - 1;
+        for (const std::uint64_t stored : old) {
+            if (stored == 0)
+                continue;
+            std::size_t i =
+                static_cast<std::size_t>(mix(stored - 1)) & mask_;
+            while (slots_[i] != 0)
+                i = (i + 1) & mask_;
+            slots_[i] = stored;
+        }
+    }
+
+    std::vector<std::uint64_t> slots_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace mocktails::util
+
+#endif // MOCKTAILS_UTIL_FLAT_SET_HPP

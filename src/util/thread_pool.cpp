@@ -14,6 +14,9 @@ namespace
 /** Set while a thread is executing ThreadPool::workerLoop. */
 thread_local bool on_worker_thread = false;
 
+/** Requested size for the process-wide pool (0 = default). */
+std::atomic<unsigned> global_pool_threads{0};
+
 } // namespace
 
 /** One worker's deque: owner pops the front, thieves pop the back. */
@@ -92,8 +95,15 @@ ThreadPool::defaultThreadCount()
 ThreadPool &
 ThreadPool::global()
 {
-    static ThreadPool pool;
+    static ThreadPool pool(
+        global_pool_threads.load(std::memory_order_relaxed));
     return pool;
+}
+
+void
+ThreadPool::setGlobalThreadCount(unsigned threads)
+{
+    global_pool_threads.store(threads, std::memory_order_relaxed);
 }
 
 void

@@ -79,10 +79,21 @@ class ThreadPool
     static unsigned defaultThreadCount();
 
     /**
-     * The shared process-wide pool, sized defaultThreadCount().
-     * Created on first use, joined at process exit.
+     * The shared process-wide pool. Created on first use, joined at
+     * process exit. Sized setGlobalThreadCount() if that was called
+     * before first use, else defaultThreadCount().
      */
     static ThreadPool &global();
+
+    /**
+     * Request a worker count for the process-wide pool (0 = default).
+     * Effective only when called before the first global() use — the
+     * pool is created exactly once; later calls are ignored. Tools
+     * with a --threads flag call this at startup so every parallel
+     * stage (profile build, synthesis, validation, sharded DRAM)
+     * shares one honouring pool instead of spawning its own.
+     */
+    static void setGlobalThreadCount(unsigned threads);
 
   private:
     struct Queue;

@@ -9,6 +9,7 @@
 #include "core/synthesis.hpp"
 #include "dram/simulate.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mocktails::validation
 {
@@ -38,8 +39,14 @@ compareLeaf(const mem::Trace &baseline, const mem::Trace &synthetic,
 {
     std::vector<MetricComparison> out;
     if (options.dram) {
-        const auto base = dram::simulateTrace(baseline);
-        const auto synth = dram::simulateTrace(synthetic);
+        dram::SimulationOptions sim_options;
+        sim_options.threads = options.threads;
+        const auto base = dram::simulateTrace(
+            baseline, dram::DramConfig{},
+            interconnect::CrossbarConfig{}, sim_options);
+        const auto synth = dram::simulateTrace(
+            synthetic, dram::DramConfig{},
+            interconnect::CrossbarConfig{}, sim_options);
         addMetric(out, "dram.read_bursts",
                   static_cast<double>(base.readBursts()),
                   static_cast<double>(synth.readBursts()));
@@ -276,33 +283,42 @@ attributeErrors(const mem::Trace &trace, const core::Profile &profile,
             "so leaves are paired positionally best-effort";
     }
 
+    // Each leaf's re-validation touches only its own slot in
+    // report.leaves / paths / base_leaves / synth_leaf, so the loop
+    // fans out over the shared pool. Slots are written by index (not
+    // pushed), so the pre-sort report is identical at any thread count.
     const std::size_t paired = std::min(base_leaves.size(), n_leaves);
     std::vector<std::vector<std::uint32_t>> paths(n_leaves);
-    report.leaves.reserve(n_leaves);
-    for (std::size_t i = 0; i < n_leaves; ++i) {
-        LeafAttribution leaf;
-        leaf.leaf = static_cast<std::uint32_t>(i);
-        const obs::LeafProvenance &meta = provenance.leaves()[i];
-        leaf.deltaTimeMode = meta.deltaTime;
-        leaf.strideMode = meta.stride;
-        leaf.opMode = meta.op;
-        leaf.sizeMode = meta.size;
-        leaf.syntheticRequests = synth_leaf[i].size();
+    report.leaves.resize(n_leaves);
+    util::parallelFor(
+        n_leaves,
+        [&](std::size_t i) {
+            LeafAttribution leaf;
+            leaf.leaf = static_cast<std::uint32_t>(i);
+            const obs::LeafProvenance &meta = provenance.leaves()[i];
+            leaf.deltaTimeMode = meta.deltaTime;
+            leaf.strideMode = meta.stride;
+            leaf.opMode = meta.op;
+            leaf.sizeMode = meta.size;
+            leaf.syntheticRequests = synth_leaf[i].size();
 
-        mem::Trace baseline;
-        if (i < paired) {
-            paths[i] = base_leaves[i].path;
-            leaf.path = core::pathString(base_leaves[i].path);
-            baseline.requests() = std::move(base_leaves[i].requests);
-        } else {
-            leaf.path = meta.path; // "leaf<N>" placeholder
-        }
-        leaf.baselineRequests = baseline.size();
+            mem::Trace baseline;
+            if (i < paired) {
+                paths[i] = base_leaves[i].path;
+                leaf.path = core::pathString(base_leaves[i].path);
+                baseline.requests() =
+                    std::move(base_leaves[i].requests);
+            } else {
+                leaf.path = meta.path; // "leaf<N>" placeholder
+            }
+            leaf.baselineRequests = baseline.size();
 
-        leaf.metrics = compareLeaf(baseline, synth_leaf[i], options);
-        finalizeLeaf(leaf);
-        report.leaves.push_back(std::move(leaf));
-    }
+            leaf.metrics =
+                compareLeaf(baseline, synth_leaf[i], options);
+            finalizeLeaf(leaf);
+            report.leaves[i] = std::move(leaf);
+        },
+        options.threads);
 
     report.layers = aggregateLayers(report.leaves, paths);
 

@@ -1,12 +1,15 @@
 #include "validation/validate.hpp"
 
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "cache/hierarchy.hpp"
 #include "core/model_generator.hpp"
 #include "core/synthesis.hpp"
 #include "dram/simulate.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mocktails::validation
 {
@@ -27,12 +30,10 @@ addMetric(std::vector<MetricComparison> &out, std::string name,
 }
 
 void
-compareOnDram(const mem::Trace &baseline, const mem::Trace &synthetic,
-              std::vector<MetricComparison> &out)
+dramMetrics(const dram::SimulationResult &base,
+            const dram::SimulationResult &synth,
+            std::vector<MetricComparison> &out)
 {
-    const auto base = dram::simulateTrace(baseline);
-    const auto synth = dram::simulateTrace(synthetic);
-
     addMetric(out, "dram.read_bursts",
               static_cast<double>(base.readBursts()),
               static_cast<double>(synth.readBursts()));
@@ -50,15 +51,10 @@ compareOnDram(const mem::Trace &baseline, const mem::Trace &synthetic,
 }
 
 void
-compareOnCaches(const mem::Trace &baseline,
-                const mem::Trace &synthetic,
-                std::vector<MetricComparison> &out)
+cacheMetrics(const cache::Hierarchy &base_h,
+             const cache::Hierarchy &synth_h,
+             std::vector<MetricComparison> &out)
 {
-    cache::Hierarchy base_h{cache::HierarchyConfig{}};
-    base_h.run(baseline);
-    cache::Hierarchy synth_h{cache::HierarchyConfig{}};
-    synth_h.run(synthetic);
-
     addMetric(out, "cache.l1_miss_rate",
               100.0 * base_h.l1Stats().missRate(),
               100.0 * synth_h.l1Stats().missRate());
@@ -102,11 +98,45 @@ validateProfile(const mem::Trace &trace, const core::Profile &profile,
     const mem::Trace synthetic =
         core::synthesize(profile, options.seed, options.threads);
 
+    // The four substrate runs (DRAM/cache × baseline/synthetic) are
+    // independent, so they fan out over the shared pool. Each task
+    // writes only its own slot and the metric tables are assembled in
+    // a fixed order afterwards, which keeps the report bit-identical
+    // at every thread count.
+    dram::SimulationOptions sim_options;
+    sim_options.threads = options.threads;
+
+    dram::SimulationResult dram_base;
+    dram::SimulationResult dram_synth;
+    cache::Hierarchy cache_base{cache::HierarchyConfig{}};
+    cache::Hierarchy cache_synth{cache::HierarchyConfig{}};
+
+    std::vector<std::function<void()>> tasks;
+    if (options.dram) {
+        tasks.push_back([&] {
+            dram_base = dram::simulateTrace(
+                trace, dram::DramConfig{},
+                interconnect::CrossbarConfig{}, sim_options);
+        });
+        tasks.push_back([&] {
+            dram_synth = dram::simulateTrace(
+                synthetic, dram::DramConfig{},
+                interconnect::CrossbarConfig{}, sim_options);
+        });
+    }
+    if (options.cache) {
+        tasks.push_back([&] { cache_base.run(trace); });
+        tasks.push_back([&] { cache_synth.run(synthetic); });
+    }
+    util::parallelFor(
+        tasks.size(), [&](std::size_t i) { tasks[i](); },
+        options.threads);
+
     ValidationReport report;
     if (options.dram)
-        compareOnDram(trace, synthetic, report.dramMetrics);
+        dramMetrics(dram_base, dram_synth, report.dramMetrics);
     if (options.cache)
-        compareOnCaches(trace, synthetic, report.cacheMetrics);
+        cacheMetrics(cache_base, cache_synth, report.cacheMetrics);
     finalize(report, options.passThresholdPercent);
     return report;
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 namespace
@@ -134,6 +136,74 @@ TEST(EventQueue, PendingCount)
     EXPECT_EQ(q.pending(), 2u);
     q.run();
     EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, DeviceBandRunsAfterTransportWithinTick)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, kBandDevice, [&] { order.push_back(2); });
+    q.schedule(5, kBandTransport, [&] { order.push_back(0); });
+    q.schedule(5, kBandDevice, [&] { order.push_back(3); });
+    q.schedule(5, [&] { order.push_back(1); }); // transport default
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, BandsDoNotReorderAcrossTicks)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, kBandTransport, [&] { order.push_back(1); });
+    q.schedule(4, kBandDevice, [&] { order.push_back(0); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueue, TransportCanScheduleDeviceAtCurrentTick)
+{
+    // The whole point of the bands: an injection-side event may
+    // schedule channel-internal work for the same tick and it still
+    // runs this pass, after every remaining transport event.
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(7, kBandTransport, [&] {
+        order.push_back(0);
+        q.schedule(7, kBandDevice, [&] { order.push_back(2); });
+    });
+    q.schedule(7, kBandTransport, [&] { order.push_back(1); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, ScheduleInWithBand)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, kBandTransport, [&] {
+        q.scheduleIn(0, kBandDevice, [&] { order.push_back(1); });
+        order.push_back(0);
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1}));
+    EXPECT_EQ(q.now(), 10u);
+}
+
+TEST(EventQueue, LargeCapturesTakeTheHeapPath)
+{
+    // Captures beyond the inline small-buffer budget must still move
+    // and fire correctly (exercises EventCallback's heap fallback).
+    EventQueue q;
+    std::array<std::uint64_t, 16> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = i + 1;
+    std::uint64_t sum = 0;
+    q.schedule(3, [payload, &sum] {
+        for (const std::uint64_t v : payload)
+            sum += v;
+    });
+    q.run();
+    EXPECT_EQ(sum, 136u);
 }
 
 } // namespace

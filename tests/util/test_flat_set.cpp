@@ -1,0 +1,73 @@
+#include "util/flat_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace
+{
+
+using mocktails::util::FlatSet64;
+
+TEST(FlatSet, InsertReportsNovelty)
+{
+    FlatSet64 set;
+    EXPECT_TRUE(set.insert(42));
+    EXPECT_FALSE(set.insert(42));
+    EXPECT_TRUE(set.insert(0)); // zero is a legal key
+    EXPECT_FALSE(set.insert(0));
+    EXPECT_EQ(set.size(), 2u);
+    EXPECT_TRUE(set.contains(42));
+    EXPECT_TRUE(set.contains(0));
+    EXPECT_FALSE(set.contains(7));
+}
+
+TEST(FlatSet, GrowsBeyondInitialCapacity)
+{
+    FlatSet64 set;
+    for (std::uint64_t i = 0; i < 10000; ++i)
+        EXPECT_TRUE(set.insert(i * 64));
+    EXPECT_EQ(set.size(), 10000u);
+    for (std::uint64_t i = 0; i < 10000; ++i) {
+        EXPECT_TRUE(set.contains(i * 64));
+        EXPECT_FALSE(set.insert(i * 64));
+    }
+    EXPECT_FALSE(set.contains(63));
+}
+
+TEST(FlatSet, MatchesUnorderedSetOnRandomKeys)
+{
+    FlatSet64 set;
+    std::unordered_set<std::uint64_t> reference;
+    mocktails::util::Rng rng(17);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t key = rng.below(4096);
+        EXPECT_EQ(set.insert(key), reference.insert(key).second);
+    }
+    EXPECT_EQ(set.size(), reference.size());
+}
+
+TEST(FlatSet, ClearKeepsWorking)
+{
+    FlatSet64 set(1000);
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        set.insert(i);
+    set.clear();
+    EXPECT_EQ(set.size(), 0u);
+    EXPECT_TRUE(set.empty());
+    EXPECT_FALSE(set.contains(1));
+    EXPECT_TRUE(set.insert(1));
+    EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FlatSet, SizingHintHonoured)
+{
+    FlatSet64 set(100000);
+    for (std::uint64_t i = 0; i < 100000; ++i)
+        set.insert(i * 3);
+    EXPECT_EQ(set.size(), 100000u);
+}
+
+} // namespace

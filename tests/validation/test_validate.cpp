@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <thread>
 
 #include "core/model_generator.hpp"
 #include "util/stats.hpp"
@@ -145,6 +146,75 @@ TEST(Validate, SaveReportJsonWritesFile)
     std::remove(path.c_str());
 
     EXPECT_FALSE(saveReportJson(report, "/nonexistent/dir/x.json"));
+}
+
+void
+expectReportsIdentical(const ValidationReport &a,
+                       const ValidationReport &b)
+{
+    // Bit-identical, not approximately equal: the parallel substrate
+    // must not change a single ULP of the report.
+    EXPECT_EQ(a.passed, b.passed);
+    EXPECT_EQ(a.worstErrorPercent, b.worstErrorPercent);
+    EXPECT_EQ(a.meanErrorPercent, b.meanErrorPercent);
+    const auto expect_metrics = [](const auto &ma, const auto &mb) {
+        ASSERT_EQ(ma.size(), mb.size());
+        for (std::size_t i = 0; i < ma.size(); ++i) {
+            SCOPED_TRACE(ma[i].name);
+            EXPECT_EQ(ma[i].name, mb[i].name);
+            EXPECT_EQ(ma[i].baseline, mb[i].baseline);
+            EXPECT_EQ(ma[i].synthetic, mb[i].synthetic);
+            EXPECT_EQ(ma[i].errorPercent, mb[i].errorPercent);
+        }
+    };
+    expect_metrics(a.dramMetrics, b.dramMetrics);
+    expect_metrics(a.cacheMetrics, b.cacheMetrics);
+}
+
+TEST(Validate, ThreadCountDoesNotChangeTheReport)
+{
+    const mem::Trace trace = workloads::makeHevc(8000, 1, 2);
+    const core::Profile profile = core::buildProfile(
+        trace, core::PartitionConfig::twoLevelTs());
+
+    ValidationOptions options;
+    options.threads = 1;
+    const auto sequential = validateProfile(trace, profile, options);
+    for (const unsigned threads : {2u, 4u, 8u}) {
+        SCOPED_TRACE(threads);
+        options.threads = threads;
+        expectReportsIdentical(
+            sequential, validateProfile(trace, profile, options));
+    }
+}
+
+TEST(Validate, ConcurrentValidationsShareThePool)
+{
+    // Two validations racing on the shared pool (each itself fanning
+    // out) must produce exactly the reports the sequential runs do.
+    // The sanitize preset turns this into a data-race check too.
+    const mem::Trace trace_a = workloads::makeHevc(6000, 1, 2);
+    const mem::Trace trace_b = workloads::makeFbcTiled(6000, 1, 1);
+    const auto config = core::PartitionConfig::twoLevelTs();
+    const core::Profile profile_a = core::buildProfile(trace_a, config);
+    const core::Profile profile_b = core::buildProfile(trace_b, config);
+
+    ValidationOptions sequential;
+    sequential.threads = 1;
+    const auto ref_a = validateProfile(trace_a, profile_a, sequential);
+    const auto ref_b = validateProfile(trace_b, profile_b, sequential);
+
+    ValidationOptions pooled;
+    pooled.threads = 2;
+    ValidationReport got_a, got_b;
+    std::thread worker([&] {
+        got_a = validateProfile(trace_a, profile_a, pooled);
+    });
+    got_b = validateProfile(trace_b, profile_b, pooled);
+    worker.join();
+
+    expectReportsIdentical(ref_a, got_a);
+    expectReportsIdentical(ref_b, got_b);
 }
 
 TEST(Validate, ValidateProfileMatchesValidateConfig)
