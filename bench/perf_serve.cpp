@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Performance microbenchmarks for the serving layer
+ * (google-benchmark): streaming-session throughput at several chunk
+ * sizes (synchronous and buffered staging) and the request wire codec.
+ * Throughput numbers, not paper results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/model_generator.hpp"
+#include "core/synthesis.hpp"
+#include "mem/wire.hpp"
+#include "serve/profile_store.hpp"
+#include "serve/session.hpp"
+#include "util/codec.hpp"
+#include "workloads/devices.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+
+std::shared_ptr<const serve::StoredProfile>
+storedProfile()
+{
+    static const std::shared_ptr<const serve::StoredProfile> stored =
+        [] {
+            auto s = std::make_shared<serve::StoredProfile>();
+            s->id = "bench";
+            s->profile = core::buildProfile(
+                workloads::deviceTraces().front().make(60000, 1),
+                core::PartitionConfig::twoLevelTs(500000));
+            s->totalRequests = s->profile.totalRequests();
+            return s;
+        }();
+    return stored;
+}
+
+/** Drain one whole session in next() calls of the given chunk size. */
+void
+BM_SessionStream(benchmark::State &state)
+{
+    const auto stored = storedProfile();
+    const std::size_t chunk =
+        static_cast<std::size_t>(state.range(0));
+    const std::size_t buffer =
+        static_cast<std::size_t>(state.range(1));
+    std::uint64_t streamed = 0;
+    for (auto _ : state) {
+        serve::SessionOptions options;
+        options.seed = 1;
+        options.bufferCapacity = buffer;
+        serve::SynthesisSession session(stored, options);
+        std::vector<mem::Request> out;
+        while (!session.done()) {
+            out.clear();
+            if (session.next(out, chunk) == 0)
+                break;
+            benchmark::DoNotOptimize(out.data());
+        }
+        streamed += session.emitted();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(streamed));
+}
+BENCHMARK(BM_SessionStream)
+    ->ArgNames({"chunk", "buffer"})
+    ->Args({64, 0})
+    ->Args({4096, 0})
+    ->Args({65536, 0})
+    ->Args({4096, 8192})
+    ->Unit(benchmark::kMillisecond);
+
+/** The serve wire codec: requests -> bytes -> requests. */
+void
+BM_RequestWireCodec(benchmark::State &state)
+{
+    const mem::Trace trace = core::synthesize(storedProfile()->profile);
+    const std::size_t chunk =
+        static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        mem::RequestCodecState encode_state;
+        util::ByteWriter w;
+        for (std::size_t i = 0; i < trace.size(); i += chunk) {
+            const std::size_t count =
+                std::min(chunk, trace.size() - i);
+            mem::encodeRequests(w, trace.requests().data() + i, count,
+                                encode_state);
+        }
+        mem::RequestCodecState decode_state;
+        util::ByteReader r(w.bytes().data(), w.bytes().size());
+        std::vector<mem::Request> decoded;
+        decoded.reserve(trace.size());
+        const bool ok = mem::decodeRequests(r, trace.size(), decoded,
+                                            decode_state);
+        benchmark::DoNotOptimize(ok);
+        benchmark::DoNotOptimize(decoded.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_RequestWireCodec)
+    ->ArgName("chunk")
+    ->Arg(64)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace

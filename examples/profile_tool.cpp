@@ -11,6 +11,8 @@
  *   simulate <file.mkt|file.mkp>                 run the DRAM model
  *   compare  <a.mkt|a.mkp> <b.mkt|b.mkp>         DRAM metrics, side by
  *                                                side with % error
+ *   serve    <profile.mkp>...                    stream profiles over TCP
+ *   fetch    <host:port> <id> <out>              synthesise remotely
  *
  * This is the command-line face of paper Fig. 1: `profile` is what
  * industry runs; `synth`, `simulate` and `compare` are what academia
@@ -21,8 +23,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cache/hierarchy.hpp"
 #include "core/model_generator.hpp"
@@ -31,6 +35,9 @@
 #include "dram/simulate.hpp"
 #include "dram/stats_dump.hpp"
 #include "obs/trace_event.hpp"
+#include "serve/client.hpp"
+#include "serve/profile_store.hpp"
+#include "serve/server.hpp"
 #include "validation/attribution.hpp"
 #include "validation/validate.hpp"
 #include "mem/interop.hpp"
@@ -65,6 +72,9 @@ usage()
         "  compare  <a.mkt|a.mkp> <b.mkt|b.mkp>\n"
         "  validate <trace.mkt> [profile.mkp]\n"
         "  trace    <file.mkt|file.mkp> <out.json|out.bin>\n"
+        "  serve    <profile.mkp>... [--port P] [--port-file PATH]\n"
+        "           [--once N]\n"
+        "  fetch    <host:port> <id> <out.mkt|out.csv> [seed] [chunk]\n"
         "workloads: Table II names (e.g. HEVC1, T-Rex1, FBC-Linear1)\n"
         "           or SPEC names (e.g. gobmk, libquantum)\n"
         "--threads: worker threads for profile/synth/validate\n"
@@ -84,7 +94,14 @@ usage()
         "validate with only a trace profiles it with the default\n"
         "  hierarchy first (exercises the whole pipeline)\n"
         "trace replays a trace (or a profile, synthesised with\n"
-        "  tracing on) through the DRAM and cache substrates\n");
+        "  tracing on) through the DRAM and cache substrates\n"
+        "serve registers each profile under its file name (the id)\n"
+        "  and streams synthesis sessions to fetch clients; --port 0\n"
+        "  picks an ephemeral port (written to --port-file), --once N\n"
+        "  exits after N connections\n"
+        "fetch streams a remote session into a local trace file\n"
+        "  (.csv exports CSV); seed defaults to 1, chunk of 0 lets\n"
+        "  the server pick the chunk size\n");
     return 2;
 }
 
@@ -136,8 +153,9 @@ cmdProfile(const std::string &in, const std::string &out,
     const core::Profile profile = core::buildProfile(
         trace, core::PartitionConfig::twoLevelTs(cycles),
         core::LeafModelerHooks{}, g_threads);
-    if (!core::saveProfile(profile, out)) {
-        std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    std::string error;
+    if (!core::saveProfile(profile, out, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
         return 1;
     }
     std::printf("profiled %zu requests into %zu leaves (%s)\n",
@@ -151,8 +169,9 @@ cmdSynth(const std::string &in, const std::string &out,
          std::uint64_t seed)
 {
     core::Profile profile;
-    if (!core::loadProfile(in, profile)) {
-        std::fprintf(stderr, "error: cannot read %s\n", in.c_str());
+    std::string error;
+    if (!core::loadProfile(in, profile, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
         return 1;
     }
     const mem::Trace synth = core::synthesize(profile, seed, g_threads);
@@ -190,7 +209,8 @@ cmdInfo(const std::string &path)
         return 0;
     }
     core::Profile profile;
-    if (core::loadProfile(path, profile)) {
+    std::string profile_error;
+    if (core::loadProfile(path, profile, &profile_error)) {
         const core::ProfileSummary s = core::summarize(profile);
         std::printf("profile %s (device %s)\n", profile.name.c_str(),
                     profile.device.c_str());
@@ -224,8 +244,10 @@ cmdInfo(const std::string &path)
         print_census("size", s.size);
         return 0;
     }
-    std::fprintf(stderr, "error: %s is neither a trace nor a profile\n",
-                 path.c_str());
+    std::fprintf(stderr,
+                 "error: %s is neither a trace nor a profile\n"
+                 "  (as a profile: %s)\n",
+                 path.c_str(), profile_error.c_str());
     return 1;
 }
 
@@ -321,6 +343,7 @@ cmdValidate(const std::string &trace_path,
     validation::ValidationOptions options;
     options.threads = g_threads;
     core::Profile profile;
+    std::string error;
     if (profile_path.empty()) {
         // Single-argument form: build the profile here with the
         // default hierarchy, then synthesise and compare. One command
@@ -329,9 +352,8 @@ cmdValidate(const std::string &trace_path,
         profile = core::buildProfile(
             trace, core::PartitionConfig::twoLevelTs(500000),
             core::LeafModelerHooks{}, g_threads);
-    } else if (!core::loadProfile(profile_path, profile)) {
-        std::fprintf(stderr, "error: cannot read %s\n",
-                     profile_path.c_str());
+    } else if (!core::loadProfile(profile_path, profile, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
         return 1;
     }
     const validation::ValidationReport report =
@@ -488,13 +510,6 @@ cmdCompare(const std::string &path_a, const std::string &path_b)
     return 0;
 }
 
-/** Telemetry output path ("" = telemetry off) and snapshot cadence. */
-std::string g_telemetry_path;
-std::uint64_t g_telemetry_interval_ms = 0;
-
-/** Trace-event output path ("" = tracing off). */
-std::string g_trace_out_path;
-
 /** Parse a non-negative integer flag value; exits with usage error. */
 bool
 parseUnsigned(const char *flag, const char *text, std::uint64_t &out)
@@ -511,6 +526,146 @@ parseUnsigned(const char *flag, const char *text, std::uint64_t &out)
     out = n;
     return true;
 }
+
+/** File name without directories: "a/b/x.mkp" -> "x.mkp". */
+std::string
+baseName(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    serve::ServerOptions server_options;
+    std::string port_file;
+    std::uint64_t once = 0;
+    std::vector<std::string> paths;
+    for (int i = 0; i < argc; ++i) {
+        std::uint64_t value = 0;
+        if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+            if (!parseUnsigned("--port", argv[++i], value) ||
+                value > 65535) {
+                std::fprintf(stderr,
+                             "profile_tool: --port expects 0..65535\n");
+                return 2;
+            }
+            server_options.port = static_cast<std::uint16_t>(value);
+        } else if (std::strcmp(argv[i], "--port-file") == 0 &&
+                   i + 1 < argc) {
+            port_file = argv[++i];
+        } else if (std::strcmp(argv[i], "--once") == 0 &&
+                   i + 1 < argc) {
+            if (!parseUnsigned("--once", argv[++i], value))
+                return 2;
+            once = value;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr,
+                         "profile_tool: unknown serve flag '%s'\n",
+                         argv[i]);
+            return 2;
+        } else {
+            paths.push_back(argv[i]);
+        }
+    }
+    if (paths.empty())
+        return usage();
+
+    serve::ProfileStore store;
+    for (const std::string &path : paths) {
+        const std::string id = baseName(path);
+        store.registerProfile(id, path);
+        std::printf("registered %s -> %s\n", id.c_str(), path.c_str());
+    }
+
+    serve::StreamServer server(store, server_options);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("serving %zu profile(s) on port %u\n", paths.size(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    if (!port_file.empty()) {
+        std::FILE *f = std::fopen(port_file.c_str(), "w");
+        if (f == nullptr ||
+            std::fprintf(f, "%u\n",
+                         static_cast<unsigned>(server.port())) < 0 ||
+            std::fclose(f) != 0) {
+            if (f != nullptr)
+                std::fclose(f);
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         port_file.c_str());
+            server.stop();
+            return 1;
+        }
+    }
+
+    // --once N: exit after N connections have been served (tests and
+    // scripted use); otherwise serve until killed.
+    server.waitForConnections(
+        once > 0 ? once : std::numeric_limits<std::uint64_t>::max());
+    server.stop();
+    std::printf("served %llu connection(s)\n",
+                static_cast<unsigned long long>(
+                    server.connectionsCompleted()));
+    return 0;
+}
+
+int
+cmdFetch(const std::string &endpoint, const std::string &id,
+         const std::string &out, std::uint64_t seed,
+         std::uint64_t chunk)
+{
+    const std::size_t colon = endpoint.find_last_of(':');
+    if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+        std::fprintf(stderr,
+                     "profile_tool: fetch expects <host:port>, got "
+                     "'%s'\n",
+                     endpoint.c_str());
+        return 2;
+    }
+    std::uint64_t port = 0;
+    if (!parseUnsigned("fetch port", endpoint.c_str() + colon + 1,
+                       port) ||
+        port == 0 || port > 65535) {
+        std::fprintf(stderr, "profile_tool: bad port in '%s'\n",
+                     endpoint.c_str());
+        return 2;
+    }
+
+    mem::Trace trace;
+    std::string error;
+    if (!serve::fetchTrace(endpoint.substr(0, colon),
+                           static_cast<std::uint16_t>(port), id, seed,
+                           trace, chunk, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+
+    const bool csv = out.size() > 4 &&
+                     out.compare(out.size() - 4, 4, ".csv") == 0;
+    const bool ok =
+        csv ? mem::saveTraceCsv(trace, out) : mem::saveTrace(trace, out);
+    if (!ok) {
+        std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+        return 1;
+    }
+    std::printf("fetched %zu requests from %s/%s -> %s\n",
+                trace.size(), endpoint.c_str(), id.c_str(),
+                out.c_str());
+    return 0;
+}
+
+/** Telemetry output path ("" = telemetry off) and snapshot cadence. */
+std::string g_telemetry_path;
+std::uint64_t g_telemetry_interval_ms = 0;
+
+/** Trace-event output path ("" = tracing off). */
+std::string g_trace_out_path;
 
 int
 dispatch(int argc, char **argv)
@@ -550,6 +705,31 @@ dispatch(int argc, char **argv)
         return cmdValidate(argv[2], argc == 4 ? argv[3] : "");
     if (command == "trace" && argc == 4)
         return cmdTrace(argv[2], argv[3]);
+    if (command == "serve" && argc >= 3)
+        return cmdServe(argc - 2, argv + 2);
+    if (command == "fetch" && argc >= 5 && argc <= 7) {
+        const std::uint64_t seed =
+            argc >= 6 ? std::strtoull(argv[5], nullptr, 10) : 1;
+        const std::uint64_t chunk =
+            argc >= 7 ? std::strtoull(argv[6], nullptr, 10) : 0;
+        return cmdFetch(argv[2], argv[3], argv[4], seed, chunk);
+    }
+
+    // An unknown subcommand and a known one with the wrong arity both
+    // end here: say which it was on stderr, then fail with usage.
+    static const char *const kCommands[] = {
+        "generate", "profile", "synth", "info",  "export", "simulate",
+        "compare",  "validate", "trace", "serve", "fetch"};
+    bool known = false;
+    for (const char *name : kCommands)
+        known = known || command == name;
+    if (known)
+        std::fprintf(stderr,
+                     "profile_tool: wrong arguments for '%s'\n",
+                     command.c_str());
+    else
+        std::fprintf(stderr, "profile_tool: unknown command '%s'\n",
+                     command.c_str());
     return usage();
 }
 

@@ -106,63 +106,144 @@ Profile::encodeCompressed() const
     return util::compress(encode());
 }
 
+namespace
+{
+
+/** "<what> at byte offset <pos> of <size>" into @p error (nullable). */
+void
+setDecodeError(std::string *error, const char *what,
+               const util::ByteReader &reader, std::size_t total)
+{
+    if (error == nullptr)
+        return;
+    *error = std::string(what) + " at byte offset " +
+             std::to_string(reader.position()) + " of " +
+             std::to_string(total);
+}
+
+} // namespace
+
 bool
-Profile::decode(const std::vector<std::uint8_t> &bytes, Profile &profile)
+Profile::decode(const std::vector<std::uint8_t> &bytes, Profile &profile,
+                std::string *error)
 {
     util::ByteReader r(bytes);
-    if (r.getVarint() != profileMagic || r.getVarint() != profileVersion)
+    if (r.getVarint() != profileMagic ||
+        r.getVarint() != profileVersion) {
+        setDecodeError(error, "bad profile magic/version", r,
+                       bytes.size());
         return false;
+    }
 
     profile.name = r.getString();
     profile.device = r.getString();
-    if (!PartitionConfig::decode(r, profile.config))
+    if (!r.ok()) {
+        setDecodeError(error, "truncated profile header", r,
+                       bytes.size());
         return false;
+    }
+    if (!PartitionConfig::decode(r, profile.config)) {
+        setDecodeError(error, "bad partition config", r, bytes.size());
+        return false;
+    }
 
     const std::uint64_t count = r.getVarint();
     // Each encoded leaf needs at least 9 bytes (5 varints + 4 tags);
     // larger claims are corrupt.
-    if (!r.ok() || count > r.remaining() / 9 + 1)
+    if (!r.ok() || count > r.remaining() / 9 + 1) {
+        setDecodeError(error, "implausible leaf count", r,
+                       bytes.size());
         return false;
+    }
 
     profile.leaves.clear();
     profile.leaves.reserve(count);
-    bool ok = true;
-    for (std::uint64_t i = 0; i < count && ok && r.ok(); ++i) {
+    for (std::uint64_t i = 0; i < count; ++i) {
         LeafModel leaf;
         leaf.startTime = r.getVarint();
         leaf.startAddr = r.getVarint();
         leaf.addrLo = r.getVarint();
         leaf.addrHi = r.getVarint();
         leaf.count = r.getVarint();
+        if (!r.ok()) {
+            setDecodeError(error, "truncated leaf metadata", r,
+                           bytes.size());
+            return false;
+        }
+        bool ok = true;
         leaf.deltaTime = decodeFeatureModel(r, ok);
         leaf.stride = decodeFeatureModel(r, ok);
         leaf.op = decodeFeatureModel(r, ok);
         leaf.size = decodeFeatureModel(r, ok);
+        if (!ok || !r.ok()) {
+            setDecodeError(error, "bad feature model", r,
+                           bytes.size());
+            return false;
+        }
         profile.leaves.push_back(std::move(leaf));
     }
-    return ok && r.ok();
+    return true;
+}
+
+bool
+Profile::decode(const std::vector<std::uint8_t> &bytes, Profile &profile)
+{
+    return decode(bytes, profile, nullptr);
+}
+
+bool
+Profile::decodeCompressed(const std::vector<std::uint8_t> &bytes,
+                          Profile &profile, std::string *error)
+{
+    std::vector<std::uint8_t> raw;
+    if (!util::decompress(bytes, raw)) {
+        if (error != nullptr)
+            *error = "corrupt compression envelope (not a .mkp "
+                     "profile?)";
+        return false;
+    }
+    return decode(raw, profile, error);
 }
 
 bool
 Profile::decodeCompressed(const std::vector<std::uint8_t> &bytes,
                           Profile &profile)
 {
-    std::vector<std::uint8_t> raw;
-    return util::decompress(bytes, raw) && decode(raw, profile);
+    return decodeCompressed(bytes, profile, nullptr);
+}
+
+bool
+saveProfile(const Profile &profile, const std::string &path,
+            std::string *error)
+{
+    return util::saveBytes(path, profile.encodeCompressed(), error);
 }
 
 bool
 saveProfile(const Profile &profile, const std::string &path)
 {
-    return util::saveBytes(path, profile.encodeCompressed());
+    return saveProfile(profile, path, nullptr);
+}
+
+bool
+loadProfile(const std::string &path, Profile &profile,
+            std::string *error)
+{
+    std::vector<std::uint8_t> bytes;
+    if (!util::loadBytes(path, bytes, error))
+        return false;
+    if (!Profile::decodeCompressed(bytes, profile, error)) {
+        if (error != nullptr)
+            *error = path + ": " + *error;
+        return false;
+    }
+    return true;
 }
 
 bool
 loadProfile(const std::string &path, Profile &profile)
 {
-    std::vector<std::uint8_t> bytes;
-    return util::loadBytes(path, bytes) &&
-           Profile::decodeCompressed(bytes, profile);
+    return loadProfile(path, profile, nullptr);
 }
 
 } // namespace mocktails::core

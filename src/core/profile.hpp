@@ -70,20 +70,47 @@ struct Profile
     /** Serialise and compress — the distributable artefact. */
     std::vector<std::uint8_t> encodeCompressed() const;
 
-    /** Decode from encode() bytes. @return false on corrupt input. */
+    /**
+     * Decode from encode() bytes. @return false on corrupt input.
+     *
+     * The @p error overloads fail loudly: on corrupt input @p error
+     * (when non-null) receives a diagnostic naming what broke and the
+     * byte offset it broke at (e.g. "bad feature model at byte offset
+     * 117 of 204").
+     */
     static bool decode(const std::vector<std::uint8_t> &bytes,
                        Profile &profile);
+    static bool decode(const std::vector<std::uint8_t> &bytes,
+                       Profile &profile, std::string *error);
 
     /** Decode from encodeCompressed() bytes. */
     static bool decodeCompressed(const std::vector<std::uint8_t> &bytes,
                                  Profile &profile);
+    static bool decodeCompressed(const std::vector<std::uint8_t> &bytes,
+                                 Profile &profile, std::string *error);
 };
 
-/** Save a compressed profile to a file. */
+/**
+ * Save a compressed profile to a file.
+ *
+ * The @p error overload reports failures with file and errno context
+ * ("path: cannot open for writing (Permission denied)") instead of a
+ * silent false — the same loud-error contract as loadTraceCsv.
+ */
 bool saveProfile(const Profile &profile, const std::string &path);
+bool saveProfile(const Profile &profile, const std::string &path,
+                 std::string *error);
 
-/** Load a compressed profile from a file. */
+/**
+ * Load a compressed profile from a file.
+ *
+ * The @p error overload distinguishes I/O failures (errno context),
+ * a corrupt compression envelope, and structural decode failures
+ * (with the offending byte offset).
+ */
 bool loadProfile(const std::string &path, Profile &profile);
+bool loadProfile(const std::string &path, Profile &profile,
+                 std::string *error);
 
 /**
  * Register a decoder for a custom FeatureModel tag (used by the STM

@@ -178,6 +178,19 @@ SynthesisEngine::next(mem::Request &out)
     return true;
 }
 
+std::size_t
+SynthesisEngine::nextBatch(std::vector<mem::Request> &out,
+                           std::size_t max)
+{
+    std::size_t made = 0;
+    mem::Request request;
+    while (made < max && next(request)) {
+        out.push_back(request);
+        ++made;
+    }
+    return made;
+}
+
 LoopedSynthesis::LoopedSynthesis(const Profile &profile,
                                  std::uint64_t iterations,
                                  mem::Tick gap, std::uint64_t seed)

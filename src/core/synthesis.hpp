@@ -101,6 +101,20 @@ class SynthesisEngine : public mem::RequestSource
 
     bool next(mem::Request &out) override;
 
+    /**
+     * Streaming hook: append up to @p max requests to @p out.
+     *
+     * Equivalent to calling next() @p max times — the emitted sequence
+     * is bit-identical for every batching of the same engine — but
+     * shaped for incremental consumers (serve::SynthesisSession) that
+     * hand out the trace chunk by chunk instead of materialising it.
+     *
+     * @return The number of requests appended; < @p max only when the
+     *         engine drained.
+     */
+    std::size_t nextBatch(std::vector<mem::Request> &out,
+                          std::size_t max);
+
     /** Requests produced so far. */
     std::uint64_t generated() const { return generated_; }
 

@@ -1,0 +1,54 @@
+#include "mem/wire.hpp"
+
+namespace mocktails::mem
+{
+
+void
+encodeRequests(util::ByteWriter &writer, const Request *requests,
+               std::size_t count, RequestCodecState &state)
+{
+    for (std::size_t i = 0; i < count; ++i) {
+        const Request &r = requests[i];
+        writer.putSigned(static_cast<std::int64_t>(r.tick) -
+                         static_cast<std::int64_t>(state.prevTick));
+        writer.putSigned(static_cast<std::int64_t>(r.addr) -
+                         static_cast<std::int64_t>(state.prevAddr));
+        // Fold the 1-bit op into the size varint: synthetic sizes are
+        // small powers of two, so the combined value still packs into
+        // one or two bytes.
+        writer.putVarint((static_cast<std::uint64_t>(r.size) << 1) |
+                         (r.isWrite() ? 1u : 0u));
+        state.prevTick = r.tick;
+        state.prevAddr = r.addr;
+    }
+}
+
+bool
+decodeRequests(util::ByteReader &reader, std::size_t count,
+               std::vector<Request> &out, RequestCodecState &state)
+{
+    out.reserve(out.size() + count);
+    for (std::size_t i = 0; i < count; ++i) {
+        Request r;
+        r.tick = static_cast<Tick>(
+            static_cast<std::int64_t>(state.prevTick) +
+            reader.getSigned());
+        r.addr = static_cast<Addr>(
+            static_cast<std::int64_t>(state.prevAddr) +
+            reader.getSigned());
+        const std::uint64_t packed = reader.getVarint();
+        if (!reader.ok())
+            return false;
+        r.op = (packed & 1) ? Op::Write : Op::Read;
+        const std::uint64_t size = packed >> 1;
+        if (size == 0 || size > 0xffffffffull)
+            return false; // a valid request accesses >= 1 byte
+        r.size = static_cast<std::uint32_t>(size);
+        out.push_back(r);
+        state.prevTick = r.tick;
+        state.prevAddr = r.addr;
+    }
+    return true;
+}
+
+} // namespace mocktails::mem

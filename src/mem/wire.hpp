@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Compact wire codec for mem::Request records.
+ *
+ * The serving protocol (src/serve) streams synthetic requests over TCP
+ * in chunks; this codec packs each record with the same varint dialect
+ * as the on-disk trace format (util/varint.hpp):
+ *
+ *   record := zigzag(tick - prevTick)        signed varint
+ *             zigzag(addr - prevAddr)        signed varint
+ *             (size << 1) | op               unsigned varint
+ *
+ * Deltas are taken against the previous record *of the stream*, not of
+ * the chunk, so the caller threads one RequestCodecState through the
+ * whole session; a chunk boundary costs nothing and decoding chunk k
+ * requires having decoded chunks 0..k-1 (which a streaming session
+ * does by construction). The first record of a stream is delta-coded
+ * against the zero state.
+ */
+
+#ifndef MOCKTAILS_MEM_WIRE_HPP
+#define MOCKTAILS_MEM_WIRE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mem/request.hpp"
+#include "util/codec.hpp"
+
+namespace mocktails::mem
+{
+
+/**
+ * Delta-coding carry state of one request stream. Value-semantic and
+ * identical on both ends: the encoder and decoder each keep one per
+ * session and advance it record by record.
+ */
+struct RequestCodecState
+{
+    Tick prevTick = 0;
+    Addr prevAddr = 0;
+};
+
+/**
+ * Append @p count records starting at @p requests to @p writer,
+ * advancing @p state.
+ */
+void encodeRequests(util::ByteWriter &writer, const Request *requests,
+                    std::size_t count, RequestCodecState &state);
+
+/**
+ * Decode @p count records from @p reader, appending to @p out and
+ * advancing @p state.
+ * @return false when the input is truncated or malformed (a record
+ *         with size 0 is malformed; @p out and @p state are then in an
+ *         unspecified intermediate state and the stream must be
+ *         abandoned).
+ */
+bool decodeRequests(util::ByteReader &reader, std::size_t count,
+                    std::vector<Request> &out, RequestCodecState &state);
+
+} // namespace mocktails::mem
+
+#endif // MOCKTAILS_MEM_WIRE_HPP

@@ -1,0 +1,305 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mocktails::serve
+{
+
+namespace
+{
+
+void
+setError(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message;
+}
+
+bool
+setSocketTimeouts(int fd, int read_ms, int write_ms)
+{
+    const auto set = [fd](int option, int ms) {
+        if (ms <= 0)
+            return true;
+        struct timeval tv;
+        tv.tv_sec = ms / 1000;
+        tv.tv_usec = (ms % 1000) * 1000;
+        return ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) ==
+               0;
+    };
+    return set(SO_RCVTIMEO, read_ms) && set(SO_SNDTIMEO, write_ms);
+}
+
+} // namespace
+
+Client::~Client()
+{
+    disconnect();
+}
+
+void
+Client::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+Client::connect(const std::string &host, std::uint16_t port,
+                ClientOptions options, std::string *error)
+{
+    disconnect();
+    options_ = options;
+
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo *result = nullptr;
+    const std::string service = std::to_string(port);
+    const int rc =
+        ::getaddrinfo(host.c_str(), service.c_str(), &hints, &result);
+    if (rc != 0) {
+        setError(error, "resolve " + host + ": " + gai_strerror(rc));
+        return false;
+    }
+
+    int last_errno = 0;
+    for (struct addrinfo *ai = result; ai != nullptr;
+         ai = ai->ai_next) {
+        const int fd =
+            ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            last_errno = errno;
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+            fd_ = fd;
+            break;
+        }
+        last_errno = errno;
+        ::close(fd);
+    }
+    ::freeaddrinfo(result);
+    if (fd_ < 0) {
+        setError(error, "connect " + host + ":" + service + ": " +
+                            std::strerror(last_errno));
+        return false;
+    }
+    setSocketTimeouts(fd_, options_.readTimeoutMs,
+                      options_.writeTimeoutMs);
+
+    HelloBody hello;
+    util::ByteWriter w;
+    hello.encode(w);
+    Frame reply;
+    if (!roundTrip(MsgType::Hello, w.bytes(), MsgType::HelloOk, reply,
+                   error)) {
+        disconnect();
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::roundTrip(MsgType type, const std::vector<std::uint8_t> &body,
+                  MsgType expect, Frame &reply, std::string *error)
+{
+    if (fd_ < 0) {
+        setError(error, "not connected");
+        return false;
+    }
+    if (!writeFrame(fd_, type, body)) {
+        setError(error, "send failed: " +
+                            std::string(std::strerror(errno)));
+        return false;
+    }
+    const FrameResult result =
+        readFrame(fd_, reply, options_.maxFrameBytes);
+    switch (result) {
+    case FrameResult::Ok:
+        break;
+    case FrameResult::Eof:
+        setError(error, "server closed the connection");
+        return false;
+    case FrameResult::Timeout:
+        setError(error, "timed out waiting for the server");
+        return false;
+    case FrameResult::TooLarge:
+        setError(error, "server frame exceeds the client limit");
+        return false;
+    case FrameResult::Error:
+        setError(error, "connection error: " +
+                            std::string(std::strerror(errno)));
+        return false;
+    }
+    if (reply.type == MsgType::Error) {
+        ErrorBody err;
+        util::ByteReader r(reply.body.data(), reply.body.size());
+        if (err.decode(r))
+            setError(error, std::string(toString(err.code)) + ": " +
+                                err.message);
+        else
+            setError(error, "malformed Error frame from server");
+        return false;
+    }
+    if (reply.type != expect) {
+        setError(error,
+                 "unexpected reply type " +
+                     std::to_string(
+                         static_cast<unsigned>(reply.type)));
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::open(const std::string &id, std::uint64_t seed,
+             RemoteSession &session, std::string *error)
+{
+    OpenProfileBody body;
+    body.id = id;
+    body.seed = seed;
+    util::ByteWriter w;
+    body.encode(w);
+    Frame reply;
+    if (!roundTrip(MsgType::OpenProfile, w.bytes(), MsgType::Opened,
+                   reply, error))
+        return false;
+    OpenedBody opened;
+    util::ByteReader r(reply.body.data(), reply.body.size());
+    if (!opened.decode(r)) {
+        setError(error, "malformed Opened frame");
+        return false;
+    }
+    session = RemoteSession{};
+    session.id = opened.session;
+    session.name = opened.name;
+    session.device = opened.device;
+    session.leaves = opened.leaves;
+    session.total = opened.total;
+    session.done = opened.total == 0;
+    return true;
+}
+
+bool
+Client::next(RemoteSession &session, std::vector<mem::Request> &out,
+             std::uint64_t maxRequests, std::string *error)
+{
+    SynthChunkBody body;
+    body.session = session.id;
+    body.maxRequests = maxRequests;
+    util::ByteWriter w;
+    body.encode(w);
+    Frame reply;
+    if (!roundTrip(MsgType::SynthChunk, w.bytes(), MsgType::Chunk,
+                   reply, error))
+        return false;
+    ChunkBody chunk;
+    util::ByteReader r(reply.body.data(), reply.body.size());
+    if (!chunk.decode(r, out, session.codec)) {
+        setError(error, "malformed Chunk frame");
+        return false;
+    }
+    if (chunk.session != session.id ||
+        chunk.firstSeq != session.received) {
+        setError(error, "chunk out of sequence (expected seq " +
+                            std::to_string(session.received) +
+                            ", got " +
+                            std::to_string(chunk.firstSeq) + ")");
+        return false;
+    }
+    session.received += chunk.count;
+    session.done = chunk.done;
+    return true;
+}
+
+bool
+Client::stat(RemoteSession &session, StatsBody &stats,
+             std::string *error)
+{
+    StatBody body;
+    body.session = session.id;
+    util::ByteWriter w;
+    body.encode(w);
+    Frame reply;
+    if (!roundTrip(MsgType::Stat, w.bytes(), MsgType::Stats, reply,
+                   error))
+        return false;
+    util::ByteReader r(reply.body.data(), reply.body.size());
+    if (!stats.decode(r)) {
+        setError(error, "malformed Stats frame");
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::close(RemoteSession &session, std::string *error)
+{
+    CloseBody body;
+    body.session = session.id;
+    util::ByteWriter w;
+    body.encode(w);
+    Frame reply;
+    if (!roundTrip(MsgType::Close, w.bytes(), MsgType::Closed, reply,
+                   error))
+        return false;
+    ClosedBody closed;
+    util::ByteReader r(reply.body.data(), reply.body.size());
+    if (!closed.decode(r)) {
+        setError(error, "malformed Closed frame");
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::fetch(RemoteSession &session, std::vector<mem::Request> &out,
+              std::uint64_t chunkRequests, std::string *error)
+{
+    while (!session.done) {
+        const std::uint64_t before = session.received;
+        if (!next(session, out, chunkRequests, error))
+            return false;
+        if (!session.done && session.received == before) {
+            setError(error, "server made no progress (empty chunk "
+                            "before completion)");
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+fetchTrace(const std::string &host, std::uint16_t port,
+           const std::string &id, std::uint64_t seed, mem::Trace &trace,
+           std::uint64_t chunkRequests, std::string *error)
+{
+    Client client;
+    if (!client.connect(host, port, {}, error))
+        return false;
+    RemoteSession session;
+    if (!client.open(id, seed, session, error))
+        return false;
+    std::vector<mem::Request> requests;
+    requests.reserve(static_cast<std::size_t>(session.total));
+    if (!client.fetch(session, requests, chunkRequests, error))
+        return false;
+    if (!client.close(session, error))
+        return false;
+    trace = mem::Trace(session.name, session.device);
+    trace.requests() = std::move(requests);
+    return true;
+}
+
+} // namespace mocktails::serve

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Blocking client for the serve wire protocol.
+ *
+ * A Client owns one TCP connection (Hello handshake performed by
+ * connect()) and any number of open sessions on it. Streaming follows
+ * the command/response cycle of protocol.hpp; fetch() drives a whole
+ * session to completion and fetchTrace() wraps the common
+ * open-stream-close case into one call.
+ *
+ * Server Error frames surface as `false` returns with the decoded
+ * "code: message" diagnostic in the caller's error string — the same
+ * convention as core::loadProfile.
+ */
+
+#ifndef MOCKTAILS_SERVE_CLIENT_HPP
+#define MOCKTAILS_SERVE_CLIENT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/request.hpp"
+#include "mem/trace.hpp"
+#include "mem/wire.hpp"
+#include "serve/protocol.hpp"
+
+namespace mocktails::serve
+{
+
+struct ClientOptions
+{
+    /** Socket receive/send timeouts, ms; 0 = none. */
+    int readTimeoutMs = 30000;
+    int writeTimeoutMs = 30000;
+
+    /** Inbound frame limit (bounds one Chunk response). */
+    std::uint32_t maxFrameBytes = kMaxFrameBytes;
+};
+
+/** A remote session handle returned by Client::open(). */
+struct RemoteSession
+{
+    std::uint64_t id = 0;
+    std::string name;       ///< profile workload name
+    std::string device;     ///< profile device class
+    std::uint64_t leaves = 0;
+    std::uint64_t total = 0; ///< requests the stream will emit
+    std::uint64_t received = 0;
+    bool done = false;
+    mem::RequestCodecState codec; ///< wire carry state (client side)
+};
+
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to host:port and run the Hello handshake. */
+    bool connect(const std::string &host, std::uint16_t port,
+                 ClientOptions options = {},
+                 std::string *error = nullptr);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Close the connection (open sessions die with it). */
+    void disconnect();
+
+    /** Open a synthesis session for @p id with @p seed. */
+    bool open(const std::string &id, std::uint64_t seed,
+              RemoteSession &session, std::string *error = nullptr);
+
+    /**
+     * Request one chunk of up to @p maxRequests (0 = server's limit);
+     * records are appended to @p out and the session cursor advances.
+     * After the final chunk session.done is true and next() appends
+     * nothing.
+     */
+    bool next(RemoteSession &session, std::vector<mem::Request> &out,
+              std::uint64_t maxRequests, std::string *error = nullptr);
+
+    /** Query server-side session counters. */
+    bool stat(RemoteSession &session, StatsBody &stats,
+              std::string *error = nullptr);
+
+    /** Close the remote session. */
+    bool close(RemoteSession &session, std::string *error = nullptr);
+
+    /**
+     * Stream the whole session into @p out (repeated next() of
+     * @p chunkRequests, 0 = server's limit).
+     */
+    bool fetch(RemoteSession &session, std::vector<mem::Request> &out,
+               std::uint64_t chunkRequests = 0,
+               std::string *error = nullptr);
+
+  private:
+    /** Send @p type+@p body, read the reply; Error frames -> false. */
+    bool roundTrip(MsgType type, const std::vector<std::uint8_t> &body,
+                   MsgType expect, Frame &reply, std::string *error);
+
+    int fd_ = -1;
+    ClientOptions options_;
+};
+
+/**
+ * One-call remote synthesis: connect, open @p id with @p seed, stream
+ * everything into @p trace (name/device filled from the profile),
+ * close, disconnect.
+ */
+bool fetchTrace(const std::string &host, std::uint16_t port,
+                const std::string &id, std::uint64_t seed,
+                mem::Trace &trace, std::uint64_t chunkRequests = 0,
+                std::string *error = nullptr);
+
+} // namespace mocktails::serve
+
+#endif // MOCKTAILS_SERVE_CLIENT_HPP

@@ -1,0 +1,260 @@
+#include "serve/profile_store.hpp"
+
+#include "telemetry/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mocktails::serve
+{
+
+ProfileStore::ProfileStore(StoreOptions options)
+    : options_(std::move(options))
+{
+    auto &registry = telemetry::MetricsRegistry::global();
+    hits_metric_ = &registry.counter("store.hits");
+    misses_metric_ = &registry.counter("store.misses");
+    evictions_metric_ = &registry.counter("store.evictions");
+    load_failures_metric_ = &registry.counter("store.load_failures");
+    resident_profiles_metric_ = &registry.gauge("store.resident_profiles");
+    resident_bytes_metric_ = &registry.gauge("store.resident_bytes");
+}
+
+void
+ProfileStore::registerProfile(const std::string &id,
+                              const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    registered_[id] = path;
+}
+
+void
+ProfileStore::insert(const std::string &id, core::Profile profile)
+{
+    auto stored = std::make_shared<StoredProfile>();
+    stored->id = id;
+    stored->totalRequests = profile.totalRequests();
+    // In-memory inserts have no file; charge the size the profile
+    // would occupy as the distributable artefact, so byte-capacity
+    // eviction treats both populations alike.
+    stored->bytes = profile.encodeCompressed().size();
+    stored->profile = std::move(profile);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &entry = entries_[id];
+    if (entry.state == Entry::State::Ready)
+        resident_bytes_ -= entry.value->bytes;
+    entry.state = Entry::State::Ready;
+    entry.value = std::move(stored);
+    entry.lastUse = ++use_clock_;
+    resident_bytes_ += entry.value->bytes;
+    enforceCapacityLocked();
+    publishGaugesLocked();
+    cv_.notify_all();
+}
+
+std::string
+ProfileStore::resolvePath(const std::string &id) const
+{
+    // Lock held by the caller.
+    const auto it = registered_.find(id);
+    if (it != registered_.end())
+        return it->second;
+    if (options_.root.empty() || id.empty())
+        return {};
+    // Only plain file names resolve under the root: a remote peer
+    // must not traverse out of the served directory.
+    if (id.find('/') != std::string::npos ||
+        id.find("..") != std::string::npos)
+        return {};
+    return options_.root + "/" + id;
+}
+
+void
+ProfileStore::loadEntry(const std::string &id, const std::string &path)
+{
+    loads_.fetch_add(1, std::memory_order_relaxed);
+    auto stored = std::make_shared<StoredProfile>();
+    stored->id = id;
+    stored->path = path;
+    std::string error;
+    std::vector<std::uint8_t> bytes;
+    bool ok = util::loadBytes(path, bytes, &error);
+    if (ok) {
+        stored->bytes = bytes.size();
+        if (!core::Profile::decodeCompressed(bytes, stored->profile,
+                                             &error)) {
+            error = path + ": " + error;
+            ok = false;
+        }
+    }
+    if (ok)
+        stored->totalRequests = stored->profile.totalRequests();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!ok) {
+        if (telemetry::enabled())
+            load_failures_metric_->add();
+        // Failed loads are not cached: drop the Loading slot (waiters
+        // re-resolve and observe the failure through load_errors_).
+        load_errors_[id] = error.empty() ? (path + ": load failed")
+                                         : error;
+        entries_.erase(id);
+        cv_.notify_all();
+        return;
+    }
+    Entry &entry = entries_[id];
+    entry.state = Entry::State::Ready;
+    entry.value = std::move(stored);
+    entry.lastUse = ++use_clock_;
+    resident_bytes_ += entry.value->bytes;
+    load_errors_.erase(id);
+    enforceCapacityLocked();
+    publishGaugesLocked();
+    cv_.notify_all();
+}
+
+std::shared_ptr<const StoredProfile>
+ProfileStore::get(const std::string &id, std::string *error)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        const auto it = entries_.find(id);
+        if (it == entries_.end())
+            break;
+        if (it->second.state == Entry::State::Ready) {
+            it->second.lastUse = ++use_clock_;
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            if (telemetry::enabled())
+                hits_metric_->add();
+            return it->second.value;
+        }
+        // Another caller is loading this id; share its outcome.
+        cv_.wait(lock);
+        const auto done = entries_.find(id);
+        if (done != entries_.end() &&
+            done->second.state == Entry::State::Ready)
+            continue; // loop re-reads as a hit
+        const auto failed = load_errors_.find(id);
+        if (failed != load_errors_.end()) {
+            if (error != nullptr)
+                *error = failed->second;
+            return nullptr;
+        }
+        // Spurious wakeup or unrelated publication: retry from the top.
+    }
+
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled())
+        misses_metric_->add();
+    const std::string path = resolvePath(id);
+    if (path.empty()) {
+        if (error != nullptr)
+            *error = "unknown profile id '" + id + "'";
+        return nullptr;
+    }
+    load_errors_.erase(id);
+    entries_[id]; // default state: Loading — publishes the flight
+    lock.unlock();
+
+    // Single flight: this caller owns the load. It runs on the shared
+    // pool unless we already *are* a pool worker (a server connection
+    // handler), where queueing behind ourselves could deadlock a
+    // 1-worker pool.
+    if (util::ThreadPool::onWorkerThread()) {
+        loadEntry(id, path);
+    } else {
+        util::ThreadPool::global().submit(
+            [this, id, path] { loadEntry(id, path); });
+    }
+
+    lock.lock();
+    for (;;) {
+        const auto it = entries_.find(id);
+        if (it != entries_.end() &&
+            it->second.state == Entry::State::Ready) {
+            it->second.lastUse = ++use_clock_;
+            return it->second.value;
+        }
+        const auto failed = load_errors_.find(id);
+        if (failed != load_errors_.end()) {
+            if (error != nullptr)
+                *error = failed->second;
+            return nullptr;
+        }
+        cv_.wait(lock);
+    }
+}
+
+void
+ProfileStore::enforceCapacityLocked()
+{
+    const auto overCapacity = [this](std::size_t ready) {
+        return (options_.maxEntries != 0 &&
+                ready > options_.maxEntries) ||
+               (options_.maxBytes != 0 &&
+                resident_bytes_ > options_.maxBytes);
+    };
+    for (;;) {
+        std::size_t ready = 0;
+        auto victim = entries_.end();
+        std::uint64_t newest = 0;
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->second.state != Entry::State::Ready)
+                continue;
+            ++ready;
+            newest = std::max(newest, it->second.lastUse);
+            if (victim == entries_.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (!overCapacity(ready) || ready <= 1)
+            return;
+        // Never evict the most recently used entry: the profile that
+        // just loaded must survive even when it alone busts the byte
+        // budget, or a get() could evict its own result.
+        if (victim->second.lastUse == newest)
+            return;
+        resident_bytes_ -= victim->second.value->bytes;
+        entries_.erase(victim);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        if (telemetry::enabled())
+            evictions_metric_->add();
+    }
+}
+
+void
+ProfileStore::publishGaugesLocked()
+{
+    if (!telemetry::enabled())
+        return;
+    std::size_t ready = 0;
+    for (const auto &[id, entry] : entries_) {
+        (void)id;
+        if (entry.state == Entry::State::Ready)
+            ++ready;
+    }
+    resident_profiles_metric_->set(static_cast<std::int64_t>(ready));
+    resident_bytes_metric_->set(
+        static_cast<std::int64_t>(resident_bytes_));
+}
+
+std::size_t
+ProfileStore::residentCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t ready = 0;
+    for (const auto &[id, entry] : entries_) {
+        (void)id;
+        if (entry.state == Entry::State::Ready)
+            ++ready;
+    }
+    return ready;
+}
+
+std::size_t
+ProfileStore::residentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return resident_bytes_;
+}
+
+} // namespace mocktails::serve

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * A concurrent, LRU-bounded store of loaded profiles.
+ *
+ * The serving layer's working set: profiles are loaded from disk once,
+ * shared by every session that streams from them (shared_ptr, so an
+ * eviction never yanks a profile out from under a live session), and
+ * evicted least-recently-used when the store exceeds its byte or entry
+ * capacity.
+ *
+ * Concurrent misses on the same id are single-flighted: the first
+ * caller schedules exactly one load (on the shared PR-1 thread pool
+ * when called from outside it, inline when the caller already *is* a
+ * pool worker — a server connection handler — so a 1-worker pool can
+ * never deadlock on itself); every other caller blocks on the entry's
+ * condition variable and shares the result, success or failure.
+ *
+ * Telemetry (when enabled): "store.hits" / "store.misses" /
+ * "store.evictions" / "store.load_failures" counters and
+ * "store.resident_profiles" / "store.resident_bytes" gauges.
+ */
+
+#ifndef MOCKTAILS_SERVE_PROFILE_STORE_HPP
+#define MOCKTAILS_SERVE_PROFILE_STORE_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/profile.hpp"
+
+namespace mocktails::telemetry
+{
+class Counter;
+class Gauge;
+} // namespace mocktails::telemetry
+
+namespace mocktails::serve
+{
+
+/** One resident profile plus its accounting metadata. */
+struct StoredProfile
+{
+    std::string id;
+    std::string path;     ///< "" for in-memory inserts
+    core::Profile profile;
+    std::size_t bytes = 0; ///< eviction cost (compressed file size)
+    std::uint64_t totalRequests = 0;
+};
+
+struct StoreOptions
+{
+    /**
+     * Directory for implicit id -> path resolution ("" = only ids
+     * registered via registerProfile/insert resolve). Ids containing
+     * path separators or ".." are rejected, so a remote peer cannot
+     * escape the root.
+     */
+    std::string root;
+
+    /** Resident-byte capacity (compressed sizes); 0 = unbounded. */
+    std::size_t maxBytes = 256u << 20;
+
+    /** Resident-entry capacity; 0 = unbounded. */
+    std::size_t maxEntries = 64;
+};
+
+class ProfileStore
+{
+  public:
+    explicit ProfileStore(StoreOptions options = {});
+
+    ProfileStore(const ProfileStore &) = delete;
+    ProfileStore &operator=(const ProfileStore &) = delete;
+
+    /** Map @p id to an explicit file path (overrides the root rule). */
+    void registerProfile(const std::string &id, const std::string &path);
+
+    /** Insert an already-built profile (tests, local serving). */
+    void insert(const std::string &id, core::Profile profile);
+
+    /**
+     * Fetch a profile, loading it on first use.
+     *
+     * @return The resident profile, or nullptr with @p error (when
+     *         non-null) set to the load diagnostic. The returned
+     *         shared_ptr stays valid across evictions.
+     */
+    std::shared_ptr<const StoredProfile>
+    get(const std::string &id, std::string *error = nullptr);
+
+    /// @name Introspection (tests / STAT handling)
+    /// @{
+    std::size_t residentCount() const;
+    std::size_t residentBytes() const;
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    /** Disk loads actually performed (single-flight dedupes these). */
+    std::uint64_t loads() const { return loads_; }
+    /// @}
+
+  private:
+    struct Entry
+    {
+        enum class State { Loading, Ready };
+        State state = State::Loading;
+        std::shared_ptr<const StoredProfile> value;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** id -> path under the root rule; "" when unresolvable. */
+    std::string resolvePath(const std::string &id) const;
+
+    /** Load @p id from disk and publish the slot result. */
+    void loadEntry(const std::string &id, const std::string &path);
+
+    /** Evict LRU Ready entries until within capacity. Lock held. */
+    void enforceCapacityLocked();
+
+    /** Refresh the resident gauges. Lock held. */
+    void publishGaugesLocked();
+
+    StoreOptions options_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::map<std::string, Entry> entries_;
+    std::map<std::string, std::string> registered_;
+    /// Last failure per id (failed loads are not cached as entries;
+    /// waiters of the failed flight read the diagnostic from here).
+    std::map<std::string, std::string> load_errors_;
+    std::size_t resident_bytes_ = 0;
+    std::uint64_t use_clock_ = 0;
+
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> loads_{0};
+
+    telemetry::Counter *hits_metric_ = nullptr;
+    telemetry::Counter *misses_metric_ = nullptr;
+    telemetry::Counter *evictions_metric_ = nullptr;
+    telemetry::Counter *load_failures_metric_ = nullptr;
+    telemetry::Gauge *resident_profiles_metric_ = nullptr;
+    telemetry::Gauge *resident_bytes_metric_ = nullptr;
+};
+
+} // namespace mocktails::serve
+
+#endif // MOCKTAILS_SERVE_PROFILE_STORE_HPP

@@ -1,0 +1,302 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace mocktails::serve
+{
+
+const char *
+toString(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::BadFrame:
+        return "bad frame";
+      case ErrorCode::BadVersion:
+        return "bad version";
+      case ErrorCode::UnknownProfile:
+        return "unknown profile";
+      case ErrorCode::UnknownSession:
+        return "unknown session";
+      case ErrorCode::Overloaded:
+        return "overloaded";
+      case ErrorCode::Internal:
+        return "internal error";
+    }
+    return "unknown error";
+}
+
+std::vector<std::uint8_t>
+packFrame(MsgType type, const std::vector<std::uint8_t> &body)
+{
+    const std::uint32_t length =
+        static_cast<std::uint32_t>(body.size()) + 1;
+    std::vector<std::uint8_t> out;
+    out.reserve(4 + length);
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(length >> (8 * i)));
+    out.push_back(static_cast<std::uint8_t>(type));
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+}
+
+void
+HelloBody::encode(util::ByteWriter &w) const
+{
+    w.putVarint(magic);
+    w.putVarint(version);
+}
+
+bool
+HelloBody::decode(util::ByteReader &r)
+{
+    magic = static_cast<std::uint32_t>(r.getVarint());
+    version = static_cast<std::uint32_t>(r.getVarint());
+    return r.ok() && r.atEnd();
+}
+
+void
+OpenProfileBody::encode(util::ByteWriter &w) const
+{
+    w.putString(id);
+    w.putVarint(seed);
+}
+
+bool
+OpenProfileBody::decode(util::ByteReader &r)
+{
+    id = r.getString();
+    seed = r.getVarint();
+    return r.ok() && r.atEnd();
+}
+
+void
+OpenedBody::encode(util::ByteWriter &w) const
+{
+    w.putVarint(session);
+    w.putString(name);
+    w.putString(device);
+    w.putVarint(leaves);
+    w.putVarint(total);
+}
+
+bool
+OpenedBody::decode(util::ByteReader &r)
+{
+    session = r.getVarint();
+    name = r.getString();
+    device = r.getString();
+    leaves = r.getVarint();
+    total = r.getVarint();
+    return r.ok() && r.atEnd();
+}
+
+void
+SynthChunkBody::encode(util::ByteWriter &w) const
+{
+    w.putVarint(session);
+    w.putVarint(maxRequests);
+}
+
+bool
+SynthChunkBody::decode(util::ByteReader &r)
+{
+    session = r.getVarint();
+    maxRequests = r.getVarint();
+    return r.ok() && r.atEnd();
+}
+
+void
+ChunkBody::encode(util::ByteWriter &w, const mem::Request *records,
+                  mem::RequestCodecState &state) const
+{
+    w.putVarint(session);
+    w.putVarint(firstSeq);
+    w.putVarint(count);
+    w.putByte(done ? 1 : 0);
+    mem::encodeRequests(w, records, count, state);
+}
+
+bool
+ChunkBody::decode(util::ByteReader &r, std::vector<mem::Request> &out,
+                  mem::RequestCodecState &state)
+{
+    session = r.getVarint();
+    firstSeq = r.getVarint();
+    count = r.getVarint();
+    done = r.getByte() != 0;
+    // Every record costs at least 3 bytes; a count the remaining body
+    // cannot hold is corrupt (and would otherwise drive a huge
+    // reserve in decodeRequests).
+    if (!r.ok() || count > r.remaining() / 3 + 1)
+        return false;
+    if (!mem::decodeRequests(r, count, out, state))
+        return false;
+    return r.ok() && r.atEnd();
+}
+
+void
+StatBody::encode(util::ByteWriter &w) const
+{
+    w.putVarint(session);
+}
+
+bool
+StatBody::decode(util::ByteReader &r)
+{
+    session = r.getVarint();
+    return r.ok() && r.atEnd();
+}
+
+void
+StatsBody::encode(util::ByteWriter &w) const
+{
+    w.putVarint(session);
+    w.putVarint(emitted);
+    w.putVarint(total);
+    w.putVarint(buffered);
+}
+
+bool
+StatsBody::decode(util::ByteReader &r)
+{
+    session = r.getVarint();
+    emitted = r.getVarint();
+    total = r.getVarint();
+    buffered = r.getVarint();
+    return r.ok() && r.atEnd();
+}
+
+void
+CloseBody::encode(util::ByteWriter &w) const
+{
+    w.putVarint(session);
+}
+
+bool
+CloseBody::decode(util::ByteReader &r)
+{
+    session = r.getVarint();
+    return r.ok() && r.atEnd();
+}
+
+void
+ClosedBody::encode(util::ByteWriter &w) const
+{
+    w.putVarint(session);
+    w.putVarint(emitted);
+}
+
+bool
+ClosedBody::decode(util::ByteReader &r)
+{
+    session = r.getVarint();
+    emitted = r.getVarint();
+    return r.ok() && r.atEnd();
+}
+
+void
+ErrorBody::encode(util::ByteWriter &w) const
+{
+    w.putByte(static_cast<std::uint8_t>(code));
+    w.putString(message);
+}
+
+bool
+ErrorBody::decode(util::ByteReader &r)
+{
+    code = static_cast<ErrorCode>(r.getByte());
+    message = r.getString();
+    return r.ok() && r.atEnd();
+}
+
+namespace
+{
+
+/**
+ * recv() exactly @p size bytes.
+ * @param any_read Set when at least one byte arrived (distinguishes a
+ *        clean inter-frame EOF from a mid-frame truncation).
+ */
+FrameResult
+readAll(int fd, std::uint8_t *data, std::size_t size, bool &any_read)
+{
+    std::size_t got = 0;
+    while (got < size) {
+        const ssize_t n = ::recv(fd, data + got, size - got, 0);
+        if (n > 0) {
+            any_read = true;
+            got += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n == 0)
+            return got == 0 && !any_read ? FrameResult::Eof
+                                         : FrameResult::Error;
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return FrameResult::Timeout;
+        return FrameResult::Error;
+    }
+    return FrameResult::Ok;
+}
+
+} // namespace
+
+FrameResult
+readFrame(int fd, Frame &frame, std::uint32_t max_bytes)
+{
+    std::uint8_t prefix[4];
+    bool any_read = false;
+    FrameResult rc = readAll(fd, prefix, sizeof(prefix), any_read);
+    if (rc != FrameResult::Ok)
+        return rc;
+
+    std::uint32_t length = 0;
+    for (int i = 0; i < 4; ++i)
+        length |= static_cast<std::uint32_t>(prefix[i]) << (8 * i);
+    if (length == 0)
+        return FrameResult::Error; // a frame always has a type byte
+    if (length > max_bytes)
+        return FrameResult::TooLarge;
+
+    std::uint8_t type = 0;
+    rc = readAll(fd, &type, 1, any_read);
+    if (rc != FrameResult::Ok)
+        return rc == FrameResult::Eof ? FrameResult::Error : rc;
+    frame.type = static_cast<MsgType>(type);
+    frame.body.resize(length - 1);
+    if (!frame.body.empty()) {
+        rc = readAll(fd, frame.body.data(), frame.body.size(),
+                     any_read);
+        if (rc != FrameResult::Ok)
+            return rc == FrameResult::Eof ? FrameResult::Error : rc;
+    }
+    return FrameResult::Ok;
+}
+
+bool
+writeFrame(int fd, MsgType type, const std::vector<std::uint8_t> &body)
+{
+    const std::vector<std::uint8_t> frame = packFrame(type, body);
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        // MSG_NOSIGNAL: a peer that vanished mid-write must surface
+        // as EPIPE, not kill the process with SIGPIPE.
+        const ssize_t n = ::send(fd, frame.data() + sent,
+                                 frame.size() - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace mocktails::serve

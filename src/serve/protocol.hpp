@@ -1,0 +1,240 @@
+/**
+ * @file
+ * The Mocktails serve wire protocol (see DESIGN.md "Serving").
+ *
+ * A connection is a sequence of length-prefixed frames over TCP:
+ *
+ *   frame := length u32 little-endian   (type byte + body, <= limit)
+ *            type   u8                  (MsgType)
+ *            body   bytes               (per-type, varint-packed)
+ *
+ * The client speaks first with Hello{magic, version}; the server
+ * answers HelloOk or Error{BadVersion} and closes. After the
+ * handshake the client drives a simple command/response cycle:
+ *
+ *   OpenProfile{id, seed}   -> Opened{session, name, device, leaves,
+ *                                     total} | Error
+ *   SynthChunk{session,max} -> Chunk{session, firstSeq, count, done,
+ *                                    records...} | Error
+ *   Stat{session}           -> Stats{session, emitted, total,
+ *                                    buffered} | Error
+ *   Close{session}          -> Closed{session, emitted} | Error
+ *
+ * Chunk records use the mem::Request wire codec (mem/wire.hpp) with a
+ * per-session carry state on both ends, so chunk boundaries cost no
+ * bytes. Every body integer is a varint from util/varint.hpp — the
+ * same dialect as the on-disk trace/profile/MKTE formats.
+ *
+ * Robustness rules: a frame longer than the receiver's limit, an
+ * unknown type, or a body that fails to decode is answered with
+ * Error{BadFrame} (best effort) and the connection is closed; the
+ * receiver never trusts a length field further than its limit.
+ */
+
+#ifndef MOCKTAILS_SERVE_PROTOCOL_HPP
+#define MOCKTAILS_SERVE_PROTOCOL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/request.hpp"
+#include "mem/wire.hpp"
+#include "util/codec.hpp"
+
+namespace mocktails::serve
+{
+
+/// "MKSV" — the serve protocol magic, sent in Hello.
+constexpr std::uint32_t kMagic = 0x4d4b5356;
+
+/// Protocol version; bumped on any incompatible frame change.
+constexpr std::uint32_t kVersion = 1;
+
+/// Server-side inbound frame limit: client commands are tiny, so
+/// anything bigger is hostile or corrupt.
+constexpr std::uint32_t kMaxCommandFrameBytes = 64 * 1024;
+
+/// Client-side inbound frame limit; bounds a Chunk response.
+constexpr std::uint32_t kMaxFrameBytes = 8u * 1024 * 1024;
+
+/** Frame/message type tags. */
+enum class MsgType : std::uint8_t {
+    Hello = 1,
+    HelloOk = 2,
+    OpenProfile = 3,
+    Opened = 4,
+    SynthChunk = 5,
+    Chunk = 6,
+    Stat = 7,
+    Stats = 8,
+    Close = 9,
+    Closed = 10,
+    Error = 15,
+};
+
+/** Error codes carried by Error frames. */
+enum class ErrorCode : std::uint8_t {
+    BadFrame = 1,       ///< malformed/oversized frame or body
+    BadVersion = 2,     ///< Hello magic/version mismatch
+    UnknownProfile = 3, ///< OpenProfile id the store cannot resolve
+    UnknownSession = 4, ///< session id not open on this connection
+    Overloaded = 5,     ///< server refuses new work (shutdown/limits)
+    Internal = 6,       ///< unexpected server-side failure
+};
+
+/** Human-readable error-code name (for diagnostics). */
+const char *toString(ErrorCode code);
+
+/** One parsed frame: the type byte plus the raw body bytes. */
+struct Frame
+{
+    MsgType type = MsgType::Error;
+    std::vector<std::uint8_t> body;
+};
+
+/** Serialise a frame: length prefix + type byte + body. */
+std::vector<std::uint8_t> packFrame(MsgType type,
+                                    const std::vector<std::uint8_t> &body);
+
+/// @name Message bodies
+/// Each body struct encodes itself onto a ByteWriter and decodes from
+/// a ByteReader, returning false on malformed input. Decoders must
+/// consume the body exactly.
+/// @{
+
+struct HelloBody
+{
+    std::uint32_t magic = kMagic;
+    std::uint32_t version = kVersion;
+
+    void encode(util::ByteWriter &w) const;
+    bool decode(util::ByteReader &r);
+};
+
+struct OpenProfileBody
+{
+    std::string id;          ///< profile id resolved by the store
+    std::uint64_t seed = 1;  ///< synthesis seed for the session
+
+    void encode(util::ByteWriter &w) const;
+    bool decode(util::ByteReader &r);
+};
+
+struct OpenedBody
+{
+    std::uint64_t session = 0;
+    std::string name;
+    std::string device;
+    std::uint64_t leaves = 0;
+    std::uint64_t total = 0; ///< requests the session will emit
+
+    void encode(util::ByteWriter &w) const;
+    bool decode(util::ByteReader &r);
+};
+
+struct SynthChunkBody
+{
+    std::uint64_t session = 0;
+    std::uint64_t maxRequests = 0; ///< server clamps to its own limit
+
+    void encode(util::ByteWriter &w) const;
+    bool decode(util::ByteReader &r);
+};
+
+/**
+ * Chunk header; the records follow in the same body, packed with
+ * mem::encodeRequests against the session's carry state.
+ */
+struct ChunkBody
+{
+    std::uint64_t session = 0;
+    std::uint64_t firstSeq = 0; ///< stream index of the first record
+    std::uint64_t count = 0;
+    bool done = false; ///< no further requests after this chunk
+
+    /** Encode header + @p count records, advancing @p state. */
+    void encode(util::ByteWriter &w, const mem::Request *records,
+                mem::RequestCodecState &state) const;
+
+    /**
+     * Decode header + records (appended to @p out, advancing
+     * @p state). Rejects counts that cannot fit the remaining body.
+     */
+    bool decode(util::ByteReader &r, std::vector<mem::Request> &out,
+                mem::RequestCodecState &state);
+};
+
+struct StatBody
+{
+    std::uint64_t session = 0;
+
+    void encode(util::ByteWriter &w) const;
+    bool decode(util::ByteReader &r);
+};
+
+struct StatsBody
+{
+    std::uint64_t session = 0;
+    std::uint64_t emitted = 0;  ///< session cursor
+    std::uint64_t total = 0;
+    std::uint64_t buffered = 0; ///< requests staged in the session
+
+    void encode(util::ByteWriter &w) const;
+    bool decode(util::ByteReader &r);
+};
+
+struct CloseBody
+{
+    std::uint64_t session = 0;
+
+    void encode(util::ByteWriter &w) const;
+    bool decode(util::ByteReader &r);
+};
+
+struct ClosedBody
+{
+    std::uint64_t session = 0;
+    std::uint64_t emitted = 0;
+
+    void encode(util::ByteWriter &w) const;
+    bool decode(util::ByteReader &r);
+};
+
+struct ErrorBody
+{
+    ErrorCode code = ErrorCode::Internal;
+    std::string message;
+
+    void encode(util::ByteWriter &w) const;
+    bool decode(util::ByteReader &r);
+};
+
+/// @}
+
+/// @name Blocking socket I/O
+/// Frame transport over a connected socket. Partial reads/writes and
+/// EINTR are handled; SO_RCVTIMEO/SO_SNDTIMEO timeouts surface as
+/// FrameResult::Timeout so callers can reap idle peers.
+/// @{
+
+enum class FrameResult {
+    Ok,
+    Eof,      ///< peer closed cleanly between frames
+    Timeout,  ///< socket timeout expired
+    TooLarge, ///< announced length exceeds @p max_bytes
+    Error,    ///< I/O error or malformed prefix
+};
+
+/** Read one frame (blocking, honours the socket receive timeout). */
+FrameResult readFrame(int fd, Frame &frame, std::uint32_t max_bytes);
+
+/** Write one frame (blocking). @return false on error/timeout. */
+bool writeFrame(int fd, MsgType type,
+                const std::vector<std::uint8_t> &body);
+
+/// @}
+
+} // namespace mocktails::serve
+
+#endif // MOCKTAILS_SERVE_PROTOCOL_HPP

@@ -1,0 +1,450 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "telemetry/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mocktails::serve
+{
+
+/** Per-connection protocol state, owned by the handler's stack. */
+struct ConnectionState
+{
+    bool helloDone = false;
+    std::uint64_t nextSession = 1;
+    std::map<std::uint64_t, std::unique_ptr<SynthesisSession>> sessions;
+    /// Delta-coding carry per session; must live as long as the
+    /// session so chunk boundaries are free on the wire.
+    std::map<std::uint64_t, mem::RequestCodecState> codecs;
+};
+
+namespace
+{
+
+void
+countMetric(const char *name, std::uint64_t delta = 1)
+{
+    if (!telemetry::enabled())
+        return;
+    telemetry::MetricsRegistry::global().counter(name).add(delta);
+}
+
+void
+gaugeMetric(const char *name, std::int64_t delta)
+{
+    if (!telemetry::enabled())
+        return;
+    telemetry::MetricsRegistry::global().gauge(name).add(delta);
+}
+
+bool
+setSocketTimeouts(int fd, int read_ms, int write_ms)
+{
+    const auto set = [fd](int option, int ms) {
+        if (ms <= 0)
+            return true;
+        struct timeval tv;
+        tv.tv_sec = ms / 1000;
+        tv.tv_usec = (ms % 1000) * 1000;
+        return ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) ==
+               0;
+    };
+    return set(SO_RCVTIMEO, read_ms) && set(SO_SNDTIMEO, write_ms);
+}
+
+} // namespace
+
+StreamServer::StreamServer(ProfileStore &store, ServerOptions options)
+    : store_(&store), options_(std::move(options))
+{
+}
+
+StreamServer::~StreamServer()
+{
+    stop();
+}
+
+bool
+StreamServer::start(std::string *error)
+{
+    const auto fail = [&](const std::string &what) {
+        if (error != nullptr)
+            *error = what;
+        if (listen_fd_ >= 0) {
+            ::close(listen_fd_);
+            listen_fd_ = -1;
+        }
+        return false;
+    };
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0)
+        return fail(std::string("socket: ") + std::strerror(errno));
+
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.bindAddress.c_str(),
+                    &addr.sin_addr) != 1)
+        return fail("bad bind address '" + options_.bindAddress + "'");
+
+    if (::bind(listen_fd_, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return fail("bind " + options_.bindAddress + ":" +
+                    std::to_string(options_.port) + ": " +
+                    std::strerror(errno));
+
+    if (::listen(listen_fd_, options_.backlog) != 0)
+        return fail(std::string("listen: ") + std::strerror(errno));
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_,
+                      reinterpret_cast<struct sockaddr *>(&addr),
+                      &len) != 0)
+        return fail(std::string("getsockname: ") +
+                    std::strerror(errno));
+    port_ = ntohs(addr.sin_port);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = false;
+        started_ = true;
+    }
+    listener_ =
+        std::thread([this, fd = listen_fd_] { listenLoop(fd); });
+    return true;
+}
+
+void
+StreamServer::listenLoop(int listen_fd)
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            // The listener socket was closed by stop(), or something
+            // unrecoverable happened; either way, stop accepting.
+            return;
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (stopping_) {
+                ::close(fd);
+                return;
+            }
+            live_fds_.push_back(fd);
+            ++active_;
+            ++accepted_;
+        }
+        countMetric("serve.connections");
+        gaugeMetric("serve.connections_active", 1);
+        setSocketTimeouts(fd, options_.readTimeoutMs,
+                          options_.writeTimeoutMs);
+        util::ThreadPool::global().submit(
+            [this, fd] { handleConnection(fd); });
+    }
+}
+
+bool
+StreamServer::sendError(int fd, ErrorCode code,
+                        const std::string &message)
+{
+    countMetric("serve.errors");
+    ErrorBody body;
+    body.code = code;
+    body.message = message;
+    util::ByteWriter w;
+    body.encode(w);
+    const bool ok = writeFrame(fd, MsgType::Error, w.bytes());
+    if (ok)
+        countMetric("serve.frames_out");
+    return ok;
+}
+
+bool
+StreamServer::dispatchFrame(int fd, const Frame &frame,
+                            ConnectionState &conn)
+{
+    util::ByteReader r(frame.body.data(), frame.body.size());
+
+    if (!conn.helloDone) {
+        HelloBody hello;
+        if (frame.type != MsgType::Hello || !hello.decode(r)) {
+            sendError(fd, ErrorCode::BadFrame,
+                      "expected Hello as the first frame");
+            return false;
+        }
+        if (hello.magic != kMagic || hello.version != kVersion) {
+            sendError(fd, ErrorCode::BadVersion,
+                      "unsupported protocol magic/version");
+            return false;
+        }
+        conn.helloDone = true;
+        if (!writeFrame(fd, MsgType::HelloOk, {}))
+            return false;
+        countMetric("serve.frames_out");
+        return true;
+    }
+
+    switch (frame.type) {
+    case MsgType::OpenProfile: {
+        OpenProfileBody body;
+        if (!body.decode(r)) {
+            sendError(fd, ErrorCode::BadFrame, "bad OpenProfile body");
+            return false;
+        }
+        std::string error;
+        auto stored = store_->get(body.id, &error);
+        if (stored == nullptr)
+            return sendError(fd, ErrorCode::UnknownProfile, error);
+
+        SessionOptions session_options;
+        session_options.seed = body.seed;
+        session_options.bufferCapacity = options_.sessionBuffer;
+        auto session = std::make_unique<SynthesisSession>(
+            std::move(stored), session_options);
+
+        OpenedBody opened;
+        opened.session = conn.nextSession++;
+        opened.name = session->profile().profile.name;
+        opened.device = session->profile().profile.device;
+        opened.leaves = session->profile().profile.leaves.size();
+        opened.total = session->total();
+        conn.codecs[opened.session] = mem::RequestCodecState{};
+        conn.sessions[opened.session] = std::move(session);
+
+        util::ByteWriter w;
+        opened.encode(w);
+        if (!writeFrame(fd, MsgType::Opened, w.bytes()))
+            return false;
+        countMetric("serve.frames_out");
+        return true;
+    }
+    case MsgType::SynthChunk: {
+        SynthChunkBody body;
+        if (!body.decode(r)) {
+            sendError(fd, ErrorCode::BadFrame, "bad SynthChunk body");
+            return false;
+        }
+        const auto it = conn.sessions.find(body.session);
+        if (it == conn.sessions.end())
+            return sendError(fd, ErrorCode::UnknownSession,
+                             "no session " +
+                                 std::to_string(body.session));
+        SynthesisSession &session = *it->second;
+
+        std::size_t max = options_.maxChunkRequests;
+        if (body.maxRequests != 0 && body.maxRequests < max)
+            max = static_cast<std::size_t>(body.maxRequests);
+
+        ChunkBody chunk;
+        chunk.session = body.session;
+        chunk.firstSeq = session.emitted();
+        std::vector<mem::Request> records;
+        records.reserve(max);
+        chunk.count = session.next(records, max);
+        chunk.done = session.done();
+
+        util::ByteWriter w;
+        chunk.encode(w, records.data(), conn.codecs[body.session]);
+        if (!writeFrame(fd, MsgType::Chunk, w.bytes()))
+            return false;
+        countMetric("serve.frames_out");
+        return true;
+    }
+    case MsgType::Stat: {
+        StatBody body;
+        if (!body.decode(r)) {
+            sendError(fd, ErrorCode::BadFrame, "bad Stat body");
+            return false;
+        }
+        const auto it = conn.sessions.find(body.session);
+        if (it == conn.sessions.end())
+            return sendError(fd, ErrorCode::UnknownSession,
+                             "no session " +
+                                 std::to_string(body.session));
+        StatsBody stats;
+        stats.session = body.session;
+        stats.emitted = it->second->emitted();
+        stats.total = it->second->total();
+        stats.buffered = it->second->buffered();
+        util::ByteWriter w;
+        stats.encode(w);
+        if (!writeFrame(fd, MsgType::Stats, w.bytes()))
+            return false;
+        countMetric("serve.frames_out");
+        return true;
+    }
+    case MsgType::Close: {
+        CloseBody body;
+        if (!body.decode(r)) {
+            sendError(fd, ErrorCode::BadFrame, "bad Close body");
+            return false;
+        }
+        const auto it = conn.sessions.find(body.session);
+        if (it == conn.sessions.end())
+            return sendError(fd, ErrorCode::UnknownSession,
+                             "no session " +
+                                 std::to_string(body.session));
+        ClosedBody closed;
+        closed.session = body.session;
+        closed.emitted = it->second->emitted();
+        it->second->close();
+        conn.sessions.erase(it);
+        conn.codecs.erase(body.session);
+        util::ByteWriter w;
+        closed.encode(w);
+        if (!writeFrame(fd, MsgType::Closed, w.bytes()))
+            return false;
+        countMetric("serve.frames_out");
+        return true;
+    }
+    default:
+        sendError(fd, ErrorCode::BadFrame,
+                  "unknown frame type " +
+                      std::to_string(
+                          static_cast<unsigned>(frame.type)));
+        return false;
+    }
+}
+
+void
+StreamServer::handleConnection(int fd)
+{
+    ConnectionState conn;
+    for (;;) {
+        Frame frame;
+        const FrameResult result =
+            readFrame(fd, frame, options_.maxFrameBytes);
+        if (result == FrameResult::Ok) {
+            countMetric("serve.frames_in");
+            if (!dispatchFrame(fd, frame, conn))
+                break;
+            continue;
+        }
+        if (result == FrameResult::Timeout) {
+            // Idle reap: the peer went silent for longer than the
+            // receive timeout. Close without ceremony.
+            countMetric("serve.timeouts");
+            break;
+        }
+        if (result == FrameResult::TooLarge) {
+            sendError(fd, ErrorCode::BadFrame,
+                      "frame exceeds " +
+                          std::to_string(options_.maxFrameBytes) +
+                          " bytes");
+            break;
+        }
+        // Eof (clean close) or Error (torn frame / socket error).
+        if (result == FrameResult::Error)
+            countMetric("serve.errors");
+        break;
+    }
+
+    // Sessions close via their destructors (drains producer threads).
+    conn.sessions.clear();
+
+    // Deregister BEFORE closing: once closed the fd number can be
+    // recycled, and stop() must never shutdown() somebody else's fd.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto it = live_fds_.begin(); it != live_fds_.end(); ++it) {
+            if (*it == fd) {
+                live_fds_.erase(it);
+                break;
+            }
+        }
+    }
+    ::close(fd);
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --active_;
+        ++completed_;
+    }
+    gaugeMetric("serve.connections_active", -1);
+    drained_.notify_all();
+}
+
+void
+StreamServer::stop()
+{
+    int listen_fd = -1;
+    bool stopper = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!started_)
+            return;
+        if (!stopping_) {
+            stopping_ = true;
+            stopper = true;
+            listen_fd = listen_fd_;
+            listen_fd_ = -1;
+        }
+        // Nudge every live connection: the handler finishes the frame
+        // in flight, then sees EOF on its next read and winds down.
+        for (const int fd : live_fds_)
+            ::shutdown(fd, SHUT_RD);
+    }
+
+    if (stopper) {
+        if (listen_fd >= 0) {
+            // Closing the listener pops the accept() in listenLoop.
+            ::shutdown(listen_fd, SHUT_RDWR);
+            ::close(listen_fd);
+        }
+        if (listener_.joinable())
+            listener_.join();
+    }
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_.wait(lock, [this] { return active_ == 0; });
+    if (stopper)
+        started_ = false;
+}
+
+void
+StreamServer::waitForConnections(std::uint64_t connections)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_.wait(lock, [this, connections] {
+        return completed_ >= connections && active_ == 0;
+    });
+}
+
+std::uint64_t
+StreamServer::connectionsAccepted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return accepted_;
+}
+
+std::uint64_t
+StreamServer::connectionsCompleted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return completed_;
+}
+
+unsigned
+StreamServer::connectionsActive() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return active_;
+}
+
+} // namespace mocktails::serve

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * A blocking-socket TCP server that streams synthetic traces.
+ *
+ * Deliberately poll/epoll-free and portable: one listener thread
+ * accepts connections and hands each one to the shared PR-1 thread
+ * pool; a connection handler is a plain blocking read-dispatch-write
+ * loop speaking the length-prefixed protocol of protocol.hpp. Socket
+ * receive/send timeouts (SO_RCVTIMEO/SO_SNDTIMEO) bound every
+ * blocking call, which is what reaps idle connections and keeps
+ * shutdown prompt without a readiness API.
+ *
+ * Graceful shutdown: stop() closes the listener, shuts down the read
+ * side of every live connection (the handler finishes the command in
+ * flight — draining its sessions' current chunk — then observes EOF
+ * and exits) and blocks until the last handler has drained.
+ *
+ * Telemetry: "serve.connections" / "serve.frames_in" /
+ * "serve.frames_out" / "serve.errors" / "serve.timeouts" counters,
+ * "serve.connections_active" gauge, plus the session and store
+ * metrics of session.hpp / profile_store.hpp.
+ */
+
+#ifndef MOCKTAILS_SERVE_SERVER_HPP
+#define MOCKTAILS_SERVE_SERVER_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/profile_store.hpp"
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+
+namespace mocktails::serve
+{
+
+struct ServerOptions
+{
+    /** Port to bind; 0 = ephemeral (read the choice from port()). */
+    std::uint16_t port = 0;
+
+    /** Bind address; loopback by default (this is a lab tool). */
+    std::string bindAddress = "127.0.0.1";
+
+    /**
+     * Receive timeout per blocking read, ms. A connection that stays
+     * silent longer is reaped. 0 = no timeout (not recommended).
+     */
+    int readTimeoutMs = 30000;
+
+    /** Send timeout, ms (a peer that stops draining is dropped). */
+    int writeTimeoutMs = 30000;
+
+    /** Inbound frame limit; commands are tiny (see protocol.hpp). */
+    std::uint32_t maxFrameBytes = kMaxCommandFrameBytes;
+
+    /** Upper bound on requests per Chunk; client asks are clamped. */
+    std::size_t maxChunkRequests = 1u << 16;
+
+    /** SessionOptions::bufferCapacity for server-side sessions. */
+    std::size_t sessionBuffer = 0;
+
+    /** Listen backlog. */
+    int backlog = 16;
+};
+
+class StreamServer
+{
+  public:
+    /** @param store Must outlive the server. */
+    StreamServer(ProfileStore &store, ServerOptions options = {});
+
+    /** Stops and drains (idempotent with stop()). */
+    ~StreamServer();
+
+    StreamServer(const StreamServer &) = delete;
+    StreamServer &operator=(const StreamServer &) = delete;
+
+    /**
+     * Bind, listen and start accepting.
+     * @return false with @p error set when the socket setup fails.
+     */
+    bool start(std::string *error = nullptr);
+
+    /** The bound port (after start()); resolves port 0 requests. */
+    std::uint16_t port() const { return port_; }
+
+    /**
+     * Graceful shutdown: stop accepting, let in-flight commands
+     * finish, drain and join every handler. Idempotent. Must not be
+     * called from a connection handler.
+     */
+    void stop();
+
+    /**
+     * Block until @p connections connections have completed and no
+     * handler is active (used by `profile_tool serve --once N`).
+     */
+    void waitForConnections(std::uint64_t connections);
+
+    /// @name Introspection
+    /// @{
+    std::uint64_t connectionsAccepted() const;
+    std::uint64_t connectionsCompleted() const;
+    unsigned connectionsActive() const;
+    /// @}
+
+  private:
+    void listenLoop(int listen_fd);
+    void handleConnection(int fd);
+
+    /** Dispatch one decoded frame. @return false to end the loop. */
+    bool dispatchFrame(int fd, const Frame &frame,
+                       struct ConnectionState &conn);
+
+    bool sendError(int fd, ErrorCode code, const std::string &message);
+
+    ProfileStore *store_;
+    ServerOptions options_;
+
+    int listen_fd_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread listener_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable drained_;
+    bool stopping_ = false;
+    bool started_ = false;
+    std::vector<int> live_fds_;
+    unsigned active_ = 0;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t completed_ = 0;
+};
+
+} // namespace mocktails::serve
+
+#endif // MOCKTAILS_SERVE_SERVER_HPP

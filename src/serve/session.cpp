@@ -1,0 +1,183 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+
+#include "telemetry/metrics.hpp"
+
+namespace mocktails::serve
+{
+
+namespace
+{
+
+void
+publishSessionOpen()
+{
+    if (!telemetry::enabled())
+        return;
+    auto &registry = telemetry::MetricsRegistry::global();
+    registry.counter("serve.sessions_opened").add();
+    registry.gauge("serve.sessions_active").add(1);
+}
+
+void
+publishSessionClose(std::uint64_t emitted,
+                    std::uint64_t backpressure_waits)
+{
+    if (!telemetry::enabled())
+        return;
+    auto &registry = telemetry::MetricsRegistry::global();
+    registry.counter("serve.sessions_closed").add();
+    registry.counter("serve.requests_streamed").add(emitted);
+    registry.counter("serve.backpressure_waits")
+        .add(backpressure_waits);
+    registry.gauge("serve.sessions_active").add(-1);
+}
+
+} // namespace
+
+SynthesisSession::SynthesisSession(
+    std::shared_ptr<const StoredProfile> profile, SessionOptions options)
+    : profile_(std::move(profile)), options_(options),
+      engine_(profile_->profile, options.seed)
+{
+    total_ = engine_.total();
+    publishSessionOpen();
+    if (options_.bufferCapacity > 0)
+        producer_ = std::thread([this] { producerLoop(); });
+}
+
+SynthesisSession::~SynthesisSession()
+{
+    close();
+}
+
+void
+SynthesisSession::producerLoop()
+{
+    mem::Request request;
+    for (;;) {
+        // Generate outside the lock: the merge is the expensive part
+        // and the buffer only needs the hand-off protected.
+        if (!engine_.next(request))
+            break;
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (buffer_.size() >= options_.bufferCapacity &&
+            !closed_) {
+            ++backpressure_waits_;
+            not_full_.wait(lock, [this] {
+                return buffer_.size() < options_.bufferCapacity ||
+                       closed_;
+            });
+        }
+        if (closed_)
+            return;
+        buffer_.push_back(request);
+        not_empty_.notify_all();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    producer_done_ = true;
+    not_empty_.notify_all();
+}
+
+std::size_t
+SynthesisSession::next(std::vector<mem::Request> &out, std::size_t max)
+{
+    if (max == 0)
+        return 0;
+
+    if (options_.bufferCapacity == 0) {
+        // Synchronous pull: the engine runs on the caller.
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return 0;
+        const std::size_t made = engine_.nextBatch(out, max);
+        emitted_ += made;
+        return made;
+    }
+
+    std::size_t made = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (made < max) {
+        not_empty_.wait(lock, [this] {
+            return !buffer_.empty() || producer_done_ || closed_;
+        });
+        if (closed_)
+            break;
+        if (buffer_.empty())
+            break; // producer done and drained
+        const std::size_t take =
+            std::min(max - made, buffer_.size());
+        out.insert(out.end(), buffer_.begin(),
+                   buffer_.begin() +
+                       static_cast<std::ptrdiff_t>(take));
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() +
+                          static_cast<std::ptrdiff_t>(take));
+        made += take;
+        emitted_ += take;
+        not_full_.notify_all();
+    }
+    return made;
+}
+
+bool
+SynthesisSession::done() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (options_.bufferCapacity == 0)
+        return !closed_ && emitted_ >= total_;
+    return producer_done_ && buffer_.empty() && !closed_;
+}
+
+bool
+SynthesisSession::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+void
+SynthesisSession::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_)
+            return;
+        closed_ = true;
+        not_full_.notify_all();
+        not_empty_.notify_all();
+    }
+    if (producer_.joinable())
+        producer_.join();
+    std::uint64_t emitted, waits;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        emitted = emitted_;
+        waits = backpressure_waits_;
+    }
+    publishSessionClose(emitted, waits);
+}
+
+std::uint64_t
+SynthesisSession::emitted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return emitted_;
+}
+
+std::size_t
+SynthesisSession::buffered() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return buffer_.size();
+}
+
+std::uint64_t
+SynthesisSession::backpressureWaits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return backpressure_waits_;
+}
+
+} // namespace mocktails::serve

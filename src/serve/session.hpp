@@ -1,0 +1,134 @@
+/**
+ * @file
+ * A resumable, incrementally-consumed synthesis stream.
+ *
+ * One SynthesisSession wraps one SynthesisEngine (the priority-queue
+ * merge of paper Sec. III-C) and hands its output out chunk by chunk:
+ * next(out, max) appends up to max requests and advances the cursor.
+ * The emitted sequence is bit-identical to one-shot
+ * core::synthesize(profile, seed) regardless of how the calls are
+ * chunked — the engine is deterministic and the session never reorders
+ * or drops.
+ *
+ * Two staging modes:
+ *  - Synchronous (bufferCapacity == 0): next() pulls straight from the
+ *    engine on the calling thread. Zero overhead, zero extra threads.
+ *  - Buffered (bufferCapacity > 0): a dedicated producer thread runs
+ *    the merge ahead of the consumer into a bounded buffer, so network
+ *    writes and synthesis overlap. Backpressure is the bound: the
+ *    producer blocks once the buffer holds bufferCapacity requests and
+ *    resumes as the consumer drains it. The producer is a dedicated
+ *    thread, not a pool task, because sessions are consumed *from*
+ *    pool workers (server connection handlers) and a pool task queued
+ *    behind its own consumer would deadlock a 1-worker pool.
+ *
+ * Session state machine (see DESIGN.md "Serving"):
+ *
+ *   Streaming --next() drains engine--> Done
+ *   Streaming --close()-------------> Closed
+ *   Done      --close()-------------> Closed
+ *
+ * close() is idempotent, wakes and joins the producer, and is called
+ * by the destructor.
+ */
+
+#ifndef MOCKTAILS_SERVE_SESSION_HPP
+#define MOCKTAILS_SERVE_SESSION_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/synthesis.hpp"
+#include "mem/request.hpp"
+#include "serve/profile_store.hpp"
+
+namespace mocktails::serve
+{
+
+struct SessionOptions
+{
+    /** Seed of the wrapped engine; equal seeds give equal streams. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Requests staged ahead of the consumer. 0 = synchronous pull
+     * (no producer thread); > 0 = bounded-buffer producer.
+     */
+    std::size_t bufferCapacity = 0;
+};
+
+class SynthesisSession
+{
+  public:
+    /**
+     * @param profile Shared ownership: the session keeps the profile
+     *        alive even if the store evicts it mid-stream.
+     */
+    SynthesisSession(std::shared_ptr<const StoredProfile> profile,
+                     SessionOptions options = {});
+
+    ~SynthesisSession();
+
+    SynthesisSession(const SynthesisSession &) = delete;
+    SynthesisSession &operator=(const SynthesisSession &) = delete;
+
+    /**
+     * Append up to @p max requests to @p out.
+     *
+     * @return The number appended. 0 with done() true means the stream
+     *         is exhausted; 0 with closed() true means the session was
+     *         cancelled.
+     */
+    std::size_t next(std::vector<mem::Request> &out, std::size_t max);
+
+    /** Every request has been emitted. */
+    bool done() const;
+
+    /** close() was called before the stream drained (cancellation). */
+    bool closed() const;
+
+    /** Cancel/finish the session; idempotent, joins the producer. */
+    void close();
+
+    /** Cursor: requests emitted to the consumer so far. */
+    std::uint64_t emitted() const;
+
+    /** Requests the full stream produces. */
+    std::uint64_t total() const { return total_; }
+
+    /** Requests currently staged in the buffer (0 when synchronous). */
+    std::size_t buffered() const;
+
+    /** Times the producer blocked on a full buffer (backpressure). */
+    std::uint64_t backpressureWaits() const;
+
+    const StoredProfile &profile() const { return *profile_; }
+    std::uint64_t seed() const { return options_.seed; }
+
+  private:
+    void producerLoop();
+
+    std::shared_ptr<const StoredProfile> profile_;
+    SessionOptions options_;
+    core::SynthesisEngine engine_;
+    std::uint64_t total_ = 0;
+
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<mem::Request> buffer_;
+    std::thread producer_;
+    bool producer_done_ = false;
+    bool closed_ = false;
+    std::uint64_t emitted_ = 0;
+    std::uint64_t backpressure_waits_ = 0;
+};
+
+} // namespace mocktails::serve
+
+#endif // MOCKTAILS_SERVE_SESSION_HPP

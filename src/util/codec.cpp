@@ -1,31 +1,76 @@
 #include "util/codec.hpp"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 namespace mocktails::util
 {
 
-bool
-saveBytes(const std::string &path, const std::vector<std::uint8_t> &bytes)
+namespace
 {
+
+/** "path: message (errno text)" diagnostic into @p error (nullable). */
+void
+setFileError(std::string *error, const std::string &path,
+             const char *message, int saved_errno)
+{
+    if (error == nullptr)
+        return;
+    *error = path + ": " + message;
+    if (saved_errno != 0) {
+        *error += " (";
+        *error += std::strerror(saved_errno);
+        *error += ")";
+    }
+}
+
+} // namespace
+
+bool
+saveBytes(const std::string &path, const std::vector<std::uint8_t> &bytes,
+          std::string *error)
+{
+    errno = 0;
     std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
+    if (!f) {
+        setFileError(error, path, "cannot open for writing", errno);
         return false;
+    }
     const std::size_t written =
         bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
-    const bool ok = (written == bytes.size()) && (std::fclose(f) == 0);
-    return ok;
+    if (written != bytes.size()) {
+        setFileError(error, path, "short write", errno);
+        std::fclose(f);
+        return false;
+    }
+    if (std::fclose(f) != 0) {
+        setFileError(error, path, "close failed", errno);
+        return false;
+    }
+    return true;
 }
 
 bool
-loadBytes(const std::string &path, std::vector<std::uint8_t> &bytes)
+saveBytes(const std::string &path, const std::vector<std::uint8_t> &bytes)
 {
+    return saveBytes(path, bytes, nullptr);
+}
+
+bool
+loadBytes(const std::string &path, std::vector<std::uint8_t> &bytes,
+          std::string *error)
+{
+    errno = 0;
     std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
+    if (!f) {
+        setFileError(error, path, "cannot open for reading", errno);
         return false;
+    }
     std::fseek(f, 0, SEEK_END);
     const long size = std::ftell(f);
     if (size < 0) {
+        setFileError(error, path, "cannot determine size", errno);
         std::fclose(f);
         return false;
     }
@@ -34,7 +79,17 @@ loadBytes(const std::string &path, std::vector<std::uint8_t> &bytes)
     const std::size_t read =
         bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
     std::fclose(f);
-    return read == bytes.size();
+    if (read != bytes.size()) {
+        setFileError(error, path, "short read", errno);
+        return false;
+    }
+    return true;
+}
+
+bool
+loadBytes(const std::string &path, std::vector<std::uint8_t> &bytes)
+{
+    return loadBytes(path, bytes, nullptr);
 }
 
 } // namespace mocktails::util

@@ -17,24 +17,10 @@
 #include <string>
 #include <vector>
 
+#include "util/varint.hpp"
+
 namespace mocktails::util
 {
-
-/** Map a signed value onto an unsigned one with small magnitudes first. */
-constexpr std::uint64_t
-zigzagEncode(std::int64_t value)
-{
-    return (static_cast<std::uint64_t>(value) << 1) ^
-           static_cast<std::uint64_t>(value >> 63);
-}
-
-/** Inverse of zigzagEncode. */
-constexpr std::int64_t
-zigzagDecode(std::uint64_t value)
-{
-    return static_cast<std::int64_t>(value >> 1) ^
-           -static_cast<std::int64_t>(value & 1);
-}
 
 /**
  * An append-only byte sink with varint helpers.
@@ -45,16 +31,8 @@ class ByteWriter
     /** Append one raw byte. */
     void putByte(std::uint8_t b) { bytes_.push_back(b); }
 
-    /** Append an unsigned LEB128 varint. */
-    void
-    putVarint(std::uint64_t value)
-    {
-        while (value >= 0x80) {
-            bytes_.push_back(static_cast<std::uint8_t>(value) | 0x80);
-            value >>= 7;
-        }
-        bytes_.push_back(static_cast<std::uint8_t>(value));
-    }
+    /** Append an unsigned LEB128 varint (see util/varint.hpp). */
+    void putVarint(std::uint64_t value) { appendVarint(bytes_, value); }
 
     /** Append a zigzag-coded signed varint. */
     void putSigned(std::int64_t value) { putVarint(zigzagEncode(value)); }
@@ -121,23 +99,19 @@ class ByteReader
         return data_[pos_++];
     }
 
-    /** Read an unsigned LEB128 varint. */
+    /** Read an unsigned LEB128 varint (see util/varint.hpp). */
     std::uint64_t
     getVarint()
     {
         std::uint64_t value = 0;
-        int shift = 0;
-        while (true) {
-            if (pos_ >= size_ || shift > 63) {
-                failed_ = true;
-                return 0;
-            }
-            const std::uint8_t b = data_[pos_++];
-            value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-            if (!(b & 0x80))
-                return value;
-            shift += 7;
+        const std::size_t used =
+            decodeVarint(data_ + pos_, size_ - pos_, value);
+        if (used == 0) {
+            failed_ = true;
+            return 0;
         }
+        pos_ += used;
+        return value;
     }
 
     /** Read a zigzag-coded signed varint. */
@@ -182,12 +156,21 @@ class ByteReader
     bool failed_ = false;
 };
 
-/** Write a byte buffer to a file. @return true on success. */
+/**
+ * Write a byte buffer to a file. @return true on success.
+ *
+ * The three-argument overloads report failures loudly: @p error (when
+ * non-null) receives a "path: message (errno text)" diagnostic.
+ */
 bool saveBytes(const std::string &path,
                const std::vector<std::uint8_t> &bytes);
+bool saveBytes(const std::string &path,
+               const std::vector<std::uint8_t> &bytes, std::string *error);
 
 /** Read a whole file into a byte buffer. @return true on success. */
 bool loadBytes(const std::string &path, std::vector<std::uint8_t> &bytes);
+bool loadBytes(const std::string &path, std::vector<std::uint8_t> &bytes,
+               std::string *error);
 
 } // namespace mocktails::util
 

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Standalone LEB128 varint and zigzag primitives.
+ *
+ * Factored out of the byte-stream codec (codec.hpp) so code that
+ * frames its own buffers — the serve wire protocol, the MKTE binary
+ * trace-event form — can share one encoding without going through a
+ * ByteWriter/ByteReader pair. ByteWriter::putVarint and
+ * ByteReader::getVarint delegate here, so every on-disk and on-wire
+ * format in the repository speaks the identical varint dialect.
+ *
+ * Encoding: little-endian base-128, 7 payload bits per byte, the high
+ * bit set on every byte except the last. A std::uint64_t needs at most
+ * kMaxVarintBytes (10) bytes. Decoding accepts at most 10 bytes and
+ * reports malformed input (truncation, or a continuation bit on the
+ * 10th byte) by returning 0 consumed bytes.
+ */
+
+#ifndef MOCKTAILS_UTIL_VARINT_HPP
+#define MOCKTAILS_UTIL_VARINT_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mocktails::util
+{
+
+/** Largest encoded size of a 64-bit varint. */
+constexpr std::size_t kMaxVarintBytes = 10;
+
+/** Map a signed value onto an unsigned one with small magnitudes first. */
+constexpr std::uint64_t
+zigzagEncode(std::int64_t value)
+{
+    return (static_cast<std::uint64_t>(value) << 1) ^
+           static_cast<std::uint64_t>(value >> 63);
+}
+
+/** Inverse of zigzagEncode. */
+constexpr std::int64_t
+zigzagDecode(std::uint64_t value)
+{
+    return static_cast<std::int64_t>(value >> 1) ^
+           -static_cast<std::int64_t>(value & 1);
+}
+
+/**
+ * Encode @p value into @p out (>= kMaxVarintBytes writable bytes).
+ * @return The number of bytes written, in [1, kMaxVarintBytes].
+ */
+inline std::size_t
+encodeVarint(std::uint64_t value, std::uint8_t *out)
+{
+    std::size_t n = 0;
+    while (value >= 0x80) {
+        out[n++] = static_cast<std::uint8_t>(value) | 0x80;
+        value >>= 7;
+    }
+    out[n++] = static_cast<std::uint8_t>(value);
+    return n;
+}
+
+/** Append the varint encoding of @p value to @p out. */
+inline void
+appendVarint(std::vector<std::uint8_t> &out, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+        value >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(value));
+}
+
+/**
+ * Decode one varint from the first @p size bytes at @p data.
+ *
+ * @param value Receives the decoded value on success.
+ * @return Bytes consumed (>= 1), or 0 when the input is truncated or
+ *         longer than kMaxVarintBytes (malformed).
+ */
+inline std::size_t
+decodeVarint(const std::uint8_t *data, std::size_t size,
+             std::uint64_t &value)
+{
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+        if (shift > 63)
+            return 0;
+        const std::uint8_t b = data[i];
+        v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80)) {
+            value = v;
+            return i + 1;
+        }
+        shift += 7;
+    }
+    return 0;
+}
+
+/** Encoded size of @p value without writing it. */
+inline std::size_t
+varintSize(std::uint64_t value)
+{
+    std::size_t n = 1;
+    while (value >= 0x80) {
+        value >>= 7;
+        ++n;
+    }
+    return n;
+}
+
+} // namespace mocktails::util
+
+#endif // MOCKTAILS_UTIL_VARINT_HPP

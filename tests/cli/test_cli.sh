@@ -1,0 +1,87 @@
+#!/bin/sh
+# CLI-level tests for profile_tool, driven from CTest.
+#
+# Usage: test_cli.sh <profile_tool> <mode>
+#   unknown      unknown subcommand exits non-zero with usage on stderr
+#   serve-fetch  loopback fetch reproduces the same CSV bytes as a
+#                local synth + export of the same profile and seed
+set -eu
+
+TOOL=$1
+MODE=$2
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/mocktails_cli.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT INT TERM
+cd "$WORK"
+
+case "$MODE" in
+unknown)
+    rc=0
+    "$TOOL" frobnicate 2>err.txt >out.txt || rc=$?
+    if [ "$rc" -eq 0 ]; then
+        echo "FAIL: unknown command exited 0" >&2
+        exit 1
+    fi
+    grep -q "unknown command 'frobnicate'" err.txt || {
+        echo "FAIL: missing unknown-command diagnostic" >&2
+        cat err.txt >&2
+        exit 1
+    }
+    grep -q "^usage:" err.txt || {
+        echo "FAIL: usage not printed to stderr" >&2
+        exit 1
+    }
+    # A known command with bad arity also fails, with a different note.
+    rc=0
+    "$TOOL" synth 2>err2.txt >out2.txt || rc=$?
+    [ "$rc" -ne 0 ] || { echo "FAIL: bad arity exited 0" >&2; exit 1; }
+    grep -q "wrong arguments for 'synth'" err2.txt || {
+        echo "FAIL: missing wrong-arity diagnostic" >&2
+        exit 1
+    }
+    echo "PASS unknown-command handling"
+    ;;
+
+serve-fetch)
+    SEED=2026
+    "$TOOL" generate HEVC1 2000 t.mkt >/dev/null
+    "$TOOL" profile t.mkt p.mkp >/dev/null
+    "$TOOL" synth p.mkp local.mkt "$SEED" >/dev/null
+    "$TOOL" export local.mkt local.csv >/dev/null
+
+    "$TOOL" serve p.mkp --port 0 --port-file port.txt --once 1 \
+        >serve.log 2>&1 &
+    SERVER=$!
+
+    # Wait for the server to publish its ephemeral port.
+    i=0
+    while [ ! -s port.txt ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "FAIL: server never wrote the port file" >&2
+            cat serve.log >&2 || true
+            kill "$SERVER" 2>/dev/null || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+    PORT=$(cat port.txt)
+
+    "$TOOL" fetch "127.0.0.1:$PORT" p.mkp remote.csv "$SEED" 100 \
+        >/dev/null
+
+    # --once 1 makes the server exit on its own after our connection.
+    wait "$SERVER"
+
+    cmp local.csv remote.csv || {
+        echo "FAIL: fetched CSV differs from local synth" >&2
+        exit 1
+    }
+    echo "PASS serve/fetch loopback round trip"
+    ;;
+
+*)
+    echo "unknown test mode '$MODE'" >&2
+    exit 1
+    ;;
+esac

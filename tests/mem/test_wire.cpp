@@ -1,0 +1,137 @@
+#include "mem/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+
+std::vector<mem::Request>
+randomRequests(std::size_t n, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<mem::Request> out;
+    out.reserve(n);
+    mem::Tick tick = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        tick += rng.below(100);
+        mem::Request r;
+        r.tick = tick;
+        r.addr = 0x8000'0000ull + rng.below(1u << 26);
+        r.size = rng.chance(0.5) ? 64 : 128;
+        r.op = rng.chance(0.3) ? mem::Op::Write : mem::Op::Read;
+        out.push_back(r);
+    }
+    return out;
+}
+
+TEST(RequestWire, RoundTripsOneShot)
+{
+    const auto requests = randomRequests(500, 11);
+    util::ByteWriter w;
+    mem::RequestCodecState enc;
+    mem::encodeRequests(w, requests.data(), requests.size(), enc);
+
+    util::ByteReader r(w.bytes());
+    mem::RequestCodecState dec;
+    std::vector<mem::Request> decoded;
+    ASSERT_TRUE(
+        mem::decodeRequests(r, requests.size(), decoded, dec));
+    ASSERT_EQ(decoded.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        EXPECT_EQ(decoded[i], requests[i]) << "record " << i;
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_EQ(dec.prevTick, enc.prevTick);
+    EXPECT_EQ(dec.prevAddr, enc.prevAddr);
+}
+
+TEST(RequestWire, CarryStateCrossesChunkBoundaries)
+{
+    // Encoding in many small chunks with one shared state must produce
+    // byte-identical output to one-shot encoding, and decode back with
+    // an independently carried state.
+    const auto requests = randomRequests(237, 7);
+
+    util::ByteWriter one_shot;
+    mem::RequestCodecState s1;
+    mem::encodeRequests(one_shot, requests.data(), requests.size(), s1);
+
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{7},
+                                    std::size_t{64}}) {
+        util::ByteWriter chunked;
+        mem::RequestCodecState enc;
+        for (std::size_t at = 0; at < requests.size(); at += chunk) {
+            const std::size_t n =
+                std::min(chunk, requests.size() - at);
+            mem::encodeRequests(chunked, requests.data() + at, n, enc);
+        }
+        EXPECT_EQ(chunked.bytes(), one_shot.bytes())
+            << "chunk " << chunk;
+
+        util::ByteReader r(chunked.bytes());
+        mem::RequestCodecState dec;
+        std::vector<mem::Request> decoded;
+        for (std::size_t at = 0; at < requests.size(); at += chunk) {
+            const std::size_t n =
+                std::min(chunk, requests.size() - at);
+            ASSERT_TRUE(mem::decodeRequests(r, n, decoded, dec));
+        }
+        ASSERT_EQ(decoded.size(), requests.size());
+        for (std::size_t i = 0; i < requests.size(); ++i)
+            EXPECT_EQ(decoded[i], requests[i]);
+    }
+}
+
+TEST(RequestWire, BackwardDeltasSurvive)
+{
+    // Ticks normally never decrease, but the codec must not rely on it
+    // (LoopedSynthesis restarts, merged multi-source streams).
+    std::vector<mem::Request> requests;
+    requests.push_back({100, 0x1000, 64, mem::Op::Read});
+    requests.push_back({40, 0x800, 4, mem::Op::Write});
+    requests.push_back({40, 0xffff'ffff'ffff'0000ull, 1, mem::Op::Read});
+    requests.push_back({41, 0x0, 0xffff'ffffu, mem::Op::Write});
+
+    util::ByteWriter w;
+    mem::RequestCodecState enc;
+    mem::encodeRequests(w, requests.data(), requests.size(), enc);
+    util::ByteReader r(w.bytes());
+    mem::RequestCodecState dec;
+    std::vector<mem::Request> decoded;
+    ASSERT_TRUE(
+        mem::decodeRequests(r, requests.size(), decoded, dec));
+    ASSERT_EQ(decoded.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i)
+        EXPECT_EQ(decoded[i], requests[i]);
+}
+
+TEST(RequestWire, TruncatedAndMalformedInputRejected)
+{
+    const auto requests = randomRequests(20, 3);
+    util::ByteWriter w;
+    mem::RequestCodecState enc;
+    mem::encodeRequests(w, requests.data(), requests.size(), enc);
+
+    // Truncation anywhere fails instead of inventing records.
+    std::vector<std::uint8_t> cut(w.bytes().begin(),
+                                  w.bytes().end() - 1);
+    util::ByteReader r1(cut);
+    mem::RequestCodecState dec1;
+    std::vector<mem::Request> out1;
+    EXPECT_FALSE(mem::decodeRequests(r1, requests.size(), out1, dec1));
+
+    // A zero size (packed value with no payload bits) is malformed.
+    util::ByteWriter bad;
+    bad.putSigned(0); // dtick
+    bad.putSigned(0); // daddr
+    bad.putVarint(0); // size 0, op Read
+    util::ByteReader r2(bad.bytes());
+    mem::RequestCodecState dec2;
+    std::vector<mem::Request> out2;
+    EXPECT_FALSE(mem::decodeRequests(r2, 1, out2, dec2));
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+#include "serve/profile_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/model_generator.hpp"
+#include "core/profile.hpp"
+#include "mem/trace.hpp"
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+
+mem::Trace
+randomTrace(std::size_t n, std::uint64_t seed)
+{
+    mem::Trace t("store", "CPU");
+    util::Rng rng(seed);
+    mem::Tick tick = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        tick += rng.below(40);
+        t.add(tick, 0x10000 + (rng.below(1 << 16) & ~mem::Addr{7}),
+              rng.chance(0.5) ? 64 : 128,
+              rng.chance(0.3) ? mem::Op::Write : mem::Op::Read);
+    }
+    return t;
+}
+
+core::Profile
+makeProfile(std::uint64_t seed, std::size_t requests = 300)
+{
+    core::Profile p = core::buildProfile(
+        randomTrace(requests, seed),
+        core::PartitionConfig::twoLevelTs(500000));
+    p.name = "store-" + std::to_string(seed);
+    return p;
+}
+
+/** Write a profile to a temp file and return its path. */
+std::string
+writeProfileFile(const std::string &name, const core::Profile &profile)
+{
+    const std::string path = testing::TempDir() + name;
+    EXPECT_TRUE(core::saveProfile(profile, path));
+    return path;
+}
+
+TEST(ProfileStore, HitAfterLoadAndCounters)
+{
+    const std::string path =
+        writeProfileFile("store_hit.mkp", makeProfile(1));
+    serve::ProfileStore store;
+    store.registerProfile("p", path);
+
+    std::string error;
+    const auto first = store.get("p", &error);
+    ASSERT_NE(first, nullptr) << error;
+    EXPECT_EQ(first->profile.name, "store-1");
+    EXPECT_EQ(store.misses(), 1u);
+    EXPECT_EQ(store.hits(), 0u);
+    EXPECT_EQ(store.loads(), 1u);
+
+    const auto second = store.get("p");
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(second.get(), first.get()); // same resident object
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.loads(), 1u); // no second disk load
+    EXPECT_EQ(store.residentCount(), 1u);
+    EXPECT_GT(store.residentBytes(), 0u);
+}
+
+TEST(ProfileStore, MissingFileSurfacesPathInError)
+{
+    serve::ProfileStore store;
+    store.registerProfile("gone", "/nonexistent/dir/gone.mkp");
+    std::string error;
+    EXPECT_EQ(store.get("gone", &error), nullptr);
+    EXPECT_NE(error.find("/nonexistent/dir/gone.mkp"),
+              std::string::npos)
+        << error;
+    // Failures are not cached: the store stays empty.
+    EXPECT_EQ(store.residentCount(), 0u);
+}
+
+TEST(ProfileStore, UnknownIdAndPathTraversalRejected)
+{
+    serve::StoreOptions options;
+    options.root = testing::TempDir();
+    serve::ProfileStore store(options);
+    std::string error;
+    EXPECT_EQ(store.get("../etc/passwd", &error), nullptr);
+    EXPECT_NE(error.find("unknown profile id"), std::string::npos);
+    EXPECT_EQ(store.get("a/b.mkp", &error), nullptr);
+}
+
+TEST(ProfileStore, RootResolvesBareIds)
+{
+    const core::Profile profile = makeProfile(7);
+    writeProfileFile("store_root.mkp", profile);
+    serve::StoreOptions options;
+    options.root = testing::TempDir();
+    serve::ProfileStore store(options);
+    std::string error;
+    const auto got = store.get("store_root.mkp", &error);
+    ASSERT_NE(got, nullptr) << error;
+    EXPECT_EQ(got->profile.name, "store-7");
+}
+
+TEST(ProfileStore, EntryCapacityEvictsLeastRecentlyUsed)
+{
+    serve::StoreOptions options;
+    options.maxEntries = 2;
+    serve::ProfileStore store(options);
+    store.insert("a", makeProfile(1));
+    store.insert("b", makeProfile(2));
+    store.insert("c", makeProfile(3)); // evicts "a" (oldest)
+    EXPECT_EQ(store.residentCount(), 2u);
+    EXPECT_EQ(store.evictions(), 1u);
+    ASSERT_NE(store.get("b"), nullptr);
+    ASSERT_NE(store.get("c"), nullptr);
+    std::string error;
+    EXPECT_EQ(store.get("a", &error), nullptr); // no path to reload
+}
+
+TEST(ProfileStore, ByteCapacityEvictsButKeepsNewest)
+{
+    serve::StoreOptions options;
+    options.maxBytes = 1; // below any real profile's size
+    serve::ProfileStore store(options);
+    store.insert("a", makeProfile(1));
+    store.insert("b", makeProfile(2));
+    // Both inserts bust the budget, but the most recent entry always
+    // survives: a store must be able to hold the profile it just
+    // loaded.
+    EXPECT_EQ(store.residentCount(), 1u);
+    ASSERT_NE(store.get("b"), nullptr);
+}
+
+TEST(ProfileStore, EvictedProfileSurvivesViaSharedPtr)
+{
+    serve::StoreOptions options;
+    options.maxEntries = 1;
+    serve::ProfileStore store(options);
+    store.insert("a", makeProfile(1));
+    const auto held = store.get("a");
+    ASSERT_NE(held, nullptr);
+    store.insert("b", makeProfile(2)); // evicts "a"
+    EXPECT_EQ(store.residentCount(), 1u);
+    // The handle keeps the profile alive regardless.
+    EXPECT_EQ(held->profile.name, "store-1");
+    EXPECT_FALSE(held->profile.leaves.empty());
+}
+
+TEST(ProfileStore, ConcurrentMissesSingleFlight)
+{
+    const std::string path =
+        writeProfileFile("store_flight.mkp", makeProfile(9, 2000));
+    serve::ProfileStore store;
+    store.registerProfile("p", path);
+
+    constexpr int kThreads = 8;
+    std::atomic<int> ok{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&store, &ok] {
+            const auto got = store.get("p");
+            if (got != nullptr && got->profile.name == "store-9")
+                ok.fetch_add(1);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(ok.load(), kThreads);
+    // Every caller got the profile, but the file was read once.
+    EXPECT_EQ(store.loads(), 1u);
+    EXPECT_EQ(store.misses(), 1u);
+    EXPECT_EQ(store.hits(), static_cast<std::uint64_t>(kThreads - 1));
+}
+
+} // namespace

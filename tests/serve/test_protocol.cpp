@@ -1,0 +1,193 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "mem/request.hpp"
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::serve;
+
+TEST(Protocol, PackFrameLayout)
+{
+    const std::vector<std::uint8_t> body = {0xaa, 0xbb, 0xcc};
+    const auto bytes = packFrame(MsgType::Stat, body);
+    // u32 LE length (type byte + body) + type + body.
+    ASSERT_EQ(bytes.size(), 4u + 1u + body.size());
+    const std::uint32_t length = bytes[0] |
+                                 (std::uint32_t{bytes[1]} << 8) |
+                                 (std::uint32_t{bytes[2]} << 16) |
+                                 (std::uint32_t{bytes[3]} << 24);
+    EXPECT_EQ(length, 1u + body.size());
+    EXPECT_EQ(bytes[4], static_cast<std::uint8_t>(MsgType::Stat));
+    EXPECT_EQ(std::memcmp(bytes.data() + 5, body.data(), body.size()),
+              0);
+}
+
+template <typename Body>
+Body
+roundTrip(const Body &in, bool *ok = nullptr)
+{
+    util::ByteWriter w;
+    in.encode(w);
+    util::ByteReader r(w.bytes().data(), w.bytes().size());
+    Body out;
+    const bool decoded = out.decode(r);
+    if (ok != nullptr)
+        *ok = decoded;
+    else
+        EXPECT_TRUE(decoded);
+    return out;
+}
+
+TEST(Protocol, BodyRoundTrips)
+{
+    HelloBody hello;
+    const HelloBody hello2 = roundTrip(hello);
+    EXPECT_EQ(hello2.magic, kMagic);
+    EXPECT_EQ(hello2.version, kVersion);
+
+    OpenProfileBody open;
+    open.id = "hevc1.mkp";
+    open.seed = 0xdeadbeef12345678ull;
+    const OpenProfileBody open2 = roundTrip(open);
+    EXPECT_EQ(open2.id, open.id);
+    EXPECT_EQ(open2.seed, open.seed);
+
+    OpenedBody opened;
+    opened.session = 3;
+    opened.name = "HEVC1";
+    opened.device = "VPU";
+    opened.leaves = 1234;
+    opened.total = 1u << 20;
+    const OpenedBody opened2 = roundTrip(opened);
+    EXPECT_EQ(opened2.session, opened.session);
+    EXPECT_EQ(opened2.name, opened.name);
+    EXPECT_EQ(opened2.device, opened.device);
+    EXPECT_EQ(opened2.leaves, opened.leaves);
+    EXPECT_EQ(opened2.total, opened.total);
+
+    StatsBody stats;
+    stats.session = 9;
+    stats.emitted = 77;
+    stats.total = 100;
+    stats.buffered = 5;
+    const StatsBody stats2 = roundTrip(stats);
+    EXPECT_EQ(stats2.session, stats.session);
+    EXPECT_EQ(stats2.emitted, stats.emitted);
+    EXPECT_EQ(stats2.total, stats.total);
+    EXPECT_EQ(stats2.buffered, stats.buffered);
+
+    ErrorBody error;
+    error.code = ErrorCode::UnknownProfile;
+    error.message = "no such profile";
+    const ErrorBody error2 = roundTrip(error);
+    EXPECT_EQ(error2.code, error.code);
+    EXPECT_EQ(error2.message, error.message);
+}
+
+TEST(Protocol, DecodersRejectTrailingGarbage)
+{
+    StatBody stat;
+    stat.session = 1;
+    util::ByteWriter w;
+    stat.encode(w);
+    auto bytes = w.bytes();
+    bytes.push_back(0x00); // one byte of trailing junk
+    util::ByteReader r(bytes.data(), bytes.size());
+    StatBody out;
+    EXPECT_FALSE(out.decode(r));
+}
+
+TEST(Protocol, DecodersRejectTruncation)
+{
+    OpenProfileBody open;
+    open.id = "x.mkp";
+    open.seed = 1234567;
+    util::ByteWriter w;
+    open.encode(w);
+    auto bytes = w.bytes();
+    bytes.pop_back();
+    util::ByteReader r(bytes.data(), bytes.size());
+    OpenProfileBody out;
+    EXPECT_FALSE(out.decode(r));
+}
+
+TEST(Protocol, ChunkCarriesCodecStateAcrossFrames)
+{
+    util::Rng rng(3);
+    std::vector<mem::Request> requests;
+    mem::Tick tick = 0;
+    for (int i = 0; i < 100; ++i) {
+        tick += rng.below(50);
+        requests.push_back(mem::Request{
+            tick, 0x4000 + (rng.below(1 << 20) & ~mem::Addr{3}),
+            static_cast<std::uint32_t>(rng.chance(0.5) ? 64 : 128),
+            rng.chance(0.5) ? mem::Op::Write : mem::Op::Read});
+    }
+
+    // Encode as three chunk frames sharing one sender-side state.
+    mem::RequestCodecState encode_state;
+    std::vector<std::vector<std::uint8_t>> frames;
+    std::size_t offset = 0;
+    for (const std::size_t count : {33u, 33u, 34u}) {
+        ChunkBody chunk;
+        chunk.session = 1;
+        chunk.firstSeq = offset;
+        chunk.count = count;
+        chunk.done = offset + count == requests.size();
+        util::ByteWriter w;
+        chunk.encode(w, requests.data() + offset, encode_state);
+        frames.push_back(w.bytes());
+        offset += count;
+    }
+
+    // Decode with one receiver-side state; the concatenation must be
+    // exactly the original sequence.
+    mem::RequestCodecState decode_state;
+    std::vector<mem::Request> decoded;
+    std::size_t expect_seq = 0;
+    for (const auto &frame : frames) {
+        util::ByteReader r(frame.data(), frame.size());
+        ChunkBody chunk;
+        ASSERT_TRUE(chunk.decode(r, decoded, decode_state));
+        EXPECT_EQ(chunk.firstSeq, expect_seq);
+        expect_seq += chunk.count;
+    }
+    ASSERT_EQ(decoded.size(), requests.size());
+    for (std::size_t i = 0; i < decoded.size(); ++i)
+        ASSERT_EQ(decoded[i], requests[i]) << "at index " << i;
+
+    // A fresh decoder state on the second frame must NOT reproduce the
+    // stream (the carry is real, not incidental).
+    mem::RequestCodecState fresh;
+    std::vector<mem::Request> second;
+    util::ByteReader r(frames[1].data(), frames[1].size());
+    ChunkBody chunk;
+    ASSERT_TRUE(chunk.decode(r, second, fresh));
+    EXPECT_NE(second.front(), requests[33]);
+}
+
+TEST(Protocol, ChunkRejectsImplausibleCount)
+{
+    // A malicious header claiming 1M records in a near-empty body
+    // must fail fast instead of looping on truncated decodes.
+    util::ByteWriter w;
+    w.putVarint(1);        // session
+    w.putVarint(0);        // firstSeq
+    w.putVarint(1u << 20); // count (lie)
+    w.putByte(0);          // done
+    util::ByteReader r(w.bytes().data(), w.bytes().size());
+    ChunkBody chunk;
+    std::vector<mem::Request> out;
+    mem::RequestCodecState state;
+    EXPECT_FALSE(chunk.decode(r, out, state));
+}
+
+} // namespace

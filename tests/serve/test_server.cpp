@@ -1,0 +1,351 @@
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/model_generator.hpp"
+#include "core/synthesis.hpp"
+#include "mem/trace.hpp"
+#include "serve/client.hpp"
+#include "serve/profile_store.hpp"
+#include "serve/protocol.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+
+/**
+ * The sanitize sweep in scripts/check.sh runs these tests at several
+ * pool sizes; honour the knob before anything touches the pool.
+ */
+void
+configurePoolFromEnv()
+{
+    static bool done = false;
+    if (done)
+        return;
+    done = true;
+    const char *env = std::getenv("MOCKTAILS_SERVE_TEST_THREADS");
+    if (env != nullptr)
+        util::ThreadPool::setGlobalThreadCount(
+            static_cast<unsigned>(std::atoi(env)));
+}
+
+mem::Trace
+randomTrace(std::size_t n, std::uint64_t seed)
+{
+    mem::Trace t("server", "DSP");
+    util::Rng rng(seed);
+    mem::Tick tick = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        tick += rng.below(40);
+        t.add(tick, 0x10000 + (rng.below(1 << 18) & ~mem::Addr{7}),
+              rng.chance(0.5) ? 64 : 128,
+              rng.chance(0.3) ? mem::Op::Write : mem::Op::Read);
+    }
+    return t;
+}
+
+core::Profile
+makeProfile(std::size_t requests = 1500)
+{
+    core::Profile p = core::buildProfile(
+        randomTrace(requests, 21),
+        core::PartitionConfig::twoLevelTs(500000));
+    p.name = "served";
+    p.device = "DSP";
+    return p;
+}
+
+/** Store + running server on an ephemeral loopback port. */
+struct ServerFixture
+{
+    serve::ProfileStore store;
+    serve::StreamServer server;
+
+    explicit ServerFixture(serve::ServerOptions options = {})
+        : server(store, patch(options))
+    {
+        configurePoolFromEnv();
+        store.insert("p.mkp", makeProfile());
+        std::string error;
+        EXPECT_TRUE(server.start(&error)) << error;
+    }
+
+    static serve::ServerOptions
+    patch(serve::ServerOptions options)
+    {
+        options.port = 0; // ephemeral
+        return options;
+    }
+};
+
+/** Raw loopback connection (for malformed-input tests). */
+int
+rawConnect(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd,
+                        reinterpret_cast<struct sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    return fd;
+}
+
+TEST(ServeServer, OpenStreamCloseMatchesLocalSynthesis)
+{
+    ServerFixture fixture;
+    constexpr std::uint64_t kSeed = 99;
+    const mem::Trace local =
+        core::synthesize(fixture.store.get("p.mkp")->profile, kSeed);
+
+    serve::Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", fixture.server.port(), {},
+                               &error))
+        << error;
+    serve::RemoteSession session;
+    ASSERT_TRUE(client.open("p.mkp", kSeed, session, &error)) << error;
+    EXPECT_EQ(session.name, "served");
+    EXPECT_EQ(session.device, "DSP");
+    EXPECT_EQ(session.total, local.size());
+
+    std::vector<mem::Request> streamed;
+    ASSERT_TRUE(client.fetch(session, streamed, 97, &error)) << error;
+    ASSERT_EQ(streamed.size(), local.size());
+    for (std::size_t i = 0; i < streamed.size(); ++i)
+        ASSERT_EQ(streamed[i], local[i]) << "at index " << i;
+
+    serve::StatsBody stats;
+    ASSERT_TRUE(client.stat(session, stats, &error)) << error;
+    EXPECT_EQ(stats.emitted, local.size());
+    EXPECT_EQ(stats.total, local.size());
+
+    ASSERT_TRUE(client.close(session, &error)) << error;
+    client.disconnect();
+}
+
+TEST(ServeServer, TwoSessionsSameConnectionAreIndependent)
+{
+    ServerFixture fixture;
+    serve::Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", fixture.server.port(), {},
+                               &error))
+        << error;
+    serve::RemoteSession a, b;
+    ASSERT_TRUE(client.open("p.mkp", 1, a, &error)) << error;
+    ASSERT_TRUE(client.open("p.mkp", 2, b, &error)) << error;
+    EXPECT_NE(a.id, b.id);
+
+    // Interleave the two streams; each must match its own one-shot.
+    std::vector<mem::Request> got_a, got_b;
+    while (!a.done || !b.done) {
+        if (!a.done)
+            ASSERT_TRUE(client.next(a, got_a, 64, &error)) << error;
+        if (!b.done)
+            ASSERT_TRUE(client.next(b, got_b, 129, &error)) << error;
+    }
+    const core::Profile &profile =
+        fixture.store.get("p.mkp")->profile;
+    const mem::Trace local_a = core::synthesize(profile, 1);
+    const mem::Trace local_b = core::synthesize(profile, 2);
+    ASSERT_EQ(got_a.size(), local_a.size());
+    ASSERT_EQ(got_b.size(), local_b.size());
+    for (std::size_t i = 0; i < got_a.size(); ++i)
+        ASSERT_EQ(got_a[i], local_a[i]) << "stream a, index " << i;
+    for (std::size_t i = 0; i < got_b.size(); ++i)
+        ASSERT_EQ(got_b[i], local_b[i]) << "stream b, index " << i;
+}
+
+TEST(ServeServer, UnknownProfileIsAnError)
+{
+    ServerFixture fixture;
+    serve::Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", fixture.server.port(), {},
+                               &error))
+        << error;
+    serve::RemoteSession session;
+    EXPECT_FALSE(client.open("nope.mkp", 1, session, &error));
+    EXPECT_NE(error.find("unknown profile"), std::string::npos)
+        << error;
+}
+
+TEST(ServeServer, UnknownSessionIsAnError)
+{
+    ServerFixture fixture;
+    serve::Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", fixture.server.port(), {},
+                               &error))
+        << error;
+    serve::RemoteSession bogus;
+    bogus.id = 777;
+    std::vector<mem::Request> out;
+    EXPECT_FALSE(client.next(bogus, out, 10, &error));
+    EXPECT_NE(error.find("unknown session"), std::string::npos)
+        << error;
+}
+
+TEST(ServeServer, FirstFrameMustBeHello)
+{
+    ServerFixture fixture;
+    const int fd = rawConnect(fixture.server.port());
+    serve::StatBody stat;
+    util::ByteWriter w;
+    stat.encode(w);
+    ASSERT_TRUE(serve::writeFrame(fd, serve::MsgType::Stat, w.bytes()));
+    serve::Frame reply;
+    ASSERT_EQ(serve::readFrame(fd, reply, serve::kMaxFrameBytes),
+              serve::FrameResult::Ok);
+    EXPECT_EQ(reply.type, serve::MsgType::Error);
+    // ... and the server hangs up afterwards.
+    EXPECT_EQ(serve::readFrame(fd, reply, serve::kMaxFrameBytes),
+              serve::FrameResult::Eof);
+    ::close(fd);
+}
+
+TEST(ServeServer, BadVersionRejected)
+{
+    ServerFixture fixture;
+    const int fd = rawConnect(fixture.server.port());
+    serve::HelloBody hello;
+    hello.version = serve::kVersion + 17;
+    util::ByteWriter w;
+    hello.encode(w);
+    ASSERT_TRUE(
+        serve::writeFrame(fd, serve::MsgType::Hello, w.bytes()));
+    serve::Frame reply;
+    ASSERT_EQ(serve::readFrame(fd, reply, serve::kMaxFrameBytes),
+              serve::FrameResult::Ok);
+    ASSERT_EQ(reply.type, serve::MsgType::Error);
+    serve::ErrorBody body;
+    util::ByteReader r(reply.body.data(), reply.body.size());
+    ASSERT_TRUE(body.decode(r));
+    EXPECT_EQ(body.code, serve::ErrorCode::BadVersion);
+    ::close(fd);
+}
+
+TEST(ServeServer, OversizedFrameRejectedWithoutCrashing)
+{
+    ServerFixture fixture;
+    const int fd = rawConnect(fixture.server.port());
+    // A length prefix far beyond the server's command limit; the body
+    // never follows. The server must refuse up front rather than try
+    // to buffer it.
+    const std::uint32_t huge = 64u * 1024 * 1024;
+    std::uint8_t prefix[4];
+    for (int i = 0; i < 4; ++i)
+        prefix[i] = static_cast<std::uint8_t>(huge >> (8 * i));
+    ASSERT_EQ(::send(fd, prefix, sizeof(prefix), 0),
+              static_cast<ssize_t>(sizeof(prefix)));
+    serve::Frame reply;
+    ASSERT_EQ(serve::readFrame(fd, reply, serve::kMaxFrameBytes),
+              serve::FrameResult::Ok);
+    EXPECT_EQ(reply.type, serve::MsgType::Error);
+    EXPECT_EQ(serve::readFrame(fd, reply, serve::kMaxFrameBytes),
+              serve::FrameResult::Eof);
+    ::close(fd);
+
+    // The server is still alive and serves the next client.
+    serve::Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", fixture.server.port(), {},
+                               &error))
+        << error;
+}
+
+TEST(ServeServer, TornFrameRejected)
+{
+    ServerFixture fixture;
+    const int fd = rawConnect(fixture.server.port());
+    // A valid length prefix announcing 100 bytes, then hang up after 3:
+    // the handler must treat the truncation as an error, not data.
+    const std::uint32_t length = 100;
+    std::uint8_t bytes[7];
+    for (int i = 0; i < 4; ++i)
+        bytes[i] = static_cast<std::uint8_t>(length >> (8 * i));
+    bytes[4] = bytes[5] = bytes[6] = 0x5a;
+    ASSERT_EQ(::send(fd, bytes, sizeof(bytes), 0),
+              static_cast<ssize_t>(sizeof(bytes)));
+    ::close(fd);
+
+    // Server survives to serve another connection.
+    serve::Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", fixture.server.port(), {},
+                               &error))
+        << error;
+}
+
+TEST(ServeServer, IdleConnectionReapedByTimeout)
+{
+    serve::ServerOptions options;
+    options.readTimeoutMs = 200;
+    ServerFixture fixture(options);
+    const int fd = rawConnect(fixture.server.port());
+    serve::HelloBody hello;
+    util::ByteWriter w;
+    hello.encode(w);
+    ASSERT_TRUE(
+        serve::writeFrame(fd, serve::MsgType::Hello, w.bytes()));
+    serve::Frame reply;
+    ASSERT_EQ(serve::readFrame(fd, reply, serve::kMaxFrameBytes),
+              serve::FrameResult::Ok);
+    ASSERT_EQ(reply.type, serve::MsgType::HelloOk);
+
+    // Go silent. The server's receive timeout fires and it hangs up:
+    // a blocking read on our side observes EOF.
+    std::uint8_t byte;
+    const ssize_t n = ::recv(fd, &byte, 1, 0);
+    EXPECT_EQ(n, 0) << "expected EOF from the reaped connection";
+    ::close(fd);
+    fixture.server.waitForConnections(1);
+    EXPECT_EQ(fixture.server.connectionsActive(), 0u);
+}
+
+TEST(ServeServer, GracefulStopDrainsInFlightSessions)
+{
+    ServerFixture fixture;
+    serve::Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", fixture.server.port(), {},
+                               &error))
+        << error;
+    serve::RemoteSession session;
+    ASSERT_TRUE(client.open("p.mkp", 1, session, &error)) << error;
+    std::vector<mem::Request> out;
+    ASSERT_TRUE(client.next(session, out, 50, &error)) << error;
+    EXPECT_EQ(out.size(), 50u);
+
+    // stop() must shut the connection down and return with no handler
+    // active — even though the client never said Close.
+    fixture.server.stop();
+    EXPECT_EQ(fixture.server.connectionsActive(), 0u);
+    EXPECT_EQ(fixture.server.connectionsCompleted(), 1u);
+
+    // The client now sees EOF, not a hang.
+    EXPECT_FALSE(client.next(session, out, 50, &error));
+    client.disconnect();
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+#include "serve/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/model_generator.hpp"
+#include "core/synthesis.hpp"
+#include "mem/trace.hpp"
+#include "serve/profile_store.hpp"
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+
+mem::Trace
+randomTrace(std::size_t n, std::uint64_t seed)
+{
+    mem::Trace t("session", "GPU");
+    util::Rng rng(seed);
+    mem::Tick tick = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        tick += rng.below(40);
+        t.add(tick, 0x10000 + (rng.below(1 << 18) & ~mem::Addr{7}),
+              rng.chance(0.5) ? 64 : 128,
+              rng.chance(0.3) ? mem::Op::Write : mem::Op::Read);
+    }
+    return t;
+}
+
+std::shared_ptr<const serve::StoredProfile>
+makeStored(std::size_t requests = 2000, std::uint64_t trace_seed = 11)
+{
+    auto stored = std::make_shared<serve::StoredProfile>();
+    stored->id = "s";
+    stored->profile = core::buildProfile(
+        randomTrace(requests, trace_seed),
+        core::PartitionConfig::twoLevelTs(500000));
+    stored->totalRequests = stored->profile.totalRequests();
+    return stored;
+}
+
+/** Drain a session in chunks of @p chunk requests. */
+std::vector<mem::Request>
+drain(serve::SynthesisSession &session, std::size_t chunk)
+{
+    std::vector<mem::Request> out;
+    while (!session.done()) {
+        const std::size_t made = session.next(out, chunk);
+        if (made == 0) {
+            if (!session.done() && !session.closed())
+                ADD_FAILURE() << "no progress before completion";
+            break;
+        }
+    }
+    return out;
+}
+
+class SessionEquivalence
+    : public testing::TestWithParam<std::tuple<std::size_t, unsigned>>
+{
+};
+
+/**
+ * The tentpole determinism contract: a session's stream is
+ * bit-identical to one-shot synthesize() for the same seed at every
+ * chunk size, and one-shot synthesize() is itself identical at every
+ * thread count — so any (chunk, threads) pair agrees.
+ */
+TEST_P(SessionEquivalence, MatchesOneShotSynthesis)
+{
+    const auto [chunk, threads] = GetParam();
+    const auto stored = makeStored();
+    constexpr std::uint64_t kSeed = 42;
+
+    const mem::Trace oneShot =
+        core::synthesize(stored->profile, kSeed, threads);
+
+    serve::SessionOptions options;
+    options.seed = kSeed;
+    serve::SynthesisSession session(stored, options);
+    EXPECT_EQ(session.total(), oneShot.size());
+
+    const std::size_t effective_chunk =
+        chunk == 0 ? oneShot.size() + 1 : chunk; // 0 = whole trace
+    const std::vector<mem::Request> streamed =
+        drain(session, effective_chunk);
+
+    ASSERT_EQ(streamed.size(), oneShot.size());
+    for (std::size_t i = 0; i < streamed.size(); ++i)
+        ASSERT_EQ(streamed[i], oneShot[i]) << "at index " << i;
+    EXPECT_EQ(session.emitted(), oneShot.size());
+    EXPECT_TRUE(session.done());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChunkSizesAndThreads, SessionEquivalence,
+    testing::Combine(testing::Values<std::size_t>(1, 7, 4096, 0),
+                     testing::Values<unsigned>(1, 4)));
+
+TEST(SynthesisSession, BufferedModeMatchesSynchronous)
+{
+    const auto stored = makeStored();
+    serve::SessionOptions sync_options;
+    sync_options.seed = 5;
+    serve::SynthesisSession sync_session(stored, sync_options);
+    const std::vector<mem::Request> expected = drain(sync_session, 97);
+
+    // A tiny buffer forces many producer stalls (backpressure), which
+    // must not perturb the stream.
+    serve::SessionOptions buffered_options;
+    buffered_options.seed = 5;
+    buffered_options.bufferCapacity = 8;
+    serve::SynthesisSession buffered(stored, buffered_options);
+    const std::vector<mem::Request> streamed = drain(buffered, 97);
+
+    ASSERT_EQ(streamed.size(), expected.size());
+    for (std::size_t i = 0; i < streamed.size(); ++i)
+        ASSERT_EQ(streamed[i], expected[i]) << "at index " << i;
+    // With capacity 8 and ~2000 requests the producer must have
+    // overrun the consumer at least once.
+    EXPECT_GT(buffered.backpressureWaits(), 0u);
+}
+
+TEST(SynthesisSession, CursorAdvancesAcrossCalls)
+{
+    const auto stored = makeStored(500);
+    serve::SynthesisSession session(stored, {});
+    std::vector<mem::Request> out;
+    EXPECT_EQ(session.emitted(), 0u);
+    const std::size_t first = session.next(out, 10);
+    EXPECT_EQ(first, 10u);
+    EXPECT_EQ(session.emitted(), 10u);
+    session.next(out, 25);
+    EXPECT_EQ(session.emitted(), 35u);
+    EXPECT_FALSE(session.done());
+}
+
+TEST(SynthesisSession, CloseCancelsStream)
+{
+    const auto stored = makeStored();
+    serve::SessionOptions options;
+    options.bufferCapacity = 16;
+    serve::SynthesisSession session(stored, options);
+    std::vector<mem::Request> out;
+    session.next(out, 5);
+    session.close();
+    EXPECT_TRUE(session.closed());
+    EXPECT_FALSE(session.done()); // cancelled, not drained
+    EXPECT_EQ(session.next(out, 5), 0u);
+    session.close(); // idempotent
+}
+
+TEST(SynthesisSession, KeepsProfileAliveAfterEviction)
+{
+    serve::StoreOptions store_options;
+    store_options.maxEntries = 1;
+    serve::ProfileStore store(store_options);
+    store.insert("a", core::buildProfile(
+                          randomTrace(300, 3),
+                          core::PartitionConfig::twoLevelTs(500000)));
+    auto stored = store.get("a");
+    ASSERT_NE(stored, nullptr);
+    serve::SynthesisSession session(stored, {});
+    stored.reset();
+
+    store.insert("b", core::buildProfile(
+                          randomTrace(300, 4),
+                          core::PartitionConfig::twoLevelTs(500000)));
+    // "a" is evicted; the session still streams from it.
+    std::vector<mem::Request> out;
+    while (!session.done())
+        session.next(out, 64);
+    EXPECT_EQ(out.size(), session.total());
+}
+
+} // namespace
