@@ -2,20 +2,28 @@
  * @file
  * Performance microbenchmarks for the serving layer
  * (google-benchmark): streaming-session throughput at several chunk
- * sizes (synchronous and buffered staging) and the request wire codec.
+ * sizes (synchronous and buffered staging), the request wire codec,
+ * and a loopback load generator for the event-driven multiplexed
+ * frontend (BM_MuxLoadGen) publishing p50/p99 chunk latency.
  * Throughput numbers, not paper results.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/model_generator.hpp"
 #include "core/synthesis.hpp"
 #include "mem/wire.hpp"
+#include "serve/client.hpp"
 #include "serve/profile_store.hpp"
+#include "serve/server.hpp"
 #include "serve/session.hpp"
 #include "util/codec.hpp"
 #include "workloads/devices.hpp"
@@ -109,5 +117,158 @@ BENCHMARK(BM_RequestWireCodec)
     ->Arg(64)
     ->Arg(4096)
     ->Unit(benchmark::kMillisecond);
+
+/**
+ * Loopback load generator for the event-driven frontend: `conns`
+ * MuxClient connections, each multiplexing `chans` concurrent
+ * streaming sessions (so conns*chans sessions total — the {8, 128}
+ * shape is 1024). Every chunk's pull-to-arrival latency is sampled;
+ * p50/p99 land in the benchmark counters (and the BENCH json via
+ * --json).
+ */
+void
+BM_MuxLoadGen(benchmark::State &state)
+{
+    const unsigned conns = static_cast<unsigned>(state.range(0));
+    const unsigned chans = static_cast<unsigned>(state.range(1));
+    constexpr std::uint64_t kChunk = 512;
+    constexpr std::uint64_t kPullDepth = 2;
+
+    serve::ProfileStore store;
+    store.insert("bench",
+                 core::buildProfile(
+                     workloads::deviceTraces().front().make(60000, 1),
+                     core::PartitionConfig::twoLevelTs(500000)));
+    serve::StreamServer server(store);
+    std::string error;
+    if (!server.start(&error)) {
+        state.SkipWithError(error.c_str());
+        return;
+    }
+
+    std::uint64_t streamed = 0;
+    std::vector<double> latencies_us;
+    for (auto _ : state) {
+        std::atomic<std::uint64_t> total{0};
+        std::atomic<bool> failed{false};
+        std::vector<std::vector<double>> samples(conns);
+        std::vector<std::thread> drivers;
+        drivers.reserve(conns);
+        for (unsigned c = 0; c < conns; ++c) {
+            drivers.emplace_back([&, c] {
+                using Clock = std::chrono::steady_clock;
+                serve::MuxClient client;
+                std::string err;
+                if (!client.connect("127.0.0.1", server.port(), {},
+                                    &err)) {
+                    failed = true;
+                    return;
+                }
+                // Open all channels, then keep kPullDepth pulls in
+                // flight per channel, timing each pull->chunk pair.
+                std::vector<std::vector<mem::Request>> sinks(chans);
+                for (unsigned ch = 1; ch <= chans; ++ch) {
+                    if (!client.openChannel(ch, "bench",
+                                            1000 + c * chans + ch,
+                                            &err)) {
+                        failed = true;
+                        return;
+                    }
+                    client.setSink(ch, &sinks[ch - 1]);
+                }
+                std::vector<std::deque<Clock::time_point>> pending(
+                    chans + 1);
+                unsigned live = chans;
+                std::uint64_t got = 0;
+                while (live > 0 && !failed) {
+                    serve::MuxClient::Event event;
+                    if (!client.nextEvent(event, &err)) {
+                        failed = true;
+                        return;
+                    }
+                    const serve::MuxClient::Channel *channel =
+                        client.channel(event.channel);
+                    switch (event.kind) {
+                    case serve::MuxClient::Event::Kind::Opened:
+                    case serve::MuxClient::Event::Kind::Chunk: {
+                        if (event.kind ==
+                            serve::MuxClient::Event::Kind::Chunk) {
+                            const auto now = Clock::now();
+                            auto &q = pending[event.channel];
+                            if (!q.empty()) {
+                                samples[c].push_back(
+                                    std::chrono::duration<
+                                        double, std::micro>(now -
+                                                            q.front())
+                                        .count());
+                                q.pop_front();
+                            }
+                            got += event.count;
+                        }
+                        if (channel->done) {
+                            if (channel->pullsOutstanding == 0 &&
+                                !channel->closed &&
+                                !client.closeChannel(event.channel,
+                                                     &err))
+                                failed = true;
+                            break;
+                        }
+                        while (channel->pullsOutstanding <
+                               kPullDepth) {
+                            pending[event.channel].push_back(
+                                Clock::now());
+                            if (!client.pull(event.channel, kChunk,
+                                             &err)) {
+                                failed = true;
+                                return;
+                            }
+                        }
+                        break;
+                    }
+                    case serve::MuxClient::Event::Kind::Closed:
+                        --live;
+                        break;
+                    case serve::MuxClient::Event::Kind::ChannelError:
+                        failed = true;
+                        return;
+                    }
+                }
+                total.fetch_add(got, std::memory_order_relaxed);
+            });
+        }
+        for (std::thread &t : drivers)
+            t.join();
+        if (failed) {
+            state.SkipWithError("load generator failed");
+            break;
+        }
+        streamed += total.load();
+        for (const std::vector<double> &s : samples)
+            latencies_us.insert(latencies_us.end(), s.begin(),
+                                s.end());
+    }
+    server.stop();
+
+    if (!latencies_us.empty()) {
+        std::sort(latencies_us.begin(), latencies_us.end());
+        const auto pct = [&](double p) {
+            const std::size_t idx = static_cast<std::size_t>(
+                p * static_cast<double>(latencies_us.size() - 1));
+            return latencies_us[idx];
+        };
+        state.counters["p50_chunk_us"] = pct(0.50);
+        state.counters["p99_chunk_us"] = pct(0.99);
+    }
+    state.counters["sessions"] =
+        static_cast<double>(conns) * static_cast<double>(chans);
+    state.SetItemsProcessed(static_cast<std::int64_t>(streamed));
+}
+BENCHMARK(BM_MuxLoadGen)
+    ->ArgNames({"conns", "chans"})
+    ->Args({4, 16})
+    ->Args({8, 128}) // 1024 concurrent streaming sessions
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 } // namespace

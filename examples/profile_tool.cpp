@@ -75,6 +75,7 @@ usage()
         "  serve    <profile.mkp>... [--port P] [--port-file PATH]\n"
         "           [--once N]\n"
         "  fetch    <host:port> <id> <out.mkt|out.csv> [seed] [chunk]\n"
+        "           [--mux]\n"
         "workloads: Table II names (e.g. HEVC1, T-Rex1, FBC-Linear1)\n"
         "           or SPEC names (e.g. gobmk, libquantum)\n"
         "--threads: worker threads for profile/synth/validate\n"
@@ -101,7 +102,8 @@ usage()
         "  exits after N connections\n"
         "fetch streams a remote session into a local trace file\n"
         "  (.csv exports CSV); seed defaults to 1, chunk of 0 lets\n"
-        "  the server pick the chunk size\n");
+        "  the server pick the chunk size; --mux rides a multiplexed\n"
+        "  protocol-v2 channel (byte-identical result)\n");
     return 2;
 }
 
@@ -618,7 +620,7 @@ cmdServe(int argc, char **argv)
 int
 cmdFetch(const std::string &endpoint, const std::string &id,
          const std::string &out, std::uint64_t seed,
-         std::uint64_t chunk)
+         std::uint64_t chunk, bool mux)
 {
     const std::size_t colon = endpoint.find_last_of(':');
     if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
@@ -637,11 +639,19 @@ cmdFetch(const std::string &endpoint, const std::string &id,
         return 2;
     }
 
+    // --mux streams over a multiplexed v2 channel; the default path
+    // is the blocking one-session client. Both must produce
+    // byte-identical traces (tests/cli/test_cli.sh compares them).
     mem::Trace trace;
     std::string error;
-    if (!serve::fetchTrace(endpoint.substr(0, colon),
-                           static_cast<std::uint16_t>(port), id, seed,
-                           trace, chunk, &error)) {
+    const bool ok_fetch =
+        mux ? serve::fetchTraceMux(endpoint.substr(0, colon),
+                                   static_cast<std::uint16_t>(port),
+                                   id, seed, trace, chunk, &error)
+            : serve::fetchTrace(endpoint.substr(0, colon),
+                                static_cast<std::uint16_t>(port), id,
+                                seed, trace, chunk, &error);
+    if (!ok_fetch) {
         std::fprintf(stderr, "error: %s\n", error.c_str());
         return 1;
     }
@@ -707,12 +717,26 @@ dispatch(int argc, char **argv)
         return cmdTrace(argv[2], argv[3]);
     if (command == "serve" && argc >= 3)
         return cmdServe(argc - 2, argv + 2);
-    if (command == "fetch" && argc >= 5 && argc <= 7) {
-        const std::uint64_t seed =
-            argc >= 6 ? std::strtoull(argv[5], nullptr, 10) : 1;
-        const std::uint64_t chunk =
-            argc >= 7 ? std::strtoull(argv[6], nullptr, 10) : 0;
-        return cmdFetch(argv[2], argv[3], argv[4], seed, chunk);
+    if (command == "fetch") {
+        // Strip --mux wherever it appears among the fetch arguments.
+        bool mux = false;
+        std::vector<const char *> args;
+        for (int i = 2; i < argc; ++i) {
+            if (std::strcmp(argv[i], "--mux") == 0)
+                mux = true;
+            else
+                args.push_back(argv[i]);
+        }
+        if (args.size() >= 3 && args.size() <= 5) {
+            const std::uint64_t seed =
+                args.size() >= 4 ? std::strtoull(args[3], nullptr, 10)
+                                 : 1;
+            const std::uint64_t chunk =
+                args.size() >= 5 ? std::strtoull(args[4], nullptr, 10)
+                                 : 0;
+            return cmdFetch(args[0], args[1], args[2], seed, chunk,
+                            mux);
+        }
     }
 
     // An unknown subcommand and a known one with the wrong arity both

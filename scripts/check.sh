@@ -21,16 +21,19 @@ for preset in $PRESETS; do
     ctest --preset "$preset" -j "$JOBS" --output-on-failure
 done
 
-# The loopback server exercises listener/handler/session threading;
+# The loopback server exercises event-loop/pool/session threading;
 # sweep it under the sanitizers at more than one pool size (ctest
-# above already ran it at the default). Skipped under --fast, which
-# never builds the sanitize preset.
+# above already ran it at the default). ServeMux* covers the
+# multiplexed frontend, PollerBackends/WakePipe the readiness shim on
+# both backends. Skipped under --fast, which never builds the
+# sanitize preset.
 if [ "$PRESETS" != "default" ]; then
     for threads in 1 4; do
         echo "== sanitize serve sweep: $threads thread(s) =="
         MOCKTAILS_SERVE_TEST_THREADS="$threads" \
             build-sanitize/tests/mocktails_tests \
-            --gtest_filter='ServeServer*' --gtest_brief=1
+            --gtest_filter='ServeServer*:ServeMux*:*PollerBackends*:WakePipe*' \
+            --gtest_brief=1
     done
 fi
 

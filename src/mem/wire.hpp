@@ -12,10 +12,14 @@
  *
  * Deltas are taken against the previous record *of the stream*, not of
  * the chunk, so the caller threads one RequestCodecState through the
- * whole session; a chunk boundary costs nothing and decoding chunk k
- * requires having decoded chunks 0..k-1 (which a streaming session
- * does by construction). The first record of a stream is delta-coded
- * against the zero state.
+ * whole stream — one per session in the v1 serve protocol, one per
+ * *channel* under v2 multiplexing, where chunks of many channels
+ * interleave on a single connection and each channel carries its own
+ * independent carry state on both ends. A chunk boundary costs
+ * nothing and decoding chunk k requires having decoded chunks 0..k-1
+ * of the same channel (which a streaming session does by
+ * construction). The first record of a stream is delta-coded against
+ * the zero state.
  */
 
 #ifndef MOCKTAILS_MEM_WIRE_HPP
@@ -41,6 +45,13 @@ struct RequestCodecState
     Tick prevTick = 0;
     Addr prevAddr = 0;
 };
+
+/**
+ * Smallest possible encoded record (three one-byte varints); lets
+ * decoders reject record counts their input cannot possibly hold
+ * before reserving memory for them.
+ */
+constexpr std::size_t kMinEncodedRequestBytes = 3;
 
 /**
  * Append @p count records starting at @p requests to @p writer,

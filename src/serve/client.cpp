@@ -9,6 +9,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "util/poller.hpp"
+
 namespace mocktails::serve
 {
 
@@ -37,6 +39,129 @@ setSocketTimeouts(int fd, int read_ms, int write_ms)
     return set(SO_RCVTIMEO, read_ms) && set(SO_SNDTIMEO, write_ms);
 }
 
+/** Dial host:port; on success the fd is close-on-exec with timeouts
+ *  applied (and the application of both is verified). */
+int
+dialAndHandshakePrep(const std::string &host, std::uint16_t port,
+                     const ClientOptions &options, std::string *error)
+{
+    struct addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo *result = nullptr;
+    const std::string service = std::to_string(port);
+    const int rc =
+        ::getaddrinfo(host.c_str(), service.c_str(), &hints, &result);
+    if (rc != 0) {
+        setError(error, "resolve " + host + ": " + gai_strerror(rc));
+        return -1;
+    }
+
+    int fd = -1;
+    int last_errno = 0;
+    for (struct addrinfo *ai = result; ai != nullptr;
+         ai = ai->ai_next) {
+        const int candidate =
+            ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (candidate < 0) {
+            last_errno = errno;
+            continue;
+        }
+        if (::connect(candidate, ai->ai_addr, ai->ai_addrlen) == 0) {
+            fd = candidate;
+            break;
+        }
+        last_errno = errno;
+        ::close(candidate);
+    }
+    ::freeaddrinfo(result);
+    if (fd < 0) {
+        setError(error, "connect " + host + ":" + service + ": " +
+                            std::strerror(last_errno));
+        return -1;
+    }
+    util::setCloseOnExec(fd);
+    // An unapplied timeout would silently turn every reap deadline
+    // into "hang forever" — that is an error, not a default.
+    if (!setSocketTimeouts(fd, options.readTimeoutMs,
+                           options.writeTimeoutMs)) {
+        setError(error, std::string("setsockopt timeouts: ") +
+                            std::strerror(errno));
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** Run the Hello handshake; fills @p negotiated on success. */
+bool
+handshake(int fd, const ClientOptions &options,
+          std::uint32_t &negotiated, std::string *error)
+{
+    HelloBody hello;
+    hello.version = options.protocolVersion;
+    util::ByteWriter w;
+    hello.encode(w);
+    if (!writeFrame(fd, MsgType::Hello, w.bytes())) {
+        setError(error, std::string("send failed: ") +
+                            std::strerror(errno));
+        return false;
+    }
+    Frame reply;
+    const FrameResult rc = readFrame(fd, reply, options.maxFrameBytes);
+    if (rc != FrameResult::Ok) {
+        setError(error, "handshake failed (no HelloOk)");
+        return false;
+    }
+    if (reply.type == MsgType::Error) {
+        ErrorBody err;
+        util::ByteReader r(reply.body.data(), reply.body.size());
+        setError(error, err.decode(r)
+                            ? std::string(toString(err.code)) + ": " +
+                                  err.message
+                            : "malformed Error frame from server");
+        return false;
+    }
+    if (reply.type != MsgType::HelloOk) {
+        setError(error, "unexpected handshake reply type " +
+                            std::to_string(static_cast<unsigned>(
+                                reply.type)));
+        return false;
+    }
+    HelloOkBody ok;
+    util::ByteReader r(reply.body.data(), reply.body.size());
+    if (!ok.decode(r)) {
+        setError(error, "malformed HelloOk frame");
+        return false;
+    }
+    negotiated = ok.version;
+    return true;
+}
+
+/** Decode an Error or ChannelError frame into an error string. */
+void
+decodeErrorFrame(const Frame &reply, std::string *error)
+{
+    util::ByteReader r(reply.body.data(), reply.body.size());
+    if (reply.type == MsgType::ChannelError) {
+        ChannelErrorBody err;
+        if (err.decode(r)) {
+            setError(error, std::string(toString(err.code)) + ": " +
+                                err.message);
+            return;
+        }
+    } else {
+        ErrorBody err;
+        if (err.decode(r)) {
+            setError(error, std::string(toString(err.code)) + ": " +
+                                err.message);
+            return;
+        }
+    }
+    setError(error, "malformed error frame from server");
+}
+
 } // namespace
 
 Client::~Client()
@@ -51,6 +176,7 @@ Client::disconnect()
         ::close(fd_);
         fd_ = -1;
     }
+    version_ = 0;
 }
 
 bool
@@ -59,51 +185,10 @@ Client::connect(const std::string &host, std::uint16_t port,
 {
     disconnect();
     options_ = options;
-
-    struct addrinfo hints;
-    std::memset(&hints, 0, sizeof(hints));
-    hints.ai_family = AF_INET;
-    hints.ai_socktype = SOCK_STREAM;
-    struct addrinfo *result = nullptr;
-    const std::string service = std::to_string(port);
-    const int rc =
-        ::getaddrinfo(host.c_str(), service.c_str(), &hints, &result);
-    if (rc != 0) {
-        setError(error, "resolve " + host + ": " + gai_strerror(rc));
+    fd_ = dialAndHandshakePrep(host, port, options_, error);
+    if (fd_ < 0)
         return false;
-    }
-
-    int last_errno = 0;
-    for (struct addrinfo *ai = result; ai != nullptr;
-         ai = ai->ai_next) {
-        const int fd =
-            ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
-        if (fd < 0) {
-            last_errno = errno;
-            continue;
-        }
-        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
-            fd_ = fd;
-            break;
-        }
-        last_errno = errno;
-        ::close(fd);
-    }
-    ::freeaddrinfo(result);
-    if (fd_ < 0) {
-        setError(error, "connect " + host + ":" + service + ": " +
-                            std::strerror(last_errno));
-        return false;
-    }
-    setSocketTimeouts(fd_, options_.readTimeoutMs,
-                      options_.writeTimeoutMs);
-
-    HelloBody hello;
-    util::ByteWriter w;
-    hello.encode(w);
-    Frame reply;
-    if (!roundTrip(MsgType::Hello, w.bytes(), MsgType::HelloOk, reply,
-                   error)) {
+    if (!handshake(fd_, options_, version_, error)) {
         disconnect();
         return false;
     }
@@ -112,7 +197,8 @@ Client::connect(const std::string &host, std::uint16_t port,
 
 bool
 Client::roundTrip(MsgType type, const std::vector<std::uint8_t> &body,
-                  MsgType expect, Frame &reply, std::string *error)
+                  MsgType expect, MsgType alt, Frame &reply,
+                  std::string *error)
 {
     if (fd_ < 0) {
         setError(error, "not connected");
@@ -142,17 +228,13 @@ Client::roundTrip(MsgType type, const std::vector<std::uint8_t> &body,
                             std::string(std::strerror(errno)));
         return false;
     }
-    if (reply.type == MsgType::Error) {
-        ErrorBody err;
-        util::ByteReader r(reply.body.data(), reply.body.size());
-        if (err.decode(r))
-            setError(error, std::string(toString(err.code)) + ": " +
-                                err.message);
-        else
-            setError(error, "malformed Error frame from server");
+    if (reply.type == MsgType::Error ||
+        reply.type == MsgType::ChannelError) {
+        decodeErrorFrame(reply, error);
         return false;
     }
-    if (reply.type != expect) {
+    if (reply.type != expect &&
+        !(alt != MsgType::Error && reply.type == alt)) {
         setError(error,
                  "unexpected reply type " +
                      std::to_string(
@@ -172,8 +254,9 @@ Client::open(const std::string &id, std::uint64_t seed,
     util::ByteWriter w;
     body.encode(w);
     Frame reply;
+    // A v2 server answers OpenProfile with ChannelOpened (same body).
     if (!roundTrip(MsgType::OpenProfile, w.bytes(), MsgType::Opened,
-                   reply, error))
+                   MsgType::ChannelOpened, reply, error))
         return false;
     OpenedBody opened;
     util::ByteReader r(reply.body.data(), reply.body.size());
@@ -202,7 +285,7 @@ Client::next(RemoteSession &session, std::vector<mem::Request> &out,
     body.encode(w);
     Frame reply;
     if (!roundTrip(MsgType::SynthChunk, w.bytes(), MsgType::Chunk,
-                   reply, error))
+                   MsgType::Error, reply, error))
         return false;
     ChunkBody chunk;
     util::ByteReader r(reply.body.data(), reply.body.size());
@@ -232,8 +315,8 @@ Client::stat(RemoteSession &session, StatsBody &stats,
     util::ByteWriter w;
     body.encode(w);
     Frame reply;
-    if (!roundTrip(MsgType::Stat, w.bytes(), MsgType::Stats, reply,
-                   error))
+    if (!roundTrip(MsgType::Stat, w.bytes(), MsgType::Stats,
+                   MsgType::Error, reply, error))
         return false;
     util::ByteReader r(reply.body.data(), reply.body.size());
     if (!stats.decode(r)) {
@@ -251,8 +334,8 @@ Client::close(RemoteSession &session, std::string *error)
     util::ByteWriter w;
     body.encode(w);
     Frame reply;
-    if (!roundTrip(MsgType::Close, w.bytes(), MsgType::Closed, reply,
-                   error))
+    if (!roundTrip(MsgType::Close, w.bytes(), MsgType::Closed,
+                   MsgType::Error, reply, error))
         return false;
     ClosedBody closed;
     util::ByteReader r(reply.body.data(), reply.body.size());
@@ -280,6 +363,336 @@ Client::fetch(RemoteSession &session, std::vector<mem::Request> &out,
     return true;
 }
 
+// ---------------------------------------------------------------------
+// MuxClient
+// ---------------------------------------------------------------------
+
+MuxClient::~MuxClient()
+{
+    disconnect();
+}
+
+void
+MuxClient::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    version_ = 0;
+    channels_.clear();
+}
+
+bool
+MuxClient::connect(const std::string &host, std::uint16_t port,
+                   ClientOptions options, std::string *error)
+{
+    disconnect();
+    options_ = options;
+    options_.protocolVersion = kVersion; // mux is a v2 feature
+    fd_ = dialAndHandshakePrep(host, port, options_, error);
+    if (fd_ < 0)
+        return false;
+    if (!handshake(fd_, options_, version_, error)) {
+        disconnect();
+        return false;
+    }
+    if (version_ < 2) {
+        setError(error, "server only speaks protocol v" +
+                            std::to_string(version_) +
+                            " (multiplexing needs v2)");
+        disconnect();
+        return false;
+    }
+    return true;
+}
+
+bool
+MuxClient::sendFrame(MsgType type,
+                     const std::vector<std::uint8_t> &body,
+                     std::string *error)
+{
+    if (fd_ < 0) {
+        setError(error, "not connected");
+        return false;
+    }
+    if (!writeFrame(fd_, type, body)) {
+        setError(error, "send failed: " +
+                            std::string(std::strerror(errno)));
+        return false;
+    }
+    return true;
+}
+
+bool
+MuxClient::openChannel(std::uint64_t channel, const std::string &id,
+                       std::uint64_t seed, std::string *error)
+{
+    if (channel == 0 || channels_.count(channel) != 0) {
+        setError(error, "channel id 0 or already open");
+        return false;
+    }
+    OpenChannelBody body;
+    body.channel = channel;
+    body.id = id;
+    body.seed = seed;
+    util::ByteWriter w;
+    body.encode(w);
+    if (!sendFrame(MsgType::OpenChannel, w.bytes(), error))
+        return false;
+    Channel &state = channels_[channel];
+    state.id = channel;
+    return true;
+}
+
+void
+MuxClient::setSink(std::uint64_t channel, std::vector<mem::Request> *out)
+{
+    const auto it = channels_.find(channel);
+    if (it != channels_.end())
+        it->second.sink = out;
+}
+
+bool
+MuxClient::pull(std::uint64_t channel, std::uint64_t maxRequests,
+                std::string *error)
+{
+    const auto it = channels_.find(channel);
+    if (it == channels_.end()) {
+        setError(error, "channel " + std::to_string(channel) +
+                            " is not open");
+        return false;
+    }
+    SynthChunkBody body;
+    body.session = channel;
+    body.maxRequests = maxRequests;
+    util::ByteWriter w;
+    body.encode(w);
+    if (!sendFrame(MsgType::SynthChunk, w.bytes(), error))
+        return false;
+    ++it->second.pullsOutstanding;
+    return true;
+}
+
+bool
+MuxClient::closeChannel(std::uint64_t channel, std::string *error)
+{
+    if (channels_.count(channel) == 0) {
+        setError(error, "channel " + std::to_string(channel) +
+                            " is not open");
+        return false;
+    }
+    CloseBody body;
+    body.session = channel;
+    util::ByteWriter w;
+    body.encode(w);
+    return sendFrame(MsgType::Close, w.bytes(), error);
+}
+
+const MuxClient::Channel *
+MuxClient::channel(std::uint64_t id) const
+{
+    const auto it = channels_.find(id);
+    return it == channels_.end() ? nullptr : &it->second;
+}
+
+bool
+MuxClient::nextEvent(Event &event, std::string *error)
+{
+    if (fd_ < 0) {
+        setError(error, "not connected");
+        return false;
+    }
+    Frame frame;
+    const FrameResult rc = readFrame(fd_, frame, options_.maxFrameBytes);
+    switch (rc) {
+    case FrameResult::Ok:
+        break;
+    case FrameResult::Eof:
+        setError(error, "server closed the connection");
+        return false;
+    case FrameResult::Timeout:
+        setError(error, "timed out waiting for the server");
+        return false;
+    case FrameResult::TooLarge:
+        setError(error, "server frame exceeds the client limit");
+        return false;
+    case FrameResult::Error:
+        setError(error, "connection error: " +
+                            std::string(std::strerror(errno)));
+        return false;
+    }
+
+    util::ByteReader r(frame.body.data(), frame.body.size());
+    event = Event{};
+    switch (frame.type) {
+    case MsgType::ChannelOpened:
+    case MsgType::Opened: {
+        OpenedBody opened;
+        if (!opened.decode(r)) {
+            setError(error, "malformed ChannelOpened frame");
+            return false;
+        }
+        const auto it = channels_.find(opened.session);
+        if (it == channels_.end()) {
+            setError(error, "server opened unknown channel " +
+                                std::to_string(opened.session));
+            return false;
+        }
+        Channel &state = it->second;
+        state.opened = true;
+        state.total = opened.total;
+        state.done = opened.total == 0;
+        state.name = opened.name;
+        state.device = opened.device;
+        event.kind = Event::Kind::Opened;
+        event.channel = opened.session;
+        return true;
+    }
+    case MsgType::Chunk: {
+        // Peek the channel id to find the right carry state; the
+        // decode then re-reads the full header.
+        util::ByteReader peek(frame.body.data(), frame.body.size());
+        const std::uint64_t id = peek.getVarint();
+        const auto it = channels_.find(id);
+        if (!peek.ok() || it == channels_.end()) {
+            setError(error, "chunk for unknown channel " +
+                                std::to_string(id));
+            return false;
+        }
+        Channel &state = it->second;
+        std::vector<mem::Request> scratch;
+        std::vector<mem::Request> &out =
+            state.sink != nullptr ? *state.sink : scratch;
+        ChunkBody chunk;
+        if (!chunk.decode(r, out, state.codec)) {
+            setError(error, "malformed Chunk frame");
+            return false;
+        }
+        if (chunk.firstSeq != state.received) {
+            setError(error,
+                     "chunk out of sequence on channel " +
+                         std::to_string(id) + " (expected seq " +
+                         std::to_string(state.received) + ", got " +
+                         std::to_string(chunk.firstSeq) + ")");
+            return false;
+        }
+        state.received += chunk.count;
+        state.done = chunk.done;
+        if (state.pullsOutstanding > 0)
+            --state.pullsOutstanding;
+        event.kind = Event::Kind::Chunk;
+        event.channel = id;
+        event.count = chunk.count;
+        event.done = chunk.done;
+        return true;
+    }
+    case MsgType::Closed: {
+        ClosedBody closed;
+        if (!closed.decode(r)) {
+            setError(error, "malformed Closed frame");
+            return false;
+        }
+        const auto it = channels_.find(closed.session);
+        if (it != channels_.end()) {
+            it->second.closed = true;
+            // Close cancels queued pulls server-side; forget them.
+            it->second.pullsOutstanding = 0;
+        }
+        event.kind = Event::Kind::Closed;
+        event.channel = closed.session;
+        return true;
+    }
+    case MsgType::ChannelError: {
+        ChannelErrorBody err;
+        if (!err.decode(r)) {
+            setError(error, "malformed ChannelError frame");
+            return false;
+        }
+        const auto it = channels_.find(err.channel);
+        if (it != channels_.end()) {
+            it->second.closed = true;
+            it->second.pullsOutstanding = 0;
+        }
+        event.kind = Event::Kind::ChannelError;
+        event.channel = err.channel;
+        event.code = err.code;
+        event.message = err.message;
+        return true;
+    }
+    case MsgType::Error: {
+        decodeErrorFrame(frame, error);
+        return false;
+    }
+    default:
+        setError(error, "unexpected frame type " +
+                            std::to_string(static_cast<unsigned>(
+                                frame.type)));
+        return false;
+    }
+}
+
+bool
+MuxClient::fetchAll(const std::vector<FetchSpec> &specs,
+                    std::vector<std::vector<mem::Request>> &outs,
+                    std::uint64_t chunkRequests,
+                    std::uint64_t pullDepth, std::string *error)
+{
+    if (pullDepth == 0)
+        pullDepth = 1;
+    outs.clear();
+    outs.resize(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const std::uint64_t id = static_cast<std::uint64_t>(i) + 1;
+        if (!openChannel(id, specs[i].id, specs[i].seed, error))
+            return false;
+        setSink(id, &outs[i]);
+    }
+
+    std::size_t live = specs.size();
+    while (live > 0) {
+        Event event;
+        if (!nextEvent(event, error))
+            return false;
+        const auto it = channels_.find(event.channel);
+        if (it == channels_.end())
+            continue;
+        Channel &state = it->second;
+        switch (event.kind) {
+        case Event::Kind::Opened:
+        case Event::Kind::Chunk: {
+            if (state.done) {
+                if (state.pullsOutstanding == 0 && !state.closed) {
+                    if (!closeChannel(event.channel, error))
+                        return false;
+                }
+                break;
+            }
+            // Keep the pipeline full: top up to pullDepth credits.
+            while (state.pullsOutstanding < pullDepth) {
+                if (!pull(event.channel, chunkRequests, error))
+                    return false;
+            }
+            break;
+        }
+        case Event::Kind::Closed:
+            --live;
+            break;
+        case Event::Kind::ChannelError:
+            setError(error, "channel " +
+                                std::to_string(event.channel) + ": " +
+                                std::string(toString(event.code)) +
+                                ": " + event.message);
+            return false;
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Convenience wrappers
+// ---------------------------------------------------------------------
+
 bool
 fetchTrace(const std::string &host, std::uint16_t port,
            const std::string &id, std::uint64_t seed, mem::Trace &trace,
@@ -299,6 +712,29 @@ fetchTrace(const std::string &host, std::uint16_t port,
         return false;
     trace = mem::Trace(session.name, session.device);
     trace.requests() = std::move(requests);
+    return true;
+}
+
+bool
+fetchTraceMux(const std::string &host, std::uint16_t port,
+              const std::string &id, std::uint64_t seed,
+              mem::Trace &trace, std::uint64_t chunkRequests,
+              std::string *error)
+{
+    MuxClient client;
+    if (!client.connect(host, port, {}, error))
+        return false;
+    std::vector<FetchSpec> specs(1);
+    specs[0].id = id;
+    specs[0].seed = seed;
+    std::vector<std::vector<mem::Request>> outs;
+    if (!client.fetchAll(specs, outs, chunkRequests, /*pullDepth=*/4,
+                         error))
+        return false;
+    const MuxClient::Channel *state = client.channel(1);
+    trace = mem::Trace(state != nullptr ? state->name : "",
+                       state != nullptr ? state->device : "");
+    trace.requests() = std::move(outs[0]);
     return true;
 }
 

@@ -1,12 +1,26 @@
 /**
  * @file
- * Blocking client for the serve wire protocol.
+ * Clients for the serve wire protocol.
  *
- * A Client owns one TCP connection (Hello handshake performed by
- * connect()) and any number of open sessions on it. Streaming follows
- * the command/response cycle of protocol.hpp; fetch() drives a whole
- * session to completion and fetchTrace() wraps the common
- * open-stream-close case into one call.
+ * Client owns one TCP connection (Hello handshake performed by
+ * connect()) and any number of open sessions on it, driven through
+ * the strict command/response cycle — one outstanding command at a
+ * time. It negotiates protocol v2 by default and transparently
+ * accepts the v2 reply types (ChannelOpened / ChannelError) the
+ * event-driven server answers with; pass
+ * ClientOptions::protocolVersion = kVersionLegacy to exercise the v1
+ * wire format end to end. fetch() drives a whole session to
+ * completion and fetchTrace() wraps the common open-stream-close case
+ * into one call.
+ *
+ * MuxClient multiplexes many concurrent sessions over ONE connection
+ * (protocol v2 only): opens and pulls are fire-and-forget sends, and
+ * nextEvent() pumps whatever the server interleaves back, routing
+ * each Chunk to its channel's sink with per-channel wire carry state.
+ * Keeping up to pullDepth pulls outstanding per channel is what turns
+ * the protocol's pull-credit scheme into streaming throughput;
+ * fetchAll() packages that loop for the common
+ * open-everything-drain-everything case.
  *
  * Server Error frames surface as `false` returns with the decoded
  * "code: message" diagnostic in the caller's error string — the same
@@ -17,6 +31,7 @@
 #define MOCKTAILS_SERVE_CLIENT_HPP
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -36,6 +51,9 @@ struct ClientOptions
 
     /** Inbound frame limit (bounds one Chunk response). */
     std::uint32_t maxFrameBytes = kMaxFrameBytes;
+
+    /** Hello version to offer (kVersion or kVersionLegacy). */
+    std::uint32_t protocolVersion = kVersion;
 };
 
 /** A remote session handle returned by Client::open(). */
@@ -66,6 +84,9 @@ class Client
                  std::string *error = nullptr);
 
     bool connected() const { return fd_ >= 0; }
+
+    /** Version the server agreed to (valid after connect()). */
+    std::uint32_t negotiatedVersion() const { return version_; }
 
     /** Close the connection (open sessions die with it). */
     void disconnect();
@@ -99,12 +120,133 @@ class Client
                std::string *error = nullptr);
 
   private:
-    /** Send @p type+@p body, read the reply; Error frames -> false. */
+    /**
+     * Send @p type+@p body, read the reply; Error / ChannelError
+     * frames -> false. @p alt is a second acceptable reply type (the
+     * v2 spelling of @p expect), or MsgType::Error for none.
+     */
     bool roundTrip(MsgType type, const std::vector<std::uint8_t> &body,
-                   MsgType expect, Frame &reply, std::string *error);
+                   MsgType expect, MsgType alt, Frame &reply,
+                   std::string *error);
 
     int fd_ = -1;
+    std::uint32_t version_ = 0;
     ClientOptions options_;
+};
+
+/** One stream to open through MuxClient::fetchAll. */
+struct FetchSpec
+{
+    std::string id;         ///< profile id resolved by the store
+    std::uint64_t seed = 1; ///< synthesis seed
+};
+
+/**
+ * Multiplexing client: many concurrent sessions over one connection
+ * (protocol v2). Not thread-safe; one thread drives opens, pulls and
+ * the event pump.
+ */
+class MuxClient
+{
+  public:
+    MuxClient() = default;
+    ~MuxClient();
+
+    MuxClient(const MuxClient &) = delete;
+    MuxClient &operator=(const MuxClient &) = delete;
+
+    /** Connect and handshake; fails unless the server speaks v2. */
+    bool connect(const std::string &host, std::uint16_t port,
+                 ClientOptions options = {},
+                 std::string *error = nullptr);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Version the server agreed to (valid after connect()). */
+    std::uint32_t negotiatedVersion() const { return version_; }
+
+    void disconnect();
+
+    /** Per-channel state visible to callers. */
+    struct Channel
+    {
+        std::uint64_t id = 0;
+        bool opened = false; ///< ChannelOpened seen
+        bool closed = false; ///< Closed seen
+        std::uint64_t total = 0;
+        std::uint64_t received = 0;
+        bool done = false; ///< final chunk seen
+        std::uint64_t pullsOutstanding = 0;
+        std::string name;
+        std::string device;
+        mem::RequestCodecState codec;
+        std::vector<mem::Request> *sink = nullptr;
+    };
+
+    /**
+     * Fire-and-forget: ask the server to open @p id under the
+     * client-chosen non-zero @p channel. The ChannelOpened (or
+     * ChannelError) answer arrives through nextEvent().
+     */
+    bool openChannel(std::uint64_t channel, const std::string &id,
+                     std::uint64_t seed, std::string *error = nullptr);
+
+    /** Where decoded Chunk records for @p channel are appended. */
+    void setSink(std::uint64_t channel, std::vector<mem::Request> *out);
+
+    /** Fire-and-forget: queue one pull (one chunk of credit). */
+    bool pull(std::uint64_t channel, std::uint64_t maxRequests = 0,
+              std::string *error = nullptr);
+
+    /** Fire-and-forget: close the channel (Closed arrives later). */
+    bool closeChannel(std::uint64_t channel,
+                      std::string *error = nullptr);
+
+    struct Event
+    {
+        enum class Kind {
+            Opened,       ///< channel open; total/name/device filled
+            Chunk,        ///< records appended to the channel's sink
+            Closed,       ///< channel closed by the server
+            ChannelError, ///< channel failed; code/message filled
+        };
+        Kind kind = Kind::ChannelError;
+        std::uint64_t channel = 0;
+        std::uint64_t count = 0; ///< Chunk: records in this chunk
+        bool done = false;       ///< Chunk: stream complete
+        ErrorCode code = ErrorCode::Internal;
+        std::string message;
+    };
+
+    /**
+     * Block for the next server frame and apply it to the channel
+     * table (sequencing checks included). Connection-fatal problems
+     * (Error frame, EOF, torn chunk) return false.
+     */
+    bool nextEvent(Event &event, std::string *error = nullptr);
+
+    /** Channel table lookup (nullptr when never opened). */
+    const Channel *channel(std::uint64_t id) const;
+
+    /**
+     * Open one channel per spec (ids 1..n), keep @p pullDepth pulls
+     * outstanding per channel, pump events until every stream is done
+     * and closed. outs[i] receives spec i's records; outs is resized.
+     */
+    bool fetchAll(const std::vector<FetchSpec> &specs,
+                  std::vector<std::vector<mem::Request>> &outs,
+                  std::uint64_t chunkRequests = 0,
+                  std::uint64_t pullDepth = 2,
+                  std::string *error = nullptr);
+
+  private:
+    bool sendFrame(MsgType type, const std::vector<std::uint8_t> &body,
+                   std::string *error);
+
+    int fd_ = -1;
+    std::uint32_t version_ = 0;
+    ClientOptions options_;
+    std::map<std::uint64_t, Channel> channels_;
 };
 
 /**
@@ -116,6 +258,15 @@ bool fetchTrace(const std::string &host, std::uint16_t port,
                 const std::string &id, std::uint64_t seed,
                 mem::Trace &trace, std::uint64_t chunkRequests = 0,
                 std::string *error = nullptr);
+
+/**
+ * fetchTrace over a MuxClient channel — same result, multiplexed
+ * wire path (what `profile_tool fetch --mux` uses).
+ */
+bool fetchTraceMux(const std::string &host, std::uint16_t port,
+                   const std::string &id, std::uint64_t seed,
+                   mem::Trace &trace, std::uint64_t chunkRequests = 0,
+                   std::string *error = nullptr);
 
 } // namespace mocktails::serve
 

@@ -59,6 +59,57 @@ HelloBody::decode(util::ByteReader &r)
 }
 
 void
+HelloOkBody::encode(util::ByteWriter &w) const
+{
+    w.putVarint(version);
+}
+
+bool
+HelloOkBody::decode(util::ByteReader &r)
+{
+    if (r.atEnd()) {
+        version = kVersionLegacy; // v1 servers sent an empty body
+        return true;
+    }
+    version = static_cast<std::uint32_t>(r.getVarint());
+    return r.ok() && r.atEnd();
+}
+
+void
+OpenChannelBody::encode(util::ByteWriter &w) const
+{
+    w.putVarint(channel);
+    w.putString(id);
+    w.putVarint(seed);
+}
+
+bool
+OpenChannelBody::decode(util::ByteReader &r)
+{
+    channel = r.getVarint();
+    id = r.getString();
+    seed = r.getVarint();
+    return r.ok() && r.atEnd();
+}
+
+void
+ChannelErrorBody::encode(util::ByteWriter &w) const
+{
+    w.putVarint(channel);
+    w.putByte(static_cast<std::uint8_t>(code));
+    w.putString(message);
+}
+
+bool
+ChannelErrorBody::decode(util::ByteReader &r)
+{
+    channel = r.getVarint();
+    code = static_cast<ErrorCode>(r.getByte());
+    message = r.getString();
+    return r.ok() && r.atEnd();
+}
+
+void
 OpenProfileBody::encode(util::ByteWriter &w) const
 {
     w.putString(id);
@@ -128,10 +179,10 @@ ChunkBody::decode(util::ByteReader &r, std::vector<mem::Request> &out,
     firstSeq = r.getVarint();
     count = r.getVarint();
     done = r.getByte() != 0;
-    // Every record costs at least 3 bytes; a count the remaining body
-    // cannot hold is corrupt (and would otherwise drive a huge
-    // reserve in decodeRequests).
-    if (!r.ok() || count > r.remaining() / 3 + 1)
+    // A count the remaining body cannot hold is corrupt (and would
+    // otherwise drive a huge reserve in decodeRequests).
+    if (!r.ok() ||
+        count > r.remaining() / mem::kMinEncodedRequestBytes + 1)
         return false;
     if (!mem::decodeRequests(r, count, out, state))
         return false;
@@ -245,6 +296,43 @@ readAll(int fd, std::uint8_t *data, std::size_t size, bool &any_read)
 }
 
 } // namespace
+
+void
+FrameParser::append(const std::uint8_t *data, std::size_t size)
+{
+    // Compact lazily: only when the consumed prefix dominates, so a
+    // busy connection is not copying its buffer on every frame.
+    if (pos_ > 0 && pos_ >= buffer_.size() / 2) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    buffer_.insert(buffer_.end(), data, data + size);
+}
+
+FrameParser::Next
+FrameParser::next(Frame &out)
+{
+    if (buffered() < 4)
+        return Next::NeedMore;
+    std::uint32_t length = 0;
+    for (int i = 0; i < 4; ++i)
+        length |= static_cast<std::uint32_t>(buffer_[pos_ + static_cast<std::size_t>(i)])
+                  << (8 * i);
+    if (length == 0)
+        return Next::Malformed; // a frame always has a type byte
+    if (length > max_bytes_)
+        return Next::TooLarge;
+    if (buffered() < 4u + length)
+        return Next::NeedMore;
+    out.type = static_cast<MsgType>(buffer_[pos_ + 4]);
+    out.body.assign(buffer_.begin() +
+                        static_cast<std::ptrdiff_t>(pos_ + 5),
+                    buffer_.begin() +
+                        static_cast<std::ptrdiff_t>(pos_ + 4 + length));
+    pos_ += 4u + length;
+    return Next::Frame;
+}
 
 FrameResult
 readFrame(int fd, Frame &frame, std::uint32_t max_bytes)

@@ -9,8 +9,9 @@
  *            body   bytes               (per-type, varint-packed)
  *
  * The client speaks first with Hello{magic, version}; the server
- * answers HelloOk or Error{BadVersion} and closes. After the
- * handshake the client drives a simple command/response cycle:
+ * answers HelloOk (v2+: carrying the negotiated version) or
+ * Error{BadVersion} and closes. Version 1 is the strict
+ * command/response cycle of PR 5:
  *
  *   OpenProfile{id, seed}   -> Opened{session, name, device, leaves,
  *                                     total} | Error
@@ -20,8 +21,32 @@
  *                                    buffered} | Error
  *   Close{session}          -> Closed{session, emitted} | Error
  *
+ * Version 2 multiplexes many interleaved sessions over one
+ * connection. The session id doubles as the *channel id* carried by
+ * every frame, and the strict alternation is relaxed:
+ *
+ *  - OpenChannel{channel, id, seed} opens a session under a
+ *    client-chosen channel id (ChannelOpened echoes it). Collisions
+ *    are answered with ChannelError{channel, BadFrame}.
+ *  - The client may pipeline any number of SynthChunk pulls across
+ *    channels without waiting; the server answers each pull with
+ *    exactly one Chunk, in order *per channel*, but chunks of
+ *    different channels interleave arbitrarily. Each pull is one unit
+ *    of credit — a channel with no outstanding pull is never sent
+ *    data, which is what gives per-channel backpressure: a slow
+ *    channel simply stops pulling and its siblings keep streaming.
+ *  - Channel-scoped failures use ChannelError{channel, code, message}
+ *    and leave the connection (and other channels) intact;
+ *    connection-fatal problems still use Error and close.
+ *  - Close{channel} cancels that channel's queued pulls; Closed is
+ *    the final frame for the channel.
+ *
+ * A v1 Hello against a v2 server gets exact v1 behaviour (the strict
+ * cycle is a subset of the relaxed one). Versions other than 1 and 2
+ * are rejected with Error{BadVersion}.
+ *
  * Chunk records use the mem::Request wire codec (mem/wire.hpp) with a
- * per-session carry state on both ends, so chunk boundaries cost no
+ * per-channel carry state on both ends, so chunk boundaries cost no
  * bytes. Every body integer is a varint from util/varint.hpp — the
  * same dialect as the on-disk trace/profile/MKTE formats.
  *
@@ -34,6 +59,7 @@
 #ifndef MOCKTAILS_SERVE_PROTOCOL_HPP
 #define MOCKTAILS_SERVE_PROTOCOL_HPP
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -49,7 +75,12 @@ namespace mocktails::serve
 constexpr std::uint32_t kMagic = 0x4d4b5356;
 
 /// Protocol version; bumped on any incompatible frame change.
-constexpr std::uint32_t kVersion = 1;
+/// v2 added channel multiplexing (OpenChannel/ChannelError, pipelined
+/// pulls); v1 connections are still served bug-for-bug.
+constexpr std::uint32_t kVersion = 2;
+
+/// The PR 5 strict command/response protocol, still accepted.
+constexpr std::uint32_t kVersionLegacy = 1;
 
 /// Server-side inbound frame limit: client commands are tiny, so
 /// anything bigger is hostile or corrupt.
@@ -70,6 +101,9 @@ enum class MsgType : std::uint8_t {
     Stats = 8,
     Close = 9,
     Closed = 10,
+    OpenChannel = 11,   ///< v2: open under a client-chosen channel id
+    ChannelOpened = 12, ///< v2: OpenedBody echoing the channel id
+    ChannelError = 13,  ///< v2: channel-scoped error, connection lives
     Error = 15,
 };
 
@@ -107,6 +141,40 @@ struct HelloBody
 {
     std::uint32_t magic = kMagic;
     std::uint32_t version = kVersion;
+
+    void encode(util::ByteWriter &w) const;
+    bool decode(util::ByteReader &r);
+};
+
+/**
+ * HelloOk body. v1 servers sent an empty body; an empty body
+ * therefore decodes as "negotiated v1", keeping old peers readable.
+ */
+struct HelloOkBody
+{
+    std::uint32_t version = kVersionLegacy;
+
+    void encode(util::ByteWriter &w) const;
+    bool decode(util::ByteReader &r);
+};
+
+/** v2: open a session under the client-chosen @ref channel. */
+struct OpenChannelBody
+{
+    std::uint64_t channel = 0; ///< must be non-zero and unused
+    std::string id;            ///< profile id resolved by the store
+    std::uint64_t seed = 1;    ///< synthesis seed for the session
+
+    void encode(util::ByteWriter &w) const;
+    bool decode(util::ByteReader &r);
+};
+
+/** v2: a channel-scoped error; the connection stays up. */
+struct ChannelErrorBody
+{
+    std::uint64_t channel = 0;
+    ErrorCode code = ErrorCode::Internal;
+    std::string message;
 
     void encode(util::ByteWriter &w) const;
     bool decode(util::ByteReader &r);
@@ -211,6 +279,46 @@ struct ErrorBody
 };
 
 /// @}
+
+/**
+ * Incremental frame parser for non-blocking transports.
+ *
+ * Feed raw bytes with append() as they arrive; next() extracts
+ * complete frames without copying partial input back and forth. The
+ * oversized/malformed verdicts mirror readFrame(): a length beyond
+ * the limit is TooLarge (detected from the prefix alone, before any
+ * body arrives) and a zero length is Malformed, since every frame
+ * carries at least its type byte.
+ */
+class FrameParser
+{
+  public:
+    explicit FrameParser(std::uint32_t max_bytes)
+        : max_bytes_(max_bytes)
+    {
+    }
+
+    /** Buffer @p size raw bytes from the transport. */
+    void append(const std::uint8_t *data, std::size_t size);
+
+    enum class Next {
+        Frame,     ///< @p out holds one complete frame
+        NeedMore,  ///< no complete frame buffered yet
+        TooLarge,  ///< announced length exceeds the limit
+        Malformed, ///< zero-length frame
+    };
+
+    /** Extract the next complete frame, if any. */
+    Next next(Frame &out);
+
+    /** Unconsumed bytes (> 0 at EOF means a torn frame). */
+    std::size_t buffered() const { return buffer_.size() - pos_; }
+
+  private:
+    std::uint32_t max_bytes_;
+    std::vector<std::uint8_t> buffer_;
+    std::size_t pos_ = 0;
+};
 
 /// @name Blocking socket I/O
 /// Frame transport over a connected socket. Partial reads/writes and

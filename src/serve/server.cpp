@@ -1,9 +1,11 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -15,16 +17,7 @@
 namespace mocktails::serve
 {
 
-/** Per-connection protocol state, owned by the handler's stack. */
-struct ConnectionState
-{
-    bool helloDone = false;
-    std::uint64_t nextSession = 1;
-    std::map<std::uint64_t, std::unique_ptr<SynthesisSession>> sessions;
-    /// Delta-coding carry per session; must live as long as the
-    /// session so chunk boundaries are free on the wire.
-    std::map<std::uint64_t, mem::RequestCodecState> codecs;
-};
+using Clock = std::chrono::steady_clock;
 
 namespace
 {
@@ -45,31 +38,117 @@ gaugeMetric(const char *name, std::int64_t delta)
     telemetry::MetricsRegistry::global().gauge(name).add(delta);
 }
 
-bool
-setSocketTimeouts(int fd, int read_ms, int write_ms)
+std::vector<std::uint8_t>
+packErrorFrame(ErrorCode code, const std::string &message)
 {
-    const auto set = [fd](int option, int ms) {
-        if (ms <= 0)
-            return true;
-        struct timeval tv;
-        tv.tv_sec = ms / 1000;
-        tv.tv_usec = (ms % 1000) * 1000;
-        return ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv)) ==
-               0;
-    };
-    return set(SO_RCVTIMEO, read_ms) && set(SO_SNDTIMEO, write_ms);
+    ErrorBody body;
+    body.code = code;
+    body.message = message;
+    util::ByteWriter w;
+    body.encode(w);
+    return packFrame(MsgType::Error, w.bytes());
+}
+
+std::vector<std::uint8_t>
+packChannelErrorFrame(std::uint64_t channel, ErrorCode code,
+                      const std::string &message)
+{
+    ChannelErrorBody body;
+    body.channel = channel;
+    body.code = code;
+    body.message = message;
+    util::ByteWriter w;
+    body.encode(w);
+    return packFrame(MsgType::ChannelError, w.bytes());
 }
 
 } // namespace
 
+AcceptAction
+classifyAcceptError(int error)
+{
+    if (error == EINTR || error == ECONNABORTED || error == EAGAIN ||
+        error == EWOULDBLOCK
+#ifdef EPROTO
+        || error == EPROTO
+#endif
+    )
+        return AcceptAction::Skip;
+    // EMFILE / ENFILE / ENOBUFS / ENOMEM — and anything unexpected:
+    // back off and keep the listener alive.
+    return AcceptAction::Backoff;
+}
+
+/** One channel (v2) / session (v1): a synthesis stream plus its wire
+ *  carry state and queued pulls. Held by shared_ptr so an in-flight
+ *  pool task keeps the session alive across a connection close. */
+struct StreamServer::ChannelState
+{
+    std::uint64_t id = 0;
+    /** Null while the open task is in flight. */
+    std::unique_ptr<SynthesisSession> session;
+    mem::RequestCodecState codec;
+    std::deque<std::uint64_t> pulls; ///< queued pull sizes (credits)
+    bool busy = false;   ///< a pool task (open or chunk) is in flight
+    bool queued = false; ///< sitting in the connection's ready queue
+    bool closeRequested = false; ///< Close arrived while busy
+};
+
+/** Per-connection state machine, owned by the event loop. */
+struct StreamServer::Connection
+{
+    std::uint64_t id = 0;
+    int fd = -1;
+    std::uint32_t version = 0; ///< negotiated; 0 until Hello
+    FrameParser parser;
+    std::deque<std::vector<std::uint8_t>> writeQueue;
+    std::size_t writeBytes = 0;  ///< unsent bytes across the queue
+    std::size_t writeOffset = 0; ///< sent prefix of writeQueue.front()
+    bool wantWrite = false;      ///< current poller write interest
+    bool readOpen = true;  ///< still reading commands from the peer
+    bool draining = false; ///< flush in-flight work, then close
+    std::uint64_t nextChannel = 1;
+    std::map<std::uint64_t, std::shared_ptr<ChannelState>> channels;
+    std::deque<std::uint64_t> ready; ///< round-robin pull scheduling
+    unsigned tasksInFlight = 0;
+    Clock::time_point lastActivity;
+    Clock::time_point writeStallSince{};
+    bool writeStalled = false;
+
+    explicit Connection(std::uint32_t max_frame_bytes)
+        : parser(max_frame_bytes)
+    {
+    }
+};
+
+/** A pool task's result, posted back to the event loop. */
+struct StreamServer::Completion
+{
+    std::uint64_t conn = 0;
+    std::uint64_t channel = 0;
+    /** Keeps the session alive until the loop has seen the result. */
+    std::shared_ptr<ChannelState> state;
+    std::vector<std::uint8_t> frame; ///< fully packed response frame
+    bool openFailed = false; ///< open task failed; drop the channel
+};
+
 StreamServer::StreamServer(ProfileStore &store, ServerOptions options)
     : store_(&store), options_(std::move(options))
 {
+    if (options_.maxTasksPerConnection == 0)
+        options_.maxTasksPerConnection = 1;
 }
 
 StreamServer::~StreamServer()
 {
     stop();
+}
+
+util::ThreadPool &
+StreamServer::pool()
+{
+    return options_.pool != nullptr ? *options_.pool
+                                    : util::ThreadPool::global();
 }
 
 bool
@@ -85,9 +164,18 @@ StreamServer::start(std::string *error)
         return false;
     };
 
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (started_)
+            return fail("server already started");
+    }
+
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0)
         return fail(std::string("socket: ") + std::strerror(errno));
+    if (!util::setNonBlocking(listen_fd_) ||
+        !util::setCloseOnExec(listen_fd_))
+        return fail(std::string("fcntl: ") + std::strerror(errno));
 
     const int one = 1;
     ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
@@ -118,303 +206,55 @@ StreamServer::start(std::string *error)
                     std::strerror(errno));
     port_ = ntohs(addr.sin_port);
 
+    poller_ = std::make_unique<util::Poller>(options_.pollerBackend);
+    if (!poller_->valid() || !wake_.valid())
+        return fail("cannot create poller/wake pipe");
+    if (!poller_->add(listen_fd_, true, false) ||
+        !poller_->add(wake_.fd(), true, false))
+        return fail("cannot register listener with poller");
+
+    listener_closed_ = false;
+    accept_paused_ = false;
+    drain_begun_ = false;
+    accept_backoff_ms_ = 0;
+    next_conn_id_ = 1;
+    tasks_in_flight_ = 0;
+
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        stopping_ = false;
+        stop_requested_ = false;
         started_ = true;
+        loop_done_ = false;
     }
-    listener_ =
-        std::thread([this, fd = listen_fd_] { listenLoop(fd); });
+    loop_ = std::thread([this] { eventLoop(); });
     return true;
-}
-
-void
-StreamServer::listenLoop(int listen_fd)
-{
-    for (;;) {
-        const int fd = ::accept(listen_fd, nullptr, nullptr);
-        if (fd < 0) {
-            if (errno == EINTR)
-                continue;
-            // The listener socket was closed by stop(), or something
-            // unrecoverable happened; either way, stop accepting.
-            return;
-        }
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (stopping_) {
-                ::close(fd);
-                return;
-            }
-            live_fds_.push_back(fd);
-            ++active_;
-            ++accepted_;
-        }
-        countMetric("serve.connections");
-        gaugeMetric("serve.connections_active", 1);
-        setSocketTimeouts(fd, options_.readTimeoutMs,
-                          options_.writeTimeoutMs);
-        util::ThreadPool::global().submit(
-            [this, fd] { handleConnection(fd); });
-    }
-}
-
-bool
-StreamServer::sendError(int fd, ErrorCode code,
-                        const std::string &message)
-{
-    countMetric("serve.errors");
-    ErrorBody body;
-    body.code = code;
-    body.message = message;
-    util::ByteWriter w;
-    body.encode(w);
-    const bool ok = writeFrame(fd, MsgType::Error, w.bytes());
-    if (ok)
-        countMetric("serve.frames_out");
-    return ok;
-}
-
-bool
-StreamServer::dispatchFrame(int fd, const Frame &frame,
-                            ConnectionState &conn)
-{
-    util::ByteReader r(frame.body.data(), frame.body.size());
-
-    if (!conn.helloDone) {
-        HelloBody hello;
-        if (frame.type != MsgType::Hello || !hello.decode(r)) {
-            sendError(fd, ErrorCode::BadFrame,
-                      "expected Hello as the first frame");
-            return false;
-        }
-        if (hello.magic != kMagic || hello.version != kVersion) {
-            sendError(fd, ErrorCode::BadVersion,
-                      "unsupported protocol magic/version");
-            return false;
-        }
-        conn.helloDone = true;
-        if (!writeFrame(fd, MsgType::HelloOk, {}))
-            return false;
-        countMetric("serve.frames_out");
-        return true;
-    }
-
-    switch (frame.type) {
-    case MsgType::OpenProfile: {
-        OpenProfileBody body;
-        if (!body.decode(r)) {
-            sendError(fd, ErrorCode::BadFrame, "bad OpenProfile body");
-            return false;
-        }
-        std::string error;
-        auto stored = store_->get(body.id, &error);
-        if (stored == nullptr)
-            return sendError(fd, ErrorCode::UnknownProfile, error);
-
-        SessionOptions session_options;
-        session_options.seed = body.seed;
-        session_options.bufferCapacity = options_.sessionBuffer;
-        auto session = std::make_unique<SynthesisSession>(
-            std::move(stored), session_options);
-
-        OpenedBody opened;
-        opened.session = conn.nextSession++;
-        opened.name = session->profile().profile.name;
-        opened.device = session->profile().profile.device;
-        opened.leaves = session->profile().profile.leaves.size();
-        opened.total = session->total();
-        conn.codecs[opened.session] = mem::RequestCodecState{};
-        conn.sessions[opened.session] = std::move(session);
-
-        util::ByteWriter w;
-        opened.encode(w);
-        if (!writeFrame(fd, MsgType::Opened, w.bytes()))
-            return false;
-        countMetric("serve.frames_out");
-        return true;
-    }
-    case MsgType::SynthChunk: {
-        SynthChunkBody body;
-        if (!body.decode(r)) {
-            sendError(fd, ErrorCode::BadFrame, "bad SynthChunk body");
-            return false;
-        }
-        const auto it = conn.sessions.find(body.session);
-        if (it == conn.sessions.end())
-            return sendError(fd, ErrorCode::UnknownSession,
-                             "no session " +
-                                 std::to_string(body.session));
-        SynthesisSession &session = *it->second;
-
-        std::size_t max = options_.maxChunkRequests;
-        if (body.maxRequests != 0 && body.maxRequests < max)
-            max = static_cast<std::size_t>(body.maxRequests);
-
-        ChunkBody chunk;
-        chunk.session = body.session;
-        chunk.firstSeq = session.emitted();
-        std::vector<mem::Request> records;
-        records.reserve(max);
-        chunk.count = session.next(records, max);
-        chunk.done = session.done();
-
-        util::ByteWriter w;
-        chunk.encode(w, records.data(), conn.codecs[body.session]);
-        if (!writeFrame(fd, MsgType::Chunk, w.bytes()))
-            return false;
-        countMetric("serve.frames_out");
-        return true;
-    }
-    case MsgType::Stat: {
-        StatBody body;
-        if (!body.decode(r)) {
-            sendError(fd, ErrorCode::BadFrame, "bad Stat body");
-            return false;
-        }
-        const auto it = conn.sessions.find(body.session);
-        if (it == conn.sessions.end())
-            return sendError(fd, ErrorCode::UnknownSession,
-                             "no session " +
-                                 std::to_string(body.session));
-        StatsBody stats;
-        stats.session = body.session;
-        stats.emitted = it->second->emitted();
-        stats.total = it->second->total();
-        stats.buffered = it->second->buffered();
-        util::ByteWriter w;
-        stats.encode(w);
-        if (!writeFrame(fd, MsgType::Stats, w.bytes()))
-            return false;
-        countMetric("serve.frames_out");
-        return true;
-    }
-    case MsgType::Close: {
-        CloseBody body;
-        if (!body.decode(r)) {
-            sendError(fd, ErrorCode::BadFrame, "bad Close body");
-            return false;
-        }
-        const auto it = conn.sessions.find(body.session);
-        if (it == conn.sessions.end())
-            return sendError(fd, ErrorCode::UnknownSession,
-                             "no session " +
-                                 std::to_string(body.session));
-        ClosedBody closed;
-        closed.session = body.session;
-        closed.emitted = it->second->emitted();
-        it->second->close();
-        conn.sessions.erase(it);
-        conn.codecs.erase(body.session);
-        util::ByteWriter w;
-        closed.encode(w);
-        if (!writeFrame(fd, MsgType::Closed, w.bytes()))
-            return false;
-        countMetric("serve.frames_out");
-        return true;
-    }
-    default:
-        sendError(fd, ErrorCode::BadFrame,
-                  "unknown frame type " +
-                      std::to_string(
-                          static_cast<unsigned>(frame.type)));
-        return false;
-    }
-}
-
-void
-StreamServer::handleConnection(int fd)
-{
-    ConnectionState conn;
-    for (;;) {
-        Frame frame;
-        const FrameResult result =
-            readFrame(fd, frame, options_.maxFrameBytes);
-        if (result == FrameResult::Ok) {
-            countMetric("serve.frames_in");
-            if (!dispatchFrame(fd, frame, conn))
-                break;
-            continue;
-        }
-        if (result == FrameResult::Timeout) {
-            // Idle reap: the peer went silent for longer than the
-            // receive timeout. Close without ceremony.
-            countMetric("serve.timeouts");
-            break;
-        }
-        if (result == FrameResult::TooLarge) {
-            sendError(fd, ErrorCode::BadFrame,
-                      "frame exceeds " +
-                          std::to_string(options_.maxFrameBytes) +
-                          " bytes");
-            break;
-        }
-        // Eof (clean close) or Error (torn frame / socket error).
-        if (result == FrameResult::Error)
-            countMetric("serve.errors");
-        break;
-    }
-
-    // Sessions close via their destructors (drains producer threads).
-    conn.sessions.clear();
-
-    // Deregister BEFORE closing: once closed the fd number can be
-    // recycled, and stop() must never shutdown() somebody else's fd.
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        for (auto it = live_fds_.begin(); it != live_fds_.end(); ++it) {
-            if (*it == fd) {
-                live_fds_.erase(it);
-                break;
-            }
-        }
-    }
-    ::close(fd);
-
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        --active_;
-        ++completed_;
-    }
-    gaugeMetric("serve.connections_active", -1);
-    drained_.notify_all();
 }
 
 void
 StreamServer::stop()
 {
-    int listen_fd = -1;
     bool stopper = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (!started_)
             return;
-        if (!stopping_) {
-            stopping_ = true;
+        if (!stop_requested_) {
+            stop_requested_ = true;
             stopper = true;
-            listen_fd = listen_fd_;
-            listen_fd_ = -1;
         }
-        // Nudge every live connection: the handler finishes the frame
-        // in flight, then sees EOF on its next read and winds down.
-        for (const int fd : live_fds_)
-            ::shutdown(fd, SHUT_RD);
     }
-
+    wake_.notify();
     if (stopper) {
-        if (listen_fd >= 0) {
-            // Closing the listener pops the accept() in listenLoop.
-            ::shutdown(listen_fd, SHUT_RDWR);
-            ::close(listen_fd);
-        }
-        if (listener_.joinable())
-            listener_.join();
-    }
-
-    std::unique_lock<std::mutex> lock(mutex_);
-    drained_.wait(lock, [this] { return active_ == 0; });
-    if (stopper)
+        if (loop_.joinable())
+            loop_.join();
+        std::lock_guard<std::mutex> lock(mutex_);
         started_ = false;
+        drained_.notify_all();
+    } else {
+        // A concurrent stop() is tearing the loop down; wait for it.
+        std::unique_lock<std::mutex> lock(mutex_);
+        drained_.wait(lock, [this] { return loop_done_; });
+    }
 }
 
 void
@@ -445,6 +285,784 @@ StreamServer::connectionsActive() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return active_;
+}
+
+// ---------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------
+
+void
+StreamServer::eventLoop()
+{
+    std::vector<util::PollerEvent> events;
+    for (;;) {
+        bool stopping;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stopping = stop_requested_;
+        }
+        if (stopping && !drain_begun_)
+            beginStopDrain();
+        if (stopping && connections_.empty() &&
+            tasks_in_flight_ == 0)
+            break;
+
+        resumeAcceptingIfDue();
+
+        const int timeout = stopping ? 50 : computeTimeoutMs();
+        poller_->wait(events, timeout);
+        wake_.drain();
+
+        processCompletions();
+
+        for (const util::PollerEvent &ev : events) {
+            if (ev.fd == wake_.fd())
+                continue;
+            if (ev.fd == listen_fd_ && !listener_closed_) {
+                if (ev.readable)
+                    acceptReady();
+                continue;
+            }
+            const auto it = by_fd_.find(ev.fd);
+            if (it == by_fd_.end())
+                continue; // closed earlier in this batch
+            const std::uint64_t conn_id = it->second;
+            if (ev.error) {
+                countMetric("serve.errors");
+                closeConnection(conn_id, false);
+                continue;
+            }
+            if (ev.writable) {
+                Connection *conn = findConnection(conn_id);
+                if (conn != nullptr && !flushWrites(*conn)) {
+                    closeConnection(conn_id, false);
+                    continue;
+                }
+            }
+            if (ev.readable) {
+                Connection *conn = findConnection(conn_id);
+                if (conn != nullptr && conn->readOpen)
+                    readInput(*conn);
+            }
+        }
+
+        reapDeadlined();
+    }
+
+    // Drain any completions posted while the last connections closed
+    // (their shared_ptrs release sessions here, on the loop thread).
+    processCompletions();
+
+    if (!listener_closed_ && listen_fd_ >= 0) {
+        poller_->remove(listen_fd_);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    loop_done_ = true;
+    drained_.notify_all();
+}
+
+void
+StreamServer::beginStopDrain()
+{
+    drain_begun_ = true;
+    if (!listener_closed_ && listen_fd_ >= 0) {
+        poller_->remove(listen_fd_);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        listener_closed_ = true;
+    }
+    // Snapshot ids: closing mutates connections_.
+    std::vector<std::uint64_t> ids;
+    ids.reserve(connections_.size());
+    for (const auto &[id, conn] : connections_)
+        ids.push_back(id);
+    for (const std::uint64_t id : ids) {
+        Connection *conn = findConnection(id);
+        if (conn == nullptr)
+            continue;
+        startDrain(*conn);
+    }
+}
+
+int
+StreamServer::computeTimeoutMs() const
+{
+    Clock::time_point deadline = Clock::time_point::max();
+    if (accept_paused_)
+        deadline = std::min(deadline, accept_resume_at_);
+    for (const auto &[id, conn] : connections_) {
+        if (options_.readTimeoutMs > 0 && conn->tasksInFlight == 0 &&
+            conn->writeBytes == 0)
+            deadline = std::min(
+                deadline, conn->lastActivity +
+                              std::chrono::milliseconds(
+                                  options_.readTimeoutMs));
+        if (options_.writeTimeoutMs > 0 && conn->writeStalled)
+            deadline = std::min(
+                deadline, conn->writeStallSince +
+                              std::chrono::milliseconds(
+                                  options_.writeTimeoutMs));
+    }
+    if (deadline == Clock::time_point::max())
+        return -1;
+    const auto delta =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now())
+            .count();
+    // +1 rounds up so a deadline is past, not re-polled, on wakeup.
+    return delta <= 0 ? 0 : static_cast<int>(delta) + 1;
+}
+
+void
+StreamServer::reapDeadlined()
+{
+    const Clock::time_point now = Clock::now();
+    std::vector<std::uint64_t> victims;
+    for (const auto &[id, conn] : connections_) {
+        if (conn->draining)
+            continue;
+        if (options_.readTimeoutMs > 0 && conn->tasksInFlight == 0 &&
+            conn->writeBytes == 0 &&
+            now - conn->lastActivity >=
+                std::chrono::milliseconds(options_.readTimeoutMs))
+            victims.push_back(id);
+        else if (options_.writeTimeoutMs > 0 && conn->writeStalled &&
+                 now - conn->writeStallSince >=
+                     std::chrono::milliseconds(options_.writeTimeoutMs))
+            victims.push_back(id);
+    }
+    for (const std::uint64_t id : victims)
+        closeConnection(id, true);
+}
+
+// ---------------------------------------------------------------------
+// Accept path
+// ---------------------------------------------------------------------
+
+void
+StreamServer::acceptReady()
+{
+    for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+            const int err = errno;
+            if (err == EAGAIN || err == EWOULDBLOCK)
+                return; // drained the backlog
+            accept_errors_.fetch_add(1, std::memory_order_relaxed);
+            countMetric("serve.accept_errors");
+            if (classifyAcceptError(err) == AcceptAction::Backoff) {
+                pauseAccepting();
+                return;
+            }
+            continue; // ECONNABORTED and friends: skip this one
+        }
+        accept_backoff_ms_ = 0;
+
+        if (!util::setNonBlocking(fd) || !util::setCloseOnExec(fd)) {
+            sockopt_errors_.fetch_add(1, std::memory_order_relaxed);
+            countMetric("serve.sockopt_errors");
+            ::close(fd);
+            continue;
+        }
+        const int one = 1;
+        if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one,
+                         sizeof(one)) != 0) {
+            // Harmless (latency only); counted, not fatal.
+            sockopt_errors_.fetch_add(1, std::memory_order_relaxed);
+            countMetric("serve.sockopt_errors");
+        }
+
+        auto conn = std::make_unique<Connection>(options_.maxFrameBytes);
+        conn->id = next_conn_id_++;
+        conn->fd = fd;
+        conn->lastActivity = Clock::now();
+        if (!poller_->add(fd, true, false)) {
+            ::close(fd);
+            continue;
+        }
+        by_fd_[fd] = conn->id;
+        connections_[conn->id] = std::move(conn);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++accepted_;
+            ++active_;
+        }
+        countMetric("serve.connections");
+        gaugeMetric("serve.connections_active", 1);
+    }
+}
+
+void
+StreamServer::pauseAccepting()
+{
+    if (accept_paused_ || listener_closed_)
+        return;
+    accept_backoff_ms_ = accept_backoff_ms_ == 0
+                             ? std::max(1, options_.acceptBackoffMs)
+                             : std::min(accept_backoff_ms_ * 2, 1000);
+    accept_resume_at_ =
+        Clock::now() + std::chrono::milliseconds(accept_backoff_ms_);
+    poller_->remove(listen_fd_);
+    accept_paused_ = true;
+}
+
+void
+StreamServer::resumeAcceptingIfDue()
+{
+    if (!accept_paused_ || listener_closed_)
+        return;
+    if (Clock::now() < accept_resume_at_)
+        return;
+    accept_paused_ = false;
+    poller_->add(listen_fd_, true, false);
+    acceptReady(); // the backlog may be waiting already
+}
+
+// ---------------------------------------------------------------------
+// Connection I/O
+// ---------------------------------------------------------------------
+
+StreamServer::Connection *
+StreamServer::findConnection(std::uint64_t conn_id)
+{
+    const auto it = connections_.find(conn_id);
+    return it == connections_.end() ? nullptr : it->second.get();
+}
+
+void
+StreamServer::updateInterest(Connection &conn)
+{
+    const bool want_write = conn.writeBytes > 0;
+    const bool want_read = conn.readOpen;
+    if (want_write == conn.wantWrite && want_read)
+        return; // common case: read-only interest, unchanged
+    conn.wantWrite = want_write;
+    poller_->modify(conn.fd, want_read, want_write);
+}
+
+void
+StreamServer::enqueueFrame(Connection &conn,
+                           std::vector<std::uint8_t> frame)
+{
+    conn.writeBytes += frame.size();
+    conn.writeQueue.push_back(std::move(frame));
+    countMetric("serve.frames_out");
+    if (!flushWrites(conn))
+        closeConnection(conn.id, false);
+}
+
+bool
+StreamServer::flushWrites(Connection &conn)
+{
+    while (!conn.writeQueue.empty()) {
+        const std::vector<std::uint8_t> &front =
+            conn.writeQueue.front();
+        const std::size_t pending = front.size() - conn.writeOffset;
+        // MSG_NOSIGNAL: a peer that vanished mid-write must surface
+        // as EPIPE, not kill the process with SIGPIPE.
+        const ssize_t n =
+            ::send(conn.fd, front.data() + conn.writeOffset, pending,
+                   MSG_NOSIGNAL);
+        if (n > 0) {
+            conn.writeOffset += static_cast<std::size_t>(n);
+            conn.writeBytes -= static_cast<std::size_t>(n);
+            if (conn.writeOffset == front.size()) {
+                conn.writeQueue.pop_front();
+                conn.writeOffset = 0;
+            }
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (!conn.writeStalled) {
+                conn.writeStalled = true;
+                conn.writeStallSince = Clock::now();
+                countMetric("serve.write_stalls");
+            }
+            updateInterest(conn);
+            return true;
+        }
+        countMetric("serve.errors");
+        return false; // fatal socket error
+    }
+    conn.writeStalled = false;
+    updateInterest(conn);
+    if (conn.draining)
+        maybeFinishDrain(conn);
+    else
+        schedulePulls(conn); // buffer drained; backpressure may lift
+    return true;
+}
+
+void
+StreamServer::readInput(Connection &conn)
+{
+    std::uint8_t buf[64 * 1024];
+    for (;;) {
+        const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+        if (n > 0) {
+            conn.lastActivity = Clock::now();
+            conn.parser.append(buf, static_cast<std::size_t>(n));
+            Frame frame;
+            for (;;) {
+                const FrameParser::Next verdict =
+                    conn.parser.next(frame);
+                if (verdict == FrameParser::Next::NeedMore)
+                    break;
+                if (verdict == FrameParser::Next::TooLarge) {
+                    sendConnError(
+                        conn, ErrorCode::BadFrame,
+                        "frame exceeds " +
+                            std::to_string(options_.maxFrameBytes) +
+                            " bytes");
+                    startDrain(conn);
+                    return;
+                }
+                if (verdict == FrameParser::Next::Malformed) {
+                    countMetric("serve.errors");
+                    closeConnection(conn.id, false);
+                    return;
+                }
+                countMetric("serve.frames_in");
+                if (!dispatchFrame(conn, frame)) {
+                    startDrain(conn);
+                    return;
+                }
+            }
+            if (static_cast<std::size_t>(n) < sizeof(buf))
+                return; // likely drained; wait for the next event
+            continue;
+        }
+        if (n == 0) {
+            // EOF. Mid-frame truncation is an error; either way stop
+            // reading and wind the connection down once in-flight
+            // work has flushed.
+            if (conn.parser.buffered() > 0)
+                countMetric("serve.errors");
+            startDrain(conn);
+            return;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return;
+        countMetric("serve.errors");
+        closeConnection(conn.id, false);
+        return;
+    }
+}
+
+void
+StreamServer::startDrain(Connection &conn)
+{
+    if (conn.draining)
+        return;
+    conn.draining = true;
+    conn.readOpen = false;
+    // Queued-but-unscheduled pulls die with the drain; in-flight
+    // tasks finish and their frames are flushed.
+    conn.ready.clear();
+    for (auto &[id, channel] : conn.channels)
+        channel->pulls.clear();
+    updateInterest(conn);
+    maybeFinishDrain(conn);
+}
+
+void
+StreamServer::maybeFinishDrain(Connection &conn)
+{
+    if (!conn.draining || conn.tasksInFlight > 0 ||
+        conn.writeBytes > 0)
+        return;
+    closeConnection(conn.id, false);
+}
+
+void
+StreamServer::closeConnection(std::uint64_t conn_id, bool timed_out)
+{
+    const auto it = connections_.find(conn_id);
+    if (it == connections_.end())
+        return;
+    Connection &conn = *it->second;
+    if (timed_out)
+        countMetric("serve.timeouts");
+    poller_->remove(conn.fd);
+    by_fd_.erase(conn.fd);
+    ::close(conn.fd);
+    // Sessions close via their destructors unless a pool task still
+    // holds the shared state — then the completion path drops the
+    // last reference (still on this thread).
+    connections_.erase(it);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --active_;
+        ++completed_;
+    }
+    gaugeMetric("serve.connections_active", -1);
+    drained_.notify_all();
+}
+
+// ---------------------------------------------------------------------
+// Frame dispatch and scheduling
+// ---------------------------------------------------------------------
+
+void
+StreamServer::sendConnError(Connection &conn, ErrorCode code,
+                            const std::string &message)
+{
+    countMetric("serve.errors");
+    enqueueFrame(conn, packErrorFrame(code, message));
+}
+
+void
+StreamServer::sendChannelError(Connection &conn, std::uint64_t channel,
+                               ErrorCode code,
+                               const std::string &message)
+{
+    countMetric("serve.errors");
+    if (conn.version >= 2)
+        enqueueFrame(conn,
+                     packChannelErrorFrame(channel, code, message));
+    else
+        enqueueFrame(conn, packErrorFrame(code, message));
+}
+
+bool
+StreamServer::dispatchFrame(Connection &conn, const Frame &frame)
+{
+    util::ByteReader r(frame.body.data(), frame.body.size());
+
+    if (conn.version == 0) {
+        HelloBody hello;
+        if (frame.type != MsgType::Hello || !hello.decode(r)) {
+            sendConnError(conn, ErrorCode::BadFrame,
+                          "expected Hello as the first frame");
+            return false;
+        }
+        if (hello.magic != kMagic ||
+            hello.version < kVersionLegacy ||
+            hello.version > kVersion) {
+            sendConnError(conn, ErrorCode::BadVersion,
+                          "unsupported protocol magic/version");
+            return false;
+        }
+        conn.version = hello.version;
+        if (conn.version == kVersionLegacy) {
+            enqueueFrame(conn, packFrame(MsgType::HelloOk, {}));
+        } else {
+            HelloOkBody ok;
+            ok.version = conn.version;
+            util::ByteWriter w;
+            ok.encode(w);
+            enqueueFrame(conn, packFrame(MsgType::HelloOk, w.bytes()));
+        }
+        return true;
+    }
+
+    switch (frame.type) {
+    case MsgType::OpenProfile: {
+        OpenProfileBody body;
+        if (!body.decode(r)) {
+            sendConnError(conn, ErrorCode::BadFrame,
+                          "bad OpenProfile body");
+            return false;
+        }
+        const std::uint64_t channel = conn.nextChannel++;
+        startOpen(conn, channel, std::move(body.id), body.seed);
+        return true;
+    }
+    case MsgType::OpenChannel: {
+        if (conn.version < 2) {
+            sendConnError(conn, ErrorCode::BadFrame,
+                          "OpenChannel requires protocol v2");
+            return false;
+        }
+        OpenChannelBody body;
+        if (!body.decode(r)) {
+            sendConnError(conn, ErrorCode::BadFrame,
+                          "bad OpenChannel body");
+            return false;
+        }
+        if (body.channel == 0 ||
+            conn.channels.count(body.channel) != 0) {
+            sendChannelError(conn, body.channel, ErrorCode::BadFrame,
+                             "channel id 0 or already open");
+            return true;
+        }
+        // Keep server-assigned v1 ids clear of client-chosen ones.
+        conn.nextChannel =
+            std::max(conn.nextChannel, body.channel + 1);
+        startOpen(conn, body.channel, std::move(body.id), body.seed);
+        return true;
+    }
+    case MsgType::SynthChunk: {
+        SynthChunkBody body;
+        if (!body.decode(r)) {
+            sendConnError(conn, ErrorCode::BadFrame,
+                          "bad SynthChunk body");
+            return false;
+        }
+        const auto it = conn.channels.find(body.session);
+        if (it == conn.channels.end()) {
+            sendChannelError(conn, body.session,
+                             ErrorCode::UnknownSession,
+                             "no session " +
+                                 std::to_string(body.session));
+            return true;
+        }
+        std::uint64_t max = options_.maxChunkRequests;
+        if (body.maxRequests != 0 && body.maxRequests < max)
+            max = body.maxRequests;
+        ChannelState &channel = *it->second;
+        channel.pulls.push_back(max);
+        if (!channel.busy && !channel.queued) {
+            channel.queued = true;
+            conn.ready.push_back(channel.id);
+        }
+        schedulePulls(conn);
+        return true;
+    }
+    case MsgType::Stat: {
+        StatBody body;
+        if (!body.decode(r)) {
+            sendConnError(conn, ErrorCode::BadFrame, "bad Stat body");
+            return false;
+        }
+        const auto it = conn.channels.find(body.session);
+        if (it == conn.channels.end() ||
+            it->second->session == nullptr) {
+            sendChannelError(conn, body.session,
+                             ErrorCode::UnknownSession,
+                             "no session " +
+                                 std::to_string(body.session));
+            return true;
+        }
+        StatsBody stats;
+        stats.session = body.session;
+        stats.emitted = it->second->session->emitted();
+        stats.total = it->second->session->total();
+        stats.buffered = it->second->session->buffered();
+        util::ByteWriter w;
+        stats.encode(w);
+        enqueueFrame(conn, packFrame(MsgType::Stats, w.bytes()));
+        return true;
+    }
+    case MsgType::Close: {
+        CloseBody body;
+        if (!body.decode(r)) {
+            sendConnError(conn, ErrorCode::BadFrame, "bad Close body");
+            return false;
+        }
+        const auto it = conn.channels.find(body.session);
+        if (it == conn.channels.end()) {
+            sendChannelError(conn, body.session,
+                             ErrorCode::UnknownSession,
+                             "no session " +
+                                 std::to_string(body.session));
+            return true;
+        }
+        const std::shared_ptr<ChannelState> channel = it->second;
+        if (channel->busy) {
+            // Defer: the in-flight task's completion finishes the
+            // close. Queued pulls are cancelled now.
+            channel->closeRequested = true;
+            channel->pulls.clear();
+            return true;
+        }
+        finishClose(conn, body.session, channel);
+        return true;
+    }
+    default:
+        sendConnError(conn, ErrorCode::BadFrame,
+                      "unknown frame type " +
+                          std::to_string(
+                              static_cast<unsigned>(frame.type)));
+        return false;
+    }
+}
+
+void
+StreamServer::finishClose(Connection &conn, std::uint64_t channel,
+                          const std::shared_ptr<ChannelState> &state)
+{
+    ClosedBody closed;
+    closed.session = channel;
+    closed.emitted =
+        state->session != nullptr ? state->session->emitted() : 0;
+    if (state->session != nullptr)
+        state->session->close();
+    conn.channels.erase(channel);
+    util::ByteWriter w;
+    closed.encode(w);
+    enqueueFrame(conn, packFrame(MsgType::Closed, w.bytes()));
+}
+
+void
+StreamServer::startOpen(Connection &conn, std::uint64_t channel,
+                        std::string id, std::uint64_t seed)
+{
+    auto state = std::make_shared<ChannelState>();
+    state->id = channel;
+    state->busy = true; // the open task is in flight
+    conn.channels[channel] = state;
+    ++conn.tasksInFlight;
+    ++tasks_in_flight_;
+
+    const std::uint64_t conn_id = conn.id;
+    const std::uint32_t version = conn.version;
+    ProfileStore *store = store_;
+    const std::size_t session_buffer = options_.sessionBuffer;
+    pool().submit([this, conn_id, channel, state, version, store,
+                   session_buffer, id = std::move(id), seed] {
+        Completion completion;
+        completion.conn = conn_id;
+        completion.channel = channel;
+        completion.state = state;
+        std::string error;
+        auto stored = store->get(id, &error);
+        if (stored == nullptr) {
+            completion.openFailed = true;
+            completion.frame =
+                version >= 2
+                    ? packChannelErrorFrame(
+                          channel, ErrorCode::UnknownProfile, error)
+                    : packErrorFrame(ErrorCode::UnknownProfile, error);
+        } else {
+            SessionOptions session_options;
+            session_options.seed = seed;
+            session_options.bufferCapacity = session_buffer;
+            state->session = std::make_unique<SynthesisSession>(
+                std::move(stored), session_options);
+            OpenedBody opened;
+            opened.session = channel;
+            opened.name = state->session->profile().profile.name;
+            opened.device = state->session->profile().profile.device;
+            opened.leaves =
+                state->session->profile().profile.leaves.size();
+            opened.total = state->session->total();
+            util::ByteWriter w;
+            opened.encode(w);
+            completion.frame =
+                packFrame(version >= 2 ? MsgType::ChannelOpened
+                                       : MsgType::Opened,
+                          w.bytes());
+        }
+        postCompletion(std::move(completion));
+    });
+}
+
+void
+StreamServer::schedulePulls(Connection &conn)
+{
+    if (conn.draining)
+        return;
+    while (conn.tasksInFlight < options_.maxTasksPerConnection &&
+           conn.writeBytes < options_.maxWriteBufferBytes &&
+           !conn.ready.empty()) {
+        const std::uint64_t channel_id = conn.ready.front();
+        conn.ready.pop_front();
+        const auto it = conn.channels.find(channel_id);
+        if (it == conn.channels.end())
+            continue;
+        const std::shared_ptr<ChannelState> state = it->second;
+        state->queued = false;
+        if (state->busy || state->pulls.empty() ||
+            state->session == nullptr)
+            continue;
+        const std::uint64_t max_requests = state->pulls.front();
+        state->pulls.pop_front();
+        state->busy = true;
+        ++conn.tasksInFlight;
+        ++tasks_in_flight_;
+
+        const std::uint64_t conn_id = conn.id;
+        pool().submit([this, conn_id, channel_id, state,
+                       max_requests] {
+            const std::size_t max =
+                static_cast<std::size_t>(max_requests);
+            Completion completion;
+            completion.conn = conn_id;
+            completion.channel = channel_id;
+            completion.state = state;
+            ChunkBody chunk;
+            chunk.session = channel_id;
+            chunk.firstSeq = state->session->emitted();
+            std::vector<mem::Request> records;
+            records.reserve(max);
+            chunk.count = state->session->next(records, max);
+            chunk.done = state->session->done();
+            util::ByteWriter w;
+            chunk.encode(w, records.data(), state->codec);
+            completion.frame = packFrame(MsgType::Chunk, w.bytes());
+            postCompletion(std::move(completion));
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Completion queue
+// ---------------------------------------------------------------------
+
+void
+StreamServer::postCompletion(Completion &&completion)
+{
+    {
+        std::lock_guard<std::mutex> lock(completions_mutex_);
+        completions_.push_back(std::move(completion));
+    }
+    wake_.notify();
+}
+
+void
+StreamServer::processCompletions()
+{
+    std::vector<Completion> batch;
+    {
+        std::lock_guard<std::mutex> lock(completions_mutex_);
+        batch.swap(completions_);
+    }
+    for (Completion &completion : batch)
+        handleCompletion(std::move(completion));
+}
+
+void
+StreamServer::handleCompletion(Completion &&completion)
+{
+    --tasks_in_flight_;
+    Connection *conn = findConnection(completion.conn);
+    if (conn == nullptr)
+        return; // connection died; the shared state dies with us
+    --conn->tasksInFlight;
+    conn->lastActivity = Clock::now();
+
+    const std::shared_ptr<ChannelState> state = completion.state;
+    state->busy = false;
+    enqueueFrame(*conn, std::move(completion.frame));
+    // enqueueFrame can close the connection on a fatal write error.
+    conn = findConnection(completion.conn);
+    if (conn == nullptr)
+        return;
+
+    if (completion.openFailed) {
+        conn->channels.erase(completion.channel);
+    } else if (state->closeRequested) {
+        finishClose(*conn, completion.channel, state);
+        conn = findConnection(completion.conn);
+        if (conn == nullptr)
+            return;
+    } else if (!state->pulls.empty() && !state->queued) {
+        state->queued = true;
+        conn->ready.push_back(completion.channel);
+    }
+
+    if (conn->draining)
+        maybeFinishDrain(*conn);
+    else
+        schedulePulls(*conn);
 }
 
 } // namespace mocktails::serve

@@ -1,31 +1,55 @@
 /**
  * @file
- * A blocking-socket TCP server that streams synthetic traces.
+ * An event-driven TCP server that streams synthetic traces.
  *
- * Deliberately poll/epoll-free and portable: one listener thread
- * accepts connections and hands each one to the shared PR-1 thread
- * pool; a connection handler is a plain blocking read-dispatch-write
- * loop speaking the length-prefixed protocol of protocol.hpp. Socket
- * receive/send timeouts (SO_RCVTIMEO/SO_SNDTIMEO) bound every
- * blocking call, which is what reaps idle connections and keeps
- * shutdown prompt without a readiness API.
+ * One event-loop thread owns every socket through a util::Poller
+ * (poll(2)/epoll behind one interface): a non-blocking listener, a
+ * wake pipe, and per-connection read/write buffer state machines
+ * speaking the length-prefixed protocol of protocol.hpp. No
+ * connection ever pins a thread-pool worker — the PR 5 design held
+ * one pool worker per live connection, so pool_size idle clients
+ * starved synthesis and validation work on the shared pool.
  *
- * Graceful shutdown: stop() closes the listener, shuts down the read
- * side of every live connection (the handler finishes the command in
- * flight — draining its sessions' current chunk — then observes EOF
- * and exits) and blocks until the last handler has drained.
+ * CPU-heavy work (profile open, chunk synthesis) runs as *bounded*
+ * pool tasks: at most one task per channel and maxTasksPerConnection
+ * per connection in flight, results posted back to the loop through a
+ * completion queue and flushed when the socket is writable. The
+ * per-connection write buffer is capped (maxWriteBufferBytes); a
+ * connection at the cap schedules no further synthesis until the peer
+ * drains, and within a connection pulls are scheduled round-robin
+ * across channels so one busy channel cannot monopolize the pool
+ * slots (v2 multiplexing, see protocol.hpp).
+ *
+ * Robust accept loop: transient resource exhaustion (EMFILE / ENFILE
+ * / ENOBUFS / ENOMEM) pauses accepting with exponential backoff and
+ * retries; aborted handshakes (ECONNABORTED and friends) are skipped;
+ * the loop exits only when stop() asked it to. Every socket is
+ * close-on-exec so fds never leak into subprocesses.
+ *
+ * Idle connections are reaped when silent longer than readTimeoutMs
+ * with nothing in flight; a peer that stops draining its socket is
+ * dropped after writeTimeoutMs of write stall.
+ *
+ * Graceful shutdown: stop() wakes the loop, which stops accepting,
+ * stops reading commands, lets in-flight pool tasks finish, flushes
+ * their frames, closes every connection and joins.
  *
  * Telemetry: "serve.connections" / "serve.frames_in" /
- * "serve.frames_out" / "serve.errors" / "serve.timeouts" counters,
- * "serve.connections_active" gauge, plus the session and store
- * metrics of session.hpp / profile_store.hpp.
+ * "serve.frames_out" / "serve.errors" / "serve.timeouts" /
+ * "serve.accept_errors" / "serve.sockopt_errors" /
+ * "serve.write_stalls" counters, "serve.connections_active" gauge,
+ * plus the session and store metrics of session.hpp /
+ * profile_store.hpp.
  */
 
 #ifndef MOCKTAILS_SERVE_SERVER_HPP
 #define MOCKTAILS_SERVE_SERVER_HPP
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -36,6 +60,12 @@
 #include "serve/profile_store.hpp"
 #include "serve/protocol.hpp"
 #include "serve/session.hpp"
+#include "util/poller.hpp"
+
+namespace mocktails::util
+{
+class ThreadPool;
+} // namespace mocktails::util
 
 namespace mocktails::serve
 {
@@ -49,12 +79,13 @@ struct ServerOptions
     std::string bindAddress = "127.0.0.1";
 
     /**
-     * Receive timeout per blocking read, ms. A connection that stays
-     * silent longer is reaped. 0 = no timeout (not recommended).
+     * Idle-reap deadline, ms: a connection silent longer than this
+     * with no work in flight is closed. 0 = never reap.
      */
     int readTimeoutMs = 30000;
 
-    /** Send timeout, ms (a peer that stops draining is dropped). */
+    /** Write-stall deadline, ms (a peer that stops draining is
+     * dropped). 0 = never. */
     int writeTimeoutMs = 30000;
 
     /** Inbound frame limit; commands are tiny (see protocol.hpp). */
@@ -67,8 +98,44 @@ struct ServerOptions
     std::size_t sessionBuffer = 0;
 
     /** Listen backlog. */
-    int backlog = 16;
+    int backlog = 128;
+
+    /**
+     * Shared per-connection cap on buffered outbound bytes. A
+     * connection at the cap stops scheduling synthesis tasks until
+     * the peer drains; this is the only way one connection's slow
+     * reader can stall its own channels (never anybody else's).
+     */
+    std::size_t maxWriteBufferBytes = 4u << 20;
+
+    /** Pool tasks in flight per connection (>= 1). */
+    unsigned maxTasksPerConnection = 4;
+
+    /** Initial accept backoff on resource exhaustion, ms (doubles up
+     * to ~1 s until an accept succeeds). */
+    int acceptBackoffMs = 50;
+
+    /** Pool for synthesis tasks; nullptr = util::ThreadPool::global().
+     *  Must outlive the server. */
+    util::ThreadPool *pool = nullptr;
+
+    /** Readiness backend (tests sweep poll vs epoll). */
+    util::Poller::Backend pollerBackend = util::Poller::Backend::Auto;
 };
+
+/** What the accept loop does about a failed accept(2). */
+enum class AcceptAction {
+    Skip,    ///< per-connection failure; try the next one immediately
+    Backoff, ///< resource exhaustion; pause accepting, then retry
+};
+
+/**
+ * Classify an accept(2) errno. Transient per-connection failures
+ * (ECONNABORTED, EPROTO, EINTR, EAGAIN) are skipped; fd/memory
+ * exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) — and anything unknown —
+ * backs off and retries. Nothing short of stop() kills the listener.
+ */
+AcceptAction classifyAcceptError(int error);
 
 class StreamServer
 {
@@ -83,7 +150,7 @@ class StreamServer
     StreamServer &operator=(const StreamServer &) = delete;
 
     /**
-     * Bind, listen and start accepting.
+     * Bind, listen and start the event loop.
      * @return false with @p error set when the socket setup fails.
      */
     bool start(std::string *error = nullptr);
@@ -92,15 +159,15 @@ class StreamServer
     std::uint16_t port() const { return port_; }
 
     /**
-     * Graceful shutdown: stop accepting, let in-flight commands
-     * finish, drain and join every handler. Idempotent. Must not be
-     * called from a connection handler.
+     * Graceful shutdown: stop accepting, let in-flight pool tasks
+     * finish, flush and close every connection, join the loop.
+     * Idempotent. Must not be called from the event loop.
      */
     void stop();
 
     /**
-     * Block until @p connections connections have completed and no
-     * handler is active (used by `profile_tool serve --once N`).
+     * Block until @p connections connections have completed and none
+     * is active (used by `profile_tool serve --once N`).
      */
     void waitForConnections(std::uint64_t connections);
 
@@ -109,33 +176,94 @@ class StreamServer
     std::uint64_t connectionsAccepted() const;
     std::uint64_t connectionsCompleted() const;
     unsigned connectionsActive() const;
+    /** Failed accept(2) calls survived (satellite: the PR 5 listener
+     *  died on the first one). */
+    std::uint64_t acceptErrors() const { return accept_errors_; }
+    /** setsockopt/fcntl failures on accepted sockets. */
+    std::uint64_t sockoptErrors() const { return sockopt_errors_; }
     /// @}
 
   private:
-    void listenLoop(int listen_fd);
-    void handleConnection(int fd);
+    struct ChannelState;
+    struct Connection;
+    struct Completion;
 
-    /** Dispatch one decoded frame. @return false to end the loop. */
-    bool dispatchFrame(int fd, const Frame &frame,
-                       struct ConnectionState &conn);
+    void eventLoop();
 
-    bool sendError(int fd, ErrorCode code, const std::string &message);
+    // Accept path.
+    void acceptReady();
+    void pauseAccepting();
+    void resumeAcceptingIfDue();
+
+    // Connection I/O state machines (loop thread only).
+    void readInput(Connection &conn);
+    bool flushWrites(Connection &conn);
+    void enqueueFrame(Connection &conn, std::vector<std::uint8_t> frame);
+    void updateInterest(Connection &conn);
+    void startDrain(Connection &conn);
+    void closeConnection(std::uint64_t conn_id, bool timed_out);
+    void maybeFinishDrain(Connection &conn);
+
+    // Frame dispatch and scheduling (loop thread only).
+    bool dispatchFrame(Connection &conn, const Frame &frame);
+    void startOpen(Connection &conn, std::uint64_t channel,
+                   std::string id, std::uint64_t seed);
+    void schedulePulls(Connection &conn);
+    void finishClose(Connection &conn, std::uint64_t channel,
+                     const std::shared_ptr<ChannelState> &state);
+    void sendConnError(Connection &conn, ErrorCode code,
+                       const std::string &message);
+    void sendChannelError(Connection &conn, std::uint64_t channel,
+                          ErrorCode code, const std::string &message);
+
+    // Completion queue (pool threads post, loop consumes).
+    void postCompletion(Completion &&completion);
+    void processCompletions();
+    void handleCompletion(Completion &&completion);
+
+    int computeTimeoutMs() const;
+    void reapDeadlined();
+    void beginStopDrain();
+
+    Connection *findConnection(std::uint64_t conn_id);
+    util::ThreadPool &pool();
 
     ProfileStore *store_;
     ServerOptions options_;
 
     int listen_fd_ = -1;
     std::uint16_t port_ = 0;
-    std::thread listener_;
+    std::thread loop_;
 
+    // Loop-private state (only the event-loop thread touches these
+    // after start()).
+    std::unique_ptr<util::Poller> poller_;
+    util::WakePipe wake_;
+    std::map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+    std::map<int, std::uint64_t> by_fd_;
+    std::uint64_t next_conn_id_ = 1;
+    unsigned tasks_in_flight_ = 0;
+    bool accept_paused_ = false;
+    bool listener_closed_ = false;
+    bool drain_begun_ = false;
+    std::chrono::steady_clock::time_point accept_resume_at_{};
+    int accept_backoff_ms_ = 0;
+
+    // Completion queue.
+    std::mutex completions_mutex_;
+    std::vector<Completion> completions_;
+
+    // Shared control/introspection state.
     mutable std::mutex mutex_;
     std::condition_variable drained_;
-    bool stopping_ = false;
+    bool stop_requested_ = false;
     bool started_ = false;
-    std::vector<int> live_fds_;
+    bool loop_done_ = false;
     unsigned active_ = 0;
     std::uint64_t accepted_ = 0;
     std::uint64_t completed_ = 0;
+    std::atomic<std::uint64_t> accept_errors_{0};
+    std::atomic<std::uint64_t> sockopt_errors_{0};
 };
 
 } // namespace mocktails::serve

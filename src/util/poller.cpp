@@ -1,0 +1,304 @@
+#include "util/poller.hpp"
+
+#include <cerrno>
+#include <cstdint>
+#include <map>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+namespace mocktails::util
+{
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool
+setCloseOnExec(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFD, 0);
+    if (flags < 0)
+        return false;
+    return ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) == 0;
+}
+
+struct Poller::Impl
+{
+    virtual ~Impl() = default;
+    virtual bool valid() const = 0;
+    virtual const char *name() const = 0;
+    virtual bool add(int fd, bool read, bool write) = 0;
+    virtual bool modify(int fd, bool read, bool write) = 0;
+    virtual bool remove(int fd) = 0;
+    virtual int wait(std::vector<PollerEvent> &out, int timeout_ms) = 0;
+};
+
+namespace
+{
+
+/** The portable backend: an interest map rebuilt into a pollfd set. */
+struct PollImpl final : Poller::Impl
+{
+    std::map<int, short> interest;
+    std::vector<struct pollfd> set;
+
+    bool valid() const override { return true; }
+    const char *name() const override { return "poll"; }
+
+    static short
+    events(bool read, bool write)
+    {
+        short e = 0;
+        if (read)
+            e |= POLLIN;
+        if (write)
+            e |= POLLOUT;
+        return e;
+    }
+
+    bool
+    add(int fd, bool read, bool write) override
+    {
+        return interest.emplace(fd, events(read, write)).second;
+    }
+
+    bool
+    modify(int fd, bool read, bool write) override
+    {
+        const auto it = interest.find(fd);
+        if (it == interest.end())
+            return false;
+        it->second = events(read, write);
+        return true;
+    }
+
+    bool
+    remove(int fd) override
+    {
+        return interest.erase(fd) == 1;
+    }
+
+    int
+    wait(std::vector<PollerEvent> &out, int timeout_ms) override
+    {
+        out.clear();
+        set.clear();
+        set.reserve(interest.size());
+        for (const auto &[fd, ev] : interest)
+            set.push_back({fd, ev, 0});
+        const int n =
+            ::poll(set.data(), static_cast<nfds_t>(set.size()),
+                   timeout_ms);
+        if (n <= 0)
+            return 0; // timeout, or EINTR (caller just re-loops)
+        for (const struct pollfd &p : set) {
+            if (p.revents == 0)
+                continue;
+            PollerEvent ev;
+            ev.fd = p.fd;
+            ev.readable = (p.revents & POLLIN) != 0;
+            ev.writable = (p.revents & POLLOUT) != 0;
+            ev.error =
+                (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+            out.push_back(ev);
+        }
+        return static_cast<int>(out.size());
+    }
+};
+
+#ifdef __linux__
+
+struct EpollImpl final : Poller::Impl
+{
+    int epfd = -1;
+    std::vector<struct epoll_event> ready;
+
+    EpollImpl() : epfd(::epoll_create1(EPOLL_CLOEXEC)) {}
+
+    ~EpollImpl() override
+    {
+        if (epfd >= 0)
+            ::close(epfd);
+    }
+
+    bool valid() const override { return epfd >= 0; }
+    const char *name() const override { return "epoll"; }
+
+    static std::uint32_t
+    events(bool read, bool write)
+    {
+        std::uint32_t e = 0;
+        if (read)
+            e |= EPOLLIN;
+        if (write)
+            e |= EPOLLOUT;
+        return e;
+    }
+
+    bool
+    add(int fd, bool read, bool write) override
+    {
+        struct epoll_event ev = {};
+        ev.events = events(read, write);
+        ev.data.fd = fd;
+        return ::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev) == 0;
+    }
+
+    bool
+    modify(int fd, bool read, bool write) override
+    {
+        struct epoll_event ev = {};
+        ev.events = events(read, write);
+        ev.data.fd = fd;
+        return ::epoll_ctl(epfd, EPOLL_CTL_MOD, fd, &ev) == 0;
+    }
+
+    bool
+    remove(int fd) override
+    {
+        struct epoll_event ev = {};
+        return ::epoll_ctl(epfd, EPOLL_CTL_DEL, fd, &ev) == 0;
+    }
+
+    int
+    wait(std::vector<PollerEvent> &out, int timeout_ms) override
+    {
+        out.clear();
+        ready.resize(64);
+        const int n = ::epoll_wait(epfd, ready.data(),
+                                   static_cast<int>(ready.size()),
+                                   timeout_ms);
+        if (n <= 0)
+            return 0;
+        for (int i = 0; i < n; ++i) {
+            PollerEvent ev;
+            ev.fd = ready[static_cast<std::size_t>(i)].data.fd;
+            const std::uint32_t e =
+                ready[static_cast<std::size_t>(i)].events;
+            ev.readable = (e & EPOLLIN) != 0;
+            ev.writable = (e & EPOLLOUT) != 0;
+            ev.error = (e & (EPOLLERR | EPOLLHUP)) != 0;
+            out.push_back(ev);
+        }
+        return static_cast<int>(out.size());
+    }
+};
+
+#endif // __linux__
+
+} // namespace
+
+Poller::Poller(Backend backend)
+{
+#ifdef __linux__
+    if (backend == Backend::Auto || backend == Backend::Epoll) {
+        auto impl = std::make_unique<EpollImpl>();
+        if (impl->valid()) {
+            impl_ = std::move(impl);
+            return;
+        }
+        if (backend == Backend::Epoll)
+            return; // requested explicitly; report invalid
+    }
+#else
+    if (backend == Backend::Epoll)
+        return; // not available on this platform
+#endif
+    impl_ = std::make_unique<PollImpl>();
+}
+
+Poller::~Poller() = default;
+
+bool
+Poller::valid() const
+{
+    return impl_ != nullptr && impl_->valid();
+}
+
+const char *
+Poller::backendName() const
+{
+    return valid() ? impl_->name() : "none";
+}
+
+bool
+Poller::add(int fd, bool read, bool write)
+{
+    return valid() && impl_->add(fd, read, write);
+}
+
+bool
+Poller::modify(int fd, bool read, bool write)
+{
+    return valid() && impl_->modify(fd, read, write);
+}
+
+bool
+Poller::remove(int fd)
+{
+    return valid() && impl_->remove(fd);
+}
+
+int
+Poller::wait(std::vector<PollerEvent> &out, int timeout_ms)
+{
+    if (!valid()) {
+        out.clear();
+        return 0;
+    }
+    return impl_->wait(out, timeout_ms);
+}
+
+WakePipe::WakePipe()
+{
+    if (::pipe(fds_) != 0) {
+        fds_[0] = fds_[1] = -1;
+        return;
+    }
+    for (const int fd : fds_) {
+        setNonBlocking(fd);
+        setCloseOnExec(fd);
+    }
+}
+
+WakePipe::~WakePipe()
+{
+    for (const int fd : fds_) {
+        if (fd >= 0)
+            ::close(fd);
+    }
+}
+
+void
+WakePipe::notify()
+{
+    if (fds_[1] < 0)
+        return;
+    const std::uint8_t byte = 1;
+    // EAGAIN means the pipe already holds an undrained wakeup, which
+    // is exactly as good as another byte.
+    [[maybe_unused]] const ssize_t n = ::write(fds_[1], &byte, 1);
+}
+
+void
+WakePipe::drain()
+{
+    if (fds_[0] < 0)
+        return;
+    std::uint8_t buf[64];
+    while (::read(fds_[0], buf, sizeof(buf)) > 0) {
+    }
+}
+
+} // namespace mocktails::util

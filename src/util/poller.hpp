@@ -1,0 +1,121 @@
+/**
+ * @file
+ * A small portable readiness-notification wrapper.
+ *
+ * The serve frontend (src/serve/server.cpp) drives every connection
+ * from one event-loop thread; this is the poll(2)/epoll(7) shim it
+ * stands on. The interface is deliberately tiny — register a file
+ * descriptor for read/write interest, wait for events — and
+ * level-triggered on both backends, so callers never have to reason
+ * about edge-triggered re-arming.
+ *
+ * Backend selection is a runtime choice: epoll on Linux (O(ready)
+ * wakeups at thousands of connections), poll(2) everywhere and as the
+ * forced-portable path the tests sweep. A WakePipe (self-pipe) gives
+ * other threads a way to pop a blocked wait().
+ */
+
+#ifndef MOCKTAILS_UTIL_POLLER_HPP
+#define MOCKTAILS_UTIL_POLLER_HPP
+
+#include <memory>
+#include <vector>
+
+namespace mocktails::util
+{
+
+/** Set O_NONBLOCK on @p fd. @return false on fcntl failure. */
+bool setNonBlocking(int fd);
+
+/**
+ * Set FD_CLOEXEC on @p fd so the descriptor does not leak into
+ * subprocesses spawned by tests and tools. @return false on failure.
+ */
+bool setCloseOnExec(int fd);
+
+/** One readiness event reported by Poller::wait. */
+struct PollerEvent
+{
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /** Error/hangup condition (POLLERR/POLLHUP/POLLNVAL). */
+    bool error = false;
+};
+
+class Poller
+{
+  public:
+    enum class Backend {
+        Auto,  ///< epoll on Linux, poll(2) elsewhere
+        Poll,  ///< force the portable poll(2) backend
+        Epoll, ///< Linux only; construction fails elsewhere
+    };
+
+    explicit Poller(Backend backend = Backend::Auto);
+    ~Poller();
+
+    Poller(const Poller &) = delete;
+    Poller &operator=(const Poller &) = delete;
+
+    /** False when the backend could not be created. */
+    bool valid() const;
+
+    /** "poll" or "epoll" (diagnostics). */
+    const char *backendName() const;
+
+    /** Register @p fd with the given interest set. */
+    bool add(int fd, bool read, bool write);
+
+    /** Change the interest set of a registered @p fd. */
+    bool modify(int fd, bool read, bool write);
+
+    /** Deregister @p fd (before closing it). */
+    bool remove(int fd);
+
+    /**
+     * Block up to @p timeout_ms (-1 = forever, 0 = poll) and append
+     * ready events to @p out (cleared first).
+     * @return the number of events; 0 on timeout or EINTR.
+     */
+    int wait(std::vector<PollerEvent> &out, int timeout_ms);
+
+    /** Backend interface (public so poller.cpp can derive from it). */
+    struct Impl;
+
+  private:
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * A self-pipe for waking a Poller::wait from another thread: register
+ * fd() for read interest, notify() from anywhere, drain() on wakeup.
+ * Both ends are non-blocking and close-on-exec.
+ */
+class WakePipe
+{
+  public:
+    WakePipe();
+    ~WakePipe();
+
+    WakePipe(const WakePipe &) = delete;
+    WakePipe &operator=(const WakePipe &) = delete;
+
+    bool valid() const { return fds_[0] >= 0; }
+
+    /** The read end, to register with a Poller. */
+    int fd() const { return fds_[0]; }
+
+    /** Make the read end readable (idempotent while undrained). */
+    void notify();
+
+    /** Consume all pending wakeups. */
+    void drain();
+
+  private:
+    int fds_[2] = {-1, -1};
+};
+
+} // namespace mocktails::util
+
+#endif // MOCKTAILS_UTIL_POLLER_HPP

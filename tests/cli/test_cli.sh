@@ -4,7 +4,8 @@
 # Usage: test_cli.sh <profile_tool> <mode>
 #   unknown      unknown subcommand exits non-zero with usage on stderr
 #   serve-fetch  loopback fetch reproduces the same CSV bytes as a
-#                local synth + export of the same profile and seed
+#                local synth + export of the same profile and seed,
+#                over both the blocking and the --mux client path
 set -eu
 
 TOOL=$1
@@ -49,7 +50,7 @@ serve-fetch)
     "$TOOL" synth p.mkp local.mkt "$SEED" >/dev/null
     "$TOOL" export local.mkt local.csv >/dev/null
 
-    "$TOOL" serve p.mkp --port 0 --port-file port.txt --once 1 \
+    "$TOOL" serve p.mkp --port 0 --port-file port.txt --once 2 \
         >serve.log 2>&1 &
     SERVER=$!
 
@@ -69,15 +70,21 @@ serve-fetch)
 
     "$TOOL" fetch "127.0.0.1:$PORT" p.mkp remote.csv "$SEED" 100 \
         >/dev/null
+    "$TOOL" fetch "127.0.0.1:$PORT" p.mkp muxed.csv "$SEED" 100 \
+        --mux >/dev/null
 
-    # --once 1 makes the server exit on its own after our connection.
+    # --once 2 makes the server exit on its own after both fetches.
     wait "$SERVER"
 
     cmp local.csv remote.csv || {
         echo "FAIL: fetched CSV differs from local synth" >&2
         exit 1
     }
-    echo "PASS serve/fetch loopback round trip"
+    cmp local.csv muxed.csv || {
+        echo "FAIL: --mux fetch differs from the blocking path" >&2
+        exit 1
+    }
+    echo "PASS serve/fetch loopback round trip (blocking + mux)"
     ;;
 
 *)

@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Tests for the v2 multiplexed serve frontend: many interleaved
+ * sessions on one connection, per-channel backpressure, protocol
+ * version negotiation, and the event loop's independence from the
+ * thread pool size (the PR 5 design pinned one pool worker per
+ * connection; these are its regression tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/model_generator.hpp"
+#include "core/synthesis.hpp"
+#include "mem/trace.hpp"
+#include "serve/client.hpp"
+#include "serve/profile_store.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+
+void
+configurePoolFromEnv()
+{
+    static bool done = false;
+    if (done)
+        return;
+    done = true;
+    const char *env = std::getenv("MOCKTAILS_SERVE_TEST_THREADS");
+    if (env != nullptr)
+        util::ThreadPool::setGlobalThreadCount(
+            static_cast<unsigned>(std::atoi(env)));
+}
+
+mem::Trace
+randomTrace(std::size_t n, std::uint64_t seed)
+{
+    mem::Trace t("mux", "GPU");
+    util::Rng rng(seed);
+    mem::Tick tick = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        tick += rng.below(40);
+        t.add(tick, 0x20000 + (rng.below(1 << 18) & ~mem::Addr{7}),
+              rng.chance(0.5) ? 64 : 128,
+              rng.chance(0.3) ? mem::Op::Write : mem::Op::Read);
+    }
+    return t;
+}
+
+core::Profile
+makeProfile(std::size_t requests = 1200)
+{
+    core::Profile p = core::buildProfile(
+        randomTrace(requests, 7),
+        core::PartitionConfig::twoLevelTs(500000));
+    p.name = "muxed";
+    p.device = "GPU";
+    return p;
+}
+
+struct MuxFixture
+{
+    serve::ProfileStore store;
+    serve::StreamServer server;
+
+    explicit MuxFixture(serve::ServerOptions options = {})
+        : server(store, patch(options))
+    {
+        configurePoolFromEnv();
+        store.insert("p.mkp", makeProfile());
+        std::string error;
+        EXPECT_TRUE(server.start(&error)) << error;
+    }
+
+    static serve::ServerOptions
+    patch(serve::ServerOptions options)
+    {
+        options.port = 0;
+        return options;
+    }
+};
+
+int
+rawConnect(std::uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd,
+                        reinterpret_cast<struct sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    return fd;
+}
+
+TEST(ServeMux, ManyChannelsMatchPerConnectionFetch)
+{
+    MuxFixture fixture;
+    const core::Profile &profile =
+        fixture.store.get("p.mkp")->profile;
+
+    // Eight interleaved channels on ONE connection...
+    constexpr std::size_t kChannels = 8;
+    std::vector<serve::FetchSpec> specs(kChannels);
+    for (std::size_t i = 0; i < kChannels; ++i) {
+        specs[i].id = "p.mkp";
+        specs[i].seed = 100 + i;
+    }
+    serve::MuxClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", fixture.server.port(), {},
+                               &error))
+        << error;
+    EXPECT_EQ(client.negotiatedVersion(), serve::kVersion);
+    std::vector<std::vector<mem::Request>> outs;
+    ASSERT_TRUE(client.fetchAll(specs, outs, 113, 3, &error)) << error;
+    client.disconnect();
+
+    // ...must be byte-identical to what each stream synthesizes
+    // locally (and therefore to a per-connection blocking fetch).
+    ASSERT_EQ(outs.size(), kChannels);
+    for (std::size_t i = 0; i < kChannels; ++i) {
+        const mem::Trace local = core::synthesize(profile, 100 + i);
+        ASSERT_EQ(outs[i].size(), local.size()) << "channel " << i + 1;
+        for (std::size_t k = 0; k < local.size(); ++k)
+            ASSERT_EQ(outs[i][k], local[k])
+                << "channel " << i + 1 << ", index " << k;
+    }
+}
+
+TEST(ServeMux, StalledChannelDoesNotBlockSiblings)
+{
+    MuxFixture fixture;
+    serve::MuxClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", fixture.server.port(), {},
+                               &error))
+        << error;
+
+    // Channel 1 never pulls after opening (a "slow reader" in the
+    // pull-credit scheme); channel 2 streams to completion.
+    ASSERT_TRUE(client.openChannel(1, "p.mkp", 5, &error)) << error;
+    ASSERT_TRUE(client.openChannel(2, "p.mkp", 6, &error)) << error;
+    std::vector<mem::Request> slow, fast;
+    client.setSink(1, &slow);
+    client.setSink(2, &fast);
+
+    int opened = 0;
+    while (opened < 2) {
+        serve::MuxClient::Event event;
+        ASSERT_TRUE(client.nextEvent(event, &error)) << error;
+        ASSERT_EQ(event.kind, serve::MuxClient::Event::Kind::Opened);
+        ++opened;
+    }
+    while (!client.channel(2)->done) {
+        ASSERT_TRUE(client.pull(2, 97, &error)) << error;
+        serve::MuxClient::Event event;
+        ASSERT_TRUE(client.nextEvent(event, &error)) << error;
+        ASSERT_EQ(event.kind, serve::MuxClient::Event::Kind::Chunk);
+        ASSERT_EQ(event.channel, 2u);
+    }
+    const core::Profile &profile =
+        fixture.store.get("p.mkp")->profile;
+    const mem::Trace local = core::synthesize(profile, 6);
+    ASSERT_EQ(fast.size(), local.size());
+    for (std::size_t i = 0; i < local.size(); ++i)
+        ASSERT_EQ(fast[i], local[i]) << "index " << i;
+    EXPECT_TRUE(slow.empty()) << "unpulled channel received data";
+
+    // The stalled channel is still alive and can catch up.
+    ASSERT_TRUE(client.pull(1, 50, &error)) << error;
+    serve::MuxClient::Event event;
+    ASSERT_TRUE(client.nextEvent(event, &error)) << error;
+    EXPECT_EQ(event.kind, serve::MuxClient::Event::Kind::Chunk);
+    EXPECT_EQ(event.channel, 1u);
+    EXPECT_EQ(slow.size(), 50u);
+    client.disconnect();
+}
+
+TEST(ServeMux, ChannelErrorLeavesSiblingsStreaming)
+{
+    MuxFixture fixture;
+    serve::MuxClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", fixture.server.port(), {},
+                               &error))
+        << error;
+    ASSERT_TRUE(client.openChannel(1, "p.mkp", 1, &error)) << error;
+    ASSERT_TRUE(client.openChannel(2, "nope.mkp", 1, &error)) << error;
+
+    bool saw_error = false;
+    bool saw_open = false;
+    while (!saw_error || !saw_open) {
+        serve::MuxClient::Event event;
+        ASSERT_TRUE(client.nextEvent(event, &error)) << error;
+        if (event.kind ==
+            serve::MuxClient::Event::Kind::ChannelError) {
+            EXPECT_EQ(event.channel, 2u);
+            EXPECT_EQ(event.code, serve::ErrorCode::UnknownProfile);
+            saw_error = true;
+        } else {
+            EXPECT_EQ(event.channel, 1u);
+            saw_open = true;
+        }
+    }
+
+    // The failed channel took nothing down: channel 1 still streams.
+    std::vector<mem::Request> out;
+    client.setSink(1, &out);
+    ASSERT_TRUE(client.pull(1, 64, &error)) << error;
+    serve::MuxClient::Event event;
+    ASSERT_TRUE(client.nextEvent(event, &error)) << error;
+    EXPECT_EQ(event.kind, serve::MuxClient::Event::Kind::Chunk);
+    EXPECT_EQ(out.size(), 64u);
+    client.disconnect();
+}
+
+TEST(ServeMux, TornFrameMidChannelLeavesServerServing)
+{
+    MuxFixture fixture;
+
+    // Handshake + open a channel, then tear a frame in half and
+    // vanish: the victim is this connection only.
+    const int fd = rawConnect(fixture.server.port());
+    serve::HelloBody hello;
+    util::ByteWriter hw;
+    hello.encode(hw);
+    ASSERT_TRUE(
+        serve::writeFrame(fd, serve::MsgType::Hello, hw.bytes()));
+    serve::Frame reply;
+    ASSERT_EQ(serve::readFrame(fd, reply, serve::kMaxFrameBytes),
+              serve::FrameResult::Ok);
+    ASSERT_EQ(reply.type, serve::MsgType::HelloOk);
+    serve::OpenChannelBody open;
+    open.channel = 1;
+    open.id = "p.mkp";
+    util::ByteWriter ow;
+    open.encode(ow);
+    ASSERT_TRUE(
+        serve::writeFrame(fd, serve::MsgType::OpenChannel, ow.bytes()));
+    ASSERT_EQ(serve::readFrame(fd, reply, serve::kMaxFrameBytes),
+              serve::FrameResult::Ok);
+    ASSERT_EQ(reply.type, serve::MsgType::ChannelOpened);
+
+    const std::uint32_t length = 60; // announce 60 bytes, send 3
+    std::uint8_t bytes[7];
+    for (int i = 0; i < 4; ++i)
+        bytes[i] = static_cast<std::uint8_t>(length >> (8 * i));
+    bytes[4] = bytes[5] = bytes[6] = 0x5a;
+    ASSERT_EQ(::send(fd, bytes, sizeof(bytes), 0),
+              static_cast<ssize_t>(sizeof(bytes)));
+    ::close(fd);
+    fixture.server.waitForConnections(1);
+
+    // A fresh multiplexed fetch still works end to end.
+    serve::MuxClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", fixture.server.port(), {},
+                               &error))
+        << error;
+    std::vector<serve::FetchSpec> specs{{"p.mkp", 3}};
+    std::vector<std::vector<mem::Request>> outs;
+    ASSERT_TRUE(client.fetchAll(specs, outs, 0, 2, &error)) << error;
+    EXPECT_EQ(outs[0].size(),
+              fixture.store.get("p.mkp")->totalRequests);
+}
+
+TEST(ServeMux, LegacyV1ClientAgainstV2Server)
+{
+    MuxFixture fixture;
+    serve::ClientOptions options;
+    options.protocolVersion = serve::kVersionLegacy;
+    serve::Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", fixture.server.port(),
+                               options, &error))
+        << error;
+    EXPECT_EQ(client.negotiatedVersion(), serve::kVersionLegacy);
+
+    serve::RemoteSession session;
+    ASSERT_TRUE(client.open("p.mkp", 44, session, &error)) << error;
+    std::vector<mem::Request> streamed;
+    ASSERT_TRUE(client.fetch(session, streamed, 101, &error)) << error;
+    ASSERT_TRUE(client.close(session, &error)) << error;
+
+    const mem::Trace local = core::synthesize(
+        fixture.store.get("p.mkp")->profile, 44);
+    ASSERT_EQ(streamed.size(), local.size());
+    for (std::size_t i = 0; i < local.size(); ++i)
+        ASSERT_EQ(streamed[i], local[i]) << "index " << i;
+
+    // v1 error semantics intact: unknown ids are connection-safe
+    // Error frames, not ChannelError.
+    serve::RemoteSession bogus;
+    EXPECT_FALSE(client.open("nope.mkp", 1, bogus, &error));
+    EXPECT_NE(error.find("unknown profile"), std::string::npos)
+        << error;
+    ASSERT_TRUE(client.open("p.mkp", 1, session, &error)) << error;
+    client.disconnect();
+}
+
+TEST(ServeMux, IdleConnectionWithOpenChannelsIsReaped)
+{
+    serve::ServerOptions options;
+    options.readTimeoutMs = 200;
+    MuxFixture fixture(options);
+
+    serve::MuxClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", fixture.server.port(), {},
+                               &error))
+        << error;
+    ASSERT_TRUE(client.openChannel(1, "p.mkp", 1, &error)) << error;
+    serve::MuxClient::Event event;
+    ASSERT_TRUE(client.nextEvent(event, &error)) << error;
+    ASSERT_EQ(event.kind, serve::MuxClient::Event::Kind::Opened);
+
+    // Go silent with the channel open: the readiness loop must still
+    // notice the idle deadline (no task in flight, nothing queued).
+    EXPECT_FALSE(client.nextEvent(event, &error));
+    fixture.server.waitForConnections(1);
+    EXPECT_EQ(fixture.server.connectionsActive(), 0u);
+}
+
+/**
+ * The PR 5 regression this rebuild exists for: with ONE pool worker,
+ * four concurrent sessions on four separate connections must all make
+ * progress, and an unrelated background task on the same pool must
+ * complete — the old design parked one worker per connection, so a
+ * single-thread pool could serve exactly one client and nothing else.
+ */
+TEST(ServeMux, SingleWorkerPoolServesConcurrentConnections)
+{
+    util::ThreadPool one(1);
+    serve::ServerOptions options;
+    options.pool = &one;
+    MuxFixture fixture(options);
+
+    constexpr std::size_t kClients = 4;
+    std::vector<std::unique_ptr<serve::Client>> clients;
+    std::vector<serve::RemoteSession> sessions(kClients);
+    std::string error;
+    for (std::size_t i = 0; i < kClients; ++i) {
+        clients.push_back(std::make_unique<serve::Client>());
+        ASSERT_TRUE(clients[i]->connect(
+            "127.0.0.1", fixture.server.port(), {}, &error))
+            << error;
+        ASSERT_TRUE(clients[i]->open("p.mkp", 10 + i, sessions[i],
+                                     &error))
+            << error;
+    }
+
+    // All four sessions are open and mid-stream; the pool still has
+    // room for unrelated work.
+    std::promise<void> background_done;
+    auto future = background_done.get_future();
+    one.submit([&background_done] { background_done.set_value(); });
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready)
+        << "background task starved by connection handlers";
+
+    // Round-robin the streams to completion.
+    std::vector<std::vector<mem::Request>> outs(kClients);
+    bool all_done = false;
+    while (!all_done) {
+        all_done = true;
+        for (std::size_t i = 0; i < kClients; ++i) {
+            if (sessions[i].done)
+                continue;
+            all_done = false;
+            ASSERT_TRUE(clients[i]->next(sessions[i], outs[i], 200,
+                                         &error))
+                << error;
+        }
+    }
+    const core::Profile &profile =
+        fixture.store.get("p.mkp")->profile;
+    for (std::size_t i = 0; i < kClients; ++i) {
+        const mem::Trace local = core::synthesize(profile, 10 + i);
+        ASSERT_EQ(outs[i].size(), local.size()) << "client " << i;
+        for (std::size_t k = 0; k < local.size(); ++k)
+            ASSERT_EQ(outs[i][k], local[k])
+                << "client " << i << ", index " << k;
+    }
+}
+
+TEST(ServeMux, PollBackendServesMultiplexedFetch)
+{
+    serve::ServerOptions options;
+    options.pollerBackend = util::Poller::Backend::Poll;
+    MuxFixture fixture(options);
+
+    serve::MuxClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", fixture.server.port(), {},
+                               &error))
+        << error;
+    std::vector<serve::FetchSpec> specs{{"p.mkp", 1}, {"p.mkp", 2}};
+    std::vector<std::vector<mem::Request>> outs;
+    ASSERT_TRUE(client.fetchAll(specs, outs, 128, 2, &error)) << error;
+    const core::Profile &profile =
+        fixture.store.get("p.mkp")->profile;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        const mem::Trace local =
+            core::synthesize(profile, specs[i].seed);
+        ASSERT_EQ(outs[i].size(), local.size());
+        for (std::size_t k = 0; k < local.size(); ++k)
+            ASSERT_EQ(outs[i][k], local[k]);
+    }
+}
+
+} // namespace

@@ -2,13 +2,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -321,6 +325,91 @@ TEST(ServeServer, IdleConnectionReapedByTimeout)
     ::close(fd);
     fixture.server.waitForConnections(1);
     EXPECT_EQ(fixture.server.connectionsActive(), 0u);
+}
+
+TEST(ServeServer, ClassifyAcceptErrorsSkipsTransientsAndBacksOffOnExhaustion)
+{
+    using serve::AcceptAction;
+    using serve::classifyAcceptError;
+    // Per-connection hiccups: skip and accept the next one.
+    EXPECT_EQ(classifyAcceptError(EINTR), AcceptAction::Skip);
+    EXPECT_EQ(classifyAcceptError(ECONNABORTED), AcceptAction::Skip);
+    EXPECT_EQ(classifyAcceptError(EAGAIN), AcceptAction::Skip);
+    EXPECT_EQ(classifyAcceptError(EWOULDBLOCK), AcceptAction::Skip);
+    // Resource exhaustion: pause, back off, retry — never exit.
+    EXPECT_EQ(classifyAcceptError(EMFILE), AcceptAction::Backoff);
+    EXPECT_EQ(classifyAcceptError(ENFILE), AcceptAction::Backoff);
+    EXPECT_EQ(classifyAcceptError(ENOBUFS), AcceptAction::Backoff);
+    EXPECT_EQ(classifyAcceptError(ENOMEM), AcceptAction::Backoff);
+    // The unknown is treated like exhaustion, not like stop().
+    EXPECT_EQ(classifyAcceptError(EIO), AcceptAction::Backoff);
+}
+
+/**
+ * Drive accept(2) into EMFILE with RLIMIT_NOFILE and verify the
+ * listener survives: the PR 5 loop exited on the first non-EINTR
+ * accept error, silently killing the server.
+ */
+TEST(ServeServer, ListenerSurvivesFdExhaustion)
+{
+    ServerFixture fixture;
+
+    // The client socket is created BEFORE the squeeze, while fds are
+    // plentiful — but connected only after, so the server's accept()
+    // of it runs with an exhausted fd table.
+    const int starver = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(starver, 0);
+
+    struct rlimit saved;
+    ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+    // Find the next free fd number and clamp the table right there,
+    // so the server-side accept() has no fd to give out.
+    const int probe = ::dup(0);
+    ASSERT_GE(probe, 0);
+    ::close(probe);
+    struct rlimit squeezed = saved;
+    squeezed.rlim_cur = static_cast<rlim_t>(probe);
+    ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &squeezed), 0);
+
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(fixture.server.port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    // connect() needs no new fd client-side; the kernel finishes the
+    // TCP handshake and the server's accept() fails with EMFILE.
+    // Wait for the error counter rather than sleeping a guess.
+    ASSERT_EQ(::connect(starver,
+                        reinterpret_cast<struct sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (fixture.server.acceptErrors() == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+    EXPECT_GE(fixture.server.acceptErrors(), 1u);
+
+    // With the limit restored, the backoff expires and the pending
+    // connection is finally accepted and served.
+    serve::HelloBody hello;
+    util::ByteWriter w;
+    hello.encode(w);
+    ASSERT_TRUE(
+        serve::writeFrame(starver, serve::MsgType::Hello, w.bytes()));
+    serve::Frame reply;
+    ASSERT_EQ(serve::readFrame(starver, reply, serve::kMaxFrameBytes),
+              serve::FrameResult::Ok);
+    EXPECT_EQ(reply.type, serve::MsgType::HelloOk);
+    ::close(starver);
+
+    // And brand-new connections work too.
+    serve::Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", fixture.server.port(), {},
+                               &error))
+        << error;
 }
 
 TEST(ServeServer, GracefulStopDrainsInFlightSessions)

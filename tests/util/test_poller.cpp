@@ -1,0 +1,147 @@
+#include "util/poller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace
+{
+
+using namespace mocktails;
+
+class PollerBackends
+    : public ::testing::TestWithParam<util::Poller::Backend>
+{
+};
+
+TEST_P(PollerBackends, ConstructsValid)
+{
+    util::Poller poller(GetParam());
+#ifndef __linux__
+    if (GetParam() == util::Poller::Backend::Epoll) {
+        EXPECT_FALSE(poller.valid());
+        return;
+    }
+#endif
+    ASSERT_TRUE(poller.valid());
+    EXPECT_STRNE(poller.backendName(), "none");
+}
+
+TEST_P(PollerBackends, ReportsReadableAndWritable)
+{
+#ifndef __linux__
+    if (GetParam() == util::Poller::Backend::Epoll)
+        GTEST_SKIP() << "epoll is Linux-only";
+#endif
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    util::Poller poller(GetParam());
+    ASSERT_TRUE(poller.valid());
+    ASSERT_TRUE(poller.add(fds[0], true, false));
+
+    // Nothing to read yet: wait times out.
+    std::vector<util::PollerEvent> events;
+    EXPECT_EQ(poller.wait(events, 0), 0);
+
+    const std::uint8_t byte = 7;
+    ASSERT_EQ(::write(fds[1], &byte, 1), 1);
+    ASSERT_EQ(poller.wait(events, 1000), 1);
+    EXPECT_EQ(events[0].fd, fds[0]);
+    EXPECT_TRUE(events[0].readable);
+    EXPECT_FALSE(events[0].writable);
+
+    // Add write interest: an idle socket is immediately writable.
+    ASSERT_TRUE(poller.modify(fds[0], true, true));
+    ASSERT_GE(poller.wait(events, 1000), 1);
+    bool saw_writable = false;
+    for (const util::PollerEvent &ev : events)
+        saw_writable = saw_writable || (ev.fd == fds[0] && ev.writable);
+    EXPECT_TRUE(saw_writable);
+
+    ASSERT_TRUE(poller.remove(fds[0]));
+    EXPECT_EQ(poller.wait(events, 0), 0);
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+TEST_P(PollerBackends, ReportsPeerHangupAsEvent)
+{
+#ifndef __linux__
+    if (GetParam() == util::Poller::Backend::Epoll)
+        GTEST_SKIP() << "epoll is Linux-only";
+#endif
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    util::Poller poller(GetParam());
+    ASSERT_TRUE(poller.add(fds[0], true, false));
+    ::close(fds[1]);
+    std::vector<util::PollerEvent> events;
+    ASSERT_EQ(poller.wait(events, 1000), 1);
+    // Hangup surfaces as error and/or readable-EOF; either lets the
+    // server notice and close.
+    EXPECT_TRUE(events[0].error || events[0].readable);
+    ::close(fds[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, PollerBackends,
+    ::testing::Values(util::Poller::Backend::Poll,
+                      util::Poller::Backend::Epoll),
+    [](const ::testing::TestParamInfo<util::Poller::Backend> &info) {
+        return info.param == util::Poller::Backend::Poll ? "poll"
+                                                         : "epoll";
+    });
+
+TEST(WakePipe, WakesABlockedWait)
+{
+    util::Poller poller(util::Poller::Backend::Auto);
+    util::WakePipe wake;
+    ASSERT_TRUE(wake.valid());
+    ASSERT_TRUE(poller.add(wake.fd(), true, false));
+
+    std::thread notifier([&wake] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        wake.notify();
+    });
+    std::vector<util::PollerEvent> events;
+    // Blocks until notify() — far shorter than the 5 s cap.
+    EXPECT_EQ(poller.wait(events, 5000), 1);
+    EXPECT_EQ(events[0].fd, wake.fd());
+    notifier.join();
+    wake.drain();
+    EXPECT_EQ(poller.wait(events, 0), 0);
+}
+
+TEST(WakePipe, NotifyIsIdempotentWhileUndrained)
+{
+    util::WakePipe wake;
+    ASSERT_TRUE(wake.valid());
+    for (int i = 0; i < 100000; ++i)
+        wake.notify(); // must not block once the pipe is full
+    wake.drain();
+    util::Poller poller(util::Poller::Backend::Auto);
+    ASSERT_TRUE(poller.add(wake.fd(), true, false));
+    std::vector<util::PollerEvent> events;
+    EXPECT_EQ(poller.wait(events, 0), 0);
+}
+
+TEST(PollerHelpers, NonBlockingAndCloexec)
+{
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    EXPECT_TRUE(util::setNonBlocking(fds[0]));
+    EXPECT_TRUE(util::setCloseOnExec(fds[0]));
+    EXPECT_NE(::fcntl(fds[0], F_GETFL, 0) & O_NONBLOCK, 0);
+    EXPECT_NE(::fcntl(fds[0], F_GETFD, 0) & FD_CLOEXEC, 0);
+    EXPECT_FALSE(util::setNonBlocking(-1));
+    EXPECT_FALSE(util::setCloseOnExec(-1));
+    ::close(fds[0]);
+    ::close(fds[1]);
+}
+
+} // namespace
