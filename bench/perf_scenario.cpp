@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Performance microbenchmarks for the scenario subsystem
+ * (google-benchmark): merged-stream build throughput (device stream
+ * synthesis + k-way merge) and the full contended SoC run, publishing
+ * each device's p50/p99 injection-to-completion read latency as
+ * benchmark counters (and in the BENCH json via --json).
+ * Throughput numbers, not paper results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdlib>
+#include <string>
+
+#include "mem/trace.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/spec.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+
+/**
+ * A generator-only mix (no files to load): CPU, GPU, video decoder and
+ * a DMA engine on four ports, scaled by a per-device request count.
+ */
+scenario::ScenarioSpec
+benchSpec(std::uint64_t requests_per_device)
+{
+    const std::string text =
+        "name = \"bench\"\n"
+        "seed = 1\n"
+        "[dram]\nchannels = 4\n"
+        "[device cpu]\ngenerator = \"CPU-G\"\n"
+        "[device gpu]\ngenerator = \"T-Rex1\"\n"
+        "[device video]\ngenerator = \"HEVC1\"\nstart = 1000\n"
+        "[device dma]\ngenerator = \"DMA-Copy\"\nclock = 2\n";
+    scenario::ScenarioSpec spec;
+    std::string error;
+    if (!scenario::parseScenario(text, "bench.scn", spec, &error))
+        std::abort(); // the embedded spec is a literal; never fails
+    for (scenario::DeviceSpec &d : spec.devices)
+        d.requests = requests_per_device;
+    return spec;
+}
+
+/** Device-stream builds plus the k-way merge, end to end. */
+void
+BM_ScenarioMergedStream(benchmark::State &state)
+{
+    const auto requests =
+        static_cast<std::uint64_t>(state.range(0));
+    const auto threads = static_cast<unsigned>(state.range(1));
+    std::uint64_t merged_requests = 0;
+    for (auto _ : state) {
+        scenario::ScenarioOptions options;
+        options.threads = threads;
+        scenario::ScenarioEngine engine(benchSpec(requests), options);
+        const mem::Trace &merged = engine.mergedStream();
+        benchmark::DoNotOptimize(merged.requests().data());
+        merged_requests += merged.size();
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(merged_requests));
+}
+BENCHMARK(BM_ScenarioMergedStream)
+    ->ArgNames({"requests", "threads"})
+    ->Args({20000, 1})
+    ->Args({20000, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/**
+ * The contended SoC run (shared crossbar + DRAM). Per-device p50/p99
+ * read injection latency from the last report lands in the counters.
+ */
+void
+BM_ScenarioContention(benchmark::State &state)
+{
+    const auto requests =
+        static_cast<std::uint64_t>(state.range(0));
+    std::uint64_t injected = 0;
+    scenario::ScenarioReport report;
+    for (auto _ : state) {
+        scenario::ScenarioOptions options;
+        options.skipIsolated = true; // measure the contended run alone
+        scenario::ScenarioEngine engine(benchSpec(requests), options);
+        std::string error;
+        if (!engine.run(report, &error)) {
+            state.SkipWithError(error.c_str());
+            return;
+        }
+        benchmark::DoNotOptimize(report.totalRequests);
+        injected += report.totalRequests;
+    }
+    for (const scenario::DeviceReport &device : report.devices) {
+        state.counters["p50_" + device.name + "_ticks"] =
+            device.readLatencyP50;
+        state.counters["p99_" + device.name + "_ticks"] =
+            device.readLatencyP99;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(injected));
+}
+BENCHMARK(BM_ScenarioContention)
+    ->ArgName("requests")
+    ->Arg(10000)
+    ->Arg(40000)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+} // namespace

@@ -60,19 +60,19 @@ main()
     for (const auto &profile : profiles) {
         core::SynthesisEngine engine(profile, 11);
         const auto result = dram::simulateSoc(
-            {{profile.name, &engine}});
+            {{profile.name, engine}});
         printDevice(result.devices[0]);
         solo_latency.push_back(result.devices[0].readLatency.mean());
     }
 
     // Experiment 2: all four IPs share the memory system.
     std::printf("\nall IPs together:\n");
-    std::vector<std::unique_ptr<core::SynthesisEngine>> engines;
+    std::vector<std::shared_ptr<core::SynthesisEngine>> engines;
     std::vector<dram::SocDevice> devices;
     for (const auto &profile : profiles) {
         engines.push_back(
-            std::make_unique<core::SynthesisEngine>(profile, 11));
-        devices.push_back({profile.name, engines.back().get()});
+            std::make_shared<core::SynthesisEngine>(profile, 11));
+        devices.push_back({profile.name, engines.back()});
     }
     const auto shared = dram::simulateSoc(devices);
     for (const auto &device : shared.devices)
@@ -99,12 +99,12 @@ main()
     // Experiment 3: funnel all IPs through one arbitrated link (the
     // non-coherent interconnect topology) instead of private ports.
     std::printf("\nall IPs behind one round-robin link:\n");
-    std::vector<std::unique_ptr<core::SynthesisEngine>> engines2;
+    std::vector<std::shared_ptr<core::SynthesisEngine>> engines2;
     std::vector<dram::SocDevice> devices2;
     for (const auto &profile : profiles) {
         engines2.push_back(
-            std::make_unique<core::SynthesisEngine>(profile, 11));
-        devices2.push_back({profile.name, engines2.back().get()});
+            std::make_shared<core::SynthesisEngine>(profile, 11));
+        devices2.push_back({profile.name, engines2.back()});
     }
     dram::SocConfig link_config;
     link_config.sharedLink = true;
@@ -120,12 +120,12 @@ main()
     // Experiment 4: give the display pipeline (FBC-Linear1, index 1)
     // strict link priority, as a real SoC would to avoid underflow.
     std::printf("\nshared link with display priority:\n");
-    std::vector<std::unique_ptr<core::SynthesisEngine>> engines3;
+    std::vector<std::shared_ptr<core::SynthesisEngine>> engines3;
     std::vector<dram::SocDevice> devices3;
     for (const auto &profile : profiles) {
         engines3.push_back(
-            std::make_unique<core::SynthesisEngine>(profile, 11));
-        devices3.push_back({profile.name, engines3.back().get()});
+            std::make_shared<core::SynthesisEngine>(profile, 11));
+        devices3.push_back({profile.name, engines3.back()});
     }
     dram::SocConfig qos_config = link_config;
     qos_config.arbiter.priorities = {1, 0, 1, 1}; // DPU urgent

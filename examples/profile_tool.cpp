@@ -11,14 +11,16 @@
  *   simulate <file.mkt|file.mkp>                 run the DRAM model
  *   compare  <a.mkt|a.mkp> <b.mkt|b.mkp>         DRAM metrics, side by
  *                                                side with % error
- *   serve    <profile.mkp>...                    stream profiles over TCP
+ *   serve    <profile.mkp|mix.scn>...            stream profiles over TCP
  *   fetch    <host:port> <id> <out>              synthesise remotely
+ *   scenario run|list <mix.scn>                  composed SoC mixes
  *
  * This is the command-line face of paper Fig. 1: `profile` is what
  * industry runs; `synth`, `simulate` and `compare` are what academia
  * runs.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +37,8 @@
 #include "dram/simulate.hpp"
 #include "dram/stats_dump.hpp"
 #include "obs/trace_event.hpp"
+#include "scenario/engine.hpp"
+#include "scenario/serve.hpp"
 #include "serve/client.hpp"
 #include "serve/profile_store.hpp"
 #include "serve/server.hpp"
@@ -72,10 +76,14 @@ usage()
         "  compare  <a.mkt|a.mkp> <b.mkt|b.mkp>\n"
         "  validate <trace.mkt> [profile.mkp]\n"
         "  trace    <file.mkt|file.mkp> <out.json|out.bin>\n"
-        "  serve    <profile.mkp>... [--port P] [--port-file PATH]\n"
-        "           [--once N]\n"
+        "  serve    <profile.mkp|mix.scn>... [--port P]\n"
+        "           [--port-file PATH] [--once N]\n"
         "  fetch    <host:port> <id> <out.mkt|out.csv> [seed] [chunk]\n"
         "           [--mux]\n"
+        "  scenario run <mix.scn> [--report-json [PATH]]\n"
+        "           [--report-md PATH] [--merged-out PATH]\n"
+        "           [--skip-isolated]\n"
+        "  scenario list [mix.scn]\n"
         "workloads: Table II names (e.g. HEVC1, T-Rex1, FBC-Linear1)\n"
         "           or SPEC names (e.g. gobmk, libquantum)\n"
         "--threads: worker threads for profile/synth/validate\n"
@@ -103,7 +111,16 @@ usage()
         "fetch streams a remote session into a local trace file\n"
         "  (.csv exports CSV); seed defaults to 1, chunk of 0 lets\n"
         "  the server pick the chunk size; --mux rides a multiplexed\n"
-        "  protocol-v2 channel (byte-identical result)\n");
+        "  protocol-v2 channel (byte-identical result)\n"
+        "scenario run replays a .scn device mix through the shared\n"
+        "  crossbar and DRAM, printing the interference report\n"
+        "  (--report-json with no PATH prints JSON to stdout;\n"
+        "  --merged-out saves the merged stream, .csv exports CSV;\n"
+        "  --skip-isolated omits the per-device baselines)\n"
+        "scenario list shows the device mix of a .scn file, or the\n"
+        "  synthetic generator inventory when no file is given\n"
+        "serve also accepts .scn scenarios: each registers under\n"
+        "  scenario:<name> (fetch --mux merges the device channels)\n");
     return 2;
 }
 
@@ -576,9 +593,26 @@ cmdServe(int argc, char **argv)
 
     serve::ProfileStore store;
     for (const std::string &path : paths) {
-        const std::string id = baseName(path);
-        store.registerProfile(id, path);
-        std::printf("registered %s -> %s\n", id.c_str(), path.c_str());
+        // Scenario specs register a merged scenario:<name> id plus one
+        // scenario:<name>#<k> id per device; profiles register by file
+        // name as before.
+        const bool scn = path.size() > 4 &&
+                         path.compare(path.size() - 4, 4, ".scn") == 0;
+        if (scn) {
+            std::string id;
+            std::string error;
+            if (!scenario::registerScenario(store, path, &id, &error)) {
+                std::fprintf(stderr, "error: %s\n", error.c_str());
+                return 1;
+            }
+            std::printf("registered %s -> %s\n", id.c_str(),
+                        path.c_str());
+        } else {
+            const std::string id = baseName(path);
+            store.registerProfile(id, path);
+            std::printf("registered %s -> %s\n", id.c_str(),
+                        path.c_str());
+        }
     }
 
     serve::StreamServer server(store, server_options);
@@ -670,6 +704,186 @@ cmdFetch(const std::string &endpoint, const std::string &id,
     return 0;
 }
 
+/** Levenshtein distance, for scenario-flag suggestions. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t up = row[j];
+            const std::size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+            row[j] =
+                std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+/** Reject an unknown scenario flag, suggesting the closest known one. */
+int
+unknownScenarioFlag(const char *flag)
+{
+    static const char *const kFlags[] = {"--report-json", "--report-md",
+                                         "--merged-out",
+                                         "--skip-isolated"};
+    const std::string given = flag;
+    const char *best = nullptr;
+    std::size_t best_distance = 5; // only suggest close matches
+    for (const char *known : kFlags) {
+        const std::size_t d = editDistance(given, known);
+        if (d < best_distance) {
+            best_distance = d;
+            best = known;
+        }
+    }
+    if (best != nullptr)
+        std::fprintf(stderr,
+                     "profile_tool: unknown scenario flag '%s' "
+                     "(did you mean '%s'?)\n",
+                     flag, best);
+    else
+        std::fprintf(stderr,
+                     "profile_tool: unknown scenario flag '%s'\n",
+                     flag);
+    return 2;
+}
+
+int
+cmdScenarioRun(int argc, char **argv)
+{
+    std::string path;
+    std::string report_json;
+    std::string report_md;
+    std::string merged_out;
+    bool json_stdout = false;
+    scenario::ScenarioOptions options;
+    options.threads = g_threads;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--report-json") == 0) {
+            // The PATH is optional: bare --report-json prints the
+            // JSON report to stdout instead of the markdown summary.
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                report_json = argv[++i];
+            else
+                json_stdout = true;
+        } else if (std::strcmp(argv[i], "--report-md") == 0 &&
+                   i + 1 < argc) {
+            report_md = argv[++i];
+        } else if (std::strcmp(argv[i], "--merged-out") == 0 &&
+                   i + 1 < argc) {
+            merged_out = argv[++i];
+        } else if (std::strcmp(argv[i], "--skip-isolated") == 0) {
+            options.skipIsolated = true;
+        } else if (argv[i][0] == '-') {
+            return unknownScenarioFlag(argv[i]);
+        } else if (path.empty()) {
+            path = argv[i];
+        } else {
+            std::fprintf(stderr,
+                         "profile_tool: scenario run takes one .scn "
+                         "file, got '%s' and '%s'\n",
+                         path.c_str(), argv[i]);
+            return 2;
+        }
+    }
+    if (path.empty())
+        return usage();
+
+    scenario::ScenarioSpec spec;
+    std::string error;
+    if (!scenario::loadScenario(path, spec, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    scenario::ScenarioEngine engine(spec, options);
+    scenario::ScenarioReport report;
+    if (!engine.run(report, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+
+    if (json_stdout)
+        std::printf("%s\n", report.toJson().c_str());
+    else
+        std::printf("%s", report.toMarkdown().c_str());
+
+    if (!report_json.empty() &&
+        !scenario::saveReportJson(report, report_json)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     report_json.c_str());
+        return 1;
+    }
+    if (!report_md.empty() &&
+        !scenario::saveReportMarkdown(report, report_md)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     report_md.c_str());
+        return 1;
+    }
+    if (!merged_out.empty()) {
+        const mem::Trace &merged = engine.mergedStream();
+        const bool csv =
+            merged_out.size() > 4 &&
+            merged_out.compare(merged_out.size() - 4, 4, ".csv") == 0;
+        const bool ok = csv ? mem::saveTraceCsv(merged, merged_out)
+                            : mem::saveTrace(merged, merged_out);
+        if (!ok) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         merged_out.c_str());
+            return 1;
+        }
+        std::printf("merged stream: %zu requests -> %s\n",
+                    merged.size(), merged_out.c_str());
+    }
+    return 0;
+}
+
+int
+cmdScenarioList(int argc, char **argv)
+{
+    if (argc == 0) {
+        // Inventory mode: the generators a [device] section can name.
+        std::printf("%-16s %-6s %s\n", "generator", "device",
+                    "description");
+        for (const auto &spec : workloads::deviceTraces())
+            std::printf("%-16s %-6s %s\n", spec.name.c_str(),
+                        spec.device.c_str(), spec.description.c_str());
+        return 0;
+    }
+    int rc = 0;
+    for (int i = 0; i < argc; ++i) {
+        if (argv[i][0] == '-')
+            return unknownScenarioFlag(argv[i]);
+        scenario::ScenarioSpec spec;
+        std::string error;
+        if (!scenario::loadScenario(argv[i], spec, &error)) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            rc = 1;
+            continue;
+        }
+        std::printf("scenario %s (seed %llu, %zu device(s)%s)\n",
+                    spec.name.c_str(),
+                    static_cast<unsigned long long>(spec.seed),
+                    spec.devices.size(),
+                    spec.sharedLink ? ", shared link" : "");
+        for (const auto &d : spec.devices)
+            std::printf("  port %-2u %-10s %-24s requests %-8llu "
+                        "clock %u/%u start %llu\n",
+                        d.port, d.name.c_str(), d.kind().c_str(),
+                        static_cast<unsigned long long>(d.requests),
+                        d.clockNum, d.clockDen,
+                        static_cast<unsigned long long>(d.startOffset));
+        std::printf("  serve id: %s\n",
+                    scenario::scenarioId(spec.name).c_str());
+    }
+    return rc;
+}
+
 /** Telemetry output path ("" = telemetry off) and snapshot cadence. */
 std::string g_telemetry_path;
 std::uint64_t g_telemetry_interval_ms = 0;
@@ -717,6 +931,18 @@ dispatch(int argc, char **argv)
         return cmdTrace(argv[2], argv[3]);
     if (command == "serve" && argc >= 3)
         return cmdServe(argc - 2, argv + 2);
+    if (command == "scenario" && argc >= 3) {
+        const std::string sub = argv[2];
+        if (sub == "run")
+            return cmdScenarioRun(argc - 3, argv + 3);
+        if (sub == "list")
+            return cmdScenarioList(argc - 3, argv + 3);
+        std::fprintf(stderr,
+                     "profile_tool: unknown scenario subcommand '%s' "
+                     "(expected 'run' or 'list')\n",
+                     sub.c_str());
+        return usage();
+    }
     if (command == "fetch") {
         // Strip --mux wherever it appears among the fetch arguments.
         bool mux = false;
@@ -742,8 +968,9 @@ dispatch(int argc, char **argv)
     // An unknown subcommand and a known one with the wrong arity both
     // end here: say which it was on stderr, then fail with usage.
     static const char *const kCommands[] = {
-        "generate", "profile", "synth", "info",  "export", "simulate",
-        "compare",  "validate", "trace", "serve", "fetch"};
+        "generate", "profile",  "synth", "info",  "export",
+        "simulate", "compare",  "validate", "trace", "serve",
+        "fetch",    "scenario"};
     bool known = false;
     for (const char *name : kCommands)
         known = known || command == name;

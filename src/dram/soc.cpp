@@ -81,10 +81,14 @@ simulateSoc(const std::vector<SocDevice> &devices,
             auto &device = result.devices[it->second];
             const auto latency =
                 static_cast<double>(completed - admitted);
-            if (is_read)
+            if (is_read) {
                 device.readLatency.add(latency);
-            else
+                if (config.collectLatencySamples)
+                    device.readLatencySamples.push_back(
+                        static_cast<float>(latency));
+            } else {
                 device.writeLatency.add(latency);
+            }
             owner.erase(it);
         });
 

@@ -14,7 +14,9 @@
 #ifndef MOCKTAILS_DRAM_SOC_HPP
 #define MOCKTAILS_DRAM_SOC_HPP
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dram/config.hpp"
@@ -28,11 +30,31 @@ namespace mocktails::dram
 
 /**
  * One IP block attached to the SoC: a named request source.
+ *
+ * The device shares ownership of its source so a stream handed in by a
+ * cache with eviction (e.g. serve::ProfileStore) cannot dangle
+ * mid-simulation — the same keep-alive contract SynthesisSession uses
+ * for evicted profiles. Callers that manage lifetime themselves can
+ * use the borrowing constructor, which attaches a no-op deleter.
  */
 struct SocDevice
 {
-    std::string name;           ///< e.g. "GPU (T-Rex1)"
-    mem::RequestSource *source; ///< must outlive the simulation
+    std::string name; ///< e.g. "GPU (T-Rex1)"
+    std::shared_ptr<mem::RequestSource> source;
+
+    SocDevice() = default;
+
+    /** Shared ownership: the simulation keeps the source alive. */
+    SocDevice(std::string device_name,
+              std::shared_ptr<mem::RequestSource> device_source)
+        : name(std::move(device_name)), source(std::move(device_source))
+    {}
+
+    /** Borrowing: @p device_source must outlive the simulation. */
+    SocDevice(std::string device_name, mem::RequestSource &device_source)
+        : name(std::move(device_name)),
+          source(&device_source, [](mem::RequestSource *) {})
+    {}
 };
 
 /**
@@ -56,6 +78,12 @@ struct SocDeviceResult
 
     /** Write-request service latency for this IP. */
     util::RunningStats writeLatency;
+
+    /**
+     * Raw read latencies in completion order, kept only when
+     * SocConfig::collectLatencySamples is set (percentile reporting).
+     */
+    std::vector<float> readLatencySamples;
 };
 
 /**
@@ -91,6 +119,13 @@ struct SocConfig
      */
     bool sharedLink = false;
     interconnect::ArbiterConfig arbiter;
+
+    /**
+     * Record per-read latency samples into
+     * SocDeviceResult::readLatencySamples (costs one float per read;
+     * off by default). Mean/min/max come for free either way.
+     */
+    bool collectLatencySamples = false;
 };
 
 /**

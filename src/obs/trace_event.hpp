@@ -51,6 +51,7 @@ constexpr std::uint32_t kDramBase = 1;    ///< + DRAM channel index
 constexpr std::uint32_t kCacheL1 = 900;   ///< L1 miss events
 constexpr std::uint32_t kCacheL2 = 901;   ///< L2 miss events
 constexpr std::uint32_t kLeafBase = 1000; ///< + synthesis leaf index
+constexpr std::uint32_t kScenarioBase = 2000; ///< + scenario device index
 } // namespace track
 
 /**

@@ -1,0 +1,321 @@
+#include "scenario/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+#include <utility>
+
+#include "core/profile.hpp"
+#include "core/synthesis.hpp"
+#include "dram/simulate.hpp"
+#include "dram/soc.hpp"
+#include "mem/source.hpp"
+#include "obs/trace_event.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/thread_pool.hpp"
+#include "workloads/devices.hpp"
+
+namespace mocktails::scenario
+{
+
+namespace
+{
+
+/** Nearest-rank percentile over unsorted samples (0 when empty). */
+double
+percentile(std::vector<float> samples, double q)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const double rank =
+        q * static_cast<double>(samples.size() - 1) / 100.0;
+    const auto idx = static_cast<std::size_t>(rank + 0.5);
+    return samples[std::min(idx, samples.size() - 1)];
+}
+
+const workloads::DeviceTraceSpec *
+findGenerator(const std::string &name)
+{
+    for (const workloads::DeviceTraceSpec &spec :
+         workloads::deviceTraces()) {
+        if (spec.name == name)
+            return &spec;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+ScenarioEngine::ScenarioEngine(ScenarioSpec spec, ScenarioOptions options)
+    : spec_(std::move(spec)), options_(options)
+{}
+
+bool
+ScenarioEngine::buildDeviceStream(std::size_t device_index,
+                                  mem::Trace &out,
+                                  std::string *error) const
+{
+    const DeviceSpec &d = spec_.devices[device_index];
+    const std::uint64_t seed = d.effectiveSeed(spec_.seed);
+
+    if (!d.generator.empty()) {
+        const workloads::DeviceTraceSpec *gen =
+            findGenerator(d.generator);
+        if (gen == nullptr) {
+            if (error != nullptr)
+                *error = "device '" + d.name +
+                         "': unknown generator '" + d.generator + "'";
+            return false;
+        }
+        out = gen->make(static_cast<std::size_t>(d.requests), seed);
+        out.setDevice(gen->device);
+    } else {
+        core::Profile profile;
+        std::string load_error;
+        if (!core::loadProfile(d.profilePath, profile, &load_error)) {
+            if (error != nullptr)
+                *error = "device '" + d.name + "': " + load_error;
+            return false;
+        }
+        // Inner synthesis stays sequential: buildStreams() already
+        // parallelises across devices, and synthesize() is
+        // bit-identical at every thread count anyway.
+        out = core::synthesize(profile, seed, 1);
+        out.setDevice(profile.device);
+    }
+    out.setName(d.name);
+
+    // Project device time onto the interconnect clock, exactly:
+    // tick' = start + tick * den / num (integer, monotone in tick).
+    if (d.startOffset != 0 || d.clockNum != d.clockDen) {
+        for (mem::Request &r : out.requests())
+            r.tick = d.startOffset +
+                     r.tick * d.clockDen / d.clockNum;
+    }
+    if (d.budget != 0 && out.size() > d.budget)
+        out.truncate(static_cast<std::size_t>(d.budget));
+    return true;
+}
+
+bool
+ScenarioEngine::buildStreams(std::string *error)
+{
+    if (built_) {
+        if (!build_error_.empty() && error != nullptr)
+            *error = build_error_;
+        return build_error_.empty();
+    }
+    built_ = true;
+    streams_.assign(spec_.devices.size(), mem::Trace{});
+    std::vector<std::string> errors(spec_.devices.size());
+    util::parallelFor(
+        spec_.devices.size(),
+        [&](std::size_t i) {
+            buildDeviceStream(i, streams_[i], &errors[i]);
+        },
+        options_.threads);
+    for (const std::string &e : errors) {
+        if (!e.empty()) {
+            build_error_ = e;
+            streams_.clear();
+            if (error != nullptr)
+                *error = build_error_;
+            return false;
+        }
+    }
+    if (telemetry::enabled()) {
+        auto &registry = telemetry::MetricsRegistry::global();
+        registry.counter("scenario.devices").add(streams_.size());
+        for (const mem::Trace &s : streams_)
+            registry.counter("scenario.device_requests").add(s.size());
+    }
+    return true;
+}
+
+const std::vector<mem::Trace> &
+ScenarioEngine::deviceStreams()
+{
+    buildStreams();
+    return streams_;
+}
+
+const mem::Trace &
+ScenarioEngine::mergedStream()
+{
+    if (merged_built_)
+        return merged_;
+    merged_built_ = true;
+    merged_ = mem::Trace(spec_.name, "scenario");
+    if (!buildStreams())
+        return merged_;
+
+    // K-way merge keyed (tick, device index). Devices are sorted by
+    // port, so the index tie-break is the port tie-break; equal ticks
+    // interleave in a stable, spec-defined order.
+    struct Head
+    {
+        mem::Tick tick;
+        std::size_t device;
+
+        bool
+        operator>(const Head &other) const
+        {
+            if (tick != other.tick)
+                return tick > other.tick;
+            return device > other.device;
+        }
+    };
+    std::priority_queue<Head, std::vector<Head>, std::greater<Head>>
+        heap;
+    std::vector<std::size_t> cursor(streams_.size(), 0);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+        total += streams_[i].size();
+        if (!streams_[i].empty())
+            heap.push(Head{streams_[i][0].tick, i});
+    }
+    merged_.requests().reserve(total);
+    while (!heap.empty()) {
+        const Head head = heap.top();
+        heap.pop();
+        const mem::Trace &stream = streams_[head.device];
+        merged_.add(stream[cursor[head.device]]);
+        if (++cursor[head.device] < stream.size())
+            heap.push(
+                Head{stream[cursor[head.device]].tick, head.device});
+    }
+    if (telemetry::enabled())
+        telemetry::MetricsRegistry::global()
+            .counter("scenario.merged_requests")
+            .add(merged_.size());
+    return merged_;
+}
+
+bool
+ScenarioEngine::run(ScenarioReport &report, std::string *error)
+{
+    if (!buildStreams(error))
+        return false;
+
+    report = ScenarioReport{};
+    report.name = spec_.name;
+    report.devices.resize(spec_.devices.size());
+
+    // Isolated baselines: each device alone on an identical topology.
+    // parallelFor over devices; the inner simulation stays serial (a
+    // nested parallelFor would run sequentially anyway).
+    if (!options_.skipIsolated) {
+        util::parallelFor(
+            spec_.devices.size(),
+            [&](std::size_t i) {
+                dram::SimulationOptions sim_options;
+                sim_options.threads = 1;
+                const dram::SimulationResult isolated =
+                    dram::simulateTrace(streams_[i], spec_.dram,
+                                        spec_.crossbar, sim_options);
+                report.devices[i].isolatedReadLatency =
+                    isolated.avgReadLatency();
+                report.devices[i].isolatedFinishTick =
+                    isolated.finishTick;
+            },
+            options_.threads);
+    }
+
+    // The contended mix: every device on the shared memory system.
+    dram::SocConfig soc_config;
+    soc_config.dram = spec_.dram;
+    soc_config.crossbar = spec_.crossbar;
+    soc_config.sharedLink = spec_.sharedLink;
+    soc_config.arbiter = spec_.arbiter;
+    soc_config.collectLatencySamples = true;
+    if (spec_.sharedLink) {
+        soc_config.arbiter.priorities.clear();
+        for (const DeviceSpec &d : spec_.devices)
+            soc_config.arbiter.priorities.push_back(d.priority);
+    }
+    std::vector<dram::SocDevice> soc_devices;
+    soc_devices.reserve(spec_.devices.size());
+    for (std::size_t i = 0; i < spec_.devices.size(); ++i)
+        soc_devices.emplace_back(
+            spec_.devices[i].name,
+            std::make_shared<mem::TraceSource>(streams_[i]));
+    const dram::SocResult contended =
+        dram::simulateSoc(soc_devices, soc_config);
+
+    obs::TraceEventWriter *trace = obs::collector();
+    for (std::size_t i = 0; i < spec_.devices.size(); ++i) {
+        const DeviceSpec &d = spec_.devices[i];
+        const dram::SocDeviceResult &res = contended.devices[i];
+        DeviceReport &out = report.devices[i];
+        out.name = d.name;
+        out.kind = d.kind();
+        out.port = d.port;
+        out.requests = res.injected;
+        out.reads = res.reads;
+        out.writes = res.writes;
+        out.contendedReadLatency = res.readLatency.mean();
+        out.readLatencyP50 = percentile(res.readLatencySamples, 50.0);
+        out.readLatencyP99 = percentile(res.readLatencySamples, 99.0);
+        out.accumulatedDelay = res.accumulatedDelay;
+        out.finishTick = res.finishTick;
+        out.slowdown = out.isolatedReadLatency > 0.0
+                           ? out.contendedReadLatency /
+                                 out.isolatedReadLatency
+                           : 0.0;
+        report.totalRequests += res.injected;
+        report.finishTick =
+            std::max(report.finishTick, res.finishTick);
+        if (trace != nullptr) {
+            const auto tid = static_cast<std::uint32_t>(
+                obs::track::kScenarioBase + i);
+            trace->nameTrack(tid, "scenario " + spec_.name + "/" +
+                                      d.name);
+            trace->complete(
+                "device", "scenario", d.startOffset,
+                res.finishTick > d.startOffset
+                    ? res.finishTick - d.startOffset
+                    : 0,
+                tid,
+                {{"requests",
+                  static_cast<std::int64_t>(res.injected)},
+                 {"port", static_cast<std::int64_t>(d.port)}});
+        }
+    }
+
+    // Rank by interference-induced slowdown, worst first; ties (e.g.
+    // skipped baselines) stay in port order because the sort is stable.
+    std::stable_sort(report.devices.begin(), report.devices.end(),
+                     [](const DeviceReport &a, const DeviceReport &b) {
+                         return a.slowdown > b.slowdown;
+                     });
+
+    report.readBursts = contended.readBursts();
+    report.writeBursts = contended.writeBursts();
+    report.readRowHits = contended.readRowHits();
+    report.writeRowHits = contended.writeRowHits();
+    report.avgReadLatency = contended.memory.readLatency.mean();
+    report.backpressureRejects = contended.memory.backpressureRejects;
+
+    if (telemetry::enabled()) {
+        auto &registry = telemetry::MetricsRegistry::global();
+        registry.counter("scenario.runs").add(1);
+        registry.counter("scenario.contended_requests")
+            .add(report.totalRequests);
+    }
+    return true;
+}
+
+bool
+runScenarioFile(const std::string &path, ScenarioReport &report,
+                const ScenarioOptions &options, std::string *error)
+{
+    ScenarioSpec spec;
+    if (!loadScenario(path, spec, error))
+        return false;
+    ScenarioEngine engine(std::move(spec), options);
+    return engine.run(report, error);
+}
+
+} // namespace mocktails::scenario

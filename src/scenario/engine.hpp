@@ -1,0 +1,120 @@
+/**
+ * @file
+ * ScenarioEngine: executes a ScenarioSpec end to end.
+ *
+ * Dataflow:
+ *
+ *   spec.devices ──(generator / profile synthesis)──► device streams
+ *        │  clock-scale, offset, budget                    │
+ *        │                                                 ▼
+ *        │               k-way merge (tick, port) ──► merged stream
+ *        │                                                 │
+ *        ├── per-device isolated runs (parallel, sharded DRAM)
+ *        └── one contended simulateSoc run (shared crossbar/DRAM)
+ *                                                          │
+ *                                                          ▼
+ *                       ScenarioReport (slowdown-ranked devices)
+ *
+ * Determinism: device streams come from core::synthesize /
+ * makeDeviceTrace, both bit-identical per seed at any thread count;
+ * clock scaling is exact integer arithmetic; the merge is a pure
+ * deterministic k-way merge keyed (tick, port). The merged stream and
+ * the report are therefore bit-identical at every thread count.
+ */
+
+#ifndef MOCKTAILS_SCENARIO_ENGINE_HPP
+#define MOCKTAILS_SCENARIO_ENGINE_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "mem/trace.hpp"
+#include "scenario/report.hpp"
+#include "scenario/spec.hpp"
+
+namespace mocktails::scenario
+{
+
+/** Execution knobs: how, never what — results are thread-invariant. */
+struct ScenarioOptions
+{
+    /** Worker cap for stream builds and isolated baselines; 0 = auto. */
+    unsigned threads = 0;
+
+    /**
+     * Skip the per-device isolated baselines (report slowdown as 0).
+     * The contended run and the merged stream are unaffected.
+     */
+    bool skipIsolated = false;
+};
+
+/**
+ * Builds a scenario's device streams and runs the composed mix.
+ *
+ * Usage: construct, then either mergedStream() for the serving path or
+ * run() for the full contended-vs-isolated report. Streams build
+ * lazily on first use and are cached.
+ */
+class ScenarioEngine
+{
+  public:
+    explicit ScenarioEngine(ScenarioSpec spec,
+                            ScenarioOptions options = ScenarioOptions{});
+
+    const ScenarioSpec &spec() const { return spec_; }
+
+    /**
+     * Materialise every device stream (in parallel across devices).
+     * Ticks are already projected onto the interconnect clock.
+     *
+     * @return false with @p error set when a profile fails to load or
+     *         a generator name is unknown.
+     */
+    bool buildStreams(std::string *error = nullptr);
+
+    /**
+     * Build one device's stream in isolation (no caching): generator
+     * or profile synthesis, then clock scaling, start offset and
+     * budget. Deterministic in the spec alone.
+     */
+    bool buildDeviceStream(std::size_t device_index, mem::Trace &out,
+                           std::string *error = nullptr) const;
+
+    /** The cached per-device streams (buildStreams() implied). */
+    const std::vector<mem::Trace> &deviceStreams();
+
+    /**
+     * The tick-interleaved merge of all device streams, keyed
+     * (tick, port) — the stream served under "scenario:<name>".
+     */
+    const mem::Trace &mergedStream();
+
+    /**
+     * Run isolated baselines plus the contended mix and fill
+     * @p report. @return false with @p error on stream-build failure.
+     */
+    bool run(ScenarioReport &report, std::string *error = nullptr);
+
+  private:
+    ScenarioSpec spec_;
+    ScenarioOptions options_;
+    bool built_ = false;
+    std::string build_error_;
+    std::vector<mem::Trace> streams_;
+    mem::Trace merged_;
+    bool merged_built_ = false;
+};
+
+/**
+ * Convenience: parse + build + run in one call.
+ * @return false with @p error on parse or build failure.
+ */
+bool runScenarioFile(const std::string &path,
+                     ScenarioReport &report,
+                     const ScenarioOptions &options = ScenarioOptions{},
+                     std::string *error = nullptr);
+
+} // namespace mocktails::scenario
+
+#endif // MOCKTAILS_SCENARIO_ENGINE_HPP

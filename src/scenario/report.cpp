@@ -1,0 +1,165 @@
+#include "scenario/report.hpp"
+
+#include <cstdio>
+
+namespace mocktails::scenario
+{
+
+namespace
+{
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out += c;
+    }
+    out += '"';
+}
+
+void
+appendKv(std::string &out, const char *key, double value)
+{
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), ",\"%s\":%.6g", key, value);
+    out += buf;
+}
+
+void
+appendKv(std::string &out, const char *key, std::uint64_t value)
+{
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), ",\"%s\":%llu", key,
+                  static_cast<unsigned long long>(value));
+    out += buf;
+}
+
+bool
+writeString(const std::string &text, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::size_t written =
+        std::fwrite(text.data(), 1, text.size(), f);
+    return std::fclose(f) == 0 && written == text.size();
+}
+
+} // namespace
+
+std::string
+ScenarioReport::toJson() const
+{
+    std::string out;
+    out.reserve(512 + devices.size() * 320);
+    out += "{\"name\":";
+    appendJsonString(out, name);
+    appendKv(out, "total_requests", totalRequests);
+    appendKv(out, "read_bursts", readBursts);
+    appendKv(out, "write_bursts", writeBursts);
+    appendKv(out, "read_row_hits", readRowHits);
+    appendKv(out, "write_row_hits", writeRowHits);
+    appendKv(out, "avg_read_latency", avgReadLatency);
+    appendKv(out, "backpressure_rejects", backpressureRejects);
+    appendKv(out, "finish_tick", static_cast<std::uint64_t>(finishTick));
+    out += ",\"devices\":[";
+    bool first = true;
+    for (const DeviceReport &d : devices) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += "{\"name\":";
+        appendJsonString(out, d.name);
+        out += ",\"kind\":";
+        appendJsonString(out, d.kind);
+        appendKv(out, "port", static_cast<std::uint64_t>(d.port));
+        appendKv(out, "requests", d.requests);
+        appendKv(out, "reads", d.reads);
+        appendKv(out, "writes", d.writes);
+        appendKv(out, "contended_read_latency", d.contendedReadLatency);
+        appendKv(out, "isolated_read_latency", d.isolatedReadLatency);
+        appendKv(out, "slowdown", d.slowdown);
+        appendKv(out, "read_latency_p50", d.readLatencyP50);
+        appendKv(out, "read_latency_p99", d.readLatencyP99);
+        appendKv(out, "accumulated_delay",
+                 static_cast<std::uint64_t>(d.accumulatedDelay));
+        appendKv(out, "finish_tick",
+                 static_cast<std::uint64_t>(d.finishTick));
+        appendKv(out, "isolated_finish_tick",
+                 static_cast<std::uint64_t>(d.isolatedFinishTick));
+        out += '}';
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+ScenarioReport::toMarkdown() const
+{
+    std::string out;
+    char line[256];
+    out += "# Scenario report: " + name + "\n\n";
+    std::snprintf(line, sizeof(line),
+                  "- requests: %llu (reads+writes across %zu devices)\n",
+                  static_cast<unsigned long long>(totalRequests),
+                  devices.size());
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "- mean read latency: %.2f ticks\n", avgReadLatency);
+    out += line;
+    std::snprintf(
+        line, sizeof(line),
+        "- row hits: %llu read / %llu write (of %llu / %llu bursts)\n",
+        static_cast<unsigned long long>(readRowHits),
+        static_cast<unsigned long long>(writeRowHits),
+        static_cast<unsigned long long>(readBursts),
+        static_cast<unsigned long long>(writeBursts));
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "- backpressure rejects: %llu; finish tick: %llu\n\n",
+                  static_cast<unsigned long long>(backpressureRejects),
+                  static_cast<unsigned long long>(finishTick));
+    out += line;
+
+    out += "Devices ranked by interference-induced slowdown "
+           "(contended / isolated mean read latency):\n\n";
+    out += "| device | kind | port | requests | isolated | contended "
+           "| slowdown | p50 | p99 | delay |\n";
+    out += "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|\n";
+    for (const DeviceReport &d : devices) {
+        std::snprintf(
+            line, sizeof(line),
+            "| %s | %s | %u | %llu | %.2f | %.2f | %.3fx "
+            "| %.1f | %.1f | %llu |\n",
+            d.name.c_str(), d.kind.c_str(), d.port,
+            static_cast<unsigned long long>(d.requests),
+            d.isolatedReadLatency, d.contendedReadLatency, d.slowdown,
+            d.readLatencyP50, d.readLatencyP99,
+            static_cast<unsigned long long>(d.accumulatedDelay));
+        out += line;
+    }
+    return out;
+}
+
+bool
+saveReportJson(const ScenarioReport &report, const std::string &path)
+{
+    return writeString(report.toJson(), path);
+}
+
+bool
+saveReportMarkdown(const ScenarioReport &report, const std::string &path)
+{
+    return writeString(report.toMarkdown(), path);
+}
+
+} // namespace mocktails::scenario

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * ScenarioReport: per-device and global results of a composed run.
+ *
+ * The central number is per-device *interference-induced slowdown*:
+ * each device's mean read latency in the contended run divided by the
+ * same device's latency when it ran alone on an identical memory
+ * system. Devices are ranked worst-first, which is the question an
+ * architect asks of a mix ("who suffers when these IPs share the
+ * crossbar?"). JSON for tooling, markdown for humans.
+ */
+
+#ifndef MOCKTAILS_SCENARIO_REPORT_HPP
+#define MOCKTAILS_SCENARIO_REPORT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/request.hpp"
+
+namespace mocktails::scenario
+{
+
+/** One device's results, contended vs. isolated. */
+struct DeviceReport
+{
+    std::string name;
+    std::string kind;       ///< "generator:..." / "profile:..."
+    std::uint32_t port = 0;
+
+    std::uint64_t requests = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    /// @name Contended (shared crossbar/DRAM) run
+    /// @{
+    double contendedReadLatency = 0.0; ///< mean, ticks
+    double readLatencyP50 = 0.0;       ///< ticks (0 when no reads)
+    double readLatencyP99 = 0.0;
+    mem::Tick accumulatedDelay = 0;    ///< backpressure folded in
+    mem::Tick finishTick = 0;
+    /// @}
+
+    /// @name Isolated baseline (same device alone, same topology)
+    /// @{
+    double isolatedReadLatency = 0.0;
+    mem::Tick isolatedFinishTick = 0;
+    /// @}
+
+    /** contended / isolated mean read latency (0 when undefined). */
+    double slowdown = 0.0;
+};
+
+/** The full scenario outcome. */
+struct ScenarioReport
+{
+    std::string name;
+
+    /** Devices ranked by interference-induced slowdown, worst first. */
+    std::vector<DeviceReport> devices;
+
+    /// @name Global shared-memory-system statistics
+    /// @{
+    std::uint64_t totalRequests = 0;
+    std::uint64_t readBursts = 0;
+    std::uint64_t writeBursts = 0;
+    std::uint64_t readRowHits = 0;
+    std::uint64_t writeRowHits = 0;
+    double avgReadLatency = 0.0; ///< mean over all devices, ticks
+    std::uint64_t backpressureRejects = 0;
+    mem::Tick finishTick = 0;    ///< last injection in the mix
+    /// @}
+
+    /** Render as a self-contained JSON object. */
+    std::string toJson() const;
+
+    /** Render as a markdown table + summary. */
+    std::string toMarkdown() const;
+};
+
+/** Write toJson() to @p path. @return false on I/O failure. */
+bool saveReportJson(const ScenarioReport &report,
+                    const std::string &path);
+
+/** Write toMarkdown() to @p path. @return false on I/O failure. */
+bool saveReportMarkdown(const ScenarioReport &report,
+                        const std::string &path);
+
+} // namespace mocktails::scenario
+
+#endif // MOCKTAILS_SCENARIO_REPORT_HPP

@@ -1,0 +1,78 @@
+#include "scenario/serve.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "scenario/engine.hpp"
+
+namespace mocktails::scenario
+{
+
+namespace
+{
+
+/**
+ * Fill @p out with a materialised trace entry. The profile metadata
+ * mirrors the trace's so v1 clients (which read OpenedBody fields
+ * filled from either) see consistent names.
+ */
+void
+fillStored(serve::StoredProfile &out, mem::Trace trace,
+           std::uint64_t stream_parts)
+{
+    out.profile.name = trace.name();
+    out.profile.device = trace.device();
+    out.streamParts = stream_parts;
+    out.trace = std::make_shared<const mem::Trace>(std::move(trace));
+}
+
+} // namespace
+
+void
+registerScenario(serve::ProfileStore &store, ScenarioSpec spec,
+                 std::string *id_out)
+{
+    const auto shared =
+        std::make_shared<const ScenarioSpec>(std::move(spec));
+    const std::string merged_id = scenarioId(shared->name);
+    if (id_out != nullptr)
+        *id_out = merged_id;
+
+    store.registerLoader(
+        merged_id,
+        [shared](serve::StoredProfile &out, std::string *error) {
+            ScenarioEngine engine(*shared);
+            if (!engine.buildStreams(error))
+                return false;
+            fillStored(out, engine.mergedStream(),
+                       shared->devices.size());
+            return true;
+        });
+
+    for (std::size_t k = 0; k < shared->devices.size(); ++k) {
+        store.registerLoader(
+            scenarioDeviceId(shared->name, k),
+            [shared, k](serve::StoredProfile &out,
+                        std::string *error) {
+                mem::Trace stream;
+                ScenarioEngine engine(*shared);
+                if (!engine.buildDeviceStream(k, stream, error))
+                    return false;
+                fillStored(out, std::move(stream), 0);
+                return true;
+            });
+    }
+}
+
+bool
+registerScenario(serve::ProfileStore &store, const std::string &path,
+                 std::string *id_out, std::string *error)
+{
+    ScenarioSpec spec;
+    if (!loadScenario(path, spec, error))
+        return false;
+    registerScenario(store, std::move(spec), id_out);
+    return true;
+}
+
+} // namespace mocktails::scenario

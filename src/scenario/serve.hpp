@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Serving integration: scenarios as first-class profile ids.
+ *
+ * registerScenario() parses a `.scn` file eagerly (bad specs fail at
+ * registration, not at first fetch) and installs ProfileStore loaders
+ * for:
+ *
+ *   scenario:<name>      the tick-interleaved merged stream; its
+ *                        OpenedBody advertises the device count in
+ *                        `leaves` (StoredProfile::streamParts)
+ *   scenario:<name>#<k>  device k's stream alone (one mux channel per
+ *                        device in `profile_tool fetch --mux`)
+ *
+ * Stream materialisation is lazy and single-flighted by the store; the
+ * resulting entries participate in LRU eviction like disk profiles,
+ * and live sessions keep evicted streams alive via shared_ptr.
+ */
+
+#ifndef MOCKTAILS_SCENARIO_SERVE_HPP
+#define MOCKTAILS_SCENARIO_SERVE_HPP
+
+#include <string>
+
+#include "scenario/spec.hpp"
+#include "serve/profile_store.hpp"
+
+namespace mocktails::scenario
+{
+
+/**
+ * Register every id of the scenario at @p path in @p store.
+ *
+ * @param id_out When non-null receives the merged id
+ *        ("scenario:<name>").
+ * @return false with @p error set on parse failure (the store is left
+ *         untouched).
+ */
+bool registerScenario(serve::ProfileStore &store,
+                      const std::string &path,
+                      std::string *id_out = nullptr,
+                      std::string *error = nullptr);
+
+/** As above, from an already-parsed spec. */
+void registerScenario(serve::ProfileStore &store, ScenarioSpec spec,
+                      std::string *id_out = nullptr);
+
+} // namespace mocktails::scenario
+
+#endif // MOCKTAILS_SCENARIO_SERVE_HPP

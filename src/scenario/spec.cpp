@@ -1,0 +1,491 @@
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <numeric>
+#include <set>
+
+namespace mocktails::scenario
+{
+
+namespace
+{
+
+/** Read one full line of any length (mirrors mem/trace_io.cpp). */
+bool
+readLine(std::FILE *f, std::string &line)
+{
+    line.clear();
+    char chunk[256];
+    while (std::fgets(chunk, sizeof(chunk), f) != nullptr) {
+        line += chunk;
+        if (!line.empty() && line.back() == '\n') {
+            line.pop_back();
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return true;
+        }
+    }
+    return !line.empty();
+}
+
+void
+setParseError(std::string *error, const std::string &path,
+              std::uint64_t line_number, const std::string &message,
+              const std::string &line)
+{
+    if (error == nullptr)
+        return;
+    *error = path + ":" + std::to_string(line_number) + ": " + message;
+    if (!line.empty()) {
+        const std::string head = line.substr(0, 64);
+        *error += " in '" + head +
+                  (line.size() > head.size() ? "...'" : "'");
+    }
+}
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Strip surrounding double quotes, if any. */
+std::string
+unquote(const std::string &s)
+{
+    if (s.size() >= 2 && s.front() == '"' && s.back() == '"')
+        return s.substr(1, s.size() - 2);
+    return s;
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t &out)
+{
+    if (s.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+        if (v > (~std::uint64_t{0} - digit) / 10)
+            return false; // overflow
+        v = v * 10 + digit;
+    }
+    out = v;
+    return true;
+}
+
+bool
+parseBool(const std::string &s, bool &out)
+{
+    if (s == "true") {
+        out = true;
+        return true;
+    }
+    if (s == "false") {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Parse a decimal clock ratio ("1", "0.5", "2.25") into an exact
+ * num/den pair, reduced. Rejects zero and more than 6 fraction digits
+ * (enough for any believable clock ratio, and keeps den in range).
+ */
+bool
+parseClock(const std::string &s, std::uint32_t &num, std::uint32_t &den)
+{
+    const std::size_t dot = s.find('.');
+    const std::string whole = dot == std::string::npos ? s : s.substr(0, dot);
+    const std::string frac =
+        dot == std::string::npos ? "" : s.substr(dot + 1);
+    if (whole.empty() && frac.empty())
+        return false;
+    if (frac.size() > 6)
+        return false;
+    std::uint64_t w = 0, f = 0;
+    if (!whole.empty() && !parseU64(whole, w))
+        return false;
+    if (!frac.empty() && !parseU64(frac, f))
+        return false;
+    std::uint64_t d = 1;
+    for (std::size_t i = 0; i < frac.size(); ++i)
+        d *= 10;
+    std::uint64_t n = w * d + f;
+    if (n == 0 || n > ~std::uint32_t{0})
+        return false;
+    const std::uint64_t g = std::gcd(n, d);
+    num = static_cast<std::uint32_t>(n / g);
+    den = static_cast<std::uint32_t>(d / g);
+    return true;
+}
+
+/** The current [section] context while parsing. */
+enum class Section { None, Dram, Crossbar, Link, Device };
+
+} // namespace
+
+std::string
+DeviceSpec::kind() const
+{
+    return generator.empty() ? "profile:" + profilePath
+                             : "generator:" + generator;
+}
+
+std::string
+scenarioNameFromPath(const std::string &path)
+{
+    const std::size_t slash = path.find_last_of('/');
+    std::string stem =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const std::size_t dot = stem.find_last_of('.');
+    if (dot != std::string::npos && dot > 0)
+        stem.resize(dot);
+    return stem;
+}
+
+std::string
+scenarioId(const std::string &name)
+{
+    return "scenario:" + name;
+}
+
+std::string
+scenarioDeviceId(const std::string &name, std::size_t device_index)
+{
+    return "scenario:" + name + "#" + std::to_string(device_index);
+}
+
+bool
+parseScenario(const std::string &text, const std::string &path,
+              ScenarioSpec &spec, std::string *error)
+{
+    spec = ScenarioSpec{};
+    spec.name = scenarioNameFromPath(path);
+
+    Section section = Section::None;
+    DeviceSpec device; // staging for the current [device] section
+    bool device_open = false;
+    bool port_explicit = false;
+    std::uint32_t next_port = 0;
+
+    const auto finishDevice = [&](std::uint64_t line_number,
+                                  const std::string &line) {
+        if (!device_open)
+            return true;
+        if (device.generator.empty() == device.profilePath.empty()) {
+            setParseError(error, path, line_number,
+                          "device '" + device.name +
+                              "' needs exactly one of generator= or "
+                              "profile=",
+                          line);
+            return false;
+        }
+        if (!port_explicit)
+            device.port = next_port;
+        next_port = std::max(next_port, device.port) + 1;
+        spec.devices.push_back(device);
+        device_open = false;
+        return true;
+    };
+
+    std::uint64_t line_number = 0;
+    std::size_t pos = 0;
+    std::string line;
+    while (pos <= text.size()) {
+        const std::size_t nl = text.find('\n', pos);
+        if (nl == std::string::npos) {
+            line = text.substr(pos);
+            pos = text.size() + 1;
+        } else {
+            line = text.substr(pos, nl - pos);
+            pos = nl + 1;
+        }
+        ++line_number;
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+
+        // Strip comments (a '#' outside quotes) and whitespace.
+        bool quoted = false;
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            if (line[i] == '"')
+                quoted = !quoted;
+            else if (line[i] == '#' && !quoted) {
+                line.resize(i);
+                break;
+            }
+        }
+        const std::string stripped = trim(line);
+        if (stripped.empty())
+            continue;
+
+        // Section header.
+        if (stripped.front() == '[') {
+            if (stripped.back() != ']') {
+                setParseError(error, path, line_number,
+                              "unterminated section header", line);
+                return false;
+            }
+            if (!finishDevice(line_number, line))
+                return false;
+            const std::string header =
+                trim(stripped.substr(1, stripped.size() - 2));
+            if (header == "dram") {
+                section = Section::Dram;
+            } else if (header == "crossbar") {
+                section = Section::Crossbar;
+            } else if (header == "link") {
+                section = Section::Link;
+                spec.sharedLink = true; // presence enables the link
+            } else if (header.compare(0, 7, "device ") == 0) {
+                section = Section::Device;
+                device = DeviceSpec{};
+                device.name = unquote(trim(header.substr(7)));
+                device_open = true;
+                port_explicit = false;
+                if (device.name.empty()) {
+                    setParseError(error, path, line_number,
+                                  "device section needs a name", line);
+                    return false;
+                }
+                for (const DeviceSpec &d : spec.devices) {
+                    if (d.name == device.name) {
+                        setParseError(error, path, line_number,
+                                      "duplicate device '" +
+                                          device.name + "'",
+                                      line);
+                        return false;
+                    }
+                }
+            } else {
+                setParseError(error, path, line_number,
+                              "unknown section [" + header + "]", line);
+                return false;
+            }
+            continue;
+        }
+
+        // key = value line.
+        const std::size_t eq = stripped.find('=');
+        if (eq == std::string::npos) {
+            setParseError(error, path, line_number,
+                          "expected 'key = value' or '[section]'",
+                          line);
+            return false;
+        }
+        const std::string key = trim(stripped.substr(0, eq));
+        const std::string value = trim(stripped.substr(eq + 1));
+        if (key.empty() || value.empty()) {
+            setParseError(error, path, line_number,
+                          "expected 'key = value'", line);
+            return false;
+        }
+
+        std::uint64_t u = 0;
+        const auto wantU64 = [&](std::uint64_t &out) {
+            if (!parseU64(value, out)) {
+                setParseError(error, path, line_number,
+                              "'" + key +
+                                  "' expects a non-negative integer",
+                              line);
+                return false;
+            }
+            return true;
+        };
+        const auto wantU32 = [&](std::uint32_t &out) {
+            if (!wantU64(u) || u > ~std::uint32_t{0}) {
+                setParseError(error, path, line_number,
+                              "'" + key + "' out of range", line);
+                return false;
+            }
+            out = static_cast<std::uint32_t>(u);
+            return true;
+        };
+
+        switch (section) {
+        case Section::None:
+            if (key == "name") {
+                spec.name = unquote(value);
+            } else if (key == "seed") {
+                if (!wantU64(spec.seed))
+                    return false;
+            } else {
+                setParseError(error, path, line_number,
+                              "unknown top-level key '" + key + "'",
+                              line);
+                return false;
+            }
+            break;
+
+        case Section::Dram:
+            if (key == "channels") {
+                if (!wantU32(spec.dram.channels))
+                    return false;
+            } else if (key == "ranks") {
+                if (!wantU32(spec.dram.ranksPerChannel))
+                    return false;
+            } else if (key == "banks") {
+                if (!wantU32(spec.dram.banksPerRank))
+                    return false;
+            } else if (key == "burst_size") {
+                if (!wantU32(spec.dram.burstSize))
+                    return false;
+            } else if (key == "row_buffer") {
+                if (!wantU32(spec.dram.rowBufferSize))
+                    return false;
+            } else if (key == "read_queue") {
+                if (!wantU32(spec.dram.readQueueCapacity))
+                    return false;
+            } else if (key == "write_queue") {
+                if (!wantU32(spec.dram.writeQueueCapacity))
+                    return false;
+            } else {
+                setParseError(error, path, line_number,
+                              "unknown [dram] key '" + key + "'",
+                              line);
+                return false;
+            }
+            break;
+
+        case Section::Crossbar:
+            if (key == "latency") {
+                if (!wantU32(spec.crossbar.latency))
+                    return false;
+            } else if (key == "queue") {
+                if (!wantU32(spec.crossbar.queueCapacity))
+                    return false;
+            } else if (key == "retry_interval") {
+                if (!wantU32(spec.crossbar.retryInterval))
+                    return false;
+            } else {
+                setParseError(error, path, line_number,
+                              "unknown [crossbar] key '" + key + "'",
+                              line);
+                return false;
+            }
+            break;
+
+        case Section::Link:
+            if (key == "shared") {
+                if (!parseBool(value, spec.sharedLink)) {
+                    setParseError(error, path, line_number,
+                                  "'shared' expects true or false",
+                                  line);
+                    return false;
+                }
+            } else if (key == "latency") {
+                if (!wantU32(spec.arbiter.linkLatency))
+                    return false;
+            } else if (key == "queue") {
+                if (!wantU32(spec.arbiter.queueCapacity))
+                    return false;
+            } else if (key == "cycle") {
+                if (!wantU32(spec.arbiter.cycleTime))
+                    return false;
+            } else {
+                setParseError(error, path, line_number,
+                              "unknown [link] key '" + key + "'",
+                              line);
+                return false;
+            }
+            break;
+
+        case Section::Device:
+            if (key == "generator") {
+                device.generator = unquote(value);
+            } else if (key == "profile") {
+                device.profilePath = unquote(value);
+            } else if (key == "requests") {
+                if (!wantU64(device.requests))
+                    return false;
+            } else if (key == "seed") {
+                if (!wantU64(device.seed))
+                    return false;
+            } else if (key == "port") {
+                if (!wantU32(device.port))
+                    return false;
+                port_explicit = true;
+            } else if (key == "clock") {
+                if (!parseClock(value, device.clockNum,
+                                device.clockDen)) {
+                    setParseError(error, path, line_number,
+                                  "'clock' expects a positive decimal "
+                                  "ratio (e.g. 0.5, 1, 2.25)",
+                                  line);
+                    return false;
+                }
+            } else if (key == "start") {
+                if (!wantU64(device.startOffset))
+                    return false;
+            } else if (key == "budget") {
+                if (!wantU64(device.budget))
+                    return false;
+            } else if (key == "priority") {
+                if (!wantU32(device.priority))
+                    return false;
+            } else {
+                setParseError(error, path, line_number,
+                              "unknown [device] key '" + key + "'",
+                              line);
+                return false;
+            }
+            break;
+        }
+    }
+
+    if (!finishDevice(line_number, ""))
+        return false;
+    if (spec.devices.empty()) {
+        setParseError(error, path, line_number,
+                      "scenario declares no [device] sections", "");
+        return false;
+    }
+
+    // Devices are identified by crossbar port: sort and reject clashes.
+    std::stable_sort(spec.devices.begin(), spec.devices.end(),
+                     [](const DeviceSpec &a, const DeviceSpec &b) {
+                         return a.port < b.port;
+                     });
+    std::set<std::uint32_t> ports;
+    for (const DeviceSpec &d : spec.devices) {
+        if (!ports.insert(d.port).second) {
+            setParseError(error, path, line_number,
+                          "duplicate crossbar port " +
+                              std::to_string(d.port),
+                          "");
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+loadScenario(const std::string &path, ScenarioSpec &spec,
+             std::string *error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        if (error != nullptr)
+            *error = path + ": cannot open";
+        return false;
+    }
+    std::string text, line;
+    while (readLine(f, line)) {
+        text += line;
+        text += '\n';
+    }
+    std::fclose(f);
+    return parseScenario(text, path, spec, error);
+}
+
+} // namespace mocktails::scenario

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Scenario specifications: scriptable multi-profile SoC mixes.
+ *
+ * The paper's motivating use case (Secs. I, VI) is an architect
+ * swapping Mocktails profiles in for the proprietary IP blocks of a
+ * heterogeneous SoC. A scenario spec (`*.scn`) scripts exactly that
+ * composition: named devices — each a Table II / SPEC generator or a
+ * profile file — attached to crossbar ports of one shared memory
+ * system, with a per-device clock ratio, start offset and request
+ * budget. The format is a line-based TOML-lite:
+ *
+ *   # phone-soc.scn
+ *   name = "phone-soc"
+ *   seed = 1
+ *
+ *   [dram]               # optional Table III overrides
+ *   channels = 4
+ *
+ *   [crossbar]
+ *   latency = 8
+ *
+ *   [link]               # optional: funnel everything through one
+ *   shared = true        # round-robin-arbitrated link
+ *   latency = 4
+ *
+ *   [device gpu]
+ *   generator = "T-Rex1" # or: profile = "gpu.mkp"
+ *   requests = 20000
+ *   seed = 7             # 0 = derived from the scenario seed + port
+ *   port = 1             # crossbar port (default: declaration order)
+ *   clock = 2.0          # device cycles per interconnect cycle
+ *   start = 5000         # interconnect ticks before the device starts
+ *   budget = 0           # request cap after scaling (0 = all)
+ *   priority = 0         # shared-link priority (lower = more urgent)
+ *
+ * The parser fails loudly with "path:line: message" diagnostics naming
+ * the offending line, the same contract as mem::loadTraceCsv.
+ */
+
+#ifndef MOCKTAILS_SCENARIO_SPEC_HPP
+#define MOCKTAILS_SCENARIO_SPEC_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/config.hpp"
+#include "interconnect/arbiter.hpp"
+#include "interconnect/crossbar.hpp"
+#include "mem/request.hpp"
+
+namespace mocktails::scenario
+{
+
+/**
+ * One device of a scenario: a named request stream on a crossbar port.
+ */
+struct DeviceSpec
+{
+    std::string name; ///< section name, unique within the scenario
+
+    /** Exactly one of the two is set. */
+    std::string generator;   ///< Table II / SPEC workload name
+    std::string profilePath; ///< .mkp file synthesised per-device
+
+    /** Generator target length (profiles emit their own count). */
+    std::uint64_t requests = 10000;
+
+    /** Per-device synthesis/generator seed; 0 = scenario seed + port. */
+    std::uint64_t seed = 0;
+
+    /** Crossbar port / merge rank; defaults to declaration order. */
+    std::uint32_t port = 0;
+
+    /**
+     * Device clock as a ratio of the interconnect clock, kept exact as
+     * num/den: a device at clock 2/1 issues twice per interconnect
+     * cycle, so its ticks halve when projected onto interconnect time
+     * (tick' = start + tick * den / num).
+     */
+    std::uint32_t clockNum = 1;
+    std::uint32_t clockDen = 1;
+
+    /** Interconnect tick at which the device starts issuing. */
+    mem::Tick startOffset = 0;
+
+    /** Request budget after scaling; 0 = the whole stream. */
+    std::uint64_t budget = 0;
+
+    /** Shared-link arbitration priority (lower = more urgent). */
+    std::uint32_t priority = 0;
+
+    /** Resolved per-device seed (seed, or scenario seed + port). */
+    std::uint64_t effectiveSeed(std::uint64_t scenario_seed) const
+    {
+        return seed != 0 ? seed : scenario_seed + port + 1;
+    }
+
+    /** "generator:T-Rex1" / "profile:gpu.mkp" for reports. */
+    std::string kind() const;
+};
+
+/**
+ * A full scenario: shared-memory-system topology plus its devices,
+ * sorted by port.
+ */
+struct ScenarioSpec
+{
+    std::string name;         ///< defaults to the file stem
+    std::uint64_t seed = 1;   ///< base for derived per-device seeds
+
+    dram::DramConfig dram;
+    interconnect::CrossbarConfig crossbar;
+
+    /** When true all devices share one arbitrated link. */
+    bool sharedLink = false;
+    interconnect::ArbiterConfig arbiter;
+
+    std::vector<DeviceSpec> devices;
+};
+
+/**
+ * Parse scenario text. @p path is used only for diagnostics and the
+ * default scenario name.
+ *
+ * @return false with @p error (when non-null) set to a "path:line:
+ *         message" diagnostic on malformed input.
+ */
+bool parseScenario(const std::string &text, const std::string &path,
+                   ScenarioSpec &spec, std::string *error = nullptr);
+
+/** Load and parse @p path. Same diagnostics as parseScenario. */
+bool loadScenario(const std::string &path, ScenarioSpec &spec,
+                  std::string *error = nullptr);
+
+/** "dir/phone-soc.scn" -> "phone-soc" (the default scenario name). */
+std::string scenarioNameFromPath(const std::string &path);
+
+/** The serving id of a scenario: "scenario:" + name. */
+std::string scenarioId(const std::string &name);
+
+/** Id of one device's sub-stream: "scenario:<name>#<index>". */
+std::string scenarioDeviceId(const std::string &name,
+                             std::size_t device_index);
+
+} // namespace mocktails::scenario
+
+#endif // MOCKTAILS_SCENARIO_SPEC_HPP

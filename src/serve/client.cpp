@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <queue>
 
 #include <arpa/inet.h>
 #include <netdb.h>
@@ -543,6 +544,7 @@ MuxClient::nextEvent(Event &event, std::string *error)
         state.opened = true;
         state.total = opened.total;
         state.done = opened.total == 0;
+        state.leaves = opened.leaves;
         state.name = opened.name;
         state.device = opened.device;
         event.kind = Event::Kind::Opened;
@@ -715,26 +717,113 @@ fetchTrace(const std::string &host, std::uint16_t port,
     return true;
 }
 
+namespace
+{
+
+/**
+ * Deterministic k-way merge keyed (tick, stream index) — the same key
+ * the scenario engine merges its device streams with, so the result is
+ * byte-identical to the server's merged "scenario:<name>" stream.
+ */
+void
+mergeStreams(const std::vector<std::vector<mem::Request>> &streams,
+             std::vector<mem::Request> &out)
+{
+    struct Head
+    {
+        mem::Tick tick;
+        std::size_t stream;
+
+        bool
+        operator>(const Head &other) const
+        {
+            if (tick != other.tick)
+                return tick > other.tick;
+            return stream > other.stream;
+        }
+    };
+    std::priority_queue<Head, std::vector<Head>, std::greater<Head>>
+        heap;
+    std::vector<std::size_t> cursor(streams.size(), 0);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        total += streams[i].size();
+        if (!streams[i].empty())
+            heap.push(Head{streams[i][0].tick, i});
+    }
+    out.clear();
+    out.reserve(total);
+    while (!heap.empty()) {
+        const Head head = heap.top();
+        heap.pop();
+        out.push_back(streams[head.stream][cursor[head.stream]]);
+        if (++cursor[head.stream] < streams[head.stream].size())
+            heap.push(
+                Head{streams[head.stream][cursor[head.stream]].tick,
+                     head.stream});
+    }
+}
+
+} // namespace
+
 bool
 fetchTraceMux(const std::string &host, std::uint16_t port,
               const std::string &id, std::uint64_t seed,
               mem::Trace &trace, std::uint64_t chunkRequests,
               std::string *error)
 {
+    // Composed scenarios stream one channel per device: probe the
+    // merged id for its stream-part count (OpenedBody.leaves), then
+    // fetch every "scenario:<name>#<k>" sub-stream concurrently and
+    // reassemble with the engine's own merge key.
+    const bool composed = id.rfind("scenario:", 0) == 0 &&
+                          id.find('#') == std::string::npos;
+    std::uint64_t parts = 0;
+    std::string name;
+    std::string device;
+    if (composed) {
+        Client probe;
+        if (!probe.connect(host, port, {}, error))
+            return false;
+        RemoteSession session;
+        if (!probe.open(id, seed, session, error))
+            return false;
+        parts = session.leaves;
+        name = session.name;
+        device = session.device;
+        if (!probe.close(session, error))
+            return false;
+    }
+
     MuxClient client;
     if (!client.connect(host, port, {}, error))
         return false;
-    std::vector<FetchSpec> specs(1);
-    specs[0].id = id;
-    specs[0].seed = seed;
+    if (parts == 0) {
+        std::vector<FetchSpec> specs(1);
+        specs[0].id = id;
+        specs[0].seed = seed;
+        std::vector<std::vector<mem::Request>> outs;
+        if (!client.fetchAll(specs, outs, chunkRequests,
+                             /*pullDepth=*/4, error))
+            return false;
+        const MuxClient::Channel *state = client.channel(1);
+        trace = mem::Trace(state != nullptr ? state->name : "",
+                           state != nullptr ? state->device : "");
+        trace.requests() = std::move(outs[0]);
+        return true;
+    }
+
+    std::vector<FetchSpec> specs(static_cast<std::size_t>(parts));
+    for (std::uint64_t k = 0; k < parts; ++k) {
+        specs[k].id = id + "#" + std::to_string(k);
+        specs[k].seed = seed;
+    }
     std::vector<std::vector<mem::Request>> outs;
     if (!client.fetchAll(specs, outs, chunkRequests, /*pullDepth=*/4,
                          error))
         return false;
-    const MuxClient::Channel *state = client.channel(1);
-    trace = mem::Trace(state != nullptr ? state->name : "",
-                       state != nullptr ? state->device : "");
-    trace.requests() = std::move(outs[0]);
+    trace = mem::Trace(name, device);
+    mergeStreams(outs, trace.requests());
     return true;
 }
 

@@ -177,6 +177,7 @@ class MuxClient
         std::uint64_t received = 0;
         bool done = false; ///< final chunk seen
         std::uint64_t pullsOutstanding = 0;
+        std::uint64_t leaves = 0; ///< OpenedBody.leaves (stream parts)
         std::string name;
         std::string device;
         mem::RequestCodecState codec;
@@ -262,6 +263,12 @@ bool fetchTrace(const std::string &host, std::uint16_t port,
 /**
  * fetchTrace over a MuxClient channel — same result, multiplexed
  * wire path (what `profile_tool fetch --mux` uses).
+ *
+ * Composed-scenario ids ("scenario:<name>") stream one channel per
+ * device: the merged id is probed for its device count, each
+ * "scenario:<name>#<k>" sub-stream is fetched concurrently, and the
+ * client reassembles the merged order with the engine's (tick, device)
+ * merge key — byte-identical to fetching the merged id directly.
  */
 bool fetchTraceMux(const std::string &host, std::uint16_t port,
                    const std::string &id, std::uint64_t seed,

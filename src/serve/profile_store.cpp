@@ -27,6 +27,13 @@ ProfileStore::registerProfile(const std::string &id,
 }
 
 void
+ProfileStore::registerLoader(const std::string &id, Loader loader)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    loaders_[id] = std::move(loader);
+}
+
+void
 ProfileStore::insert(const std::string &id, core::Profile profile)
 {
     auto stored = std::make_shared<StoredProfile>();
@@ -69,25 +76,42 @@ ProfileStore::resolvePath(const std::string &id) const
 }
 
 void
-ProfileStore::loadEntry(const std::string &id, const std::string &path)
+ProfileStore::loadEntry(const std::string &id, const std::string &path,
+                        const Loader &loader)
 {
     loads_.fetch_add(1, std::memory_order_relaxed);
     auto stored = std::make_shared<StoredProfile>();
     stored->id = id;
     stored->path = path;
     std::string error;
-    std::vector<std::uint8_t> bytes;
-    bool ok = util::loadBytes(path, bytes, &error);
-    if (ok) {
-        stored->bytes = bytes.size();
-        if (!core::Profile::decodeCompressed(bytes, stored->profile,
-                                             &error)) {
-            error = path + ": " + error;
-            ok = false;
+    bool ok;
+    if (loader) {
+        ok = loader(*stored, &error);
+        if (ok) {
+            stored->id = id;
+            if (stored->totalRequests == 0)
+                stored->totalRequests =
+                    stored->trace != nullptr
+                        ? stored->trace->size()
+                        : stored->profile.totalRequests();
+            if (stored->bytes == 0 && stored->trace != nullptr)
+                stored->bytes = stored->trace->size() *
+                                sizeof(mem::Request);
         }
+    } else {
+        std::vector<std::uint8_t> bytes;
+        ok = util::loadBytes(path, bytes, &error);
+        if (ok) {
+            stored->bytes = bytes.size();
+            if (!core::Profile::decodeCompressed(
+                    bytes, stored->profile, &error)) {
+                error = path + ": " + error;
+                ok = false;
+            }
+        }
+        if (ok)
+            stored->totalRequests = stored->profile.totalRequests();
     }
-    if (ok)
-        stored->totalRequests = stored->profile.totalRequests();
 
     std::lock_guard<std::mutex> lock(mutex_);
     if (!ok) {
@@ -95,8 +119,9 @@ ProfileStore::loadEntry(const std::string &id, const std::string &path)
             load_failures_metric_->add();
         // Failed loads are not cached: drop the Loading slot (waiters
         // re-resolve and observe the failure through load_errors_).
-        load_errors_[id] = error.empty() ? (path + ": load failed")
-                                         : error;
+        load_errors_[id] =
+            error.empty() ? ((path.empty() ? id : path) + ": load failed")
+                          : error;
         entries_.erase(id);
         cv_.notify_all();
         return;
@@ -145,8 +170,12 @@ ProfileStore::get(const std::string &id, std::string *error)
     misses_.fetch_add(1, std::memory_order_relaxed);
     if (telemetry::enabled())
         misses_metric_->add();
-    const std::string path = resolvePath(id);
-    if (path.empty()) {
+    Loader loader;
+    const auto registered_loader = loaders_.find(id);
+    if (registered_loader != loaders_.end())
+        loader = registered_loader->second;
+    const std::string path = loader ? std::string{} : resolvePath(id);
+    if (!loader && path.empty()) {
         if (error != nullptr)
             *error = "unknown profile id '" + id + "'";
         return nullptr;
@@ -160,10 +189,10 @@ ProfileStore::get(const std::string &id, std::string *error)
     // handler), where queueing behind ourselves could deadlock a
     // 1-worker pool.
     if (util::ThreadPool::onWorkerThread()) {
-        loadEntry(id, path);
+        loadEntry(id, path, loader);
     } else {
         util::ThreadPool::global().submit(
-            [this, id, path] { loadEntry(id, path); });
+            [this, id, path, loader] { loadEntry(id, path, loader); });
     }
 
     lock.lock();

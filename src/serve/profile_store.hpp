@@ -26,12 +26,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 
 #include "core/profile.hpp"
+#include "mem/trace.hpp"
 
 namespace mocktails::telemetry
 {
@@ -50,6 +52,23 @@ struct StoredProfile
     core::Profile profile;
     std::size_t bytes = 0; ///< eviction cost (compressed file size)
     std::uint64_t totalRequests = 0;
+
+    /**
+     * When set, sessions stream this pre-materialised trace instead of
+     * synthesising from `profile` — how composed scenarios (and any
+     * other custom Loader) serve deterministic request streams under a
+     * profile id. Sessions hold the StoredProfile shared_ptr, so the
+     * trace survives eviction like everything else here.
+     */
+    std::shared_ptr<const mem::Trace> trace;
+
+    /**
+     * Sub-stream count advertised to clients in OpenedBody (0 = plain
+     * profile; the server reports leaf count instead). A scenario's
+     * merged entry reports its device count so `fetch --mux` knows how
+     * many per-device channels "scenario:<name>#<k>" to open.
+     */
+    std::uint64_t streamParts = 0;
 };
 
 struct StoreOptions
@@ -84,6 +103,19 @@ class ProfileStore
     void insert(const std::string &id, core::Profile profile);
 
     /**
+     * Custom population: fill a StoredProfile for @p id on demand
+     * (return false with a diagnostic on failure). Loaders run under
+     * the same single-flight/LRU machinery as disk loads — this is how
+     * scenario ids become first-class citizens of the store without
+     * the store knowing what a scenario is.
+     */
+    using Loader =
+        std::function<bool(StoredProfile &out, std::string *error)>;
+
+    /** Register @p loader for @p id (overrides path resolution). */
+    void registerLoader(const std::string &id, Loader loader);
+
+    /**
      * Fetch a profile, loading it on first use.
      *
      * @return The resident profile, or nullptr with @p error (when
@@ -116,8 +148,9 @@ class ProfileStore
     /** id -> path under the root rule; "" when unresolvable. */
     std::string resolvePath(const std::string &id) const;
 
-    /** Load @p id from disk and publish the slot result. */
-    void loadEntry(const std::string &id, const std::string &path);
+    /** Load @p id (disk or custom loader) and publish the result. */
+    void loadEntry(const std::string &id, const std::string &path,
+                   const Loader &loader);
 
     /** Evict LRU Ready entries until within capacity. Lock held. */
     void enforceCapacityLocked();
@@ -131,6 +164,7 @@ class ProfileStore
     std::condition_variable cv_;
     std::map<std::string, Entry> entries_;
     std::map<std::string, std::string> registered_;
+    std::map<std::string, Loader> loaders_;
     /// Last failure per id (failed loads are not cached as entries;
     /// waiters of the failed flight read the diagnostic from here).
     std::map<std::string, std::string> load_errors_;

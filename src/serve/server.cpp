@@ -939,10 +939,19 @@ StreamServer::startOpen(Connection &conn, std::uint64_t channel,
                 std::move(stored), session_options);
             OpenedBody opened;
             opened.session = channel;
-            opened.name = state->session->profile().profile.name;
-            opened.device = state->session->profile().profile.device;
-            opened.leaves =
-                state->session->profile().profile.leaves.size();
+            const StoredProfile &profile = state->session->profile();
+            opened.name = profile.trace != nullptr
+                              ? profile.trace->name()
+                              : profile.profile.name;
+            opened.device = profile.trace != nullptr
+                                ? profile.trace->device()
+                                : profile.profile.device;
+            // Scenario entries advertise their device-stream count so
+            // a mux fetch knows how many "#k" channels to open; plain
+            // profiles keep reporting their leaf count.
+            opened.leaves = profile.streamParts != 0
+                                ? profile.streamParts
+                                : profile.profile.leaves.size();
             opened.total = state->session->total();
             util::ByteWriter w;
             opened.encode(w);

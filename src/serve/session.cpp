@@ -38,13 +38,47 @@ publishSessionClose(std::uint64_t emitted,
 
 SynthesisSession::SynthesisSession(
     std::shared_ptr<const StoredProfile> profile, SessionOptions options)
-    : profile_(std::move(profile)), options_(options),
-      engine_(profile_->profile, options.seed)
+    : profile_(std::move(profile)), options_(options)
 {
-    total_ = engine_.total();
+    if (profile_->trace != nullptr) {
+        total_ = profile_->trace->size();
+    } else {
+        engine_ = std::make_unique<core::SynthesisEngine>(
+            profile_->profile, options.seed);
+        total_ = engine_->total();
+    }
     publishSessionOpen();
     if (options_.bufferCapacity > 0)
         producer_ = std::thread([this] { producerLoop(); });
+}
+
+bool
+SynthesisSession::pullOne(mem::Request &out)
+{
+    if (engine_ != nullptr)
+        return engine_->next(out);
+    const mem::Trace &trace = *profile_->trace;
+    if (trace_pos_ >= trace.size())
+        return false;
+    out = trace[trace_pos_++];
+    return true;
+}
+
+std::size_t
+SynthesisSession::pullBatch(std::vector<mem::Request> &out,
+                            std::size_t max)
+{
+    if (engine_ != nullptr)
+        return engine_->nextBatch(out, max);
+    const mem::Trace &trace = *profile_->trace;
+    const std::size_t take =
+        std::min(max, trace.size() - trace_pos_);
+    const auto begin = trace.requests().begin() +
+                       static_cast<std::ptrdiff_t>(trace_pos_);
+    out.insert(out.end(), begin,
+               begin + static_cast<std::ptrdiff_t>(take));
+    trace_pos_ += take;
+    return take;
 }
 
 SynthesisSession::~SynthesisSession()
@@ -59,7 +93,7 @@ SynthesisSession::producerLoop()
     for (;;) {
         // Generate outside the lock: the merge is the expensive part
         // and the buffer only needs the hand-off protected.
-        if (!engine_.next(request))
+        if (!pullOne(request))
             break;
         std::unique_lock<std::mutex> lock(mutex_);
         if (buffer_.size() >= options_.bufferCapacity &&
@@ -91,7 +125,7 @@ SynthesisSession::next(std::vector<mem::Request> &out, std::size_t max)
         std::lock_guard<std::mutex> lock(mutex_);
         if (closed_)
             return 0;
-        const std::size_t made = engine_.nextBatch(out, max);
+        const std::size_t made = pullBatch(out, max);
         emitted_ += made;
         return made;
     }

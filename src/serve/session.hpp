@@ -68,6 +68,11 @@ class SynthesisSession
     /**
      * @param profile Shared ownership: the session keeps the profile
      *        alive even if the store evicts it mid-stream.
+     *
+     * When the StoredProfile carries a pre-materialised trace (a
+     * composed scenario), the session streams that trace verbatim
+     * instead of synthesising — same chunking contract, and the
+     * stream is then seed-invariant by construction.
      */
     SynthesisSession(std::shared_ptr<const StoredProfile> profile,
                      SessionOptions options = {});
@@ -113,9 +118,17 @@ class SynthesisSession
   private:
     void producerLoop();
 
+    /// Stream one request / a batch from the engine or the trace
+    /// cursor. Callers serialise access (lock or producer thread).
+    bool pullOne(mem::Request &out);
+    std::size_t pullBatch(std::vector<mem::Request> &out,
+                          std::size_t max);
+
     std::shared_ptr<const StoredProfile> profile_;
     SessionOptions options_;
-    core::SynthesisEngine engine_;
+    /// The synthesis merge; null when streaming profile_->trace.
+    std::unique_ptr<core::SynthesisEngine> engine_;
+    std::size_t trace_pos_ = 0; ///< cursor when streaming a trace
     std::uint64_t total_ = 0;
 
     mutable std::mutex mutex_;

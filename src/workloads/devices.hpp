@@ -79,6 +79,16 @@ mem::Trace makeHevc(std::size_t target_requests, std::uint64_t seed,
                     int variant = 1);
 
 /// @}
+/// @name Scenario-space extensions (beyond Table II)
+/// @{
+
+/** DMA copy engine: descriptor ring + paired read/write burst runs. */
+mem::Trace makeDmaCopy(std::size_t target_requests, std::uint64_t seed);
+
+/** NPU tiled GEMM: A/B tile reads, weight reuse, C read-modify-write. */
+mem::Trace makeNpuGemm(std::size_t target_requests, std::uint64_t seed);
+
+/// @}
 
 /**
  * One entry of the trace inventory (paper Table II).
@@ -92,9 +102,10 @@ struct DeviceTraceSpec
 };
 
 /**
- * The 18-trace inventory of paper Table II (Crypto x2, CPU-D/G/V,
- * FBC-Linear x2, FBC-Tiled x2, Multi-layer, T-Rex x2, Manhattan,
- * OpenCL x2, HEVC x3).
+ * The trace inventory: the 18 traces of paper Table II (Crypto x2,
+ * CPU-D/G/V, FBC-Linear x2, FBC-Tiled x2, Multi-layer, T-Rex x2,
+ * Manhattan, OpenCL x2, HEVC x3) plus the scenario-space extensions
+ * (DMA-Copy, NPU-GEMM) — 20 in total.
  */
 const std::vector<DeviceTraceSpec> &deviceTraces();
 

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * DMA / copy-engine traces.
+ *
+ * Copy engines are the purest memory-to-memory devices on an SoC
+ * (AutoModel's SoC communication models treat them as first-class
+ * traffic sources): a descriptor ring is fetched, then each descriptor
+ * drives a long burst-read run from the source buffer followed by the
+ * matching burst-write run to the destination. The result is near-50%
+ * read/write mix, maximal row locality inside a transfer, and abrupt
+ * region switches between transfers — the opposite corner of the
+ * behaviour space from the cache-filtered CPU traces.
+ */
+
+#include "workloads/devices.hpp"
+
+#include "workloads/builder.hpp"
+
+namespace mocktails::workloads
+{
+
+namespace
+{
+
+constexpr mem::Addr ringBase = 0x140000000;
+constexpr mem::Addr srcPool = 0x150000000;
+constexpr mem::Addr dstPool = 0x160000000;
+
+} // namespace
+
+mem::Trace
+makeDmaCopy(std::size_t target, std::uint64_t seed)
+{
+    TraceBuilder b("DMA-Copy", "DMA", seed ^ 0xd3a);
+    util::Rng &rng = b.rng();
+
+    const mem::Tick burst_gap = 4;
+    std::uint32_t descriptor = 0;
+    while (b.size() < target) {
+        // Fetch the next descriptor from the ring (wraps at 256).
+        b.emitThen(ringBase + (descriptor % 256) * 32, 32,
+                   mem::Op::Read, 30);
+
+        // Transfer length: mostly page-ish copies, occasionally a
+        // large frame-sized one.
+        const std::uint32_t blocks =
+            rng.chance(0.15) ? 256 + rng.below(256)
+                             : 32 + rng.below(96);
+        const mem::Addr src =
+            srcPool + static_cast<mem::Addr>(rng.below(512)) * 0x40000;
+        const mem::Addr dst =
+            dstPool + static_cast<mem::Addr>(rng.below(512)) * 0x40000;
+
+        // The engine pipelines: read a burst, write it out, advance.
+        for (std::uint32_t i = 0; i < blocks && b.size() < target;
+             ++i) {
+            b.emitThen(src + static_cast<mem::Addr>(i) * 128, 128,
+                       mem::Op::Read, burst_gap);
+            b.emitThen(dst + static_cast<mem::Addr>(i) * 128, 128,
+                       mem::Op::Write, burst_gap);
+        }
+
+        // Completion-status write-back, then idle until the next
+        // descriptor is queued.
+        if (b.size() < target)
+            b.emitThen(ringBase + 0x2000 + (descriptor % 256) * 32, 32,
+                       mem::Op::Write, 10);
+        b.advance(500 + rng.below(2000));
+        ++descriptor;
+    }
+
+    mem::Trace trace = b.take();
+    trace.truncate(target);
+    return trace;
+}
+
+} // namespace mocktails::workloads

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * NPU tiled-GEMM traces.
+ *
+ * Neural accelerators spend their memory bandwidth on tiled matrix
+ * multiply: for each output tile, a row-major run of A-tile reads, a
+ * large-stride run of B-tile reads (column panels), heavy weight reuse
+ * from a resident region, and a read-modify-write of the C
+ * accumulator tile. The mix is strongly read-dominant with two very
+ * different stride populations — the pattern AutoModel reports for
+ * NN-accelerator communication traces and a deliberate stress for the
+ * per-feature Markov models.
+ */
+
+#include "workloads/devices.hpp"
+
+#include "workloads/builder.hpp"
+
+namespace mocktails::workloads
+{
+
+namespace
+{
+
+constexpr mem::Addr aBase = 0x180000000;
+constexpr mem::Addr bBase = 0x190000000;
+constexpr mem::Addr cBase = 0x1a0000000;
+constexpr mem::Addr weightBase = 0x1b0000000;
+
+} // namespace
+
+mem::Trace
+makeNpuGemm(std::size_t target, std::uint64_t seed)
+{
+    TraceBuilder b("NPU-GEMM", "NPU", seed ^ 0x4e50);
+    util::Rng &rng = b.rng();
+
+    // Tile geometry: 32x32 tiles of 4-byte elements -> 128-byte rows,
+    // B panels live k_stride bytes apart (the matrix leading
+    // dimension), so B reads carry a large constant stride.
+    const std::uint32_t tile_rows = 32;
+    const std::uint32_t row_bytes = 128;
+    const mem::Addr k_stride = 16384;
+    const mem::Tick gap = 3;
+
+    std::uint32_t tile = 0;
+    while (b.size() < target) {
+        const mem::Addr a_tile =
+            aBase + static_cast<mem::Addr>(tile % 64) * 0x20000;
+        const mem::Addr b_tile =
+            bBase + static_cast<mem::Addr>(tile % 48) * 0x800;
+        const mem::Addr c_tile =
+            cBase + static_cast<mem::Addr>(tile % 64) * 0x1000;
+
+        // A tile: dense row-major streaming reads.
+        b.linearRun(a_tile, tile_rows, row_bytes, row_bytes,
+                    mem::Op::Read, gap);
+
+        // B panel: one row per k step, k_stride apart (column walk).
+        b.linearRun(b_tile, tile_rows,
+                    static_cast<std::int64_t>(k_stride), row_bytes,
+                    mem::Op::Read, gap);
+
+        // Weights mostly hit the resident window; a miss refetches a
+        // fresh cache-line-sized block.
+        for (std::uint32_t w = 0; w < 8 && b.size() < target; ++w) {
+            if (rng.chance(0.25))
+                b.emitThen(weightBase +
+                               static_cast<mem::Addr>(rng.below(4096)) *
+                                   64,
+                           64, mem::Op::Read, gap);
+        }
+
+        // C accumulator: read-modify-write of the output tile.
+        for (std::uint32_t row = 0;
+             row < tile_rows / 4 && b.size() < target; ++row) {
+            const mem::Addr addr =
+                c_tile + static_cast<mem::Addr>(row) * row_bytes;
+            b.emitThen(addr, row_bytes, mem::Op::Read, gap);
+            b.emitThen(addr, row_bytes, mem::Op::Write, gap);
+        }
+
+        // Tile switch: double-buffer swap latency.
+        b.advance(200 + rng.below(300));
+        ++tile;
+    }
+
+    mem::Trace trace = b.take();
+    trace.truncate(target);
+    return trace;
+}
+
+} // namespace mocktails::workloads

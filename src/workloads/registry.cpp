@@ -66,6 +66,12 @@ deviceTraces()
          [](std::size_t n, std::uint64_t s) { return makeHevc(n, s, 2); }},
         {"HEVC3", "VPU", "Decoding compressed video (trace 3 of 3)",
          [](std::size_t n, std::uint64_t s) { return makeHevc(n, s, 3); }},
+        {"DMA-Copy", "DMA",
+         "A DMA copy engine moving buffers between memory regions",
+         [](std::size_t n, std::uint64_t s) { return makeDmaCopy(n, s); }},
+        {"NPU-GEMM", "NPU",
+         "A neural accelerator running tiled matrix multiplies",
+         [](std::size_t n, std::uint64_t s) { return makeNpuGemm(n, s); }},
     };
     return specs;
 }

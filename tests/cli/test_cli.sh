@@ -1,15 +1,20 @@
 #!/bin/sh
 # CLI-level tests for profile_tool, driven from CTest.
 #
-# Usage: test_cli.sh <profile_tool> <mode>
+# Usage: test_cli.sh <profile_tool> <mode> [scenario_dir]
 #   unknown      unknown subcommand exits non-zero with usage on stderr
 #   serve-fetch  loopback fetch reproduces the same CSV bytes as a
 #                local synth + export of the same profile and seed,
 #                over both the blocking and the --mux client path
+#   scenario     scenario list/run over the shipped example specs,
+#                thread-count determinism of the merged stream,
+#                unknown-flag suggestions, and a served scenario id
+#                fetched with --mux matching the in-process merge
 set -eu
 
 TOOL=$1
 MODE=$2
+SCENARIOS=${3:-}
 
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/mocktails_cli.XXXXXX")
 trap 'rm -rf "$WORK"' EXIT INT TERM
@@ -85,6 +90,124 @@ serve-fetch)
         exit 1
     }
     echo "PASS serve/fetch loopback round trip (blocking + mux)"
+    ;;
+
+scenario)
+    [ -n "$SCENARIOS" ] || {
+        echo "FAIL: scenario mode needs the examples/scenarios dir" >&2
+        exit 1
+    }
+
+    # Every shipped example spec parses and lists its devices.
+    for scn in phone-soc dma-stress npu-gemm; do
+        "$TOOL" scenario list "$SCENARIOS/$scn.scn" >list.txt
+        grep -q "scenario $scn" list.txt || {
+            echo "FAIL: scenario list missing '$scn'" >&2
+            cat list.txt >&2
+            exit 1
+        }
+        grep -q "serve id: scenario:$scn" list.txt || {
+            echo "FAIL: scenario list missing serve id for '$scn'" >&2
+            exit 1
+        }
+    done
+    # Bare `scenario list` prints the generator inventory.
+    "$TOOL" scenario list >inventory.txt
+    grep -q "DMA-Copy" inventory.txt && grep -q "NPU-GEMM" inventory.txt || {
+        echo "FAIL: generator inventory incomplete" >&2
+        exit 1
+    }
+
+    # The acceptance-criterion run: a per-device + global JSON report.
+    "$TOOL" scenario run "$SCENARIOS/phone-soc.scn" \
+        --report-json report.json --report-md report.md \
+        --merged-out merged1.csv >run.txt
+    grep -q '"name":"phone-soc"' report.json || {
+        echo "FAIL: report JSON missing scenario name" >&2
+        exit 1
+    }
+    grep -q '"slowdown"' report.json || {
+        echo "FAIL: report JSON missing slowdown" >&2
+        exit 1
+    }
+    grep -q '| device |' report.md || {
+        echo "FAIL: markdown report missing device table" >&2
+        exit 1
+    }
+    # Bare --report-json prints JSON to stdout.
+    "$TOOL" scenario run "$SCENARIOS/phone-soc.scn" --skip-isolated \
+        --report-json >stdout.json
+    grep -q '"devices"' stdout.json || {
+        echo "FAIL: --report-json (stdout) emitted no JSON" >&2
+        exit 1
+    }
+
+    # Determinism: --threads 1 and 4 produce identical merged bytes.
+    "$TOOL" --threads 4 scenario run "$SCENARIOS/phone-soc.scn" \
+        --skip-isolated --merged-out merged4.csv >/dev/null
+    cmp merged1.csv merged4.csv || {
+        echo "FAIL: merged stream differs across thread counts" >&2
+        exit 1
+    }
+
+    # Unknown flags fail with a close-match suggestion.
+    rc=0
+    "$TOOL" scenario run "$SCENARIOS/phone-soc.scn" --report-jsn \
+        2>flag.txt >/dev/null || rc=$?
+    [ "$rc" -eq 2 ] || {
+        echo "FAIL: unknown scenario flag exited $rc, want 2" >&2
+        exit 1
+    }
+    grep -q "unknown scenario flag '--report-jsn'" flag.txt &&
+        grep -q "did you mean '--report-json'?" flag.txt || {
+        echo "FAIL: missing unknown-flag suggestion" >&2
+        cat flag.txt >&2
+        exit 1
+    }
+    rc=0
+    "$TOOL" scenario frobnicate 2>sub.txt >/dev/null || rc=$?
+    [ "$rc" -eq 2 ] || {
+        echo "FAIL: unknown scenario subcommand exited $rc, want 2" >&2
+        exit 1
+    }
+    grep -q "unknown scenario subcommand 'frobnicate'" sub.txt || {
+        echo "FAIL: missing unknown-subcommand diagnostic" >&2
+        exit 1
+    }
+
+    # Serve the spec and fetch the merged scenario id over --mux: the
+    # bytes must match the in-process engine's merged stream. A
+    # composed --mux fetch uses two connections (the blocking probe
+    # plus the multiplexed channels), so --once 3 covers both fetches.
+    "$TOOL" serve "$SCENARIOS/phone-soc.scn" --port 0 \
+        --port-file port.txt --once 3 >serve.log 2>&1 &
+    SERVER=$!
+    i=0
+    while [ ! -s port.txt ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "FAIL: server never wrote the port file" >&2
+            cat serve.log >&2 || true
+            kill "$SERVER" 2>/dev/null || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+    PORT=$(cat port.txt)
+    "$TOOL" fetch "127.0.0.1:$PORT" scenario:phone-soc fetched.csv \
+        1 100 --mux >/dev/null
+    "$TOOL" fetch "127.0.0.1:$PORT" scenario:phone-soc blocking.csv \
+        >/dev/null
+    wait "$SERVER"
+    cmp merged1.csv fetched.csv || {
+        echo "FAIL: --mux scenario fetch differs from scenario run" >&2
+        exit 1
+    }
+    cmp merged1.csv blocking.csv || {
+        echo "FAIL: blocking scenario fetch differs" >&2
+        exit 1
+    }
+    echo "PASS scenario CLI (list, run, determinism, serve/fetch)"
     ;;
 
 *)

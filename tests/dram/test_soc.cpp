@@ -29,7 +29,7 @@ TEST(Soc, SingleDeviceMatchesInjection)
 {
     const mem::Trace trace = makeStream(0x1000000, 500, 10, 1);
     mem::TraceSource source(trace);
-    const auto result = simulateSoc({{"dev", &source}});
+    const auto result = simulateSoc({{"dev", source}});
 
     ASSERT_EQ(result.devices.size(), 1u);
     EXPECT_EQ(result.devices[0].name, "dev");
@@ -45,7 +45,7 @@ TEST(Soc, PerDeviceLatencyRecorded)
 {
     const mem::Trace trace = makeStream(0x1000000, 200, 20, 2);
     mem::TraceSource source(trace);
-    const auto result = simulateSoc({{"dev", &source}});
+    const auto result = simulateSoc({{"dev", source}});
 
     const auto &device = result.devices[0];
     EXPECT_EQ(device.readLatency.count(), device.reads);
@@ -58,7 +58,7 @@ TEST(Soc, TwoDevicesConserveRequests)
     const mem::Trace a = makeStream(0x1000000, 400, 5, 3);
     const mem::Trace b = makeStream(0x9000000, 300, 7, 4);
     mem::TraceSource sa(a), sb(b);
-    const auto result = simulateSoc({{"a", &sa}, {"b", &sb}});
+    const auto result = simulateSoc({{"a", sa}, {"b", sb}});
 
     EXPECT_EQ(result.devices[0].injected, 400u);
     EXPECT_EQ(result.devices[1].injected, 300u);
@@ -76,12 +76,12 @@ TEST(Soc, ContentionRaisesLatency)
     // A victim stream alone vs. alongside an aggressive neighbour.
     const mem::Trace victim = makeStream(0x1000000, 400, 50, 5);
     mem::TraceSource v1(victim);
-    const auto alone = simulateSoc({{"victim", &v1}});
+    const auto alone = simulateSoc({{"victim", v1}});
 
     const mem::Trace aggressor = makeStream(0x9000000, 4000, 2, 6);
     mem::TraceSource v2(victim), a2(aggressor);
     const auto shared =
-        simulateSoc({{"victim", &v2}, {"aggressor", &a2}});
+        simulateSoc({{"victim", v2}, {"aggressor", a2}});
 
     EXPECT_GT(shared.devices[0].readLatency.mean(),
               alone.devices[0].readLatency.mean());
@@ -95,7 +95,7 @@ TEST(Soc, IndependentPortsIsolateBackpressure)
     const mem::Trace aggressor = makeStream(0x9000000, 5000, 1, 8);
     mem::TraceSource v(victim), a(aggressor);
     const auto result =
-        simulateSoc({{"victim", &v}, {"aggressor", &a}});
+        simulateSoc({{"victim", v}, {"aggressor", a}});
 
     EXPECT_EQ(result.devices[0].injected, 100u);
     EXPECT_EQ(result.devices[1].injected, 5000u);
@@ -113,7 +113,7 @@ TEST(Soc, SharedLinkConservesRequests)
 
     SocConfig config;
     config.sharedLink = true;
-    const auto result = simulateSoc({{"a", &sa}, {"b", &sb}}, config);
+    const auto result = simulateSoc({{"a", sa}, {"b", sb}}, config);
 
     EXPECT_EQ(result.memory.requests, 500u);
     ASSERT_EQ(result.linkGrants.size(), 2u);
@@ -134,14 +134,14 @@ TEST(Soc, SharedLinkSerializesMoreThanPrivatePorts)
 
     mem::TraceSource a1(a), b1(b);
     const auto private_ports =
-        simulateSoc({{"a", &a1}, {"b", &b1}});
+        simulateSoc({{"a", a1}, {"b", b1}});
 
     mem::TraceSource a2(a), b2(b);
     SocConfig config;
     config.sharedLink = true;
     config.arbiter.linkLatency = 8;
     const auto shared =
-        simulateSoc({{"a", &a2}, {"b", &b2}}, config);
+        simulateSoc({{"a", a2}, {"b", b2}}, config);
 
     const auto finish = [](const SocResult &r) {
         mem::Tick latest = 0;
@@ -164,7 +164,7 @@ TEST(Soc, DeviceWithEmptySource)
 {
     mem::Trace empty;
     mem::TraceSource source(empty);
-    const auto result = simulateSoc({{"idle", &source}});
+    const auto result = simulateSoc({{"idle", source}});
     EXPECT_EQ(result.devices[0].injected, 0u);
     EXPECT_EQ(result.devices[0].readLatency.count(), 0u);
 }

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * ScenarioEngine tests: the determinism contract (bit-identical merged
+ * stream and report at every thread count), the per-device clock /
+ * offset / budget projection, the (tick, port) merge order, and the
+ * headline interference result — a contended mix must report higher
+ * read latency than the same devices running alone.
+ */
+
+#include "scenario/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mem/trace.hpp"
+#include "scenario/spec.hpp"
+#include "workloads/devices.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using scenario::ScenarioEngine;
+using scenario::ScenarioOptions;
+using scenario::ScenarioReport;
+using scenario::ScenarioSpec;
+
+ScenarioSpec
+twoDeviceSpec()
+{
+    ScenarioSpec spec;
+    std::string error;
+    const std::string text = "name = \"duo\"\n"
+                             "seed = 5\n"
+                             "[device gpu]\n"
+                             "generator = \"T-Rex1\"\n"
+                             "requests = 3000\n"
+                             "[device video]\n"
+                             "generator = \"HEVC1\"\n"
+                             "requests = 3000\n"
+                             "start = 500\n";
+    EXPECT_TRUE(
+        scenario::parseScenario(text, "duo.scn", spec, &error))
+        << error;
+    return spec;
+}
+
+void
+expectTracesEqual(const mem::Trace &a, const mem::Trace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "at index " << i;
+}
+
+/**
+ * Reference two-way merge with the engine's key: (tick, device) —
+ * the lower-indexed (= lower-port) device wins ties.
+ */
+std::vector<mem::Request>
+referenceMerge(const mem::Trace &s0, const mem::Trace &s1)
+{
+    std::vector<mem::Request> out;
+    out.reserve(s0.size() + s1.size());
+    std::size_t c0 = 0, c1 = 0;
+    while (c0 < s0.size() || c1 < s1.size()) {
+        const bool take0 =
+            c1 == s1.size() ||
+            (c0 < s0.size() && s0[c0].tick <= s1[c1].tick);
+        out.push_back(take0 ? s0[c0++] : s1[c1++]);
+    }
+    return out;
+}
+
+/**
+ * The acceptance-criterion determinism sweep: the merged stream and
+ * the full report JSON are bit-identical at thread counts 1 and 4.
+ */
+TEST(ScenarioEngine, ThreadCountNeverChangesStreamOrReport)
+{
+    ScenarioOptions one;
+    one.threads = 1;
+    ScenarioOptions four;
+    four.threads = 4;
+    ScenarioEngine engine_one(twoDeviceSpec(), one);
+    ScenarioEngine engine_four(twoDeviceSpec(), four);
+
+    expectTracesEqual(engine_one.mergedStream(),
+                      engine_four.mergedStream());
+
+    ScenarioReport report_one, report_four;
+    std::string error;
+    ASSERT_TRUE(engine_one.run(report_one, &error)) << error;
+    ASSERT_TRUE(engine_four.run(report_four, &error)) << error;
+    EXPECT_EQ(report_one.toJson(), report_four.toJson());
+}
+
+TEST(ScenarioEngine, MergedStreamInterleavesEveryDevice)
+{
+    ScenarioEngine engine(twoDeviceSpec());
+    std::string error;
+    ASSERT_TRUE(engine.buildStreams(&error)) << error;
+
+    const std::vector<mem::Trace> &streams = engine.deviceStreams();
+    ASSERT_EQ(streams.size(), 2u);
+    EXPECT_EQ(streams[0].name(), "gpu");
+    EXPECT_EQ(streams[0].device(), "GPU");
+    EXPECT_EQ(streams[1].name(), "video");
+    EXPECT_EQ(streams[1].device(), "VPU");
+
+    const mem::Trace &merged = engine.mergedStream();
+    EXPECT_EQ(merged.size(), streams[0].size() + streams[1].size());
+    EXPECT_TRUE(merged.isTimeOrdered());
+    EXPECT_EQ(merged.name(), "duo");
+    EXPECT_EQ(merged.device(), "scenario");
+
+    // The merge must equal the reference two-way merge exactly: every
+    // request attributed, relative order within a device preserved.
+    const std::vector<mem::Request> expected =
+        referenceMerge(streams[0], streams[1]);
+    ASSERT_EQ(merged.size(), expected.size());
+    for (std::size_t i = 0; i < merged.size(); ++i)
+        ASSERT_EQ(merged[i], expected[i]) << "at index " << i;
+}
+
+TEST(ScenarioEngine, ProjectsClockOffsetAndBudget)
+{
+    ScenarioSpec spec;
+    std::string error;
+    const std::string text = "[device npu]\n"
+                             "generator = \"NPU-GEMM\"\n"
+                             "requests = 2000\n"
+                             "seed = 11\n"
+                             "clock = 2\n" // ticks halve
+                             "start = 100\n"
+                             "budget = 1500\n";
+    ASSERT_TRUE(scenario::parseScenario(text, "n.scn", spec, &error))
+        << error;
+    ScenarioEngine engine(spec);
+    std::string build_error;
+    ASSERT_TRUE(engine.buildStreams(&build_error)) << build_error;
+    const mem::Trace &stream = engine.deviceStreams()[0];
+
+    const mem::Trace raw =
+        workloads::makeDeviceTrace("NPU-GEMM", 2000, 11);
+    ASSERT_EQ(stream.size(), 1500u); // budget cap
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        EXPECT_EQ(stream[i].tick, 100 + raw[i].tick / 2)
+            << "at index " << i;
+        EXPECT_EQ(stream[i].addr, raw[i].addr);
+    }
+    EXPECT_GE(stream[0].tick, 100u);
+}
+
+TEST(ScenarioEngine, EqualTicksBreakTiesByPort)
+{
+    // Two identical device streams (same generator, same seed): every
+    // tick collides, so the merge order is decided purely by the port
+    // tie-break — port 0's request always precedes port 1's.
+    ScenarioSpec spec;
+    std::string error;
+    const std::string text = "[device a]\n"
+                             "generator = \"HEVC1\"\n"
+                             "requests = 500\nseed = 3\n"
+                             "[device b]\n"
+                             "generator = \"HEVC1\"\n"
+                             "requests = 500\nseed = 3\n";
+    ASSERT_TRUE(scenario::parseScenario(text, "t.scn", spec, &error))
+        << error;
+    ScenarioEngine engine(spec);
+    const mem::Trace &merged = engine.mergedStream();
+    const std::vector<mem::Trace> &streams = engine.deviceStreams();
+    ASSERT_EQ(merged.size(), 1000u);
+    expectTracesEqual(streams[0], streams[1]); // identical inputs
+
+    // Within every group of equal ticks, all of port 0's requests
+    // precede all of port 1's: walk the merge and check the reference
+    // order (which encodes exactly that tie-break).
+    const std::vector<mem::Request> expected =
+        referenceMerge(streams[0], streams[1]);
+    for (std::size_t i = 0; i < merged.size(); ++i)
+        ASSERT_EQ(merged[i], expected[i]) << "at index " << i;
+}
+
+TEST(ScenarioEngine, ReportsBuildFailuresWithDeviceName)
+{
+    ScenarioSpec spec;
+    std::string error;
+    ASSERT_TRUE(scenario::parseScenario("[device ghost]\n"
+                                        "generator = \"NoSuchGen\"\n",
+                                        "g.scn", spec, &error))
+        << error;
+    ScenarioEngine engine(spec);
+    ScenarioReport report;
+    EXPECT_FALSE(engine.run(report, &error));
+    EXPECT_NE(error.find("ghost"), std::string::npos) << error;
+    EXPECT_NE(error.find("NoSuchGen"), std::string::npos) << error;
+
+    // The failure is cached, not recomputed.
+    std::string again;
+    EXPECT_FALSE(engine.buildStreams(&again));
+    EXPECT_EQ(again, error);
+}
+
+/**
+ * The interference headline (ISSUE acceptance): a two-device mix
+ * through one shared arbitrated link must report higher read latency
+ * than either device saw running alone, and the report must rank by
+ * that slowdown.
+ */
+TEST(ScenarioEngine, ContentionRaisesReadLatencyAboveIsolation)
+{
+    ScenarioSpec spec;
+    std::string error;
+    const std::string text = "name = \"clash\"\n"
+                             "[dram]\nchannels = 1\n"
+                             "[link]\nshared = true\nlatency = 6\n"
+                             "queue = 4\n"
+                             "[device dma0]\n"
+                             "generator = \"DMA-Copy\"\n"
+                             "requests = 4000\n"
+                             "[device dma1]\n"
+                             "generator = \"DMA-Copy\"\n"
+                             "requests = 4000\nseed = 42\n";
+    ASSERT_TRUE(scenario::parseScenario(text, "c.scn", spec, &error))
+        << error;
+    ScenarioEngine engine(spec);
+    ScenarioReport report;
+    ASSERT_TRUE(engine.run(report, &error)) << error;
+
+    ASSERT_EQ(report.devices.size(), 2u);
+    for (const scenario::DeviceReport &device : report.devices) {
+        EXPECT_GT(device.requests, 0u);
+        EXPECT_GT(device.isolatedReadLatency, 0.0) << device.name;
+        EXPECT_GT(device.contendedReadLatency,
+                  device.isolatedReadLatency)
+            << device.name;
+        EXPECT_GT(device.slowdown, 1.0) << device.name;
+        EXPECT_GT(device.readLatencyP99, 0.0) << device.name;
+        EXPECT_GE(device.readLatencyP99, device.readLatencyP50)
+            << device.name;
+        EXPECT_GT(report.avgReadLatency, device.isolatedReadLatency)
+            << device.name;
+    }
+    // Ranked worst-first.
+    EXPECT_GE(report.devices[0].slowdown, report.devices[1].slowdown);
+    EXPECT_EQ(report.totalRequests,
+              report.devices[0].requests + report.devices[1].requests);
+}
+
+TEST(ScenarioEngine, SkipIsolatedLeavesSlowdownUndefined)
+{
+    ScenarioOptions options;
+    options.skipIsolated = true;
+    ScenarioEngine engine(twoDeviceSpec(), options);
+    ScenarioReport report;
+    std::string error;
+    ASSERT_TRUE(engine.run(report, &error)) << error;
+    for (const scenario::DeviceReport &device : report.devices) {
+        EXPECT_EQ(device.isolatedReadLatency, 0.0);
+        EXPECT_EQ(device.slowdown, 0.0);
+        EXPECT_GT(device.contendedReadLatency, 0.0);
+    }
+    // Ties on slowdown keep port order (stable sort).
+    EXPECT_EQ(report.devices[0].port, 0u);
+    EXPECT_EQ(report.devices[1].port, 1u);
+}
+
+TEST(ScenarioEngine, ReportRendersJsonAndMarkdown)
+{
+    ScenarioEngine engine(twoDeviceSpec());
+    ScenarioReport report;
+    std::string error;
+    ASSERT_TRUE(engine.run(report, &error)) << error;
+
+    const std::string json = report.toJson();
+    EXPECT_NE(json.find("\"name\":\"duo\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"devices\""), std::string::npos);
+    EXPECT_NE(json.find("\"slowdown\""), std::string::npos);
+    EXPECT_NE(json.find("\"avg_read_latency\""), std::string::npos);
+
+    const std::string md = report.toMarkdown();
+    EXPECT_NE(md.find("duo"), std::string::npos);
+    EXPECT_NE(md.find("| device |"), std::string::npos) << md;
+}
+
+} // namespace

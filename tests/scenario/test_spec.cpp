@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Tests for the `.scn` scenario-spec parser: the grammar, the
+ * defaulting rules (ports, seeds, names) and the "path:line: message"
+ * diagnostic contract it shares with mem::loadTraceCsv.
+ */
+
+#include "scenario/spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace
+{
+
+using namespace mocktails;
+using scenario::ScenarioSpec;
+
+const char kFullSpec[] = R"(# a full example
+name = "mix"
+seed = 9
+
+[dram]
+channels = 4
+banks = 16
+
+[crossbar]
+latency = 8
+queue = 32
+
+[link]
+shared = true
+latency = 4
+queue = 8
+cycle = 2
+
+[device gpu]
+generator = "T-Rex1"   # trailing comment
+requests = 5000
+port = 3
+clock = 2
+priority = 1
+
+[device cpu]
+profile = "cpu.mkp"
+seed = 77
+clock = 0.5
+start = 1000
+budget = 1234
+)";
+
+TEST(ScenarioSpec, ParsesEverySection)
+{
+    ScenarioSpec spec;
+    std::string error;
+    ASSERT_TRUE(scenario::parseScenario(kFullSpec, "mix.scn", spec,
+                                        &error))
+        << error;
+
+    EXPECT_EQ(spec.name, "mix");
+    EXPECT_EQ(spec.seed, 9u);
+    EXPECT_EQ(spec.dram.channels, 4u);
+    EXPECT_EQ(spec.dram.banksPerRank, 16u);
+    EXPECT_EQ(spec.crossbar.latency, 8u);
+    EXPECT_EQ(spec.crossbar.queueCapacity, 32u);
+    EXPECT_TRUE(spec.sharedLink);
+    EXPECT_EQ(spec.arbiter.linkLatency, 4u);
+    EXPECT_EQ(spec.arbiter.queueCapacity, 8u);
+    EXPECT_EQ(spec.arbiter.cycleTime, 2u);
+
+    // Devices come back sorted by port: cpu (auto port 4 follows the
+    // gpu's explicit 3)... no: auto-assignment continues from the
+    // highest port seen, so cpu lands on port 4 and sorts second.
+    ASSERT_EQ(spec.devices.size(), 2u);
+    EXPECT_EQ(spec.devices[0].name, "gpu");
+    EXPECT_EQ(spec.devices[0].generator, "T-Rex1");
+    EXPECT_EQ(spec.devices[0].requests, 5000u);
+    EXPECT_EQ(spec.devices[0].port, 3u);
+    EXPECT_EQ(spec.devices[0].clockNum, 2u);
+    EXPECT_EQ(spec.devices[0].clockDen, 1u);
+    EXPECT_EQ(spec.devices[0].priority, 1u);
+    EXPECT_EQ(spec.devices[0].kind(), "generator:T-Rex1");
+
+    EXPECT_EQ(spec.devices[1].name, "cpu");
+    EXPECT_EQ(spec.devices[1].profilePath, "cpu.mkp");
+    EXPECT_EQ(spec.devices[1].port, 4u);
+    EXPECT_EQ(spec.devices[1].seed, 77u);
+    EXPECT_EQ(spec.devices[1].clockNum, 1u);
+    EXPECT_EQ(spec.devices[1].clockDen, 2u);
+    EXPECT_EQ(spec.devices[1].startOffset, 1000u);
+    EXPECT_EQ(spec.devices[1].budget, 1234u);
+    EXPECT_EQ(spec.devices[1].kind(), "profile:cpu.mkp");
+}
+
+TEST(ScenarioSpec, DefaultsNamePortsAndSeeds)
+{
+    const std::string text = "[device a]\n"
+                             "generator = \"HEVC1\"\n"
+                             "[device b]\n"
+                             "generator = \"HEVC2\"\n";
+    ScenarioSpec spec;
+    std::string error;
+    ASSERT_TRUE(scenario::parseScenario(text, "dir/two.scn", spec,
+                                        &error))
+        << error;
+    EXPECT_EQ(spec.name, "two"); // file stem
+    EXPECT_EQ(spec.seed, 1u);
+    EXPECT_FALSE(spec.sharedLink);
+    ASSERT_EQ(spec.devices.size(), 2u);
+    EXPECT_EQ(spec.devices[0].port, 0u); // declaration order
+    EXPECT_EQ(spec.devices[1].port, 1u);
+
+    // seed = 0 derives a distinct per-device seed from scenario + port.
+    EXPECT_EQ(spec.devices[0].effectiveSeed(spec.seed), 2u);
+    EXPECT_EQ(spec.devices[1].effectiveSeed(spec.seed), 3u);
+    EXPECT_NE(spec.devices[0].effectiveSeed(spec.seed),
+              spec.devices[1].effectiveSeed(spec.seed));
+}
+
+TEST(ScenarioSpec, ServingIdHelpers)
+{
+    EXPECT_EQ(scenario::scenarioId("phone-soc"), "scenario:phone-soc");
+    EXPECT_EQ(scenario::scenarioDeviceId("phone-soc", 2),
+              "scenario:phone-soc#2");
+    EXPECT_EQ(scenario::scenarioNameFromPath("a/b/phone-soc.scn"),
+              "phone-soc");
+    EXPECT_EQ(scenario::scenarioNameFromPath("plain"), "plain");
+}
+
+/** Every rejection names the file and line, loadTraceCsv-style. */
+void
+expectParseError(const std::string &text, const std::string &line_tag,
+                 const std::string &message_tag)
+{
+    ScenarioSpec spec;
+    std::string error;
+    EXPECT_FALSE(
+        scenario::parseScenario(text, "bad.scn", spec, &error));
+    EXPECT_NE(error.find("bad.scn:" + line_tag), std::string::npos)
+        << error;
+    EXPECT_NE(error.find(message_tag), std::string::npos) << error;
+}
+
+TEST(ScenarioSpec, DiagnosesMalformedInput)
+{
+    expectParseError("garbage line\n", "1",
+                     "expected 'key = value' or '[section]'");
+    expectParseError("[nope]\n", "1", "unknown section");
+    expectParseError("[dram\n", "1", "unterminated section header");
+    expectParseError("wrong = 1\n", "1", "unknown top-level key");
+    expectParseError("seed = many\n", "1", "non-negative integer");
+    expectParseError("[dram]\nchannels = many\n", "2",
+                     "'channels' out of range");
+    expectParseError("seed = 1\n[device d]\nclock = 0\n", "3",
+                     "'clock' expects a positive decimal ratio");
+    expectParseError("[device d]\nrequests = 5\n[device e]\n"
+                     "generator = \"HEVC1\"\n",
+                     "3", "exactly one of generator= or profile=");
+    expectParseError("[device d]\ngenerator = \"X\"\n"
+                     "profile = \"y.mkp\"\n",
+                     "4", "exactly one of generator= or profile=");
+    expectParseError("[device d]\ngenerator = \"X\"\n[device d]\n"
+                     "generator = \"Y\"\n",
+                     "3", "duplicate device 'd'");
+}
+
+TEST(ScenarioSpec, RejectsPortClashesAndEmptyScenarios)
+{
+    ScenarioSpec spec;
+    std::string error;
+    EXPECT_FALSE(scenario::parseScenario("seed = 1\n", "bad.scn", spec,
+                                         &error));
+    EXPECT_NE(error.find("no [device] sections"), std::string::npos)
+        << error;
+
+    const std::string clash = "[device a]\ngenerator = \"HEVC1\"\n"
+                              "port = 2\n"
+                              "[device b]\ngenerator = \"HEVC2\"\n"
+                              "port = 2\n";
+    EXPECT_FALSE(
+        scenario::parseScenario(clash, "bad.scn", spec, &error));
+    EXPECT_NE(error.find("duplicate crossbar port 2"),
+              std::string::npos)
+        << error;
+}
+
+TEST(ScenarioSpec, ClockRatiosStayExact)
+{
+    const std::string text = "[device d]\ngenerator = \"HEVC1\"\n"
+                             "clock = 2.25\n";
+    ScenarioSpec spec;
+    std::string error;
+    ASSERT_TRUE(
+        scenario::parseScenario(text, "c.scn", spec, &error))
+        << error;
+    EXPECT_EQ(spec.devices[0].clockNum, 9u); // 2.25 == 9/4, reduced
+    EXPECT_EQ(spec.devices[0].clockDen, 4u);
+}
+
+} // namespace

@@ -13,9 +13,9 @@ using namespace mocktails::workloads;
 TEST(DeviceRegistry, MatchesTable2Inventory)
 {
     const auto &specs = deviceTraces();
-    EXPECT_EQ(specs.size(), 18u);
+    EXPECT_EQ(specs.size(), 20u);
 
-    int cpu = 0, dpu = 0, gpu = 0, vpu = 0;
+    int cpu = 0, dpu = 0, gpu = 0, vpu = 0, dma = 0, npu = 0;
     for (const auto &spec : specs) {
         if (spec.device == "CPU")
             ++cpu;
@@ -25,11 +25,17 @@ TEST(DeviceRegistry, MatchesTable2Inventory)
             ++gpu;
         else if (spec.device == "VPU")
             ++vpu;
+        else if (spec.device == "DMA")
+            ++dma;
+        else if (spec.device == "NPU")
+            ++npu;
     }
     EXPECT_EQ(cpu, 5);
     EXPECT_EQ(dpu, 5);
     EXPECT_EQ(gpu, 5);
     EXPECT_EQ(vpu, 3);
+    EXPECT_EQ(dma, 1);
+    EXPECT_EQ(npu, 1);
 }
 
 TEST(DeviceRegistry, UnknownNameThrows)
