@@ -5,6 +5,8 @@
  * sizes (synchronous and buffered staging), the request wire codec,
  * and a loopback load generator for the event-driven multiplexed
  * frontend (BM_MuxLoadGen) publishing p50/p99 chunk latency.
+ * BM_RecorderOverhead A/Bs the serve path with and without a disabled
+ * flight recorder attached and publishes recorder_overhead_pct.
  * Throughput numbers, not paper results.
  */
 
@@ -23,6 +25,7 @@
 #include "mem/wire.hpp"
 #include "serve/client.hpp"
 #include "serve/profile_store.hpp"
+#include "serve/recorder.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"
 #include "util/codec.hpp"
@@ -269,6 +272,98 @@ BENCHMARK(BM_MuxLoadGen)
     ->Args({8, 128}) // 1024 concurrent streaming sessions
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/**
+ * A/B cost of a flight recorder that is attached to the server but
+ * never opened: every iteration drives the same strict-cycle fetch
+ * loop (many small round trips, so the per-frame record() check
+ * dominates) against a bare server and against one carrying a
+ * disabled ServeRecorder, interleaved to cancel drift. The
+ * `recorder_overhead_pct` counter is the relative wall-clock cost of
+ * the attached-but-disabled path — the guard the recorder's
+ * "off means off" promise is held to (< 1%, noise allowing).
+ */
+void
+BM_RecorderOverhead(benchmark::State &state)
+{
+    using Clock = std::chrono::steady_clock;
+    constexpr std::uint64_t kChunk = 64;
+    constexpr unsigned kFetches = 96;
+
+    serve::ProfileStore bare_store;
+    bare_store.insert("bench",
+                      core::buildProfile(
+                          workloads::deviceTraces().front().make(60000,
+                                                                 1),
+                          core::PartitionConfig::twoLevelTs(500000)));
+    serve::StreamServer bare(bare_store);
+
+    serve::ServeRecorder recorder; // attached, never open()ed
+    serve::ProfileStore recorded_store;
+    recorded_store.insert(
+        "bench",
+        core::buildProfile(
+            workloads::deviceTraces().front().make(60000, 1),
+            core::PartitionConfig::twoLevelTs(500000)));
+    serve::ServerOptions recorded_options;
+    recorded_options.recorder = &recorder;
+    serve::StreamServer recorded(recorded_store, recorded_options);
+
+    std::string error;
+    if (!bare.start(&error) || !recorded.start(&error)) {
+        state.SkipWithError(error.c_str());
+        return;
+    }
+
+    const auto drain = [&](std::uint16_t port, double &seconds,
+                           std::uint64_t &streamed) -> bool {
+        serve::Client client;
+        std::string err;
+        const auto t0 = Clock::now();
+        if (!client.connect("127.0.0.1", port, {}, &err))
+            return false;
+        serve::RemoteSession session;
+        if (!client.open("bench", 7, session, &err))
+            return false;
+        std::vector<mem::Request> out;
+        for (unsigned i = 0; i < kFetches; ++i) {
+            if (!client.fetch(session, out, kChunk, &err))
+                return false;
+            benchmark::DoNotOptimize(out.data());
+            streamed += out.size();
+        }
+        if (!client.close(session, &err))
+            return false;
+        client.disconnect();
+        seconds +=
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        return true;
+    };
+
+    double bare_s = 0.0;
+    double recorded_s = 0.0;
+    std::uint64_t streamed = 0;
+    for (auto _ : state) {
+        if (!drain(bare.port(), bare_s, streamed) ||
+            !drain(recorded.port(), recorded_s, streamed)) {
+            state.SkipWithError("loopback fetch failed");
+            break;
+        }
+    }
+    bare.stop();
+    recorded.stop();
+
+    if (bare_s > 0.0)
+        state.counters["recorder_overhead_pct"] =
+            (recorded_s - bare_s) / bare_s * 100.0;
+    // The disabled recorder must not have captured anything.
+    if (recorder.frames() != 0)
+        state.SkipWithError("disabled recorder recorded frames");
+    state.SetItemsProcessed(static_cast<std::int64_t>(streamed));
+}
+BENCHMARK(BM_RecorderOverhead)
+    ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
 } // namespace

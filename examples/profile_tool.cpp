@@ -13,6 +13,8 @@
  *                                                side with % error
  *   serve    <profile.mkp|mix.scn>...            stream profiles over TCP
  *   fetch    <host:port> <id> <out>              synthesise remotely
+ *   replay   <rec.mksr> [host:port]              re-drive a recording
+ *   stats    <host:port>                         live server counters
  *   scenario run|list <mix.scn>                  composed SoC mixes
  *
  * This is the command-line face of paper Fig. 1: `profile` is what
@@ -41,6 +43,8 @@
 #include "scenario/serve.hpp"
 #include "serve/client.hpp"
 #include "serve/profile_store.hpp"
+#include "serve/recorder.hpp"
+#include "serve/replay.hpp"
 #include "serve/server.hpp"
 #include "validation/attribution.hpp"
 #include "validation/validate.hpp"
@@ -77,9 +81,12 @@ usage()
         "  validate <trace.mkt> [profile.mkp]\n"
         "  trace    <file.mkt|file.mkp> <out.json|out.bin>\n"
         "  serve    <profile.mkp|mix.scn>... [--port P]\n"
-        "           [--port-file PATH] [--once N]\n"
+        "           [--port-file PATH] [--once N] [--record PATH]\n"
         "  fetch    <host:port> <id> <out.mkt|out.csv> [seed] [chunk]\n"
         "           [--mux]\n"
+        "  replay   <rec.mksr> [host:port] [--timing] [--loadgen N]\n"
+        "           [--export-jsonl PATH] [--inject-mismatch]\n"
+        "  stats    <host:port>\n"
         "  scenario run <mix.scn> [--report-json [PATH]]\n"
         "           [--report-md PATH] [--merged-out PATH]\n"
         "           [--skip-isolated]\n"
@@ -120,7 +127,19 @@ usage()
         "scenario list shows the device mix of a .scn file, or the\n"
         "  synthetic generator inventory when no file is given\n"
         "serve also accepts .scn scenarios: each registers under\n"
-        "  scenario:<name> (fetch --mux merges the device channels)\n");
+        "  scenario:<name> (fetch --mux merges the device channels)\n"
+        "serve --record captures every wire frame to a .mksr flight\n"
+        "  recording (off by default; zero-cost when off)\n"
+        "replay re-drives a .mksr recording against a live server and\n"
+        "  byte-diffs the responses (exit 4 on divergence); --timing\n"
+        "  preserves the recorded pacing, --loadgen N clones the\n"
+        "  recording across N concurrent connections and prints\n"
+        "  p50/p99 chunk latencies (no diffing), --export-jsonl dumps\n"
+        "  the recording as JSON lines (no server needed),\n"
+        "  --inject-mismatch corrupts the last recorded chunk first\n"
+        "  (proves the diff detects divergence)\n"
+        "stats asks a live server for its counters (ServerStat) and\n"
+        "  prints one 'name value' line per counter\n");
     return 2;
 }
 
@@ -559,6 +578,7 @@ cmdServe(int argc, char **argv)
 {
     serve::ServerOptions server_options;
     std::string port_file;
+    std::string record_path;
     std::uint64_t once = 0;
     std::vector<std::string> paths;
     for (int i = 0; i < argc; ++i) {
@@ -579,6 +599,9 @@ cmdServe(int argc, char **argv)
             if (!parseUnsigned("--once", argv[++i], value))
                 return 2;
             once = value;
+        } else if (std::strcmp(argv[i], "--record") == 0 &&
+                   i + 1 < argc) {
+            record_path = argv[++i];
         } else if (argv[i][0] == '-') {
             std::fprintf(stderr,
                          "profile_tool: unknown serve flag '%s'\n",
@@ -615,8 +638,17 @@ cmdServe(int argc, char **argv)
         }
     }
 
-    serve::StreamServer server(store, server_options);
+    serve::ServeRecorder recorder;
     std::string error;
+    if (!record_path.empty()) {
+        if (!recorder.open(record_path, &error)) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 1;
+        }
+        server_options.recorder = &recorder;
+    }
+
+    serve::StreamServer server(store, server_options);
     if (!server.start(&error)) {
         std::fprintf(stderr, "error: %s\n", error.c_str());
         return 1;
@@ -648,6 +680,204 @@ cmdServe(int argc, char **argv)
     std::printf("served %llu connection(s)\n",
                 static_cast<unsigned long long>(
                     server.connectionsCompleted()));
+
+    if (!record_path.empty()) {
+        const std::uint64_t frames = recorder.frames();
+        const std::uint64_t bytes = recorder.bytes();
+        if (!recorder.close(&error)) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf("recorded %llu frames (%llu bytes) -> %s\n",
+                    static_cast<unsigned long long>(frames),
+                    static_cast<unsigned long long>(bytes),
+                    record_path.c_str());
+    }
+    return 0;
+}
+
+/** Split "host:port" (rejecting port 0); returns false on bad input. */
+bool
+parseEndpoint(const char *command, const std::string &endpoint,
+              std::string &host, std::uint16_t &port)
+{
+    const std::size_t colon = endpoint.find_last_of(':');
+    if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+        std::fprintf(stderr,
+                     "profile_tool: %s expects <host:port>, got "
+                     "'%s'\n",
+                     command, endpoint.c_str());
+        return false;
+    }
+    std::uint64_t value = 0;
+    if (!parseUnsigned(command, endpoint.c_str() + colon + 1, value) ||
+        value == 0 || value > 65535) {
+        std::fprintf(stderr, "profile_tool: bad port in '%s'\n",
+                     endpoint.c_str());
+        return false;
+    }
+    host = endpoint.substr(0, colon);
+    port = static_cast<std::uint16_t>(value);
+    return true;
+}
+
+int
+cmdReplay(int argc, char **argv)
+{
+    std::string rec_path;
+    std::string endpoint;
+    std::string export_jsonl;
+    bool inject_mismatch = false;
+    serve::ReplayOptions options;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--timing") == 0) {
+            options.timing = true;
+        } else if (std::strcmp(argv[i], "--loadgen") == 0 &&
+                   i + 1 < argc) {
+            std::uint64_t value = 0;
+            if (!parseUnsigned("--loadgen", argv[++i], value) ||
+                value == 0) {
+                std::fprintf(stderr,
+                             "profile_tool: --loadgen expects a "
+                             "positive clone count\n");
+                return 2;
+            }
+            options.loadgen = static_cast<unsigned>(value);
+        } else if (std::strcmp(argv[i], "--export-jsonl") == 0 &&
+                   i + 1 < argc) {
+            export_jsonl = argv[++i];
+        } else if (std::strcmp(argv[i], "--inject-mismatch") == 0) {
+            inject_mismatch = true;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr,
+                         "profile_tool: unknown replay flag '%s'\n",
+                         argv[i]);
+            return 2;
+        } else if (rec_path.empty()) {
+            rec_path = argv[i];
+        } else if (endpoint.empty()) {
+            endpoint = argv[i];
+        } else {
+            std::fprintf(stderr,
+                         "profile_tool: replay takes one recording "
+                         "and one endpoint, got extra '%s'\n",
+                         argv[i]);
+            return 2;
+        }
+    }
+    if (rec_path.empty())
+        return usage();
+
+    serve::Recording recording;
+    std::string error;
+    if (!serve::loadRecording(rec_path, recording, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("loaded %zu frames from %s\n", recording.frames.size(),
+                rec_path.c_str());
+
+    if (inject_mismatch && !serve::corruptLastChunk(recording)) {
+        std::fprintf(stderr,
+                     "error: --inject-mismatch found no recorded "
+                     "chunk to corrupt\n");
+        return 1;
+    }
+
+    if (!export_jsonl.empty()) {
+        if (!serve::exportRecordingJsonl(recording, export_jsonl,
+                                         &error)) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf("exported %zu frames -> %s\n",
+                    recording.frames.size(), export_jsonl.c_str());
+        if (endpoint.empty())
+            return 0;
+    }
+    if (endpoint.empty()) {
+        std::fprintf(stderr,
+                     "profile_tool: replay needs a <host:port> "
+                     "endpoint (or --export-jsonl)\n");
+        return 2;
+    }
+
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parseEndpoint("replay", endpoint, host, port))
+        return 2;
+
+    serve::ReplayResult result;
+    if (!serve::replayRecording(recording, host, port, options,
+                                result, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+
+    std::printf("replayed %zu connection(s)", result.connections);
+    if (options.loadgen > 0)
+        std::printf(" x %zu clone(s)", result.clones);
+    std::printf(": %llu frames sent, %llu received\n",
+                static_cast<unsigned long long>(result.framesSent),
+                static_cast<unsigned long long>(result.framesReceived));
+    if (options.loadgen > 0) {
+        std::printf("chunk latency: p50 %.1f us, p99 %.1f us "
+                    "(%zu samples)\n",
+                    result.latencyPercentileUs(50.0),
+                    result.latencyPercentileUs(99.0),
+                    result.chunkLatenciesUs.size());
+        return 0;
+    }
+
+    std::printf("compared %llu frames (%llu live-counter frames "
+                "skipped)\n",
+                static_cast<unsigned long long>(result.framesCompared),
+                static_cast<unsigned long long>(result.framesSkipped));
+    if (result.ok()) {
+        std::printf("replay OK: responses byte-identical\n");
+        return 0;
+    }
+    const std::size_t shown = std::min<std::size_t>(
+        result.mismatches.size(), 5);
+    for (std::size_t i = 0; i < shown; ++i) {
+        const serve::ReplayMismatch &m = result.mismatches[i];
+        std::fprintf(stderr,
+                     "mismatch: conn %llu channel %llu frame %zu: "
+                     "%s\n",
+                     static_cast<unsigned long long>(m.conn),
+                     static_cast<unsigned long long>(m.channel),
+                     m.index, m.detail.c_str());
+    }
+    if (result.mismatches.size() > shown)
+        std::fprintf(stderr, "... and %zu more mismatch(es)\n",
+                     result.mismatches.size() - shown);
+    std::fprintf(stderr, "replay FAILED: %zu mismatch(es)\n",
+                 result.mismatches.size());
+    return 4;
+}
+
+int
+cmdStats(const std::string &endpoint)
+{
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parseEndpoint("stats", endpoint, host, port))
+        return 2;
+
+    serve::Client client;
+    std::string error;
+    if (!client.connect(host, port, {}, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    serve::ServerStatsBody stats;
+    if (!client.serverStats(stats, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    for (const auto &entry : stats.entries)
+        std::printf("%s %lld\n", entry.name.c_str(),
+                    static_cast<long long>(entry.value));
     return 0;
 }
 
@@ -656,22 +886,10 @@ cmdFetch(const std::string &endpoint, const std::string &id,
          const std::string &out, std::uint64_t seed,
          std::uint64_t chunk, bool mux)
 {
-    const std::size_t colon = endpoint.find_last_of(':');
-    if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
-        std::fprintf(stderr,
-                     "profile_tool: fetch expects <host:port>, got "
-                     "'%s'\n",
-                     endpoint.c_str());
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parseEndpoint("fetch", endpoint, host, port))
         return 2;
-    }
-    std::uint64_t port = 0;
-    if (!parseUnsigned("fetch port", endpoint.c_str() + colon + 1,
-                       port) ||
-        port == 0 || port > 65535) {
-        std::fprintf(stderr, "profile_tool: bad port in '%s'\n",
-                     endpoint.c_str());
-        return 2;
-    }
 
     // --mux streams over a multiplexed v2 channel; the default path
     // is the blocking one-session client. Both must produce
@@ -679,12 +897,10 @@ cmdFetch(const std::string &endpoint, const std::string &id,
     mem::Trace trace;
     std::string error;
     const bool ok_fetch =
-        mux ? serve::fetchTraceMux(endpoint.substr(0, colon),
-                                   static_cast<std::uint16_t>(port),
-                                   id, seed, trace, chunk, &error)
-            : serve::fetchTrace(endpoint.substr(0, colon),
-                                static_cast<std::uint16_t>(port), id,
-                                seed, trace, chunk, &error);
+        mux ? serve::fetchTraceMux(host, port, id, seed, trace, chunk,
+                                   &error)
+            : serve::fetchTrace(host, port, id, seed, trace, chunk,
+                                &error);
     if (!ok_fetch) {
         std::fprintf(stderr, "error: %s\n", error.c_str());
         return 1;
@@ -931,6 +1147,10 @@ dispatch(int argc, char **argv)
         return cmdTrace(argv[2], argv[3]);
     if (command == "serve" && argc >= 3)
         return cmdServe(argc - 2, argv + 2);
+    if (command == "replay" && argc >= 3)
+        return cmdReplay(argc - 2, argv + 2);
+    if (command == "stats" && argc == 3)
+        return cmdStats(argv[2]);
     if (command == "scenario" && argc >= 3) {
         const std::string sub = argv[2];
         if (sub == "run")
@@ -970,7 +1190,7 @@ dispatch(int argc, char **argv)
     static const char *const kCommands[] = {
         "generate", "profile",  "synth", "info",  "export",
         "simulate", "compare",  "validate", "trace", "serve",
-        "fetch",    "scenario"};
+        "fetch",    "replay",   "stats", "scenario"};
     bool known = false;
     for (const char *name : kCommands)
         known = known || command == name;

@@ -26,14 +26,16 @@ done
 # above already ran it at the default). ServeMux* covers the
 # multiplexed frontend, PollerBackends/WakePipe the readiness shim on
 # both backends, Scenario* the composed-mix engine and its serving
-# integration (parallel stream builds + isolated baselines). Skipped
-# under --fast, which never builds the sanitize preset.
+# integration (parallel stream builds + isolated baselines),
+# ServeRecorder*/ServeReplay* the flight recorder attached to a live
+# server and the record->replay loop. Skipped under --fast, which
+# never builds the sanitize preset.
 if [ "$PRESETS" != "default" ]; then
     for threads in 1 4; do
         echo "== sanitize serve sweep: $threads thread(s) =="
         MOCKTAILS_SERVE_TEST_THREADS="$threads" \
             build-sanitize/tests/mocktails_tests \
-            --gtest_filter='ServeServer*:ServeMux*:*PollerBackends*:WakePipe*:Scenario*' \
+            --gtest_filter='ServeServer*:ServeMux*:*PollerBackends*:WakePipe*:Scenario*:ServeRecorder*:ServeReplay*' \
             --gtest_brief=1
     done
 fi

@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "serve/recorder.hpp"
 #include "util/poller.hpp"
 
 namespace mocktails::serve
@@ -23,6 +24,24 @@ setError(std::string *error, const std::string &message)
 {
     if (error != nullptr)
         *error = message;
+}
+
+void
+recordSent(const ClientOptions &options, std::uint64_t conn,
+           MsgType type, const std::vector<std::uint8_t> &body)
+{
+    if (options.recorder != nullptr)
+        options.recorder->record(FrameDirection::ClientToServer, conn,
+                                 type, body.data(), body.size());
+}
+
+void
+recordReceived(const ClientOptions &options, std::uint64_t conn,
+               const Frame &frame)
+{
+    if (options.recorder != nullptr)
+        options.recorder->record(FrameDirection::ServerToClient, conn,
+                                 frame);
 }
 
 bool
@@ -40,11 +59,11 @@ setSocketTimeouts(int fd, int read_ms, int write_ms)
     return set(SO_RCVTIMEO, read_ms) && set(SO_SNDTIMEO, write_ms);
 }
 
-/** Dial host:port; on success the fd is close-on-exec with timeouts
- *  applied (and the application of both is verified). */
+} // namespace
+
 int
-dialAndHandshakePrep(const std::string &host, std::uint16_t port,
-                     const ClientOptions &options, std::string *error)
+dialServer(const std::string &host, std::uint16_t port,
+           const ClientOptions &options, std::string *error)
 {
     struct addrinfo hints;
     std::memset(&hints, 0, sizeof(hints));
@@ -95,10 +114,14 @@ dialAndHandshakePrep(const std::string &host, std::uint16_t port,
     return fd;
 }
 
+namespace
+{
+
 /** Run the Hello handshake; fills @p negotiated on success. */
 bool
 handshake(int fd, const ClientOptions &options,
-          std::uint32_t &negotiated, std::string *error)
+          std::uint64_t recorder_conn, std::uint32_t &negotiated,
+          std::string *error)
 {
     HelloBody hello;
     hello.version = options.protocolVersion;
@@ -109,12 +132,14 @@ handshake(int fd, const ClientOptions &options,
                             std::strerror(errno));
         return false;
     }
+    recordSent(options, recorder_conn, MsgType::Hello, w.bytes());
     Frame reply;
     const FrameResult rc = readFrame(fd, reply, options.maxFrameBytes);
     if (rc != FrameResult::Ok) {
         setError(error, "handshake failed (no HelloOk)");
         return false;
     }
+    recordReceived(options, recorder_conn, reply);
     if (reply.type == MsgType::Error) {
         ErrorBody err;
         util::ByteReader r(reply.body.data(), reply.body.size());
@@ -186,10 +211,13 @@ Client::connect(const std::string &host, std::uint16_t port,
 {
     disconnect();
     options_ = options;
-    fd_ = dialAndHandshakePrep(host, port, options_, error);
+    fd_ = dialServer(host, port, options_, error);
     if (fd_ < 0)
         return false;
-    if (!handshake(fd_, options_, version_, error)) {
+    recorderConn_ = options_.recorder != nullptr
+                        ? options_.recorder->nextConnectionId()
+                        : 0;
+    if (!handshake(fd_, options_, recorderConn_, version_, error)) {
         disconnect();
         return false;
     }
@@ -210,10 +238,12 @@ Client::roundTrip(MsgType type, const std::vector<std::uint8_t> &body,
                             std::string(std::strerror(errno)));
         return false;
     }
+    recordSent(options_, recorderConn_, type, body);
     const FrameResult result =
         readFrame(fd_, reply, options_.maxFrameBytes);
     switch (result) {
     case FrameResult::Ok:
+        recordReceived(options_, recorderConn_, reply);
         break;
     case FrameResult::Eof:
         setError(error, "server closed the connection");
@@ -328,6 +358,24 @@ Client::stat(RemoteSession &session, StatsBody &stats,
 }
 
 bool
+Client::serverStats(ServerStatsBody &stats, std::string *error)
+{
+    ServerStatBody body;
+    util::ByteWriter w;
+    body.encode(w);
+    Frame reply;
+    if (!roundTrip(MsgType::ServerStat, w.bytes(),
+                   MsgType::ServerStats, MsgType::Error, reply, error))
+        return false;
+    util::ByteReader r(reply.body.data(), reply.body.size());
+    if (!stats.decode(r)) {
+        setError(error, "malformed ServerStats frame");
+        return false;
+    }
+    return true;
+}
+
+bool
 Client::close(RemoteSession &session, std::string *error)
 {
     CloseBody body;
@@ -391,10 +439,13 @@ MuxClient::connect(const std::string &host, std::uint16_t port,
     disconnect();
     options_ = options;
     options_.protocolVersion = kVersion; // mux is a v2 feature
-    fd_ = dialAndHandshakePrep(host, port, options_, error);
+    fd_ = dialServer(host, port, options_, error);
     if (fd_ < 0)
         return false;
-    if (!handshake(fd_, options_, version_, error)) {
+    recorderConn_ = options_.recorder != nullptr
+                        ? options_.recorder->nextConnectionId()
+                        : 0;
+    if (!handshake(fd_, options_, recorderConn_, version_, error)) {
         disconnect();
         return false;
     }
@@ -422,6 +473,7 @@ MuxClient::sendFrame(MsgType type,
                             std::string(std::strerror(errno)));
         return false;
     }
+    recordSent(options_, recorderConn_, type, body);
     return true;
 }
 
@@ -508,10 +560,30 @@ MuxClient::nextEvent(Event &event, std::string *error)
     const FrameResult rc = readFrame(fd_, frame, options_.maxFrameBytes);
     switch (rc) {
     case FrameResult::Ok:
+        recordReceived(options_, recorderConn_, frame);
         break;
-    case FrameResult::Eof:
-        setError(error, "server closed the connection");
+    case FrameResult::Eof: {
+        // Name the channels the close cut off — "which stream, how
+        // far along" is the first question a mid-stream EOF raises.
+        std::string detail = "server closed the connection";
+        std::string cut;
+        for (const auto &[id, state] : channels_) {
+            if (state.closed || (state.done && state.pullsOutstanding == 0))
+                continue;
+            if (!cut.empty())
+                cut += "; ";
+            cut += "channel " + std::to_string(id) + ": " +
+                   std::to_string(state.received) + "/" +
+                   std::to_string(state.total) +
+                   " requests received, " +
+                   std::to_string(state.pullsOutstanding) +
+                   " pulls outstanding";
+        }
+        if (!cut.empty())
+            detail += " mid-channel (" + cut + ")";
+        setError(error, detail);
         return false;
+    }
     case FrameResult::Timeout:
         setError(error, "timed out waiting for the server");
         return false;

@@ -43,6 +43,8 @@
 namespace mocktails::serve
 {
 
+class ServeRecorder;
+
 struct ClientOptions
 {
     /** Socket receive/send timeouts, ms; 0 = none. */
@@ -54,7 +56,24 @@ struct ClientOptions
 
     /** Hello version to offer (kVersion or kVersionLegacy). */
     std::uint32_t protocolVersion = kVersion;
+
+    /**
+     * Client-side flight recorder (recorder.hpp); nullptr = off. Must
+     * outlive the client. Every frame this client sends or receives is
+     * recorded under a recording-local connection id.
+     */
+    ServeRecorder *recorder = nullptr;
 };
+
+/**
+ * Dial host:port; on success the fd is close-on-exec with the
+ * options' socket timeouts applied (and the application of both is
+ * verified). No handshake is performed — Client/MuxClient::connect
+ * layer it on top; the replayer (replay.hpp) sends its own recorded
+ * Hello.
+ */
+int dialServer(const std::string &host, std::uint16_t port,
+               const ClientOptions &options, std::string *error);
 
 /** A remote session handle returned by Client::open(). */
 struct RemoteSession
@@ -108,6 +127,14 @@ class Client
     bool stat(RemoteSession &session, StatsBody &stats,
               std::string *error = nullptr);
 
+    /**
+     * Query server-wide live counters (ServerStat/ServerStats): the
+     * store, serve and recorder counters plus the server's telemetry
+     * snapshot, sorted by name.
+     */
+    bool serverStats(ServerStatsBody &stats,
+                     std::string *error = nullptr);
+
     /** Close the remote session. */
     bool close(RemoteSession &session, std::string *error = nullptr);
 
@@ -132,6 +159,7 @@ class Client
     int fd_ = -1;
     std::uint32_t version_ = 0;
     ClientOptions options_;
+    std::uint64_t recorderConn_ = 0; ///< recording-local connection id
 };
 
 /** One stream to open through MuxClient::fetchAll. */
@@ -247,6 +275,7 @@ class MuxClient
     int fd_ = -1;
     std::uint32_t version_ = 0;
     ClientOptions options_;
+    std::uint64_t recorderConn_ = 0; ///< recording-local connection id
     std::map<std::uint64_t, Channel> channels_;
 };
 

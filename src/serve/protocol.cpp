@@ -29,6 +29,46 @@ toString(ErrorCode code)
     return "unknown error";
 }
 
+const char *
+toString(MsgType type)
+{
+    switch (type) {
+      case MsgType::Hello:
+        return "Hello";
+      case MsgType::HelloOk:
+        return "HelloOk";
+      case MsgType::OpenProfile:
+        return "OpenProfile";
+      case MsgType::Opened:
+        return "Opened";
+      case MsgType::SynthChunk:
+        return "SynthChunk";
+      case MsgType::Chunk:
+        return "Chunk";
+      case MsgType::Stat:
+        return "Stat";
+      case MsgType::Stats:
+        return "Stats";
+      case MsgType::Close:
+        return "Close";
+      case MsgType::Closed:
+        return "Closed";
+      case MsgType::OpenChannel:
+        return "OpenChannel";
+      case MsgType::ChannelOpened:
+        return "ChannelOpened";
+      case MsgType::ChannelError:
+        return "ChannelError";
+      case MsgType::Error:
+        return "Error";
+      case MsgType::ServerStat:
+        return "ServerStat";
+      case MsgType::ServerStats:
+        return "ServerStats";
+    }
+    return "Unknown";
+}
+
 std::vector<std::uint8_t>
 packFrame(MsgType type, const std::vector<std::uint8_t> &body)
 {
@@ -261,6 +301,48 @@ ErrorBody::decode(util::ByteReader &r)
 {
     code = static_cast<ErrorCode>(r.getByte());
     message = r.getString();
+    return r.ok() && r.atEnd();
+}
+
+void
+ServerStatBody::encode(util::ByteWriter &) const
+{
+}
+
+bool
+ServerStatBody::decode(util::ByteReader &r)
+{
+    return r.ok() && r.atEnd();
+}
+
+void
+ServerStatsBody::encode(util::ByteWriter &w) const
+{
+    w.putVarint(entries.size());
+    for (const Entry &entry : entries) {
+        w.putString(entry.name);
+        w.putSigned(entry.value);
+    }
+}
+
+bool
+ServerStatsBody::decode(util::ByteReader &r)
+{
+    const std::uint64_t count = r.getVarint();
+    // Every entry is at least two bytes (length prefix + value), so a
+    // count beyond half the remaining body is malformed, not huge.
+    if (!r.ok() || count > r.remaining() / 2)
+        return false;
+    entries.clear();
+    entries.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Entry entry;
+        entry.name = r.getString();
+        entry.value = r.getSigned();
+        if (!r.ok())
+            return false;
+        entries.push_back(std::move(entry));
+    }
     return r.ok() && r.atEnd();
 }
 

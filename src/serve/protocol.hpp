@@ -105,7 +105,12 @@ enum class MsgType : std::uint8_t {
     ChannelOpened = 12, ///< v2: OpenedBody echoing the channel id
     ChannelError = 13,  ///< v2: channel-scoped error, connection lives
     Error = 15,
+    ServerStat = 16,  ///< query server-wide counters (empty body)
+    ServerStats = 17, ///< name/value snapshot of live server counters
 };
+
+/** Human-readable frame-type name (diagnostics, JSONL export). */
+const char *toString(MsgType type);
 
 /** Error codes carried by Error frames. */
 enum class ErrorCode : std::uint8_t {
@@ -273,6 +278,32 @@ struct ErrorBody
 {
     ErrorCode code = ErrorCode::Internal;
     std::string message;
+
+    void encode(util::ByteWriter &w) const;
+    bool decode(util::ByteReader &r);
+};
+
+/** ServerStat query body (empty; kept for the decode discipline). */
+struct ServerStatBody
+{
+    void encode(util::ByteWriter &w) const;
+    bool decode(util::ByteReader &r);
+};
+
+/**
+ * ServerStats reply: a name/value snapshot of the server's live
+ * counters and gauges ("serve.*", "store.*", "recorder.*", plus the
+ * full telemetry snapshot when collection is on), sorted by name.
+ */
+struct ServerStatsBody
+{
+    struct Entry
+    {
+        std::string name;
+        std::int64_t value = 0;
+    };
+
+    std::vector<Entry> entries;
 
     void encode(util::ByteWriter &w) const;
     bool decode(util::ByteReader &r);

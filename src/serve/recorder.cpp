@@ -1,0 +1,241 @@
+#include "serve/recorder.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "telemetry/metrics.hpp"
+#include "util/codec.hpp"
+
+namespace mocktails::serve
+{
+
+namespace
+{
+
+constexpr char kRecorderMagic[4] = {'M', 'K', 'S', 'R'};
+constexpr std::uint64_t kRecorderVersion = 1;
+
+void
+setError(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message;
+}
+
+} // namespace
+
+const char *
+toString(FrameDirection dir)
+{
+    return dir == FrameDirection::ClientToServer ? "c2s" : "s2c";
+}
+
+std::uint64_t
+extractChannel(MsgType type, const std::uint8_t *body, std::size_t size)
+{
+    switch (type) {
+      case MsgType::OpenChannel:
+      case MsgType::Opened:
+      case MsgType::ChannelOpened:
+      case MsgType::ChannelError:
+      case MsgType::SynthChunk:
+      case MsgType::Chunk:
+      case MsgType::Stat:
+      case MsgType::Stats:
+      case MsgType::Close:
+      case MsgType::Closed: {
+        // Session-carrying bodies lead with the channel varint.
+        util::ByteReader r(body, size);
+        const std::uint64_t channel = r.getVarint();
+        return r.ok() ? channel : 0;
+      }
+      case MsgType::Hello:
+      case MsgType::HelloOk:
+      case MsgType::OpenProfile: // server assigns the id in the reply
+      case MsgType::Error:
+      case MsgType::ServerStat:
+      case MsgType::ServerStats:
+        return 0;
+    }
+    return 0;
+}
+
+ServeRecorder::~ServeRecorder()
+{
+    close();
+}
+
+bool
+ServeRecorder::open(const std::string &path, std::string *error)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ != nullptr) {
+        setError(error, "recorder already open");
+        return false;
+    }
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+        setError(error,
+                 path + ": " + std::string(std::strerror(errno)));
+        return false;
+    }
+    util::ByteWriter header;
+    header.putBytes(
+        reinterpret_cast<const std::uint8_t *>(kRecorderMagic),
+        sizeof(kRecorderMagic));
+    header.putVarint(kRecorderVersion);
+    if (std::fwrite(header.bytes().data(), 1, header.size(), file) !=
+        header.size()) {
+        setError(error, path + ": header write failed");
+        std::fclose(file);
+        return false;
+    }
+    file_ = file;
+    write_failed_ = false;
+    bytes_.store(header.size(), std::memory_order_relaxed);
+    frames_.store(0, std::memory_order_relaxed);
+    last_ts_ = std::chrono::steady_clock::now();
+    enabled_.store(true, std::memory_order_relaxed);
+    return true;
+}
+
+void
+ServeRecorder::recordSlow(FrameDirection dir, std::uint64_t conn,
+                          MsgType type, const std::uint8_t *body,
+                          std::size_t size)
+{
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint64_t channel = extractChannel(type, body, size);
+
+    util::ByteWriter w;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ == nullptr)
+        return; // closed between the enabled check and here
+    const auto delta =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            now - last_ts_)
+            .count();
+    last_ts_ = now;
+    w.putByte(static_cast<std::uint8_t>(dir));
+    w.putVarint(delta > 0 ? static_cast<std::uint64_t>(delta) : 0);
+    w.putVarint(conn);
+    w.putVarint(channel);
+    w.putByte(static_cast<std::uint8_t>(type));
+    w.putVarint(size);
+    w.putBytes(body, size);
+    if (std::fwrite(w.bytes().data(), 1, w.size(), file_) != w.size())
+        write_failed_ = true;
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(w.size(), std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+        auto &registry = telemetry::MetricsRegistry::global();
+        registry.counter("recorder.frames").add(1);
+        registry.counter("recorder.bytes").add(w.size());
+    }
+}
+
+bool
+ServeRecorder::close(std::string *error)
+{
+    enabled_.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (file_ == nullptr)
+        return true;
+    const bool flush_ok = std::fflush(file_) == 0;
+    const bool close_ok = std::fclose(file_) == 0;
+    file_ = nullptr;
+    if (write_failed_ || !flush_ok || !close_ok) {
+        setError(error, "recording truncated by a write failure");
+        return false;
+    }
+    return true;
+}
+
+bool
+loadRecording(const std::string &path, Recording &out,
+              std::string *error)
+{
+    std::vector<std::uint8_t> bytes;
+    if (!util::loadBytes(path, bytes, error))
+        return false;
+    util::ByteReader r(bytes.data(), bytes.size());
+    bool magic_ok = true;
+    for (const char expected : kRecorderMagic)
+        magic_ok &= static_cast<char>(r.getByte()) == expected;
+    if (!r.ok() || !magic_ok) {
+        setError(error, path + ": not a .mksr recording (bad magic)");
+        return false;
+    }
+    const std::uint64_t version = r.getVarint();
+    if (!r.ok() || version != kRecorderVersion) {
+        setError(error, path + ": unsupported recording version " +
+                            std::to_string(version));
+        return false;
+    }
+    out.frames.clear();
+    std::uint64_t ts = 0;
+    while (!r.atEnd()) {
+        RecordedFrame frame;
+        const std::uint8_t dir = r.getByte();
+        ts += r.getVarint();
+        frame.tsNs = ts;
+        frame.conn = r.getVarint();
+        frame.channel = r.getVarint();
+        frame.type = static_cast<MsgType>(r.getByte());
+        const std::uint64_t length = r.getVarint();
+        if (!r.ok() || dir > 1 || length > r.remaining()) {
+            setError(error, path + ": truncated record " +
+                                std::to_string(out.frames.size()));
+            return false;
+        }
+        frame.dir = static_cast<FrameDirection>(dir);
+        frame.body.resize(static_cast<std::size_t>(length));
+        for (std::size_t i = 0; i < frame.body.size(); ++i)
+            frame.body[i] = r.getByte();
+        out.frames.push_back(std::move(frame));
+    }
+    return true;
+}
+
+bool
+exportRecordingJsonl(const Recording &recording,
+                     const std::string &path, std::string *error)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+        setError(error,
+                 path + ": " + std::string(std::strerror(errno)));
+        return false;
+    }
+    static const char hex[] = "0123456789abcdef";
+    std::string line;
+    bool ok = true;
+    for (std::size_t i = 0; i < recording.frames.size() && ok; ++i) {
+        const RecordedFrame &frame = recording.frames[i];
+        line.clear();
+        line += "{\"seq\":" + std::to_string(i);
+        line += ",\"ts_ns\":" + std::to_string(frame.tsNs);
+        line += ",\"dir\":\"";
+        line += toString(frame.dir);
+        line += "\",\"conn\":" + std::to_string(frame.conn);
+        line += ",\"channel\":" + std::to_string(frame.channel);
+        line += ",\"type\":\"";
+        line += toString(frame.type);
+        line += "\",\"size\":" + std::to_string(frame.body.size());
+        line += ",\"payload\":\"";
+        for (const std::uint8_t b : frame.body) {
+            line += hex[b >> 4];
+            line += hex[b & 0xf];
+        }
+        line += "\"}\n";
+        ok = std::fwrite(line.data(), 1, line.size(), file) ==
+             line.size();
+    }
+    if (std::fclose(file) != 0)
+        ok = false;
+    if (!ok)
+        setError(error, path + ": write failed");
+    return ok;
+}
+
+} // namespace mocktails::serve

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Wire-level flight recorder for the serve protocol (.mksr files).
+ *
+ * A ServeRecorder logs every frame that crosses a recording point —
+ * the server's event loop (ServerOptions::recorder) or a client
+ * (ClientOptions::recorder) — with a monotonic timestamp, connection
+ * id, channel id, frame type and raw body, to a compact varint binary
+ * format. Recordings replay deterministically (replay.hpp) and export
+ * losslessly to JSONL for grepping.
+ *
+ * File format (all integers LEB128 varints, util/varint.hpp):
+ *
+ *   header := "MKSR"                 (4 raw bytes)
+ *             version varint         (currently 1)
+ *   record := dir      u8            (0 = client->server, 1 = s->c)
+ *             tsDelta  varint        (ns since the previous record;
+ *                                     the first record since open)
+ *             conn     varint        (recording-local connection id)
+ *             channel  varint        (0 for connection-scoped frames)
+ *             type     u8            (MsgType)
+ *             length   varint        (body bytes)
+ *             body     bytes         (frame body, without type byte)
+ *
+ * The channel id is derived from the body (extractChannel) at record
+ * time so replays and exports can group per-channel work without
+ * decoding every body again.
+ *
+ * Overhead discipline (mirrors telemetry::enabled): record() is an
+ * inline relaxed-bool check that returns immediately while disabled —
+ * no locks, no allocation, no syscalls on the hot path. Recording is
+ * off until open() succeeds. When enabled, records are serialised
+ * under a mutex and written through to stdio (the server's loop
+ * thread is the only producer in the common case).
+ *
+ * Telemetry (when enabled): "recorder.frames" / "recorder.bytes"
+ * counters.
+ */
+
+#ifndef MOCKTAILS_SERVE_RECORDER_HPP
+#define MOCKTAILS_SERVE_RECORDER_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace mocktails::serve
+{
+
+/// Which way a recorded frame crossed the wire.
+enum class FrameDirection : std::uint8_t {
+    ClientToServer = 0,
+    ServerToClient = 1,
+};
+
+/** Human-readable direction tag ("c2s" / "s2c"). */
+const char *toString(FrameDirection dir);
+
+/**
+ * Derive the channel/session id a frame body is scoped to (the
+ * leading varint of session-carrying bodies), or 0 for
+ * connection-scoped frames (Hello, HelloOk, Error, ServerStat[s]) and
+ * OpenProfile (the server assigns the id in its reply).
+ */
+std::uint64_t extractChannel(MsgType type, const std::uint8_t *body,
+                             std::size_t size);
+
+class ServeRecorder
+{
+  public:
+    ServeRecorder() = default;
+
+    /** Flushes and closes the sink (write errors are lost; call
+     *  close() for a verdict). */
+    ~ServeRecorder();
+
+    ServeRecorder(const ServeRecorder &) = delete;
+    ServeRecorder &operator=(const ServeRecorder &) = delete;
+
+    /**
+     * Open @p path for writing, emit the header and enable recording.
+     * @return false with @p error set on I/O failure.
+     */
+    bool open(const std::string &path, std::string *error = nullptr);
+
+    /** True between a successful open() and close(). */
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Record one frame. The disabled path is the hot one: a single
+     * relaxed load and out.
+     */
+    void
+    record(FrameDirection dir, std::uint64_t conn, MsgType type,
+           const std::uint8_t *body, std::size_t size)
+    {
+        if (!enabled_.load(std::memory_order_relaxed))
+            return;
+        recordSlow(dir, conn, type, body, size);
+    }
+
+    /** record() an already-parsed frame. */
+    void
+    record(FrameDirection dir, std::uint64_t conn, const Frame &frame)
+    {
+        record(dir, conn, frame.type, frame.body.data(),
+               frame.body.size());
+    }
+
+    /**
+     * Disable recording, flush and close the file.
+     * @return false with @p error set if any write failed (the
+     *         recording is then incomplete). Idempotent.
+     */
+    bool close(std::string *error = nullptr);
+
+    /**
+     * Allocate a recording-local connection id (client-side recording
+     * points call this once per connection; the server uses its own
+     * connection ids).
+     */
+    std::uint64_t
+    nextConnectionId()
+    {
+        return next_conn_.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
+
+    /// @name Introspection
+    /// @{
+    std::uint64_t frames() const
+    {
+        return frames_.load(std::memory_order_relaxed);
+    }
+    /** Bytes written to the sink, header included. */
+    std::uint64_t bytes() const
+    {
+        return bytes_.load(std::memory_order_relaxed);
+    }
+    /// @}
+
+  private:
+    void recordSlow(FrameDirection dir, std::uint64_t conn,
+                    MsgType type, const std::uint8_t *body,
+                    std::size_t size);
+
+    std::atomic<bool> enabled_{false};
+    std::atomic<std::uint64_t> frames_{0};
+    std::atomic<std::uint64_t> bytes_{0};
+    std::atomic<std::uint64_t> next_conn_{0};
+
+    std::mutex mutex_;
+    std::FILE *file_ = nullptr;
+    bool write_failed_ = false;
+    std::chrono::steady_clock::time_point last_ts_{};
+};
+
+/** One frame of a loaded recording. */
+struct RecordedFrame
+{
+    FrameDirection dir = FrameDirection::ClientToServer;
+    std::uint64_t tsNs = 0; ///< ns since the recording started
+    std::uint64_t conn = 0;
+    std::uint64_t channel = 0;
+    MsgType type = MsgType::Error;
+    std::vector<std::uint8_t> body;
+};
+
+/** A fully loaded .mksr recording, in record order. */
+struct Recording
+{
+    std::vector<RecordedFrame> frames;
+};
+
+/** Load a .mksr file. @return false with @p error on malformed input. */
+bool loadRecording(const std::string &path, Recording &out,
+                   std::string *error = nullptr);
+
+/**
+ * Export a recording to JSONL: one object per frame with seq, ts_ns,
+ * dir, conn, channel, type, size and the payload as lowercase hex —
+ * lossless (the .mksr can be reconstructed from the export).
+ */
+bool exportRecordingJsonl(const Recording &recording,
+                          const std::string &path,
+                          std::string *error = nullptr);
+
+} // namespace mocktails::serve
+
+#endif // MOCKTAILS_SERVE_RECORDER_HPP

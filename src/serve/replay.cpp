@@ -1,0 +1,369 @@
+#include "serve/replay.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/client.hpp"
+
+namespace mocktails::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+void
+setError(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message;
+}
+
+/** One recorded connection, split into the replayer's working form. */
+struct ConnectionScript
+{
+    std::uint64_t conn = 0;
+
+    struct Send
+    {
+        const RecordedFrame *frame = nullptr;
+        /** Responses that must have arrived before this send (the
+         *  number of s2c frames recorded before it). */
+        std::size_t gate = 0;
+    };
+    std::vector<Send> sends;
+
+    /** Expected responses, per channel, in recorded order. */
+    std::map<std::uint64_t, std::vector<const RecordedFrame *>> expect;
+    std::size_t expectTotal = 0;
+    std::uint64_t firstTsNs = 0;
+};
+
+std::vector<ConnectionScript>
+buildScripts(const Recording &recording)
+{
+    std::map<std::uint64_t, ConnectionScript> scripts;
+    for (const RecordedFrame &frame : recording.frames) {
+        auto [it, inserted] =
+            scripts.try_emplace(frame.conn, ConnectionScript{});
+        ConnectionScript &script = it->second;
+        if (inserted) {
+            script.conn = frame.conn;
+            script.firstTsNs = frame.tsNs;
+        }
+        if (frame.dir == FrameDirection::ClientToServer) {
+            script.sends.push_back({&frame, script.expectTotal});
+        } else {
+            script.expect[frame.channel].push_back(&frame);
+            ++script.expectTotal;
+        }
+    }
+    std::vector<ConnectionScript> out;
+    out.reserve(scripts.size());
+    for (auto &[conn, script] : scripts)
+        out.push_back(std::move(script));
+    return out;
+}
+
+/** What one replayed connection saw come back. */
+struct ConnectionOutcome
+{
+    std::map<std::uint64_t, std::vector<Frame>> got; ///< per channel
+    std::size_t received = 0;
+    std::size_t sent = 0;
+    std::vector<double> chunkLatenciesUs;
+    std::string error; ///< transport failure, "" on success
+};
+
+/**
+ * Drive one connection: a sender walking the script (gated on the
+ * recorded response counts) and an inline reader thread collecting
+ * responses until the recording's expected total.
+ */
+bool
+driveConnection(const std::string &host, std::uint16_t port,
+                const ReplayOptions &options, bool verify,
+                const ConnectionScript &script,
+                ConnectionOutcome &outcome)
+{
+    ClientOptions dial_options;
+    dial_options.readTimeoutMs = options.readTimeoutMs;
+    dial_options.writeTimeoutMs = options.writeTimeoutMs;
+    const int fd = dialServer(host, port, dial_options, &outcome.error);
+    if (fd < 0)
+        return false;
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t received = 0;
+    bool reader_done = false;
+    std::string reader_error;
+    // Send time per outstanding pull, per channel (loadgen latency).
+    std::map<std::uint64_t, std::deque<Clock::time_point>> pending;
+
+    std::thread reader([&] {
+        Frame frame;
+        while (true) {
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (received >= script.expectTotal)
+                    break;
+            }
+            const FrameResult rc =
+                readFrame(fd, frame, kMaxFrameBytes);
+            if (rc != FrameResult::Ok) {
+                std::lock_guard<std::mutex> lock(mutex);
+                reader_error =
+                    rc == FrameResult::Eof
+                        ? "server closed the connection mid-replay"
+                    : rc == FrameResult::Timeout
+                        ? "timed out waiting for a recorded response"
+                        : "transport error while reading responses";
+                break;
+            }
+            const Clock::time_point now = Clock::now();
+            std::lock_guard<std::mutex> lock(mutex);
+            ++received;
+            if (frame.type == MsgType::Chunk) {
+                const std::uint64_t channel = extractChannel(
+                    frame.type, frame.body.data(), frame.body.size());
+                auto it = pending.find(channel);
+                if (it != pending.end() && !it->second.empty()) {
+                    const auto sent_at = it->second.front();
+                    it->second.pop_front();
+                    outcome.chunkLatenciesUs.push_back(
+                        std::chrono::duration<double, std::micro>(
+                            now - sent_at)
+                            .count());
+                }
+            }
+            if (verify) {
+                const std::uint64_t channel = extractChannel(
+                    frame.type, frame.body.data(), frame.body.size());
+                outcome.got[channel].push_back(frame);
+            }
+            cv.notify_all();
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        reader_done = true;
+        cv.notify_all();
+    });
+
+    const Clock::time_point start = Clock::now();
+    bool send_failed = false;
+    for (const ConnectionScript::Send &send : script.sends) {
+        {
+            // Causal gate: the original server had sent `gate`
+            // responses before it saw this frame; wait for as many.
+            std::unique_lock<std::mutex> lock(mutex);
+            cv.wait(lock, [&] {
+                return received >= send.gate || !reader_error.empty();
+            });
+            if (!reader_error.empty()) {
+                send_failed = true;
+                break;
+            }
+        }
+        if (options.timing && send.frame->tsNs > script.firstTsNs) {
+            const auto target =
+                start + std::chrono::nanoseconds(send.frame->tsNs -
+                                                 script.firstTsNs);
+            std::this_thread::sleep_until(target);
+        }
+        if (send.frame->type == MsgType::SynthChunk) {
+            std::lock_guard<std::mutex> lock(mutex);
+            pending[send.frame->channel].push_back(Clock::now());
+        }
+        if (!writeFrame(fd, send.frame->type, send.frame->body)) {
+            std::lock_guard<std::mutex> lock(mutex);
+            if (reader_error.empty())
+                reader_error = "transport error while sending frame";
+            send_failed = true;
+            break;
+        }
+        ++outcome.sent;
+    }
+
+    if (!send_failed) {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] {
+            return received >= script.expectTotal || reader_done;
+        });
+    }
+    // Unblock a reader stuck in readFrame: shut the socket down.
+    ::shutdown(fd, SHUT_RDWR);
+    reader.join();
+    ::close(fd);
+
+    outcome.received = received;
+    outcome.error = reader_error;
+    return outcome.error.empty();
+}
+
+/** Byte-diff one connection's responses against the recording. */
+void
+diffConnection(const ConnectionScript &script,
+               const ConnectionOutcome &outcome, ReplayResult &result)
+{
+    for (const auto &[channel, expected] : script.expect) {
+        const auto it = outcome.got.find(channel);
+        static const std::vector<Frame> kNone;
+        const std::vector<Frame> &got =
+            it != outcome.got.end() ? it->second : kNone;
+        if (expected.size() != got.size()) {
+            ReplayMismatch mismatch;
+            mismatch.conn = script.conn;
+            mismatch.channel = channel;
+            mismatch.index = std::min(expected.size(), got.size());
+            mismatch.detail =
+                "expected " + std::to_string(expected.size()) +
+                " response frames, got " + std::to_string(got.size());
+            result.mismatches.push_back(std::move(mismatch));
+        }
+        const std::size_t common =
+            std::min(expected.size(), got.size());
+        for (std::size_t i = 0; i < common; ++i) {
+            const RecordedFrame &want = *expected[i];
+            const Frame &have = got[i];
+            if (want.type != have.type) {
+                ReplayMismatch mismatch;
+                mismatch.conn = script.conn;
+                mismatch.channel = channel;
+                mismatch.index = i;
+                mismatch.detail =
+                    std::string("expected ") + toString(want.type) +
+                    ", got " + toString(have.type);
+                result.mismatches.push_back(std::move(mismatch));
+                continue;
+            }
+            if (want.type == MsgType::Stats ||
+                want.type == MsgType::ServerStats) {
+                // Live-counter snapshots; bodies are not replayable.
+                ++result.framesSkipped;
+                continue;
+            }
+            ++result.framesCompared;
+            if (want.body == have.body)
+                continue;
+            std::size_t first = 0;
+            const std::size_t limit =
+                std::min(want.body.size(), have.body.size());
+            while (first < limit && want.body[first] == have.body[first])
+                ++first;
+            ReplayMismatch mismatch;
+            mismatch.conn = script.conn;
+            mismatch.channel = channel;
+            mismatch.index = i;
+            mismatch.detail =
+                std::string(toString(want.type)) +
+                " body diverges at byte " + std::to_string(first) +
+                " (recorded " + std::to_string(want.body.size()) +
+                " bytes, live " + std::to_string(have.body.size()) +
+                " bytes)";
+            result.mismatches.push_back(std::move(mismatch));
+        }
+    }
+}
+
+} // namespace
+
+double
+ReplayResult::latencyPercentileUs(double p) const
+{
+    if (chunkLatenciesUs.empty())
+        return 0.0;
+    std::vector<double> sorted = chunkLatenciesUs;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank =
+        std::max(0.0, std::min(100.0, p)) / 100.0 *
+        static_cast<double>(sorted.size() - 1);
+    return sorted[static_cast<std::size_t>(std::lround(rank))];
+}
+
+bool
+replayRecording(const Recording &recording, const std::string &host,
+                std::uint16_t port, const ReplayOptions &options,
+                ReplayResult &result, std::string *error)
+{
+    result = ReplayResult{};
+    const std::vector<ConnectionScript> scripts =
+        buildScripts(recording);
+    result.connections = scripts.size();
+    if (scripts.empty()) {
+        setError(error, "recording holds no frames");
+        return false;
+    }
+
+    const bool verify = options.loadgen == 0;
+    const unsigned clones = verify ? 1 : options.loadgen;
+
+    struct Job
+    {
+        const ConnectionScript *script = nullptr;
+        ConnectionOutcome outcome;
+        bool ok = false;
+    };
+    std::vector<Job> jobs(scripts.size() *
+                          static_cast<std::size_t>(clones));
+    for (std::size_t c = 0; c < clones; ++c)
+        for (std::size_t s = 0; s < scripts.size(); ++s)
+            jobs[c * scripts.size() + s].script = &scripts[s];
+
+    std::vector<std::thread> threads;
+    threads.reserve(jobs.size());
+    for (Job &job : jobs)
+        threads.emplace_back([&] {
+            job.ok = driveConnection(host, port, options, verify,
+                                     *job.script, job.outcome);
+        });
+    for (std::thread &thread : threads)
+        thread.join();
+
+    result.clones = jobs.size();
+    std::string first_error;
+    for (Job &job : jobs) {
+        result.framesSent += job.outcome.sent;
+        result.framesReceived += job.outcome.received;
+        result.chunkLatenciesUs.insert(
+            result.chunkLatenciesUs.end(),
+            job.outcome.chunkLatenciesUs.begin(),
+            job.outcome.chunkLatenciesUs.end());
+        if (!job.ok && first_error.empty())
+            first_error = "connection " +
+                          std::to_string(job.script->conn) + ": " +
+                          job.outcome.error;
+        if (verify)
+            diffConnection(*job.script, job.outcome, result);
+    }
+    if (!first_error.empty()) {
+        setError(error, first_error);
+        return false;
+    }
+    return true;
+}
+
+bool
+corruptLastChunk(Recording &recording)
+{
+    for (auto it = recording.frames.rbegin();
+         it != recording.frames.rend(); ++it) {
+        if (it->dir == FrameDirection::ServerToClient &&
+            it->type == MsgType::Chunk && !it->body.empty()) {
+            it->body.back() ^= 0x20;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace mocktails::serve

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic replay of .mksr flight recordings (recorder.hpp).
+ *
+ * replayRecording() re-drives a live server with the recorded
+ * client-side frames and diffs what comes back against the recorded
+ * responses. Each recorded connection is replayed on its own fresh
+ * TCP connection, concurrently, exactly as the original clients ran.
+ *
+ * Determinism rules (see DESIGN.md "Flight recorder & replay"):
+ *
+ *  - Per-connection *arrival order* is preserved: before sending the
+ *    recorded client frame at position i, the replayer waits until as
+ *    many response frames have arrived as the recording shows before
+ *    position i. This reconstructs the original causal pacing (a
+ *    strict v1 client's command N happened-after response N-1), so
+ *    the server walks the same state-machine path — without it,
+ *    blasting a recorded Close could cancel pulls the original run
+ *    answered.
+ *  - Responses are diffed per (connection, channel), not globally:
+ *    chunks of one channel are answered in order with a per-channel
+ *    carry codec (bit-identical streams), while chunks of *different*
+ *    channels interleave at the pool scheduler's whim.
+ *  - Stats and ServerStats response *bodies* are exempt from the byte
+ *    diff (the type must still match): they snapshot live counters
+ *    mid-flight, which is exactly the nondeterminism the per-channel
+ *    rule cannot remove.
+ *
+ * Load generation: loadgen > 0 clones every recorded connection that
+ * many times and drives all clones concurrently, collecting
+ * pull-to-chunk latencies instead of verifying bytes — captured
+ * traffic becomes a load profile.
+ */
+
+#ifndef MOCKTAILS_SERVE_REPLAY_HPP
+#define MOCKTAILS_SERVE_REPLAY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/recorder.hpp"
+
+namespace mocktails::serve
+{
+
+struct ReplayOptions
+{
+    /** Pace sends by the recorded timestamps (off: as fast as the
+     *  causal gating allows). */
+    bool timing = false;
+
+    /**
+     * Clones per recorded connection. 0 = verification replay (one
+     * pass, responses byte-diffed); N > 0 = load generation (N clones
+     * per connection, latencies collected, no byte diff).
+     */
+    unsigned loadgen = 0;
+
+    /** Socket receive/send timeouts, ms; bound a stuck replay. */
+    int readTimeoutMs = 30000;
+    int writeTimeoutMs = 30000;
+};
+
+/** One byte-level divergence between recording and live replay. */
+struct ReplayMismatch
+{
+    std::uint64_t conn = 0;
+    std::uint64_t channel = 0;
+    std::uint64_t index = 0; ///< response index within the channel
+    std::string detail;
+};
+
+struct ReplayResult
+{
+    std::uint64_t connections = 0; ///< recorded connections driven
+    std::uint64_t clones = 0;      ///< total connections dialled
+    std::uint64_t framesSent = 0;
+    std::uint64_t framesReceived = 0;
+    std::uint64_t framesCompared = 0;
+    std::uint64_t framesSkipped = 0; ///< Stats/ServerStats bodies
+    std::vector<ReplayMismatch> mismatches;
+
+    /** Pull-to-chunk latencies, µs (loadgen mode only). */
+    std::vector<double> chunkLatenciesUs;
+
+    bool ok() const { return mismatches.empty(); }
+
+    /** Percentile over chunkLatenciesUs (p in [0,100]; 0 if empty). */
+    double latencyPercentileUs(double p) const;
+};
+
+/**
+ * Replay @p recording against host:port.
+ * @return false with @p error set on transport/setup failure;
+ *         byte-level divergences are reported through
+ *         @p result.mismatches, not as errors.
+ */
+bool replayRecording(const Recording &recording,
+                     const std::string &host, std::uint16_t port,
+                     const ReplayOptions &options, ReplayResult &result,
+                     std::string *error = nullptr);
+
+/**
+ * Flip one payload byte of the last recorded server->client Chunk —
+ * the deliberate-corruption probe the replay CTest uses to prove the
+ * diff detects divergence. @return false if no Chunk exists.
+ */
+bool corruptLastChunk(Recording &recording);
+
+} // namespace mocktails::serve
+
+#endif // MOCKTAILS_SERVE_REPLAY_HPP

@@ -11,6 +11,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "serve/recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "util/thread_pool.hpp"
 
@@ -349,8 +350,10 @@ StreamServer::eventLoop()
         reapDeadlined();
     }
 
-    // Drain any completions posted while the last connections closed
-    // (their shared_ptrs release sessions here, on the loop thread).
+    // Drain any completions posted while the last connections closed,
+    // *before* the loop joins: their shared_ptrs release sessions
+    // here, on the loop thread, and each orphaned frame is counted as
+    // serve.completions_dropped instead of vanishing.
     processCompletions();
 
     if (!listener_closed_ && listen_fd_ >= 0) {
@@ -547,6 +550,13 @@ void
 StreamServer::enqueueFrame(Connection &conn,
                            std::vector<std::uint8_t> frame)
 {
+    // Frames arrive packed (length u32 + type + body); the recorder
+    // wants the type and bare body.
+    if (options_.recorder != nullptr && frame.size() >= 5)
+        options_.recorder->record(
+            FrameDirection::ServerToClient, conn.id,
+            static_cast<MsgType>(frame[4]), frame.data() + 5,
+            frame.size() - 5);
     conn.writeBytes += frame.size();
     conn.writeQueue.push_back(std::move(frame));
     countMetric("serve.frames_out");
@@ -628,6 +638,10 @@ StreamServer::readInput(Connection &conn)
                     return;
                 }
                 countMetric("serve.frames_in");
+                if (options_.recorder != nullptr)
+                    options_.recorder->record(
+                        FrameDirection::ClientToServer, conn.id,
+                        frame);
                 if (!dispatchFrame(conn, frame)) {
                     startDrain(conn);
                     return;
@@ -876,6 +890,16 @@ StreamServer::dispatchFrame(Connection &conn, const Frame &frame)
         finishClose(conn, body.session, channel);
         return true;
     }
+    case MsgType::ServerStat: {
+        ServerStatBody body;
+        if (!body.decode(r)) {
+            sendConnError(conn, ErrorCode::BadFrame,
+                          "bad ServerStat body");
+            return false;
+        }
+        enqueueFrame(conn, packServerStatsFrame());
+        return true;
+    }
     default:
         sendConnError(conn, ErrorCode::BadFrame,
                       "unknown frame type " +
@@ -883,6 +907,68 @@ StreamServer::dispatchFrame(Connection &conn, const Frame &frame)
                               static_cast<unsigned>(frame.type)));
         return false;
     }
+}
+
+std::vector<std::uint8_t>
+StreamServer::packServerStatsFrame() const
+{
+    // Start from the telemetry snapshot (when collection is on), then
+    // overwrite with the authoritative always-on counters — the
+    // server's own atomics and the store's introspection do not
+    // depend on telemetry::enabled().
+    std::map<std::string, std::int64_t> values;
+    if (telemetry::enabled()) {
+        const telemetry::Snapshot snapshot =
+            telemetry::MetricsRegistry::global().snapshot();
+        for (const auto &counter : snapshot.counters)
+            values[counter.name] =
+                static_cast<std::int64_t>(counter.value);
+        for (const auto &gauge : snapshot.gauges)
+            values[gauge.name] = gauge.value;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        values["serve.connections_accepted"] =
+            static_cast<std::int64_t>(accepted_);
+        values["serve.connections_completed"] =
+            static_cast<std::int64_t>(completed_);
+        values["serve.connections_active"] =
+            static_cast<std::int64_t>(active_);
+    }
+    values["serve.accept_errors"] =
+        static_cast<std::int64_t>(accept_errors_.load());
+    values["serve.sockopt_errors"] =
+        static_cast<std::int64_t>(sockopt_errors_.load());
+    values["serve.completions_dropped"] =
+        static_cast<std::int64_t>(completions_dropped_.load());
+    values["store.hits"] = static_cast<std::int64_t>(store_->hits());
+    values["store.misses"] =
+        static_cast<std::int64_t>(store_->misses());
+    values["store.evictions"] =
+        static_cast<std::int64_t>(store_->evictions());
+    values["store.loads"] = static_cast<std::int64_t>(store_->loads());
+    values["store.resident_profiles"] =
+        static_cast<std::int64_t>(store_->residentCount());
+    values["store.resident_bytes"] =
+        static_cast<std::int64_t>(store_->residentBytes());
+    values["recorder.enabled"] =
+        options_.recorder != nullptr && options_.recorder->enabled()
+            ? 1
+            : 0;
+    if (options_.recorder != nullptr) {
+        values["recorder.frames"] =
+            static_cast<std::int64_t>(options_.recorder->frames());
+        values["recorder.bytes"] =
+            static_cast<std::int64_t>(options_.recorder->bytes());
+    }
+
+    ServerStatsBody stats;
+    stats.entries.reserve(values.size());
+    for (const auto &[name, value] : values)
+        stats.entries.push_back({name, value});
+    util::ByteWriter w;
+    stats.encode(w);
+    return packFrame(MsgType::ServerStats, w.bytes());
 }
 
 void
@@ -1043,8 +1129,15 @@ StreamServer::handleCompletion(Completion &&completion)
 {
     --tasks_in_flight_;
     Connection *conn = findConnection(completion.conn);
-    if (conn == nullptr)
-        return; // connection died; the shared state dies with us
+    if (conn == nullptr) {
+        // The connection died while the task was in flight (peer
+        // reset, or a stop() drain beat the completion home). The
+        // response frame has nowhere to go — drop it *visibly*: a
+        // silent drop here cost a debugging session once.
+        completions_dropped_.fetch_add(1, std::memory_order_relaxed);
+        countMetric("serve.completions_dropped");
+        return; // the shared channel state dies with us
+    }
     --conn->tasksInFlight;
     conn->lastActivity = Clock::now();
 

@@ -37,9 +37,12 @@
  * Telemetry: "serve.connections" / "serve.frames_in" /
  * "serve.frames_out" / "serve.errors" / "serve.timeouts" /
  * "serve.accept_errors" / "serve.sockopt_errors" /
- * "serve.write_stalls" counters, "serve.connections_active" gauge,
- * plus the session and store metrics of session.hpp /
- * profile_store.hpp.
+ * "serve.write_stalls" / "serve.completions_dropped" counters,
+ * "serve.connections_active" gauge, plus the session and store
+ * metrics of session.hpp / profile_store.hpp. The same counters are
+ * queryable over the wire with the ServerStat command (served for
+ * any negotiated version), and every frame can be recorded to a
+ * .mksr flight recording via ServerOptions::recorder (recorder.hpp).
  */
 
 #ifndef MOCKTAILS_SERVE_SERVER_HPP
@@ -69,6 +72,8 @@ class ThreadPool;
 
 namespace mocktails::serve
 {
+
+class ServeRecorder;
 
 struct ServerOptions
 {
@@ -121,6 +126,14 @@ struct ServerOptions
 
     /** Readiness backend (tests sweep poll vs epoll). */
     util::Poller::Backend pollerBackend = util::Poller::Backend::Auto;
+
+    /**
+     * Flight recorder (recorder.hpp); nullptr = off (the default, and
+     * a single pointer test per frame when so). Must outlive the
+     * server. Every inbound and outbound frame of every connection is
+     * recorded under the server's connection ids.
+     */
+    ServeRecorder *recorder = nullptr;
 };
 
 /** What the accept loop does about a failed accept(2). */
@@ -181,6 +194,14 @@ class StreamServer
     std::uint64_t acceptErrors() const { return accept_errors_; }
     /** setsockopt/fcntl failures on accepted sockets. */
     std::uint64_t sockoptErrors() const { return sockopt_errors_; }
+    /** Pool completions whose connection was gone when they landed
+     *  (peer died mid-task, or shutdown drained them) — their frames
+     *  were dropped, counted instead of lost silently (satellite:
+     *  stop() during an in-flight dispatch used to hide these). */
+    std::uint64_t completionsDropped() const
+    {
+        return completions_dropped_;
+    }
     /// @}
 
   private:
@@ -206,6 +227,7 @@ class StreamServer
 
     // Frame dispatch and scheduling (loop thread only).
     bool dispatchFrame(Connection &conn, const Frame &frame);
+    std::vector<std::uint8_t> packServerStatsFrame() const;
     void startOpen(Connection &conn, std::uint64_t channel,
                    std::string id, std::uint64_t seed);
     void schedulePulls(Connection &conn);
@@ -264,6 +286,7 @@ class StreamServer
     std::uint64_t completed_ = 0;
     std::atomic<std::uint64_t> accept_errors_{0};
     std::atomic<std::uint64_t> sockopt_errors_{0};
+    std::atomic<std::uint64_t> completions_dropped_{0};
 };
 
 } // namespace mocktails::serve

@@ -10,6 +10,10 @@
 #                thread-count determinism of the merged stream,
 #                unknown-flag suggestions, and a served scenario id
 #                fetched with --mux matching the in-process merge
+#   record-replay  record a --mux scenario fetch with serve --record,
+#                export it to JSONL, replay it against a fresh server
+#                (byte-identical, exit 0), prove --inject-mismatch is
+#                caught (exit 4), and query live counters with stats
 set -eu
 
 TOOL=$1
@@ -208,6 +212,95 @@ scenario)
         exit 1
     }
     echo "PASS scenario CLI (list, run, determinism, serve/fetch)"
+    ;;
+
+record-replay)
+    [ -n "$SCENARIOS" ] || {
+        echo "FAIL: record-replay mode needs the scenarios dir" >&2
+        exit 1
+    }
+
+    # Helper: serve the scenario, wait for the port file, remember pid.
+    start_server() {
+        rm -f port.txt
+        # shellcheck disable=SC2086
+        "$TOOL" serve "$SCENARIOS/phone-soc.scn" --port 0 \
+            --port-file port.txt $1 >"$2" 2>&1 &
+        SERVER=$!
+        i=0
+        while [ ! -s port.txt ]; do
+            i=$((i + 1))
+            if [ "$i" -gt 100 ]; then
+                echo "FAIL: server never wrote the port file" >&2
+                cat "$2" >&2 || true
+                kill "$SERVER" 2>/dev/null || true
+                exit 1
+            fi
+            sleep 0.1
+        done
+        PORT=$(cat port.txt)
+    }
+
+    # 1. Record a composed --mux fetch (probe + mux = 2 connections).
+    start_server "--once 2 --record rec.mksr" serve_rec.log
+    "$TOOL" fetch "127.0.0.1:$PORT" scenario:phone-soc fetched.csv \
+        1 100 --mux >/dev/null
+    wait "$SERVER"
+    grep -q "recorded .* frames .* -> rec.mksr" serve_rec.log || {
+        echo "FAIL: serve --record printed no recording summary" >&2
+        cat serve_rec.log >&2
+        exit 1
+    }
+    [ -s rec.mksr ] || {
+        echo "FAIL: recording file missing or empty" >&2
+        exit 1
+    }
+
+    # 2. Lossless JSONL export needs no server.
+    "$TOOL" replay rec.mksr --export-jsonl rec.jsonl >/dev/null
+    grep -q '"type":"Hello"' rec.jsonl &&
+        grep -q '"dir":"s2c"' rec.jsonl || {
+        echo "FAIL: JSONL export missing expected frames" >&2
+        head -5 rec.jsonl >&2 || true
+        exit 1
+    }
+
+    # 3. Live counters over the wire, then a byte-identical replay
+    #    (1 stats connection + 2 replayed connections = --once 3).
+    start_server "--once 3" serve_replay.log
+    "$TOOL" stats "127.0.0.1:$PORT" >stats.txt
+    grep -q "^serve.connections_accepted " stats.txt &&
+        grep -q "^store.resident_profiles " stats.txt &&
+        grep -q "^recorder.enabled " stats.txt || {
+        echo "FAIL: stats output missing expected counters" >&2
+        cat stats.txt >&2
+        exit 1
+    }
+    "$TOOL" replay rec.mksr "127.0.0.1:$PORT" >replay.txt
+    wait "$SERVER"
+    grep -q "byte-identical" replay.txt || {
+        echo "FAIL: replay did not report byte-identical responses" >&2
+        cat replay.txt >&2
+        exit 1
+    }
+
+    # 4. A corrupted recording must be detected, with exit code 4.
+    start_server "--once 2" serve_bad.log
+    rc=0
+    "$TOOL" replay rec.mksr "127.0.0.1:$PORT" --inject-mismatch \
+        >bad.txt 2>bad_err.txt || rc=$?
+    wait "$SERVER"
+    [ "$rc" -eq 4 ] || {
+        echo "FAIL: injected mismatch exited $rc, want 4" >&2
+        cat bad.txt bad_err.txt >&2
+        exit 1
+    }
+    grep -q "mismatch" bad_err.txt || {
+        echo "FAIL: mismatch diagnostic missing" >&2
+        cat bad_err.txt >&2
+        exit 1
+    }
+    echo "PASS record/replay loopback (record, export, replay, stats)"
     ;;
 
 *)

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <future>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <arpa/inet.h>
@@ -403,6 +404,115 @@ TEST(ServeMux, SingleWorkerPoolServesConcurrentConnections)
             ASSERT_EQ(outs[i][k], local[k])
                 << "client " << i << ", index " << k;
     }
+}
+
+/**
+ * A server that dies mid-channel must be diagnosed as such: the EOF
+ * error names the cut channel, its progress and its outstanding pulls
+ * (the satellite fix — the old message was a bare "server closed the
+ * connection", useless when eight channels were in flight).
+ */
+TEST(ServeMux, MidChannelEofNamesTheCutChannel)
+{
+    // A scripted fake server: handshake, open the channel, answer one
+    // pull, then hang up with the second pull outstanding.
+    const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(listen_fd, 0);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(::bind(listen_fd,
+                     reinterpret_cast<struct sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(listen_fd, 1), 0);
+    socklen_t len = sizeof(addr);
+    ASSERT_EQ(::getsockname(listen_fd,
+                            reinterpret_cast<struct sockaddr *>(&addr),
+                            &len),
+              0);
+    const std::uint16_t port = ntohs(addr.sin_port);
+
+    std::thread fake([listen_fd] {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        ASSERT_GE(fd, 0);
+        serve::Frame frame;
+        // Hello -> HelloOk(v2).
+        ASSERT_EQ(serve::readFrame(fd, frame,
+                                   serve::kMaxCommandFrameBytes),
+                  serve::FrameResult::Ok);
+        ASSERT_EQ(frame.type, serve::MsgType::Hello);
+        serve::HelloOkBody ok;
+        ok.version = serve::kVersion;
+        util::ByteWriter okw;
+        ok.encode(okw);
+        ASSERT_TRUE(
+            serve::writeFrame(fd, serve::MsgType::HelloOk, okw.bytes()));
+        // OpenChannel -> ChannelOpened promising 100 requests.
+        ASSERT_EQ(serve::readFrame(fd, frame,
+                                   serve::kMaxCommandFrameBytes),
+                  serve::FrameResult::Ok);
+        ASSERT_EQ(frame.type, serve::MsgType::OpenChannel);
+        serve::OpenedBody opened;
+        opened.session = 1;
+        opened.name = "muxed";
+        opened.device = "GPU";
+        opened.leaves = 3;
+        opened.total = 100;
+        util::ByteWriter ow;
+        opened.encode(ow);
+        ASSERT_TRUE(serve::writeFrame(
+            fd, serve::MsgType::ChannelOpened, ow.bytes()));
+        // First pull -> an empty Chunk (not done).
+        ASSERT_EQ(serve::readFrame(fd, frame,
+                                   serve::kMaxCommandFrameBytes),
+                  serve::FrameResult::Ok);
+        ASSERT_EQ(frame.type, serve::MsgType::SynthChunk);
+        serve::ChunkBody chunk;
+        chunk.session = 1;
+        chunk.firstSeq = 0;
+        chunk.count = 0;
+        chunk.done = false;
+        mem::RequestCodecState state;
+        util::ByteWriter cw;
+        chunk.encode(cw, nullptr, state);
+        ASSERT_TRUE(
+            serve::writeFrame(fd, serve::MsgType::Chunk, cw.bytes()));
+        // Second pull -> hang up mid-channel.
+        ASSERT_EQ(serve::readFrame(fd, frame,
+                                   serve::kMaxCommandFrameBytes),
+                  serve::FrameResult::Ok);
+        ASSERT_EQ(frame.type, serve::MsgType::SynthChunk);
+        ::close(fd);
+    });
+
+    serve::MuxClient client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", port, {}, &error)) << error;
+    ASSERT_TRUE(client.openChannel(1, "p.mkp", 1, &error)) << error;
+    serve::MuxClient::Event event;
+    ASSERT_TRUE(client.nextEvent(event, &error)) << error;
+    ASSERT_EQ(event.kind, serve::MuxClient::Event::Kind::Opened);
+    ASSERT_TRUE(client.pull(1, 10, &error)) << error;
+    ASSERT_TRUE(client.nextEvent(event, &error)) << error;
+    ASSERT_EQ(event.kind, serve::MuxClient::Event::Kind::Chunk);
+    ASSERT_TRUE(client.pull(1, 10, &error)) << error;
+
+    // The EOF lands here — and the diagnostic must say which channel
+    // was cut and how far along it was.
+    ASSERT_FALSE(client.nextEvent(event, &error));
+    EXPECT_NE(error.find("mid-channel"), std::string::npos) << error;
+    EXPECT_NE(error.find("channel 1"), std::string::npos) << error;
+    EXPECT_NE(error.find("0/100 requests received"), std::string::npos)
+        << error;
+    EXPECT_NE(error.find("1 pulls outstanding"), std::string::npos)
+        << error;
+
+    fake.join();
+    ::close(listen_fd);
+    client.disconnect();
 }
 
 TEST(ServeMux, PollBackendServesMultiplexedFetch)

@@ -1,0 +1,374 @@
+#include "serve/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/model_generator.hpp"
+#include "mem/trace.hpp"
+#include "serve/client.hpp"
+#include "serve/profile_store.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/codec.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+// ---------------------------------------------------------------------
+// Allocation audit for the disabled-recorder hot path.
+//
+// The whole point of ServeRecorder's inline guard is that a server
+// built with recording *available* but *off* pays one relaxed atomic
+// load per frame — no locks, no heap. Replacing the global allocation
+// functions lets the test assert the "no heap" half directly. The
+// counter is process-wide (every test in this binary routes through
+// it), so the replacement does nothing but count.
+// ---------------------------------------------------------------------
+
+// Under ASan the replacement must stay out of the way: code in
+// libstdc++.so still binds to the sanitizer's interposed operator
+// new, so a malloc-backed replacement in the executable splits
+// new/delete across mismatched allocators and trips
+// alloc-dealloc-mismatch. ASan builds keep the sanitizer's operators
+// and skip the exact-count assertion (the default build enforces it).
+#if defined(__SANITIZE_ADDRESS__)
+#define MOCKTAILS_TEST_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MOCKTAILS_TEST_COUNT_ALLOCS 0
+#endif
+#endif
+#ifndef MOCKTAILS_TEST_COUNT_ALLOCS
+#define MOCKTAILS_TEST_COUNT_ALLOCS 1
+#endif
+
+#if MOCKTAILS_TEST_COUNT_ALLOCS
+
+// The replacements below pair malloc with free by construction; GCC's
+// heuristic cannot see through the custom operator new and flags the
+// free() as mismatched.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace
+{
+std::atomic<std::uint64_t> g_allocations{0};
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    void *p = std::malloc(size == 0 ? 1 : size);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+#endif // MOCKTAILS_TEST_COUNT_ALLOCS
+
+namespace
+{
+
+using namespace mocktails;
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+std::vector<std::uint8_t>
+channelLeadBody(std::uint64_t channel, std::size_t padding = 0)
+{
+    util::ByteWriter w;
+    w.putVarint(channel);
+    for (std::size_t i = 0; i < padding; ++i)
+        w.putByte(static_cast<std::uint8_t>(i));
+    return w.bytes();
+}
+
+TEST(ServeRecorder, ExtractChannelReadsTheLeadingVarint)
+{
+    const std::vector<std::uint8_t> body = channelLeadBody(300, 4);
+    EXPECT_EQ(serve::extractChannel(serve::MsgType::OpenChannel,
+                                    body.data(), body.size()),
+              300u);
+    EXPECT_EQ(serve::extractChannel(serve::MsgType::Chunk, body.data(),
+                                    body.size()),
+              300u);
+    EXPECT_EQ(serve::extractChannel(serve::MsgType::SynthChunk,
+                                    body.data(), body.size()),
+              300u);
+    EXPECT_EQ(serve::extractChannel(serve::MsgType::Closed, body.data(),
+                                    body.size()),
+              300u);
+
+    // Connection-scoped types have no channel, whatever the body says.
+    EXPECT_EQ(serve::extractChannel(serve::MsgType::Hello, body.data(),
+                                    body.size()),
+              0u);
+    EXPECT_EQ(serve::extractChannel(serve::MsgType::ServerStats,
+                                    body.data(), body.size()),
+              0u);
+
+    // A truncated body must not read past the end: empty -> 0.
+    EXPECT_EQ(serve::extractChannel(serve::MsgType::Chunk, nullptr, 0),
+              0u);
+}
+
+TEST(ServeRecorder, FileRoundTripPreservesEveryField)
+{
+    const std::string path = tempPath("recorder_roundtrip.mksr");
+    serve::ServeRecorder recorder;
+    std::string error;
+    ASSERT_TRUE(recorder.open(path, &error)) << error;
+    EXPECT_TRUE(recorder.enabled());
+
+    const std::vector<std::uint8_t> hello = {0x56, 0x53, 0x4b, 0x4d,
+                                             0x04, 0x02};
+    const std::vector<std::uint8_t> empty;
+    const std::vector<std::uint8_t> chunk = channelLeadBody(7, 32);
+    recorder.record(serve::FrameDirection::ClientToServer, 3,
+                    serve::MsgType::Hello, hello.data(), hello.size());
+    recorder.record(serve::FrameDirection::ServerToClient, 3,
+                    serve::MsgType::HelloOk, empty.data(),
+                    empty.size());
+    recorder.record(serve::FrameDirection::ServerToClient, 3,
+                    serve::MsgType::Chunk, chunk.data(), chunk.size());
+    EXPECT_EQ(recorder.frames(), 3u);
+    EXPECT_GT(recorder.bytes(), 0u);
+    ASSERT_TRUE(recorder.close(&error)) << error;
+    EXPECT_FALSE(recorder.enabled());
+
+    serve::Recording recording;
+    ASSERT_TRUE(serve::loadRecording(path, recording, &error)) << error;
+    ASSERT_EQ(recording.frames.size(), 3u);
+
+    EXPECT_EQ(recording.frames[0].dir,
+              serve::FrameDirection::ClientToServer);
+    EXPECT_EQ(recording.frames[0].conn, 3u);
+    EXPECT_EQ(recording.frames[0].channel, 0u);
+    EXPECT_EQ(recording.frames[0].type, serve::MsgType::Hello);
+    EXPECT_EQ(recording.frames[0].body, hello);
+
+    EXPECT_EQ(recording.frames[1].dir,
+              serve::FrameDirection::ServerToClient);
+    EXPECT_EQ(recording.frames[1].type, serve::MsgType::HelloOk);
+    EXPECT_TRUE(recording.frames[1].body.empty());
+
+    EXPECT_EQ(recording.frames[2].channel, 7u);
+    EXPECT_EQ(recording.frames[2].type, serve::MsgType::Chunk);
+    EXPECT_EQ(recording.frames[2].body, chunk);
+
+    // Timestamps accumulate monotonically from the deltas.
+    EXPECT_LE(recording.frames[0].tsNs, recording.frames[1].tsNs);
+    EXPECT_LE(recording.frames[1].tsNs, recording.frames[2].tsNs);
+}
+
+TEST(ServeRecorder, LoadRejectsGarbageAndTruncation)
+{
+    const std::string garbage = tempPath("recorder_garbage.mksr");
+    {
+        std::ofstream f(garbage, std::ios::binary);
+        f << "not a recording at all";
+    }
+    serve::Recording recording;
+    std::string error;
+    EXPECT_FALSE(serve::loadRecording(garbage, recording, &error));
+    EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+
+    // A valid recording cut off mid-record must fail loudly, not
+    // return a silently shorter frame list.
+    const std::string full = tempPath("recorder_full.mksr");
+    serve::ServeRecorder recorder;
+    ASSERT_TRUE(recorder.open(full, &error)) << error;
+    const std::vector<std::uint8_t> body = channelLeadBody(1, 64);
+    recorder.record(serve::FrameDirection::ClientToServer, 1,
+                    serve::MsgType::OpenChannel, body.data(),
+                    body.size());
+    ASSERT_TRUE(recorder.close(&error)) << error;
+
+    std::ifstream in(full, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    const std::string cut = tempPath("recorder_cut.mksr");
+    {
+        std::ofstream f(cut, std::ios::binary);
+        f.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size() - 10));
+    }
+    EXPECT_FALSE(serve::loadRecording(cut, recording, &error));
+    EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST(ServeRecorder, JsonlExportIsLossless)
+{
+    const std::string path = tempPath("recorder_jsonl.mksr");
+    serve::ServeRecorder recorder;
+    std::string error;
+    ASSERT_TRUE(recorder.open(path, &error)) << error;
+    const std::vector<std::uint8_t> body = {0xde, 0xad, 0xbe, 0xef};
+    recorder.record(serve::FrameDirection::ClientToServer, 2,
+                    serve::MsgType::Hello, body.data(), body.size());
+    recorder.record(serve::FrameDirection::ServerToClient, 2,
+                    serve::MsgType::Error, body.data(), 2);
+    ASSERT_TRUE(recorder.close(&error)) << error;
+
+    serve::Recording recording;
+    ASSERT_TRUE(serve::loadRecording(path, recording, &error)) << error;
+
+    const std::string jsonl = tempPath("recorder_export.jsonl");
+    ASSERT_TRUE(serve::exportRecordingJsonl(recording, jsonl, &error))
+        << error;
+
+    std::ifstream in(jsonl);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_NE(lines[0].find("\"seq\":0"), std::string::npos);
+    EXPECT_NE(lines[0].find("\"dir\":\"c2s\""), std::string::npos);
+    EXPECT_NE(lines[0].find("\"type\":\"Hello\""), std::string::npos);
+    EXPECT_NE(lines[0].find("\"payload\":\"deadbeef\""),
+              std::string::npos);
+    EXPECT_NE(lines[1].find("\"dir\":\"s2c\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"type\":\"Error\""), std::string::npos);
+    EXPECT_NE(lines[1].find("\"payload\":\"dead\""), std::string::npos);
+}
+
+TEST(ServeRecorder, DisabledPathWritesNothingAndAllocatesNothing)
+{
+    serve::ServeRecorder recorder; // never opened: disabled
+    const std::vector<std::uint8_t> body = channelLeadBody(1, 128);
+
+#if MOCKTAILS_TEST_COUNT_ALLOCS
+    const std::uint64_t before =
+        g_allocations.load(std::memory_order_relaxed);
+#endif
+    for (int i = 0; i < 10000; ++i)
+        recorder.record(serve::FrameDirection::ServerToClient, 1,
+                        serve::MsgType::Chunk, body.data(),
+                        body.size());
+#if MOCKTAILS_TEST_COUNT_ALLOCS
+    const std::uint64_t after =
+        g_allocations.load(std::memory_order_relaxed);
+    EXPECT_EQ(after, before)
+        << "the disabled record() path must never touch the heap";
+#endif
+    EXPECT_EQ(recorder.frames(), 0u);
+    EXPECT_EQ(recorder.bytes(), 0u);
+}
+
+TEST(ServeRecorder, ServerLoopbackCapturesBothDirections)
+{
+    const char *env = std::getenv("MOCKTAILS_SERVE_TEST_THREADS");
+    if (env != nullptr)
+        util::ThreadPool::setGlobalThreadCount(
+            static_cast<unsigned>(std::atoi(env)));
+
+    mem::Trace t("rec", "GPU");
+    util::Rng rng(5);
+    mem::Tick tick = 0;
+    for (std::size_t i = 0; i < 600; ++i) {
+        tick += rng.below(16);
+        t.add(tick, 0x4000 + (rng.below(1 << 16) & ~mem::Addr{7}), 64,
+              rng.chance(0.5) ? mem::Op::Write : mem::Op::Read);
+    }
+    serve::ProfileStore store;
+    store.insert("p.mkp",
+                 core::buildProfile(
+                     t, core::PartitionConfig::twoLevelTs(500000)));
+
+    const std::string path = tempPath("recorder_loopback.mksr");
+    serve::ServeRecorder recorder;
+    std::string error;
+    ASSERT_TRUE(recorder.open(path, &error)) << error;
+
+    serve::ServerOptions options;
+    options.port = 0;
+    options.recorder = &recorder;
+    serve::StreamServer server(store, options);
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), {}, &error))
+        << error;
+    serve::RemoteSession session;
+    ASSERT_TRUE(client.open("p.mkp", 1, session, &error)) << error;
+    std::vector<mem::Request> out;
+    ASSERT_TRUE(client.fetch(session, out, 100, &error)) << error;
+    ASSERT_TRUE(client.close(session, &error)) << error;
+    client.disconnect();
+
+    server.waitForConnections(1);
+    server.stop();
+    ASSERT_TRUE(recorder.close(&error)) << error;
+
+    serve::Recording recording;
+    ASSERT_TRUE(serve::loadRecording(path, recording, &error)) << error;
+    ASSERT_GE(recording.frames.size(), 8u);
+
+    // The capture starts with the client's Hello and answers it.
+    EXPECT_EQ(recording.frames[0].dir,
+              serve::FrameDirection::ClientToServer);
+    EXPECT_EQ(recording.frames[0].type, serve::MsgType::Hello);
+    EXPECT_EQ(recording.frames[1].dir,
+              serve::FrameDirection::ServerToClient);
+    EXPECT_EQ(recording.frames[1].type, serve::MsgType::HelloOk);
+
+    std::size_t c2s = 0, s2c = 0, chunks = 0;
+    for (const serve::RecordedFrame &frame : recording.frames) {
+        EXPECT_EQ(frame.conn, recording.frames[0].conn);
+        if (frame.dir == serve::FrameDirection::ClientToServer)
+            ++c2s;
+        else
+            ++s2c;
+        if (frame.type == serve::MsgType::Chunk)
+            ++chunks;
+    }
+    EXPECT_GT(c2s, 0u);
+    EXPECT_GT(s2c, 0u);
+    EXPECT_GT(chunks, 0u);
+    // The strict v1-style cycle answers every command exactly once.
+    EXPECT_EQ(c2s, s2c);
+}
+
+} // namespace

@@ -1,0 +1,299 @@
+#include "serve/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/model_generator.hpp"
+#include "mem/trace.hpp"
+#include "serve/client.hpp"
+#include "serve/profile_store.hpp"
+#include "serve/protocol.hpp"
+#include "serve/recorder.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+
+void
+configurePoolFromEnv()
+{
+    static bool done = false;
+    if (done)
+        return;
+    done = true;
+    const char *env = std::getenv("MOCKTAILS_SERVE_TEST_THREADS");
+    if (env != nullptr)
+        util::ThreadPool::setGlobalThreadCount(
+            static_cast<unsigned>(std::atoi(env)));
+}
+
+/**
+ * The replay tests record against one server and replay against a
+ * freshly-built second one, so they lean on the profile build being
+ * deterministic (the same trace always yields the same profile — the
+ * property the CLI determinism tests pin down).
+ */
+core::Profile
+testProfile()
+{
+    mem::Trace t("replayed", "NPU");
+    util::Rng rng(11);
+    mem::Tick tick = 0;
+    for (std::size_t i = 0; i < 800; ++i) {
+        tick += rng.below(24);
+        t.add(tick, 0x8000 + (rng.below(1 << 17) & ~mem::Addr{7}),
+              rng.chance(0.5) ? 64 : 128,
+              rng.chance(0.3) ? mem::Op::Write : mem::Op::Read);
+    }
+    core::Profile p = core::buildProfile(
+        t, core::PartitionConfig::twoLevelTs(500000));
+    p.name = "replayed";
+    p.device = "NPU";
+    return p;
+}
+
+/** Store + server, optionally recording to @p recorder. */
+struct Fixture
+{
+    serve::ProfileStore store;
+    serve::StreamServer server;
+
+    explicit Fixture(serve::ServeRecorder *recorder = nullptr)
+        : server(store, options(recorder))
+    {
+        configurePoolFromEnv();
+        store.insert("p.mkp", testProfile());
+        std::string error;
+        EXPECT_TRUE(server.start(&error)) << error;
+    }
+
+    static serve::ServerOptions
+    options(serve::ServeRecorder *recorder)
+    {
+        serve::ServerOptions o;
+        o.port = 0;
+        o.recorder = recorder;
+        return o;
+    }
+};
+
+/** Record one strict-cycle fetch (v1 or v2 handshake). */
+serve::Recording
+recordStrictFetch(std::uint32_t version, const std::string &path)
+{
+    serve::ServeRecorder recorder;
+    std::string error;
+    EXPECT_TRUE(recorder.open(path, &error)) << error;
+    serve::Recording recording;
+    {
+        Fixture fixture(&recorder);
+        serve::ClientOptions options;
+        options.protocolVersion = version;
+        serve::Client client;
+        EXPECT_TRUE(client.connect("127.0.0.1", fixture.server.port(),
+                                   options, &error))
+            << error;
+        serve::RemoteSession session;
+        EXPECT_TRUE(client.open("p.mkp", 42, session, &error)) << error;
+        std::vector<mem::Request> out;
+        EXPECT_TRUE(client.fetch(session, out, 97, &error)) << error;
+        EXPECT_TRUE(client.close(session, &error)) << error;
+        client.disconnect();
+        fixture.server.waitForConnections(1);
+        fixture.server.stop();
+    }
+    EXPECT_TRUE(recorder.close(&error)) << error;
+    EXPECT_TRUE(serve::loadRecording(path, recording, &error)) << error;
+    EXPECT_FALSE(recording.frames.empty());
+    return recording;
+}
+
+/** Record a two-channel mux fetchAll over one connection. */
+serve::Recording
+recordMuxFetch(const std::string &path)
+{
+    serve::ServeRecorder recorder;
+    std::string error;
+    EXPECT_TRUE(recorder.open(path, &error)) << error;
+    serve::Recording recording;
+    {
+        Fixture fixture(&recorder);
+        serve::MuxClient client;
+        EXPECT_TRUE(client.connect("127.0.0.1", fixture.server.port(),
+                                   {}, &error))
+            << error;
+        const std::vector<serve::FetchSpec> specs = {{"p.mkp", 1},
+                                                     {"p.mkp", 2}};
+        std::vector<std::vector<mem::Request>> outs;
+        EXPECT_TRUE(client.fetchAll(specs, outs, 64, 2, &error))
+            << error;
+        client.disconnect();
+        fixture.server.waitForConnections(1);
+        fixture.server.stop();
+    }
+    EXPECT_TRUE(recorder.close(&error)) << error;
+    EXPECT_TRUE(serve::loadRecording(path, recording, &error)) << error;
+    EXPECT_FALSE(recording.frames.empty());
+    return recording;
+}
+
+TEST(ServeReplay, StrictFetchReplaysByteIdentical)
+{
+    const serve::Recording recording = recordStrictFetch(
+        serve::kVersion, testing::TempDir() + "replay_v2.mksr");
+
+    Fixture fresh;
+    serve::ReplayResult result;
+    std::string error;
+    ASSERT_TRUE(serve::replayRecording(recording, "127.0.0.1",
+                                       fresh.server.port(), {}, result,
+                                       &error))
+        << error;
+    fresh.server.stop();
+
+    EXPECT_EQ(result.connections, 1u);
+    EXPECT_GT(result.framesSent, 0u);
+    EXPECT_EQ(result.framesReceived, result.framesSent);
+    EXPECT_GT(result.framesCompared, 0u);
+    EXPECT_TRUE(result.ok()) << result.mismatches.size()
+                             << " mismatches, first: "
+                             << (result.mismatches.empty()
+                                     ? ""
+                                     : result.mismatches[0].detail);
+}
+
+TEST(ServeReplay, LegacyV1RecordingReplaysByteIdentical)
+{
+    // v1's strict alternation is reconstructed by the causal gate:
+    // every recorded command waits for the recorded response count.
+    const serve::Recording recording = recordStrictFetch(
+        serve::kVersionLegacy, testing::TempDir() + "replay_v1.mksr");
+
+    Fixture fresh;
+    serve::ReplayResult result;
+    std::string error;
+    ASSERT_TRUE(serve::replayRecording(recording, "127.0.0.1",
+                                       fresh.server.port(), {}, result,
+                                       &error))
+        << error;
+    fresh.server.stop();
+    EXPECT_GT(result.framesCompared, 0u);
+    EXPECT_TRUE(result.ok()) << (result.mismatches.empty()
+                                     ? ""
+                                     : result.mismatches[0].detail);
+}
+
+TEST(ServeReplay, MuxRecordingReplaysByteIdentical)
+{
+    const serve::Recording recording =
+        recordMuxFetch(testing::TempDir() + "replay_mux.mksr");
+
+    Fixture fresh;
+    serve::ReplayResult result;
+    std::string error;
+    ASSERT_TRUE(serve::replayRecording(recording, "127.0.0.1",
+                                       fresh.server.port(), {}, result,
+                                       &error))
+        << error;
+    fresh.server.stop();
+    EXPECT_EQ(result.connections, 1u);
+    EXPECT_GT(result.framesCompared, 0u);
+    EXPECT_TRUE(result.ok()) << (result.mismatches.empty()
+                                     ? ""
+                                     : result.mismatches[0].detail);
+}
+
+TEST(ServeReplay, TimingModeStillMatches)
+{
+    const serve::Recording recording = recordStrictFetch(
+        serve::kVersion, testing::TempDir() + "replay_timing.mksr");
+
+    Fixture fresh;
+    serve::ReplayOptions options;
+    options.timing = true;
+    serve::ReplayResult result;
+    std::string error;
+    ASSERT_TRUE(serve::replayRecording(recording, "127.0.0.1",
+                                       fresh.server.port(), options,
+                                       result, &error))
+        << error;
+    fresh.server.stop();
+    EXPECT_TRUE(result.ok());
+}
+
+TEST(ServeReplay, InjectedCorruptionIsDetected)
+{
+    serve::Recording recording = recordStrictFetch(
+        serve::kVersion, testing::TempDir() + "replay_corrupt.mksr");
+    ASSERT_TRUE(serve::corruptLastChunk(recording));
+
+    Fixture fresh;
+    serve::ReplayResult result;
+    std::string error;
+    ASSERT_TRUE(serve::replayRecording(recording, "127.0.0.1",
+                                       fresh.server.port(), {}, result,
+                                       &error))
+        << error;
+    fresh.server.stop();
+    ASSERT_FALSE(result.ok());
+    EXPECT_NE(result.mismatches[0].detail.find("diverges"),
+              std::string::npos)
+        << result.mismatches[0].detail;
+}
+
+TEST(ServeReplay, CorruptLastChunkNeedsARecordedChunk)
+{
+    serve::Recording recording;
+    serve::RecordedFrame hello;
+    hello.dir = serve::FrameDirection::ClientToServer;
+    hello.type = serve::MsgType::Hello;
+    recording.frames.push_back(hello);
+    EXPECT_FALSE(serve::corruptLastChunk(recording));
+}
+
+TEST(ServeReplay, EmptyRecordingIsAnError)
+{
+    serve::Recording recording;
+    serve::ReplayResult result;
+    std::string error;
+    EXPECT_FALSE(serve::replayRecording(recording, "127.0.0.1", 1,
+                                        {}, result, &error));
+    EXPECT_NE(error.find("no frames"), std::string::npos) << error;
+}
+
+TEST(ServeReplay, LoadgenClonesAndPublishesLatencies)
+{
+    const serve::Recording recording = recordStrictFetch(
+        serve::kVersion, testing::TempDir() + "replay_loadgen.mksr");
+
+    Fixture fresh;
+    serve::ReplayOptions options;
+    options.loadgen = 3;
+    serve::ReplayResult result;
+    std::string error;
+    ASSERT_TRUE(serve::replayRecording(recording, "127.0.0.1",
+                                       fresh.server.port(), options,
+                                       result, &error))
+        << error;
+    fresh.server.stop();
+
+    EXPECT_EQ(result.connections, 1u);
+    EXPECT_EQ(result.clones, 3u);
+    // Load generation blasts frames without diffing them.
+    EXPECT_EQ(result.framesCompared, 0u);
+    EXPECT_TRUE(result.mismatches.empty());
+    ASSERT_FALSE(result.chunkLatenciesUs.empty());
+    const double p50 = result.latencyPercentileUs(50.0);
+    const double p99 = result.latencyPercentileUs(99.0);
+    EXPECT_GT(p50, 0.0);
+    EXPECT_GE(p99, p50);
+}
+
+} // namespace

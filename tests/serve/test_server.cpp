@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <future>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -410,6 +413,123 @@ TEST(ServeServer, ListenerSurvivesFdExhaustion)
     ASSERT_TRUE(client.connect("127.0.0.1", fixture.server.port(), {},
                                &error))
         << error;
+}
+
+TEST(ServeServer, ServerStatsQueryReturnsLiveCounters)
+{
+    ServerFixture fixture;
+    serve::Client client;
+    std::string error;
+    ASSERT_TRUE(client.connect("127.0.0.1", fixture.server.port(), {},
+                               &error))
+        << error;
+    // Stream a little first so the store/session counters are warm.
+    serve::RemoteSession session;
+    ASSERT_TRUE(client.open("p.mkp", 1, session, &error)) << error;
+    std::vector<mem::Request> out;
+    ASSERT_TRUE(client.next(session, out, 32, &error)) << error;
+
+    serve::ServerStatsBody stats;
+    ASSERT_TRUE(client.serverStats(stats, &error)) << error;
+    ASSERT_FALSE(stats.entries.empty());
+
+    std::map<std::string, std::int64_t> byName;
+    for (const auto &entry : stats.entries) {
+        // Entries arrive sorted and unique.
+        EXPECT_TRUE(byName.empty() ||
+                    byName.rbegin()->first < entry.name)
+            << entry.name;
+        byName[entry.name] = entry.value;
+    }
+    // The authoritative counters are served with telemetry off.
+    ASSERT_TRUE(byName.count("serve.connections_accepted"));
+    EXPECT_GE(byName["serve.connections_accepted"], 1);
+    ASSERT_TRUE(byName.count("serve.connections_active"));
+    EXPECT_GE(byName["serve.connections_active"], 1);
+    // insert() makes the profile resident up front: opening it is a
+    // store hit.
+    ASSERT_TRUE(byName.count("store.hits"));
+    EXPECT_GE(byName["store.hits"], 1);
+    ASSERT_TRUE(byName.count("store.resident_profiles"));
+    EXPECT_EQ(byName["store.resident_profiles"], 1);
+    ASSERT_TRUE(byName.count("recorder.enabled"));
+    EXPECT_EQ(byName["recorder.enabled"], 0); // none attached
+    EXPECT_TRUE(byName.count("serve.completions_dropped"));
+
+    ASSERT_TRUE(client.close(session, &error)) << error;
+}
+
+/**
+ * Kill a connection (RST) while its open is still loading on the
+ * pool: the completion lands after the connection is gone and must be
+ * counted as dropped, not lost silently (the stop()/mid-dispatch
+ * satellite of this PR).
+ */
+TEST(ServeServer, CompletionDroppedWhenConnectionDiesMidTask)
+{
+    configurePoolFromEnv();
+    std::promise<void> entered;
+    std::promise<void> release;
+    std::shared_future<void> release_future =
+        release.get_future().share();
+
+    serve::ProfileStore store;
+    std::atomic<bool> signalled{false};
+    store.registerLoader(
+        "slow.mkp",
+        [&](serve::StoredProfile &out, std::string *) {
+            if (!signalled.exchange(true))
+                entered.set_value();
+            release_future.wait();
+            out.profile = makeProfile(64);
+            out.totalRequests = 64;
+            return true;
+        });
+    serve::ServerOptions options;
+    options.port = 0;
+    serve::StreamServer server(store, options);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    const int fd = rawConnect(server.port());
+    serve::HelloBody hello;
+    util::ByteWriter w;
+    hello.encode(w);
+    ASSERT_TRUE(
+        serve::writeFrame(fd, serve::MsgType::Hello, w.bytes()));
+    serve::Frame reply;
+    ASSERT_EQ(serve::readFrame(fd, reply, serve::kMaxFrameBytes),
+              serve::FrameResult::Ok);
+    ASSERT_EQ(reply.type, serve::MsgType::HelloOk);
+
+    serve::OpenChannelBody open;
+    open.channel = 1;
+    open.id = "slow.mkp";
+    util::ByteWriter ow;
+    open.encode(ow);
+    ASSERT_TRUE(
+        serve::writeFrame(fd, serve::MsgType::OpenChannel, ow.bytes()));
+
+    // Wait until the open is parked inside the loader, then RST the
+    // connection out from under it.
+    entered.get_future().wait();
+    struct linger hard = {1, 0};
+    ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard,
+                           sizeof(hard)),
+              0);
+    ::close(fd);
+
+    // The loop reaps the connection first (nothing blocks it), the
+    // loader finishes second, and its completion has nowhere to go.
+    server.waitForConnections(1);
+    release.set_value();
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (server.completionsDropped() == 0 &&
+           std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    server.stop();
+    EXPECT_GE(server.completionsDropped(), 1u);
 }
 
 TEST(ServeServer, GracefulStopDrainsInFlightSessions)
