@@ -9,13 +9,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "baselines/hrd.hpp"
 #include "baselines/reuse.hpp"
 #include "cache/hierarchy.hpp"
 #include "core/model_generator.hpp"
+#include "core/streamed_build.hpp"
+#include "core/synthesis.hpp"
 #include "dram/sharded.hpp"
 #include "dram/simulate.hpp"
 #include "mem/source.hpp"
+#include "mem/trace_reader.hpp"
 #include "util/compress.hpp"
 #include "util/rng.hpp"
 #include "validation/validate.hpp"
@@ -82,6 +87,11 @@ BM_DramSharded(benchmark::State &state)
                               interconnect::CrossbarConfig{},
                               options.threads)
             .completed);
+    // Speedup over BM_DramCoupled is bounded by the physical core
+    // count; keep it next to the wall-clock so a 1-core CI runner's
+    // flat numbers aren't misread as a regression.
+    state.counters["hw_threads"] =
+        static_cast<double>(std::thread::hardware_concurrency());
     state.SetItemsProcessed(
         static_cast<std::int64_t>(state.iterations()) *
         static_cast<std::int64_t>(deviceTrace().size()));
@@ -172,6 +182,97 @@ BM_Compress(benchmark::State &state)
         static_cast<std::int64_t>(input.size()));
 }
 BENCHMARK(BM_Compress);
+
+/**
+ * A/B pair: in-memory buildProfile vs the chunked out-of-core builder
+ * on the same trace and config. Both produce byte-identical profiles;
+ * the delta is the cost (or win) of streaming + spill-and-merge. The
+ * streamed run uses a MemoryTraceReader so the A/B isolates the build
+ * machinery — the spill files still hit the real filesystem.
+ */
+void
+BM_BuildProfileInMemory(benchmark::State &state)
+{
+    const mem::Trace &trace = deviceTrace();
+    for (auto _ : state) {
+        const core::Profile profile = core::buildProfile(
+            trace, core::PartitionConfig::twoLevelTs());
+        benchmark::DoNotOptimize(profile.leaves.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_BuildProfileInMemory)->Unit(benchmark::kMillisecond);
+
+void
+BM_BuildProfileStreamed(benchmark::State &state)
+{
+    const mem::Trace &trace = deviceTrace();
+    core::StreamedBuildOptions options;
+    options.threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        mem::MemoryTraceReader reader(trace);
+        std::string error;
+        const core::Profile profile = core::buildProfileStreamed(
+            reader, core::PartitionConfig::twoLevelTs(), options,
+            &error);
+        benchmark::DoNotOptimize(profile.leaves.size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.size()));
+}
+BENCHMARK(BM_BuildProfileStreamed)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+const core::Profile &
+synthProfile()
+{
+    static const core::Profile profile = core::buildProfile(
+        deviceTrace(), core::PartitionConfig::twoLevelTs());
+    return profile;
+}
+
+/**
+ * A/B pair: the sequential AoS engine loop vs the sharded path whose
+ * per-leaf runs are SoA RequestBatch columns merged on the tick column
+ * alone. Output is bit-identical at every thread count (threads >= 2
+ * is what routes synthesize() through the SoA runs).
+ */
+void
+BM_SynthEngine(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::synthesize(synthProfile(), 1, 1).size());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(synthProfile().totalRequests()));
+}
+BENCHMARK(BM_SynthEngine)->Unit(benchmark::kMillisecond);
+
+void
+BM_SynthSoA(benchmark::State &state)
+{
+    const auto threads = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::synthesize(synthProfile(), 1, threads).size());
+    }
+    state.counters["hw_threads"] =
+        static_cast<double>(std::thread::hardware_concurrency());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(synthProfile().totalRequests()));
+}
+BENCHMARK(BM_SynthSoA)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_DeviceTraceGeneration(benchmark::State &state)

@@ -5,6 +5,7 @@
  * Commands:
  *   generate <workload> <requests> <trace.mkt>   synthesise a workload
  *   profile  <trace.mkt> <profile.mkp> [cycles]  trace -> profile
+ *   build    <trace> <profile.mkp> [cycles]      streamed/out-of-core
  *   synth    <profile.mkp> <out.mkt> [seed]      profile -> trace
  *   info     <file.mkt|file.mkp>                 describe a file
  *   export   <trace.mkt> <out.csv|.ram|.ds3>     convert a trace
@@ -34,6 +35,7 @@
 
 #include "cache/hierarchy.hpp"
 #include "core/model_generator.hpp"
+#include "core/streamed_build.hpp"
 #include "core/summary.hpp"
 #include "core/synthesis.hpp"
 #include "dram/simulate.hpp"
@@ -49,7 +51,9 @@
 #include "validation/attribution.hpp"
 #include "validation/validate.hpp"
 #include "mem/interop.hpp"
+#include "mem/request_batch.hpp"
 #include "mem/trace_io.hpp"
+#include "mem/trace_reader.hpp"
 #include "mem/trace_stats.hpp"
 #include "telemetry/exporter.hpp"
 #include "util/stats.hpp"
@@ -73,6 +77,9 @@ usage()
         "                    [--attribution PATH] <command> [args]\n"
         "  generate <workload> <requests> <trace.mkt>\n"
         "  profile  <trace.mkt> <profile.mkp> [cycles_per_phase]\n"
+        "  build    <trace.mkt|trace.csv> <profile.mkp>\n"
+        "           [cycles_per_phase] [--max-memory-mb N]\n"
+        "           [--spill-dir PATH]\n"
         "  synth    <profile.mkp> <out.mkt> [seed]\n"
         "  info     <file.mkt|file.mkp>\n"
         "  export   <trace.mkt> <out.csv|out.ram|out.ds3>\n"
@@ -109,6 +116,11 @@ usage()
         "           to PATH (JSON) and PATH-derived .md (markdown)\n"
         "validate with only a trace profiles it with the default\n"
         "  hierarchy first (exercises the whole pipeline)\n"
+        "build streams the trace in chunks (CSV input never loads\n"
+        "  whole); with --max-memory-mb or --spill-dir it builds the\n"
+        "  profile out of core — partial partitions spill to disk\n"
+        "  ($TMPDIR unless --spill-dir) under the memory bound, and\n"
+        "  the .mkp is byte-identical to the in-memory path\n"
         "trace replays a trace (or a profile, synthesised with\n"
         "  tracing on) through the DRAM and cache substrates\n"
         "serve registers each profile under its file name (the id)\n"
@@ -563,6 +575,100 @@ parseUnsigned(const char *flag, const char *text, std::uint64_t &out)
     }
     out = n;
     return true;
+}
+
+/**
+ * `build`: trace -> profile like `profile`, but through the chunked
+ * TraceReader front end, with an optional out-of-core mode.
+ *
+ * Without --max-memory-mb/--spill-dir the streamed trace is
+ * materialised and fed to the in-memory builder (the default, exactly
+ * `profile` plus CSV input). With either flag the profile is built
+ * out of core: chunked streaming, bounded working set, spill-and-merge
+ * partitioning — and a byte-identical .mkp.
+ */
+int
+cmdBuild(int argc, char **argv)
+{
+    std::uint64_t cycles = 500000;
+    std::uint64_t max_mb = 0;
+    std::string spill_dir;
+    bool streamed = false;
+    std::vector<const char *> positional;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--max-memory-mb") == 0 &&
+            i + 1 < argc) {
+            if (!parseUnsigned("--max-memory-mb", argv[++i], max_mb))
+                return 2;
+            streamed = true;
+        } else if (std::strcmp(argv[i], "--spill-dir") == 0 &&
+                   i + 1 < argc) {
+            spill_dir = argv[++i];
+            streamed = true;
+        } else if (argv[i][0] == '-') {
+            std::fprintf(stderr,
+                         "profile_tool: unknown build flag '%s'\n",
+                         argv[i]);
+            return usage();
+        } else {
+            positional.push_back(argv[i]);
+        }
+    }
+    if (positional.size() < 2 || positional.size() > 3)
+        return usage();
+    const std::string in = positional[0];
+    const std::string out = positional[1];
+    if (positional.size() == 3 &&
+        !parseUnsigned("cycles_per_phase", positional[2], cycles))
+        return 2;
+
+    std::string error;
+    auto reader = mem::openTraceReader(in, &error);
+    if (!reader) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    const auto config = core::PartitionConfig::twoLevelTs(cycles);
+
+    core::Profile profile;
+    if (streamed) {
+        core::StreamedBuildOptions options;
+        options.maxMemoryBytes = max_mb << 20;
+        options.spillDir = spill_dir;
+        options.threads = g_threads;
+        profile = core::buildProfileStreamed(*reader, config, options,
+                                             &error);
+        if (!error.empty()) {
+            std::fprintf(stderr, "error: %s\n", error.c_str());
+            return 1;
+        }
+    } else {
+        mem::Trace trace(reader->name(), reader->device());
+        trace.requests().reserve(reader->sizeHint());
+        mem::RequestBatch batch;
+        while (reader->read(batch, std::size_t{1} << 16) > 0)
+            batch.appendTo(trace);
+        if (!reader->error().empty()) {
+            std::fprintf(stderr, "error: %s\n",
+                         reader->error().c_str());
+            return 1;
+        }
+        profile = core::buildProfile(trace, config,
+                                     core::LeafModelerHooks{},
+                                     g_threads);
+    }
+
+    if (!core::saveProfile(profile, out, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("built %llu requests into %zu leaves (%s)%s\n",
+                static_cast<unsigned long long>(
+                    profile.totalRequests()),
+                profile.leaves.size(),
+                profile.config.describe().c_str(),
+                streamed ? " [out-of-core]" : "");
+    return 0;
 }
 
 /** File name without directories: "a/b/x.mkp" -> "x.mkp". */
@@ -1125,6 +1231,8 @@ dispatch(int argc, char **argv)
             argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 500000;
         return cmdProfile(argv[2], argv[3], cycles);
     }
+    if (command == "build" && argc >= 4)
+        return cmdBuild(argc - 2, argv + 2);
     if (command == "synth" && (argc == 4 || argc == 5)) {
         const std::uint64_t seed =
             argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 1;
@@ -1188,7 +1296,7 @@ dispatch(int argc, char **argv)
     // An unknown subcommand and a known one with the wrong arity both
     // end here: say which it was on stderr, then fail with usage.
     static const char *const kCommands[] = {
-        "generate", "profile",  "synth", "info",  "export",
+        "generate", "profile",  "build", "synth", "info",  "export",
         "simulate", "compare",  "validate", "trace", "serve",
         "fetch",    "replay",   "stats", "scenario"};
     bool known = false;

@@ -28,14 +28,16 @@ done
 # both backends, Scenario* the composed-mix engine and its serving
 # integration (parallel stream builds + isolated baselines),
 # ServeRecorder*/ServeReplay* the flight recorder attached to a live
-# server and the record->replay loop. Skipped under --fast, which
-# never builds the sanitize preset.
+# server and the record->replay loop, StreamedBuild*/Arena* the
+# out-of-core profile builder (spill I/O, k-way merge, parallel
+# segment fitting) and the arena/flat-map storage under ASan/UBSan.
+# Skipped under --fast, which never builds the sanitize preset.
 if [ "$PRESETS" != "default" ]; then
     for threads in 1 4; do
         echo "== sanitize serve sweep: $threads thread(s) =="
         MOCKTAILS_SERVE_TEST_THREADS="$threads" \
             build-sanitize/tests/mocktails_tests \
-            --gtest_filter='ServeServer*:ServeMux*:*PollerBackends*:WakePipe*:Scenario*:ServeRecorder*:ServeReplay*' \
+            --gtest_filter='ServeServer*:ServeMux*:*PollerBackends*:WakePipe*:Scenario*:ServeRecorder*:ServeReplay*:StreamedBuild*:Arena*' \
             --gtest_brief=1
     done
 fi

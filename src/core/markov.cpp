@@ -5,49 +5,84 @@
 namespace mocktails::core
 {
 
+void
+MarkovChain::compactRows(const std::vector<std::vector<Transition>> &rows)
+{
+    const std::size_t n = rows.size();
+    std::size_t total = 0;
+    for (const auto &row : rows)
+        total += row.size();
+
+    // Exact-size the arena so small chains carry no chunk slack: the
+    // offset array (padded to the transition alignment) plus the flat
+    // transition block, carved from one contiguous chunk.
+    const std::size_t offs_bytes = (n + 1) * sizeof(std::uint32_t);
+    const std::size_t pad =
+        (alignof(Transition) - offs_bytes % alignof(Transition)) %
+        alignof(Transition);
+    arena_.reserve(offs_bytes + pad + total * sizeof(Transition));
+
+    auto *offsets = arena_.allocate<std::uint32_t>(n + 1);
+    auto *trans = arena_.allocate<Transition>(total);
+    std::uint32_t at = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+        offsets[r] = at;
+        // Row order is preserved verbatim: iteration over the CSR
+        // slice must replay the first-appearance target order the
+        // nested rows were built in.
+        for (const Transition &t : rows[r])
+            trans[at++] = t;
+    }
+    offsets[n] = at;
+    row_offsets_ = offsets;
+    trans_ = trans;
+}
+
+void
+MarkovChain::assign(const MarkovChain &other)
+{
+    states_ = other.states_;
+    index_ = other.index_;
+    value_counts_ = other.value_counts_;
+    initial_ = other.initial_;
+    length_ = other.length_;
+    arena_.clear();
+    trans_ = nullptr;
+    row_offsets_ = nullptr;
+
+    const std::size_t n = other.states_.size();
+    if (n == 0)
+        return;
+    const std::size_t total = other.transitionCount();
+    const std::size_t offs_bytes = (n + 1) * sizeof(std::uint32_t);
+    const std::size_t pad =
+        (alignof(Transition) - offs_bytes % alignof(Transition)) %
+        alignof(Transition);
+    arena_.reserve(offs_bytes + pad + total * sizeof(Transition));
+    auto *offsets = arena_.allocate<std::uint32_t>(n + 1);
+    auto *trans = arena_.allocate<Transition>(total);
+    for (std::size_t i = 0; i <= n; ++i)
+        offsets[i] = other.row_offsets_[i];
+    for (std::size_t i = 0; i < total; ++i)
+        trans[i] = other.trans_[i];
+    row_offsets_ = offsets;
+    trans_ = trans;
+}
+
 MarkovChain::MarkovChain(const std::vector<std::int64_t> &values)
 {
     assert(!values.empty());
-    length_ = values.size();
-
-    // Assign state indices in first-appearance order (deterministic).
-    for (const std::int64_t v : values) {
-        if (index_.emplace(v, static_cast<std::uint32_t>(states_.size()))
-                .second) {
-            states_.push_back(v);
-        }
-    }
-
-    value_counts_.assign(states_.size(), 0);
-    transitions_.assign(states_.size(), {});
-    initial_ = index_.at(values.front());
-
-    std::size_t prev = initial_;
-    ++value_counts_[prev];
-    for (std::size_t i = 1; i < values.size(); ++i) {
-        const std::uint32_t cur = index_.at(values[i]);
-        ++value_counts_[cur];
-
-        auto &row = transitions_[prev];
-        bool found = false;
-        for (auto &[to, count] : row) {
-            if (to == cur) {
-                ++count;
-                found = true;
-                break;
-            }
-        }
-        if (!found)
-            row.emplace_back(cur, 1);
-        prev = cur;
-    }
+    MarkovChainBuilder builder;
+    for (const std::int64_t v : values)
+        builder.add(v);
+    *this = builder.finish();
 }
 
 std::size_t
 MarkovChain::stateIndex(std::int64_t value) const
 {
-    const auto it = index_.find(value);
-    return it == index_.end() ? states_.size() : it->second;
+    const std::uint32_t i = index_.find(value);
+    return i == util::FlatMap64::kNotFound ? states_.size() : i;
 }
 
 double
@@ -56,7 +91,7 @@ MarkovChain::transitionProbability(std::size_t from, std::size_t to) const
     assert(from < states_.size());
     std::uint64_t total = 0;
     std::uint64_t hits = 0;
-    for (const auto &[t, count] : transitions_[from]) {
+    for (const auto &[t, count] : transitions(from)) {
         total += count;
         if (t == to)
             hits = count;
@@ -70,19 +105,76 @@ MarkovChain
 MarkovChain::fromParts(
     std::vector<std::int64_t> states, std::size_t initial,
     std::vector<std::uint64_t> value_counts,
-    std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>>
-        transitions)
+    const std::vector<std::vector<Transition>> &transitions)
 {
     MarkovChain chain;
     chain.states_ = std::move(states);
     chain.initial_ = initial;
     chain.value_counts_ = std::move(value_counts);
-    chain.transitions_ = std::move(transitions);
+    chain.compactRows(transitions);
+    chain.index_ = util::FlatMap64(chain.states_.size());
     for (std::uint32_t i = 0; i < chain.states_.size(); ++i)
-        chain.index_.emplace(chain.states_[i], i);
+        chain.index_.insert(chain.states_[i], i);
     chain.length_ = 0;
     for (const std::uint64_t c : chain.value_counts_)
         chain.length_ += c;
+    return chain;
+}
+
+void
+MarkovChainBuilder::add(std::int64_t value)
+{
+    std::uint32_t idx = index_.find(value);
+    if (idx == util::FlatMap64::kNotFound) {
+        // Assign state indices in first-appearance order
+        // (deterministic).
+        idx = static_cast<std::uint32_t>(states_.size());
+        index_.insert(value, idx);
+        states_.push_back(value);
+        value_counts_.push_back(0);
+        rows_.emplace_back();
+    }
+    ++value_counts_[idx];
+
+    if (length_ == 0) {
+        initial_ = idx;
+    } else {
+        auto &row = rows_[prev_];
+        bool found = false;
+        for (auto &[to, count] : row) {
+            if (to == idx) {
+                ++count;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            row.emplace_back(idx, 1);
+    }
+    prev_ = idx;
+    ++length_;
+}
+
+MarkovChain
+MarkovChainBuilder::finish()
+{
+    assert(length_ > 0);
+    MarkovChain chain;
+    chain.states_ = std::move(states_);
+    chain.index_ = std::move(index_);
+    chain.value_counts_ = std::move(value_counts_);
+    chain.initial_ = initial_;
+    chain.length_ = length_;
+    chain.compactRows(rows_);
+
+    // Leave the builder ready for the next sequence.
+    states_.clear();
+    index_ = util::FlatMap64();
+    value_counts_.clear();
+    rows_.clear();
+    initial_ = 0;
+    length_ = 0;
+    prev_ = 0;
     return chain;
 }
 
@@ -92,9 +184,15 @@ StrictConvergenceSampler::StrictConvergenceSampler(const MarkovChain &chain,
       remaining_values_(chain.valueCounts()),
       current_(chain.initialState())
 {
-    remaining_transitions_.reserve(chain.numStates());
-    for (std::size_t s = 0; s < chain.numStates(); ++s)
-        remaining_transitions_.push_back(chain.transitions(s));
+    // One flat copy of the transition counts, aligned with the chain's
+    // CSR layout so a row's remaining counts sit at transitionOffset().
+    remaining_counts_.reserve(chain.transitionCount());
+    for (std::size_t s = 0; s < chain.numStates(); ++s) {
+        for (const auto &[to, count] : chain.transitions(s)) {
+            (void)to;
+            remaining_counts_.push_back(count);
+        }
+    }
 }
 
 std::int64_t
@@ -122,26 +220,28 @@ StrictConvergenceSampler::next()
 std::size_t
 StrictConvergenceSampler::pickTransition()
 {
-    auto &row = remaining_transitions_[current_];
+    const TransitionView row = chain_->transitions(current_);
+    std::uint64_t *rem = remaining_counts_.data() +
+                         chain_->transitionOffset(current_);
 
     // Viable = transition count remaining and value budget remaining.
     std::uint64_t total = 0;
-    for (const auto &[to, count] : row) {
-        if (count > 0 && remaining_values_[to] > 0)
-            total += count;
+    for (std::size_t k = 0; k < row.size(); ++k) {
+        if (rem[k] > 0 && remaining_values_[row[k].first] > 0)
+            total += rem[k];
     }
     if (total == 0)
         return chain_->numStates();
 
     std::uint64_t target = rng_->below(total);
-    for (auto &[to, count] : row) {
-        if (count == 0 || remaining_values_[to] == 0)
+    for (std::size_t k = 0; k < row.size(); ++k) {
+        if (rem[k] == 0 || remaining_values_[row[k].first] == 0)
             continue;
-        if (target < count) {
-            --count; // strict convergence: consume the transition
-            return to;
+        if (target < rem[k]) {
+            --rem[k]; // strict convergence: consume the transition
+            return row[k].first;
         }
-        target -= count;
+        target -= rem[k];
     }
     return chain_->numStates(); // unreachable
 }

@@ -8,19 +8,55 @@
  * taken consumes one unit of its observed count, so the generated
  * sequence reproduces the exact multiset of observed values — e.g. for
  * Table I's partition F, exactly two 128-byte and ten 64-byte sizes.
+ *
+ * Storage layout: transitions live in one arena-backed CSR block
+ * (a flat (to, count) array plus per-state row offsets) and the
+ * value->state index is an open-addressing FlatMap64 — a profile with
+ * thousands of chains stays a handful of contiguous allocations
+ * instead of a heap of per-row vectors and per-state map nodes. Row
+ * iteration order is the first-appearance target order of the
+ * training sequence, exactly as the nested-vector layout produced.
  */
 
 #ifndef MOCKTAILS_CORE_MARKOV_HPP
 #define MOCKTAILS_CORE_MARKOV_HPP
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "util/arena.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 namespace mocktails::core
 {
+
+/** One observed transition: target state and how often it was taken. */
+using Transition = std::pair<std::uint32_t, std::uint64_t>;
+
+/**
+ * A borrowed view of one state's transition row (CSR slice). Iterates
+ * in the row's storage order; valid while the owning chain lives.
+ */
+class TransitionView
+{
+  public:
+    TransitionView() = default;
+    TransitionView(const Transition *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    const Transition *begin() const { return data_; }
+    const Transition *end() const { return data_ + size_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    const Transition &operator[](std::size_t i) const { return data_[i]; }
+
+  private:
+    const Transition *data_ = nullptr;
+    std::size_t size_ = 0;
+};
 
 /**
  * A first-order Markov chain with transition counts.
@@ -36,6 +72,17 @@ class MarkovChain
 
     /** Build from a value sequence. @pre values.size() >= 1. */
     explicit MarkovChain(const std::vector<std::int64_t> &values);
+
+    MarkovChain(const MarkovChain &other) { assign(other); }
+    MarkovChain &
+    operator=(const MarkovChain &other)
+    {
+        if (this != &other)
+            assign(other);
+        return *this;
+    }
+    MarkovChain(MarkovChain &&) = default;
+    MarkovChain &operator=(MarkovChain &&) = default;
 
     /** Number of distinct states. */
     std::size_t numStates() const { return states_.size(); }
@@ -59,10 +106,27 @@ class MarkovChain
     }
 
     /** Observed (to, count) transitions out of state @p from. */
-    const std::vector<std::pair<std::uint32_t, std::uint64_t>> &
+    TransitionView
     transitions(std::size_t from) const
     {
-        return transitions_[from];
+        const std::uint32_t begin = row_offsets_[from];
+        return TransitionView(trans_ + begin,
+                              row_offsets_[from + 1] - begin);
+    }
+
+    /** Position of state @p from's row in the flat transition array
+     *  (for side tables indexed per transition, e.g. the sampler's
+     *  remaining counts). */
+    std::uint32_t transitionOffset(std::size_t from) const
+    {
+        return row_offsets_[from];
+    }
+
+    /** Total transitions over all rows (size of the flat array). */
+    std::size_t
+    transitionCount() const
+    {
+        return states_.empty() ? 0 : row_offsets_[states_.size()];
     }
 
     /** Index of @p value, or numStates() when unknown. */
@@ -79,31 +143,77 @@ class MarkovChain
     static MarkovChain
     fromParts(std::vector<std::int64_t> states, std::size_t initial,
               std::vector<std::uint64_t> value_counts,
-              std::vector<std::vector<std::pair<std::uint32_t,
-                                                std::uint64_t>>> transitions);
+              const std::vector<std::vector<Transition>> &transitions);
     /// @}
 
   private:
+    friend class MarkovChainBuilder;
+
+    /** Copy nested rows into this chain's arena as one CSR block. */
+    void compactRows(const std::vector<std::vector<Transition>> &rows);
+
+    /** Deep copy (fresh arena) for the copy constructor/assignment. */
+    void assign(const MarkovChain &other);
+
+    util::Arena arena_;
     std::vector<std::int64_t> states_;
-    std::unordered_map<std::int64_t, std::uint32_t> index_;
+    util::FlatMap64 index_;
     std::vector<std::uint64_t> value_counts_;
-    std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>>
-        transitions_;
+    /// Arena-owned CSR: row r is trans_[row_offsets_[r]..row_offsets_[r+1]).
+    const Transition *trans_ = nullptr;
+    const std::uint32_t *row_offsets_ = nullptr;
     std::size_t initial_ = 0;
     std::uint64_t length_ = 0;
+};
+
+/**
+ * Incremental MarkovChain construction: feed the training sequence
+ * one value at a time and finish() into a chain.
+ *
+ * The streamed profile build fits leaves while routing requests, so
+ * it can never hand the whole value sequence over at once. Feeding a
+ * builder value by value produces a chain identical to
+ * MarkovChain(values) — the eager constructor is itself implemented
+ * on top of this builder.
+ */
+class MarkovChainBuilder
+{
+  public:
+    /** Append the next training value. */
+    void add(std::int64_t value);
+
+    /** Values fed so far. */
+    std::uint64_t length() const { return length_; }
+
+    /**
+     * Build the chain. The builder is left empty and reusable.
+     * @pre length() >= 1.
+     */
+    MarkovChain finish();
+
+  private:
+    std::vector<std::int64_t> states_;
+    util::FlatMap64 index_;
+    std::vector<std::uint64_t> value_counts_;
+    std::vector<std::vector<Transition>> rows_;
+    std::size_t initial_ = 0;
+    std::uint64_t length_ = 0;
+    std::uint32_t prev_ = 0;
 };
 
 /**
  * Generates a value sequence from a MarkovChain under strict
  * convergence.
  *
- * The sampler owns mutable copies of the transition and value counts.
- * Each emission decrements the count of the transition taken and of
- * the value produced; exhausted transitions can no longer be taken.
- * When the current state has no viable transition left (possible
- * because first-order counts do not capture full ordering), the next
- * value is drawn from the remaining value multiset, which guarantees
- * the multiset of generated values equals the training multiset.
+ * The sampler owns mutable copies of the transition and value counts
+ * (the transition copy is one flat array aligned with the chain's CSR
+ * layout). Each emission decrements the count of the transition taken
+ * and of the value produced; exhausted transitions can no longer be
+ * taken. When the current state has no viable transition left
+ * (possible because first-order counts do not capture full ordering),
+ * the next value is drawn from the remaining value multiset, which
+ * guarantees the multiset of generated values equals the training
+ * multiset.
  */
 class StrictConvergenceSampler
 {
@@ -143,8 +253,8 @@ class StrictConvergenceSampler
     const MarkovChain *chain_;
     util::Rng *rng_;
     std::vector<std::uint64_t> remaining_values_;
-    std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>>
-        remaining_transitions_;
+    /// Remaining count per transition, CSR-aligned with the chain.
+    std::vector<std::uint64_t> remaining_counts_;
     std::size_t current_ = 0;
     std::uint64_t generated_ = 0;
 };

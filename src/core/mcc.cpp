@@ -1,7 +1,5 @@
 #include "core/mcc.hpp"
 
-#include <algorithm>
-
 namespace mocktails::core
 {
 
@@ -131,20 +129,46 @@ MarkovModel::decodePayload(util::ByteReader &reader)
         std::move(transitions)));
 }
 
+void
+McCBuilder::add(std::int64_t value)
+{
+    if (count_ == 0)
+        first_ = value;
+    if (constant_ && value != first_) {
+        // Second distinct value: leave the constant regime. Replay the
+        // all-equal prefix so the chain sees the full sequence.
+        for (std::uint64_t i = 0; i < count_; ++i)
+            chain_.add(first_);
+        constant_ = false;
+    }
+    if (!constant_)
+        chain_.add(value);
+    ++count_;
+}
+
+FeatureModelPtr
+McCBuilder::finish()
+{
+    FeatureModelPtr model;
+    if (count_ == 0)
+        model = nullptr;
+    else if (constant_)
+        model = std::make_unique<ConstantModel>(first_, count_);
+    else
+        model = std::make_unique<MarkovModel>(chain_.finish());
+    first_ = 0;
+    count_ = 0;
+    constant_ = true;
+    return model;
+}
+
 FeatureModelPtr
 buildMcc(const std::vector<std::int64_t> &values)
 {
-    if (values.empty())
-        return nullptr;
-
-    const bool constant = std::all_of(values.begin(), values.end(),
-                                      [&](std::int64_t v) {
-                                          return v == values.front();
-                                      });
-    if (constant)
-        return std::make_unique<ConstantModel>(values.front(),
-                                               values.size());
-    return std::make_unique<MarkovModel>(MarkovChain(values));
+    McCBuilder builder;
+    for (const std::int64_t v : values)
+        builder.add(v);
+    return builder.finish();
 }
 
 } // namespace mocktails::core

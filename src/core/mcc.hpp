@@ -129,6 +129,39 @@ class MarkovModel : public FeatureModel
  */
 FeatureModelPtr buildMcc(const std::vector<std::int64_t> &values);
 
+/**
+ * Incremental McC fitting: feed values one at a time, get the same
+ * model buildMcc would produce for the full sequence (buildMcc is in
+ * fact implemented on top of this builder, so the equivalence holds by
+ * construction). The out-of-core profile build uses this to fit leaves
+ * from a stream without ever materialising the value vectors.
+ *
+ * The builder stays in the cheap constant regime until a second
+ * distinct value arrives; only then does it start a MarkovChainBuilder
+ * and replay the constant prefix into it.
+ */
+class McCBuilder
+{
+  public:
+    /** Append the next value of the sequence. */
+    void add(std::int64_t value);
+
+    /** Number of values fed so far. */
+    std::uint64_t length() const { return count_; }
+
+    /**
+     * Finish the model: nullptr when no values were fed, Constant when
+     * all were equal, Markov otherwise. Resets the builder for reuse.
+     */
+    FeatureModelPtr finish();
+
+  private:
+    MarkovChainBuilder chain_;
+    std::int64_t first_ = 0;
+    std::uint64_t count_ = 0;
+    bool constant_ = true;
+};
+
 } // namespace mocktails::core
 
 #endif // MOCKTAILS_CORE_MCC_HPP

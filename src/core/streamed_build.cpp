@@ -1,0 +1,1038 @@
+#include "core/streamed_build.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <queue>
+#include <stdlib.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "telemetry/span.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mocktails::core
+{
+
+namespace
+{
+
+/// Streaming chunk defaults. An explicit chunkRequests is honoured
+/// verbatim (tests use pathological sizes like 1); a derived chunk is
+/// clamped so tiny memory bounds stay functional.
+constexpr std::size_t kDefaultChunk = std::size_t(1) << 20;
+constexpr std::size_t kMinDerivedChunk = 4096;
+
+/// Transient bytes per in-flight request during the spill build: the
+/// SoA batch, the spill record, the byte-range sort buffer and stdio
+/// buffering, with headroom for the merge cursors.
+constexpr std::uint64_t kBytesPerRequest = 64;
+
+std::size_t
+chunkFor(const StreamedBuildOptions &options)
+{
+    if (options.chunkRequests != 0)
+        return options.chunkRequests;
+    if (options.maxMemoryBytes != 0) {
+        const std::uint64_t derived =
+            options.maxMemoryBytes / kBytesPerRequest;
+        return static_cast<std::size_t>(
+            std::max<std::uint64_t>(kMinDerivedChunk, derived));
+    }
+    return kDefaultChunk;
+}
+
+std::string
+errnoSuffix()
+{
+    return std::string(" (") + std::strerror(errno) + ")";
+}
+
+/**
+ * On-disk request record, packed so a segment can be re-read with one
+ * sequential fread pass. 24 bytes, no padding.
+ */
+struct SpillRecord
+{
+    std::uint64_t tick;
+    std::uint64_t addr;
+    std::uint32_t size;
+    std::uint32_t op;
+};
+static_assert(sizeof(SpillRecord) == 24, "spill record must be packed");
+
+/** One request's byte range with its segment-local time index. */
+struct RangeRecord
+{
+    std::uint64_t lo;
+    std::uint64_t hi;
+    std::uint64_t index;
+};
+static_assert(sizeof(RangeRecord) == 24, "range record must be packed");
+
+/// The Alg. 1 sweep order — mirrors partitionSpatialDynamic exactly.
+bool
+rangeLess(const RangeRecord &a, const RangeRecord &b)
+{
+    if (a.lo != b.lo)
+        return a.lo < b.lo;
+    if (a.hi != b.hi)
+        return a.hi < b.hi;
+    return a.index < b.index;
+}
+
+/**
+ * The spill directory: caller-provided (created if missing, left in
+ * place) or a fresh mkdtemp directory (removed on destruction). Spill
+ * files themselves are always deleted.
+ */
+class SpillDir
+{
+  public:
+    ~SpillDir()
+    {
+        for (const std::string &f : files_)
+            std::remove(f.c_str());
+        if (owns_ && !path_.empty())
+            ::rmdir(path_.c_str());
+    }
+
+    bool
+    init(const std::string &requested, std::string *error)
+    {
+        if (!requested.empty()) {
+            if (::mkdir(requested.c_str(), 0700) != 0 &&
+                errno != EEXIST) {
+                if (error != nullptr) {
+                    *error = requested +
+                             ": cannot create spill directory" +
+                             errnoSuffix();
+                }
+                return false;
+            }
+            path_ = requested;
+            return true;
+        }
+        const char *tmp = std::getenv("TMPDIR");
+        std::string templ = std::string(tmp != nullptr ? tmp : "/tmp") +
+                            "/mocktails-spill-XXXXXX";
+        std::vector<char> buf(templ.begin(), templ.end());
+        buf.push_back('\0');
+        if (::mkdtemp(buf.data()) == nullptr) {
+            if (error != nullptr) {
+                *error = templ + ": cannot create spill directory" +
+                         errnoSuffix();
+            }
+            return false;
+        }
+        path_ = buf.data();
+        owns_ = true;
+        return true;
+    }
+
+    /** Register @p name for deletion and return its full path. */
+    std::string
+    file(const std::string &name)
+    {
+        files_.push_back(path_ + "/" + name);
+        return files_.back();
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::vector<std::string> files_;
+    bool owns_ = false;
+};
+
+/**
+ * Buffered spill writer that fails loudly: a short write (disk full,
+ * quota) poisons the writer and surfaces path + errno.
+ */
+class SpillWriter
+{
+  public:
+    ~SpillWriter()
+    {
+        if (file_ != nullptr)
+            std::fclose(file_);
+    }
+
+    bool
+    open(const std::string &path)
+    {
+        path_ = path;
+        file_ = std::fopen(path.c_str(), "wb");
+        if (file_ == nullptr) {
+            error_ = path + ": cannot create spill file" + errnoSuffix();
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    write(const void *data, std::size_t bytes)
+    {
+        if (file_ == nullptr)
+            return false;
+        if (std::fwrite(data, 1, bytes, file_) != bytes) {
+            error_ = path_ + ": spill write failed" + errnoSuffix() +
+                     " — is the spill disk full?";
+            std::fclose(file_);
+            file_ = nullptr;
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    close()
+    {
+        if (file_ == nullptr)
+            return error_.empty();
+        const int rc = std::fclose(file_);
+        file_ = nullptr;
+        if (rc != 0) {
+            error_ = path_ + ": spill flush failed" + errnoSuffix();
+            return false;
+        }
+        return true;
+    }
+
+    const std::string &error() const { return error_; }
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::string error_;
+};
+
+/**
+ * Detects temporal leaf-segment boundaries in a time-ordered stream.
+ *
+ * One state per temporal layer, shallowest first. A request-count
+ * layer rolls when its current part is full; a cycle-count layer rolls
+ * when the request's window number differs from the part's current
+ * window (windows are anchored at the part's first tick, matching
+ * partitionByCycleCount on a time-ordered subset, where the minimum
+ * tick is the first). Rolling any layer starts a new leaf segment and
+ * resets every deeper layer, exactly like the recursive split.
+ */
+class TemporalRouter
+{
+  public:
+    explicit TemporalRouter(const std::vector<PartitionLayer> &layers)
+    {
+        for (const PartitionLayer &layer : layers)
+            states_.push_back({layer.kind, layer.value, 0, 0, 0});
+    }
+
+    /** @return true when @p tick starts a new segment (never for the
+     *  very first request). */
+    bool
+    advance(mem::Tick tick)
+    {
+        if (first_) {
+            first_ = false;
+            for (State &s : states_) {
+                s.count = 0;
+                s.base = tick;
+                s.window = 0;
+            }
+            account(tick);
+            return false;
+        }
+        std::size_t roll = states_.size();
+        for (std::size_t i = 0; i < states_.size(); ++i) {
+            const State &s = states_[i];
+            if (s.kind == PartitionLayer::Kind::TemporalRequestCount) {
+                if (s.count == s.value) {
+                    roll = i;
+                    break;
+                }
+            } else if ((tick - s.base) / s.value != s.window) {
+                roll = i;
+                break;
+            }
+        }
+        const bool boundary = roll < states_.size();
+        // The rolled layer continues its own part sequence: a full
+        // request-count part restarts its counter, and a cycle layer
+        // keeps its window anchor (windows are fixed offsets from the
+        // *parent* part's first tick, not from each window's first).
+        // Layers deeper than the roll sit inside a brand-new parent
+        // part and re-anchor at this tick.
+        if (boundary &&
+            states_[roll].kind ==
+                PartitionLayer::Kind::TemporalRequestCount) {
+            states_[roll].count = 0;
+        }
+        for (std::size_t i = roll + 1; i < states_.size(); ++i) {
+            State &s = states_[i];
+            s.count = 0;
+            s.base = tick;
+            s.window = 0;
+        }
+        account(tick);
+        return boundary;
+    }
+
+  private:
+    struct State
+    {
+        PartitionLayer::Kind kind;
+        std::uint64_t value;
+        std::uint64_t count;  ///< requests in the current part
+        std::uint64_t base;   ///< first tick of the current parent part
+        std::uint64_t window; ///< current cycle-window number
+    };
+
+    void
+    account(mem::Tick tick)
+    {
+        for (State &s : states_) {
+            if (s.kind == PartitionLayer::Kind::TemporalRequestCount)
+                ++s.count;
+            else
+                s.window = (tick - s.base) / s.value;
+        }
+    }
+
+    std::vector<State> states_;
+    bool first_ = true;
+};
+
+/**
+ * Fits one leaf incrementally: the streaming twin of modelLeaf() with
+ * default McC hooks, fed one request at a time in leaf time order.
+ */
+class LeafBuilder
+{
+  public:
+    void
+    add(mem::Tick tick, mem::Addr addr, std::uint32_t size, mem::Op op)
+    {
+        const mem::Addr end = addr + size;
+        if (count_ == 0) {
+            start_tick_ = tick;
+            start_addr_ = addr;
+            min_lo_ = addr;
+            max_hi_ = end;
+        } else {
+            delta_.add(static_cast<std::int64_t>(tick) -
+                       static_cast<std::int64_t>(prev_tick_));
+            stride_.add(static_cast<std::int64_t>(addr) -
+                        static_cast<std::int64_t>(prev_addr_));
+            min_lo_ = std::min(min_lo_, addr);
+            max_hi_ = std::max(max_hi_, end);
+        }
+        op_.add(static_cast<std::int64_t>(op));
+        size_.add(static_cast<std::int64_t>(size));
+        prev_tick_ = tick;
+        prev_addr_ = addr;
+        ++count_;
+    }
+
+    std::uint64_t count() const { return count_; }
+
+    /**
+     * Finish the model. Spatial leaves pass their region bounds via
+     * @p has_bounds; purely temporal leaves use the tracked min/max,
+     * as buildLeaves does. Resets the builder.
+     */
+    LeafModel
+    finish(bool has_bounds, mem::Addr lo, mem::Addr hi)
+    {
+        assert(count_ > 0);
+        LeafModel model;
+        model.startTime = start_tick_;
+        model.startAddr = start_addr_;
+        model.addrLo = has_bounds ? lo : min_lo_;
+        model.addrHi = has_bounds ? hi : max_hi_;
+        model.count = count_;
+        model.deltaTime = delta_.finish();
+        model.stride = stride_.finish();
+        model.op = op_.finish();
+        model.size = size_.finish();
+        count_ = 0;
+        return model;
+    }
+
+  private:
+    McCBuilder delta_;
+    McCBuilder stride_;
+    McCBuilder op_;
+    McCBuilder size_;
+    mem::Tick start_tick_ = 0;
+    mem::Addr start_addr_ = 0;
+    mem::Tick prev_tick_ = 0;
+    mem::Addr prev_addr_ = 0;
+    mem::Addr min_lo_ = 0;
+    mem::Addr max_hi_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/** The optional trailing spatial layer of a streamable config. */
+struct SpatialPlan
+{
+    bool present = false;
+    PartitionLayer::Kind kind = PartitionLayer::Kind::SpatialDynamic;
+    std::uint64_t blockSize = 0;
+};
+
+/**
+ * Single-pass build: no spatial layer, or a trailing SpatialFixed
+ * layer. Leaves of the current segment are fitted as requests arrive;
+ * nothing is spilled.
+ */
+bool
+buildSinglePass(mem::TraceReader &reader,
+                const std::vector<PartitionLayer> &temporal,
+                const SpatialPlan &spatial, std::size_t chunk,
+                Profile &profile, std::string *error)
+{
+    struct FixedCell
+    {
+        LeafBuilder builder;
+        mem::Addr maxEnd = 0;
+    };
+
+    TemporalRouter router(temporal);
+    LeafBuilder flat;                   // used when !spatial.present
+    std::map<mem::Addr, FixedCell> blocks; // used for SpatialFixed
+
+    const auto closeSegment = [&]() {
+        if (!spatial.present) {
+            profile.leaves.push_back(flat.finish(false, 0, 0));
+            return;
+        }
+        // partitionSpatialFixed: ascending block order; the block is
+        // stretched past requests that span its upper boundary.
+        for (auto &[block, cell] : blocks) {
+            const mem::Addr lo = block * spatial.blockSize;
+            const mem::Addr hi =
+                std::max(lo + spatial.blockSize, cell.maxEnd);
+            profile.leaves.push_back(cell.builder.finish(true, lo, hi));
+        }
+        blocks.clear();
+    };
+
+    mem::RequestBatch batch;
+    mem::Tick prev_tick = 0;
+    bool any = false;
+    std::size_t got;
+    while ((got = reader.read(batch, chunk)) > 0) {
+        for (std::size_t i = 0; i < got; ++i) {
+            const mem::Tick tick = batch.ticks[i];
+            if (any && tick < prev_tick) {
+                if (error != nullptr) {
+                    *error = "trace is not time-ordered: tick " +
+                             std::to_string(tick) + " after " +
+                             std::to_string(prev_tick);
+                }
+                return false;
+            }
+            if (router.advance(tick))
+                closeSegment();
+            if (!spatial.present) {
+                flat.add(tick, batch.addrs[i], batch.sizes[i],
+                         batch.ops[i]);
+            } else {
+                FixedCell &cell =
+                    blocks[batch.addrs[i] / spatial.blockSize];
+                cell.builder.add(tick, batch.addrs[i], batch.sizes[i],
+                                 batch.ops[i]);
+                cell.maxEnd = std::max(
+                    cell.maxEnd,
+                    batch.addrs[i] + batch.sizes[i]);
+            }
+            prev_tick = tick;
+            any = true;
+        }
+    }
+    if (!reader.error().empty()) {
+        if (error != nullptr)
+            *error = reader.error();
+        return false;
+    }
+    if (any)
+        closeSegment();
+    return true;
+}
+
+/// @name Two-pass build (trailing SpatialDynamic layer)
+/// @{
+
+/** Phase-1 product: one temporal segment's spill extents. */
+struct SegmentMeta
+{
+    std::uint64_t count = 0;    ///< requests in the segment
+    std::uint64_t begin = 0;    ///< first record in segments.dat
+    std::size_t runBegin = 0;   ///< first sorted run (index into runs)
+    std::size_t runEnd = 0;     ///< one past the last sorted run
+};
+
+/** One sorted run of RangeRecords inside ranges.dat. */
+struct RunMeta
+{
+    std::uint64_t offset = 0; ///< first record
+    std::uint64_t count = 0;
+};
+
+/** A merged (Alg. 1) region summary from the sweep. */
+struct CoreRegion
+{
+    mem::Addr lo = 0;
+    mem::Addr hi = 0;
+    std::uint64_t count = 0;
+    std::uint64_t firstIndex = 0; ///< first swept member (sort tiebreak)
+};
+
+/**
+ * Buffered cursor over one sorted run. Cursors share the run file's
+ * FILE* and reposition with fseek on refill, so merging k runs costs
+ * k small buffers, not k file descriptors.
+ */
+class RunCursor
+{
+  public:
+    RunCursor(std::FILE *file, const RunMeta &run, std::size_t cap)
+        : file_(file), next_(run.offset), remaining_(run.count)
+    {
+        buf_.reserve(cap);
+        cap_ = cap;
+    }
+
+    bool
+    refill()
+    {
+        if (remaining_ == 0)
+            return false;
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(cap_, remaining_));
+        buf_.resize(n);
+        if (std::fseek(file_,
+                       static_cast<long>(next_ * sizeof(RangeRecord)),
+                       SEEK_SET) != 0 ||
+            std::fread(buf_.data(), sizeof(RangeRecord), n, file_) != n) {
+            failed_ = true;
+            return false;
+        }
+        next_ += n;
+        remaining_ -= n;
+        pos_ = 0;
+        return true;
+    }
+
+    /** @return false at end of run (or on I/O failure; see failed()). */
+    bool
+    next(RangeRecord &out)
+    {
+        if (pos_ == buf_.size() && !refill())
+            return false;
+        out = buf_[pos_++];
+        return true;
+    }
+
+    bool failed() const { return failed_; }
+
+  private:
+    std::FILE *file_;
+    std::uint64_t next_;
+    std::uint64_t remaining_;
+    std::size_t cap_;
+    std::vector<RangeRecord> buf_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+/** A final leaf region of one segment, in leaf order after sorting. */
+struct FinalRegion
+{
+    mem::Addr lo = 0;
+    mem::Addr hi = 0;
+    std::uint64_t front = 0; ///< indices.front() at sort time
+    bool core = false;
+    std::size_t aux = 0; ///< core ordinal or lonely-run ordinal
+};
+
+/**
+ * Process one spilled segment: merge its sorted runs into the Alg. 1
+ * sweep, replicate the lonely-region grouping, then re-read the
+ * segment in time order and fit one LeafBuilder per region.
+ */
+bool
+processSegment(const SegmentMeta &segment,
+               const std::vector<RunMeta> &runs,
+               const std::string &segPath, const std::string &runPath,
+               std::size_t chunk, std::vector<LeafModel> &out,
+               std::string &error)
+{
+    std::FILE *seg_f = std::fopen(segPath.c_str(), "rb");
+    std::FILE *run_f = std::fopen(runPath.c_str(), "rb");
+    if (seg_f == nullptr || run_f == nullptr) {
+        error = "cannot reopen spill files in " + segPath;
+        if (seg_f != nullptr)
+            std::fclose(seg_f);
+        if (run_f != nullptr)
+            std::fclose(run_f);
+        return false;
+    }
+    const std::size_t cap =
+        std::max<std::size_t>(1, std::min<std::size_t>(chunk, 4096));
+
+    // --- Merge the runs and sweep into regions (paper Alg. 1). ---
+    std::vector<RunCursor> cursors;
+    cursors.reserve(segment.runEnd - segment.runBegin);
+    for (std::size_t r = segment.runBegin; r < segment.runEnd; ++r)
+        cursors.emplace_back(run_f, runs[r], cap);
+
+    struct HeapItem
+    {
+        RangeRecord record;
+        std::size_t cursor;
+    };
+    const auto heapGreater = [](const HeapItem &a, const HeapItem &b) {
+        return rangeLess(b.record, a.record);
+    };
+    std::priority_queue<HeapItem, std::vector<HeapItem>,
+                        decltype(heapGreater)>
+        heap(heapGreater);
+    for (std::size_t c = 0; c < cursors.size(); ++c) {
+        RangeRecord record;
+        if (cursors[c].next(record))
+            heap.push({record, c});
+    }
+
+    std::vector<CoreRegion> cores;
+    std::vector<RangeRecord> lonely; // single-member regions, addr order
+    CoreRegion open;
+    bool has_open = false;
+    const auto emit = [&]() {
+        if (open.count == 1)
+            lonely.push_back({open.lo, open.hi, open.firstIndex});
+        else
+            cores.push_back(open);
+    };
+    std::uint64_t merged = 0;
+    while (!heap.empty()) {
+        const HeapItem item = heap.top();
+        heap.pop();
+        const RangeRecord &r = item.record;
+        ++merged;
+        if (!has_open) {
+            open = {r.lo, r.hi, 1, r.index};
+            has_open = true;
+        } else if (r.lo <= open.hi) {
+            open.hi = std::max<mem::Addr>(open.hi, r.hi);
+            ++open.count;
+        } else {
+            emit();
+            open = {r.lo, r.hi, 1, r.index};
+        }
+        RangeRecord next;
+        if (cursors[item.cursor].next(next))
+            heap.push({next, item.cursor});
+    }
+    if (has_open)
+        emit();
+    for (const RunCursor &cursor : cursors) {
+        if (cursor.failed()) {
+            error = runPath + ": spill read failed during merge";
+            std::fclose(seg_f);
+            std::fclose(run_f);
+            return false;
+        }
+    }
+    if (merged != segment.count) {
+        error = runPath + ": spill is truncated (merged " +
+                std::to_string(merged) + " of " +
+                std::to_string(segment.count) + " ranges)";
+        std::fclose(seg_f);
+        std::fclose(run_f);
+        return false;
+    }
+
+    // --- Group lonely regions (mergeLonelyRegions, summarised). ---
+    // Maximal runs of equal address spacing become shared partitions;
+    // a trailing unpaired request forms its own. Spans are consecutive
+    // in the (address-ordered) lonely list.
+    std::vector<FinalRegion> regions;
+    regions.reserve(cores.size() + lonely.size() / 2 + 1);
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+        regions.push_back(
+            {cores[c].lo, cores[c].hi, cores[c].firstIndex, true, c});
+    }
+    std::vector<std::size_t> lonelySpan; // span start per lonely run
+    {
+        std::size_t i = 0;
+        while (i < lonely.size()) {
+            std::size_t j;
+            if (i + 1 >= lonely.size()) {
+                j = i; // trailing leftover: a run of one
+            } else {
+                const std::int64_t stride =
+                    static_cast<std::int64_t>(lonely[i + 1].lo) -
+                    static_cast<std::int64_t>(lonely[i].lo);
+                j = i + 1;
+                while (j + 1 < lonely.size() &&
+                       static_cast<std::int64_t>(lonely[j + 1].lo) -
+                               static_cast<std::int64_t>(lonely[j].lo) ==
+                           stride) {
+                    ++j;
+                }
+            }
+            FinalRegion region;
+            region.lo = lonely[i].lo; // members ascend by address
+            region.hi = lonely[i].hi;
+            region.front = lonely[i].index;
+            region.core = false;
+            region.aux = lonelySpan.size();
+            for (std::size_t k = i; k <= j; ++k) {
+                region.hi = std::max<mem::Addr>(region.hi, lonely[k].hi);
+                region.front = std::min(region.front, lonely[k].index);
+            }
+            regions.push_back(region);
+            lonelySpan.push_back(i);
+            i = j + 1;
+        }
+        lonelySpan.push_back(lonely.size()); // end sentinel
+    }
+
+    // Deterministic leaf order: by start address, then first member.
+    std::sort(regions.begin(), regions.end(),
+              [](const FinalRegion &a, const FinalRegion &b) {
+                  return a.lo != b.lo ? a.lo < b.lo : a.front < b.front;
+              });
+
+    // --- Routing tables for the time-order pass. ---
+    // Core regions are disjoint, non-touching intervals: route by
+    // binary search on the start address. Everything else is a lonely
+    // request whose (unique) address locates it in the lonely list;
+    // its span locates the run region.
+    struct CoreLookup
+    {
+        mem::Addr lo;
+        mem::Addr hi;
+        std::uint32_t ordinal;
+    };
+    std::vector<CoreLookup> coreLookup;
+    coreLookup.reserve(cores.size());
+    std::vector<std::uint32_t> runOrdinal(
+        lonelySpan.empty() ? 0 : lonelySpan.size() - 1);
+    for (std::size_t o = 0; o < regions.size(); ++o) {
+        if (regions[o].core) {
+            coreLookup.push_back({regions[o].lo, regions[o].hi,
+                                  static_cast<std::uint32_t>(o)});
+        } else {
+            runOrdinal[regions[o].aux] = static_cast<std::uint32_t>(o);
+        }
+    }
+    std::vector<std::uint32_t> lonelyOrdinal(lonely.size());
+    for (std::size_t run = 0; run + 1 < lonelySpan.size(); ++run) {
+        for (std::size_t k = lonelySpan[run]; k < lonelySpan[run + 1];
+             ++k) {
+            lonelyOrdinal[k] = runOrdinal[run];
+        }
+    }
+
+    const auto route = [&](mem::Addr addr,
+                           std::uint32_t &ordinal) -> bool {
+        auto it = std::upper_bound(
+            coreLookup.begin(), coreLookup.end(), addr,
+            [](mem::Addr a, const CoreLookup &c) { return a < c.lo; });
+        if (it != coreLookup.begin()) {
+            const CoreLookup &c = *(it - 1);
+            if (addr <= c.hi) {
+                ordinal = c.ordinal;
+                return true;
+            }
+        }
+        auto lo_it = std::lower_bound(
+            lonely.begin(), lonely.end(), addr,
+            [](const RangeRecord &r, mem::Addr a) { return r.lo < a; });
+        if (lo_it == lonely.end() || lo_it->lo != addr)
+            return false;
+        ordinal = lonelyOrdinal[static_cast<std::size_t>(
+            lo_it - lonely.begin())];
+        return true;
+    };
+
+    // --- Re-read the segment in time order and fit the leaves. ---
+    std::vector<LeafBuilder> builders(regions.size());
+    if (std::fseek(seg_f,
+                   static_cast<long>(segment.begin *
+                                     sizeof(SpillRecord)),
+                   SEEK_SET) != 0) {
+        error = segPath + ": spill seek failed";
+        std::fclose(seg_f);
+        std::fclose(run_f);
+        return false;
+    }
+    std::vector<SpillRecord> records(cap);
+    std::uint64_t left = segment.count;
+    while (left > 0) {
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(cap, left));
+        if (std::fread(records.data(), sizeof(SpillRecord), n, seg_f) !=
+            n) {
+            error = segPath + ": spill read failed";
+            std::fclose(seg_f);
+            std::fclose(run_f);
+            return false;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint32_t ordinal = 0;
+            if (!route(records[i].addr, ordinal)) {
+                error = segPath +
+                        ": spill is inconsistent (unroutable address)";
+                std::fclose(seg_f);
+                std::fclose(run_f);
+                return false;
+            }
+            builders[ordinal].add(records[i].tick, records[i].addr,
+                                  records[i].size,
+                                  static_cast<mem::Op>(records[i].op));
+        }
+        left -= n;
+    }
+    std::fclose(seg_f);
+    std::fclose(run_f);
+
+    out.reserve(regions.size());
+    for (std::size_t o = 0; o < regions.size(); ++o)
+        out.push_back(
+            builders[o].finish(true, regions[o].lo, regions[o].hi));
+    return true;
+}
+
+/**
+ * Two-pass build for a trailing SpatialDynamic layer. Phase 1 streams
+ * the trace once, spilling each segment's requests (time order) and
+ * chunk-sorted byte-range runs; phase 2 fans the segments out across
+ * workers, each merging, sweeping and fitting independently. Results
+ * land in per-segment slots, so the leaf order — and the encoded
+ * profile — is identical at every thread count.
+ */
+bool
+buildTwoPass(mem::TraceReader &reader,
+             const std::vector<PartitionLayer> &temporal,
+             const StreamedBuildOptions &options, std::size_t chunk,
+             Profile &profile, std::string *error)
+{
+    SpillDir dir;
+    if (!dir.init(options.spillDir, error))
+        return false;
+    const std::string segPath = dir.file("segments.dat");
+    const std::string runPath = dir.file("ranges.dat");
+    SpillWriter seg_w, run_w;
+    if (!seg_w.open(segPath) || !run_w.open(runPath)) {
+        if (error != nullptr) {
+            *error = !seg_w.error().empty() ? seg_w.error()
+                                            : run_w.error();
+        }
+        return false;
+    }
+
+    std::vector<SegmentMeta> segments;
+    std::vector<RunMeta> runs;
+    std::vector<SpillRecord> rec_buf;
+    std::vector<RangeRecord> range_buf;
+    rec_buf.reserve(std::min<std::size_t>(chunk, 1 << 16));
+    range_buf.reserve(std::min<std::size_t>(chunk, 1 << 16));
+    std::uint64_t rec_written = 0;
+    std::uint64_t range_written = 0;
+    std::uint64_t local_index = 0;
+
+    const auto fail = [&](const std::string &message) {
+        if (error != nullptr)
+            *error = message;
+        return false;
+    };
+    const auto flushRecords = [&]() {
+        if (rec_buf.empty())
+            return true;
+        if (!seg_w.write(rec_buf.data(),
+                         rec_buf.size() * sizeof(SpillRecord)))
+            return false;
+        rec_written += rec_buf.size();
+        rec_buf.clear();
+        return true;
+    };
+    const auto flushRun = [&]() {
+        if (range_buf.empty())
+            return true;
+        std::sort(range_buf.begin(), range_buf.end(), rangeLess);
+        if (!run_w.write(range_buf.data(),
+                         range_buf.size() * sizeof(RangeRecord)))
+            return false;
+        runs.push_back({range_written, range_buf.size()});
+        range_written += range_buf.size();
+        range_buf.clear();
+        return true;
+    };
+    const auto closeSegment = [&]() {
+        if (!flushRun())
+            return false;
+        segments.back().count = local_index;
+        segments.back().runEnd = runs.size();
+        return true;
+    };
+    const auto openSegment = [&]() {
+        SegmentMeta meta;
+        meta.begin = rec_written + rec_buf.size();
+        meta.runBegin = runs.size();
+        segments.push_back(meta);
+        local_index = 0;
+    };
+
+    TemporalRouter router(temporal);
+    mem::RequestBatch batch;
+    mem::Tick prev_tick = 0;
+    bool any = false;
+    std::size_t got;
+    while ((got = reader.read(batch, chunk)) > 0) {
+        for (std::size_t i = 0; i < got; ++i) {
+            const mem::Tick tick = batch.ticks[i];
+            if (any && tick < prev_tick) {
+                return fail("trace is not time-ordered: tick " +
+                            std::to_string(tick) + " after " +
+                            std::to_string(prev_tick));
+            }
+            const bool boundary = router.advance(tick);
+            if (!any) {
+                openSegment();
+            } else if (boundary) {
+                if (!closeSegment())
+                    return fail(run_w.error());
+                openSegment();
+            }
+            const mem::Addr addr = batch.addrs[i];
+            const std::uint32_t size = batch.sizes[i];
+            rec_buf.push_back(
+                {tick, addr, size,
+                 static_cast<std::uint32_t>(batch.ops[i])});
+            if (rec_buf.size() == chunk && !flushRecords())
+                return fail(seg_w.error());
+            range_buf.push_back({addr, addr + size, local_index});
+            if (range_buf.size() == chunk && !flushRun())
+                return fail(run_w.error());
+            ++local_index;
+            prev_tick = tick;
+            any = true;
+        }
+    }
+    if (!reader.error().empty())
+        return fail(reader.error());
+    if (any) {
+        if (!flushRecords())
+            return fail(seg_w.error());
+        if (!closeSegment())
+            return fail(run_w.error());
+    }
+    if (!seg_w.close())
+        return fail(seg_w.error());
+    if (!run_w.close())
+        return fail(run_w.error());
+
+    // Phase 2: segments are independent; each worker re-reads its own
+    // slices of the spill through private file handles.
+    std::vector<std::vector<LeafModel>> seg_leaves(segments.size());
+    std::vector<std::string> seg_errors(segments.size());
+    util::parallelFor(
+        segments.size(),
+        [&](std::size_t s) {
+            processSegment(segments[s], runs, segPath, runPath, chunk,
+                           seg_leaves[s], seg_errors[s]);
+        },
+        options.threads);
+    for (const std::string &message : seg_errors) {
+        if (!message.empty())
+            return fail(message);
+    }
+
+    std::size_t total = 0;
+    for (const auto &leaves : seg_leaves)
+        total += leaves.size();
+    profile.leaves.reserve(total);
+    for (auto &leaves : seg_leaves) {
+        for (LeafModel &leaf : leaves)
+            profile.leaves.push_back(std::move(leaf));
+    }
+    return true;
+}
+
+/// @}
+
+} // namespace
+
+bool
+canStreamConfig(const PartitionConfig &config)
+{
+    bool seen_spatial = false;
+    for (const PartitionLayer &layer : config.layers) {
+        if (seen_spatial)
+            return false; // nothing may follow the spatial layer
+        if (layer.isSpatial()) {
+            if (layer.kind == PartitionLayer::Kind::SpatialFixed &&
+                layer.value == 0)
+                return false;
+            seen_spatial = true;
+        } else if (layer.value == 0) {
+            return false; // in-memory partitioners assert on this too
+        }
+    }
+    return true;
+}
+
+Profile
+buildProfileStreamed(mem::TraceReader &reader,
+                     const PartitionConfig &config,
+                     const StreamedBuildOptions &options,
+                     std::string *error)
+{
+    telemetry::Span span("profile.build_streamed");
+
+    Profile profile;
+    if (!canStreamConfig(config)) {
+        if (error != nullptr) {
+            *error = "configuration is not streamable: " +
+                     config.describe();
+        }
+        return Profile{};
+    }
+
+    profile.name = reader.name();
+    profile.device = reader.device();
+    profile.config = config;
+
+    std::vector<PartitionLayer> temporal;
+    SpatialPlan spatial;
+    for (const PartitionLayer &layer : config.layers) {
+        if (layer.isSpatial()) {
+            spatial.present = true;
+            spatial.kind = layer.kind;
+            spatial.blockSize = layer.value;
+        } else {
+            temporal.push_back(layer);
+        }
+    }
+
+    const std::size_t chunk = std::max<std::size_t>(1, chunkFor(options));
+    bool ok;
+    if (spatial.present &&
+        spatial.kind == PartitionLayer::Kind::SpatialDynamic) {
+        ok = buildTwoPass(reader, temporal, options, chunk, profile,
+                          error);
+    } else {
+        ok = buildSinglePass(reader, temporal, spatial, chunk, profile,
+                             error);
+    }
+    return ok ? std::move(profile) : Profile{};
+}
+
+} // namespace mocktails::core

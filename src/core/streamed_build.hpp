@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Out-of-core profile building.
+ *
+ * buildProfile() materialises the whole trace, the whole index
+ * hierarchy and every leaf's request vector before fitting — fine for
+ * traces that fit in memory, hopeless for multi-GB captures. This
+ * module builds the *same* profile from a mem::TraceReader stream in
+ * bounded memory:
+ *
+ *  - Temporal layers are resolved on the fly: for a time-ordered
+ *    stream every temporal leaf is a contiguous segment, so a small
+ *    per-layer state machine (TemporalRouter in the .cpp) detects
+ *    segment boundaries without ever holding two segments at once.
+ *  - A trailing SpatialFixed layer (or no spatial layer) streams in a
+ *    single pass: leaves are fitted incrementally via McCBuilder as
+ *    requests arrive.
+ *  - A trailing SpatialDynamic layer needs the segment's byte ranges
+ *    in address order (paper Alg. 1), which a single pass cannot
+ *    provide. Requests are spilled to a bounded on-disk store as
+ *    sorted runs, k-way merged into the merged-region sweep, and the
+ *    segment is re-read in time order to fit the leaves (two-pass).
+ *
+ * The result is bit-identical to buildProfile() with default McC
+ * hooks: same leaves in the same order, same models, same encoded
+ * bytes. Tests assert this equality across chunk sizes and thread
+ * counts.
+ *
+ * Peak memory is O(chunk + per-segment region metadata + models being
+ * fitted for one segment) — independent of trace length for the
+ * pathological-free case. (A segment where every request is its own
+ * dynamic region still needs O(regions) metadata; such a trace's
+ * profile is itself O(regions), so the bound degenerates only when
+ * the *output* does.)
+ */
+
+#ifndef MOCKTAILS_CORE_STREAMED_BUILD_HPP
+#define MOCKTAILS_CORE_STREAMED_BUILD_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "core/model_generator.hpp"
+#include "mem/trace_reader.hpp"
+
+namespace mocktails::core
+{
+
+/**
+ * Tuning for the out-of-core build.
+ */
+struct StreamedBuildOptions
+{
+    /**
+     * Directory for spill files (created if missing). Empty: a fresh
+     * mkdtemp directory under $TMPDIR (or /tmp) that is removed when
+     * the build finishes.
+     */
+    std::string spillDir;
+
+    /**
+     * Advisory bound on transient build memory; the streaming chunk
+     * size is derived from it. 0 = use the default chunk. The bound
+     * covers the streaming buffers, not the profile being built.
+     */
+    std::uint64_t maxMemoryBytes = 0;
+
+    /**
+     * Requests per streaming chunk (sort-run length for the spill
+     * path). Overrides maxMemoryBytes when non-zero; mainly for tests,
+     * which exercise pathological sizes like 1.
+     */
+    std::size_t chunkRequests = 0;
+
+    /** Worker cap for the per-segment fit; 0 = hardware threads. */
+    unsigned threads = 0;
+};
+
+/**
+ * Can @p config be built by buildProfileStreamed()? True for zero or
+ * more temporal layers (with non-zero interval values) followed by at
+ * most one final spatial layer. Spatial-above-temporal hierarchies
+ * hand address-ordered subsets down to temporal layers, which breaks
+ * the contiguous-segment property streaming relies on — those fall
+ * back to the in-memory builder.
+ */
+bool canStreamConfig(const PartitionConfig &config);
+
+/**
+ * Build a profile from a request stream in bounded memory.
+ *
+ * Produces bytes identical to buildProfile(trace, config) with
+ * default (McC) hooks. Custom per-feature hooks are not supported —
+ * callers needing them must use the in-memory path.
+ *
+ * @param reader Source of time-ordered requests. A reader error, an
+ *               out-of-order tick, an unstreamable config or a spill
+ *               I/O failure aborts the build.
+ * @param error  Receives a diagnostic when the build fails.
+ * @return The profile; empty (zero leaves, empty name) on failure,
+ *         distinguished by @p error.
+ */
+Profile buildProfileStreamed(mem::TraceReader &reader,
+                             const PartitionConfig &config,
+                             const StreamedBuildOptions &options = {},
+                             std::string *error = nullptr);
+
+} // namespace mocktails::core
+
+#endif // MOCKTAILS_CORE_STREAMED_BUILD_HPP

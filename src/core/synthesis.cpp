@@ -86,6 +86,20 @@ LeafSynthesizer::next(mem::Request &out)
     return true;
 }
 
+std::size_t
+LeafSynthesizer::run(mem::RequestBatch &out)
+{
+    const std::uint64_t remaining = leaf_->count - generated_;
+    out.reserve(out.size() + remaining);
+    std::size_t made = 0;
+    mem::Request request;
+    while (next(request)) {
+        out.push(request);
+        ++made;
+    }
+    return made;
+}
+
 SynthesisEngine::SynthesisEngine(const Profile &profile,
                                  std::uint64_t seed,
                                  obs::ProvenanceTable *provenance)
@@ -186,6 +200,18 @@ SynthesisEngine::nextBatch(std::vector<mem::Request> &out,
     mem::Request request;
     while (made < max && next(request)) {
         out.push_back(request);
+        ++made;
+    }
+    return made;
+}
+
+std::size_t
+SynthesisEngine::nextBatch(mem::RequestBatch &out, std::size_t max)
+{
+    std::size_t made = 0;
+    mem::Request request;
+    while (made < max && next(request)) {
+        out.push(request);
         ++made;
     }
     return made;
@@ -370,7 +396,10 @@ synthesize(const Profile &profile, std::uint64_t seed, unsigned threads,
     for (std::size_t i = 0; i < n; ++i)
         rngs.push_back(root.fork());
 
-    std::vector<std::vector<mem::Request>> runs(n);
+    // Per-leaf runs in SoA form: the merge below only compares the
+    // tick column, so the heap refill reads 8 bytes per request
+    // instead of striding over 24-byte structs.
+    std::vector<mem::RequestBatch> runs(n);
     // Per-leaf wrap counts: each worker writes only its own slot, so
     // the parallel loop needs no shared counters and stays
     // deterministic; the slots are summed after the join.
@@ -391,23 +420,20 @@ synthesize(const Profile &profile, std::uint64_t seed, unsigned threads,
         [&](std::size_t i) {
             const LeafModel &leaf = profile.leaves[i];
             LeafSynthesizer synth(leaf, rngs[i]);
-            auto &run = runs[i];
-            run.resize(leaf.count);
-            std::size_t made = 0;
+            mem::RequestBatch &run = runs[i];
             if (provenance) {
                 auto &leaf_states = states[i];
-                leaf_states.resize(leaf.count);
-                while (made < run.size() && synth.next(run[made])) {
-                    leaf_states[made] = static_cast<std::int32_t>(
-                        synth.lastDeltaState());
-                    ++made;
+                leaf_states.reserve(leaf.count);
+                run.reserve(leaf.count);
+                mem::Request request;
+                while (synth.next(request)) {
+                    run.push(request);
+                    leaf_states.push_back(static_cast<std::int32_t>(
+                        synth.lastDeltaState()));
                 }
-                leaf_states.resize(made);
             } else {
-                while (made < run.size() && synth.next(run[made]))
-                    ++made;
+                synth.run(run);
             }
-            run.resize(made);
             wraps[i] = synth.addressWraps();
         },
         want);
@@ -426,7 +452,7 @@ synthesize(const Profile &profile, std::uint64_t seed, unsigned threads,
     std::vector<std::size_t> pos(n, 0);
     for (std::size_t i = 0; i < n; ++i) {
         if (!runs[i].empty()) {
-            heap.push(MergeEntry{runs[i].front().tick,
+            heap.push(MergeEntry{runs[i].ticks.front(),
                                  static_cast<std::uint32_t>(i)});
         }
     }
@@ -448,17 +474,20 @@ synthesize(const Profile &profile, std::uint64_t seed, unsigned threads,
     while (!heap.empty()) {
         const MergeEntry entry = heap.top();
         heap.pop();
-        const mem::Request &request = runs[entry.leaf][pos[entry.leaf]];
-        trace.add(request);
+        const mem::RequestBatch &run = runs[entry.leaf];
+        const std::size_t at = pos[entry.leaf];
+        trace.add(run.ticks[at], run.addrs[at], run.sizes[at],
+                  run.ops[at]);
         if (provenance) {
             provenance->origins().push_back(obs::RequestOrigin{
-                entry.leaf, states[entry.leaf][pos[entry.leaf]]});
+                entry.leaf, states[entry.leaf][at]});
         }
         if (events) {
-            events->instant("req", "synthesis", request.tick,
-                            obs::track::kLeafBase + entry.leaf,
-                            {{"leaf", entry.leaf},
-                             {"op", request.isWrite() ? 1 : 0}});
+            events->instant(
+                "req", "synthesis", run.ticks[at],
+                obs::track::kLeafBase + entry.leaf,
+                {{"leaf", entry.leaf},
+                 {"op", run.ops[at] == mem::Op::Write ? 1 : 0}});
         }
         ++emitted;
         if (emitted % kMergeSampleStride == 1) {
@@ -467,14 +496,14 @@ synthesize(const Profile &profile, std::uint64_t seed, unsigned threads,
                     static_cast<std::int64_t>(heap.size() + 1));
             if (events) {
                 events->counter(
-                    "merge_depth", "synthesis", request.tick,
+                    "merge_depth", "synthesis", run.ticks[at],
                     static_cast<std::int64_t>(heap.size() + 1),
                     obs::track::kMerge);
             }
         }
-        if (++pos[entry.leaf] < runs[entry.leaf].size()) {
-            heap.push(MergeEntry{
-                runs[entry.leaf][pos[entry.leaf]].tick, entry.leaf});
+        if (at + 1 < run.size()) {
+            pos[entry.leaf] = at + 1;
+            heap.push(MergeEntry{run.ticks[at + 1], entry.leaf});
         }
     }
     if (collect) {

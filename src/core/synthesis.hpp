@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/profile.hpp"
+#include "mem/request_batch.hpp"
 #include "mem/source.hpp"
 #include "mem/trace.hpp"
 #include "obs/provenance.hpp"
@@ -41,6 +42,17 @@ class LeafSynthesizer
      * @return false once count requests have been generated.
      */
     bool next(mem::Request &out);
+
+    /**
+     * Generate all remaining requests straight into the SoA columns of
+     * @p out (appending). Same sampler draw order as repeated next()
+     * calls, so the emitted rows are bit-identical; the batch is what
+     * the sharded synthesize() workers fill, keeping the k-way merge a
+     * tick-column scan instead of a 24-byte-struct stride.
+     *
+     * @return Rows appended.
+     */
+    std::size_t run(mem::RequestBatch &out);
 
     std::uint64_t generated() const { return generated_; }
 
@@ -114,6 +126,10 @@ class SynthesisEngine : public mem::RequestSource
      */
     std::size_t nextBatch(std::vector<mem::Request> &out,
                           std::size_t max);
+
+    /** SoA overload: append up to @p max requests to the batch's
+     *  columns. Row sequence identical to the AoS overload. */
+    std::size_t nextBatch(mem::RequestBatch &out, std::size_t max);
 
     /** Requests produced so far. */
     std::uint64_t generated() const { return generated_; }

@@ -42,7 +42,7 @@ struct ChannelPlan
 class RecordingSource : public mem::RequestSource
 {
   public:
-    RecordingSource(mem::RequestSource &inner, mem::Trace &out)
+    RecordingSource(mem::RequestSource &inner, mem::RequestBatch &out)
         : inner_(inner), out_(out)
     {}
 
@@ -51,13 +51,13 @@ class RecordingSource : public mem::RequestSource
     {
         if (!inner_.next(request))
             return false;
-        out_.add(request);
+        out_.push(request);
         return true;
     }
 
   private:
     mem::RequestSource &inner_;
-    mem::Trace &out_;
+    mem::RequestBatch &out_;
 };
 
 /**
@@ -164,17 +164,18 @@ simulateSharded(mem::RequestSource &source,
     // --- Front-end pass: real player + crossbar, always-accept sink.
     sim::EventQueue fe_events;
     std::vector<ChannelPlan> plans(channels);
-    struct RequestMeta
-    {
-        sim::Tick admission;
-        bool isRead;
-    };
-    std::vector<RequestMeta> meta;
+    // Per-request metadata as two parallel columns instead of an AoS
+    // struct vector: the merge below folds read latencies with a scan
+    // over just these columns, and the padding of a {Tick, bool} pair
+    // would double its footprint.
+    std::vector<sim::Tick> admitted;
+    std::vector<std::uint8_t> is_read;
     std::uint64_t next_id = 0;
 
     const auto accept = [&](const mem::Request &request) {
         const std::uint64_t id = next_id++;
-        meta.push_back({fe_events.now(), request.isRead()});
+        admitted.push_back(fe_events.now());
+        is_read.push_back(request.isRead() ? 1 : 0);
         forEachBurst(
             request, dram_config, map,
             [&](mem::Addr, const DramCoord &coord) {
@@ -233,8 +234,8 @@ simulateSharded(mem::RequestSource &source,
 
     MemoryStats &mem_stats = run.result.memory;
     mem_stats.requests = next_id;
-    for (const RequestMeta &m : meta) {
-        if (m.isRead)
+    for (const std::uint8_t r : is_read) {
+        if (r)
             ++mem_stats.readRequests;
         else
             ++mem_stats.writeRequests;
@@ -253,13 +254,13 @@ simulateSharded(mem::RequestSource &source,
     // coupled path folds the same sequence (simulate.cpp), so the
     // Welford accumulator matches bit for bit.
     for (std::uint64_t id = 0; id < next_id; ++id) {
-        if (!meta[id].isRead)
+        if (!is_read[id])
             continue;
         sim::Tick done = 0;
         for (std::uint32_t c = 0; c < channels; ++c)
             done = std::max(done, replays[c]->completions()[id]);
         mem_stats.readLatency.add(
-            static_cast<double>(done - meta[id].admission));
+            static_cast<double>(done - admitted[id]));
     }
 
     run.completed = true;

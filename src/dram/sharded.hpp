@@ -46,8 +46,8 @@
 #include "dram/config.hpp"
 #include "dram/simulate.hpp"
 #include "interconnect/crossbar.hpp"
+#include "mem/request_batch.hpp"
 #include "mem/source.hpp"
-#include "mem/trace.hpp"
 
 namespace mocktails::dram
 {
@@ -64,11 +64,12 @@ struct ShardedRun
     SimulationResult result;
 
     /**
-     * Every request pulled from the source, in order. On abort the
-     * caller replays this through the coupled path; the source itself
-     * has already been consumed.
+     * Every request pulled from the source, in order (SoA columns; a
+     * BatchSource replays them). On abort the caller replays this
+     * through the coupled path; the source itself has already been
+     * consumed.
      */
-    mem::Trace recorded;
+    mem::RequestBatch recorded;
 
     /** Events over all queues (front end + channels), for telemetry. */
     std::uint64_t eventsScheduled = 0;

@@ -7,6 +7,7 @@
 #include "dram/memory_system.hpp"
 #include "dram/sharded.hpp"
 #include "dram/trace_player.hpp"
+#include "mem/request_batch.hpp"
 #include "obs/trace_event.hpp"
 #include "sim/event_queue.hpp"
 #include "telemetry/span.hpp"
@@ -259,7 +260,7 @@ simulateSource(mem::RequestSource &source,
         // Backpressure speculation failed: the coupled path handles
         // admission feedback exactly. The source is consumed, so
         // replay the recorded stream.
-        mem::TraceSource replay(run.recorded);
+        mem::BatchSource replay(run.recorded);
         return simulateCoupled(replay, dram_config, xbar_config);
     }
 

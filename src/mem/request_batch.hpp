@@ -1,0 +1,153 @@
+/**
+ * @file
+ * A structure-of-arrays batch of memory requests.
+ *
+ * The hot inner loops — synthesis merge, trace streaming, the DRAM
+ * front-end schedule — touch one feature at a time (usually the tick
+ * column), but an AoS vector<Request> forces them to stride over
+ * 24-byte structs and drag the other three features through the cache.
+ * RequestBatch keeps the four features in separate columns so a
+ * tick-only scan reads 8 bytes per request, and a full batch costs
+ * 21 bytes per request instead of 24 (no padding).
+ */
+
+#ifndef MOCKTAILS_MEM_REQUEST_BATCH_HPP
+#define MOCKTAILS_MEM_REQUEST_BATCH_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mem/request.hpp"
+#include "mem/source.hpp"
+#include "mem/trace.hpp"
+
+namespace mocktails::mem
+{
+
+/**
+ * SoA request storage: index i across the four columns is request i.
+ * The columns are public — hot loops index them directly.
+ */
+struct RequestBatch
+{
+    std::vector<Tick> ticks;
+    std::vector<Addr> addrs;
+    std::vector<std::uint32_t> sizes;
+    std::vector<Op> ops;
+
+    std::size_t size() const { return ticks.size(); }
+    bool empty() const { return ticks.empty(); }
+
+    void
+    clear()
+    {
+        ticks.clear();
+        addrs.clear();
+        sizes.clear();
+        ops.clear();
+    }
+
+    void
+    reserve(std::size_t n)
+    {
+        ticks.reserve(n);
+        addrs.reserve(n);
+        sizes.reserve(n);
+        ops.reserve(n);
+    }
+
+    void
+    resize(std::size_t n)
+    {
+        ticks.resize(n);
+        addrs.resize(n);
+        sizes.resize(n);
+        ops.resize(n);
+    }
+
+    /** Append one request, column by column. */
+    void
+    push(Tick tick, Addr addr, std::uint32_t size, Op op)
+    {
+        ticks.push_back(tick);
+        addrs.push_back(addr);
+        sizes.push_back(size);
+        ops.push_back(op);
+    }
+
+    void push(const Request &r) { push(r.tick, r.addr, r.size, r.op); }
+
+    /** Overwrite row @p i. */
+    void
+    set(std::size_t i, const Request &r)
+    {
+        ticks[i] = r.tick;
+        addrs[i] = r.addr;
+        sizes[i] = r.size;
+        ops[i] = r.op;
+    }
+
+    /** Gather row @p i back into an AoS request. */
+    Request
+    get(std::size_t i) const
+    {
+        assert(i < size());
+        return Request{ticks[i], addrs[i], sizes[i], ops[i]};
+    }
+
+    /** Exclusive end of request @p i's byte range. */
+    Addr end(std::size_t i) const { return addrs[i] + sizes[i]; }
+
+    /** Append every row to @p trace in order. */
+    void
+    appendTo(Trace &trace) const
+    {
+        trace.requests().reserve(trace.size() + size());
+        for (std::size_t i = 0; i < size(); ++i)
+            trace.add(ticks[i], addrs[i], sizes[i], ops[i]);
+    }
+
+    /** Build a batch from an AoS request span. */
+    static RequestBatch
+    fromTrace(const Trace &trace)
+    {
+        RequestBatch batch;
+        batch.reserve(trace.size());
+        for (const Request &r : trace)
+            batch.push(r);
+        return batch;
+    }
+};
+
+/**
+ * Adapts a RequestBatch into a pull-style RequestSource (the SoA
+ * counterpart of TraceSource).
+ */
+class BatchSource : public RequestSource
+{
+  public:
+    /** The batch must outlive the source. */
+    explicit BatchSource(const RequestBatch &batch) : batch_(&batch) {}
+
+    bool
+    next(Request &out) override
+    {
+        if (pos_ >= batch_->size())
+            return false;
+        out = batch_->get(pos_++);
+        return true;
+    }
+
+    /** Restart from the beginning. */
+    void reset() { pos_ = 0; }
+
+  private:
+    const RequestBatch *batch_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace mocktails::mem
+
+#endif // MOCKTAILS_MEM_REQUEST_BATCH_HPP

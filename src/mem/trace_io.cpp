@@ -106,16 +106,8 @@ saveTraceCsv(const Trace &trace, const std::string &path)
     return std::fclose(f) == 0;
 }
 
-namespace
-{
-
-/**
- * Read one full line of any length (fgets into a fixed buffer would
- * silently split long lines into two bogus records).
- * @return false at end of file with nothing read.
- */
 bool
-readLine(std::FILE *f, std::string &line)
+readCsvLine(std::FILE *f, std::string &line)
 {
     line.clear();
     char chunk[256];
@@ -131,20 +123,77 @@ readLine(std::FILE *f, std::string &line)
     return !line.empty();
 }
 
-void
-setParseError(std::string *error, const std::string &path,
-              std::uint64_t line_number, const std::string &message,
-              const std::string &line)
+bool
+parseCsvRecord(const std::string &line, Request &out,
+               std::string &message)
 {
-    if (error == nullptr)
-        return;
-    *error = path + ":" + std::to_string(line_number) + ": " + message;
+    std::uint64_t tick = 0, addr = 0;
+    unsigned size = 0;
+    char op = 0;
+    int consumed = 0;
+    if (std::sscanf(line.c_str(), "%" SCNu64 ",0x%" SCNx64 ",%c,%u%n",
+                    &tick, &addr, &op, &size, &consumed) != 4) {
+        message = "expected 'tick,0xaddr,op,size'";
+        return false;
+    }
+    if (static_cast<std::size_t>(consumed) != line.size()) {
+        message = "trailing garbage after record";
+        return false;
+    }
+    if (op != 'R' && op != 'W') {
+        message = std::string("unknown op '") + op +
+                  "' (expected R or W)";
+        return false;
+    }
+    out = Request{tick, addr, size, op == 'W' ? Op::Write : Op::Read};
+    return true;
+}
+
+std::string
+csvParseDiagnostic(const std::string &path, std::uint64_t line_number,
+                   const std::string &message, const std::string &line)
+{
+    std::string out =
+        path + ":" + std::to_string(line_number) + ": " + message;
     if (!line.empty()) {
         // Quote at most the head of the line; enough to recognise it.
         const std::string head = line.substr(0, 64);
-        *error += " in '" + head +
-                  (line.size() > head.size() ? "...'" : "'");
+        out += " in '" + head + (line.size() > head.size() ? "...'" : "'");
     }
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Count the newlines of a seekable stream in one buffered sweep, then
+ * rewind. The row count lets the caller reserve its request vector
+ * once instead of doubling through reallocations; a byte scan is an
+ * order of magnitude cheaper than the sscanf parse that follows.
+ * @return 0 when the stream is not seekable (e.g. a pipe) or empty.
+ */
+std::uint64_t
+countLines(std::FILE *f)
+{
+    if (std::fseek(f, 0, SEEK_SET) != 0)
+        return 0;
+    char buf[1 << 16];
+    std::uint64_t lines = 0;
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        const char *p = buf;
+        const char *end = buf + n;
+        while ((p = static_cast<const char *>(
+                    std::memchr(p, '\n', static_cast<std::size_t>(
+                                             end - p)))) != nullptr) {
+            ++lines;
+            ++p;
+        }
+    }
+    if (std::fseek(f, 0, SEEK_SET) != 0)
+        return 0; // cannot rewind: caller must not have consumed input
+    return lines;
 }
 
 } // namespace
@@ -160,41 +209,28 @@ loadTraceCsv(const std::string &path, Trace &trace, std::string *error)
     }
 
     trace = Trace();
-    std::string line;
+    if (const std::uint64_t rows = countLines(f))
+        trace.requests().reserve(rows); // includes the header: 1 slack
+
+    std::string line; // reused across rows; capacity persists
+    std::string message;
     std::uint64_t line_number = 0;
-    while (readLine(f, line)) {
+    Request request;
+    while (readCsvLine(f, line)) {
         ++line_number;
         if (line_number == 1 && line.compare(0, 4, "tick") == 0)
             continue; // header
         if (line.empty())
             continue;
-        std::uint64_t tick = 0, addr = 0;
-        unsigned size = 0;
-        char op = 0;
-        int consumed = 0;
-        if (std::sscanf(line.c_str(),
-                        "%" SCNu64 ",0x%" SCNx64 ",%c,%u%n", &tick,
-                        &addr, &op, &size, &consumed) != 4) {
-            setParseError(error, path, line_number,
-                          "expected 'tick,0xaddr,op,size'", line);
+        if (!parseCsvRecord(line, request, message)) {
+            if (error != nullptr) {
+                *error =
+                    csvParseDiagnostic(path, line_number, message, line);
+            }
             std::fclose(f);
             return false;
         }
-        if (static_cast<std::size_t>(consumed) != line.size()) {
-            setParseError(error, path, line_number,
-                          "trailing garbage after record", line);
-            std::fclose(f);
-            return false;
-        }
-        if (op != 'R' && op != 'W') {
-            setParseError(error, path, line_number,
-                          std::string("unknown op '") + op +
-                              "' (expected R or W)",
-                          line);
-            std::fclose(f);
-            return false;
-        }
-        trace.add(tick, addr, size, op == 'W' ? Op::Write : Op::Read);
+        trace.add(request);
     }
     std::fclose(f);
     return true;

@@ -13,6 +13,7 @@
 #define MOCKTAILS_MEM_TRACE_IO_HPP
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,32 @@ bool saveTraceCsv(const Trace &trace, const std::string &path);
 bool loadTraceCsv(const std::string &path, Trace &trace,
                   std::string *error);
 bool loadTraceCsv(const std::string &path, Trace &trace);
+
+/// @name CSV plumbing shared with mem::TraceReader
+/// @{
+
+/**
+ * Read one full line of any length into the reusable buffer @p line
+ * (fgets into a fixed buffer would silently split long lines into two
+ * bogus records). Strips the trailing newline / CRLF.
+ * @return false at end of file with nothing read.
+ */
+bool readCsvLine(std::FILE *f, std::string &line);
+
+/**
+ * Parse one "tick,0xaddr,op,size" record. On failure @p message
+ * receives what was wrong (without file/line context).
+ */
+bool parseCsvRecord(const std::string &line, Request &out,
+                    std::string &message);
+
+/** Format the loud "path:line: message in 'head...'" diagnostic. */
+std::string csvParseDiagnostic(const std::string &path,
+                               std::uint64_t line_number,
+                               const std::string &message,
+                               const std::string &line);
+
+/// @}
 
 } // namespace mocktails::mem
 

@@ -1,0 +1,150 @@
+#include "mem/trace_reader.hpp"
+
+#include <algorithm>
+
+#include "mem/trace_io.hpp"
+#include "util/compress.hpp"
+
+namespace mocktails::mem
+{
+
+namespace
+{
+
+// Mirrors trace_io.cpp; the format constants stay private to mem.
+constexpr std::uint64_t traceMagic = 0x4d4b5452; // "MKTR"
+constexpr std::uint64_t traceVersion = 1;
+
+} // namespace
+
+MemoryTraceReader::MemoryTraceReader(const Trace &trace) : trace_(&trace)
+{
+    name_ = trace.name();
+    device_ = trace.device();
+    size_hint_ = trace.size();
+}
+
+std::size_t
+MemoryTraceReader::read(RequestBatch &out, std::size_t max)
+{
+    out.clear();
+    const std::size_t n = std::min(max, trace_->size() - pos_);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push((*trace_)[pos_ + i]);
+    pos_ += n;
+    return n;
+}
+
+CsvTraceReader::CsvTraceReader(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "r");
+    if (file_ == nullptr)
+        error_ = path + ": cannot open file";
+}
+
+CsvTraceReader::~CsvTraceReader()
+{
+    if (file_ != nullptr)
+        std::fclose(file_);
+}
+
+std::size_t
+CsvTraceReader::read(RequestBatch &out, std::size_t max)
+{
+    out.clear();
+    if (file_ == nullptr || !error_.empty())
+        return 0;
+    std::string message;
+    Request request;
+    while (out.size() < max && readCsvLine(file_, line_)) {
+        ++line_number_;
+        if (line_number_ == 1 && line_.compare(0, 4, "tick") == 0)
+            continue; // header
+        if (line_.empty())
+            continue;
+        if (!parseCsvRecord(line_, request, message)) {
+            error_ =
+                csvParseDiagnostic(path_, line_number_, message, line_);
+            out.clear();
+            return 0;
+        }
+        out.push(request);
+    }
+    return out.size();
+}
+
+BinaryTraceReader::BinaryTraceReader(const std::string &path)
+{
+    std::vector<std::uint8_t> compressed;
+    if (!util::loadBytes(path, compressed, &error_))
+        return;
+    if (!util::decompress(compressed, raw_)) {
+        error_ = path + ": corrupt compression envelope";
+        return;
+    }
+    reader_ = util::ByteReader(raw_.data(), raw_.size());
+    if (reader_.getVarint() != traceMagic ||
+        reader_.getVarint() != traceVersion) {
+        error_ = path + ": not a mocktails trace (bad magic/version)";
+        return;
+    }
+    // Sequence the two reads explicitly (argument evaluation order is
+    // unspecified).
+    name_ = reader_.getString();
+    device_ = reader_.getString();
+    remaining_ = reader_.getVarint();
+    // Each encoded request needs at least 4 bytes; larger claims are
+    // corrupt.
+    if (!reader_.ok() || remaining_ > reader_.remaining() / 4 + 1) {
+        error_ = path + ": corrupt trace header";
+        remaining_ = 0;
+        return;
+    }
+    size_hint_ = remaining_;
+}
+
+std::size_t
+BinaryTraceReader::read(RequestBatch &out, std::size_t max)
+{
+    out.clear();
+    if (!error_.empty())
+        return 0;
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(max, remaining_));
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        tick_ += static_cast<Tick>(reader_.getSigned());
+        addr_ += static_cast<Addr>(reader_.getSigned());
+        const auto size = static_cast<std::uint32_t>(reader_.getVarint());
+        const auto op = static_cast<Op>(reader_.getByte());
+        if (!reader_.ok()) {
+            error_ = "corrupt trace record at byte offset " +
+                     std::to_string(reader_.position()) + " of " +
+                     std::to_string(raw_.size());
+            remaining_ = 0;
+            out.clear();
+            return 0;
+        }
+        out.push(tick_, addr_, size, op);
+    }
+    remaining_ -= n;
+    return n;
+}
+
+std::unique_ptr<TraceReader>
+openTraceReader(const std::string &path, std::string *error)
+{
+    std::unique_ptr<TraceReader> reader;
+    if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0)
+        reader = std::make_unique<CsvTraceReader>(path);
+    else
+        reader = std::make_unique<BinaryTraceReader>(path);
+    if (!reader->error().empty()) {
+        if (error != nullptr)
+            *error = reader->error();
+        return nullptr;
+    }
+    return reader;
+}
+
+} // namespace mocktails::mem

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Chunked, bounded-memory trace streaming.
+ *
+ * The out-of-core profile build never materialises a full
+ * vector<Request>; it pulls fixed-size SoA batches from a TraceReader
+ * instead. Readers exist for the two persisted formats and for an
+ * in-memory trace:
+ *
+ *  - CSV streams truly: one buffered pass, O(batch) resident memory
+ *    regardless of file size.
+ *  - The binary .mkt format is whole-file LZ-compressed (see
+ *    trace_io.hpp), so the *encoded* bytes must be decompressed up
+ *    front; the reader then decodes requests incrementally. Resident
+ *    memory is the encoded stream (typically 5-8x smaller than the
+ *    materialised trace), not O(batch) — the format trades streaming
+ *    for compression ratio.
+ *  - MemoryTraceReader adapts an existing Trace for tests and benches.
+ *
+ * Errors are loud: read() returning 0 means end-of-stream only when
+ * error() is empty; a parse/decode failure stops the stream and
+ * leaves the diagnostic (with file/line context for CSV) in error().
+ */
+
+#ifndef MOCKTAILS_MEM_TRACE_READER_HPP
+#define MOCKTAILS_MEM_TRACE_READER_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/request_batch.hpp"
+#include "util/codec.hpp"
+
+namespace mocktails::mem
+{
+
+/**
+ * Pull-style source of request batches.
+ */
+class TraceReader
+{
+  public:
+    virtual ~TraceReader() = default;
+
+    /**
+     * Clear @p out and refill it with up to @p max requests, in trace
+     * order.
+     *
+     * @return The number of requests delivered; 0 at end of stream or
+     *         on error (distinguished by error()).
+     */
+    virtual std::size_t read(RequestBatch &out, std::size_t max) = 0;
+
+    /** Trace name from the source's metadata ("" when absent). */
+    const std::string &name() const { return name_; }
+
+    /** Device class from the source's metadata ("" when absent). */
+    const std::string &device() const { return device_; }
+
+    /** Total request count when known up front; 0 when unknown. */
+    std::uint64_t sizeHint() const { return size_hint_; }
+
+    /** Non-empty once the stream failed; read() returns 0 forever. */
+    const std::string &error() const { return error_; }
+
+  protected:
+    std::string name_;
+    std::string device_;
+    std::uint64_t size_hint_ = 0;
+    std::string error_;
+};
+
+/**
+ * Streams an in-memory trace (tests, benches, already-loaded data).
+ * The trace must outlive the reader.
+ */
+class MemoryTraceReader : public TraceReader
+{
+  public:
+    explicit MemoryTraceReader(const Trace &trace);
+
+    std::size_t read(RequestBatch &out, std::size_t max) override;
+
+  private:
+    const Trace *trace_;
+    std::size_t pos_ = 0;
+};
+
+/**
+ * Streams a "tick,addr,op,size" CSV file in bounded memory.
+ */
+class CsvTraceReader : public TraceReader
+{
+  public:
+    /** Opens @p path; a failure is reported through error(). */
+    explicit CsvTraceReader(const std::string &path);
+    ~CsvTraceReader() override;
+
+    CsvTraceReader(const CsvTraceReader &) = delete;
+    CsvTraceReader &operator=(const CsvTraceReader &) = delete;
+
+    std::size_t read(RequestBatch &out, std::size_t max) override;
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+    std::string line_; // reused across rows
+    std::uint64_t line_number_ = 0;
+};
+
+/**
+ * Streams a binary .mkt trace: the compressed file is inflated to its
+ * encoded byte stream once, then requests decode incrementally.
+ */
+class BinaryTraceReader : public TraceReader
+{
+  public:
+    /** Loads and validates @p path; failures land in error(). */
+    explicit BinaryTraceReader(const std::string &path);
+
+    std::size_t read(RequestBatch &out, std::size_t max) override;
+
+  private:
+    std::vector<std::uint8_t> raw_; ///< decompressed encoded stream
+    util::ByteReader reader_{nullptr, 0};
+    std::uint64_t remaining_ = 0;
+    Tick tick_ = 0; ///< delta-decode accumulators
+    Addr addr_ = 0;
+};
+
+/**
+ * Open the right reader for @p path: ".csv" streams as CSV, anything
+ * else as binary. @return nullptr (with @p error set when non-null)
+ * when the file cannot be opened or its header is invalid.
+ */
+std::unique_ptr<TraceReader> openTraceReader(const std::string &path,
+                                             std::string *error);
+
+} // namespace mocktails::mem
+
+#endif // MOCKTAILS_MEM_TRACE_READER_HPP

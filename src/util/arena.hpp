@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A chunked bump allocator for long-lived flat data structures.
+ *
+ * Profiles hold thousands of Markov chains; giving each chain its own
+ * nest of heap vectors scatters the hot sampling data across the heap
+ * and pays a malloc header per row. An Arena hands out pointer-bumped
+ * blocks from a few large chunks instead: allocation is a pointer
+ * add, everything a structure owns lives contiguously, and the whole
+ * lot is freed at once when the arena dies. No per-object destructors
+ * run — arenas are for trivially-destructible payloads only.
+ */
+
+#ifndef MOCKTAILS_UTIL_ARENA_HPP
+#define MOCKTAILS_UTIL_ARENA_HPP
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace mocktails::util
+{
+
+/**
+ * Bump allocator over heap chunks. Move-only; memory is released only
+ * when the arena is destroyed (or clear()ed). Pointers stay valid
+ * across further allocations and across moves of the arena.
+ */
+class Arena
+{
+  public:
+    /** @param chunk_bytes Default size of each backing chunk. */
+    explicit Arena(std::size_t chunk_bytes = 4096)
+        : chunk_bytes_(chunk_bytes)
+    {}
+
+    Arena(Arena &&) = default;
+    Arena &operator=(Arena &&) = default;
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /**
+     * Allocate @p bytes with @p align alignment (power of two).
+     * Oversized requests get an exact-fit chunk of their own.
+     */
+    void *
+    allocate(std::size_t bytes, std::size_t align)
+    {
+        assert((align & (align - 1)) == 0 && "alignment power of two");
+        std::size_t at = alignUp(used_, align);
+        if (at + bytes > capacity_) {
+            addChunk(bytes + align);
+            at = alignUp(used_, align);
+        }
+        used_ = at + bytes;
+        return current_ + at;
+    }
+
+    /** Typed allocation of @p count default-constructible Ts. */
+    template <typename T>
+    T *
+    allocate(std::size_t count)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena memory runs no destructors");
+        auto *p = static_cast<T *>(
+            allocate(count * sizeof(T), alignof(T)));
+        for (std::size_t i = 0; i < count; ++i)
+            new (p + i) T();
+        return p;
+    }
+
+    /**
+     * Ensure the next allocations of up to @p bytes (including any
+     * alignment padding the caller accounted for) are carved from one
+     * contiguous chunk — used to exact-size a structure's storage so
+     * small arenas carry no slack.
+     */
+    void
+    reserve(std::size_t bytes)
+    {
+        if (used_ + bytes > capacity_)
+            addChunk(bytes);
+    }
+
+    /** Bytes handed out (excluding chunk slack). */
+    std::size_t bytesUsed() const { return total_used_ + used_; }
+
+    /** Bytes reserved from the heap. */
+    std::size_t bytesReserved() const { return total_reserved_; }
+
+    /** Drop every chunk; all outstanding pointers become invalid. */
+    void
+    clear()
+    {
+        chunks_.clear();
+        current_ = nullptr;
+        used_ = capacity_ = 0;
+        total_used_ = total_reserved_ = 0;
+    }
+
+  private:
+    static std::size_t
+    alignUp(std::size_t n, std::size_t align)
+    {
+        return (n + align - 1) & ~(align - 1);
+    }
+
+    void
+    addChunk(std::size_t at_least)
+    {
+        const std::size_t size = std::max(chunk_bytes_, at_least);
+        chunks_.push_back(std::make_unique<std::uint8_t[]>(size));
+        total_used_ += used_;
+        total_reserved_ += size;
+        current_ = chunks_.back().get();
+        used_ = 0;
+        capacity_ = size;
+    }
+
+    std::size_t chunk_bytes_;
+    std::vector<std::unique_ptr<std::uint8_t[]>> chunks_;
+    std::uint8_t *current_ = nullptr;
+    std::size_t used_ = 0;
+    std::size_t capacity_ = 0;
+    std::size_t total_used_ = 0;
+    std::size_t total_reserved_ = 0;
+};
+
+} // namespace mocktails::util
+
+#endif // MOCKTAILS_UTIL_ARENA_HPP

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * An open-addressing map from 64-bit keys to 32-bit indices.
+ *
+ * The Markov chain interning loop (value -> state index) is the
+ * hottest lookup during profile fitting; std::unordered_map pays a
+ * node allocation per state and a pointer chase per probe. This map
+ * keeps keys and values in two flat power-of-two arrays with linear
+ * probing — the FlatSet64 recipe (same splitmix64 mix, same 0.7 load
+ * factor) extended with a value column. Insert-only, which is all the
+ * interning needs. Keys are arbitrary (every int64 is valid): empty
+ * slots are marked in the value column, which stores indices biased
+ * by one.
+ */
+
+#ifndef MOCKTAILS_UTIL_FLAT_MAP_HPP
+#define MOCKTAILS_UTIL_FLAT_MAP_HPP
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mocktails::util
+{
+
+/**
+ * Insert-only hash map int64 -> uint32. Values must be below
+ * 0xffffffff (the bias-by-one empty marker needs one spare value).
+ */
+class FlatMap64
+{
+  public:
+    /** find() result when the key is absent. */
+    static constexpr std::uint32_t kNotFound = 0xffffffffu;
+
+    /** @param expected Sizing hint; the map grows as needed. */
+    explicit FlatMap64(std::size_t expected = 0)
+    {
+        keys_.resize(capacityFor(expected), 0);
+        vals_.assign(keys_.size(), 0);
+        mask_ = keys_.size() - 1;
+    }
+
+    /**
+     * Insert @p key -> @p value when the key is absent.
+     * @return true when newly inserted (false leaves the map as-is).
+     * @pre value < kNotFound.
+     */
+    bool
+    insert(std::int64_t key, std::uint32_t value)
+    {
+        assert(value < kNotFound && "reserved value");
+        const auto raw = static_cast<std::uint64_t>(key);
+        std::size_t i = static_cast<std::size_t>(mix(raw)) & mask_;
+        while (vals_[i] != 0) {
+            if (keys_[i] == raw)
+                return false;
+            i = (i + 1) & mask_;
+        }
+        keys_[i] = raw;
+        vals_[i] = value + 1;
+        ++size_;
+        // Keep the load factor under ~0.7 so probe runs stay short.
+        if (size_ * 10 > keys_.size() * 7)
+            grow();
+        return true;
+    }
+
+    /** Value stored for @p key, or kNotFound. */
+    std::uint32_t
+    find(std::int64_t key) const
+    {
+        const auto raw = static_cast<std::uint64_t>(key);
+        std::size_t i = static_cast<std::size_t>(mix(raw)) & mask_;
+        while (vals_[i] != 0) {
+            if (keys_[i] == raw)
+                return vals_[i] - 1;
+            i = (i + 1) & mask_;
+        }
+        return kNotFound;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Remove every entry, keeping the allocation. */
+    void
+    clear()
+    {
+        std::fill(vals_.begin(), vals_.end(), 0);
+        size_ = 0;
+    }
+
+  private:
+    /** splitmix64 finalizer: full-avalanche mix of the key. */
+    static std::uint64_t
+    mix(std::uint64_t x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+    static std::size_t
+    capacityFor(std::size_t expected)
+    {
+        std::size_t capacity = 64;
+        // Headroom so `expected` inserts stay under the growth load.
+        while (capacity * 7 < expected * 10)
+            capacity *= 2;
+        return capacity;
+    }
+
+    void
+    grow()
+    {
+        std::vector<std::uint64_t> old_keys;
+        std::vector<std::uint32_t> old_vals;
+        old_keys.swap(keys_);
+        old_vals.swap(vals_);
+        keys_.resize(old_keys.size() * 2, 0);
+        vals_.assign(keys_.size(), 0);
+        mask_ = keys_.size() - 1;
+        for (std::size_t j = 0; j < old_keys.size(); ++j) {
+            if (old_vals[j] == 0)
+                continue;
+            std::size_t i =
+                static_cast<std::size_t>(mix(old_keys[j])) & mask_;
+            while (vals_[i] != 0)
+                i = (i + 1) & mask_;
+            keys_[i] = old_keys[j];
+            vals_[i] = old_vals[j];
+        }
+    }
+
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint32_t> vals_;
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace mocktails::util
+
+#endif // MOCKTAILS_UTIL_FLAT_MAP_HPP

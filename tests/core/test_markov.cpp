@@ -4,7 +4,10 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <vector>
+
+#include "core/mcc.hpp"
 
 namespace
 {
@@ -149,8 +152,10 @@ TEST(MarkovChain, FromPartsRoundTrip)
         states.push_back(original.stateValue(i));
     std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>>
         transitions;
-    for (std::size_t i = 0; i < original.numStates(); ++i)
-        transitions.push_back(original.transitions(i));
+    for (std::size_t i = 0; i < original.numStates(); ++i) {
+        const TransitionView row = original.transitions(i);
+        transitions.emplace_back(row.begin(), row.end());
+    }
 
     const MarkovChain rebuilt = MarkovChain::fromParts(
         states, original.initialState(), original.valueCounts(),
@@ -169,6 +174,88 @@ TEST(StrictConvergence, SameSeedSameOutput)
     std::vector<std::int64_t> seq = {1, 2, 3, 1, 2, 3, 2, 1, 3, 3};
     MarkovChain chain(seq);
     EXPECT_EQ(generateAll(chain, 42), generateAll(chain, 42));
+}
+
+TEST(MarkovChain, ArenaCopyIsDeep)
+{
+    // The CSR transition storage lives in a per-chain arena; copies
+    // must rebuild it rather than alias the source (ASan would flag a
+    // shallow copy once the original dies).
+    std::vector<std::int64_t> seq = {7, 8, 7, 9, 8, 7, 7, 9};
+    auto original = std::make_unique<MarkovChain>(seq);
+    MarkovChain copy = *original;
+    MarkovChain assigned;
+    assigned = *original;
+    original.reset();
+
+    EXPECT_EQ(copy.numStates(), 3u);
+    EXPECT_EQ(assigned.numStates(), 3u);
+    EXPECT_EQ(multiset(generateAll(copy, 1)), multiset(seq));
+    EXPECT_EQ(multiset(generateAll(assigned, 2)), multiset(seq));
+}
+
+TEST(MarkovChain, BuilderMatchesEagerConstruction)
+{
+    const std::vector<std::int64_t> seq = {4, 4, 2, 4, 2, 2, 8, 4, 8};
+    MarkovChainBuilder builder;
+    for (const std::int64_t v : seq)
+        builder.add(v);
+    EXPECT_EQ(builder.length(), seq.size());
+    const MarkovChain incremental = builder.finish();
+    const MarkovChain eager(seq);
+
+    ASSERT_EQ(incremental.numStates(), eager.numStates());
+    EXPECT_EQ(incremental.initialState(), eager.initialState());
+    EXPECT_EQ(incremental.valueCounts(), eager.valueCounts());
+    for (std::size_t s = 0; s < eager.numStates(); ++s) {
+        EXPECT_EQ(incremental.stateValue(s), eager.stateValue(s));
+        const TransitionView a = incremental.transitions(s);
+        const TransitionView b = eager.transitions(s);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t k = 0; k < a.size(); ++k)
+            EXPECT_EQ(a[k], b[k]) << "state " << s << " slot " << k;
+    }
+    // The builder resets for reuse.
+    builder.add(1);
+    builder.add(1);
+    const MarkovChain second = builder.finish();
+    EXPECT_EQ(second.numStates(), 1u);
+    EXPECT_EQ(second.sequenceLength(), 2u);
+}
+
+TEST(MarkovChain, ArenaRoundTripThroughEncodeDecode)
+{
+    // fromParts -> encodePayload -> decodePayload must reproduce the
+    // CSR layout exactly (this is the profile wire path).
+    std::vector<std::int64_t> seq = {5, 6, 5, 7, 6, 5, 5, 7, 6};
+    const MarkovModel model{MarkovChain(seq)};
+    util::ByteWriter writer;
+    model.encodePayload(writer);
+    util::ByteReader reader(writer.bytes());
+    const FeatureModelPtr decoded = MarkovModel::decodePayload(reader);
+    ASSERT_NE(decoded, nullptr);
+    ASSERT_EQ(decoded->tag(), MarkovModel::kTag);
+    const MarkovChain &rebuilt =
+        static_cast<const MarkovModel &>(*decoded).chain();
+
+    const MarkovChain &chain = model.chain();
+    ASSERT_EQ(rebuilt.numStates(), chain.numStates());
+    EXPECT_EQ(rebuilt.initialState(), chain.initialState());
+    EXPECT_EQ(rebuilt.valueCounts(), chain.valueCounts());
+    EXPECT_EQ(rebuilt.transitionCount(), chain.transitionCount());
+    for (std::size_t s = 0; s < chain.numStates(); ++s) {
+        EXPECT_EQ(rebuilt.stateValue(s), chain.stateValue(s));
+        EXPECT_EQ(rebuilt.transitionOffset(s), chain.transitionOffset(s));
+        const TransitionView a = rebuilt.transitions(s);
+        const TransitionView b = chain.transitions(s);
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t k = 0; k < a.size(); ++k)
+            EXPECT_EQ(a[k], b[k]);
+    }
+    // And re-encoding produces identical bytes.
+    util::ByteWriter again;
+    decoded->encodePayload(again);
+    EXPECT_EQ(again.bytes(), writer.bytes());
 }
 
 } // namespace

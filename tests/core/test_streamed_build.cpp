@@ -1,0 +1,249 @@
+#include "core/streamed_build.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/model_generator.hpp"
+#include "mem/trace_reader.hpp"
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::core;
+
+/**
+ * A trace with every structure the partitioners care about: dense
+ * clusters (merged regions), strided lonely requests (run grouping),
+ * isolated stragglers (leftovers), bursty and quiet stretches (cycle
+ * windows of varying population) and mixed ops/sizes.
+ */
+mem::Trace
+makeTrace(std::size_t n, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    mem::Trace trace("streamed-test", "GPU");
+    mem::Tick tick = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        tick += static_cast<mem::Tick>(rng.below(400));
+        mem::Addr addr;
+        switch (rng.below(4)) {
+          case 0: // dense cluster: overlapping/adjacent ranges
+            addr = 0x10000 + rng.below(64) * 32;
+            break;
+          case 1: // second cluster
+            addr = 0x40000 + rng.below(32) * 64;
+            break;
+          case 2: // strided lonely requests
+            addr = 0x100000 + rng.below(512) * 0x1000;
+            break;
+          default: // scattered stragglers
+            addr = 0x1000000 + rng.below(1u << 20) * 0x200;
+            break;
+        }
+        const std::uint32_t size = 16u << rng.below(4);
+        const mem::Op op =
+            rng.chance(0.3) ? mem::Op::Write : mem::Op::Read;
+        trace.add(tick, addr, size, op);
+    }
+    return trace;
+}
+
+std::vector<PartitionConfig>
+streamableConfigs()
+{
+    return {
+        PartitionConfig{},                        // flat: one leaf
+        PartitionConfig{{{PartitionLayer::Kind::TemporalRequestCount,
+                          1000}}},                // temporal only
+        PartitionConfig{{{PartitionLayer::Kind::SpatialDynamic, 0}}},
+        PartitionConfig::twoLevelTs(50000),       // cycles + dynamic
+        PartitionConfig::twoLevelTsByRequests(700),
+        PartitionConfig::twoLevelTsFixed(700, 4096),
+        // three temporal layers then dynamic spatial
+        PartitionConfig{{{PartitionLayer::Kind::TemporalCycleCount,
+                          200000},
+                         {PartitionLayer::Kind::TemporalRequestCount,
+                          300},
+                         {PartitionLayer::Kind::TemporalCycleCount,
+                          20000},
+                         {PartitionLayer::Kind::SpatialDynamic, 0}}},
+    };
+}
+
+void
+expectProfilesIdentical(const Profile &expected, const Profile &actual,
+                        const std::string &context)
+{
+    ASSERT_EQ(expected.leaves.size(), actual.leaves.size()) << context;
+    const std::vector<std::uint8_t> a = expected.encode();
+    const std::vector<std::uint8_t> b = actual.encode();
+    EXPECT_EQ(a, b) << context << ": encoded profiles differ";
+}
+
+TEST(StreamedBuild, MatchesInMemoryAcrossChunksAndThreads)
+{
+    const mem::Trace trace = makeTrace(5000, 0xfeed);
+    const std::size_t chunks[] = {1, 4093, trace.size()};
+    const unsigned thread_counts[] = {1, 4};
+
+    for (const PartitionConfig &config : streamableConfigs()) {
+        ASSERT_TRUE(canStreamConfig(config)) << config.describe();
+        const Profile expected = buildProfile(trace, config);
+        for (const std::size_t chunk : chunks) {
+            for (const unsigned threads : thread_counts) {
+                mem::MemoryTraceReader reader(trace);
+                StreamedBuildOptions options;
+                options.chunkRequests = chunk;
+                options.threads = threads;
+                std::string error;
+                const Profile actual = buildProfileStreamed(
+                    reader, config, options, &error);
+                ASSERT_TRUE(error.empty()) << error;
+                expectProfilesIdentical(
+                    expected, actual,
+                    config.describe() + " chunk=" +
+                        std::to_string(chunk) + " threads=" +
+                        std::to_string(threads));
+            }
+        }
+    }
+}
+
+TEST(StreamedBuild, CarriesTraceMetadata)
+{
+    const mem::Trace trace = makeTrace(100, 1);
+    mem::MemoryTraceReader reader(trace);
+    std::string error;
+    const Profile profile = buildProfileStreamed(
+        reader, PartitionConfig::twoLevelTs(), {}, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    EXPECT_EQ(profile.name, "streamed-test");
+    EXPECT_EQ(profile.device, "GPU");
+}
+
+TEST(StreamedBuild, EmptyTraceYieldsEmptyProfile)
+{
+    const mem::Trace trace("empty", "CPU");
+    for (const PartitionConfig &config : streamableConfigs()) {
+        mem::MemoryTraceReader reader(trace);
+        std::string error;
+        const Profile profile =
+            buildProfileStreamed(reader, config, {}, &error);
+        ASSERT_TRUE(error.empty()) << error;
+        EXPECT_TRUE(profile.leaves.empty()) << config.describe();
+        const Profile expected = buildProfile(trace, config);
+        expectProfilesIdentical(expected, profile, config.describe());
+    }
+}
+
+TEST(StreamedBuild, ChunkBoundarySplittingRegionStillMatches)
+{
+    // A single dynamic region whose member ranges straddle every chunk
+    // boundary: requests 0..99 all merge into one region through
+    // overlapping 64B ranges at 32B strides. With chunk=7 the sorted
+    // runs each hold fragments of the region; the k-way merge must
+    // reassemble it exactly.
+    mem::Trace trace("split", "NPU");
+    for (std::size_t i = 0; i < 100; ++i) {
+        trace.add(static_cast<mem::Tick>(i * 10),
+                  0x8000 + (99 - i) * 32, 64,
+                  i % 2 != 0 ? mem::Op::Write : mem::Op::Read);
+    }
+    // NB: addresses descend over time, so ranges sort opposite to time
+    // order — exercising the local-index tiebreak as well.
+    const PartitionConfig config{
+        {{PartitionLayer::Kind::SpatialDynamic, 0}}};
+    const Profile expected = buildProfile(trace, config);
+    ASSERT_EQ(expected.leaves.size(), 1u);
+
+    for (const std::size_t chunk : {std::size_t(1), std::size_t(7)}) {
+        mem::MemoryTraceReader reader(trace);
+        StreamedBuildOptions options;
+        options.chunkRequests = chunk;
+        std::string error;
+        const Profile actual =
+            buildProfileStreamed(reader, config, options, &error);
+        ASSERT_TRUE(error.empty()) << error;
+        expectProfilesIdentical(expected, actual,
+                                "chunk=" + std::to_string(chunk));
+    }
+}
+
+TEST(StreamedBuild, UnwritableSpillDirFailsLoudly)
+{
+    const mem::Trace trace = makeTrace(50, 2);
+    mem::MemoryTraceReader reader(trace);
+    StreamedBuildOptions options;
+    options.spillDir = "/proc/no-such-dir/spill";
+    std::string error;
+    const Profile profile = buildProfileStreamed(
+        reader, PartitionConfig::twoLevelTs(), options, &error);
+    EXPECT_TRUE(profile.leaves.empty());
+    ASSERT_FALSE(error.empty());
+    EXPECT_NE(error.find("/proc/no-such-dir/spill"), std::string::npos)
+        << error;
+}
+
+TEST(StreamedBuild, OutOfOrderTraceFailsLoudly)
+{
+    mem::Trace trace("backwards", "CPU");
+    trace.requests().push_back({100, 0x1000, 64, mem::Op::Read});
+    trace.requests().push_back({50, 0x2000, 64, mem::Op::Read});
+    mem::MemoryTraceReader reader(trace);
+    std::string error;
+    const Profile profile = buildProfileStreamed(
+        reader, PartitionConfig::twoLevelTs(), {}, &error);
+    EXPECT_TRUE(profile.leaves.empty());
+    EXPECT_NE(error.find("not time-ordered"), std::string::npos)
+        << error;
+}
+
+TEST(StreamedBuild, RejectsUnstreamableConfigs)
+{
+    // Spatial above temporal: the subsets handed to the temporal layer
+    // are address-ordered, which streaming cannot reproduce.
+    EXPECT_FALSE(canStreamConfig(PartitionConfig{
+        {{PartitionLayer::Kind::SpatialDynamic, 0},
+         {PartitionLayer::Kind::TemporalRequestCount, 100}}}));
+    // Two spatial layers.
+    EXPECT_FALSE(canStreamConfig(PartitionConfig{
+        {{PartitionLayer::Kind::SpatialFixed, 4096},
+         {PartitionLayer::Kind::SpatialDynamic, 0}}}));
+    // Degenerate interval values (the in-memory path asserts).
+    EXPECT_FALSE(canStreamConfig(PartitionConfig{
+        {{PartitionLayer::Kind::TemporalRequestCount, 0}}}));
+    EXPECT_FALSE(canStreamConfig(
+        PartitionConfig{{{PartitionLayer::Kind::SpatialFixed, 0}}}));
+
+    const mem::Trace trace = makeTrace(10, 3);
+    mem::MemoryTraceReader reader(trace);
+    std::string error;
+    const Profile profile = buildProfileStreamed(
+        reader,
+        PartitionConfig{{{PartitionLayer::Kind::SpatialDynamic, 0},
+                         {PartitionLayer::Kind::TemporalRequestCount,
+                          100}}},
+        {}, &error);
+    EXPECT_TRUE(profile.leaves.empty());
+    EXPECT_NE(error.find("not streamable"), std::string::npos) << error;
+}
+
+TEST(StreamedBuild, MaxMemoryBoundDerivesChunk)
+{
+    // A byte bound instead of an explicit chunk must still build the
+    // identical profile (the bound only sizes internal buffers).
+    const mem::Trace trace = makeTrace(3000, 4);
+    const PartitionConfig config = PartitionConfig::twoLevelTs(50000);
+    const Profile expected = buildProfile(trace, config);
+    mem::MemoryTraceReader reader(trace);
+    StreamedBuildOptions options;
+    options.maxMemoryBytes = 1 << 20; // 1 MB: tiny but valid
+    std::string error;
+    const Profile actual =
+        buildProfileStreamed(reader, config, options, &error);
+    ASSERT_TRUE(error.empty()) << error;
+    expectProfilesIdentical(expected, actual, "maxMemoryBytes");
+}
+
+} // namespace

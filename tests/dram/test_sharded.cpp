@@ -164,7 +164,7 @@ TEST(Sharded, OverloadAbortsAndRecordsStream)
     EXPECT_FALSE(run.completed);
     // The recorded stream lets the caller replay the coupled path.
     EXPECT_EQ(run.recorded.size(), trace.size());
-    EXPECT_EQ(run.recorded[0], trace[0]);
+    EXPECT_EQ(run.recorded.get(0), trace[0]);
 }
 
 TEST(Sharded, ForcedShardedModeFallsBackUnderOverload)

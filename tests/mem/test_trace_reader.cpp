@@ -1,0 +1,220 @@
+#include "mem/trace_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "mem/trace_io.hpp"
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::mem;
+
+class TraceReaderTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        for (const std::string &path : files_)
+            std::remove(path.c_str());
+    }
+
+    std::string
+    tempPath(const std::string &suffix)
+    {
+        const std::string path =
+            ::testing::TempDir() + "trace_reader_" +
+            std::to_string(files_.size()) + suffix;
+        files_.push_back(path);
+        return path;
+    }
+
+  private:
+    std::vector<std::string> files_;
+};
+
+Trace
+makeTrace(std::size_t n)
+{
+    util::Rng rng(7);
+    Trace trace("reader-test", "DSP");
+    mem::Tick tick = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        tick += rng.below(100);
+        trace.add(tick, 0x1000 + rng.below(1 << 16) * 4,
+                  static_cast<std::uint32_t>(4 << rng.below(5)),
+                  rng.chance(0.5) ? Op::Write : Op::Read);
+    }
+    return trace;
+}
+
+/** Drain @p reader in chunks of @p chunk into one trace. */
+Trace
+drain(TraceReader &reader, std::size_t chunk)
+{
+    Trace out(reader.name(), reader.device());
+    RequestBatch batch;
+    while (reader.read(batch, chunk) > 0)
+        batch.appendTo(out);
+    return out;
+}
+
+void
+expectSameRequests(const Trace &expected, const Trace &actual)
+{
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(expected[i].tick, actual[i].tick) << i;
+        EXPECT_EQ(expected[i].addr, actual[i].addr) << i;
+        EXPECT_EQ(expected[i].size, actual[i].size) << i;
+        EXPECT_EQ(expected[i].op, actual[i].op) << i;
+    }
+}
+
+TEST_F(TraceReaderTest, MemoryReaderStreamsWholeTrace)
+{
+    const Trace trace = makeTrace(1000);
+    for (const std::size_t chunk : {std::size_t(1), std::size_t(64),
+                                    std::size_t(5000)}) {
+        MemoryTraceReader reader(trace);
+        EXPECT_EQ(reader.sizeHint(), trace.size());
+        const Trace copy = drain(reader, chunk);
+        EXPECT_EQ(copy.name(), "reader-test");
+        EXPECT_EQ(copy.device(), "DSP");
+        expectSameRequests(trace, copy);
+    }
+}
+
+TEST_F(TraceReaderTest, CsvReaderMatchesLoadTraceCsv)
+{
+    const Trace trace = makeTrace(500);
+    const std::string path = tempPath(".csv");
+    ASSERT_TRUE(saveTraceCsv(trace, path));
+
+    Trace loaded;
+    ASSERT_TRUE(loadTraceCsv(path, loaded));
+
+    std::string error;
+    auto reader = openTraceReader(path, &error);
+    ASSERT_NE(reader, nullptr) << error;
+    const Trace streamed = drain(*reader, 77);
+    ASSERT_TRUE(reader->error().empty()) << reader->error();
+    expectSameRequests(loaded, streamed);
+}
+
+TEST_F(TraceReaderTest, BinaryReaderMatchesLoadTrace)
+{
+    const Trace trace = makeTrace(500);
+    const std::string path = tempPath(".mkt");
+    ASSERT_TRUE(saveTrace(trace, path));
+
+    std::string error;
+    auto reader = openTraceReader(path, &error);
+    ASSERT_NE(reader, nullptr) << error;
+    EXPECT_EQ(reader->name(), "reader-test");
+    EXPECT_EQ(reader->device(), "DSP");
+    EXPECT_EQ(reader->sizeHint(), trace.size());
+    const Trace streamed = drain(*reader, 33);
+    ASSERT_TRUE(reader->error().empty()) << reader->error();
+    expectSameRequests(trace, streamed);
+}
+
+TEST_F(TraceReaderTest, MissingFileFailsLoudly)
+{
+    std::string error;
+    EXPECT_EQ(openTraceReader("/no/such/file.csv", &error), nullptr);
+    EXPECT_NE(error.find("/no/such/file.csv"), std::string::npos);
+    error.clear();
+    EXPECT_EQ(openTraceReader("/no/such/file.mkt", &error), nullptr);
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(TraceReaderTest, CorruptCsvRowStopsWithDiagnostic)
+{
+    const std::string path = tempPath(".csv");
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("tick,addr,op,size\n", f);
+    std::fputs("10,0x1000,R,64\n", f);
+    std::fputs("20,0x2000,X,64\n", f); // bad op on line 3
+    std::fclose(f);
+
+    std::string error;
+    auto reader = openTraceReader(path, &error);
+    ASSERT_NE(reader, nullptr) << error;
+    RequestBatch batch;
+    EXPECT_EQ(reader->read(batch, 1), 1u); // first row is fine
+    EXPECT_EQ(reader->read(batch, 10), 0u);
+    EXPECT_NE(reader->error().find(":3:"), std::string::npos)
+        << reader->error();
+}
+
+TEST_F(TraceReaderTest, CorruptBinaryFailsLoudly)
+{
+    const std::string path = tempPath(".mkt");
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a trace", f);
+    std::fclose(f);
+    std::string error;
+    EXPECT_EQ(openTraceReader(path, &error), nullptr);
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(TraceReaderTest, EmptyTraceRoundTrips)
+{
+    const Trace trace("empty", "CPU");
+    const std::string bin = tempPath(".mkt");
+    ASSERT_TRUE(saveTrace(trace, bin));
+    std::string error;
+    auto reader = openTraceReader(bin, &error);
+    ASSERT_NE(reader, nullptr) << error;
+    RequestBatch batch;
+    EXPECT_EQ(reader->read(batch, 16), 0u);
+    EXPECT_TRUE(reader->error().empty());
+}
+
+TEST(RequestBatchTest, RoundTripsRequestsAndTraces)
+{
+    RequestBatch batch;
+    EXPECT_TRUE(batch.empty());
+    batch.push(10, 0x100, 64, Op::Read);
+    batch.push(Request{20, 0x200, 32, Op::Write});
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch.get(0).tick, 10u);
+    EXPECT_EQ(batch.get(1).op, Op::Write);
+    EXPECT_EQ(batch.end(1), 0x220u);
+
+    Trace trace("t", "d");
+    batch.appendTo(trace);
+    ASSERT_EQ(trace.size(), 2u);
+
+    const RequestBatch copy = RequestBatch::fromTrace(trace);
+    ASSERT_EQ(copy.size(), 2u);
+    EXPECT_EQ(copy.get(0).addr, 0x100u);
+    EXPECT_EQ(copy.get(1).size, 32u);
+}
+
+TEST(RequestBatchTest, BatchSourceReplaysLikeTraceSource)
+{
+    Trace trace("t", "d");
+    trace.add(5, 0x40, 16, Op::Read);
+    trace.add(9, 0x80, 16, Op::Write);
+    const RequestBatch batch = RequestBatch::fromTrace(trace);
+    BatchSource source(batch);
+    Request r;
+    ASSERT_TRUE(source.next(r));
+    EXPECT_EQ(r.tick, 5u);
+    ASSERT_TRUE(source.next(r));
+    EXPECT_EQ(r.addr, 0x80u);
+    EXPECT_FALSE(source.next(r));
+    source.reset();
+    ASSERT_TRUE(source.next(r));
+    EXPECT_EQ(r.tick, 5u);
+}
+
+} // namespace

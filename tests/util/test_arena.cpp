@@ -1,0 +1,108 @@
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "util/flat_map.hpp"
+
+namespace
+{
+
+using namespace mocktails::util;
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint)
+{
+    Arena arena(256);
+    auto *a = arena.allocate<std::uint64_t>(4);
+    auto *b = arena.allocate<std::uint32_t>(3);
+    auto *c = arena.allocate<std::uint64_t>(2);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % alignof(std::uint64_t),
+              0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % alignof(std::uint64_t),
+              0u);
+    // Write through every pointer; ASan/UBSan catch overlap or OOB.
+    for (int i = 0; i < 4; ++i)
+        a[i] = 0x1111111111111111ull * static_cast<unsigned>(i + 1);
+    for (int i = 0; i < 3; ++i)
+        b[i] = 0x22222222u;
+    for (int i = 0; i < 2; ++i)
+        c[i] = 0x3333333333333333ull;
+    EXPECT_EQ(a[3], 0x4444444444444444ull);
+    EXPECT_EQ(b[0], 0x22222222u);
+    EXPECT_EQ(c[1], 0x3333333333333333ull);
+}
+
+TEST(Arena, OversizedAllocationGetsOwnChunk)
+{
+    Arena arena(64);
+    auto *big = arena.allocate<std::uint8_t>(1000);
+    ASSERT_NE(big, nullptr);
+    std::memset(big, 0xab, 1000);
+    EXPECT_EQ(big[999], 0xab);
+    EXPECT_GE(arena.bytesReserved(), 1000u);
+}
+
+TEST(Arena, ReserveKeepsAllocationContiguous)
+{
+    Arena arena(64);
+    arena.reserve(4096);
+    auto *p = arena.allocate<std::uint8_t>(4096);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0x5a, 4096);
+    EXPECT_EQ(p[4095], 0x5a);
+}
+
+TEST(Arena, MoveTransfersOwnership)
+{
+    Arena arena(128);
+    auto *p = arena.allocate<std::uint64_t>(8);
+    p[7] = 42;
+    Arena moved(std::move(arena));
+    EXPECT_EQ(p[7], 42u); // storage survives the move
+    auto *q = moved.allocate<std::uint64_t>(1);
+    *q = 7;
+    EXPECT_EQ(*q, 7u);
+}
+
+TEST(ArenaFlatMap, InsertAndFind)
+{
+    FlatMap64 map;
+    EXPECT_EQ(map.find(123), FlatMap64::kNotFound);
+    EXPECT_TRUE(map.insert(123, 0));
+    EXPECT_FALSE(map.insert(123, 99)); // duplicate keeps first value
+    EXPECT_EQ(map.find(123), 0u);
+    EXPECT_EQ(map.find(-123), FlatMap64::kNotFound);
+}
+
+TEST(ArenaFlatMap, HandlesGrowthAndNegativeKeys)
+{
+    FlatMap64 map;
+    std::vector<std::int64_t> keys;
+    for (std::int64_t i = 0; i < 5000; ++i)
+        keys.push_back((i % 2 != 0 ? -1 : 1) * (i * 977 + 3));
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        ASSERT_TRUE(map.insert(keys[i], static_cast<std::uint32_t>(i)));
+    EXPECT_EQ(map.size(), keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        ASSERT_EQ(map.find(keys[i]), i) << keys[i];
+    EXPECT_EQ(map.find(0x7fffffffffffffffll), FlatMap64::kNotFound);
+}
+
+TEST(ArenaFlatMap, ClearEmptiesWithoutShrinking)
+{
+    FlatMap64 map;
+    for (std::int64_t i = 0; i < 100; ++i)
+        map.insert(i, static_cast<std::uint32_t>(i));
+    map.clear();
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.find(5), FlatMap64::kNotFound);
+    EXPECT_TRUE(map.insert(5, 77));
+    EXPECT_EQ(map.find(5), 77u);
+}
+
+} // namespace
