@@ -7,11 +7,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
 #include "core/model_generator.hpp"
 #include "core/partition.hpp"
 #include "core/synthesis.hpp"
 #include "dram/simulate.hpp"
 #include "mem/trace_io.hpp"
+#include "sampling/sampled_validate.hpp"
+#include "validation/validate.hpp"
 #include "workloads/devices.hpp"
 
 namespace
@@ -149,6 +155,77 @@ BM_TraceEncode(benchmark::State &state)
         benchmark::DoNotOptimize(mem::encodeTrace(sharedTrace()));
 }
 BENCHMARK(BM_TraceEncode);
+
+// The sampled-validation A/B: a streaming workload big enough that
+// simulation, not clustering, dominates full validation.
+const mem::Trace &
+validationTrace()
+{
+    static const mem::Trace trace =
+        workloads::makeFbcLinear(400000, 1, 1);
+    return trace;
+}
+
+const core::Profile &
+validationProfile()
+{
+    static const core::Profile profile = core::buildProfile(
+        validationTrace(), core::PartitionConfig::twoLevelTs());
+    return profile;
+}
+
+void
+BM_ValidateFull(benchmark::State &state)
+{
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(validation::validateProfile(
+            validationTrace(), validationProfile()));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(validationTrace().size()));
+}
+BENCHMARK(BM_ValidateFull);
+
+void
+BM_ValidateSampled(benchmark::State &state)
+{
+    sampling::SampledValidationOptions options;
+    options.sampling.k = 8;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sampling::validateProfileSampled(
+            validationTrace(), validationProfile(), options));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(validationTrace().size()));
+
+    // One timed A/B outside the loop feeds the CI trend counters:
+    // the speedup over full validation and the worst extrapolation
+    // delta against it (which must stay within the reported bound).
+    using Clock = std::chrono::steady_clock;
+    const auto t0 = Clock::now();
+    const validation::ValidationReport full =
+        validation::validateProfile(validationTrace(),
+                                    validationProfile());
+    const auto t1 = Clock::now();
+    const sampling::SampledValidationReport sampled =
+        sampling::validateProfileSampled(validationTrace(),
+                                         validationProfile(), options);
+    const auto t2 = Clock::now();
+    const double full_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double sampled_ms =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    const sampling::BoundsCheck check =
+        sampling::checkAgainstFull(sampled, full);
+    state.counters["validate_speedup"] =
+        sampled_ms > 0.0 ? full_ms / sampled_ms : 0.0;
+    state.counters["sampled_error_pct"] = check.worstDeltaPercent;
+    state.counters["error_bound_pct"] = check.boundPercent;
+    state.counters["bound_ok"] = check.passed ? 1.0 : 0.0;
+}
+BENCHMARK(BM_ValidateSampled);
 
 void
 BM_DramSimulation(benchmark::State &state)

@@ -41,6 +41,8 @@
 #include "dram/simulate.hpp"
 #include "dram/stats_dump.hpp"
 #include "obs/trace_event.hpp"
+#include "sampling/representative.hpp"
+#include "sampling/sampled_validate.hpp"
 #include "scenario/engine.hpp"
 #include "scenario/serve.hpp"
 #include "serve/client.hpp"
@@ -85,7 +87,9 @@ usage()
         "  export   <trace.mkt> <out.csv|out.ram|out.ds3>\n"
         "  simulate <file.mkt|file.mkp> [--gem5-stats]\n"
         "  compare  <a.mkt|a.mkp> <b.mkt|b.mkp>\n"
-        "  validate <trace.mkt> [profile.mkp]\n"
+        "  validate <trace.mkt> [profile.mkp] [--sampled[=K]]\n"
+        "           [--check-bounds] [--min-speedup N]\n"
+        "  reduce   <in.mkp> <out.mkp> [--k N] [--seed N]\n"
         "  trace    <file.mkt|file.mkp> <out.json|out.bin>\n"
         "  serve    <profile.mkp|mix.scn>... [--port P]\n"
         "           [--port-file PATH] [--once N] [--record PATH]\n"
@@ -116,6 +120,17 @@ usage()
         "           to PATH (JSON) and PATH-derived .md (markdown)\n"
         "validate with only a trace profiles it with the default\n"
         "  hierarchy first (exercises the whole pipeline)\n"
+        "validate --sampled clusters the hierarchy leaves by memory-\n"
+        "  behaviour signature and simulates one representative per\n"
+        "  cluster, extrapolating the metrics by cluster weight\n"
+        "  (=K fixes the cluster count; default picks it by\n"
+        "  silhouette); --check-bounds re-runs the full validation\n"
+        "  and fails (exit 5) when a sampled metric leaves the\n"
+        "  reported error bound; --min-speedup N also requires the\n"
+        "  sampled run to be N times faster\n"
+        "reduce writes a valid .mkp holding only the representative\n"
+        "  leaves plus a weights side-table; it loads and serves\n"
+        "  anywhere a full profile does\n"
         "build streams the trace in chunks (CSV input never loads\n"
         "  whole); with --max-memory-mb or --spill-dir it builds the\n"
         "  profile out of core — partial partitions spill to disk\n"
@@ -165,6 +180,82 @@ simOptions()
     dram::SimulationOptions options;
     options.threads = g_threads;
     return options;
+}
+
+/** Parse a non-negative integer flag value; exits with usage error. */
+bool
+parseUnsigned(const char *flag, const char *text, std::uint64_t &out)
+{
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || text[0] == '-') {
+        std::fprintf(stderr,
+                     "profile_tool: %s expects a non-negative "
+                     "integer, got '%s'\n",
+                     flag, text);
+        return false;
+    }
+    out = n;
+    return true;
+}
+
+/** Levenshtein distance, for unknown-flag suggestions. */
+std::size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t up = row[j];
+            const std::size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+            row[j] =
+                std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+            diag = up;
+        }
+    }
+    return row[b.size()];
+}
+
+/**
+ * Reject an unknown @p command flag, suggesting the closest of the
+ * subcommand's @p known flags (every subcommand exits 2 here).
+ */
+int
+unknownFlag(const char *command, const char *flag,
+            const char *const *known, std::size_t count)
+{
+    const std::string given = flag;
+    const char *best = nullptr;
+    std::size_t best_distance = 5; // only suggest close matches
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t d = editDistance(given, known[i]);
+        if (d < best_distance) {
+            best_distance = d;
+            best = known[i];
+        }
+    }
+    if (best != nullptr)
+        std::fprintf(stderr,
+                     "profile_tool: unknown %s flag '%s' "
+                     "(did you mean '%s'?)\n",
+                     command, flag, best);
+    else
+        std::fprintf(stderr,
+                     "profile_tool: unknown %s flag '%s'\n", command,
+                     flag);
+    return 2;
+}
+
+template <std::size_t N>
+int
+unknownFlag(const char *command, const char *flag,
+            const char *const (&known)[N])
+{
+    return unknownFlag(command, flag, known, N);
 }
 
 mem::Trace
@@ -292,6 +383,15 @@ cmdInfo(const std::string &path)
         print_census("stride", s.stride);
         print_census("op", s.op);
         print_census("size", s.size);
+        core::Profile ignored;
+        sampling::ReducedWeights weights;
+        if (sampling::loadReducedProfile(path, ignored, weights)) {
+            std::printf("  reduced:   %zu representatives standing in "
+                        "for %llu requests\n",
+                        weights.entries.size(),
+                        static_cast<unsigned long long>(
+                            weights.totalRequests));
+        }
         return 0;
     }
     std::fprintf(stderr,
@@ -380,10 +480,104 @@ markdownPathFor(const std::string &path)
     return path + ".md";
 }
 
+/**
+ * The attribution drill-down shared by both validate paths. When a
+ * representative @p set is given (sampled runs), the markdown gains a
+ * per-cluster ranking on top of the per-leaf table.
+ */
 int
-cmdValidate(const std::string &trace_path,
-            const std::string &profile_path)
+writeAttribution(const mem::Trace &trace, const core::Profile &profile,
+                 std::uint64_t seed,
+                 const sampling::RepresentativeSet *set)
 {
+    validation::AttributionOptions attr_options;
+    attr_options.seed = seed;
+    attr_options.threads = g_threads;
+    const validation::AttributionReport attribution =
+        validation::attributeErrors(trace, profile, attr_options);
+    const std::string md_path = markdownPathFor(g_attribution_path);
+    if (!validation::saveAttribution(attribution,
+                                     g_attribution_path)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     g_attribution_path.c_str());
+        return 1;
+    }
+    std::string markdown =
+        validation::attributionToMarkdown(attribution);
+    std::size_t clusters = 0;
+    if (set != nullptr) {
+        const std::vector<sampling::ClusterAttribution> rows =
+            sampling::attributeClusters(attribution, *set);
+        clusters = rows.size();
+        markdown += "\n## Clusters (ranked worst-first)\n\n";
+        markdown += sampling::clusterAttributionToMarkdown(rows);
+    }
+    std::FILE *f = std::fopen(md_path.c_str(), "w");
+    if (f == nullptr ||
+        std::fwrite(markdown.data(), 1, markdown.size(), f) !=
+            markdown.size() ||
+        std::fclose(f) != 0) {
+        if (f != nullptr)
+            std::fclose(f);
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     md_path.c_str());
+        return 1;
+    }
+    if (set != nullptr)
+        std::printf("attribution: %zu leaves in %zu clusters ranked "
+                    "-> %s, %s\n",
+                    attribution.leaves.size(), clusters,
+                    g_attribution_path.c_str(), md_path.c_str());
+    else
+        std::printf("attribution: %zu leaves ranked -> %s, %s\n",
+                    attribution.leaves.size(),
+                    g_attribution_path.c_str(), md_path.c_str());
+    return 0;
+}
+
+int
+cmdValidate(int argc, char **argv)
+{
+    bool sampled = false;
+    bool check_bounds = false;
+    std::uint64_t sampled_k = 0;
+    std::uint64_t min_speedup = 0;
+    std::vector<const char *> positional;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--sampled", 9) == 0 &&
+            (argv[i][9] == '\0' || argv[i][9] == '=')) {
+            sampled = true;
+            if (argv[i][9] == '=' &&
+                !parseUnsigned("--sampled", argv[i] + 10, sampled_k))
+                return 2;
+        } else if (std::strcmp(argv[i], "--check-bounds") == 0) {
+            check_bounds = true;
+        } else if (std::strcmp(argv[i], "--min-speedup") == 0 &&
+                   i + 1 < argc) {
+            if (!parseUnsigned("--min-speedup", argv[++i],
+                               min_speedup))
+                return 2;
+        } else if (argv[i][0] == '-') {
+            static const char *const kFlags[] = {"--sampled",
+                                                 "--check-bounds",
+                                                 "--min-speedup"};
+            return unknownFlag("validate", argv[i], kFlags);
+        } else {
+            positional.push_back(argv[i]);
+        }
+    }
+    if (positional.empty() || positional.size() > 2)
+        return usage();
+    if ((check_bounds || min_speedup > 0) && !sampled) {
+        std::fprintf(stderr,
+                     "profile_tool: --check-bounds/--min-speedup "
+                     "need --sampled\n");
+        return 2;
+    }
+    const std::string trace_path = positional[0];
+    const std::string profile_path =
+        positional.size() == 2 ? positional[1] : "";
+
     mem::Trace trace;
     if (!mem::loadTrace(trace_path, trace)) {
         std::fprintf(stderr, "error: cannot read %s\n",
@@ -406,50 +600,176 @@ cmdValidate(const std::string &trace_path,
         std::fprintf(stderr, "error: %s\n", error.c_str());
         return 1;
     }
-    const validation::ValidationReport report =
-        validation::validateProfile(trace, profile, options);
-    std::fputs(validation::formatReport(report).c_str(), stdout);
+
+    if (!sampled) {
+        const validation::ValidationReport report =
+            validation::validateProfile(trace, profile, options);
+        std::fputs(validation::formatReport(report).c_str(), stdout);
+        if (!g_report_json_path.empty() &&
+            !validation::saveReportJson(report, g_report_json_path)) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         g_report_json_path.c_str());
+            return 1;
+        }
+        if (!g_attribution_path.empty()) {
+            const int rc = writeAttribution(trace, profile,
+                                            options.seed, nullptr);
+            if (rc != 0)
+                return rc;
+        }
+        return report.passed ? 0 : 3;
+    }
+
+    // --sampled: cluster the leaves, simulate one medoid per cluster,
+    // extrapolate by weight. --check-bounds re-runs the full path and
+    // asserts the sampled errors stay within the predicted bound (the
+    // CI smoke); --min-speedup N additionally requires the sampled
+    // wall clock to beat the full one N-fold. Both fail with exit 5.
+    sampling::SampledValidationOptions soptions;
+    soptions.base = options;
+    soptions.sampling.k = static_cast<std::uint32_t>(sampled_k);
+    soptions.sampling.threads = g_threads;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const sampling::SampledValidationReport report =
+        sampling::validateProfileSampled(trace, profile, soptions);
+    const double sampled_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    std::fputs(sampling::formatSampledReport(report).c_str(), stdout);
 
     if (!g_report_json_path.empty() &&
-        !validation::saveReportJson(report, g_report_json_path)) {
+        !sampling::saveSampledReportJson(report, g_report_json_path)) {
         std::fprintf(stderr, "error: cannot write %s\n",
                      g_report_json_path.c_str());
         return 1;
     }
-
     if (!g_attribution_path.empty()) {
-        // Drill down: which leaves of the hierarchy carry the error.
-        validation::AttributionOptions attr_options;
-        attr_options.seed = options.seed;
-        attr_options.threads = g_threads;
-        const validation::AttributionReport attribution =
-            validation::attributeErrors(trace, profile, attr_options);
-        const std::string md_path =
-            markdownPathFor(g_attribution_path);
-        if (!validation::saveAttribution(attribution,
-                                         g_attribution_path)) {
-            std::fprintf(stderr, "error: cannot write %s\n",
-                         g_attribution_path.c_str());
-            return 1;
-        }
-        const std::string markdown =
-            validation::attributionToMarkdown(attribution);
-        std::FILE *f = std::fopen(md_path.c_str(), "w");
-        if (f == nullptr ||
-            std::fwrite(markdown.data(), 1, markdown.size(), f) !=
-                markdown.size() ||
-            std::fclose(f) != 0) {
-            if (f != nullptr)
-                std::fclose(f);
-            std::fprintf(stderr, "error: cannot write %s\n",
-                         md_path.c_str());
-            return 1;
-        }
-        std::printf("attribution: %zu leaves ranked -> %s, %s\n",
-                    attribution.leaves.size(),
-                    g_attribution_path.c_str(), md_path.c_str());
+        const int rc = writeAttribution(trace, profile, options.seed,
+                                        report.matched ? &report.set
+                                                       : nullptr);
+        if (rc != 0)
+            return rc;
     }
-    return report.passed ? 0 : 3;
+
+    if (check_bounds || min_speedup > 0) {
+        const auto t1 = std::chrono::steady_clock::now();
+        const validation::ValidationReport full =
+            validation::validateProfile(trace, profile, options);
+        const double full_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t1)
+                .count();
+        bool ok = true;
+        if (check_bounds) {
+            const sampling::BoundsCheck check =
+                sampling::checkAgainstFull(report, full);
+            for (const std::string &line : check.lines)
+                std::printf("  %s\n", line.c_str());
+            std::printf("bounds check: worst delta %.2f%% %s bound "
+                        "%.2f%% -> %s\n",
+                        check.worstDeltaPercent,
+                        check.passed ? "<=" : ">", check.boundPercent,
+                        check.passed ? "PASS" : "FAIL");
+            ok = ok && check.passed;
+        }
+        const double speedup =
+            sampled_ms > 0.0 ? full_ms / sampled_ms : 0.0;
+        std::printf("speedup: full %.0f ms / sampled %.0f ms = "
+                    "%.1fx\n",
+                    full_ms, sampled_ms, speedup);
+        if (min_speedup > 0 &&
+            speedup < static_cast<double>(min_speedup)) {
+            std::printf("speedup check: %.1fx < required %llux -> "
+                        "FAIL\n",
+                        speedup,
+                        static_cast<unsigned long long>(min_speedup));
+            ok = false;
+        }
+        if (!ok)
+            return 5;
+    }
+    return report.report.passed ? 0 : 3;
+}
+
+/**
+ * `reduce`: persist the representative selection as a reduced .mkp —
+ * only the medoid leaves plus the weights side-table trailer. The file
+ * stays a valid profile: info/synth/serve load it unchanged.
+ */
+int
+cmdReduce(int argc, char **argv)
+{
+    std::uint64_t k = 0;
+    std::uint64_t seed = 1;
+    std::vector<const char *> positional;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--k") == 0 && i + 1 < argc) {
+            if (!parseUnsigned("--k", argv[++i], k))
+                return 2;
+        } else if (std::strcmp(argv[i], "--seed") == 0 &&
+                   i + 1 < argc) {
+            if (!parseUnsigned("--seed", argv[++i], seed))
+                return 2;
+        } else if (argv[i][0] == '-') {
+            static const char *const kFlags[] = {"--k", "--seed"};
+            return unknownFlag("reduce", argv[i], kFlags);
+        } else {
+            positional.push_back(argv[i]);
+        }
+    }
+    if (positional.size() != 2)
+        return usage();
+
+    core::Profile profile;
+    std::string error;
+    if (!core::loadProfile(positional[0], profile, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    if (profile.leaves.empty()) {
+        std::fprintf(stderr, "error: %s has no leaves to reduce\n",
+                     positional[0]);
+        return 1;
+    }
+
+    sampling::SamplingOptions options;
+    options.k = static_cast<std::uint32_t>(k);
+    options.seed = seed;
+    options.threads = g_threads;
+    const sampling::RepresentativeSet set =
+        sampling::selectRepresentatives(profile, options);
+    const core::Profile reduced =
+        sampling::makeReducedProfile(profile, set);
+    if (!sampling::saveReducedProfile(reduced, set, positional[1],
+                                      &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+
+    const std::uint64_t kept = set.representativeRequests();
+    std::printf("reduced %zu leaves -> %u representatives "
+                "(silhouette %.3f, bound +/-%.1f%%)\n",
+                profile.leaves.size(), set.k, set.meanSilhouette,
+                set.errorBoundPercent);
+    std::printf("requests: %llu full, %llu representative (%.1fx)\n",
+                static_cast<unsigned long long>(set.totalRequests),
+                static_cast<unsigned long long>(kept),
+                kept > 0 ? static_cast<double>(set.totalRequests) /
+                               static_cast<double>(kept)
+                         : 0.0);
+    std::printf("%8s %8s %8s %12s %9s %8s\n", "cluster", "medoid",
+                "leaves", "requests", "weight", "bound");
+    for (std::size_t c = 0; c < set.clusters.size(); ++c) {
+        const sampling::ClusterInfo &info = set.clusters[c];
+        std::printf("%8zu %8u %8zu %12llu %9.2f %7.1f%%\n", c,
+                    info.medoidLeaf, info.members.size(),
+                    static_cast<unsigned long long>(info.requests),
+                    info.weight, info.errorBoundPercent);
+    }
+    std::printf("wrote %s\n", positional[1]);
+    return 0;
 }
 
 int
@@ -560,23 +880,6 @@ cmdCompare(const std::string &path_a, const std::string &path_b)
     return 0;
 }
 
-/** Parse a non-negative integer flag value; exits with usage error. */
-bool
-parseUnsigned(const char *flag, const char *text, std::uint64_t &out)
-{
-    char *end = nullptr;
-    const unsigned long long n = std::strtoull(text, &end, 10);
-    if (end == text || *end != '\0' || text[0] == '-') {
-        std::fprintf(stderr,
-                     "profile_tool: %s expects a non-negative "
-                     "integer, got '%s'\n",
-                     flag, text);
-        return false;
-    }
-    out = n;
-    return true;
-}
-
 /**
  * `build`: trace -> profile like `profile`, but through the chunked
  * TraceReader front end, with an optional out-of-core mode.
@@ -606,10 +909,9 @@ cmdBuild(int argc, char **argv)
             spill_dir = argv[++i];
             streamed = true;
         } else if (argv[i][0] == '-') {
-            std::fprintf(stderr,
-                         "profile_tool: unknown build flag '%s'\n",
-                         argv[i]);
-            return usage();
+            static const char *const kFlags[] = {"--max-memory-mb",
+                                                 "--spill-dir"};
+            return unknownFlag("build", argv[i], kFlags);
         } else {
             positional.push_back(argv[i]);
         }
@@ -709,10 +1011,9 @@ cmdServe(int argc, char **argv)
                    i + 1 < argc) {
             record_path = argv[++i];
         } else if (argv[i][0] == '-') {
-            std::fprintf(stderr,
-                         "profile_tool: unknown serve flag '%s'\n",
-                         argv[i]);
-            return 2;
+            static const char *const kFlags[] = {"--port", "--port-file",
+                                                 "--once", "--record"};
+            return unknownFlag("serve", argv[i], kFlags);
         } else {
             paths.push_back(argv[i]);
         }
@@ -855,10 +1156,10 @@ cmdReplay(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--inject-mismatch") == 0) {
             inject_mismatch = true;
         } else if (argv[i][0] == '-') {
-            std::fprintf(stderr,
-                         "profile_tool: unknown replay flag '%s'\n",
-                         argv[i]);
-            return 2;
+            static const char *const kFlags[] = {"--timing", "--loadgen",
+                                                 "--export-jsonl",
+                                                 "--inject-mismatch"};
+            return unknownFlag("replay", argv[i], kFlags);
         } else if (rec_path.empty()) {
             rec_path = argv[i];
         } else if (endpoint.empty()) {
@@ -1026,27 +1327,6 @@ cmdFetch(const std::string &endpoint, const std::string &id,
     return 0;
 }
 
-/** Levenshtein distance, for scenario-flag suggestions. */
-std::size_t
-editDistance(const std::string &a, const std::string &b)
-{
-    std::vector<std::size_t> row(b.size() + 1);
-    for (std::size_t j = 0; j <= b.size(); ++j)
-        row[j] = j;
-    for (std::size_t i = 1; i <= a.size(); ++i) {
-        std::size_t diag = row[0];
-        row[0] = i;
-        for (std::size_t j = 1; j <= b.size(); ++j) {
-            const std::size_t up = row[j];
-            const std::size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
-            row[j] =
-                std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
-            diag = up;
-        }
-    }
-    return row[b.size()];
-}
-
 /** Reject an unknown scenario flag, suggesting the closest known one. */
 int
 unknownScenarioFlag(const char *flag)
@@ -1054,26 +1334,7 @@ unknownScenarioFlag(const char *flag)
     static const char *const kFlags[] = {"--report-json", "--report-md",
                                          "--merged-out",
                                          "--skip-isolated"};
-    const std::string given = flag;
-    const char *best = nullptr;
-    std::size_t best_distance = 5; // only suggest close matches
-    for (const char *known : kFlags) {
-        const std::size_t d = editDistance(given, known);
-        if (d < best_distance) {
-            best_distance = d;
-            best = known;
-        }
-    }
-    if (best != nullptr)
-        std::fprintf(stderr,
-                     "profile_tool: unknown scenario flag '%s' "
-                     "(did you mean '%s'?)\n",
-                     flag, best);
-    else
-        std::fprintf(stderr,
-                     "profile_tool: unknown scenario flag '%s'\n",
-                     flag);
-    return 2;
+    return unknownFlag("scenario", flag, kFlags);
 }
 
 int
@@ -1249,8 +1510,10 @@ dispatch(int argc, char **argv)
     }
     if (command == "compare" && argc == 4)
         return cmdCompare(argv[2], argv[3]);
-    if (command == "validate" && (argc == 3 || argc == 4))
-        return cmdValidate(argv[2], argc == 4 ? argv[3] : "");
+    if (command == "validate" && argc >= 3)
+        return cmdValidate(argc - 2, argv + 2);
+    if (command == "reduce" && argc >= 3)
+        return cmdReduce(argc - 2, argv + 2);
     if (command == "trace" && argc == 4)
         return cmdTrace(argv[2], argv[3]);
     if (command == "serve" && argc >= 3)
@@ -1276,10 +1539,14 @@ dispatch(int argc, char **argv)
         bool mux = false;
         std::vector<const char *> args;
         for (int i = 2; i < argc; ++i) {
-            if (std::strcmp(argv[i], "--mux") == 0)
+            if (std::strcmp(argv[i], "--mux") == 0) {
                 mux = true;
-            else
+            } else if (argv[i][0] == '-') {
+                static const char *const kFlags[] = {"--mux"};
+                return unknownFlag("fetch", argv[i], kFlags);
+            } else {
                 args.push_back(argv[i]);
+            }
         }
         if (args.size() >= 3 && args.size() <= 5) {
             const std::uint64_t seed =
@@ -1297,8 +1564,8 @@ dispatch(int argc, char **argv)
     // end here: say which it was on stderr, then fail with usage.
     static const char *const kCommands[] = {
         "generate", "profile",  "build", "synth", "info",  "export",
-        "simulate", "compare",  "validate", "trace", "serve",
-        "fetch",    "replay",   "stats", "scenario"};
+        "simulate", "compare",  "validate", "reduce", "trace",
+        "serve",    "fetch",    "replay",   "stats", "scenario"};
     bool known = false;
     for (const char *name : kCommands)
         known = known || command == name;

@@ -30,14 +30,17 @@ done
 # ServeRecorder*/ServeReplay* the flight recorder attached to a live
 # server and the record->replay loop, StreamedBuild*/Arena* the
 # out-of-core profile builder (spill I/O, k-way merge, parallel
-# segment fitting) and the arena/flat-map storage under ASan/UBSan.
+# segment fitting) and the arena/flat-map storage, and
+# KMeans*/Representative*/SampledValidate* the parallel clustering
+# and per-cluster substrate sims behind sampled validation, all
+# under ASan/UBSan.
 # Skipped under --fast, which never builds the sanitize preset.
 if [ "$PRESETS" != "default" ]; then
     for threads in 1 4; do
         echo "== sanitize serve sweep: $threads thread(s) =="
         MOCKTAILS_SERVE_TEST_THREADS="$threads" \
             build-sanitize/tests/mocktails_tests \
-            --gtest_filter='ServeServer*:ServeMux*:*PollerBackends*:WakePipe*:Scenario*:ServeRecorder*:ServeReplay*:StreamedBuild*:Arena*' \
+            --gtest_filter='ServeServer*:ServeMux*:*PollerBackends*:WakePipe*:Scenario*:ServeRecorder*:ServeReplay*:StreamedBuild*:Arena*:KMeans*:Representative*:SampledValidate*' \
             --gtest_brief=1
     done
 fi

@@ -1,0 +1,283 @@
+#include "sampling/feature_vector.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "core/mcc.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mocktails::sampling
+{
+
+namespace
+{
+
+double
+log2p1(double x)
+{
+    return std::log2(1.0 + (x < 0.0 ? 0.0 : x));
+}
+
+/** Shannon entropy (bits) of a count distribution. */
+double
+countEntropy(const std::vector<std::uint64_t> &counts)
+{
+    double total = 0.0;
+    for (const std::uint64_t c : counts)
+        total += static_cast<double>(c);
+    if (total <= 0.0)
+        return 0.0;
+    double h = 0.0;
+    for (const std::uint64_t c : counts) {
+        if (c == 0)
+            continue;
+        const double p = static_cast<double>(c) / total;
+        h -= p * std::log2(p);
+    }
+    return h;
+}
+
+/** Distribution summary of one feature model (null-safe). */
+struct ModelStats
+{
+    double mean = 0.0;    ///< value-count weighted mean
+    double meanAbs = 0.0; ///< weighted mean of |value|
+    double entropy = 0.0; ///< value-distribution entropy (bits)
+    /// Count-weighted mean transition-row entropy (Markov only).
+    double transitionEntropy = 0.0;
+};
+
+ModelStats
+modelStats(const core::FeatureModel *model)
+{
+    ModelStats s;
+    if (model == nullptr)
+        return s;
+    if (const auto *constant =
+            dynamic_cast<const core::ConstantModel *>(model)) {
+        s.mean = static_cast<double>(constant->value());
+        s.meanAbs = std::abs(s.mean);
+        return s;
+    }
+    const auto *markov = dynamic_cast<const core::MarkovModel *>(model);
+    if (markov == nullptr)
+        return s; // custom model (e.g. STM baseline): neutral stats
+    const core::MarkovChain &chain = markov->chain();
+    const std::vector<std::uint64_t> &counts = chain.valueCounts();
+    double total = 0.0;
+    for (std::size_t i = 0; i < chain.numStates(); ++i) {
+        const auto weight = static_cast<double>(counts[i]);
+        const auto value = static_cast<double>(chain.stateValue(i));
+        s.mean += weight * value;
+        s.meanAbs += weight * std::abs(value);
+        total += weight;
+    }
+    if (total > 0.0) {
+        s.mean /= total;
+        s.meanAbs /= total;
+    }
+    s.entropy = countEntropy(counts);
+
+    // Markov entropy: how unpredictable the next value is given the
+    // current one, averaged over states by how often each is visited.
+    double weighted_h = 0.0;
+    for (std::size_t from = 0; from < chain.numStates(); ++from) {
+        const core::TransitionView row = chain.transitions(from);
+        double row_total = 0.0;
+        for (const core::Transition &t : row)
+            row_total += static_cast<double>(t.second);
+        if (row_total <= 0.0)
+            continue;
+        double row_h = 0.0;
+        for (const core::Transition &t : row) {
+            if (t.second == 0)
+                continue;
+            const double p = static_cast<double>(t.second) / row_total;
+            row_h -= p * std::log2(p);
+        }
+        weighted_h += static_cast<double>(counts[from]) * row_h;
+    }
+    if (total > 0.0)
+        s.transitionEntropy = weighted_h / total;
+    return s;
+}
+
+} // namespace
+
+const char *
+featureName(std::size_t i)
+{
+    static const char *const names[kFeatureDims] = {
+        "footprint", "volume",  "op_mix",  "size",    "stride",
+        "stride_mix", "tempo",  "delta_h", "revisit", "reuse_gap"};
+    return i < kFeatureDims ? names[i] : "?";
+}
+
+FeatureVector
+leafSignature(const core::LeafModel &leaf)
+{
+    FeatureVector x;
+    const double span =
+        static_cast<double>(leaf.addrHi - leaf.addrLo);
+    const auto count = static_cast<double>(leaf.count);
+    const ModelStats delta = modelStats(leaf.deltaTime.get());
+    const ModelStats stride = modelStats(leaf.stride.get());
+    const ModelStats op = modelStats(leaf.op.get());
+    const ModelStats size = modelStats(leaf.size.get());
+
+    x[0] = log2p1(span);
+    x[1] = log2p1(count);
+    x[2] = 1.0 - op.mean; // op values: Read=0, Write=1
+    x[3] = log2p1(size.mean);
+    x[4] = log2p1(stride.meanAbs);
+    x[5] = stride.entropy;
+    x[6] = log2p1(delta.mean);
+    x[7] = delta.transitionEntropy;
+
+    // Reuse, estimated from the model: the leaf touches at most
+    // span/64 distinct 64B blocks with `count` requests. A revisit
+    // ratio near 1 means streaming, near 0 means a hot set.
+    const double blocks = std::max(1.0, span / 64.0);
+    x[8] = count > 0.0 ? std::min(1.0, blocks / count) : 1.0;
+    x[9] = log2p1(count / blocks);
+    return x;
+}
+
+FeatureVector
+batchSignature(const mem::RequestBatch &batch, std::size_t begin,
+               std::size_t end)
+{
+    FeatureVector x;
+    if (end > batch.size())
+        end = batch.size();
+    if (begin >= end)
+        return x;
+    const std::size_t n = end - begin;
+
+    mem::Addr lo = batch.addrs[begin];
+    mem::Addr hi = batch.end(begin);
+    std::uint64_t reads = 0;
+    double size_sum = 0.0;
+    double stride_abs_sum = 0.0;
+    double delta_sum = 0.0;
+    // Deterministic accumulation: std::map iterates values in order,
+    // so the entropy floating-point sums are stable.
+    std::map<std::int64_t, std::uint64_t> stride_counts;
+    std::map<mem::Addr, std::size_t> last_touch; // 64B block -> row
+    std::uint64_t reuse_events = 0;
+    double reuse_gap_sum = 0.0;
+
+    for (std::size_t i = begin; i < end; ++i) {
+        lo = std::min(lo, batch.addrs[i]);
+        hi = std::max(hi, batch.end(i));
+        reads += batch.ops[i] == mem::Op::Read ? 1 : 0;
+        size_sum += static_cast<double>(batch.sizes[i]);
+        if (i > begin) {
+            const auto stride =
+                static_cast<std::int64_t>(batch.addrs[i]) -
+                static_cast<std::int64_t>(batch.addrs[i - 1]);
+            ++stride_counts[stride];
+            stride_abs_sum += std::abs(static_cast<double>(stride));
+            delta_sum += static_cast<double>(batch.ticks[i] -
+                                             batch.ticks[i - 1]);
+        }
+        const mem::Addr block = batch.addrs[i] >> 6;
+        const auto it = last_touch.find(block);
+        if (it != last_touch.end()) {
+            ++reuse_events;
+            reuse_gap_sum += static_cast<double>(i - it->second);
+            it->second = i;
+        } else {
+            last_touch.emplace(block, i);
+        }
+    }
+
+    const auto dn = static_cast<double>(n);
+    x[0] = log2p1(static_cast<double>(hi - lo));
+    x[1] = log2p1(dn);
+    x[2] = static_cast<double>(reads) / dn;
+    x[3] = log2p1(size_sum / dn);
+    if (n > 1) {
+        x[4] = log2p1(stride_abs_sum / static_cast<double>(n - 1));
+        x[6] = log2p1(delta_sum / static_cast<double>(n - 1));
+    }
+    std::vector<std::uint64_t> counts;
+    counts.reserve(stride_counts.size());
+    for (const auto &entry : stride_counts)
+        counts.push_back(entry.second);
+    x[5] = countEntropy(counts);
+    // No fitted chain here; the measured stride entropy doubles as the
+    // unpredictability signal for raw intervals.
+    x[7] = x[5];
+    x[8] = std::min(1.0, static_cast<double>(last_touch.size()) / dn);
+    x[9] = reuse_events > 0
+               ? log2p1(reuse_gap_sum /
+                        static_cast<double>(reuse_events))
+               : 0.0;
+    return x;
+}
+
+std::vector<FeatureVector>
+profileSignatures(const core::Profile &profile, unsigned threads)
+{
+    std::vector<FeatureVector> out(profile.leaves.size());
+    util::parallelFor(
+        profile.leaves.size(),
+        [&](std::size_t i) { out[i] = leafSignature(profile.leaves[i]); },
+        threads);
+    return out;
+}
+
+Standardizer
+Standardizer::fit(const std::vector<FeatureVector> &points)
+{
+    Standardizer s;
+    if (points.empty())
+        return s;
+    const auto n = static_cast<double>(points.size());
+    for (std::size_t d = 0; d < kFeatureDims; ++d) {
+        double sum = 0.0;
+        for (const FeatureVector &p : points)
+            sum += p[d];
+        s.mean[d] = sum / n;
+        double var = 0.0;
+        for (const FeatureVector &p : points) {
+            const double delta = p[d] - s.mean[d];
+            var += delta * delta;
+        }
+        const double stddev = std::sqrt(var / n);
+        s.invStddev[d] = stddev > 1e-12 ? 1.0 / stddev : 0.0;
+    }
+    return s;
+}
+
+FeatureVector
+Standardizer::apply(const FeatureVector &x) const
+{
+    FeatureVector out;
+    for (std::size_t d = 0; d < kFeatureDims; ++d)
+        out[d] = (x[d] - mean[d]) * invStddev[d];
+    return out;
+}
+
+std::vector<FeatureVector>
+Standardizer::applyAll(const std::vector<FeatureVector> &points) const
+{
+    std::vector<FeatureVector> out(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        out[i] = apply(points[i]);
+    return out;
+}
+
+double
+distance2(const FeatureVector &a, const FeatureVector &b)
+{
+    double sum = 0.0;
+    for (std::size_t d = 0; d < kFeatureDims; ++d) {
+        const double delta = a[d] - b[d];
+        sum += delta * delta;
+    }
+    return sum;
+}
+
+} // namespace mocktails::sampling

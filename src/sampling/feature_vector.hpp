@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Memory-behaviour signatures of profile leaves and request intervals.
+ *
+ * Representative-interval sampling (after "Memory Access Vectors" and
+ * the cache-interval representativeness work in PAPERS.md) clusters
+ * units of work by a compact feature signature and simulates only one
+ * representative per cluster. This module computes those signatures:
+ * a fixed-length FeatureVector summarising footprint, volume, op mix,
+ * size, stride mix, tempo, Markov-delta entropy and reuse — extracted
+ * either from a fitted core::LeafModel (no trace needed, so `reduce`
+ * works on a bare .mkp) or measured directly from a mem::RequestBatch
+ * interval of a raw stream.
+ *
+ * Everything here is deterministic: signatures depend only on the
+ * model/batch contents, and profileSignatures() writes one disjoint
+ * slot per leaf, so it is bit-identical at every thread count.
+ */
+
+#ifndef MOCKTAILS_SAMPLING_FEATURE_VECTOR_HPP
+#define MOCKTAILS_SAMPLING_FEATURE_VECTOR_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "mem/request_batch.hpp"
+
+namespace mocktails::sampling
+{
+
+/** Number of dimensions in a signature. */
+constexpr std::size_t kFeatureDims = 10;
+
+/**
+ * One memory-behaviour signature. Dimensions (all deterministic):
+ *
+ *  0 footprint   log2(1 + span bytes [addrHi-addrLo or touched span])
+ *  1 volume      log2(1 + request count)
+ *  2 op mix      read fraction in [0, 1]
+ *  3 size        log2(1 + mean request size)
+ *  4 stride      log2(1 + mean |stride|)
+ *  5 stride mix  entropy of the stride value distribution (bits)
+ *  6 tempo       log2(1 + mean inter-arrival delta)
+ *  7 delta H     Markov-delta entropy: count-weighted mean transition-
+ *                row entropy of the delta-time chain (bits)
+ *  8 revisit     min(1, distinct 64B blocks / requests) — low values
+ *                mean heavy address reuse
+ *  9 reuse gap   log2(1 + mean requests between touches of the same
+ *                64B block) — the reuse-distance summary
+ */
+struct FeatureVector
+{
+    std::array<double, kFeatureDims> v{};
+
+    double operator[](std::size_t i) const { return v[i]; }
+    double &operator[](std::size_t i) { return v[i]; }
+};
+
+/** Human-readable name of dimension @p i (for reports/tests). */
+const char *featureName(std::size_t i);
+
+/**
+ * Signature of one fitted leaf model, computed from the McC models
+ * alone (value/transition distributions), without synthesising.
+ */
+FeatureVector leafSignature(const core::LeafModel &leaf);
+
+/**
+ * Signature of the interval [begin, end) of a raw SoA request stream.
+ * Stride/delta/reuse are measured over the interval's actual rows.
+ */
+FeatureVector batchSignature(const mem::RequestBatch &batch,
+                             std::size_t begin, std::size_t end);
+
+/**
+ * Signatures of every leaf of @p profile, fanned out over the shared
+ * pool (one disjoint slot per leaf — identical at every thread count).
+ */
+std::vector<FeatureVector> profileSignatures(const core::Profile &profile,
+                                             unsigned threads = 0);
+
+/**
+ * Per-dimension z-score normalisation fitted on a signature set, so no
+ * single dimension dominates the clustering distance. Zero-variance
+ * dimensions map to 0 (they carry no clustering information).
+ */
+struct Standardizer
+{
+    std::array<double, kFeatureDims> mean{};
+    std::array<double, kFeatureDims> invStddev{};
+
+    static Standardizer fit(const std::vector<FeatureVector> &points);
+
+    FeatureVector apply(const FeatureVector &x) const;
+
+    std::vector<FeatureVector>
+    applyAll(const std::vector<FeatureVector> &points) const;
+};
+
+/** Squared Euclidean distance between two signatures. */
+double distance2(const FeatureVector &a, const FeatureVector &b);
+
+} // namespace mocktails::sampling
+
+#endif // MOCKTAILS_SAMPLING_FEATURE_VECTOR_HPP

@@ -1,0 +1,264 @@
+#include "sampling/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mocktails::sampling
+{
+
+namespace
+{
+
+/** Nearest centroid of @p x; ties -> the lower index. */
+std::uint32_t
+nearest(const FeatureVector &x,
+        const std::vector<FeatureVector> &centroids)
+{
+    std::uint32_t best = 0;
+    double best_d = distance2(x, centroids[0]);
+    for (std::uint32_t c = 1; c < centroids.size(); ++c) {
+        const double d = distance2(x, centroids[c]);
+        if (d < best_d) {
+            best_d = d;
+            best = c;
+        }
+    }
+    return best;
+}
+
+/** k-means++ seeding: D^2-weighted draws from a seeded Rng. */
+std::vector<FeatureVector>
+seedCentroids(const std::vector<FeatureVector> &points, std::uint32_t k,
+              util::Rng &rng, unsigned threads)
+{
+    const std::size_t n = points.size();
+    std::vector<FeatureVector> centroids;
+    centroids.reserve(k);
+    centroids.push_back(points[rng.below(n)]);
+
+    std::vector<double> dist(n);
+    while (centroids.size() < k) {
+        util::parallelFor(
+            n,
+            [&](std::size_t i) {
+                double best = distance2(points[i], centroids[0]);
+                for (std::size_t c = 1; c < centroids.size(); ++c)
+                    best = std::min(best,
+                                    distance2(points[i], centroids[c]));
+                dist[i] = best;
+            },
+            threads);
+        double total = 0.0;
+        for (const double d : dist) // fixed order: deterministic sum
+            total += d;
+        std::size_t pick;
+        if (total <= 0.0) {
+            // All remaining points coincide with a centroid.
+            pick = rng.below(n);
+        } else {
+            double target = rng.uniform() * total;
+            pick = n - 1;
+            for (std::size_t i = 0; i < n; ++i) {
+                target -= dist[i];
+                if (target < 0.0) {
+                    pick = i;
+                    break;
+                }
+            }
+        }
+        centroids.push_back(points[pick]);
+    }
+    return centroids;
+}
+
+KMeansResult
+clusterOnce(const std::vector<FeatureVector> &points, std::uint32_t k,
+            const KMeansOptions &options)
+{
+    const std::size_t n = points.size();
+    KMeansResult result;
+    result.k = k;
+    result.assignment.assign(n, 0);
+    result.sizes.assign(k, 0);
+
+    util::Rng rng(options.seed);
+    result.centroids = seedCentroids(points, k, rng, options.threads);
+
+    std::vector<std::uint32_t> assignment(n, k); // k = unassigned
+    for (std::uint32_t iter = 0; iter < options.maxIterations; ++iter) {
+        result.iterations = iter + 1;
+
+        // Assignment: one disjoint slot per point.
+        util::parallelFor(
+            n,
+            [&](std::size_t i) {
+                result.assignment[i] = nearest(points[i],
+                                               result.centroids);
+            },
+            options.threads);
+
+        std::fill(result.sizes.begin(), result.sizes.end(), 0);
+        for (const std::uint32_t c : result.assignment)
+            ++result.sizes[c];
+
+        // Empty clusters grab the point farthest from its centroid
+        // (sequential, fixed order -> deterministic).
+        for (std::uint32_t c = 0; c < k; ++c) {
+            if (result.sizes[c] != 0)
+                continue;
+            std::size_t far = 0;
+            double far_d = -1.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                if (result.sizes[result.assignment[i]] <= 1)
+                    continue; // don't empty another cluster
+                const double d = distance2(
+                    points[i], result.centroids[result.assignment[i]]);
+                if (d > far_d) {
+                    far_d = d;
+                    far = i;
+                }
+            }
+            if (far_d < 0.0)
+                continue;
+            --result.sizes[result.assignment[far]];
+            result.assignment[far] = c;
+            result.sizes[c] = 1;
+            result.centroids[c] = points[far];
+        }
+
+        if (assignment == result.assignment)
+            break;
+        assignment = result.assignment;
+
+        // Update: one disjoint centroid per cluster; each cluster
+        // scans the points sequentially in index order, so the mean
+        // is bit-identical at every thread count.
+        util::parallelFor(
+            k,
+            [&](std::size_t c) {
+                if (result.sizes[c] == 0)
+                    return;
+                FeatureVector sum;
+                for (std::size_t i = 0; i < n; ++i) {
+                    if (result.assignment[i] != c)
+                        continue;
+                    for (std::size_t d = 0; d < kFeatureDims; ++d)
+                        sum[d] += points[i][d];
+                }
+                const auto m = static_cast<double>(result.sizes[c]);
+                for (std::size_t d = 0; d < kFeatureDims; ++d)
+                    sum[d] /= m;
+                result.centroids[c] = sum;
+            },
+            options.threads);
+    }
+
+    // Simplified silhouette against the final centroids.
+    if (k >= 2) {
+        std::vector<double> s(n);
+        util::parallelFor(
+            n,
+            [&](std::size_t i) {
+                const std::uint32_t own = result.assignment[i];
+                const double a =
+                    std::sqrt(distance2(points[i],
+                                        result.centroids[own]));
+                double b = -1.0;
+                for (std::uint32_t c = 0; c < k; ++c) {
+                    if (c == own)
+                        continue;
+                    const double d = std::sqrt(
+                        distance2(points[i], result.centroids[c]));
+                    if (b < 0.0 || d < b)
+                        b = d;
+                }
+                const double m = std::max(a, b);
+                s[i] = m > 0.0 ? (b - a) / m : 0.0;
+            },
+            options.threads);
+        double total = 0.0;
+        for (const double v : s)
+            total += v;
+        result.meanSilhouette = total / static_cast<double>(n);
+    }
+    return result;
+}
+
+/** cluster() on the full point set — no subsampling. */
+KMeansResult
+clusterFull(const std::vector<FeatureVector> &points,
+            const KMeansOptions &options)
+{
+    const std::size_t n = points.size();
+    std::uint32_t k = options.k;
+    if (k > 0)
+        return clusterOnce(points, std::min<std::uint32_t>(k, n),
+                           options);
+
+    // Silhouette-guided selection: best mean silhouette wins, ties go
+    // to the smaller k (cheaper and no crisper).
+    const auto max_k = static_cast<std::uint32_t>(
+        std::min<std::size_t>(options.maxK, n));
+    if (max_k < 2) {
+        KMeansOptions one = options;
+        one.k = 1;
+        return clusterOnce(points, 1, one);
+    }
+    KMeansResult best;
+    for (std::uint32_t trial = 2; trial <= max_k; ++trial) {
+        KMeansResult r = clusterOnce(points, trial, options);
+        if (best.k == 0 || r.meanSilhouette > best.meanSilhouette)
+            best = std::move(r);
+    }
+    return best;
+}
+
+} // namespace
+
+KMeansResult
+cluster(const std::vector<FeatureVector> &points,
+        const KMeansOptions &options)
+{
+    const std::size_t n = points.size();
+    if (n == 0)
+        return KMeansResult{};
+
+    if (options.maxFitPoints == 0 || n <= options.maxFitPoints)
+        return clusterFull(points, options);
+
+    // Fit on an every-Nth-point subsample, then assign everything in
+    // one parallel pass. The stride depends only on n and the cap, so
+    // the subsample — and with it every downstream value — is
+    // bit-identical at any thread count.
+    const std::size_t stride =
+        (n + options.maxFitPoints - 1) / options.maxFitPoints;
+    std::vector<FeatureVector> sample;
+    sample.reserve(n / stride + 1);
+    for (std::size_t i = 0; i < n; i += stride)
+        sample.push_back(points[i]);
+
+    KMeansResult fitted = clusterFull(sample, options);
+
+    KMeansResult result;
+    result.k = fitted.k;
+    result.centroids = std::move(fitted.centroids);
+    result.meanSilhouette = fitted.meanSilhouette;
+    result.iterations = fitted.iterations;
+    result.assignment.assign(n, 0);
+    result.sizes.assign(result.k, 0);
+    util::parallelFor(
+        n,
+        [&](std::size_t i) {
+            result.assignment[i] = nearest(points[i],
+                                           result.centroids);
+        },
+        options.threads);
+    for (const std::uint32_t c : result.assignment)
+        ++result.sizes[c];
+    return result;
+}
+
+} // namespace mocktails::sampling

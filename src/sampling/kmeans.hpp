@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic k-means++ clustering with silhouette-guided k.
+ *
+ * The clustering behind representative-interval sampling. Determinism
+ * is the load-bearing property: a seeded util::Rng drives the k-means++
+ * seeding, Lloyd iterations use fixed tie-breaks (lowest cluster index
+ * wins), and both hot loops parallelise over the shared pool with one
+ * disjoint output slot per index — assignment over points, centroid
+ * update over clusters (each cluster scans the points sequentially in
+ * index order, so no reduction-order wobble). The result is therefore
+ * bit-identical across thread counts and across repeated runs with the
+ * same seed.
+ */
+
+#ifndef MOCKTAILS_SAMPLING_KMEANS_HPP
+#define MOCKTAILS_SAMPLING_KMEANS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sampling/feature_vector.hpp"
+
+namespace mocktails::sampling
+{
+
+struct KMeansOptions
+{
+    /** Cluster count; 0 = pick by mean silhouette over [2, maxK]. */
+    std::uint32_t k = 0;
+
+    /** Largest k tried by the silhouette search. */
+    std::uint32_t maxK = 12;
+
+    /** Lloyd iteration cap (normally converges much earlier). */
+    std::uint32_t maxIterations = 64;
+
+    /** Seed for the k-means++ seeding. */
+    std::uint64_t seed = 1;
+
+    /**
+     * Fit cap: above this many points the Lloyd iterations (and the
+     * silhouette search) run on an every-Nth-point subsample with
+     * N = ceil(points / cap), followed by one full assignment pass
+     * against the fitted centroids. The stride depends only on the
+     * point count, so results stay bit-identical across thread
+     * counts. 0 disables subsampling.
+     */
+    std::size_t maxFitPoints = 16384;
+
+    /** Worker threads; 0 = hardware, 1 = sequential. Identical
+     *  results at every count. */
+    unsigned threads = 0;
+};
+
+struct KMeansResult
+{
+    std::uint32_t k = 0;
+
+    /** Cluster of each input point. */
+    std::vector<std::uint32_t> assignment;
+
+    /** k centroids in the input (already standardized) space. */
+    std::vector<FeatureVector> centroids;
+
+    /** Points per cluster. */
+    std::vector<std::uint64_t> sizes;
+
+    /**
+     * Mean simplified silhouette over all points: a(i) = distance to
+     * the own centroid, b(i) = distance to the nearest other centroid,
+     * s(i) = (b - a) / max(a, b). In [-1, 1]; higher = crisper.
+     */
+    double meanSilhouette = 0.0;
+
+    /** Lloyd iterations actually run (of the chosen k). */
+    std::uint32_t iterations = 0;
+};
+
+/**
+ * Cluster @p points (standardize first — see Standardizer).
+ *
+ * With options.k == 0 the cluster count is chosen by running the
+ * clustering for every k in [2, min(maxK, points)] and keeping the
+ * best mean silhouette (ties -> the smaller k). A single point (or
+ * k == 1) degenerates to one cluster holding everything.
+ */
+KMeansResult cluster(const std::vector<FeatureVector> &points,
+                     const KMeansOptions &options = KMeansOptions{});
+
+} // namespace mocktails::sampling
+
+#endif // MOCKTAILS_SAMPLING_KMEANS_HPP

@@ -1,0 +1,316 @@
+#include "sampling/representative.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/codec.hpp"
+#include "util/compress.hpp"
+
+namespace mocktails::sampling
+{
+
+namespace
+{
+
+/** Footer magic closing a reduced-profile weights trailer. */
+constexpr char kWeightsMagic[8] = {'M', 'K', 'S', 'W',
+                                   'G', 'T', '0', '1'};
+constexpr std::size_t kFooterSize = 8 + sizeof(kWeightsMagic);
+constexpr std::uint8_t kWeightsVersion = 1;
+
+void
+putU64le(std::vector<std::uint8_t> &out, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+std::uint64_t
+getU64le(const std::uint8_t *p)
+{
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+        value |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return value;
+}
+
+} // namespace
+
+std::uint64_t
+RepresentativeSet::representativeRequests() const
+{
+    std::uint64_t total = 0;
+    for (const ClusterInfo &c : clusters)
+        total += c.medoidRequests;
+    return total;
+}
+
+RepresentativeSet
+selectRepresentatives(const core::Profile &profile,
+                      const SamplingOptions &options)
+{
+    RepresentativeSet set;
+    set.totalRequests = profile.totalRequests();
+    if (profile.leaves.empty())
+        return set;
+
+    const std::vector<FeatureVector> raw =
+        profileSignatures(profile, options.threads);
+    const Standardizer standardizer = Standardizer::fit(raw);
+    const std::vector<FeatureVector> points =
+        standardizer.applyAll(raw);
+
+    KMeansOptions kopts;
+    kopts.k = options.k;
+    kopts.maxK = options.maxK;
+    kopts.seed = options.seed;
+    kopts.threads = options.threads;
+    const KMeansResult clustering = cluster(points, kopts);
+
+    set.k = clustering.k;
+    set.meanSilhouette = clustering.meanSilhouette;
+    set.clusters.resize(clustering.k);
+
+    for (std::uint32_t c = 0; c < clustering.k; ++c) {
+        ClusterInfo &info = set.clusters[c];
+        // Medoid: the member closest to the centroid; strict < keeps
+        // ties on the lowest index.
+        double best_d = 0.0;
+        bool have = false;
+        for (std::uint32_t i = 0; i < points.size(); ++i) {
+            if (clustering.assignment[i] != c)
+                continue;
+            info.members.push_back(i);
+            info.requests += profile.leaves[i].count;
+            const double d =
+                distance2(points[i], clustering.centroids[c]);
+            if (!have || d < best_d) {
+                best_d = d;
+                info.medoidLeaf = i;
+                have = true;
+            }
+        }
+        if (!have)
+            continue; // empty cluster (k was clamped)
+        info.medoidRequests = profile.leaves[info.medoidLeaf].count;
+        info.weight =
+            info.medoidRequests > 0
+                ? static_cast<double>(info.requests) /
+                      static_cast<double>(info.medoidRequests)
+                : static_cast<double>(info.members.size());
+
+        // Dispersion: request-weighted RMS distance to the medoid in
+        // the standardized signature space.
+        double weighted = 0.0;
+        double total = 0.0;
+        for (const std::uint32_t i : info.members) {
+            const auto w =
+                static_cast<double>(profile.leaves[i].count);
+            weighted +=
+                w * distance2(points[i], points[info.medoidLeaf]);
+            total += w;
+        }
+        info.dispersion =
+            total > 0.0 ? std::sqrt(weighted / total) : 0.0;
+        info.errorBoundPercent = options.boundFloorPercent +
+                                 options.boundSlopePercent *
+                                     info.dispersion;
+    }
+
+    // Drop clusters that ended up empty, then rank by weight: most
+    // requests first, ties on the lower medoid index.
+    set.clusters.erase(
+        std::remove_if(set.clusters.begin(), set.clusters.end(),
+                       [](const ClusterInfo &c) {
+                           return c.members.empty();
+                       }),
+        set.clusters.end());
+    std::stable_sort(set.clusters.begin(), set.clusters.end(),
+                     [](const ClusterInfo &a, const ClusterInfo &b) {
+                         if (a.requests != b.requests)
+                             return a.requests > b.requests;
+                         return a.medoidLeaf < b.medoidLeaf;
+                     });
+    set.k = static_cast<std::uint32_t>(set.clusters.size());
+    for (const ClusterInfo &c : set.clusters)
+        set.errorBoundPercent =
+            std::max(set.errorBoundPercent, c.errorBoundPercent);
+    return set;
+}
+
+namespace
+{
+
+/** Deep-copy one leaf through the feature-model codec. LeafModel
+ * holds unique_ptrs, so the round-trip is the only copy path — but
+ * doing it per leaf keeps reduction O(k), not O(profile size). */
+core::LeafModel
+cloneLeaf(const core::LeafModel &leaf)
+{
+    util::ByteWriter w;
+    core::encodeFeatureModel(w, leaf.deltaTime);
+    core::encodeFeatureModel(w, leaf.stride);
+    core::encodeFeatureModel(w, leaf.op);
+    core::encodeFeatureModel(w, leaf.size);
+
+    core::LeafModel copy;
+    copy.startTime = leaf.startTime;
+    copy.startAddr = leaf.startAddr;
+    copy.addrLo = leaf.addrLo;
+    copy.addrHi = leaf.addrHi;
+    copy.count = leaf.count;
+    util::ByteReader r(w.bytes());
+    bool ok = true;
+    copy.deltaTime = core::decodeFeatureModel(r, ok);
+    copy.stride = core::decodeFeatureModel(r, ok);
+    copy.op = core::decodeFeatureModel(r, ok);
+    copy.size = core::decodeFeatureModel(r, ok);
+    return copy;
+}
+
+} // namespace
+
+core::Profile
+makeReducedProfile(const core::Profile &profile,
+                   const RepresentativeSet &set)
+{
+    core::Profile reduced;
+    reduced.name = profile.name;
+    reduced.device = profile.device;
+    reduced.config = profile.config;
+    reduced.leaves.reserve(set.clusters.size());
+    for (const ClusterInfo &c : set.clusters)
+        reduced.leaves.push_back(
+            cloneLeaf(profile.leaves[c.medoidLeaf]));
+    return reduced;
+}
+
+bool
+saveReducedProfile(const core::Profile &reduced,
+                   const RepresentativeSet &set, const std::string &path,
+                   std::string *error)
+{
+    if (reduced.leaves.size() != set.clusters.size()) {
+        if (error != nullptr)
+            *error = "reduced profile has " +
+                     std::to_string(reduced.leaves.size()) +
+                     " leaves but the representative set has " +
+                     std::to_string(set.clusters.size()) + " clusters";
+        return false;
+    }
+
+    std::vector<std::uint8_t> payload = reduced.encode();
+
+    util::ByteWriter trailer;
+    trailer.putByte(kWeightsVersion);
+    trailer.putVarint(set.clusters.size());
+    trailer.putVarint(set.totalRequests);
+    trailer.putDouble(set.meanSilhouette);
+    for (const ClusterInfo &c : set.clusters) {
+        trailer.putDouble(c.weight);
+        trailer.putVarint(c.requests);
+        trailer.putDouble(c.errorBoundPercent);
+    }
+    const std::vector<std::uint8_t> &tbytes = trailer.bytes();
+    payload.insert(payload.end(), tbytes.begin(), tbytes.end());
+    putU64le(payload, tbytes.size());
+    payload.insert(payload.end(), kWeightsMagic,
+                   kWeightsMagic + sizeof(kWeightsMagic));
+
+    return util::saveBytes(path, util::compress(payload), error);
+}
+
+namespace
+{
+
+bool
+extractTrailer(const std::string &path,
+               std::vector<std::uint8_t> &payload,
+               std::vector<std::uint8_t> &trailer, std::string *error)
+{
+    std::vector<std::uint8_t> compressed;
+    if (!util::loadBytes(path, compressed, error))
+        return false;
+    if (!util::decompress(compressed, payload)) {
+        if (error != nullptr)
+            *error = path + ": corrupt compression envelope";
+        return false;
+    }
+    if (payload.size() < kFooterSize ||
+        std::memcmp(payload.data() + payload.size() -
+                        sizeof(kWeightsMagic),
+                    kWeightsMagic, sizeof(kWeightsMagic)) != 0) {
+        if (error != nullptr)
+            *error = path + ": no reduced-profile weights trailer";
+        return false;
+    }
+    const std::uint64_t tsize =
+        getU64le(payload.data() + payload.size() - kFooterSize);
+    if (tsize > payload.size() - kFooterSize) {
+        if (error != nullptr)
+            *error = path + ": weights trailer size " +
+                     std::to_string(tsize) +
+                     " exceeds the payload";
+        return false;
+    }
+    const std::size_t tbegin = payload.size() - kFooterSize -
+                               static_cast<std::size_t>(tsize);
+    trailer.assign(payload.begin() + tbegin,
+                   payload.end() - kFooterSize);
+    return true;
+}
+
+} // namespace
+
+bool
+loadReducedProfile(const std::string &path, core::Profile &profile,
+                   ReducedWeights &weights, std::string *error)
+{
+    std::vector<std::uint8_t> payload;
+    std::vector<std::uint8_t> trailer;
+    if (!extractTrailer(path, payload, trailer, error))
+        return false;
+    if (!core::Profile::decode(payload, profile, error))
+        return false;
+
+    util::ByteReader r(trailer);
+    const std::uint8_t version = r.getByte();
+    if (!r.ok() || version != kWeightsVersion) {
+        if (error != nullptr)
+            *error = path + ": unsupported weights trailer version";
+        return false;
+    }
+    const std::uint64_t count = r.getVarint();
+    weights.totalRequests = r.getVarint();
+    weights.meanSilhouette = r.getDouble();
+    if (!r.ok() || count != profile.leaves.size()) {
+        if (error != nullptr)
+            *error = path + ": weights trailer does not match the " +
+                     std::to_string(profile.leaves.size()) +
+                     " profile leaves";
+        return false;
+    }
+    weights.entries.resize(count);
+    for (ReducedWeights::Entry &e : weights.entries) {
+        e.weight = r.getDouble();
+        e.requests = r.getVarint();
+        e.errorBoundPercent = r.getDouble();
+    }
+    if (!r.ok()) {
+        if (error != nullptr)
+            *error = path + ": truncated weights trailer";
+        return false;
+    }
+    return true;
+}
+
+bool
+isReducedProfile(const std::string &path)
+{
+    std::vector<std::uint8_t> payload;
+    std::vector<std::uint8_t> trailer;
+    return extractTrailer(path, payload, trailer, nullptr);
+}
+
+} // namespace mocktails::sampling

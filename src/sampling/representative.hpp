@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Representative leaves: medoids, weights, error bounds, reduced .mkp.
+ *
+ * The middle of the sampling pipeline: cluster the per-leaf signatures
+ * (feature_vector.hpp + kmeans.hpp), pick one *medoid* leaf per cluster
+ * — the member closest to the centroid — and carry, per cluster, the
+ * extrapolation weight (cluster requests / medoid requests) and a
+ * dispersion-based error bound. Sampled validation simulates only the
+ * medoids and scales their metrics by the weights; `profile_tool
+ * reduce` persists the same selection as a *reduced profile*: a valid
+ * .mkp holding only the medoid leaves plus a weights side-table
+ * appended as a trailer that Profile::decode (which reads exactly the
+ * declared leaf count and ignores trailing bytes) never sees — so the
+ * file loads everywhere a full profile loads, including ProfileStore
+ * and the serve wire protocol.
+ */
+
+#ifndef MOCKTAILS_SAMPLING_REPRESENTATIVE_HPP
+#define MOCKTAILS_SAMPLING_REPRESENTATIVE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "sampling/kmeans.hpp"
+
+namespace mocktails::sampling
+{
+
+/**
+ * Sampling knobs.
+ */
+struct SamplingOptions
+{
+    /** Cluster count; 0 = silhouette-guided (kmeans.hpp). */
+    std::uint32_t k = 0;
+
+    /** Largest k tried by the silhouette search. */
+    std::uint32_t maxK = 12;
+
+    /** Seed for the deterministic clustering. */
+    std::uint64_t seed = 1;
+
+    /** Worker threads; 0 = hardware, 1 = sequential. Identical
+     *  results at every count. */
+    unsigned threads = 0;
+
+    /**
+     * Error-bound model: bound% = floor + slope * dispersion, where
+     * dispersion is the cluster's request-weighted RMS signature
+     * distance to its medoid (standardized space). The defaults are
+     * calibrated against full validation on the fig06 workloads.
+     */
+    double boundFloorPercent = 7.5;
+    double boundSlopePercent = 12.0;
+};
+
+/**
+ * One cluster of leaves and its representative.
+ */
+struct ClusterInfo
+{
+    /** The representative: index into Profile::leaves. */
+    std::uint32_t medoidLeaf = 0;
+
+    /** Member leaf indices, ascending. */
+    std::vector<std::uint32_t> members;
+
+    /** Total requests of all member leaves. */
+    std::uint64_t requests = 0;
+
+    /** Requests of the medoid leaf alone. */
+    std::uint64_t medoidRequests = 0;
+
+    /** Extrapolation factor: requests / medoidRequests. */
+    double weight = 1.0;
+
+    /** Request-weighted RMS signature distance to the medoid. */
+    double dispersion = 0.0;
+
+    /** Predicted extrapolation error for this cluster (percent). */
+    double errorBoundPercent = 0.0;
+};
+
+/**
+ * The complete representative selection for one profile.
+ */
+struct RepresentativeSet
+{
+    std::uint32_t k = 0;
+
+    /** Clusters ranked by descending request count (ties: ascending
+     *  medoid index) — the order reduced-profile leaves are stored in. */
+    std::vector<ClusterInfo> clusters;
+
+    /** Mean silhouette of the chosen clustering. */
+    double meanSilhouette = 0.0;
+
+    /** Requests of the full profile. */
+    std::uint64_t totalRequests = 0;
+
+    /** Overall predicted error: the worst per-cluster bound. */
+    double errorBoundPercent = 0.0;
+
+    /** Requests synthesised when only medoids run. */
+    std::uint64_t representativeRequests() const;
+};
+
+/**
+ * Cluster @p profile's leaves and pick the representatives.
+ *
+ * Deterministic: same profile + same options.seed give a bit-identical
+ * set at every thread count.
+ */
+RepresentativeSet
+selectRepresentatives(const core::Profile &profile,
+                      const SamplingOptions &options = SamplingOptions{});
+
+/**
+ * Build the reduced profile: same name/device/config, but only the
+ * medoid leaves, stored in @p set cluster order (so reduced leaf i
+ * belongs to set.clusters[i]).
+ */
+core::Profile makeReducedProfile(const core::Profile &profile,
+                                 const RepresentativeSet &set);
+
+/**
+ * The weights side-table persisted with a reduced profile.
+ */
+struct ReducedWeights
+{
+    struct Entry
+    {
+        double weight = 1.0;
+        std::uint64_t requests = 0; ///< full-cluster requests
+        double errorBoundPercent = 0.0;
+    };
+
+    /** One entry per reduced-profile leaf, in leaf order. */
+    std::vector<Entry> entries;
+
+    std::uint64_t totalRequests = 0; ///< of the original profile
+    double meanSilhouette = 0.0;
+};
+
+/**
+ * Save the reduced profile as a .mkp with the weights trailer.
+ *
+ * Layout inside the compressed envelope:
+ *   [Profile::encode() bytes][trailer][u64 LE trailer size][magic 8B]
+ * The fixed-width footer is parsed from the end, so readers never need
+ * the profile-end offset; plain loadProfile() ignores everything after
+ * the declared leaves and loads the medoids as an ordinary profile.
+ */
+bool saveReducedProfile(const core::Profile &reduced,
+                        const RepresentativeSet &set,
+                        const std::string &path,
+                        std::string *error = nullptr);
+
+/**
+ * Load a reduced .mkp: the profile (as loadProfile would) plus the
+ * weights table. @return false (with @p error) when @p path has no
+ * weights trailer or it is corrupt.
+ */
+bool loadReducedProfile(const std::string &path, core::Profile &profile,
+                        ReducedWeights &weights,
+                        std::string *error = nullptr);
+
+/** True when the file at @p path carries a weights trailer. */
+bool isReducedProfile(const std::string &path);
+
+} // namespace mocktails::sampling
+
+#endif // MOCKTAILS_SAMPLING_REPRESENTATIVE_HPP

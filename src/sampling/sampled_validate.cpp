@@ -1,0 +1,406 @@
+#include "sampling/sampled_validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "cache/hierarchy.hpp"
+#include "core/synthesis.hpp"
+#include "dram/simulate.hpp"
+#include "obs/provenance.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mocktails::sampling
+{
+
+namespace
+{
+
+/**
+ * Rate-like metrics extrapolate as a request-share weighted mean;
+ * everything else is a count and scales additively by cluster weight.
+ */
+bool
+isRateMetric(const std::string &name)
+{
+    return name.find("rate") != std::string::npos ||
+           name.find("latency") != std::string::npos;
+}
+
+void
+extrapolateMetrics(
+    const std::vector<ClusterValidation> &clusters,
+    const RepresentativeSet &set,
+    std::vector<validation::MetricComparison> ClusterValidation::*table,
+    std::vector<validation::MetricComparison> &out)
+{
+    if (clusters.empty())
+        return;
+    double total = 0.0;
+    for (const ClusterInfo &c : set.clusters)
+        total += static_cast<double>(c.requests);
+
+    const std::size_t metric_count = (clusters[0].*table).size();
+    for (std::size_t m = 0; m < metric_count; ++m) {
+        const std::string &name = (clusters[0].*table)[m].name;
+        const bool rate = isRateMetric(name);
+        double base = 0.0;
+        double synth = 0.0;
+        for (std::size_t ci = 0; ci < clusters.size(); ++ci) {
+            const validation::MetricComparison &raw =
+                (clusters[ci].*table)[m];
+            const ClusterInfo &info = set.clusters[ci];
+            const double scale =
+                rate ? (total > 0.0
+                            ? static_cast<double>(info.requests) / total
+                            : 0.0)
+                     : info.weight;
+            base += scale * raw.baseline;
+            synth += scale * raw.synthetic;
+        }
+        validation::appendMetric(out, name, base, synth);
+    }
+}
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out += c;
+    }
+    out += '"';
+}
+
+} // namespace
+
+SampledValidationReport
+validateProfileSampled(const mem::Trace &trace,
+                       const core::Profile &profile,
+                       const SampledValidationOptions &options)
+{
+    SampledValidationReport result;
+    result.totalRequests = trace.size();
+
+    // The extrapolation needs baseline leaf i to line up with profile
+    // leaf i, exactly as attribution does: re-partition the baseline
+    // with the profile's own hierarchy configuration.
+    const std::vector<core::Leaf> baseline_leaves =
+        core::buildLeaves(trace, profile.config);
+    if (baseline_leaves.size() != profile.leaves.size() ||
+        profile.leaves.empty()) {
+        result.note =
+            "re-partitioning produced " +
+            std::to_string(baseline_leaves.size()) +
+            " leaves for " + std::to_string(profile.leaves.size()) +
+            " profile leaves; fell back to full validation";
+        result.report =
+            validation::validateProfile(trace, profile, options.base);
+        result.simulatedRequests = trace.size();
+        return result;
+    }
+    result.matched = true;
+
+    SamplingOptions sampling = options.sampling;
+    if (sampling.threads == 0)
+        sampling.threads = options.base.threads;
+    result.set = selectRepresentatives(profile, sampling);
+    const RepresentativeSet &set = result.set;
+
+    // One synthesis of the reduced profile; provenance splits the
+    // merged stream back into per-representative sub-streams (reduced
+    // leaf i == set.clusters[i]).
+    const core::Profile reduced = makeReducedProfile(profile, set);
+    obs::ProvenanceTable provenance;
+    const mem::Trace synthetic =
+        core::synthesize(reduced, options.base.seed,
+                         options.base.threads, &provenance);
+
+    std::vector<mem::Trace> synth_parts(set.clusters.size());
+    for (std::size_t i = 0; i < synthetic.size(); ++i)
+        synth_parts[provenance.origins()[i].leaf].add(synthetic[i]);
+
+    std::vector<mem::Trace> base_parts(set.clusters.size());
+    for (std::size_t c = 0; c < set.clusters.size(); ++c) {
+        const core::Leaf &leaf =
+            baseline_leaves[set.clusters[c].medoidLeaf];
+        for (const mem::Request &request : leaf.requests)
+            base_parts[c].add(request);
+        result.simulatedRequests += leaf.requests.size();
+    }
+
+    // One task per cluster, each filling only its own slot; the four
+    // substrate runs of a cluster execute sequentially inside the
+    // task (nested parallelFor calls degrade to sequential on pool
+    // workers), so the report is bit-identical at every thread count.
+    result.clusters.resize(set.clusters.size());
+    util::parallelFor(
+        set.clusters.size(),
+        [&](std::size_t c) {
+            ClusterValidation &cv = result.clusters[c];
+            cv.cluster = static_cast<std::uint32_t>(c);
+            if (options.base.dram) {
+                dram::SimulationOptions sim_options;
+                sim_options.threads = 1;
+                const dram::SimulationResult base =
+                    dram::simulateTrace(base_parts[c],
+                                        dram::DramConfig{},
+                                        interconnect::CrossbarConfig{},
+                                        sim_options);
+                const dram::SimulationResult synth =
+                    dram::simulateTrace(synth_parts[c],
+                                        dram::DramConfig{},
+                                        interconnect::CrossbarConfig{},
+                                        sim_options);
+                validation::appendDramMetrics(base, synth,
+                                              cv.dramMetrics);
+            }
+            if (options.base.cache) {
+                cache::Hierarchy base{cache::HierarchyConfig{}};
+                cache::Hierarchy synth{cache::HierarchyConfig{}};
+                base.run(base_parts[c]);
+                synth.run(synth_parts[c]);
+                validation::appendCacheMetrics(base, synth,
+                                               cv.cacheMetrics);
+            }
+        },
+        options.base.threads);
+
+    extrapolateMetrics(result.clusters, set,
+                       &ClusterValidation::dramMetrics,
+                       result.report.dramMetrics);
+    extrapolateMetrics(result.clusters, set,
+                       &ClusterValidation::cacheMetrics,
+                       result.report.cacheMetrics);
+    validation::finalizeReport(result.report,
+                               options.base.passThresholdPercent);
+    return result;
+}
+
+std::string
+formatSampledReport(const SampledValidationReport &report)
+{
+    std::string out = validation::formatReport(report.report);
+    char line[192];
+    if (!report.matched) {
+        out += "sampling: " + report.note + "\n";
+        return out;
+    }
+    const double pct =
+        report.totalRequests > 0
+            ? 100.0 * static_cast<double>(report.simulatedRequests) /
+                  static_cast<double>(report.totalRequests)
+            : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "sampling: k=%u silhouette=%.3f simulated "
+                  "%llu/%llu requests (%.1f%%) bound +/-%.1f%%\n",
+                  report.set.k, report.set.meanSilhouette,
+                  static_cast<unsigned long long>(
+                      report.simulatedRequests),
+                  static_cast<unsigned long long>(report.totalRequests),
+                  pct, report.set.errorBoundPercent);
+    out += line;
+    std::snprintf(line, sizeof(line), "%8s %8s %8s %12s %9s %8s\n",
+                  "cluster", "medoid", "leaves", "requests", "weight",
+                  "bound");
+    out += line;
+    for (std::size_t c = 0; c < report.set.clusters.size(); ++c) {
+        const ClusterInfo &info = report.set.clusters[c];
+        std::snprintf(line, sizeof(line),
+                      "%8zu %8u %8zu %12llu %9.2f %7.1f%%\n", c,
+                      info.medoidLeaf, info.members.size(),
+                      static_cast<unsigned long long>(info.requests),
+                      info.weight, info.errorBoundPercent);
+        out += line;
+    }
+    return out;
+}
+
+std::string
+sampledReportToJson(const SampledValidationReport &report)
+{
+    // Splice a "sampling" object into the standard report document so
+    // existing consumers keep parsing it unchanged (DESIGN.md §14).
+    std::string out = validation::reportToJson(report.report);
+    out.pop_back(); // trailing '}'
+    char buf[96];
+    out += ",\"sampling\":{\"matched\":";
+    out += report.matched ? "true" : "false";
+    if (!report.note.empty()) {
+        out += ",\"note\":";
+        appendJsonString(out, report.note);
+    }
+    std::snprintf(buf, sizeof(buf), ",\"k\":%u", report.set.k);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"mean_silhouette\":%.6g",
+                  report.set.meanSilhouette);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"simulated_requests\":%llu",
+                  static_cast<unsigned long long>(
+                      report.simulatedRequests));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"total_requests\":%llu",
+                  static_cast<unsigned long long>(report.totalRequests));
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"error_bound_percent\":%.6g",
+                  report.set.errorBoundPercent);
+    out += buf;
+    out += ",\"clusters\":[";
+    for (std::size_t c = 0; c < report.set.clusters.size(); ++c) {
+        const ClusterInfo &info = report.set.clusters[c];
+        if (c > 0)
+            out += ',';
+        std::snprintf(buf, sizeof(buf),
+                      "{\"medoid_leaf\":%u,\"leaves\":%zu",
+                      info.medoidLeaf, info.members.size());
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"requests\":%llu",
+                      static_cast<unsigned long long>(info.requests));
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"weight\":%.6g",
+                      info.weight);
+        out += buf;
+        std::snprintf(buf, sizeof(buf), ",\"dispersion\":%.6g",
+                      info.dispersion);
+        out += buf;
+        std::snprintf(buf, sizeof(buf),
+                      ",\"error_bound_percent\":%.6g}",
+                      info.errorBoundPercent);
+        out += buf;
+    }
+    out += "]}}";
+    return out;
+}
+
+bool
+saveSampledReportJson(const SampledValidationReport &report,
+                      const std::string &path)
+{
+    const std::string json = sampledReportToJson(report);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::size_t written =
+        std::fwrite(json.data(), 1, json.size(), f);
+    return std::fclose(f) == 0 && written == json.size();
+}
+
+BoundsCheck
+checkAgainstFull(const SampledValidationReport &sampled,
+                 const validation::ValidationReport &full)
+{
+    BoundsCheck check;
+    check.boundPercent = sampled.set.errorBoundPercent;
+
+    std::map<std::string, double> full_errors;
+    for (const auto *metrics : {&full.dramMetrics, &full.cacheMetrics})
+        for (const validation::MetricComparison &m : *metrics)
+            full_errors[m.name] = m.errorPercent;
+
+    for (const auto *metrics : {&sampled.report.dramMetrics,
+                                &sampled.report.cacheMetrics}) {
+        for (const validation::MetricComparison &m : *metrics) {
+            const auto it = full_errors.find(m.name);
+            if (it == full_errors.end())
+                continue;
+            const double delta =
+                std::abs(m.errorPercent - it->second);
+            check.worstDeltaPercent =
+                std::max(check.worstDeltaPercent, delta);
+            const bool ok = delta <= check.boundPercent;
+            if (!ok)
+                check.passed = false;
+            char line[160];
+            std::snprintf(line, sizeof(line),
+                          "%-24s sampled %7.2f%% vs full %7.2f%% "
+                          "(delta %6.2f%% %s bound %.2f%%)",
+                          m.name.c_str(), m.errorPercent, it->second,
+                          delta, ok ? "<=" : ">", check.boundPercent);
+            check.lines.emplace_back(line);
+        }
+    }
+    return check;
+}
+
+std::vector<ClusterAttribution>
+attributeClusters(const validation::AttributionReport &attribution,
+                  const RepresentativeSet &set)
+{
+    std::map<std::uint32_t, const validation::LeafAttribution *> by_leaf;
+    for (const validation::LeafAttribution &leaf : attribution.leaves)
+        by_leaf[leaf.leaf] = &leaf;
+
+    std::vector<ClusterAttribution> rows;
+    rows.reserve(set.clusters.size());
+    for (std::size_t c = 0; c < set.clusters.size(); ++c) {
+        const ClusterInfo &info = set.clusters[c];
+        ClusterAttribution row;
+        row.cluster = static_cast<std::uint32_t>(c);
+        row.medoidLeaf = info.medoidLeaf;
+        row.leaves = info.members.size();
+        row.weight = info.weight;
+        double weighted_mean = 0.0;
+        double total = 0.0;
+        for (const std::uint32_t member : info.members) {
+            const auto it = by_leaf.find(member);
+            if (it == by_leaf.end())
+                continue;
+            const validation::LeafAttribution &leaf = *it->second;
+            row.requests += leaf.baselineRequests;
+            const auto w =
+                static_cast<double>(leaf.baselineRequests);
+            weighted_mean += w * leaf.meanErrorPercent;
+            total += w;
+            if (leaf.worstErrorPercent > row.worstErrorPercent) {
+                row.worstErrorPercent = leaf.worstErrorPercent;
+                row.worstPath = leaf.path;
+            }
+        }
+        row.meanErrorPercent =
+            total > 0.0 ? weighted_mean / total : 0.0;
+        rows.push_back(std::move(row));
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const ClusterAttribution &a,
+                        const ClusterAttribution &b) {
+                         return a.worstErrorPercent >
+                                b.worstErrorPercent;
+                     });
+    return rows;
+}
+
+std::string
+clusterAttributionToMarkdown(const std::vector<ClusterAttribution> &rows)
+{
+    std::string out;
+    out += "| cluster | medoid | leaves | requests | weight |"
+           " worst err | mean err | worst path |\n";
+    out += "|--------:|-------:|-------:|---------:|-------:|"
+           "----------:|---------:|:-----------|\n";
+    char line[192];
+    for (const ClusterAttribution &row : rows) {
+        std::snprintf(line, sizeof(line),
+                      "| %u | %u | %llu | %llu | %.2f | %.2f%% |"
+                      " %.2f%% | %s |\n",
+                      row.cluster, row.medoidLeaf,
+                      static_cast<unsigned long long>(row.leaves),
+                      static_cast<unsigned long long>(row.requests),
+                      row.weight, row.worstErrorPercent,
+                      row.meanErrorPercent,
+                      row.worstPath.empty() ? "-"
+                                            : row.worstPath.c_str());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace mocktails::sampling

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Sampled validation: simulate representatives, extrapolate the rest.
+ *
+ * Full validation (validation/validate.hpp) synthesises the whole
+ * profile and runs four substrate simulations over every request —
+ * the dominant cost on large profiles. Sampled validation clusters
+ * the leaves (representative.hpp), simulates only the medoid leaf of
+ * each cluster on both substrates, and extrapolates every
+ * MetricComparison by cluster weight:
+ *
+ *  - count metrics (bursts, row hits, writebacks, footprint blocks)
+ *    scale additively: value = sum_c weight_c * value_c;
+ *  - rate metrics (miss rates, average latency) combine as the
+ *    request-share weighted mean: value = sum_c share_c * value_c
+ *    with share_c = requests_c / total.
+ *
+ * The report carries the predicted error bound of the selection; the
+ * CI smoke asserts that the sampled verdict stays within that bound
+ * of a full validation run (checkAgainstFull).
+ */
+
+#ifndef MOCKTAILS_SAMPLING_SAMPLED_VALIDATE_HPP
+#define MOCKTAILS_SAMPLING_SAMPLED_VALIDATE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "mem/trace.hpp"
+#include "sampling/representative.hpp"
+#include "validation/attribution.hpp"
+#include "validation/validate.hpp"
+
+namespace mocktails::sampling
+{
+
+/**
+ * Options of a sampled validation run.
+ */
+struct SampledValidationOptions
+{
+    /** The usual validation knobs (threshold, seed, substrates). */
+    validation::ValidationOptions base;
+
+    /** Clustering and error-bound knobs. */
+    SamplingOptions sampling;
+};
+
+/**
+ * The per-cluster comparison behind one extrapolated report.
+ */
+struct ClusterValidation
+{
+    /** Index into RepresentativeSet::clusters. */
+    std::uint32_t cluster = 0;
+
+    /** Raw (unscaled) medoid metrics, baseline vs synthetic. */
+    std::vector<validation::MetricComparison> dramMetrics;
+    std::vector<validation::MetricComparison> cacheMetrics;
+};
+
+/**
+ * The sampled validation report.
+ */
+struct SampledValidationReport
+{
+    /** The extrapolated report — same shape as full validation. */
+    validation::ValidationReport report;
+
+    /** The selection the extrapolation is built on. */
+    RepresentativeSet set;
+
+    /** Per-cluster raw comparisons, in set.clusters order. */
+    std::vector<ClusterValidation> clusters;
+
+    /** Baseline requests actually simulated (medoid leaves only). */
+    std::uint64_t simulatedRequests = 0;
+
+    /** Baseline requests of the full trace. */
+    std::uint64_t totalRequests = 0;
+
+    /**
+     * True when re-partitioning the baseline with profile.config
+     * reproduced the profile's leaves. When false the run fell back
+     * to full validation and @ref note says why.
+     */
+    bool matched = false;
+    std::string note;
+};
+
+/**
+ * Validate @p profile against @p trace by simulating only the
+ * representative leaves. Deterministic at every thread count.
+ */
+SampledValidationReport validateProfileSampled(
+    const mem::Trace &trace, const core::Profile &profile,
+    const SampledValidationOptions &options = SampledValidationOptions{});
+
+/** Render as human-readable text (formatReport + sampling summary). */
+std::string formatSampledReport(const SampledValidationReport &report);
+
+/**
+ * Render as JSON: reportToJson() of the extrapolated report with a
+ * "sampling" object spliced in (k, silhouette, simulated/total
+ * requests, per-cluster sizes/weights/bounds) — see DESIGN.md §14.
+ */
+std::string sampledReportToJson(const SampledValidationReport &report);
+
+/** Write sampledReportToJson() to a file. @return true on success. */
+bool saveSampledReportJson(const SampledValidationReport &report,
+                           const std::string &path);
+
+/**
+ * The bound check behind the CI smoke: for every metric present in
+ * both reports, |sampled error% - full error%| must stay within the
+ * selection's predicted bound.
+ */
+struct BoundsCheck
+{
+    bool passed = true;
+
+    /** Worst |sampled - full| error delta over all metrics. */
+    double worstDeltaPercent = 0.0;
+
+    /** The bound the deltas were checked against. */
+    double boundPercent = 0.0;
+
+    /** One line per metric: "name: sampled X% vs full Y% ...". */
+    std::vector<std::string> lines;
+};
+
+BoundsCheck checkAgainstFull(const SampledValidationReport &sampled,
+                             const validation::ValidationReport &full);
+
+/**
+ * One cluster of the attribution drill-down: member-leaf errors of an
+ * attribution run aggregated per sampling cluster, so the ranked table
+ * names "cluster 2 (14 leaves, weight 13.7)" instead of single leaves.
+ */
+struct ClusterAttribution
+{
+    std::uint32_t cluster = 0;    ///< index into set.clusters
+    std::uint32_t medoidLeaf = 0;
+    std::uint64_t leaves = 0;     ///< member count
+    std::uint64_t requests = 0;   ///< baseline requests of the members
+    double weight = 1.0;
+    double worstErrorPercent = 0.0;
+    double meanErrorPercent = 0.0; ///< request-weighted member mean
+    std::string worstPath;         ///< hierarchy path of the worst leaf
+};
+
+/**
+ * Aggregate a leaf-level attribution report per sampling cluster,
+ * ranked worst-first. Leaves absent from the attribution report (e.g.
+ * truncated by maxLeaves) are skipped.
+ */
+std::vector<ClusterAttribution>
+attributeClusters(const validation::AttributionReport &attribution,
+                  const RepresentativeSet &set);
+
+/** Render attributeClusters() as a markdown table. */
+std::string
+clusterAttributionToMarkdown(const std::vector<ClusterAttribution> &rows);
+
+} // namespace mocktails::sampling
+
+#endif // MOCKTAILS_SAMPLING_SAMPLED_VALIDATE_HPP

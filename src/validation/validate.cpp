@@ -14,12 +14,9 @@
 namespace mocktails::validation
 {
 
-namespace
-{
-
 void
-addMetric(std::vector<MetricComparison> &out, std::string name,
-          double baseline, double synthetic)
+appendMetric(std::vector<MetricComparison> &out, std::string name,
+             double baseline, double synthetic)
 {
     MetricComparison metric;
     metric.name = std::move(name);
@@ -30,47 +27,47 @@ addMetric(std::vector<MetricComparison> &out, std::string name,
 }
 
 void
-dramMetrics(const dram::SimulationResult &base,
+appendDramMetrics(const dram::SimulationResult &base,
             const dram::SimulationResult &synth,
             std::vector<MetricComparison> &out)
 {
-    addMetric(out, "dram.read_bursts",
+    appendMetric(out, "dram.read_bursts",
               static_cast<double>(base.readBursts()),
               static_cast<double>(synth.readBursts()));
-    addMetric(out, "dram.write_bursts",
+    appendMetric(out, "dram.write_bursts",
               static_cast<double>(base.writeBursts()),
               static_cast<double>(synth.writeBursts()));
-    addMetric(out, "dram.read_row_hits",
+    appendMetric(out, "dram.read_row_hits",
               static_cast<double>(base.readRowHits()),
               static_cast<double>(synth.readRowHits()));
-    addMetric(out, "dram.write_row_hits",
+    appendMetric(out, "dram.write_row_hits",
               static_cast<double>(base.writeRowHits()),
               static_cast<double>(synth.writeRowHits()));
-    addMetric(out, "dram.avg_read_latency", base.avgReadLatency(),
+    appendMetric(out, "dram.avg_read_latency", base.avgReadLatency(),
               synth.avgReadLatency());
 }
 
 void
-cacheMetrics(const cache::Hierarchy &base_h,
+appendCacheMetrics(const cache::Hierarchy &base_h,
              const cache::Hierarchy &synth_h,
              std::vector<MetricComparison> &out)
 {
-    addMetric(out, "cache.l1_miss_rate",
+    appendMetric(out, "cache.l1_miss_rate",
               100.0 * base_h.l1Stats().missRate(),
               100.0 * synth_h.l1Stats().missRate());
-    addMetric(out, "cache.l2_miss_rate",
+    appendMetric(out, "cache.l2_miss_rate",
               100.0 * base_h.l2Stats().missRate(),
               100.0 * synth_h.l2Stats().missRate());
-    addMetric(out, "cache.l1_writebacks",
+    appendMetric(out, "cache.l1_writebacks",
               static_cast<double>(base_h.l1Stats().writebacks),
               static_cast<double>(synth_h.l1Stats().writebacks));
-    addMetric(out, "cache.footprint_blocks",
+    appendMetric(out, "cache.footprint_blocks",
               static_cast<double>(base_h.footprintBlocks()),
               static_cast<double>(synth_h.footprintBlocks()));
 }
 
 void
-finalize(ValidationReport &report, double threshold)
+finalizeReport(ValidationReport &report, double thresholdPercent)
 {
     double worst = 0.0;
     double sum = 0.0;
@@ -86,10 +83,8 @@ finalize(ValidationReport &report, double threshold)
     report.worstErrorPercent = worst;
     report.meanErrorPercent =
         count == 0 ? 0.0 : sum / static_cast<double>(count);
-    report.passed = worst <= threshold;
+    report.passed = worst <= thresholdPercent;
 }
-
-} // namespace
 
 ValidationReport
 validateProfile(const mem::Trace &trace, const core::Profile &profile,
@@ -134,10 +129,11 @@ validateProfile(const mem::Trace &trace, const core::Profile &profile,
 
     ValidationReport report;
     if (options.dram)
-        dramMetrics(dram_base, dram_synth, report.dramMetrics);
+        appendDramMetrics(dram_base, dram_synth, report.dramMetrics);
     if (options.cache)
-        cacheMetrics(cache_base, cache_synth, report.cacheMetrics);
-    finalize(report, options.passThresholdPercent);
+        appendCacheMetrics(cache_base, cache_synth,
+                           report.cacheMetrics);
+    finalizeReport(report, options.passThresholdPercent);
     return report;
 }
 

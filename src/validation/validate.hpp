@@ -20,6 +20,16 @@
 #include "core/profile.hpp"
 #include "mem/trace.hpp"
 
+namespace mocktails::dram
+{
+struct SimulationResult;
+}
+
+namespace mocktails::cache
+{
+class Hierarchy;
+}
+
 namespace mocktails::validation
 {
 
@@ -94,6 +104,26 @@ validateConfig(const mem::Trace &trace, const core::PartitionConfig &config,
 ValidationReport
 validateProfile(const mem::Trace &trace, const core::Profile &profile,
                 const ValidationOptions &options = ValidationOptions{});
+
+/**
+ * Append one metric comparison (error computed via util::percentError).
+ * Building block shared with sampled validation (src/sampling/).
+ */
+void appendMetric(std::vector<MetricComparison> &out, std::string name,
+                  double baseline, double synthetic);
+
+/** Append the five standard DRAM metric comparisons. */
+void appendDramMetrics(const dram::SimulationResult &base,
+                       const dram::SimulationResult &synth,
+                       std::vector<MetricComparison> &out);
+
+/** Append the four standard cache metric comparisons. */
+void appendCacheMetrics(const cache::Hierarchy &base,
+                        const cache::Hierarchy &synth,
+                        std::vector<MetricComparison> &out);
+
+/** Compute worst/mean error and the pass verdict from the metrics. */
+void finalizeReport(ValidationReport &report, double thresholdPercent);
 
 /** Render a report as human-readable text. */
 std::string formatReport(const ValidationReport &report);

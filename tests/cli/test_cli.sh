@@ -14,6 +14,11 @@
 #                export it to JSONL, replay it against a fresh server
 #                (byte-identical, exit 0), prove --inject-mismatch is
 #                caught (exit 4), and query live counters with stats
+#   sampling     reduce a profile to its representatives, serve the
+#                reduced .mkp over both client paths (byte-stable
+#                against a local synth), run validate --sampled with
+#                --check-bounds, and check unknown-flag suggestions on
+#                build/validate/serve/fetch/replay (exit 2)
 set -eu
 
 TOOL=$1
@@ -301,6 +306,129 @@ record-replay)
         exit 1
     }
     echo "PASS record/replay loopback (record, export, replay, stats)"
+    ;;
+
+sampling)
+    "$TOOL" generate FBC-Linear1 20000 t.mkt >/dev/null
+    "$TOOL" profile t.mkt p.mkp 50000 >/dev/null
+
+    # 1. Reduce to representatives; the output is a loadable .mkp.
+    "$TOOL" reduce p.mkp red.mkp --k 3 >reduce.txt
+    grep -q "reduced .* leaves -> 3 representatives" reduce.txt || {
+        echo "FAIL: reduce printed no selection summary" >&2
+        cat reduce.txt >&2
+        exit 1
+    }
+    "$TOOL" info red.mkp >info.txt
+    grep -q "reduced: *3 representatives standing in for 20000" \
+        info.txt || {
+        echo "FAIL: info does not recognise the weights trailer" >&2
+        cat info.txt >&2
+        exit 1
+    }
+
+    # 2. Serve the reduced profile; both client paths reproduce the
+    #    local synthesis byte-for-byte.
+    SEED=7
+    "$TOOL" synth red.mkp local.mkt "$SEED" >/dev/null
+    "$TOOL" export local.mkt local.csv >/dev/null
+    "$TOOL" serve red.mkp --port 0 --port-file port.txt --once 2 \
+        >serve.log 2>&1 &
+    SERVER=$!
+    i=0
+    while [ ! -s port.txt ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "FAIL: server never wrote the port file" >&2
+            cat serve.log >&2 || true
+            kill "$SERVER" 2>/dev/null || true
+            exit 1
+        fi
+        sleep 0.1
+    done
+    PORT=$(cat port.txt)
+    "$TOOL" fetch "127.0.0.1:$PORT" red.mkp remote.csv "$SEED" 100 \
+        >/dev/null
+    "$TOOL" fetch "127.0.0.1:$PORT" red.mkp muxed.csv "$SEED" 100 \
+        --mux >/dev/null
+    wait "$SERVER"
+    cmp local.csv remote.csv || {
+        echo "FAIL: served reduced profile differs from local synth" >&2
+        exit 1
+    }
+    cmp local.csv muxed.csv || {
+        echo "FAIL: --mux fetch of reduced profile differs" >&2
+        exit 1
+    }
+
+    # 3. Sampled validation: runs, reports the sampling block, and the
+    #    extrapolation stays within the predicted bound of full
+    #    validation. Exit 0 (pass) and 3 (fidelity fail) are both fine
+    #    here; 5 would mean the bound or speedup check failed.
+    rc=0
+    "$TOOL" --report-json sampled.json validate t.mkt p.mkp \
+        --sampled=3 --check-bounds >sampled.txt || rc=$?
+    { [ "$rc" -eq 0 ] || [ "$rc" -eq 3 ]; } || {
+        echo "FAIL: validate --sampled exited $rc" >&2
+        cat sampled.txt >&2
+        exit 1
+    }
+    grep -q "sampling: k=3" sampled.txt || {
+        echo "FAIL: sampled report missing the sampling summary" >&2
+        cat sampled.txt >&2
+        exit 1
+    }
+    grep -q "bounds check: .* -> PASS" sampled.txt || {
+        echo "FAIL: sampled metrics left the predicted bound" >&2
+        cat sampled.txt >&2
+        exit 1
+    }
+    grep -q '"sampling":{' sampled.json &&
+        grep -q '"error_bound_percent"' sampled.json || {
+        echo "FAIL: JSON report missing the sampling block" >&2
+        exit 1
+    }
+    # --check-bounds without --sampled is a flag error.
+    rc=0
+    "$TOOL" validate t.mkt p.mkp --check-bounds 2>/dev/null \
+        >/dev/null || rc=$?
+    [ "$rc" -eq 2 ] || {
+        echo "FAIL: --check-bounds without --sampled exited $rc" >&2
+        exit 1
+    }
+
+    # 4. Unknown-flag suggestions across the other subcommands.
+    check_suggestion() {
+        # $1 command word, $2 bad flag, $3 suggested flag, $@ command
+        cmd=$1
+        bad=$2
+        want=$3
+        shift 3
+        rc=0
+        "$@" 2>flag.txt >/dev/null || rc=$?
+        [ "$rc" -eq 2 ] || {
+            echo "FAIL: unknown $cmd flag exited $rc, want 2" >&2
+            cat flag.txt >&2
+            exit 1
+        }
+        grep -q "unknown $cmd flag '$bad'" flag.txt &&
+            grep -q "did you mean '$want'?" flag.txt || {
+            echo "FAIL: missing $cmd suggestion for $bad" >&2
+            cat flag.txt >&2
+            exit 1
+        }
+    }
+    check_suggestion build --spill-dri --spill-dir \
+        "$TOOL" build t.mkt out.mkp --spill-dri
+    check_suggestion validate --sampld --sampled \
+        "$TOOL" validate t.mkt p.mkp --sampld
+    check_suggestion serve --prt --port \
+        "$TOOL" serve p.mkp --prt 0
+    check_suggestion fetch --muxx --mux \
+        "$TOOL" fetch 127.0.0.1:1 p.mkp out.csv --muxx
+    check_suggestion replay --timng --timing \
+        "$TOOL" replay rec.mksr --timng
+    echo "PASS sampling CLI (reduce, serve, validate --sampled, flags)"
     ;;
 
 *)

@@ -1,0 +1,132 @@
+#include "sampling/feature_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/model_generator.hpp"
+#include "core/partition.hpp"
+#include "workloads/devices.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::sampling;
+
+core::Profile
+smallProfile(std::size_t requests = 8000)
+{
+    const mem::Trace trace = workloads::makeFbcTiled(requests, 1, 1);
+    return core::buildProfile(trace,
+                              core::PartitionConfig::twoLevelTs(50000));
+}
+
+TEST(FeatureVector, DimensionNamesCoverEveryIndex)
+{
+    for (std::size_t i = 0; i < kFeatureDims; ++i) {
+        ASSERT_NE(featureName(i), nullptr);
+        EXPECT_GT(std::string(featureName(i)).size(), 0u);
+    }
+}
+
+TEST(FeatureVector, LeafSignaturesAreFinite)
+{
+    const core::Profile profile = smallProfile();
+    ASSERT_FALSE(profile.leaves.empty());
+    for (const core::LeafModel &leaf : profile.leaves) {
+        const FeatureVector sig = leafSignature(leaf);
+        for (std::size_t d = 0; d < kFeatureDims; ++d)
+            EXPECT_TRUE(std::isfinite(sig[d]))
+                << featureName(d) << " is not finite";
+        // Op mix is a fraction.
+        EXPECT_GE(sig[2], 0.0);
+        EXPECT_LE(sig[2], 1.0);
+        // Volume tracks the leaf's request count.
+        EXPECT_NEAR(sig[1], std::log2(1.0 + double(leaf.count)), 1e-9);
+    }
+}
+
+TEST(FeatureVector, BatchSignatureMeasuresTheInterval)
+{
+    // 64 sequential 64B reads: stride 64, no reuse, pure-read mix.
+    mem::RequestBatch batch;
+    for (std::uint64_t i = 0; i < 64; ++i)
+        batch.push(mem::Tick(i * 4), 0x1000 + i * 64, 64,
+                   mem::Op::Read);
+    const FeatureVector sig = batchSignature(batch, 0, batch.size());
+    EXPECT_NEAR(sig[2], 1.0, 1e-9);                   // all reads
+    EXPECT_NEAR(sig[3], std::log2(65.0), 1e-9);       // size 64
+    EXPECT_NEAR(sig[4], std::log2(65.0), 1e-9);       // stride 64
+    EXPECT_NEAR(sig[5], 0.0, 1e-9);                   // one stride value
+    EXPECT_NEAR(sig[8], 1.0, 1e-9);                   // no block reuse
+
+    // The same addresses twice: the revisit ratio halves.
+    mem::RequestBatch twice;
+    for (int pass = 0; pass < 2; ++pass)
+        for (std::uint64_t i = 0; i < 64; ++i)
+            twice.push(mem::Tick(pass * 256 + i * 4), 0x1000 + i * 64,
+                       64, mem::Op::Read);
+    const FeatureVector rep = batchSignature(twice, 0, twice.size());
+    EXPECT_NEAR(rep[8], 0.5, 1e-9);
+    EXPECT_GT(rep[9], 0.0); // a reuse gap now exists
+}
+
+TEST(FeatureVector, EmptyIntervalIsZero)
+{
+    mem::RequestBatch batch;
+    const FeatureVector sig = batchSignature(batch, 0, 0);
+    for (std::size_t d = 0; d < kFeatureDims; ++d)
+        EXPECT_EQ(sig[d], 0.0);
+}
+
+TEST(FeatureVector, ProfileSignaturesAreThreadCountInvariant)
+{
+    const core::Profile profile = smallProfile();
+    const auto seq = profileSignatures(profile, 1);
+    ASSERT_EQ(seq.size(), profile.leaves.size());
+    for (const unsigned threads : {2u, 4u, 8u}) {
+        const auto par = profileSignatures(profile, threads);
+        ASSERT_EQ(par.size(), seq.size());
+        for (std::size_t i = 0; i < seq.size(); ++i)
+            for (std::size_t d = 0; d < kFeatureDims; ++d)
+                EXPECT_EQ(seq[i][d], par[i][d])
+                    << "leaf " << i << " dim " << featureName(d)
+                    << " differs at " << threads << " threads";
+    }
+}
+
+TEST(Standardizer, NormalizesAndIgnoresConstantDims)
+{
+    std::vector<FeatureVector> points(100);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        points[i][0] = double(i);  // varying
+        points[i][1] = 42.0;       // constant
+    }
+    const Standardizer st = Standardizer::fit(points);
+    const auto out = st.applyAll(points);
+
+    double mean0 = 0.0;
+    for (const FeatureVector &p : out)
+        mean0 += p[0];
+    mean0 /= double(out.size());
+    EXPECT_NEAR(mean0, 0.0, 1e-9);
+
+    // Zero-variance dimensions carry no information and map to 0.
+    for (const FeatureVector &p : out)
+        EXPECT_EQ(p[1], 0.0);
+}
+
+TEST(Standardizer, Distance2IsAMetricSquare)
+{
+    FeatureVector a;
+    FeatureVector b;
+    a[0] = 3.0;
+    b[0] = 7.0;
+    b[4] = 3.0;
+    EXPECT_EQ(distance2(a, a), 0.0);
+    EXPECT_EQ(distance2(a, b), distance2(b, a));
+    EXPECT_NEAR(distance2(a, b), 16.0 + 9.0, 1e-12);
+}
+
+} // namespace

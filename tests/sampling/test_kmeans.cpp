@@ -1,0 +1,151 @@
+#include "sampling/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::sampling;
+
+/** Three well-separated blobs of @p per points each. */
+std::vector<FeatureVector>
+threeBlobs(std::size_t per, std::uint64_t seed = 7)
+{
+    util::Rng rng(seed);
+    std::vector<FeatureVector> points;
+    const double centers[3][2] = {{0.0, 0.0}, {40.0, 0.0}, {0.0, 40.0}};
+    for (int blob = 0; blob < 3; ++blob) {
+        for (std::size_t i = 0; i < per; ++i) {
+            FeatureVector p;
+            p[0] = centers[blob][0] + rng.uniform();
+            p[1] = centers[blob][1] + rng.uniform();
+            points.push_back(p);
+        }
+    }
+    return points;
+}
+
+bool
+sameResult(const KMeansResult &a, const KMeansResult &b)
+{
+    if (a.k != b.k || a.assignment != b.assignment ||
+        a.sizes != b.sizes ||
+        a.meanSilhouette != b.meanSilhouette)
+        return false;
+    for (std::size_t c = 0; c < a.centroids.size(); ++c)
+        for (std::size_t d = 0; d < kFeatureDims; ++d)
+            if (a.centroids[c][d] != b.centroids[c][d])
+                return false;
+    return true;
+}
+
+TEST(KMeans, RecoversSeparatedBlobsWithFixedK)
+{
+    const auto points = threeBlobs(50);
+    KMeansOptions options;
+    options.k = 3;
+    options.threads = 1;
+    const KMeansResult result = cluster(points, options);
+    ASSERT_EQ(result.k, 3u);
+    // Every blob lands in exactly one cluster.
+    for (int blob = 0; blob < 3; ++blob) {
+        const std::uint32_t c = result.assignment[blob * 50];
+        for (std::size_t i = 0; i < 50; ++i)
+            EXPECT_EQ(result.assignment[blob * 50 + i], c);
+    }
+    EXPECT_EQ(result.sizes[0] + result.sizes[1] + result.sizes[2],
+              150u);
+    EXPECT_GT(result.meanSilhouette, 0.9);
+}
+
+TEST(KMeans, SilhouetteSearchFindsThree)
+{
+    const auto points = threeBlobs(40);
+    KMeansOptions options; // k = 0: silhouette-guided
+    options.threads = 1;
+    const KMeansResult result = cluster(points, options);
+    EXPECT_EQ(result.k, 3u);
+}
+
+TEST(KMeans, BitIdenticalAcrossThreadCounts)
+{
+    const auto points = threeBlobs(120);
+    KMeansOptions base;
+    base.k = 4;
+    base.threads = 1;
+    const KMeansResult reference = cluster(points, base);
+    for (const unsigned threads : {4u, 8u}) {
+        KMeansOptions options = base;
+        options.threads = threads;
+        EXPECT_TRUE(sameResult(reference, cluster(points, options)))
+            << "diverged at " << threads << " threads";
+    }
+}
+
+TEST(KMeans, RepeatedRunsWithTheSameSeedAgree)
+{
+    const auto points = threeBlobs(80);
+    KMeansOptions options;
+    options.seed = 99;
+    const KMeansResult a = cluster(points, options);
+    const KMeansResult b = cluster(points, options);
+    EXPECT_TRUE(sameResult(a, b));
+}
+
+TEST(KMeans, SubsampledFitStaysDeterministicAndCoversAllPoints)
+{
+    const auto points = threeBlobs(400); // 1200 points
+    KMeansOptions options;
+    options.k = 3;
+    options.maxFitPoints = 100; // force the subsample path
+    options.threads = 1;
+    const KMeansResult reference = cluster(points, options);
+    ASSERT_EQ(reference.assignment.size(), points.size());
+    std::uint64_t covered = 0;
+    for (const std::uint64_t s : reference.sizes)
+        covered += s;
+    EXPECT_EQ(covered, points.size());
+    // The blobs are far apart, so even a strided fit separates them.
+    EXPECT_GT(reference.meanSilhouette, 0.9);
+
+    for (const unsigned threads : {4u, 8u}) {
+        KMeansOptions par = options;
+        par.threads = threads;
+        EXPECT_TRUE(sameResult(reference, cluster(points, par)));
+    }
+}
+
+TEST(KMeans, KClampsToThePointCount)
+{
+    const auto points = threeBlobs(1); // 3 points
+    KMeansOptions options;
+    options.k = 12;
+    const KMeansResult result = cluster(points, options);
+    EXPECT_EQ(result.k, 3u);
+}
+
+TEST(KMeans, DegenerateInputs)
+{
+    EXPECT_EQ(cluster({}, KMeansOptions{}).k, 0u);
+
+    std::vector<FeatureVector> one(1);
+    const KMeansResult single = cluster(one, KMeansOptions{});
+    EXPECT_EQ(single.k, 1u);
+    EXPECT_EQ(single.assignment, std::vector<std::uint32_t>{0});
+
+    // All-identical points: every point ends up in one cluster of a
+    // degenerate clustering without crashing or looping.
+    std::vector<FeatureVector> same(50);
+    KMeansOptions options;
+    options.k = 3;
+    const KMeansResult flat = cluster(same, options);
+    std::uint64_t covered = 0;
+    for (const std::uint64_t s : flat.sizes)
+        covered += s;
+    EXPECT_EQ(covered, 50u);
+}
+
+} // namespace

@@ -1,0 +1,224 @@
+#include "sampling/representative.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/model_generator.hpp"
+#include "core/synthesis.hpp"
+#include "serve/profile_store.hpp"
+#include "workloads/devices.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::sampling;
+
+core::Profile
+testProfile(std::size_t requests = 20000)
+{
+    const mem::Trace trace = workloads::makeFbcLinear(requests, 1, 1);
+    return core::buildProfile(trace,
+                              core::PartitionConfig::twoLevelTs(50000));
+}
+
+bool
+sameSet(const RepresentativeSet &a, const RepresentativeSet &b)
+{
+    if (a.k != b.k || a.totalRequests != b.totalRequests ||
+        a.meanSilhouette != b.meanSilhouette ||
+        a.errorBoundPercent != b.errorBoundPercent ||
+        a.clusters.size() != b.clusters.size())
+        return false;
+    for (std::size_t c = 0; c < a.clusters.size(); ++c) {
+        const ClusterInfo &x = a.clusters[c];
+        const ClusterInfo &y = b.clusters[c];
+        if (x.medoidLeaf != y.medoidLeaf || x.members != y.members ||
+            x.requests != y.requests || x.weight != y.weight ||
+            x.dispersion != y.dispersion ||
+            x.errorBoundPercent != y.errorBoundPercent)
+            return false;
+    }
+    return true;
+}
+
+TEST(Representative, SelectionAccountsForEveryLeafAndRequest)
+{
+    const core::Profile profile = testProfile();
+    SamplingOptions options;
+    options.k = 4;
+    const RepresentativeSet set =
+        selectRepresentatives(profile, options);
+    ASSERT_GT(set.k, 0u);
+    ASSERT_LE(set.k, 4u);
+
+    std::uint64_t requests = 0;
+    std::size_t members = 0;
+    for (const ClusterInfo &c : set.clusters) {
+        requests += c.requests;
+        members += c.members.size();
+        EXPECT_EQ(c.medoidRequests,
+                  profile.leaves[c.medoidLeaf].count);
+        if (c.medoidRequests > 0)
+            EXPECT_DOUBLE_EQ(c.weight,
+                             double(c.requests) /
+                                 double(c.medoidRequests));
+        EXPECT_GE(c.errorBoundPercent, 7.5); // the floor
+        EXPECT_LE(c.errorBoundPercent, set.errorBoundPercent);
+    }
+    EXPECT_EQ(requests, set.totalRequests);
+    EXPECT_EQ(requests, profile.totalRequests());
+    EXPECT_EQ(members, profile.leaves.size());
+
+    // Ranked by descending cluster request count.
+    for (std::size_t c = 1; c < set.clusters.size(); ++c)
+        EXPECT_GE(set.clusters[c - 1].requests,
+                  set.clusters[c].requests);
+}
+
+TEST(Representative, BitIdenticalAcrossThreadCountsAndRuns)
+{
+    const core::Profile profile = testProfile();
+    SamplingOptions base;
+    base.threads = 1;
+    const RepresentativeSet reference =
+        selectRepresentatives(profile, base);
+    EXPECT_TRUE(
+        sameSet(reference, selectRepresentatives(profile, base)))
+        << "same options, repeated run";
+    for (const unsigned threads : {4u, 8u}) {
+        SamplingOptions options = base;
+        options.threads = threads;
+        EXPECT_TRUE(sameSet(reference,
+                            selectRepresentatives(profile, options)))
+            << "diverged at " << threads << " threads";
+    }
+}
+
+TEST(Representative, ReducedProfileHoldsTheMedoids)
+{
+    const core::Profile profile = testProfile();
+    SamplingOptions options;
+    options.k = 3;
+    const RepresentativeSet set =
+        selectRepresentatives(profile, options);
+    const core::Profile reduced = makeReducedProfile(profile, set);
+
+    EXPECT_EQ(reduced.name, profile.name);
+    EXPECT_EQ(reduced.device, profile.device);
+    EXPECT_EQ(reduced.config, profile.config);
+    ASSERT_EQ(reduced.leaves.size(), set.clusters.size());
+    for (std::size_t i = 0; i < reduced.leaves.size(); ++i) {
+        const core::LeafModel &medoid =
+            profile.leaves[set.clusters[i].medoidLeaf];
+        EXPECT_EQ(reduced.leaves[i].count, medoid.count);
+        EXPECT_EQ(reduced.leaves[i].startAddr, medoid.startAddr);
+        EXPECT_EQ(reduced.leaves[i].addrLo, medoid.addrLo);
+        EXPECT_EQ(reduced.leaves[i].addrHi, medoid.addrHi);
+    }
+
+    // The clone is deep: synthesis of the reduced profile works and
+    // reproduces the medoid-only request count.
+    const mem::Trace synth = core::synthesize(reduced);
+    EXPECT_EQ(synth.size(), set.representativeRequests());
+}
+
+TEST(Representative, ReducedFileRoundTripsWithWeights)
+{
+    const core::Profile profile = testProfile();
+    SamplingOptions options;
+    options.k = 3;
+    const RepresentativeSet set =
+        selectRepresentatives(profile, options);
+    const core::Profile reduced = makeReducedProfile(profile, set);
+
+    const std::string path =
+        testing::TempDir() + "representative_test.mkp";
+    std::string error;
+    ASSERT_TRUE(saveReducedProfile(reduced, set, path, &error))
+        << error;
+    EXPECT_TRUE(isReducedProfile(path));
+
+    // Full load: profile plus the weights table.
+    core::Profile loaded;
+    ReducedWeights weights;
+    ASSERT_TRUE(loadReducedProfile(path, loaded, weights, &error))
+        << error;
+    EXPECT_EQ(loaded.leaves.size(), set.clusters.size());
+    EXPECT_EQ(weights.totalRequests, set.totalRequests);
+    EXPECT_EQ(weights.meanSilhouette, set.meanSilhouette);
+    ASSERT_EQ(weights.entries.size(), set.clusters.size());
+    for (std::size_t i = 0; i < weights.entries.size(); ++i) {
+        EXPECT_EQ(weights.entries[i].weight, set.clusters[i].weight);
+        EXPECT_EQ(weights.entries[i].requests,
+                  set.clusters[i].requests);
+        EXPECT_EQ(weights.entries[i].errorBoundPercent,
+                  set.clusters[i].errorBoundPercent);
+    }
+
+    // Plain loadProfile ignores the trailer: the reduced file is a
+    // valid .mkp wherever profiles load.
+    core::Profile plain;
+    ASSERT_TRUE(core::loadProfile(path, plain, &error)) << error;
+    EXPECT_EQ(plain.leaves.size(), reduced.leaves.size());
+    EXPECT_EQ(plain.encode(), reduced.encode());
+
+    std::remove(path.c_str());
+}
+
+TEST(Representative, ServedReducedProfileSynthesizesByteStably)
+{
+    const core::Profile profile = testProfile();
+    SamplingOptions options;
+    options.k = 3;
+    const RepresentativeSet set =
+        selectRepresentatives(profile, options);
+    const core::Profile reduced = makeReducedProfile(profile, set);
+    const std::string path =
+        testing::TempDir() + "representative_store.mkp";
+    ASSERT_TRUE(saveReducedProfile(reduced, set, path));
+
+    // ProfileStore treats the reduced file as any other .mkp, and the
+    // served profile synthesises the same bytes as the local one.
+    serve::ProfileStore store;
+    store.registerProfile("reduced", path);
+    std::string error;
+    const auto stored = store.get("reduced", &error);
+    ASSERT_NE(stored, nullptr) << error;
+    const mem::Trace local = core::synthesize(reduced, 1);
+    const mem::Trace served = core::synthesize(stored->profile, 1);
+    ASSERT_EQ(local.size(), served.size());
+    for (std::size_t i = 0; i < local.size(); ++i) {
+        EXPECT_EQ(local.requests()[i].tick, served.requests()[i].tick);
+        EXPECT_EQ(local.requests()[i].addr, served.requests()[i].addr);
+    }
+
+    std::remove(path.c_str());
+}
+
+TEST(Representative, OrdinaryProfileHasNoTrailer)
+{
+    const core::Profile profile = testProfile(4000);
+    const std::string path =
+        testing::TempDir() + "representative_plain.mkp";
+    ASSERT_TRUE(core::saveProfile(profile, path));
+    EXPECT_FALSE(isReducedProfile(path));
+    core::Profile loaded;
+    ReducedWeights weights;
+    std::string error;
+    EXPECT_FALSE(loadReducedProfile(path, loaded, weights, &error));
+    EXPECT_FALSE(error.empty());
+    std::remove(path.c_str());
+}
+
+TEST(Representative, EmptyProfileYieldsAnEmptySet)
+{
+    core::Profile profile;
+    const RepresentativeSet set = selectRepresentatives(profile);
+    EXPECT_EQ(set.k, 0u);
+    EXPECT_TRUE(set.clusters.empty());
+    EXPECT_EQ(set.representativeRequests(), 0u);
+}
+
+} // namespace

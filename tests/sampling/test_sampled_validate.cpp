@@ -1,0 +1,172 @@
+#include "sampling/sampled_validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/model_generator.hpp"
+#include "workloads/devices.hpp"
+
+namespace
+{
+
+using namespace mocktails;
+using namespace mocktails::sampling;
+
+struct Workbench
+{
+    mem::Trace trace;
+    core::Profile profile;
+};
+
+Workbench
+bench(std::size_t requests = 30000)
+{
+    Workbench w;
+    w.trace = workloads::makeFbcLinear(requests, 1, 1);
+    w.profile = core::buildProfile(
+        w.trace, core::PartitionConfig::twoLevelTs(50000));
+    return w;
+}
+
+TEST(SampledValidate, SimulatesOnlyTheRepresentatives)
+{
+    const Workbench w = bench();
+    SampledValidationOptions options;
+    options.sampling.k = 4;
+    const SampledValidationReport report =
+        validateProfileSampled(w.trace, w.profile, options);
+
+    EXPECT_TRUE(report.matched) << report.note;
+    EXPECT_GT(report.set.k, 0u);
+    EXPECT_EQ(report.clusters.size(), report.set.clusters.size());
+    EXPECT_EQ(report.totalRequests, w.trace.size());
+    EXPECT_LT(report.simulatedRequests, report.totalRequests);
+    EXPECT_GT(report.simulatedRequests, 0u);
+
+    // The extrapolated report has the full validation's shape.
+    EXPECT_EQ(report.report.dramMetrics.size(), 5u);
+    EXPECT_EQ(report.report.cacheMetrics.size(), 4u);
+}
+
+TEST(SampledValidate, ExtrapolationStaysWithinTheBoundOfFull)
+{
+    const Workbench w = bench();
+    SampledValidationOptions options;
+    options.sampling.k = 6;
+    const SampledValidationReport sampled =
+        validateProfileSampled(w.trace, w.profile, options);
+    ASSERT_TRUE(sampled.matched) << sampled.note;
+
+    const validation::ValidationReport full =
+        validation::validateProfile(w.trace, w.profile);
+
+    const BoundsCheck check = checkAgainstFull(sampled, full);
+    EXPECT_EQ(check.boundPercent, sampled.set.errorBoundPercent);
+    EXPECT_EQ(check.lines.size(), 9u);
+    EXPECT_TRUE(check.passed)
+        << "worst delta " << check.worstDeltaPercent << "% > bound "
+        << check.boundPercent << "%";
+    EXPECT_LE(check.worstDeltaPercent, check.boundPercent);
+}
+
+TEST(SampledValidate, DeterministicAcrossThreadCounts)
+{
+    const Workbench w = bench(20000);
+    SampledValidationOptions base;
+    base.sampling.k = 3;
+    base.base.threads = 1;
+    base.sampling.threads = 1;
+    const SampledValidationReport reference =
+        validateProfileSampled(w.trace, w.profile, base);
+    for (const unsigned threads : {4u, 8u}) {
+        SampledValidationOptions options = base;
+        options.base.threads = threads;
+        options.sampling.threads = threads;
+        const SampledValidationReport run =
+            validateProfileSampled(w.trace, w.profile, options);
+        EXPECT_EQ(reference.report.worstErrorPercent,
+                  run.report.worstErrorPercent);
+        EXPECT_EQ(reference.report.meanErrorPercent,
+                  run.report.meanErrorPercent);
+        EXPECT_EQ(reference.simulatedRequests, run.simulatedRequests);
+        ASSERT_EQ(reference.set.clusters.size(),
+                  run.set.clusters.size());
+        for (std::size_t c = 0; c < reference.set.clusters.size();
+             ++c)
+            EXPECT_EQ(reference.set.clusters[c].medoidLeaf,
+                      run.set.clusters[c].medoidLeaf);
+    }
+}
+
+TEST(SampledValidate, JsonCarriesTheSamplingBlock)
+{
+    const Workbench w = bench(15000);
+    SampledValidationOptions options;
+    options.sampling.k = 3;
+    const SampledValidationReport report =
+        validateProfileSampled(w.trace, w.profile, options);
+    const std::string json = sampledReportToJson(report);
+
+    EXPECT_NE(json.find("\"sampling\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"matched\":true"), std::string::npos);
+    EXPECT_NE(json.find("\"k\":"), std::string::npos);
+    EXPECT_NE(json.find("\"mean_silhouette\":"), std::string::npos);
+    EXPECT_NE(json.find("\"simulated_requests\":"), std::string::npos);
+    EXPECT_NE(json.find("\"error_bound_percent\":"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"clusters\":["), std::string::npos);
+    EXPECT_NE(json.find("\"medoid_leaf\":"), std::string::npos);
+    EXPECT_EQ(json.back(), '}');
+
+    // Text rendering mentions the sampling summary too.
+    const std::string text = formatSampledReport(report);
+    EXPECT_NE(text.find("sampling: k="), std::string::npos);
+}
+
+TEST(SampledValidate, MismatchedHierarchyFallsBackToFull)
+{
+    // Validate against a profile built from a different trace: the
+    // baseline re-partition cannot match leaf-for-leaf, so the run
+    // falls back to full validation and says so.
+    const Workbench w = bench(15000);
+    const mem::Trace other = workloads::makeDmaCopy(9000, 3);
+    const SampledValidationReport report =
+        validateProfileSampled(other, w.profile);
+    EXPECT_FALSE(report.matched);
+    EXPECT_FALSE(report.note.empty());
+    // The fallback still produces a usable report.
+    EXPECT_EQ(report.report.dramMetrics.size(), 5u);
+    const std::string json = sampledReportToJson(report);
+    EXPECT_NE(json.find("\"matched\":false"), std::string::npos);
+}
+
+TEST(SampledValidate, ClusterAttributionAggregatesLeaves)
+{
+    const Workbench w = bench();
+    SampledValidationOptions options;
+    options.sampling.k = 4;
+    const SampledValidationReport report =
+        validateProfileSampled(w.trace, w.profile, options);
+    ASSERT_TRUE(report.matched) << report.note;
+
+    validation::AttributionOptions aopts;
+    aopts.maxLeaves = w.profile.leaves.size(); // keep every leaf
+    const validation::AttributionReport attribution =
+        validation::attributeErrors(w.trace, w.profile, aopts);
+    ASSERT_TRUE(attribution.hierarchyMatched) << attribution.note;
+
+    const std::vector<ClusterAttribution> rows =
+        attributeClusters(attribution, report.set);
+    ASSERT_EQ(rows.size(), report.set.clusters.size());
+    std::uint64_t leaves = 0;
+    for (const ClusterAttribution &row : rows)
+        leaves += row.leaves;
+    EXPECT_EQ(leaves, w.profile.leaves.size());
+    for (std::size_t i = 1; i < rows.size(); ++i)
+        EXPECT_GE(rows[i - 1].worstErrorPercent,
+                  rows[i].worstErrorPercent);
+
+    const std::string md = clusterAttributionToMarkdown(rows);
+    EXPECT_NE(md.find("| cluster |"), std::string::npos);
+}
+
+} // namespace
